@@ -1,0 +1,48 @@
+"""Benchmark E2: Figure 1(b) — degradation factor vs. load, 5-minute penalty.
+
+Reproduces the right panel of Figure 1: the same sweep as Figure 1(a) but
+with the pessimistic 5-minute rescheduling penalty charged for every
+preemption/resume cycle and migration.  Expected shape (paper §V): DYNMCB8 is
+no longer the best (it pays for its churn); the periodic variants win at
+non-trivial loads; the greedy preemptive algorithms remain competitive at low
+load; batch scheduling stays orders of magnitude behind.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure1 import run_figure1
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1b_five_minute_penalty(benchmark, bench_config, report_artifact):
+    result = benchmark.pedantic(
+        lambda: run_figure1(bench_config, penalty_seconds=300.0),
+        rounds=1,
+        iterations=1,
+    )
+    report_artifact("figure1b_five_minute_penalty", result.format())
+
+    series = result.series()
+    loads = list(bench_config.load_levels)
+    # DFRS with preemption still beats batch scheduling despite the penalty.
+    for load in loads:
+        batch_best = min(series["fcfs"][load], series["easy"][load])
+        dfrs_best = min(
+            series[name][load]
+            for name in series
+            if name not in ("fcfs", "easy", "greedy")
+        )
+        assert dfrs_best <= batch_best
+    # The penalty costs the aggressive DYNMCB8 its Figure 1(a) lead: averaged
+    # over the sweep it is no longer the best DFRS algorithm.
+    def mean_over_loads(name):
+        return sum(series[name][load] for load in loads) / len(loads)
+
+    periodic_mean = min(
+        mean_over_loads(name)
+        for name in series
+        if name.startswith("dynmcb8-") and "per" in name
+    )
+    assert periodic_mean <= mean_over_loads("dynmcb8") * 1.5

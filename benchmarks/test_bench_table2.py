@@ -1,0 +1,42 @@
+"""Benchmark E4: Table II — preemption and migration costs under high load.
+
+Reproduces Table II: for the algorithms that preempt and/or migrate, the
+bandwidth consumed by preemptions/migrations (GB/s), the occurrence rates per
+hour, and the occurrences per job, on the scaled synthetic traces with load
+at least 0.7 and the 5-minute penalty.  Expected shape (paper §V): GREEDY-PMTN
+never migrates, GREEDY-PMTN-MIGR preempts less but migrates a little, DYNMCB8
+has by far the highest migration churn, the periodic variants stay moderate,
+and DYNMCB8-STRETCH-PER trades fewer preemptions for more migrations than
+DYNMCB8-PER.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table2 import TABLE2_ALGORITHMS, run_table2
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_preemption_migration_costs(benchmark, bench_config, report_artifact):
+    result = benchmark.pedantic(
+        lambda: run_table2(bench_config, penalty_seconds=300.0),
+        rounds=1,
+        iterations=1,
+    )
+    report_artifact("table2_costs", result.format())
+
+    metrics = result.metrics
+    assert set(metrics) == set(TABLE2_ALGORITHMS)
+    # GREEDY-PMTN never migrates (the 0.00 column of Table II).
+    assert metrics["greedy-pmtn"]["migr_per_job"].maximum == pytest.approx(0.0)
+    # DYNMCB8 migrates at least as much per job as the periodic variants.
+    assert (
+        metrics["dynmcb8"]["migr_per_job"].average
+        >= metrics["dynmcb8-per-600"]["migr_per_job"].average * 0.5
+    )
+    # Everybody that preempts reports non-negative bandwidth numbers.
+    for algorithm, values in metrics.items():
+        for name, stats in values.items():
+            assert stats.average >= 0.0
+            assert stats.maximum >= stats.average - 1e-9

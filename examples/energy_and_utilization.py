@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Quantify the paper's "turn off idle nodes" remark (§II-B2).
+
+DFRS packs work onto fewer nodes than batch scheduling at the same offered
+load, so more nodes sit idle and can be powered down.  This example attaches
+a :class:`~repro.core.observers.UtilizationRecorder` to each simulation, turns
+the recorded samples into step series, and reports:
+
+* the time-weighted mean and peak number of busy nodes,
+* the energy consumed under a three-state node power model, always-on vs.
+  idle power-down,
+* per-job stretch fairness (Jain index), to show the energy saving does not
+  come at the price of starving anyone.
+
+Run with::
+
+    python examples/energy_and_utilization.py [--load 0.3] [--nodes 32]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import Cluster, LublinWorkloadGenerator, scale_to_load
+from repro.analysis import (
+    NodePowerModel,
+    busy_nodes_series,
+    energy_from_recorder,
+    energy_report_table,
+    fairness_report_table,
+    stretch_fairness,
+)
+from repro.core import (
+    ReschedulingPenaltyModel,
+    SimulationConfig,
+    Simulator,
+    UtilizationRecorder,
+)
+from repro.schedulers import create_scheduler
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=100, help="number of jobs")
+    parser.add_argument("--nodes", type=int, default=32, help="cluster size")
+    parser.add_argument("--load", type=float, default=0.3, help="offered load")
+    parser.add_argument("--penalty", type=float, default=300.0, help="rescheduling penalty (s)")
+    parser.add_argument("--seed", type=int, default=5, help="random seed")
+    args = parser.parse_args()
+
+    cluster = Cluster(num_nodes=args.nodes, cores_per_node=4, node_memory_gb=8.0)
+    workload = LublinWorkloadGenerator(cluster).generate(args.jobs, seed=args.seed)
+    workload = scale_to_load(workload, args.load)
+    print(
+        f"Workload: {workload.num_jobs} jobs, offered load {workload.load():.2f}, "
+        f"{cluster.num_nodes} nodes\n"
+    )
+
+    power_model = NodePowerModel(busy_watts=300.0, idle_watts=180.0, off_watts=10.0)
+    algorithms = ["fcfs", "easy", "greedy-pmtn", "dynmcb8-asap-per-600"]
+
+    energy_reports = []
+    fairness_reports = []
+    for name in algorithms:
+        recorder = UtilizationRecorder()
+        simulator = Simulator(
+            cluster,
+            create_scheduler(name),
+            SimulationConfig(penalty_model=ReschedulingPenaltyModel(args.penalty)),
+            observers=[recorder],
+        )
+        result = simulator.run(workload.jobs)
+        busy = busy_nodes_series(recorder)
+        print(
+            f"{name:24s} max stretch {result.max_stretch:10.2f}   "
+            f"busy nodes: mean {busy.mean():5.1f}, peak {busy.max():4.0f}, "
+            f"fraction of time fully idle {busy.fraction_at_or_below(0.0):.0%}"
+        )
+        energy_reports.append(
+            energy_from_recorder(recorder, cluster, algorithm=name, model=power_model)
+        )
+        fairness_reports.append(stretch_fairness(result))
+
+    print("\n" + energy_report_table(energy_reports))
+    print("\n" + fairness_report_table(fairness_reports))
+    print(
+        "\nReading guide: all algorithms leave a similar amount of idle node-hours\n"
+        "at this low load (the work is the same), but DFRS reaches a far lower\n"
+        "maximum stretch for the same energy budget — and with idle power-down\n"
+        "the under-subscribed cluster saves a large fraction of its energy."
+    )
+
+
+if __name__ == "__main__":
+    main()

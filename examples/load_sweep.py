@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Load sweep: a miniature Figure 1 on your terminal.
+
+Generates a handful of synthetic traces, scales each of them to a range of
+offered loads, runs every algorithm of the paper, and prints the average
+stretch degradation factor per (algorithm, load) — the quantity plotted in
+Figure 1 — together with a crude ASCII rendering of the two regimes the paper
+discusses (with and without the 5-minute rescheduling penalty).
+
+Run with::
+
+    python examples/load_sweep.py [--traces 2] [--jobs 80] [--nodes 32]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import Cluster
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure1 import run_figure1
+from repro.schedulers.registry import PAPER_ALGORITHMS
+
+
+def ascii_series(series, loads, width: int = 40) -> str:
+    """Render one algorithm's degradation factors as a crude bar chart."""
+    import math
+
+    lines = []
+    peak = max(max(values.values()) for values in series.values())
+    log_peak = math.log10(max(peak, 10.0))
+    for name, values in series.items():
+        bars = []
+        for load in loads:
+            value = values[load]
+            length = int(round(width * math.log10(max(value, 1.0)) / log_peak))
+            bars.append(f"{load:>4.1f} |" + "#" * length + f" {value:.1f}")
+        lines.append(f"{name}")
+        lines.extend("  " + bar for bar in bars)
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--traces", type=int, default=2)
+    parser.add_argument("--jobs", type=int, default=80)
+    parser.add_argument("--nodes", type=int, default=32)
+    parser.add_argument("--loads", type=str, default="0.3,0.6,0.9")
+    args = parser.parse_args()
+
+    loads = tuple(float(part) for part in args.loads.split(","))
+    config = ExperimentConfig(
+        cluster=Cluster(args.nodes, 4, 8.0),
+        num_traces=args.traces,
+        num_jobs=args.jobs,
+        load_levels=loads,
+        algorithms=tuple(PAPER_ALGORITHMS),
+    )
+
+    for penalty, label in ((0.0, "Figure 1(a): no rescheduling penalty"),
+                           (300.0, "Figure 1(b): 5-minute rescheduling penalty")):
+        print("=" * 72)
+        print(label)
+        print("=" * 72)
+        result = run_figure1(config, penalty_seconds=penalty)
+        print(result.format())
+        print()
+        print(ascii_series(result.series(), loads))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that ``pip install -e .`` keeps working on minimal offline environments
+that lack the ``wheel`` package required by PEP 660 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,137 @@
+"""Dynamic Fractional Resource Scheduling (DFRS) for HPC workloads.
+
+Reproduction of Stillwell, Vivien, and Casanova, *Dynamic Fractional Resource
+Scheduling for HPC Workloads*, IEEE IPDPS 2010.
+
+The package is organised in four layers:
+
+* :mod:`repro.core` — discrete-event cluster simulator, job/allocation model,
+  metrics (yield, bounded stretch, degradation factor), cost accounting;
+* :mod:`repro.packing` — the MCB8 multi-capacity bin-packing heuristic and
+  the binary searches on yield / estimated stretch;
+* :mod:`repro.schedulers` — the seven DFRS algorithms plus the FCFS and EASY
+  batch baselines;
+* :mod:`repro.workloads` and :mod:`repro.experiments` — the Lublin synthetic
+  workload model, SWF/HPC2N trace handling, and the harness regenerating the
+  paper's Figure 1, Table I, and Table II.
+
+Quickstart::
+
+    from repro import Cluster, LublinWorkloadGenerator, run_instance
+
+    cluster = Cluster(num_nodes=32)
+    workload = LublinWorkloadGenerator(cluster).generate(100, seed=1)
+    outcome = run_instance(workload, ["easy", "dynmcb8-asap-per-600"],
+                           penalty_seconds=300.0)
+    print(outcome.max_stretches())
+"""
+
+from .core import (
+    Cluster,
+    FIVE_MINUTE_PENALTY,
+    JobSpec,
+    JobState,
+    NO_PENALTY,
+    ReschedulingPenaltyModel,
+    SimulationConfig,
+    SimulationResult,
+    Simulator,
+    bounded_stretch,
+    degradation_factors,
+)
+from .exceptions import (
+    AllocationError,
+    ConfigurationError,
+    InfeasibleAllocationError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    TraceFormatError,
+    WorkloadError,
+)
+from .experiments import (
+    ExperimentConfig,
+    default_scale,
+    paper_scale,
+    quick_scale,
+    run_algorithm,
+    run_extensions_comparison,
+    run_figure1,
+    run_instance,
+    run_packing_ablation,
+    run_period_sweep,
+    run_table1,
+    run_table2,
+    run_timing_study,
+    run_utilization_study,
+)
+from .schedulers import (
+    PAPER_ALGORITHMS,
+    available_algorithms,
+    create_scheduler,
+)
+from .workloads import (
+    HPC2N_CLUSTER,
+    Hpc2nLikeTraceGenerator,
+    LublinWorkloadGenerator,
+    Workload,
+    parse_swf,
+    scale_to_load,
+    swf_to_dfrs_jobs,
+    write_swf,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Cluster",
+    "FIVE_MINUTE_PENALTY",
+    "JobSpec",
+    "JobState",
+    "NO_PENALTY",
+    "ReschedulingPenaltyModel",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "bounded_stretch",
+    "degradation_factors",
+    # exceptions
+    "AllocationError",
+    "ConfigurationError",
+    "InfeasibleAllocationError",
+    "ReproError",
+    "SchedulingError",
+    "SimulationError",
+    "TraceFormatError",
+    "WorkloadError",
+    # experiments
+    "ExperimentConfig",
+    "default_scale",
+    "paper_scale",
+    "quick_scale",
+    "run_algorithm",
+    "run_extensions_comparison",
+    "run_figure1",
+    "run_instance",
+    "run_packing_ablation",
+    "run_period_sweep",
+    "run_table1",
+    "run_table2",
+    "run_timing_study",
+    "run_utilization_study",
+    # schedulers
+    "PAPER_ALGORITHMS",
+    "available_algorithms",
+    "create_scheduler",
+    # workloads
+    "HPC2N_CLUSTER",
+    "Hpc2nLikeTraceGenerator",
+    "LublinWorkloadGenerator",
+    "Workload",
+    "parse_swf",
+    "scale_to_load",
+    "swf_to_dfrs_jobs",
+    "write_swf",
+]

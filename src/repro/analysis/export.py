@@ -1,0 +1,189 @@
+"""Export simulation artifacts to CSV and JSON for external analysis.
+
+The repository deliberately has no plotting dependency; instead, every
+artifact a user might want to plot elsewhere (per-job records, allocation
+intervals, utilization samples, per-instance degradation factors) can be
+written to plain CSV or JSON with these helpers.  All writers accept either a
+path or any file-like object with a ``write`` method.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, TextIO, Union
+
+from ..core.observers import AllocationTraceRecorder, UtilizationRecorder
+from ..core.records import SimulationResult
+from ..exceptions import ReproError
+
+__all__ = [
+    "job_records_to_csv",
+    "allocation_intervals_to_csv",
+    "utilization_samples_to_csv",
+    "degradation_factors_to_csv",
+    "result_summary_to_json",
+]
+
+_Destination = Union[str, Path, TextIO]
+
+
+def _open_destination(destination: Optional[_Destination]):
+    """Return ``(file_object, should_close)`` for the given destination.
+
+    With ``destination=None`` an in-memory buffer is returned, and the
+    caller-facing wrapper functions return its contents as a string.
+    """
+    if destination is None:
+        return io.StringIO(), False
+    if isinstance(destination, (str, Path)):
+        return open(destination, "w", encoding="utf-8", newline=""), True
+    if hasattr(destination, "write"):
+        return destination, False
+    raise ReproError(f"unsupported destination {destination!r}")
+
+
+def _finish(handle, should_close: bool) -> Optional[str]:
+    if isinstance(handle, io.StringIO):
+        return handle.getvalue()
+    if should_close:
+        handle.close()
+    return None
+
+
+def job_records_to_csv(
+    result: SimulationResult, destination: Optional[_Destination] = None
+) -> Optional[str]:
+    """One row per completed job: identity, resources, timing, stretch, costs."""
+    handle, should_close = _open_destination(destination)
+    writer = csv.writer(handle)
+    writer.writerow(
+        [
+            "job_id",
+            "submit_time",
+            "num_tasks",
+            "cpu_need",
+            "mem_requirement",
+            "execution_time",
+            "first_start_time",
+            "completion_time",
+            "turnaround_time",
+            "wait_time",
+            "bounded_stretch",
+            "preemptions",
+            "migrations",
+        ]
+    )
+    for record in result.jobs:
+        writer.writerow(
+            [
+                record.spec.job_id,
+                record.spec.submit_time,
+                record.spec.num_tasks,
+                record.spec.cpu_need,
+                record.spec.mem_requirement,
+                record.spec.execution_time,
+                record.first_start_time,
+                record.completion_time,
+                record.turnaround_time,
+                record.wait_time,
+                record.stretch,
+                record.preemptions,
+                record.migrations,
+            ]
+        )
+    return _finish(handle, should_close)
+
+
+def allocation_intervals_to_csv(
+    trace: AllocationTraceRecorder, destination: Optional[_Destination] = None
+) -> Optional[str]:
+    """One row per allocation interval: job, start, end, yield, nodes."""
+    handle, should_close = _open_destination(destination)
+    writer = csv.writer(handle)
+    writer.writerow(["job_id", "start", "end", "duration", "yield", "nodes"])
+    for interval in sorted(trace.intervals, key=lambda iv: (iv.start, iv.job_id)):
+        writer.writerow(
+            [
+                interval.job_id,
+                interval.start,
+                interval.end,
+                interval.duration,
+                interval.yield_value,
+                " ".join(str(node) for node in interval.nodes),
+            ]
+        )
+    return _finish(handle, should_close)
+
+
+def utilization_samples_to_csv(
+    recorder: UtilizationRecorder, destination: Optional[_Destination] = None
+) -> Optional[str]:
+    """One row per utilization sample (cluster-wide counters after each event)."""
+    handle, should_close = _open_destination(destination)
+    writer = csv.writer(handle)
+    writer.writerow(
+        ["time", "busy_nodes", "cpu_allocated", "memory_used", "running_jobs", "min_yield"]
+    )
+    for sample in recorder.samples:
+        writer.writerow(
+            [
+                sample.time,
+                sample.busy_nodes,
+                sample.cpu_allocated,
+                sample.memory_used,
+                sample.running_jobs,
+                sample.min_yield,
+            ]
+        )
+    return _finish(handle, should_close)
+
+
+def degradation_factors_to_csv(
+    per_instance: Sequence[Mapping[str, float]],
+    destination: Optional[_Destination] = None,
+) -> Optional[str]:
+    """One row per instance, one column per algorithm (degradation factors)."""
+    if not per_instance:
+        raise ReproError("need at least one instance to export degradation factors")
+    algorithms = sorted(per_instance[0])
+    for index, mapping in enumerate(per_instance):
+        if sorted(mapping) != algorithms:
+            raise ReproError(
+                f"instance {index} reports a different algorithm set than instance 0"
+            )
+    handle, should_close = _open_destination(destination)
+    writer = csv.writer(handle)
+    writer.writerow(["instance"] + algorithms)
+    for index, mapping in enumerate(per_instance):
+        writer.writerow([index] + [mapping[name] for name in algorithms])
+    return _finish(handle, should_close)
+
+
+def result_summary_to_json(
+    results: Mapping[str, SimulationResult],
+    destination: Optional[_Destination] = None,
+    *,
+    indent: int = 2,
+) -> Optional[str]:
+    """Per-algorithm summary (stretch, turnaround, costs) as a JSON document."""
+    payload: Dict[str, Dict[str, float]] = {}
+    for name, result in results.items():
+        payload[name] = {
+            "max_stretch": result.max_stretch,
+            "mean_stretch": result.mean_stretch,
+            "mean_turnaround": result.mean_turnaround,
+            "makespan": result.makespan,
+            "num_jobs": float(result.num_jobs),
+            "preemptions_per_job": result.preemptions_per_job(),
+            "migrations_per_job": result.migrations_per_job(),
+            "preemption_bandwidth_gb_per_sec": result.preemption_bandwidth_gb_per_sec(),
+            "migration_bandwidth_gb_per_sec": result.migration_bandwidth_gb_per_sec(),
+            "mean_idle_nodes": result.mean_idle_nodes(),
+        }
+    text = json.dumps(payload, indent=indent, sort_keys=True)
+    handle, should_close = _open_destination(destination)
+    handle.write(text + "\n")
+    return _finish(handle, should_close)

@@ -1,0 +1,132 @@
+"""Fairness metrics over per-job outcomes.
+
+The paper motivates maximum-stretch minimization as a metric that couples
+performance with fairness (§II-B2).  This module quantifies that coupling on
+finished simulations: Jain's fairness index and the Gini coefficient over the
+per-job bounded stretches (or any other per-job quantity), plus helpers to
+extract per-job stretch and yield distributions from simulation results and
+allocation traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.observers import AllocationTraceRecorder
+from ..core.records import SimulationResult
+from ..exceptions import ReproError
+
+__all__ = [
+    "jain_index",
+    "gini_coefficient",
+    "FairnessReport",
+    "stretch_fairness",
+    "mean_yields_from_trace",
+]
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(Σx)² / (n · Σx²)``, in ``(0, 1]``.
+
+    Equals 1 when all values are identical and approaches ``1/n`` when one
+    value dominates all others.  All values must be non-negative and at least
+    one must be positive.
+    """
+    if len(values) == 0:
+        raise ReproError("cannot compute Jain's index of an empty sample")
+    array = np.asarray(values, dtype=float)
+    if np.any(array < 0):
+        raise ReproError("Jain's index requires non-negative values")
+    square_sum = float(np.sum(array) ** 2)
+    sum_squares = float(np.sum(array**2))
+    if sum_squares == 0.0:
+        raise ReproError("Jain's index is undefined when every value is zero")
+    return square_sum / (array.size * sum_squares)
+
+
+def gini_coefficient(values: Sequence[float]) -> float:
+    """Gini coefficient in ``[0, 1)``: 0 is perfect equality.
+
+    Computed with the standard mean-absolute-difference formula.  All values
+    must be non-negative and at least one must be positive.
+    """
+    if len(values) == 0:
+        raise ReproError("cannot compute the Gini coefficient of an empty sample")
+    array = np.asarray(values, dtype=float)
+    if np.any(array < 0):
+        raise ReproError("the Gini coefficient requires non-negative values")
+    total = float(array.sum())
+    if total == 0.0:
+        raise ReproError("the Gini coefficient is undefined when every value is zero")
+    sorted_values = np.sort(array)
+    n = array.size
+    ranks = np.arange(1, n + 1, dtype=float)
+    return float((2.0 * np.dot(ranks, sorted_values)) / (n * total) - (n + 1.0) / n)
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Fairness view of one finished simulation run."""
+
+    algorithm: str
+    num_jobs: int
+    max_stretch: float
+    mean_stretch: float
+    #: Jain's index over per-job bounded stretches (1 = perfectly even).
+    jain_stretch: float
+    #: Gini coefficient over per-job bounded stretches (0 = perfectly even).
+    gini_stretch: float
+    #: 95th-percentile bounded stretch.
+    p95_stretch: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "num_jobs": float(self.num_jobs),
+            "max_stretch": self.max_stretch,
+            "mean_stretch": self.mean_stretch,
+            "jain_stretch": self.jain_stretch,
+            "gini_stretch": self.gini_stretch,
+            "p95_stretch": self.p95_stretch,
+        }
+
+
+def stretch_fairness(result: SimulationResult) -> FairnessReport:
+    """Fairness report over the bounded stretches of a finished run."""
+    stretches = result.stretches()
+    if stretches.size == 0:
+        raise ReproError(
+            f"run of {result.algorithm!r} finished no jobs; cannot assess fairness"
+        )
+    return FairnessReport(
+        algorithm=result.algorithm,
+        num_jobs=int(stretches.size),
+        max_stretch=float(stretches.max()),
+        mean_stretch=float(stretches.mean()),
+        jain_stretch=jain_index(stretches),
+        gini_stretch=gini_coefficient(stretches),
+        p95_stretch=float(np.percentile(stretches, 95)),
+    )
+
+
+def mean_yields_from_trace(trace: AllocationTraceRecorder) -> Dict[int, float]:
+    """Duration-weighted mean yield of every job in an allocation trace.
+
+    Jobs appear only for the time during which they actually held an
+    allocation; pauses do not count towards the average (they show up instead
+    in the stretch).
+    """
+    totals: Dict[int, float] = {}
+    durations: Dict[int, float] = {}
+    for interval in trace.intervals:
+        totals[interval.job_id] = (
+            totals.get(interval.job_id, 0.0) + interval.yield_value * interval.duration
+        )
+        durations[interval.job_id] = durations.get(interval.job_id, 0.0) + interval.duration
+    return {
+        job_id: totals[job_id] / durations[job_id]
+        for job_id in totals
+        if durations[job_id] > 0
+    }

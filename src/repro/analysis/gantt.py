@@ -1,0 +1,168 @@
+"""Text-based occupancy and Gantt rendering of allocation traces.
+
+For debugging a scheduler, nothing beats looking at who ran where and when.
+These helpers turn an :class:`~repro.core.observers.AllocationTraceRecorder`
+into fixed-width text charts that render anywhere (terminal, CI logs,
+Markdown code blocks):
+
+* :func:`job_gantt` — one row per job, one character per time slot, showing
+  when the job held an allocation and at roughly which yield;
+* :func:`node_occupancy` — one row per node, showing how many tasks the node
+  hosted in each time slot;
+* :func:`yield_profile` — the per-slot yield values of a single job, for
+  inspecting how an algorithm throttles it over time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.observers import AllocationTraceRecorder
+from ..exceptions import ReproError
+
+__all__ = ["job_gantt", "node_occupancy", "yield_profile"]
+
+#: Glyphs used to render a job's yield in a Gantt slot (low to high).
+_YIELD_GLYPHS = ".:-=+*#@"
+
+
+def _time_bounds(trace: AllocationTraceRecorder) -> tuple:
+    if not trace.intervals:
+        raise ReproError("the allocation trace is empty; nothing to render")
+    start = min(interval.start for interval in trace.intervals)
+    end = max(interval.end for interval in trace.intervals)
+    if end <= start:
+        raise ReproError("the allocation trace spans zero time")
+    return start, end
+
+
+def _slot_edges(start: float, end: float, width: int) -> List[float]:
+    step = (end - start) / width
+    return [start + i * step for i in range(width + 1)]
+
+
+def _yield_glyph(value: float) -> str:
+    index = min(len(_YIELD_GLYPHS) - 1, int(value * len(_YIELD_GLYPHS)))
+    return _YIELD_GLYPHS[index]
+
+
+def job_gantt(
+    trace: AllocationTraceRecorder,
+    *,
+    width: int = 80,
+    job_ids: Optional[Sequence[int]] = None,
+) -> str:
+    """Render one row per job; denser glyphs mean higher yields.
+
+    A blank slot means the job held no allocation during that slot (waiting
+    or paused); glyphs from ``.`` to ``@`` encode the duration-weighted mean
+    yield within the slot.
+    """
+    if width < 1:
+        raise ReproError(f"width must be >= 1, got {width}")
+    start, end = _time_bounds(trace)
+    edges = _slot_edges(start, end, width)
+    selected = list(job_ids) if job_ids is not None else trace.job_ids()
+    label_width = max((len(str(job_id)) for job_id in selected), default=1)
+
+    lines = [
+        f"time span: {start:.0f}s .. {end:.0f}s "
+        f"({(end - start) / width:.0f}s per column, glyphs . (low yield) to @ (yield 1))"
+    ]
+    for job_id in selected:
+        intervals = trace.intervals_of_job(job_id)
+        if job_ids is not None and not intervals:
+            raise ReproError(f"job {job_id} never held an allocation in this trace")
+        row = []
+        for slot in range(width):
+            slot_start, slot_end = edges[slot], edges[slot + 1]
+            weighted = 0.0
+            covered = 0.0
+            for interval in intervals:
+                overlap = min(interval.end, slot_end) - max(interval.start, slot_start)
+                if overlap > 0:
+                    weighted += overlap * interval.yield_value
+                    covered += overlap
+            row.append(_yield_glyph(weighted / covered) if covered > 0 else " ")
+        lines.append(f"job {str(job_id).rjust(label_width)} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def node_occupancy(
+    trace: AllocationTraceRecorder,
+    num_nodes: int,
+    *,
+    width: int = 80,
+) -> str:
+    """Render one row per node; digits count the tasks hosted in each slot.
+
+    Counts above 9 render as ``+``.  A blank slot means the node was idle for
+    the whole slot.
+    """
+    if width < 1:
+        raise ReproError(f"width must be >= 1, got {width}")
+    if num_nodes < 1:
+        raise ReproError(f"num_nodes must be >= 1, got {num_nodes}")
+    start, end = _time_bounds(trace)
+    edges = _slot_edges(start, end, width)
+
+    # For every slot and node, the maximum simultaneous task count observed.
+    counts: Dict[int, List[int]] = {node: [0] * width for node in range(num_nodes)}
+    for interval in trace.intervals:
+        per_node: Dict[int, int] = {}
+        for node in interval.nodes:
+            if not (0 <= node < num_nodes):
+                raise ReproError(
+                    f"interval of job {interval.job_id} references node {node}, "
+                    f"outside a {num_nodes}-node cluster"
+                )
+            per_node[node] = per_node.get(node, 0) + 1
+        for slot in range(width):
+            slot_start, slot_end = edges[slot], edges[slot + 1]
+            if min(interval.end, slot_end) - max(interval.start, slot_start) > 0:
+                for node, tasks in per_node.items():
+                    counts[node][slot] += tasks
+
+    lines = [f"time span: {start:.0f}s .. {end:.0f}s ({(end - start) / width:.0f}s per column)"]
+    label_width = len(str(num_nodes - 1))
+    for node in range(num_nodes):
+        row = "".join(
+            " " if count == 0 else (str(count) if count <= 9 else "+")
+            for count in counts[node]
+        )
+        lines.append(f"node {str(node).rjust(label_width)} |{row}|")
+    return "\n".join(lines)
+
+
+def yield_profile(
+    trace: AllocationTraceRecorder,
+    job_id: int,
+    *,
+    width: int = 20,
+) -> List[float]:
+    """Duration-weighted mean yield of one job in each of ``width`` time slots.
+
+    Slots during which the job held no allocation report 0.0.  The slots
+    cover the job's own active span (first allocation to last release), not
+    the whole simulation.
+    """
+    if width < 1:
+        raise ReproError(f"width must be >= 1, got {width}")
+    intervals = trace.intervals_of_job(job_id)
+    if not intervals:
+        raise ReproError(f"job {job_id} never held an allocation in this trace")
+    start = intervals[0].start
+    end = max(interval.end for interval in intervals)
+    edges = _slot_edges(start, end, width)
+    profile: List[float] = []
+    for slot in range(width):
+        slot_start, slot_end = edges[slot], edges[slot + 1]
+        weighted = 0.0
+        covered = 0.0
+        for interval in intervals:
+            overlap = min(interval.end, slot_end) - max(interval.start, slot_start)
+            if overlap > 0:
+                weighted += overlap * interval.yield_value
+                covered += overlap
+        profile.append(weighted / covered if covered > 0 else 0.0)
+    return profile

@@ -1,0 +1,142 @@
+"""Plain-text / Markdown rendering of analysis results.
+
+The repository is usable on machines without any plotting stack, so every
+analysis artifact can be rendered as a Markdown table or a fixed-width text
+block.  These helpers are shared by the CLI, the examples, and EXPERIMENTS.md
+generation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..exceptions import ReproError
+from .compare import AlgorithmComparison
+from .energy import EnergyReport
+from .fairness import FairnessReport
+
+__all__ = [
+    "markdown_table",
+    "comparison_report",
+    "fairness_report_table",
+    "energy_report_table",
+]
+
+
+def markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render a Markdown table; floats are formatted, other cells via ``str``."""
+    if not headers:
+        raise ReproError("a table needs at least one column")
+    for index, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row {index} has {len(row)} cells but there are {len(headers)} headers"
+            )
+
+    def render(cell: object) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(render(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def comparison_report(
+    comparison: AlgorithmComparison,
+    *,
+    title: Optional[str] = None,
+    reference_algorithm: Optional[str] = None,
+) -> str:
+    """Markdown report of an :class:`AlgorithmComparison`.
+
+    One row per algorithm: mean / std / max degradation factor, win fraction,
+    and (if ``reference_algorithm`` is given) the geometric-mean factor by
+    which the reference outperforms it.
+    """
+    headers: List[str] = [
+        "algorithm",
+        "deg. avg",
+        "deg. std",
+        "deg. max",
+        "wins",
+    ]
+    if reference_algorithm is not None:
+        headers.append(f"x vs {reference_algorithm}")
+    rows: List[List[object]] = []
+    for algorithm, _ in comparison.ranking():
+        summary = comparison.degradation_summary(algorithm)
+        row: List[object] = [
+            algorithm,
+            summary.mean,
+            summary.std,
+            summary.maximum,
+            f"{100.0 * comparison.win_fraction(algorithm):.0f}%",
+        ]
+        if reference_algorithm is not None:
+            row.append(comparison.dominance_ratio(reference_algorithm, algorithm))
+        rows.append(row)
+    table = markdown_table(headers, rows)
+    if title:
+        return f"### {title}\n\n{table}"
+    return table
+
+
+def fairness_report_table(reports: Sequence[FairnessReport]) -> str:
+    """Markdown table of per-algorithm fairness reports."""
+    if not reports:
+        raise ReproError("need at least one fairness report")
+    headers = ["algorithm", "jobs", "max stretch", "mean stretch", "p95 stretch", "Jain", "Gini"]
+    rows = [
+        [
+            report.algorithm,
+            report.num_jobs,
+            report.max_stretch,
+            report.mean_stretch,
+            report.p95_stretch,
+            report.jain_stretch,
+            report.gini_stretch,
+        ]
+        for report in reports
+    ]
+    return markdown_table(headers, rows, float_format="{:.3f}")
+
+
+def energy_report_table(reports: Sequence[EnergyReport]) -> str:
+    """Markdown table of per-algorithm energy reports."""
+    if not reports:
+        raise ReproError("need at least one energy report")
+    headers = [
+        "algorithm",
+        "duration (h)",
+        "busy node-hours",
+        "idle node-hours",
+        "always-on kWh",
+        "power-down kWh",
+        "savings",
+    ]
+    rows = [
+        [
+            report.algorithm,
+            report.duration_seconds / 3600.0,
+            report.busy_node_seconds / 3600.0,
+            report.idle_node_seconds / 3600.0,
+            report.always_on_kwh,
+            report.power_down_kwh,
+            f"{100.0 * report.savings_fraction:.1f}%",
+        ]
+        for report in reports
+    ]
+    return markdown_table(headers, rows)

@@ -1,0 +1,163 @@
+"""Descriptive and resampling statistics for experiment results.
+
+The paper reports average / standard deviation / maximum degradation factors
+over large trace populations.  At laptop scale the populations are much
+smaller, so this module adds the tooling needed to reason about the noise:
+summary statistics with percentiles, geometric means (the natural average for
+ratio metrics such as the degradation factor), and bootstrap confidence
+intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ReproError
+
+__all__ = [
+    "SummaryStatistics",
+    "summarize",
+    "geometric_mean",
+    "bootstrap_confidence_interval",
+    "paired_win_fractions",
+]
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """Five-number-plus summary of a sample of non-negative metric values."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    maximum: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Dictionary form, convenient for report templating."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "p25": self.p25,
+            "median": self.median,
+            "p75": self.p75,
+            "p95": self.p95,
+            "max": self.maximum,
+        }
+
+
+def summarize(values: Sequence[float]) -> SummaryStatistics:
+    """Summary statistics of a sample (population standard deviation)."""
+    if len(values) == 0:
+        raise ReproError("cannot summarize an empty sample")
+    array = np.asarray(values, dtype=float)
+    if not np.all(np.isfinite(array)):
+        raise ReproError("cannot summarize a sample containing NaN or infinity")
+    return SummaryStatistics(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std(ddof=0)),
+        minimum=float(array.min()),
+        p25=float(np.percentile(array, 25)),
+        median=float(np.percentile(array, 50)),
+        p75=float(np.percentile(array, 75)),
+        p95=float(np.percentile(array, 95)),
+        maximum=float(array.max()),
+    )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    The degradation factor is a ratio metric, for which the geometric mean is
+    the aggregation that does not privilege either algorithm of a pair; the
+    paper reports arithmetic means, which we also compute, but the geometric
+    mean is useful when comparing across heterogeneous instance sets.
+    """
+    if len(values) == 0:
+        raise ReproError("cannot take the geometric mean of an empty sample")
+    array = np.asarray(values, dtype=float)
+    if np.any(array <= 0):
+        raise ReproError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+def bootstrap_confidence_interval(
+    values: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    *,
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile bootstrap confidence interval for ``statistic``.
+
+    Parameters
+    ----------
+    values:
+        The observed sample (e.g. per-instance degradation factors).
+    statistic:
+        Function mapping a 1-D array to a scalar (default: the mean).
+    confidence:
+        Coverage of the interval, in (0, 1).
+    num_resamples:
+        Number of bootstrap resamples.
+    seed:
+        Seed of the resampling RNG, for reproducibility.
+    """
+    if len(values) == 0:
+        raise ReproError("cannot bootstrap an empty sample")
+    if not (0.0 < confidence < 1.0):
+        raise ReproError(f"confidence must be in (0, 1), got {confidence}")
+    if num_resamples < 1:
+        raise ReproError(f"num_resamples must be >= 1, got {num_resamples}")
+    array = np.asarray(values, dtype=float)
+    rng = np.random.default_rng(seed)
+    estimates = np.empty(num_resamples, dtype=float)
+    for index in range(num_resamples):
+        resample = rng.choice(array, size=array.size, replace=True)
+        estimates[index] = float(statistic(resample))
+    alpha = (1.0 - confidence) / 2.0
+    lower = float(np.percentile(estimates, 100.0 * alpha))
+    upper = float(np.percentile(estimates, 100.0 * (1.0 - alpha)))
+    return lower, upper
+
+
+def paired_win_fractions(
+    per_instance_metrics: Sequence[Mapping[str, float]],
+    *,
+    lower_is_better: bool = True,
+) -> Dict[str, float]:
+    """Fraction of instances on which each algorithm is (one of) the best.
+
+    Parameters
+    ----------
+    per_instance_metrics:
+        One mapping ``algorithm -> metric value`` per instance; all mappings
+        must share the same algorithm set.
+    lower_is_better:
+        True for stretch/degradation metrics, False for yield-style metrics.
+    """
+    if not per_instance_metrics:
+        raise ReproError("need at least one instance to compute win fractions")
+    algorithms = set(per_instance_metrics[0])
+    for mapping in per_instance_metrics:
+        if set(mapping) != algorithms:
+            raise ReproError("all instances must report the same algorithm set")
+    wins = {name: 0 for name in algorithms}
+    for mapping in per_instance_metrics:
+        best = min(mapping.values()) if lower_is_better else max(mapping.values())
+        for name, value in mapping.items():
+            if value == best:
+                wins[name] += 1
+    total = len(per_instance_metrics)
+    return {name: count / total for name, count in wins.items()}

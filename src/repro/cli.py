@@ -1,0 +1,283 @@
+"""Command-line interface: ``repro-dfrs <experiment> [options]``.
+
+Subcommands regenerate each artifact of the paper's evaluation section at a
+configurable scale and print the corresponding table or figure series:
+
+* ``figure1`` — average degradation factor vs. load (``--penalty`` selects
+  panel (a) with 0 or panel (b) with 300 seconds);
+* ``table1``  — degradation statistics on scaled / unscaled / HPC2N-like
+  workloads;
+* ``table2``  — preemption and migration costs under high load;
+* ``timing``  — scheduling-decision computation time (§V);
+* ``compare`` — run a single generated trace under chosen algorithms and
+  print per-algorithm stretch statistics (useful for quick exploration).
+
+Ablation and extension studies beyond the paper's artifacts:
+
+* ``period-sweep``     — scheduling-period sensitivity (T ∈ {60, 600, 3600});
+* ``packing-ablation`` — MCB8 vs. the other registered packing heuristics;
+* ``utilization``      — busy nodes, energy, and fairness per algorithm;
+* ``extensions``       — throttled / weighted / conservative extensions vs.
+  the paper's best algorithm;
+* ``characterize``     — the §I workload statistics (memory/CPU under-use,
+  width histogram) for a synthetic trace or any SWF file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+from .core.cluster import Cluster
+from .experiments.config import ExperimentConfig, default_scale
+from .experiments.extensions import run_extensions_comparison
+from .experiments.figure1 import run_figure1
+from .experiments.packing_ablation import run_packing_ablation
+from .experiments.period_sweep import run_period_sweep
+from .experiments.reporting import format_table
+from .experiments.runner import generate_synthetic_instances, run_instance
+from .experiments.table1 import run_table1
+from .experiments.table2 import run_table2
+from .experiments.timing import run_timing_study
+from .experiments.utilization_study import run_utilization_study
+from .schedulers.registry import PAPER_ALGORITHMS, available_algorithms
+from .workloads import (
+    HPC2N_CLUSTER,
+    characterization_table,
+    characterize,
+    parse_swf,
+    size_histogram,
+    swf_to_dfrs_jobs,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro-dfrs`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dfrs",
+        description=(
+            "Reproduce the evaluation of 'Dynamic Fractional Resource "
+            "Scheduling for HPC Workloads' (IPDPS 2010)."
+        ),
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=None, help="cluster size (default 128)"
+    )
+    parser.add_argument(
+        "--num-traces", type=int, default=None, help="synthetic traces per load level"
+    )
+    parser.add_argument(
+        "--num-jobs", type=int, default=None, help="jobs per synthetic trace"
+    )
+    parser.add_argument(
+        "--loads",
+        type=str,
+        default=None,
+        help="comma-separated offered-load levels, e.g. 0.1,0.5,0.9",
+    )
+    parser.add_argument(
+        "--algorithms",
+        type=str,
+        default=None,
+        help=(
+            "comma-separated algorithm names "
+            f"(known: {', '.join(available_algorithms())})"
+        ),
+    )
+    parser.add_argument(
+        "--penalty",
+        type=float,
+        default=None,
+        help="rescheduling penalty in seconds (0 or 300 in the paper)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="base random seed")
+
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("figure1", help="degradation factor vs. load")
+    subparsers.add_parser("table1", help="degradation statistics per workload family")
+    subparsers.add_parser("table2", help="preemption and migration costs")
+    subparsers.add_parser("timing", help="scheduling computation time study")
+    compare = subparsers.add_parser(
+        "compare", help="run one synthetic trace under several algorithms"
+    )
+    compare.add_argument("--load", type=float, default=0.7, help="offered load")
+
+    period = subparsers.add_parser(
+        "period-sweep", help="scheduling-period sensitivity study"
+    )
+    period.add_argument(
+        "--base-algorithm",
+        type=str,
+        default="dynmcb8-asap-per",
+        help="unsuffixed periodic algorithm name",
+    )
+    period.add_argument("--load", type=float, default=0.7, help="offered load")
+    period.add_argument(
+        "--periods",
+        type=str,
+        default="60,600,3600",
+        help="comma-separated periods in seconds",
+    )
+
+    packing = subparsers.add_parser(
+        "packing-ablation", help="compare packing heuristics on random instances"
+    )
+    packing.add_argument(
+        "--pack-nodes", type=int, default=32, help="bins per packing instance"
+    )
+    packing.add_argument(
+        "--pack-instances", type=int, default=25, help="number of packing instances"
+    )
+    packing.add_argument(
+        "--pack-jobs", type=int, default=24, help="jobs per packing instance"
+    )
+
+    utilization = subparsers.add_parser(
+        "utilization", help="busy nodes, energy, and fairness per algorithm"
+    )
+    utilization.add_argument("--load", type=float, default=0.5, help="offered load")
+
+    subparsers.add_parser(
+        "extensions", help="extension schedulers vs. the paper's best algorithm"
+    )
+
+    profile = subparsers.add_parser(
+        "characterize",
+        help="profile a workload (synthetic by default, or an SWF file) with the §I statistics",
+    )
+    profile.add_argument(
+        "--swf", type=str, default=None, help="path to an SWF trace to profile instead"
+    )
+    profile.add_argument(
+        "--load", type=float, default=None, help="rescale the synthetic trace to this load"
+    )
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    config = default_scale()
+    if args.nodes is not None:
+        config = replace(config, cluster=Cluster(args.nodes, 4, 8.0))
+    if args.num_traces is not None:
+        config = replace(config, num_traces=args.num_traces)
+    if args.num_jobs is not None:
+        config = replace(config, num_jobs=args.num_jobs)
+    if args.loads is not None:
+        levels = tuple(float(part) for part in args.loads.split(",") if part.strip())
+        config = replace(config, load_levels=levels)
+    if args.algorithms is not None:
+        names = tuple(part.strip() for part in args.algorithms.split(",") if part.strip())
+        config = replace(config, algorithms=names)
+    if args.penalty is not None:
+        config = replace(config, penalty_seconds=args.penalty)
+    if args.seed is not None:
+        config = replace(config, seed_base=args.seed)
+    return config
+
+
+def _run_compare(config: ExperimentConfig, load: float) -> str:
+    workload = generate_synthetic_instances(
+        replace(config, num_traces=1, load_levels=(load,)), load=load
+    )[0]
+    instance = run_instance(
+        workload, config.algorithms, penalty_seconds=config.penalty_seconds
+    )
+    rows = []
+    for name, result in instance.results.items():
+        rows.append(
+            [
+                name,
+                result.max_stretch,
+                result.mean_stretch,
+                result.mean_turnaround,
+                result.preemptions_per_job(),
+                result.migrations_per_job(),
+            ]
+        )
+    return format_table(
+        ["algorithm", "max stretch", "mean stretch", "mean turnaround (s)",
+         "pmtn/job", "migr/job"],
+        rows,
+        title=(
+            f"Single-trace comparison ({workload.name}, load {load}, "
+            f"{config.penalty_seconds:.0f}-second penalty)"
+        ),
+    )
+
+
+def _run_characterize(
+    config: ExperimentConfig, swf_path: Optional[str], load: Optional[float]
+) -> str:
+    """Profile either an SWF trace or a generated synthetic trace."""
+    if swf_path is not None:
+        workload = swf_to_dfrs_jobs(parse_swf(swf_path), HPC2N_CLUSTER)
+    else:
+        workload = generate_synthetic_instances(
+            replace(config, num_traces=1), load=load
+        )[0]
+    profile = characterize(workload)
+    lines = [characterization_table([profile]), "", "job width histogram:"]
+    total = profile.num_jobs
+    for label, count in size_histogram(workload):
+        bar = "#" * max(1, round(40 * count / total))
+        lines.append(f"  {label:>9s} tasks  {count:6d}  {bar}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-dfrs`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    config = _config_from_args(args)
+
+    if args.command == "figure1":
+        print(run_figure1(config).format())
+    elif args.command == "table1":
+        print(run_table1(config).format())
+    elif args.command == "table2":
+        print(run_table2(config).format())
+    elif args.command == "timing":
+        print(run_timing_study(config).format())
+    elif args.command == "compare":
+        print(_run_compare(config, args.load))
+    elif args.command == "period-sweep":
+        periods = tuple(float(part) for part in args.periods.split(",") if part.strip())
+        print(
+            run_period_sweep(
+                config,
+                base_algorithm=args.base_algorithm,
+                periods=periods,
+                load=args.load,
+            ).format()
+        )
+    elif args.command == "packing-ablation":
+        print(
+            run_packing_ablation(
+                num_nodes=args.pack_nodes,
+                num_instances=args.pack_instances,
+                jobs_per_instance=args.pack_jobs,
+                seed=config.seed_base,
+            ).format()
+        )
+    elif args.command == "utilization":
+        print(run_utilization_study(config, load=args.load).format())
+    elif args.command == "characterize":
+        print(_run_characterize(config, args.swf, args.load))
+    elif args.command == "extensions":
+        if args.algorithms is not None:
+            print(
+                run_extensions_comparison(config, algorithms=config.algorithms).format()
+            )
+        else:
+            print(run_extensions_comparison(config).format())
+    else:  # pragma: no cover - argparse enforces the choices
+        parser.error(f"unknown command {args.command!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Core simulation substrate: cluster model, jobs, allocations, engine, metrics."""
+
+from .allocation import AllocationDecision, JobAllocation, validate_decision
+from .cluster import CAPACITY_EPSILON, Cluster, ClusterUsage
+from .context import JobView, SchedulingContext
+from .engine import SimulationConfig, Simulator
+from .events import Event, EventQueue, EventType
+from .job import MINIMUM_YIELD, Job, JobSpec, JobState
+from .metrics import (
+    STRETCH_BOUND_SECONDS,
+    DegradationStats,
+    aggregate_degradation,
+    bounded_stretch,
+    degradation_factors,
+    job_yield,
+    raw_stretch,
+)
+from .invariants import InvariantCheckingObserver
+from .observers import (
+    AllocationInterval,
+    AllocationTraceRecorder,
+    EventLogRecorder,
+    ObservedEvent,
+    SimulationObserver,
+    UtilizationRecorder,
+    UtilizationSample,
+)
+from .penalties import FIVE_MINUTE_PENALTY, NO_PENALTY, ReschedulingPenaltyModel
+from .records import CostSummary, JobRecord, SimulationResult
+
+__all__ = [
+    "AllocationDecision",
+    "JobAllocation",
+    "validate_decision",
+    "CAPACITY_EPSILON",
+    "Cluster",
+    "ClusterUsage",
+    "JobView",
+    "SchedulingContext",
+    "SimulationConfig",
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "EventType",
+    "MINIMUM_YIELD",
+    "Job",
+    "JobSpec",
+    "JobState",
+    "STRETCH_BOUND_SECONDS",
+    "DegradationStats",
+    "aggregate_degradation",
+    "bounded_stretch",
+    "degradation_factors",
+    "job_yield",
+    "raw_stretch",
+    "InvariantCheckingObserver",
+    "AllocationInterval",
+    "AllocationTraceRecorder",
+    "EventLogRecorder",
+    "ObservedEvent",
+    "SimulationObserver",
+    "UtilizationRecorder",
+    "UtilizationSample",
+    "FIVE_MINUTE_PENALTY",
+    "NO_PENALTY",
+    "ReschedulingPenaltyModel",
+    "CostSummary",
+    "JobRecord",
+    "SimulationResult",
+]

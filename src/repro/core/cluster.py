@@ -1,0 +1,237 @@
+"""Homogeneous cluster model.
+
+The paper (§II-B1) targets a homogeneous cluster with a switched interconnect
+and network-attached storage.  Every node exposes two resource dimensions:
+
+* **CPU** — an arbitrarily divisible resource normalised to 1.0 per node.  A
+  multi-core node is treated as a single fluid CPU resource (the Xen credit
+  scheduler abstraction, §II-A); oversubscription of *needs* is allowed but
+  the sum of *allocated* fractions must stay within 1.0.
+* **Memory** — normalised to 1.0 per node; the sum of the memory requirements
+  of the tasks placed on a node must never exceed 1.0 (no swapping, §II-B1).
+
+:class:`Cluster` is a small immutable description; :class:`ClusterUsage` is a
+mutable tally used by the engine and the schedulers to validate and construct
+allocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, InfeasibleAllocationError
+
+__all__ = ["Cluster", "ClusterUsage", "CAPACITY_EPSILON"]
+
+#: Tolerance used when checking capacity constraints, to absorb the
+#: floating-point error accumulated by yield binary searches.
+CAPACITY_EPSILON = 1e-6
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """Description of a homogeneous cluster.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of physical nodes.
+    cores_per_node:
+        Number of cores per node.  Only used by workload annotation (a
+        sequential task can use at most ``1/cores_per_node`` of the node CPU)
+        and by reporting; the scheduling model treats the CPU as fluid.
+    node_memory_gb:
+        Physical memory per node in GB, used to convert memory fractions into
+        bytes for the preemption/migration bandwidth accounting of Table II.
+    """
+
+    num_nodes: int
+    cores_per_node: int = 4
+    node_memory_gb: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ConfigurationError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.cores_per_node < 1:
+            raise ConfigurationError(
+                f"cores_per_node must be >= 1, got {self.cores_per_node}"
+            )
+        if self.node_memory_gb <= 0:
+            raise ConfigurationError(
+                f"node_memory_gb must be > 0, got {self.node_memory_gb}"
+            )
+
+    @property
+    def node_ids(self) -> range:
+        """Iterable of valid node indices."""
+        return range(self.num_nodes)
+
+    def sequential_cpu_need(self) -> float:
+        """CPU need of a CPU-bound sequential task on this cluster (§IV-C)."""
+        return 1.0 / self.cores_per_node
+
+    def usage(self) -> "ClusterUsage":
+        """Return a fresh, empty usage tally for this cluster."""
+        return ClusterUsage(self)
+
+
+class ClusterUsage:
+    """Mutable per-node CPU and memory usage tally.
+
+    CPU usage is tracked both as *allocated fraction* (needs × yield, which
+    must stay ≤ 1) and as *load* (sum of CPU needs, which may exceed 1 and is
+    the quantity Λ used by the GREEDY yield rule).
+    """
+
+    __slots__ = ("cluster", "_cpu_alloc", "_cpu_load", "_memory", "_tasks")
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        n = cluster.num_nodes
+        self._cpu_alloc = np.zeros(n, dtype=float)
+        self._cpu_load = np.zeros(n, dtype=float)
+        self._memory = np.zeros(n, dtype=float)
+        self._tasks = np.zeros(n, dtype=int)
+
+    # -- inspection -----------------------------------------------------------
+    def cpu_allocated(self, node: int) -> float:
+        """Sum of allocated CPU fractions on ``node``."""
+        return float(self._cpu_alloc[node])
+
+    def cpu_load(self, node: int) -> float:
+        """Sum of CPU *needs* of the tasks placed on ``node`` (may exceed 1)."""
+        return float(self._cpu_load[node])
+
+    def memory_used(self, node: int) -> float:
+        """Sum of memory requirements of the tasks placed on ``node``."""
+        return float(self._memory[node])
+
+    def memory_free(self, node: int) -> float:
+        """Remaining memory fraction on ``node``."""
+        return 1.0 - float(self._memory[node])
+
+    def cpu_free(self, node: int) -> float:
+        """Remaining allocatable CPU fraction on ``node``."""
+        return 1.0 - float(self._cpu_alloc[node])
+
+    def task_count(self, node: int) -> int:
+        """Number of tasks currently placed on ``node``."""
+        return int(self._tasks[node])
+
+    def max_cpu_load(self) -> float:
+        """Maximum CPU load over all nodes (Λ in the GREEDY yield rule)."""
+        return float(self._cpu_load.max()) if self.cluster.num_nodes else 0.0
+
+    def busy_nodes(self) -> int:
+        """Number of nodes hosting at least one task."""
+        return int(np.count_nonzero(self._tasks))
+
+    def idle_nodes(self) -> int:
+        """Number of nodes hosting no task (candidates for power-down)."""
+        return self.cluster.num_nodes - self.busy_nodes()
+
+    def memory_vector(self) -> np.ndarray:
+        """Copy of the per-node memory usage vector."""
+        return self._memory.copy()
+
+    def cpu_load_vector(self) -> np.ndarray:
+        """Copy of the per-node CPU load (sum of needs) vector."""
+        return self._cpu_load.copy()
+
+    def cpu_alloc_vector(self) -> np.ndarray:
+        """Copy of the per-node allocated CPU fraction vector."""
+        return self._cpu_alloc.copy()
+
+    # -- mutation -------------------------------------------------------------
+    def can_fit_memory(self, node: int, mem_requirement: float) -> bool:
+        """True if a task of the given memory requirement fits on ``node``."""
+        return self._memory[node] + mem_requirement <= 1.0 + CAPACITY_EPSILON
+
+    def add_task(
+        self,
+        node: int,
+        cpu_need: float,
+        mem_requirement: float,
+        yield_value: float,
+        *,
+        check: bool = True,
+    ) -> None:
+        """Place one task on ``node``.
+
+        With ``check=True`` (default) the memory and allocated-CPU capacity
+        constraints are enforced and :class:`InfeasibleAllocationError` is
+        raised on violation.
+        """
+        cpu_fraction = cpu_need * yield_value
+        if check:
+            if self._memory[node] + mem_requirement > 1.0 + CAPACITY_EPSILON:
+                raise InfeasibleAllocationError(
+                    f"node {node}: memory {self._memory[node]:.4f} + "
+                    f"{mem_requirement:.4f} exceeds capacity"
+                )
+            if self._cpu_alloc[node] + cpu_fraction > 1.0 + CAPACITY_EPSILON:
+                raise InfeasibleAllocationError(
+                    f"node {node}: CPU allocation {self._cpu_alloc[node]:.4f} + "
+                    f"{cpu_fraction:.4f} exceeds capacity"
+                )
+        self._memory[node] += mem_requirement
+        self._cpu_alloc[node] += cpu_fraction
+        self._cpu_load[node] += cpu_need
+        self._tasks[node] += 1
+
+    def remove_task(
+        self, node: int, cpu_need: float, mem_requirement: float, yield_value: float
+    ) -> None:
+        """Remove one previously placed task from ``node``."""
+        self._memory[node] -= mem_requirement
+        self._cpu_alloc[node] -= cpu_need * yield_value
+        self._cpu_load[node] -= cpu_need
+        self._tasks[node] -= 1
+        # Clamp tiny negative residues from floating point arithmetic.
+        if -1e-9 < self._memory[node] < 0.0:
+            self._memory[node] = 0.0
+        if -1e-9 < self._cpu_alloc[node] < 0.0:
+            self._cpu_alloc[node] = 0.0
+        if -1e-9 < self._cpu_load[node] < 0.0:
+            self._cpu_load[node] = 0.0
+        if self._tasks[node] < 0:
+            raise InfeasibleAllocationError(
+                f"node {node}: removed more tasks than were placed"
+            )
+
+    def add_job(
+        self,
+        assignment: Sequence[int],
+        cpu_need: float,
+        mem_requirement: float,
+        yield_value: float,
+        *,
+        check: bool = True,
+    ) -> None:
+        """Place all tasks of a job according to ``assignment``."""
+        placed: List[int] = []
+        try:
+            for node in assignment:
+                self.add_task(node, cpu_need, mem_requirement, yield_value, check=check)
+                placed.append(node)
+        except InfeasibleAllocationError:
+            for node in placed:
+                self.remove_task(node, cpu_need, mem_requirement, yield_value)
+            raise
+
+    def nodes_by_cpu_load(self) -> List[int]:
+        """Node indices sorted by increasing CPU load, ties by index."""
+        order = np.lexsort((np.arange(self.cluster.num_nodes), self._cpu_load))
+        return [int(i) for i in order]
+
+    def snapshot(self) -> "ClusterUsage":
+        """Deep copy of this usage tally."""
+        clone = ClusterUsage(self.cluster)
+        clone._cpu_alloc[:] = self._cpu_alloc
+        clone._cpu_load[:] = self._cpu_load
+        clone._memory[:] = self._memory
+        clone._tasks[:] = self._tasks
+        return clone

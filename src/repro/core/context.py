@@ -1,0 +1,122 @@
+"""Read-only views of the simulation state handed to schedulers.
+
+Schedulers never touch :class:`~repro.core.job.Job` objects directly: at each
+event the engine builds one :class:`JobView` per active job and wraps them in
+a :class:`SchedulingContext`.  This keeps policies pure (they cannot corrupt
+engine state) and lets us enforce the paper's clairvoyance rules: the
+``runtime_estimate`` and ``remaining_runtime_estimate`` fields are populated
+only for schedulers that declare ``requires_runtime_estimates`` (the batch
+baselines, §IV-B); DFRS schedulers receive ``None`` there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .allocation import JobAllocation
+from .cluster import Cluster, ClusterUsage
+from .job import JobState
+
+__all__ = ["JobView", "SchedulingContext"]
+
+
+@dataclass(frozen=True)
+class JobView:
+    """Snapshot of one active job as seen by a scheduler."""
+
+    job_id: int
+    num_tasks: int
+    cpu_need: float
+    mem_requirement: float
+    submit_time: float
+    state: JobState
+    virtual_time: float
+    flow_time: float
+    backoff_count: int
+    #: Current placement (one node per task) if the job is RUNNING.
+    assignment: Optional[Tuple[int, ...]]
+    #: Current yield if the job is RUNNING, 0.0 otherwise.
+    current_yield: float
+    #: Placement the job had the last time it ran (useful when resuming).
+    last_assignment: Optional[Tuple[int, ...]]
+    #: Perfect runtime estimate — only for clairvoyant (batch) schedulers.
+    runtime_estimate: Optional[float] = None
+    #: Perfect remaining-runtime estimate — only for clairvoyant schedulers.
+    remaining_runtime_estimate: Optional[float] = None
+
+    @property
+    def total_cpu_need(self) -> float:
+        """CPU need summed over all tasks."""
+        return self.num_tasks * self.cpu_need
+
+    @property
+    def total_memory(self) -> float:
+        """Memory requirement summed over all tasks."""
+        return self.num_tasks * self.mem_requirement
+
+    @property
+    def is_running(self) -> bool:
+        return self.state is JobState.RUNNING
+
+    @property
+    def is_paused(self) -> bool:
+        return self.state is JobState.PAUSED
+
+    @property
+    def is_pending(self) -> bool:
+        return self.state is JobState.PENDING
+
+
+@dataclass
+class SchedulingContext:
+    """Everything a scheduler may look at when making a decision."""
+
+    #: Current simulation time (seconds).
+    time: float
+    #: Cluster description (node count, cores, memory size).
+    cluster: Cluster
+    #: Views of every active (pending, running, or paused) job, by id.
+    jobs: Dict[int, JobView]
+    #: Ids of jobs submitted at this event, in submission order.
+    submitted: List[int] = field(default_factory=list)
+    #: Ids of jobs that completed at this event.
+    completed: List[int] = field(default_factory=list)
+    #: True when the event includes a scheduler-requested wake-up.
+    is_wakeup: bool = False
+
+    def running_jobs(self) -> List[JobView]:
+        """Views of currently running jobs."""
+        return [view for view in self.jobs.values() if view.is_running]
+
+    def paused_jobs(self) -> List[JobView]:
+        """Views of currently paused jobs."""
+        return [view for view in self.jobs.values() if view.is_paused]
+
+    def pending_jobs(self) -> List[JobView]:
+        """Views of jobs that have never been started."""
+        return [view for view in self.jobs.values() if view.is_pending]
+
+    def usage_from_running(self) -> ClusterUsage:
+        """Cluster usage implied by the currently running jobs."""
+        usage = self.cluster.usage()
+        for view in self.running_jobs():
+            assert view.assignment is not None
+            usage.add_job(
+                view.assignment,
+                view.cpu_need,
+                view.mem_requirement,
+                view.current_yield,
+                check=False,
+            )
+        return usage
+
+    def current_allocations(self) -> Dict[int, JobAllocation]:
+        """Current running allocations as :class:`JobAllocation` objects."""
+        allocations: Dict[int, JobAllocation] = {}
+        for view in self.running_jobs():
+            assert view.assignment is not None
+            allocations[view.job_id] = JobAllocation.create(
+                view.assignment, view.current_yield
+            )
+        return allocations

@@ -1,0 +1,383 @@
+"""Discrete-event simulation engine for DFRS and batch scheduling.
+
+The engine owns simulated time, job progress, and the preemption/migration
+cost accounting; schedulers are pure policies invoked at every event (job
+submission, job completion, or scheduler-requested wake-up).  Between two
+events every running job has a constant yield, so progress is integrated
+analytically and the next completion time is computed in closed form — the
+event queue never needs invalidation.
+
+Cost accounting rules (paper §IV-A, Table II):
+
+* a job going from RUNNING to unallocated is a **preemption** (memory saved
+  to storage); the wall-clock rescheduling penalty is charged when the job is
+  later resumed;
+* a RUNNING job whose node multiset changes at an event is a **migration**
+  (pause/resume through storage within the event); the penalty is charged
+  immediately;
+* resuming a previously paused job on different nodes is *not* an extra
+  migration — the cost was already paid by the preemption (this matches the
+  zero migration count of GREEDY-PMTN in Table II);
+* schedulers are never told about the penalty and cannot schedule around it.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import time as _time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..exceptions import SimulationError
+from .allocation import AllocationDecision, JobAllocation, validate_decision
+from .cluster import Cluster
+from .context import JobView, SchedulingContext
+from .events import Event, EventQueue, EventType
+from .job import Job, JobSpec, JobState
+from .observers import SimulationObserver
+from .penalties import ReschedulingPenaltyModel
+from .records import CostSummary, JobRecord, SimulationResult
+
+__all__ = ["Simulator", "SimulationConfig"]
+
+_LOGGER = logging.getLogger(__name__)
+
+#: Hard cap on the number of processed events, as a runaway guard.
+_DEFAULT_MAX_EVENTS = 50_000_000
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Tunable knobs of the simulation engine."""
+
+    penalty_model: ReschedulingPenaltyModel = ReschedulingPenaltyModel(0.0)
+    #: Abort if more than this many events are processed (runaway guard).
+    max_events: int = _DEFAULT_MAX_EVENTS
+    #: Record per-invocation scheduler wall-clock times (§V timing study).
+    record_scheduler_times: bool = True
+
+
+class Simulator:
+    """Run one scheduling algorithm over one workload on one cluster.
+
+    Parameters
+    ----------
+    cluster:
+        Cluster description.
+    scheduler:
+        Any object implementing the :class:`repro.schedulers.base.Scheduler`
+        protocol (``name``, ``requires_runtime_estimates``, ``start()``,
+        ``schedule()``).
+    config:
+        Engine configuration (penalty model, safety limits).
+    observers:
+        Optional sequence of :class:`~repro.core.observers.SimulationObserver`
+        instances notified of job lifecycle events and applied allocations
+        (used by :mod:`repro.analysis` for utilization and trace analyses).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler,
+        config: Optional[SimulationConfig] = None,
+        observers: Optional[Sequence[SimulationObserver]] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.config = config or SimulationConfig()
+        self._observers: List[SimulationObserver] = list(observers or [])
+        self._jobs: Dict[int, Job] = {}
+        self._arrived: Dict[int, bool] = {}
+        self._queue = EventQueue()
+        self._costs = CostSummary()
+        self._records: List[JobRecord] = []
+        self._scheduler_times: List[float] = []
+        self._scheduler_job_counts: List[int] = []
+        self._idle_node_seconds = 0.0
+        self._now = 0.0
+        self._pending_submissions = 0
+
+    # ------------------------------------------------------------------ run --
+    def run(self, specs: Sequence[JobSpec]) -> SimulationResult:
+        """Simulate the full workload and return the per-run results."""
+        if not specs:
+            raise SimulationError("cannot simulate an empty workload")
+        seen_ids = set()
+        for spec in specs:
+            if spec.job_id in seen_ids:
+                raise SimulationError(f"duplicate job id {spec.job_id} in workload")
+            seen_ids.add(spec.job_id)
+            if spec.num_tasks > self.cluster.num_nodes and _is_batch(self.scheduler):
+                raise SimulationError(
+                    f"job {spec.job_id} needs {spec.num_tasks} nodes but the "
+                    f"cluster only has {self.cluster.num_nodes} (batch scheduling "
+                    "would never start it)"
+                )
+            self._jobs[spec.job_id] = Job(spec=spec)
+            self._arrived[spec.job_id] = False
+            self._queue.push(
+                Event(spec.submit_time, EventType.JOB_SUBMISSION, spec.job_id)
+            )
+
+        first_submit = min(spec.submit_time for spec in specs)
+        self._now = first_submit
+        self._pending_submissions = len(specs)
+        self.scheduler.start(self.cluster, first_submit)
+        for observer in self._observers:
+            observer.on_simulation_start(self.cluster, first_submit)
+
+        events_processed = 0
+        while self._has_active_jobs() or self._pending_submissions > 0:
+            events_processed += 1
+            if events_processed > self.config.max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self.config.max_events}; "
+                    "the scheduler is probably thrashing"
+                )
+            next_time = self._next_event_time()
+            if math.isinf(next_time):
+                stuck = [job.job_id for job in self._jobs.values() if job.is_active()]
+                raise SimulationError(
+                    f"simulation deadlock at t={self._now:.1f}: jobs {stuck} are "
+                    "active but no event will ever occur (scheduler left them "
+                    "unallocated without requesting a wake-up)"
+                )
+            self._advance_to(next_time)
+            submitted, completed, is_wakeup = self._collect_triggers(next_time)
+            if not self._has_active_jobs() and self._pending_submissions == 0:
+                break
+            decision = self._invoke_scheduler(submitted, completed, is_wakeup)
+            self._apply_decision(decision)
+            for wakeup in decision.wakeups:
+                if wakeup < self._now - 1e-9:
+                    raise SimulationError(
+                        f"scheduler requested a wake-up in the past "
+                        f"({wakeup:.1f} < {self._now:.1f})"
+                    )
+                self._queue.push(Event(max(wakeup, self._now), EventType.SCHEDULER_WAKEUP))
+
+        for observer in self._observers:
+            observer.on_simulation_end(self._now)
+        makespan = self._compute_makespan(specs)
+        return SimulationResult(
+            algorithm=getattr(self.scheduler, "name", type(self.scheduler).__name__),
+            cluster=self.cluster,
+            jobs=list(self._records),
+            costs=self._costs,
+            makespan=makespan,
+            scheduler_times=list(self._scheduler_times),
+            scheduler_job_counts=list(self._scheduler_job_counts),
+            idle_node_seconds=self._idle_node_seconds,
+        )
+
+    # ----------------------------------------------------------- event loop --
+    def _has_active_jobs(self) -> bool:
+        return any(job.is_active() for job in self._jobs.values())
+
+    def _next_event_time(self) -> float:
+        next_time = self._queue.peek_time()
+        for job in self._jobs.values():
+            if job.state is JobState.RUNNING:
+                next_time = min(next_time, job.predicted_completion(self._now))
+        return next_time
+
+    def _advance_to(self, next_time: float) -> None:
+        duration = next_time - self._now
+        if duration < -1e-6:
+            raise SimulationError(
+                f"time went backwards: {self._now:.3f} -> {next_time:.3f}"
+            )
+        duration = max(0.0, duration)
+        if duration > 0.0:
+            busy_nodes = set()
+            for job in self._jobs.values():
+                if job.state is JobState.RUNNING and job.assignment is not None:
+                    busy_nodes.update(job.assignment)
+            idle = self.cluster.num_nodes - len(busy_nodes)
+            self._idle_node_seconds += idle * duration
+            for job in self._jobs.values():
+                job.advance(duration)
+        self._now = next_time
+
+    def _collect_triggers(self, now: float):
+        submitted: List[int] = []
+        completed: List[int] = []
+        is_wakeup = False
+        # Completions are detected from job state, not from queued events.
+        for job in self._jobs.values():
+            if job.state is JobState.RUNNING and job.remaining_work <= 0.0:
+                self._complete_job(job)
+                completed.append(job.job_id)
+        for event in self._queue.pop_until(now):
+            if event.event_type is EventType.JOB_SUBMISSION:
+                assert event.job_id is not None
+                self._arrived[event.job_id] = True
+                self._pending_submissions -= 1
+                submitted.append(event.job_id)
+                for observer in self._observers:
+                    observer.on_job_submitted(now, self._jobs[event.job_id].spec)
+            elif event.event_type is EventType.SCHEDULER_WAKEUP:
+                is_wakeup = True
+        return submitted, completed, is_wakeup
+
+    def _complete_job(self, job: Job) -> None:
+        job.state = JobState.COMPLETED
+        job.completion_time = self._now
+        job.assignment = None
+        job.current_yield = 0.0
+        self._records.append(
+            JobRecord(
+                spec=job.spec,
+                first_start_time=(
+                    job.first_start_time
+                    if job.first_start_time is not None
+                    else self._now
+                ),
+                completion_time=self._now,
+                preemptions=job.preemption_count,
+                migrations=job.migration_count,
+            )
+        )
+        for observer in self._observers:
+            observer.on_job_completed(self._now, job.spec)
+
+    # ------------------------------------------------------------ scheduling --
+    def _build_context(
+        self, submitted: List[int], completed: List[int], is_wakeup: bool
+    ) -> SchedulingContext:
+        clairvoyant = bool(getattr(self.scheduler, "requires_runtime_estimates", False))
+        views: Dict[int, JobView] = {}
+        for job_id, job in self._jobs.items():
+            if not self._arrived[job_id] or not job.is_active():
+                continue
+            views[job_id] = JobView(
+                job_id=job_id,
+                num_tasks=job.spec.num_tasks,
+                cpu_need=job.spec.cpu_need,
+                mem_requirement=job.spec.mem_requirement,
+                submit_time=job.spec.submit_time,
+                state=job.state,
+                virtual_time=job.virtual_time,
+                flow_time=job.flow_time(self._now),
+                backoff_count=job.backoff_count,
+                assignment=job.assignment,
+                current_yield=job.current_yield,
+                last_assignment=job.last_assignment,
+                runtime_estimate=job.spec.execution_time if clairvoyant else None,
+                remaining_runtime_estimate=(
+                    job.remaining_work + job.penalty_remaining if clairvoyant else None
+                ),
+            )
+        return SchedulingContext(
+            time=self._now,
+            cluster=self.cluster,
+            jobs=views,
+            submitted=[j for j in submitted if j in views],
+            completed=completed,
+            is_wakeup=is_wakeup,
+        )
+
+    def _invoke_scheduler(
+        self, submitted: List[int], completed: List[int], is_wakeup: bool
+    ) -> AllocationDecision:
+        context = self._build_context(submitted, completed, is_wakeup)
+        start = _time.perf_counter()
+        decision = self.scheduler.schedule(context)
+        elapsed = _time.perf_counter() - start
+        if self.config.record_scheduler_times:
+            self._scheduler_times.append(elapsed)
+            self._scheduler_job_counts.append(len(context.jobs))
+        if decision is None:
+            decision = AllocationDecision()
+        specs = {job_id: self._jobs[job_id].spec for job_id in context.jobs}
+        validate_decision(decision, specs, self.cluster)
+        for job_id in decision.running:
+            if self._jobs[job_id].state is JobState.COMPLETED:
+                raise SimulationError(
+                    f"scheduler allocated resources to completed job {job_id}"
+                )
+        return decision
+
+    def _apply_decision(self, decision: AllocationDecision) -> None:
+        penalty = self.config.penalty_model
+        for job_id, job in self._jobs.items():
+            if not self._arrived[job_id] or not job.is_active():
+                continue
+            new_alloc = decision.running.get(job_id)
+            if job.state is JobState.RUNNING:
+                assert job.assignment is not None
+                if new_alloc is None:
+                    # preemption: pause the job, memory goes to storage
+                    self._costs.record_preemption(
+                        penalty.preemption_bytes_gb(job.spec, self.cluster)
+                    )
+                    job.preemption_count += 1
+                    job.last_assignment = job.assignment
+                    job.assignment = None
+                    job.current_yield = 0.0
+                    job.state = JobState.PAUSED
+                    for observer in self._observers:
+                        observer.on_job_preempted(self._now, job.spec)
+                elif sorted(new_alloc.nodes) != sorted(job.assignment):
+                    # migration: pause/resume through storage within this event
+                    self._costs.record_migration(
+                        penalty.migration_bytes_gb(job.spec, self.cluster)
+                    )
+                    job.migration_count += 1
+                    job.penalty_remaining += penalty.migration_penalty(job.spec)
+                    old_nodes = job.assignment
+                    job.last_assignment = job.assignment
+                    job.assignment = new_alloc.nodes
+                    job.current_yield = new_alloc.yield_value
+                    for observer in self._observers:
+                        observer.on_job_migrated(self._now, job.spec, old_nodes, new_alloc)
+                else:
+                    # same nodes: only the CPU fraction changes, no overhead
+                    old_yield = job.current_yield
+                    job.current_yield = new_alloc.yield_value
+                    if old_yield != new_alloc.yield_value:
+                        for observer in self._observers:
+                            observer.on_yield_changed(
+                                self._now, job.spec, old_yield, new_alloc.yield_value
+                            )
+            elif job.state is JobState.PENDING:
+                if new_alloc is not None:
+                    job.state = JobState.RUNNING
+                    job.assignment = new_alloc.nodes
+                    job.current_yield = new_alloc.yield_value
+                    if job.first_start_time is None:
+                        job.first_start_time = self._now
+                    for observer in self._observers:
+                        observer.on_job_started(self._now, job.spec, new_alloc)
+            elif job.state is JobState.PAUSED:
+                if new_alloc is not None:
+                    job.state = JobState.RUNNING
+                    job.penalty_remaining += penalty.resume_penalty(job.spec)
+                    job.assignment = new_alloc.nodes
+                    job.current_yield = new_alloc.yield_value
+                    for observer in self._observers:
+                        observer.on_job_resumed(self._now, job.spec, new_alloc)
+        if self._observers:
+            running_now: Dict[int, JobAllocation] = {}
+            for job_id, job in self._jobs.items():
+                if job.state is JobState.RUNNING and job.assignment is not None:
+                    running_now[job_id] = JobAllocation.create(
+                        job.assignment, job.current_yield
+                    )
+            for observer in self._observers:
+                observer.on_allocation_applied(self._now, running_now)
+
+    # --------------------------------------------------------------- results --
+    def _compute_makespan(self, specs: Sequence[JobSpec]) -> float:
+        if not self._records:
+            return 0.0
+        first_submit = min(spec.submit_time for spec in specs)
+        last_completion = max(record.completion_time for record in self._records)
+        return max(0.0, last_completion - first_submit)
+
+
+def _is_batch(scheduler) -> bool:
+    """True for schedulers that allocate whole nodes and never co-locate."""
+    return bool(getattr(scheduler, "exclusive_node_allocation", False))

@@ -1,0 +1,95 @@
+"""Event types and the simulation event queue.
+
+The engine is event driven: between two consecutive events every running job
+has a constant yield, so job progress can be integrated analytically.  Events
+are job submissions, job completions, and scheduler wake-ups (periodic ticks
+and backoff retries).  Completions are not stored in the queue — they are
+recomputed from job state whenever allocations change — so the queue never
+needs invalidation.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["EventType", "Event", "EventQueue"]
+
+
+class EventType(enum.Enum):
+    """Kinds of simulation events, ordered by processing priority at a tick."""
+
+    #: A job's work reached zero (resources are released before scheduling).
+    JOB_COMPLETION = "completion"
+    #: A new job enters the system.
+    JOB_SUBMISSION = "submission"
+    #: The scheduler asked to be re-invoked (periodic tick or backoff retry).
+    SCHEDULER_WAKEUP = "wakeup"
+
+
+#: Processing order of simultaneous events: completions free resources first,
+#: then submissions are admitted, then wake-ups fire.
+_TYPE_ORDER = {
+    EventType.JOB_COMPLETION: 0,
+    EventType.JOB_SUBMISSION: 1,
+    EventType.SCHEDULER_WAKEUP: 2,
+}
+
+
+@dataclass(frozen=True, order=False)
+class Event:
+    """A single simulation event.
+
+    ``job_id`` is set for submissions and completions, ``None`` for wake-ups.
+    """
+
+    time: float
+    event_type: EventType
+    job_id: Optional[int] = None
+
+    def sort_key(self) -> Tuple[float, int, int]:
+        return (self.time, _TYPE_ORDER[self.event_type], self.job_id or -1)
+
+
+class EventQueue:
+    """Min-heap of future events keyed by (time, type order, insertion order)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, event: Event) -> None:
+        """Insert an event."""
+        if not math.isfinite(event.time):
+            raise ValueError(f"event time must be finite, got {event.time}")
+        heapq.heappush(
+            self._heap,
+            (event.time, _TYPE_ORDER[event.event_type], next(self._counter), event),
+        )
+
+    def peek_time(self) -> float:
+        """Time of the earliest queued event, ``+inf`` if the queue is empty."""
+        return self._heap[0][0] if self._heap else math.inf
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap)[3]
+
+    def pop_until(self, time: float) -> List[Event]:
+        """Remove and return every event with ``event.time <= time``."""
+        events: List[Event] = []
+        while self._heap and self._heap[0][0] <= time + 1e-12:
+            events.append(self.pop())
+        return events

@@ -1,0 +1,68 @@
+"""Rescheduling penalty and data-movement cost model.
+
+The paper (§IV-A) evaluates every algorithm twice: once with a zero
+rescheduling overhead and once with a pessimistic **5-minute wall-clock
+penalty** charged for every preemption/resume cycle and for every migration
+(all migrations are modelled as pause/resume through storage; schedulers are
+unaware of the penalty).
+
+Table II additionally reports the induced network/storage traffic.  We charge
+one full copy of the job's resident memory per preemption occurrence and one
+per migration occurrence, converted to GB using the cluster's per-node memory
+size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+from .cluster import Cluster
+from .job import JobSpec
+
+__all__ = ["ReschedulingPenaltyModel", "NO_PENALTY", "FIVE_MINUTE_PENALTY"]
+
+
+@dataclass(frozen=True)
+class ReschedulingPenaltyModel:
+    """Cost model for preemptions and migrations.
+
+    Parameters
+    ----------
+    penalty_seconds:
+        Wall-clock seconds of zero progress charged to a job each time it is
+        resumed after a preemption and each time it is migrated.
+    """
+
+    penalty_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.penalty_seconds < 0:
+            raise ConfigurationError(
+                f"penalty_seconds must be >= 0, got {self.penalty_seconds}"
+            )
+
+    def resume_penalty(self, spec: JobSpec) -> float:
+        """Zero-progress seconds charged when a paused job is resumed."""
+        return self.penalty_seconds
+
+    def migration_penalty(self, spec: JobSpec) -> float:
+        """Zero-progress seconds charged when a running job changes nodes."""
+        return self.penalty_seconds
+
+    def job_memory_gb(self, spec: JobSpec, cluster: Cluster) -> float:
+        """Resident memory of the whole job in GB on the given cluster."""
+        return spec.total_memory * cluster.node_memory_gb
+
+    def preemption_bytes_gb(self, spec: JobSpec, cluster: Cluster) -> float:
+        """Data written to storage when the job is paused, in GB."""
+        return self.job_memory_gb(spec, cluster)
+
+    def migration_bytes_gb(self, spec: JobSpec, cluster: Cluster) -> float:
+        """Data moved when the job is migrated (pause + resume), in GB."""
+        return self.job_memory_gb(spec, cluster)
+
+
+#: Convenience instances matching the two experimental settings of the paper.
+NO_PENALTY = ReschedulingPenaltyModel(0.0)
+FIVE_MINUTE_PENALTY = ReschedulingPenaltyModel(300.0)

@@ -1,0 +1,161 @@
+"""Per-job and per-run result records.
+
+:class:`SimulationResult` is what :meth:`repro.core.engine.Simulator.run`
+returns: the full set of per-job records plus the preemption/migration cost
+tally needed for Table II and the scheduler-computation timing needed for the
+§V feasibility discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .cluster import Cluster
+from .job import JobSpec
+from .metrics import bounded_stretch
+
+__all__ = ["JobRecord", "CostSummary", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Outcome of a single job in a finished simulation."""
+
+    spec: JobSpec
+    first_start_time: float
+    completion_time: float
+    preemptions: int
+    migrations: int
+
+    @property
+    def turnaround_time(self) -> float:
+        return self.completion_time - self.spec.submit_time
+
+    @property
+    def wait_time(self) -> float:
+        """Time between submission and the first allocation of resources."""
+        return self.first_start_time - self.spec.submit_time
+
+    @property
+    def stretch(self) -> float:
+        """Bounded stretch of the job (30-second bound, paper §II-B2)."""
+        return bounded_stretch(self.turnaround_time, self.spec.execution_time)
+
+
+@dataclass
+class CostSummary:
+    """Aggregate preemption/migration cost tally for one simulation run."""
+
+    preemption_count: int = 0
+    migration_count: int = 0
+    preemption_gb: float = 0.0
+    migration_gb: float = 0.0
+
+    def record_preemption(self, gb: float) -> None:
+        self.preemption_count += 1
+        self.preemption_gb += gb
+
+    def record_migration(self, gb: float) -> None:
+        self.migration_count += 1
+        self.migration_gb += gb
+
+
+@dataclass
+class SimulationResult:
+    """Complete outcome of one simulation run."""
+
+    algorithm: str
+    cluster: Cluster
+    jobs: List[JobRecord]
+    costs: CostSummary
+    makespan: float
+    #: Wall-clock seconds spent inside scheduler invocations, one per event.
+    scheduler_times: List[float] = field(default_factory=list)
+    #: Number of jobs the scheduler was handling at each invocation.
+    scheduler_job_counts: List[int] = field(default_factory=list)
+    #: Time-integral of the number of idle nodes (node·seconds), for the
+    #: energy/under-subscription observation of §II-B2.
+    idle_node_seconds: float = 0.0
+
+    # -- stretch statistics ----------------------------------------------------
+    def stretches(self) -> np.ndarray:
+        """Bounded stretch of every job, as an array."""
+        return np.array([record.stretch for record in self.jobs], dtype=float)
+
+    @property
+    def max_stretch(self) -> float:
+        """Maximum bounded stretch (the paper's headline metric)."""
+        values = self.stretches()
+        return float(values.max()) if values.size else 0.0
+
+    @property
+    def mean_stretch(self) -> float:
+        values = self.stretches()
+        return float(values.mean()) if values.size else 0.0
+
+    @property
+    def mean_turnaround(self) -> float:
+        if not self.jobs:
+            return 0.0
+        return float(np.mean([record.turnaround_time for record in self.jobs]))
+
+    # -- Table II style cost statistics ---------------------------------------
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+    def _hours(self) -> float:
+        return max(self.makespan, 1e-9) / 3600.0
+
+    def preemptions_per_hour(self) -> float:
+        return self.costs.preemption_count / self._hours()
+
+    def migrations_per_hour(self) -> float:
+        return self.costs.migration_count / self._hours()
+
+    def preemptions_per_job(self) -> float:
+        return self.costs.preemption_count / max(1, self.num_jobs)
+
+    def migrations_per_job(self) -> float:
+        return self.costs.migration_count / max(1, self.num_jobs)
+
+    def preemption_bandwidth_gb_per_sec(self) -> float:
+        return self.costs.preemption_gb / max(self.makespan, 1e-9)
+
+    def migration_bandwidth_gb_per_sec(self) -> float:
+        return self.costs.migration_gb / max(self.makespan, 1e-9)
+
+    # -- scheduler timing ------------------------------------------------------
+    def mean_scheduler_time(self) -> float:
+        return float(np.mean(self.scheduler_times)) if self.scheduler_times else 0.0
+
+    def max_scheduler_time(self) -> float:
+        return float(np.max(self.scheduler_times)) if self.scheduler_times else 0.0
+
+    # -- utilization -----------------------------------------------------------
+    def mean_idle_nodes(self) -> float:
+        """Average number of idle nodes over the run."""
+        if self.makespan <= 0:
+            return float(self.cluster.num_nodes)
+        return self.idle_node_seconds / self.makespan
+
+    def record_for(self, job_id: int) -> Optional[JobRecord]:
+        """Record of a given job id, or ``None`` if it is not in this run."""
+        for record in self.jobs:
+            if record.spec.job_id == job_id:
+                return record
+        return None
+
+    def summary(self) -> Dict[str, float]:
+        """Compact dictionary of headline statistics for reporting."""
+        return {
+            "algorithm_max_stretch": self.max_stretch,
+            "mean_stretch": self.mean_stretch,
+            "mean_turnaround": self.mean_turnaround,
+            "preemptions_per_job": self.preemptions_per_job(),
+            "migrations_per_job": self.migrations_per_job(),
+            "makespan": self.makespan,
+        }

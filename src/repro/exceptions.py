@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch any failure originating from this package with a single handler
+while still being able to discriminate between configuration problems,
+infeasible allocations, and malformed workload inputs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "AllocationError",
+    "InfeasibleAllocationError",
+    "SchedulingError",
+    "WorkloadError",
+    "TraceFormatError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a user-supplied configuration value is invalid."""
+
+
+class AllocationError(ReproError):
+    """Raised when an allocation object is malformed (wrong arity, bad yield)."""
+
+
+class InfeasibleAllocationError(AllocationError):
+    """Raised when an allocation violates node CPU or memory capacities."""
+
+
+class SchedulingError(ReproError):
+    """Raised when a scheduler produces an internally inconsistent decision."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload specifications (negative runtimes, ...)."""
+
+
+class TraceFormatError(WorkloadError):
+    """Raised when an SWF trace file cannot be parsed."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulation engine reaches an inconsistent state."""

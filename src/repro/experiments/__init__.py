@@ -1,0 +1,71 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Beyond the paper artifacts (Figure 1, Table I, Table II, the §V timing
+study), the harness also provides the ablation and extension studies called
+out in DESIGN.md §4: the scheduling-period sweep, the packing-heuristic
+ablation, the utilization/energy study, and the extension-scheduler
+comparison.
+"""
+
+from .config import ExperimentConfig, default_scale, paper_scale, quick_scale
+from .degradation import DegradationAggregate, aggregate_instances
+from .extensions import EXTENSION_ALGORITHMS, ExtensionsResult, run_extensions_comparison
+from .figure1 import Figure1Result, run_figure1
+from .packing_ablation import (
+    PackingAblationResult,
+    generate_packing_instances,
+    run_packing_ablation,
+)
+from .period_sweep import DEFAULT_PERIODS, PeriodSweepResult, run_period_sweep
+from .reporting import format_figure_series, format_table
+from .runner import (
+    InstanceResult,
+    generate_synthetic_instances,
+    run_algorithm,
+    run_instance,
+)
+from .table1 import Table1Result, run_table1
+from .table2 import TABLE2_ALGORITHMS, CostStatistics, Table2Result, run_table2
+from .timing import TimingResult, run_timing_study
+from .utilization_study import (
+    AlgorithmUtilization,
+    UtilizationStudyResult,
+    run_utilization_study,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "default_scale",
+    "paper_scale",
+    "quick_scale",
+    "DegradationAggregate",
+    "aggregate_instances",
+    "EXTENSION_ALGORITHMS",
+    "ExtensionsResult",
+    "run_extensions_comparison",
+    "Figure1Result",
+    "run_figure1",
+    "PackingAblationResult",
+    "generate_packing_instances",
+    "run_packing_ablation",
+    "DEFAULT_PERIODS",
+    "PeriodSweepResult",
+    "run_period_sweep",
+    "format_figure_series",
+    "format_table",
+    "InstanceResult",
+    "generate_synthetic_instances",
+    "run_algorithm",
+    "run_instance",
+    "Table1Result",
+    "run_table1",
+    "TABLE2_ALGORITHMS",
+    "CostStatistics",
+    "Table2Result",
+    "run_table2",
+    "TimingResult",
+    "run_timing_study",
+    "AlgorithmUtilization",
+    "UtilizationStudyResult",
+    "run_utilization_study",
+]

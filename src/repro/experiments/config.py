@@ -1,0 +1,101 @@
+"""Experiment configuration shared by the CLI, the benchmarks, and the docs.
+
+The paper's full campaign (100 traces × 1,000 jobs × 9 load levels × 9
+algorithms × 2 penalty settings, plus 182 HPC2N weeks) takes CPU-days; the
+defaults here are deliberately small so that the whole benchmark suite runs
+in minutes on a laptop, while :func:`paper_scale` returns the full-size
+configuration for users who want to spend the time.  The reproduced claims
+are about *relative* behaviour (who wins, by how much, where crossovers
+fall), which is already visible at reduced scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.cluster import Cluster
+from ..exceptions import ConfigurationError
+from ..schedulers.registry import PAPER_ALGORITHMS
+
+__all__ = ["ExperimentConfig", "quick_scale", "default_scale", "paper_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scale and content of a reproduction campaign."""
+
+    #: Cluster simulated for the synthetic (Lublin) experiments.
+    cluster: Cluster = field(default_factory=lambda: Cluster(128, 4, 8.0))
+    #: Number of independent synthetic traces per load level.
+    num_traces: int = 3
+    #: Number of jobs per synthetic trace.
+    num_jobs: int = 150
+    #: Offered-load levels for the scaled-trace experiments (Figure 1).
+    load_levels: Tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9)
+    #: Algorithms to evaluate, by registry name.
+    algorithms: Tuple[str, ...] = tuple(PAPER_ALGORITHMS)
+    #: Rescheduling penalty in seconds (0 or 300 in the paper).
+    penalty_seconds: float = 300.0
+    #: Base random seed; trace ``i`` uses ``seed_base + i``.
+    seed_base: int = 2010
+    #: Number of 1-week HPC2N-like segments for the real-world column.
+    hpc2n_weeks: int = 2
+    #: Jobs per HPC2N-like week (the real trace averages ~1,100).
+    hpc2n_jobs_per_week: int = 400
+
+    def __post_init__(self) -> None:
+        if self.num_traces < 1:
+            raise ConfigurationError("num_traces must be >= 1")
+        if self.num_jobs < 2:
+            raise ConfigurationError("num_jobs must be >= 2")
+        if not self.load_levels:
+            raise ConfigurationError("load_levels must not be empty")
+        for level in self.load_levels:
+            if not (0.0 < level):
+                raise ConfigurationError(f"invalid load level {level}")
+        if not self.algorithms:
+            raise ConfigurationError("algorithms must not be empty")
+        if self.penalty_seconds < 0:
+            raise ConfigurationError("penalty_seconds must be >= 0")
+        if self.hpc2n_weeks < 1:
+            raise ConfigurationError("hpc2n_weeks must be >= 1")
+        if self.hpc2n_jobs_per_week < 2:
+            raise ConfigurationError("hpc2n_jobs_per_week must be >= 2")
+
+    def with_penalty(self, penalty_seconds: float) -> "ExperimentConfig":
+        """Copy of this configuration with a different rescheduling penalty."""
+        return replace(self, penalty_seconds=penalty_seconds)
+
+    def with_algorithms(self, algorithms: Sequence[str]) -> "ExperimentConfig":
+        """Copy of this configuration evaluating a different algorithm set."""
+        return replace(self, algorithms=tuple(algorithms))
+
+
+def quick_scale() -> ExperimentConfig:
+    """Tiny configuration used by CI-style smoke tests (< 1 minute)."""
+    return ExperimentConfig(
+        cluster=Cluster(32, 4, 8.0),
+        num_traces=2,
+        num_jobs=60,
+        load_levels=(0.3, 0.7),
+        hpc2n_weeks=1,
+        hpc2n_jobs_per_week=80,
+    )
+
+
+def default_scale() -> ExperimentConfig:
+    """Default laptop-scale configuration used by the benchmark harness."""
+    return ExperimentConfig()
+
+
+def paper_scale() -> ExperimentConfig:
+    """The full experimental campaign of the paper (very long running)."""
+    return ExperimentConfig(
+        cluster=Cluster(128, 4, 8.0),
+        num_traces=100,
+        num_jobs=1000,
+        load_levels=tuple(round(0.1 * i, 1) for i in range(1, 10)),
+        hpc2n_weeks=182,
+        hpc2n_jobs_per_week=1100,
+    )

@@ -1,0 +1,59 @@
+"""Degradation-factor aggregation across workload instances.
+
+The paper's headline numbers are statistics of the *degradation factor*: for
+each instance, every algorithm's maximum bounded stretch is divided by the
+best maximum stretch achieved on that instance, and the resulting factors are
+averaged (Figure 1), or summarised by average/standard deviation/maximum
+(Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from ..core.metrics import DegradationStats, aggregate_degradation
+from .runner import InstanceResult
+
+__all__ = ["DegradationAggregate", "aggregate_instances"]
+
+
+@dataclass
+class DegradationAggregate:
+    """Per-algorithm degradation factors collected over many instances."""
+
+    factors: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add_instance(self, instance: InstanceResult) -> None:
+        """Fold one instance's degradation factors into the aggregate."""
+        for algorithm, factor in instance.degradation_factors().items():
+            self.factors.setdefault(algorithm, []).append(factor)
+
+    def algorithms(self) -> List[str]:
+        return list(self.factors)
+
+    def stats(self) -> Dict[str, DegradationStats]:
+        """Average / std / max of the degradation factor per algorithm."""
+        return {
+            algorithm: aggregate_degradation(values)
+            for algorithm, values in self.factors.items()
+        }
+
+    def averages(self) -> Dict[str, float]:
+        """Average degradation factor per algorithm (Figure 1 ordinate)."""
+        return {name: stat.average for name, stat in self.stats().items()}
+
+    def best_algorithm(self) -> str:
+        """Algorithm with the lowest average degradation factor."""
+        averages = self.averages()
+        if not averages:
+            raise ValueError("no instances have been aggregated")
+        return min(averages, key=averages.get)
+
+
+def aggregate_instances(instances: Iterable[InstanceResult]) -> DegradationAggregate:
+    """Build a :class:`DegradationAggregate` from finished instances."""
+    aggregate = DegradationAggregate()
+    for instance in instances:
+        aggregate.add_instance(instance)
+    return aggregate

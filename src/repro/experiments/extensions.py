@@ -1,0 +1,88 @@
+"""Evaluation of the extension schedulers against the paper's winner.
+
+The paper's conclusion sketches two follow-up mechanisms — throttling the
+yield of long-running jobs, and user priorities — and this repository also
+adds a conservative-backfilling batch baseline.  This experiment compares all
+of them against DYNMCB8-ASAP-PER (the paper's best algorithm) and against
+EASY on the scaled synthetic traces, using the same degradation-factor
+methodology as Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.metrics import DegradationStats
+from ..exceptions import ConfigurationError
+from .config import ExperimentConfig
+from .degradation import aggregate_instances
+from .reporting import format_table
+from .runner import generate_synthetic_instances, run_instance
+
+__all__ = ["ExtensionsResult", "run_extensions_comparison", "EXTENSION_ALGORITHMS"]
+
+#: The default algorithm set: paper baselines, the paper's winner, and the
+#: three extensions implemented beyond the paper.
+EXTENSION_ALGORITHMS: Tuple[str, ...] = (
+    "easy",
+    "conservative",
+    "dynmcb8-asap-per-600",
+    "dynmcb8-asap-throttled-per-600",
+    "dynmcb8-asap-weighted-per-600",
+)
+
+
+@dataclass
+class ExtensionsResult:
+    """Degradation statistics of the extension algorithms."""
+
+    penalty_seconds: float
+    load_levels: Tuple[float, ...]
+    stats: Dict[str, DegradationStats] = field(default_factory=dict)
+
+    def best_algorithm(self) -> str:
+        if not self.stats:
+            raise ConfigurationError("the comparison produced no statistics")
+        return min(self.stats, key=lambda name: self.stats[name].average)
+
+    def format(self) -> str:
+        rows = [
+            [name, stats.average, stats.std, stats.maximum]
+            for name, stats in sorted(
+                self.stats.items(), key=lambda pair: pair[1].average
+            )
+        ]
+        return format_table(
+            ["algorithm", "deg. avg", "deg. std", "deg. max"],
+            rows,
+            title=(
+                "Extensions vs. paper algorithms: degradation factors "
+                f"(loads {', '.join(f'{l:g}' for l in self.load_levels)}, "
+                f"{self.penalty_seconds:.0f}-second penalty)"
+            ),
+        )
+
+
+def run_extensions_comparison(
+    config: ExperimentConfig,
+    *,
+    algorithms: Sequence[str] = EXTENSION_ALGORITHMS,
+    penalty_seconds: Optional[float] = None,
+) -> ExtensionsResult:
+    """Run the extension comparison at the configured scale."""
+    if not algorithms:
+        raise ConfigurationError("algorithms must not be empty")
+    penalty = config.penalty_seconds if penalty_seconds is None else penalty_seconds
+    outcomes = []
+    for load in config.load_levels:
+        for workload in generate_synthetic_instances(config, load=load):
+            outcomes.append(
+                run_instance(workload, algorithms, penalty_seconds=penalty)
+            )
+    aggregate = aggregate_instances(outcomes)
+    return ExtensionsResult(
+        penalty_seconds=penalty,
+        load_levels=tuple(config.load_levels),
+        stats=aggregate.stats(),
+    )

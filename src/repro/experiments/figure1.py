@@ -1,0 +1,69 @@
+"""Figure 1 reproduction: average degradation factor vs. offered load.
+
+Figure 1(a) uses no rescheduling penalty; Figure 1(b) charges the 5-minute
+penalty.  Each data point of the paper is the average, over 100 instances, of
+the per-instance degradation factor at one load level; the reproduction runs
+the same sweep at a configurable scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from .config import ExperimentConfig
+from .degradation import DegradationAggregate, aggregate_instances
+from .reporting import format_figure_series
+from .runner import generate_synthetic_instances, run_instance
+
+__all__ = ["Figure1Result", "run_figure1"]
+
+
+@dataclass
+class Figure1Result:
+    """Average degradation factor per algorithm and load level."""
+
+    penalty_seconds: float
+    #: load level -> algorithm -> average degradation factor
+    points: Dict[float, Dict[str, float]] = field(default_factory=dict)
+
+    def series(self) -> Dict[str, Dict[float, float]]:
+        """Transpose to {algorithm -> {load -> average degradation factor}}."""
+        output: Dict[str, Dict[float, float]] = {}
+        for load, values in self.points.items():
+            for algorithm, average in values.items():
+                output.setdefault(algorithm, {})[load] = average
+        return output
+
+    def format(self) -> str:
+        label = (
+            "no rescheduling penalty"
+            if self.penalty_seconds == 0
+            else f"{self.penalty_seconds:.0f}-second rescheduling penalty"
+        )
+        return format_figure_series(
+            self.series(),
+            title=(
+                "Figure 1: average stretch degradation factor vs. load "
+                f"({label})"
+            ),
+        )
+
+
+def run_figure1(
+    config: ExperimentConfig,
+    *,
+    penalty_seconds: Optional[float] = None,
+) -> Figure1Result:
+    """Run the Figure 1 sweep at the configured scale."""
+    penalty = config.penalty_seconds if penalty_seconds is None else penalty_seconds
+    result = Figure1Result(penalty_seconds=penalty)
+    for load in config.load_levels:
+        instances = generate_synthetic_instances(config, load=load)
+        outcomes = [
+            run_instance(workload, config.algorithms, penalty_seconds=penalty)
+            for workload in instances
+        ]
+        aggregate = aggregate_instances(outcomes)
+        result.points[load] = aggregate.averages()
+    return result

@@ -1,0 +1,124 @@
+"""Scheduling-period sensitivity study (paper §III-B, last paragraph).
+
+The paper reports that T = 600 s "is sufficiently small to achieve results
+comparable to those using the much smaller period, and sufficiently large to
+lead to overhead comparable to that using the much larger period", based on
+experiments with T ∈ {60, 600, 3600}.  This experiment reproduces that
+sensitivity sweep for any of the periodic DFRS algorithms: for every period it
+reports the mean maximum bounded stretch and the preemption/migration rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .config import ExperimentConfig
+from .reporting import format_table
+from .runner import generate_synthetic_instances, run_instance
+
+__all__ = ["PeriodSweepResult", "run_period_sweep", "DEFAULT_PERIODS"]
+
+#: The periods evaluated by the paper (seconds).
+DEFAULT_PERIODS: Tuple[float, ...] = (60.0, 600.0, 3600.0)
+
+
+@dataclass(frozen=True)
+class PeriodPoint:
+    """Aggregate outcome of one (algorithm base, period) cell."""
+
+    algorithm: str
+    period_seconds: float
+    mean_max_stretch: float
+    max_max_stretch: float
+    preemptions_per_hour: float
+    migrations_per_hour: float
+
+
+@dataclass
+class PeriodSweepResult:
+    """Outcome of the period sensitivity sweep."""
+
+    base_algorithm: str
+    load: float
+    penalty_seconds: float
+    points: List[PeriodPoint] = field(default_factory=list)
+
+    def best_period(self) -> float:
+        """Period with the lowest mean maximum stretch."""
+        if not self.points:
+            raise ConfigurationError("the sweep produced no data points")
+        return min(self.points, key=lambda point: point.mean_max_stretch).period_seconds
+
+    def format(self) -> str:
+        rows = [
+            [
+                f"{point.period_seconds:.0f}",
+                point.mean_max_stretch,
+                point.max_max_stretch,
+                point.preemptions_per_hour,
+                point.migrations_per_hour,
+            ]
+            for point in self.points
+        ]
+        return format_table(
+            ["period (s)", "mean max stretch", "worst max stretch", "pmtn/h", "migr/h"],
+            rows,
+            title=(
+                f"Period sensitivity of {self.base_algorithm} "
+                f"(load {self.load:g}, {self.penalty_seconds:.0f}-second penalty)"
+            ),
+        )
+
+
+def run_period_sweep(
+    config: ExperimentConfig,
+    *,
+    base_algorithm: str = "dynmcb8-asap-per",
+    periods: Sequence[float] = DEFAULT_PERIODS,
+    load: float = 0.7,
+    penalty_seconds: Optional[float] = None,
+) -> PeriodSweepResult:
+    """Evaluate ``base_algorithm`` for every period in ``periods``.
+
+    ``base_algorithm`` must be the unsuffixed name of a periodic algorithm
+    (``dynmcb8-per``, ``dynmcb8-asap-per``, ``dynmcb8-stretch-per``, ...); the
+    period suffix is appended internally.
+    """
+    if not periods:
+        raise ConfigurationError("periods must not be empty")
+    for period in periods:
+        if period <= 0:
+            raise ConfigurationError(f"periods must be > 0, got {period}")
+    penalty = config.penalty_seconds if penalty_seconds is None else penalty_seconds
+    result = PeriodSweepResult(
+        base_algorithm=base_algorithm, load=load, penalty_seconds=penalty
+    )
+    algorithms = [f"{base_algorithm}-{int(period)}" for period in periods]
+    instances = generate_synthetic_instances(config, load=load)
+
+    stretches: Dict[str, List[float]] = {name: [] for name in algorithms}
+    preemption_rates: Dict[str, List[float]] = {name: [] for name in algorithms}
+    migration_rates: Dict[str, List[float]] = {name: [] for name in algorithms}
+    for workload in instances:
+        outcome = run_instance(workload, algorithms, penalty_seconds=penalty)
+        for name, run in outcome.results.items():
+            stretches[name].append(run.max_stretch)
+            preemption_rates[name].append(run.preemptions_per_hour())
+            migration_rates[name].append(run.migrations_per_hour())
+
+    for period, name in zip(periods, algorithms):
+        result.points.append(
+            PeriodPoint(
+                algorithm=name,
+                period_seconds=float(period),
+                mean_max_stretch=float(np.mean(stretches[name])),
+                max_max_stretch=float(np.max(stretches[name])),
+                preemptions_per_hour=float(np.mean(preemption_rates[name])),
+                migrations_per_hour=float(np.mean(migration_rates[name])),
+            )
+        )
+    return result

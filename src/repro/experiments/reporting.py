@@ -1,0 +1,64 @@
+"""Plain-text rendering of reproduced tables and figure series.
+
+The benchmark harness and the CLI print the same rows/series the paper
+reports; these helpers keep the formatting in one place so tests can assert
+on structure without caring about alignment details.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_figure_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render a simple aligned text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_figure_series(
+    series: Mapping[str, Mapping[float, float]],
+    *,
+    x_label: str = "load",
+    title: Optional[str] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render {algorithm -> {x -> y}} as a table with one column per x value."""
+    xs = sorted({x for values in series.values() for x in values})
+    headers = [x_label] + [f"{x:g}" for x in xs]
+    rows: List[List[object]] = []
+    for name in series:
+        row: List[object] = [name]
+        for x in xs:
+            value = series[name].get(x)
+            row.append(float_format.format(value) if value is not None else "-")
+        rows.append(row)
+    return format_table(headers, rows, title=title, float_format=float_format)

@@ -1,0 +1,98 @@
+"""Table I reproduction: degradation statistics on three workload families.
+
+Table I of the paper reports, for each algorithm and a 5-minute rescheduling
+penalty, the average, standard deviation, and maximum degradation factor on:
+
+* the scaled synthetic traces (all load levels pooled together),
+* the unscaled synthetic traces straight out of the Lublin model,
+* the real-world HPC2N workload split into 1-week segments (reproduced here
+  with the HPC2N-like synthetic stand-in, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.metrics import DegradationStats
+from ..workloads.hpc2n import Hpc2nLikeTraceGenerator
+from .config import ExperimentConfig
+from .degradation import aggregate_instances
+from .reporting import format_table
+from .runner import generate_synthetic_instances, run_instance
+
+__all__ = ["Table1Result", "run_table1"]
+
+_COLUMNS = ("scaled", "unscaled", "real")
+
+
+@dataclass
+class Table1Result:
+    """Degradation statistics per algorithm for the three workload families."""
+
+    penalty_seconds: float
+    #: column name ("scaled" | "unscaled" | "real") -> algorithm -> stats
+    columns: Dict[str, Dict[str, DegradationStats]] = field(default_factory=dict)
+
+    def format(self) -> str:
+        algorithms: List[str] = []
+        for column in _COLUMNS:
+            for algorithm in self.columns.get(column, {}):
+                if algorithm not in algorithms:
+                    algorithms.append(algorithm)
+        headers = ["algorithm"]
+        for column in _COLUMNS:
+            headers += [f"{column}.avg", f"{column}.std", f"{column}.max"]
+        rows = []
+        for algorithm in algorithms:
+            row: List[object] = [algorithm]
+            for column in _COLUMNS:
+                stats = self.columns.get(column, {}).get(algorithm)
+                if stats is None:
+                    row += ["-", "-", "-"]
+                else:
+                    row += [stats.average, stats.std, stats.maximum]
+            rows.append(row)
+        return format_table(
+            headers,
+            rows,
+            title=(
+                "Table I: degradation factor (avg/std/max), "
+                f"{self.penalty_seconds:.0f}-second rescheduling penalty"
+            ),
+        )
+
+
+def run_table1(
+    config: ExperimentConfig, *, penalty_seconds: Optional[float] = None
+) -> Table1Result:
+    """Run the Table I campaign at the configured scale."""
+    penalty = config.penalty_seconds if penalty_seconds is None else penalty_seconds
+    result = Table1Result(penalty_seconds=penalty)
+
+    # Scaled synthetic traces: pool every load level.
+    scaled_outcomes = []
+    for load in config.load_levels:
+        for workload in generate_synthetic_instances(config, load=load):
+            scaled_outcomes.append(
+                run_instance(workload, config.algorithms, penalty_seconds=penalty)
+            )
+    result.columns["scaled"] = aggregate_instances(scaled_outcomes).stats()
+
+    # Unscaled synthetic traces, straight from the Lublin model.
+    unscaled_outcomes = [
+        run_instance(workload, config.algorithms, penalty_seconds=penalty)
+        for workload in generate_synthetic_instances(config, load=None)
+    ]
+    result.columns["unscaled"] = aggregate_instances(unscaled_outcomes).stats()
+
+    # Real-world (HPC2N-like) 1-week segments.
+    generator = Hpc2nLikeTraceGenerator(jobs_per_week=config.hpc2n_jobs_per_week)
+    real_outcomes = []
+    for week in range(config.hpc2n_weeks):
+        workload = generator.generate_workload(1, seed=config.seed_base + week)
+        real_outcomes.append(
+            run_instance(workload, config.algorithms, penalty_seconds=penalty)
+        )
+    result.columns["real"] = aggregate_instances(real_outcomes).stats()
+    return result

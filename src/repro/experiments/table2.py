@@ -1,0 +1,129 @@
+"""Table II reproduction: preemption and migration costs under high load.
+
+For the scaled synthetic traces with offered load at least 0.7 and the
+5-minute rescheduling penalty, Table II reports — for every algorithm that
+preempts or migrates — the average (and worst-trace maximum) of:
+
+* bandwidth consumed by preemptions and by migrations, in GB/s,
+* preemption and migration occurrences per hour,
+* preemption and migration occurrences per job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .config import ExperimentConfig
+from .reporting import format_table
+from .runner import generate_synthetic_instances, run_instance
+
+__all__ = ["CostStatistics", "Table2Result", "run_table2", "TABLE2_ALGORITHMS"]
+
+#: Algorithms reported in Table II (those that preempt and/or migrate).
+TABLE2_ALGORITHMS = (
+    "greedy-pmtn",
+    "greedy-pmtn-migr",
+    "dynmcb8",
+    "dynmcb8-per-600",
+    "dynmcb8-asap-per-600",
+    "dynmcb8-stretch-per-600",
+)
+
+#: Load levels considered "high load" by Table II.
+HIGH_LOAD_THRESHOLD = 0.7
+
+
+@dataclass(frozen=True)
+class CostStatistics:
+    """Average and maximum of one cost metric over all instances."""
+
+    average: float
+    maximum: float
+
+
+@dataclass
+class Table2Result:
+    """Per-algorithm preemption/migration cost statistics."""
+
+    penalty_seconds: float
+    #: algorithm -> metric name -> statistics
+    metrics: Dict[str, Dict[str, CostStatistics]] = field(default_factory=dict)
+
+    METRIC_NAMES = (
+        "pmtn_bandwidth_gb_per_sec",
+        "migr_bandwidth_gb_per_sec",
+        "pmtn_per_hour",
+        "migr_per_hour",
+        "pmtn_per_job",
+        "migr_per_job",
+    )
+
+    def format(self) -> str:
+        headers = ["algorithm"] + [
+            f"{name} (avg/max)" for name in self.METRIC_NAMES
+        ]
+        rows: List[List[object]] = []
+        for algorithm, metrics in self.metrics.items():
+            row: List[object] = [algorithm]
+            for name in self.METRIC_NAMES:
+                stats = metrics[name]
+                row.append(f"{stats.average:.2f} ({stats.maximum:.2f})")
+            rows.append(row)
+        return format_table(
+            headers,
+            rows,
+            title=(
+                "Table II: preemption and migration costs, scaled synthetic "
+                f"traces with load >= {HIGH_LOAD_THRESHOLD}, "
+                f"{self.penalty_seconds:.0f}-second penalty"
+            ),
+        )
+
+
+def run_table2(
+    config: ExperimentConfig,
+    *,
+    penalty_seconds: Optional[float] = None,
+    algorithms: Sequence[str] = TABLE2_ALGORITHMS,
+) -> Table2Result:
+    """Run the Table II campaign at the configured scale."""
+    penalty = config.penalty_seconds if penalty_seconds is None else penalty_seconds
+    loads = [load for load in config.load_levels if load >= HIGH_LOAD_THRESHOLD]
+    if not loads:
+        raise ValueError(
+            "Table II needs at least one load level >= "
+            f"{HIGH_LOAD_THRESHOLD}; got {config.load_levels}"
+        )
+    per_algorithm: Dict[str, Dict[str, List[float]]] = {
+        algorithm: {name: [] for name in Table2Result.METRIC_NAMES}
+        for algorithm in algorithms
+    }
+    for load in loads:
+        for workload in generate_synthetic_instances(config, load=load):
+            instance = run_instance(workload, algorithms, penalty_seconds=penalty)
+            for algorithm, result in instance.results.items():
+                samples = per_algorithm[algorithm]
+                samples["pmtn_bandwidth_gb_per_sec"].append(
+                    result.preemption_bandwidth_gb_per_sec()
+                )
+                samples["migr_bandwidth_gb_per_sec"].append(
+                    result.migration_bandwidth_gb_per_sec()
+                )
+                samples["pmtn_per_hour"].append(result.preemptions_per_hour())
+                samples["migr_per_hour"].append(result.migrations_per_hour())
+                samples["pmtn_per_job"].append(result.preemptions_per_job())
+                samples["migr_per_job"].append(result.migrations_per_job())
+
+    table = Table2Result(penalty_seconds=penalty)
+    for algorithm, samples in per_algorithm.items():
+        table.metrics[algorithm] = {
+            name: CostStatistics(
+                average=float(np.mean(values)) if values else 0.0,
+                maximum=float(np.max(values)) if values else 0.0,
+            )
+            for name, values in samples.items()
+        }
+    return table

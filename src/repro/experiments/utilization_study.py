@@ -1,0 +1,148 @@
+"""Cluster utilization, energy, and fairness study (paper §II-B2 remark).
+
+The paper notes that once the minimum yield is maximized, leftover capacity
+either raises the average yield or — on an under-subscribed cluster — lets
+idle nodes be powered down.  This experiment quantifies both effects for any
+set of algorithms on one synthetic trace per configuration: it runs each
+algorithm with a :class:`~repro.core.observers.UtilizationRecorder` attached
+and reports time-weighted busy-node counts, energy consumption under a node
+power model, and per-job stretch fairness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.energy import EnergyReport, NodePowerModel, energy_from_recorder
+from ..analysis.fairness import FairnessReport, stretch_fairness
+from ..analysis.timeseries import busy_nodes_series, cpu_allocated_series
+from ..core.engine import SimulationConfig, Simulator
+from ..core.observers import UtilizationRecorder
+from ..core.penalties import ReschedulingPenaltyModel
+from ..core.records import SimulationResult
+from ..exceptions import ConfigurationError
+from ..schedulers.registry import create_scheduler
+from ..workloads.model import Workload
+from .config import ExperimentConfig
+from .reporting import format_table
+from .runner import generate_synthetic_instances
+
+__all__ = ["AlgorithmUtilization", "UtilizationStudyResult", "run_utilization_study"]
+
+
+@dataclass(frozen=True)
+class AlgorithmUtilization:
+    """Utilization profile of one algorithm on one workload."""
+
+    algorithm: str
+    max_stretch: float
+    mean_busy_nodes: float
+    peak_busy_nodes: int
+    mean_cpu_allocated: float
+    energy: EnergyReport
+    fairness: FairnessReport
+
+
+@dataclass
+class UtilizationStudyResult:
+    """Outcome of the utilization/energy study."""
+
+    load: float
+    penalty_seconds: float
+    num_nodes: int
+    profiles: List[AlgorithmUtilization] = field(default_factory=list)
+
+    def profile_for(self, algorithm: str) -> AlgorithmUtilization:
+        for profile in self.profiles:
+            if profile.algorithm == algorithm:
+                return profile
+        raise ConfigurationError(f"no profile recorded for algorithm {algorithm!r}")
+
+    def format(self) -> str:
+        rows = [
+            [
+                profile.algorithm,
+                profile.max_stretch,
+                profile.mean_busy_nodes,
+                profile.peak_busy_nodes,
+                profile.mean_cpu_allocated,
+                f"{100.0 * profile.energy.savings_fraction:.1f}%",
+                profile.fairness.jain_stretch,
+            ]
+            for profile in self.profiles
+        ]
+        return format_table(
+            [
+                "algorithm",
+                "max stretch",
+                "mean busy nodes",
+                "peak busy nodes",
+                "mean CPU alloc",
+                "idle power-down savings",
+                "Jain(stretch)",
+            ],
+            rows,
+            title=(
+                f"Utilization and energy study ({self.num_nodes} nodes, load "
+                f"{self.load:g}, {self.penalty_seconds:.0f}-second penalty)"
+            ),
+        )
+
+
+def _run_with_recorder(
+    workload: Workload, algorithm: str, penalty_seconds: float
+) -> tuple:
+    recorder = UtilizationRecorder()
+    simulator = Simulator(
+        workload.cluster,
+        create_scheduler(algorithm),
+        SimulationConfig(penalty_model=ReschedulingPenaltyModel(penalty_seconds)),
+        observers=[recorder],
+    )
+    result = simulator.run(workload.jobs)
+    return result, recorder
+
+
+def run_utilization_study(
+    config: ExperimentConfig,
+    *,
+    load: float = 0.5,
+    penalty_seconds: Optional[float] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    power_model: Optional[NodePowerModel] = None,
+) -> UtilizationStudyResult:
+    """Profile utilization, energy, and fairness for each algorithm.
+
+    One synthetic trace (the first of the configuration) is scaled to the
+    requested load and run under every algorithm with a utilization recorder
+    attached.
+    """
+    penalty = config.penalty_seconds if penalty_seconds is None else penalty_seconds
+    names = tuple(algorithms) if algorithms is not None else config.algorithms
+    if not names:
+        raise ConfigurationError("algorithms must not be empty")
+    model = power_model or NodePowerModel()
+    workload = generate_synthetic_instances(config, load=load)[0]
+
+    study = UtilizationStudyResult(
+        load=load, penalty_seconds=penalty, num_nodes=workload.cluster.num_nodes
+    )
+    for name in names:
+        result, recorder = _run_with_recorder(workload, name, penalty)
+        busy = busy_nodes_series(recorder)
+        cpu = cpu_allocated_series(recorder)
+        study.profiles.append(
+            AlgorithmUtilization(
+                algorithm=name,
+                max_stretch=result.max_stretch,
+                mean_busy_nodes=busy.mean(),
+                peak_busy_nodes=int(busy.max()),
+                mean_cpu_allocated=cpu.mean(),
+                energy=energy_from_recorder(
+                    recorder, workload.cluster, algorithm=name, model=model
+                ),
+                fairness=stretch_fairness(result),
+            )
+        )
+    return study

@@ -1,0 +1,124 @@
+"""Analytic bounds and feasibility checks for the DFRS packing problem.
+
+The binary search of :func:`repro.packing.yield_search.maximize_min_yield`
+finds the best yield a given *heuristic* can realise.  The bounds in this
+module are heuristic-independent necessary conditions; they are used
+
+* in tests, to verify that no packer ever claims a yield above what the
+  aggregate CPU capacity allows;
+* in the packing ablation experiments, to report how close each heuristic
+  gets to the capacity bound;
+* by schedulers, as a cheap early-exit test before running a full search.
+
+All bounds treat the cluster as ``num_nodes`` bins of capacity 1.0 × 1.0 and
+a job as ``num_tasks`` identical (CPU-need, memory) items, exactly as in
+§III-B of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+from ..exceptions import ReproError
+from .item import PackingItem
+from .yield_search import PackingJob
+
+__all__ = [
+    "total_cpu_need",
+    "total_memory_requirement",
+    "cpu_capacity_yield_bound",
+    "memory_lower_bound_bins",
+    "memory_feasible",
+    "infeasibility_reasons",
+]
+
+
+def total_cpu_need(jobs: Sequence[PackingJob]) -> float:
+    """Sum of CPU needs over all tasks of all jobs (in node units)."""
+    return sum(job.num_tasks * job.cpu_need for job in jobs)
+
+
+def total_memory_requirement(jobs: Sequence[PackingJob]) -> float:
+    """Sum of memory requirements over all tasks of all jobs (in node units)."""
+    return sum(job.num_tasks * job.mem_requirement for job in jobs)
+
+
+def cpu_capacity_yield_bound(jobs: Sequence[PackingJob], num_nodes: int) -> float:
+    """Upper bound on the achievable minimum yield when all yields are equal.
+
+    If every job receives yield ``Y`` then the total allocated CPU is
+    ``Y × Σ (tasks × need)``, which cannot exceed the cluster's ``num_nodes``
+    units of CPU.  Hence ``Y ≤ num_nodes / Σ need`` (and never above 1).
+    An empty job set has a bound of 1.0 by convention.
+    """
+    if num_nodes < 1:
+        raise ReproError(f"num_nodes must be >= 1, got {num_nodes}")
+    demand = total_cpu_need(jobs)
+    if demand <= 0.0:
+        return 1.0
+    return min(1.0, num_nodes / demand)
+
+
+def memory_lower_bound_bins(items: Sequence[PackingItem]) -> int:
+    """Lower bound on the number of bins any packing of ``items`` must use.
+
+    Combines the volume bound (total memory rounded up) with the pairing
+    bound (two items each requiring more than half a node can never share).
+    Only the memory dimension is considered because memory requirements are
+    yield-independent; the CPU dimension shrinks as the yield decreases.
+    """
+    if not items:
+        return 0
+    volume = sum(item.memory for item in items)
+    volume_bound = int(math.ceil(volume - 1e-9))
+    pairing_bound = sum(1 for item in items if item.memory > 0.5 + 1e-9)
+    return max(1, volume_bound, pairing_bound)
+
+
+def memory_feasible(jobs: Sequence[PackingJob], num_nodes: int) -> bool:
+    """Quick necessary test: can the memory footprint possibly fit?
+
+    This only checks necessary conditions (per-task fit, volume bound, and
+    pairing bound); a ``True`` answer does not guarantee that a packing
+    exists, but a ``False`` answer proves that none does, whatever the yield.
+    """
+    return not infeasibility_reasons(jobs, num_nodes)
+
+
+def infeasibility_reasons(
+    jobs: Sequence[PackingJob], num_nodes: int
+) -> Dict[str, str]:
+    """Machine-checkable reasons why no allocation can exist, if any.
+
+    Returns an empty mapping when no necessary condition is violated.  Keys
+    identify the violated condition (``"task-memory"``, ``"volume"``,
+    ``"pairing"``); values are human-readable explanations.
+    """
+    if num_nodes < 1:
+        raise ReproError(f"num_nodes must be >= 1, got {num_nodes}")
+    reasons: Dict[str, str] = {}
+    oversized = [
+        job.job_id
+        for job in jobs
+        if job.mem_requirement > 1.0 + 1e-9
+    ]
+    if oversized:
+        reasons["task-memory"] = (
+            f"jobs {oversized} have tasks whose memory requirement exceeds a full node"
+        )
+    volume = total_memory_requirement(jobs)
+    if volume > num_nodes + 1e-9:
+        reasons["volume"] = (
+            f"total memory requirement {volume:.2f} node-units exceeds the "
+            f"{num_nodes} available nodes"
+        )
+    big_tasks = sum(
+        job.num_tasks for job in jobs if job.mem_requirement > 0.5 + 1e-9
+    )
+    if big_tasks > num_nodes:
+        reasons["pairing"] = (
+            f"{big_tasks} tasks each need more than half a node's memory but "
+            f"only {num_nodes} nodes exist"
+        )
+    return reasons

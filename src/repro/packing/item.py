@@ -1,0 +1,142 @@
+"""Items and bins for two-dimensional (CPU × memory) vector packing.
+
+The DFRS allocation problem reduces to vector packing once a target yield is
+fixed (paper §III-B): every task becomes an item with a *CPU requirement*
+(CPU need × yield) and a *memory requirement*, and every node is a bin with
+capacity 1.0 in both dimensions.  Tasks of the same job are distinct items
+that may land on the same or different bins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import AllocationError
+
+__all__ = ["PackingItem", "Bin", "PackingResult", "job_items"]
+
+
+@dataclass(frozen=True)
+class PackingItem:
+    """One task to be placed on a node.
+
+    ``job_id``/``task_index`` identify the task; ``cpu`` and ``memory`` are
+    the resource requirements as fractions of one node.
+    """
+
+    job_id: int
+    task_index: int
+    cpu: float
+    memory: float
+
+    def __post_init__(self) -> None:
+        if self.cpu < 0 or self.memory < 0:
+            raise AllocationError(
+                f"item ({self.job_id}, {self.task_index}): requirements must be >= 0"
+            )
+        if self.memory > 1.0 + 1e-9:
+            raise AllocationError(
+                f"item ({self.job_id}, {self.task_index}): memory requirement "
+                f"{self.memory} exceeds a full node"
+            )
+
+    @property
+    def max_requirement(self) -> float:
+        """Larger of the two requirements — MCB8's sort key."""
+        return max(self.cpu, self.memory)
+
+    @property
+    def cpu_dominant(self) -> bool:
+        """True when the CPU requirement is at least the memory requirement."""
+        return self.cpu >= self.memory
+
+
+class Bin:
+    """One node being filled during packing (capacity 1.0 × 1.0)."""
+
+    __slots__ = ("index", "cpu_used", "memory_used", "items", "epsilon")
+
+    def __init__(self, index: int, epsilon: float = 1e-9) -> None:
+        self.index = index
+        self.cpu_used = 0.0
+        self.memory_used = 0.0
+        self.items: List[PackingItem] = []
+        self.epsilon = epsilon
+
+    @property
+    def cpu_free(self) -> float:
+        return 1.0 - self.cpu_used
+
+    @property
+    def memory_free(self) -> float:
+        return 1.0 - self.memory_used
+
+    def fits(self, item: PackingItem) -> bool:
+        """True if the item fits in the remaining capacity of this bin."""
+        return (
+            self.cpu_used + item.cpu <= 1.0 + self.epsilon
+            and self.memory_used + item.memory <= 1.0 + self.epsilon
+        )
+
+    def add(self, item: PackingItem) -> None:
+        """Place ``item`` in this bin (caller must have checked :meth:`fits`)."""
+        if not self.fits(item):
+            raise AllocationError(
+                f"item ({item.job_id}, {item.task_index}) does not fit in bin "
+                f"{self.index}"
+            )
+        self.cpu_used += item.cpu
+        self.memory_used += item.memory
+        self.items.append(item)
+
+    def imbalance_favors_memory(self) -> bool:
+        """True when free memory exceeds free CPU (pick a memory-heavy item)."""
+        return self.memory_free > self.cpu_free
+
+
+@dataclass
+class PackingResult:
+    """Outcome of a packing attempt."""
+
+    success: bool
+    #: For each job id, the node index assigned to each of its tasks, in task
+    #: order.  Only meaningful when ``success`` is True.
+    assignments: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    #: Number of bins that received at least one item.
+    bins_used: int = 0
+
+    @staticmethod
+    def failure() -> "PackingResult":
+        return PackingResult(success=False)
+
+
+def job_items(
+    job_id: int, num_tasks: int, cpu: float, memory: float
+) -> List[PackingItem]:
+    """Build the ``num_tasks`` identical items of one job."""
+    if num_tasks < 1:
+        raise AllocationError(f"job {job_id}: num_tasks must be >= 1")
+    return [
+        PackingItem(job_id=job_id, task_index=i, cpu=cpu, memory=memory)
+        for i in range(num_tasks)
+    ]
+
+
+def assignments_from_bins(bins: Sequence[Bin]) -> Dict[int, List[Optional[int]]]:
+    """Group bin contents back into per-job task assignments.
+
+    Returns a mapping job id -> list indexed by task_index containing the bin
+    index of each task (``None`` for unplaced tasks, which callers treat as a
+    failure).
+    """
+    per_job: Dict[int, Dict[int, int]] = {}
+    sizes: Dict[int, int] = {}
+    for bin_ in bins:
+        for item in bin_.items:
+            per_job.setdefault(item.job_id, {})[item.task_index] = bin_.index
+            sizes[item.job_id] = max(sizes.get(item.job_id, 0), item.task_index + 1)
+    result: Dict[int, List[Optional[int]]] = {}
+    for job_id, mapping in per_job.items():
+        result[job_id] = [mapping.get(i) for i in range(sizes[job_id])]
+    return result

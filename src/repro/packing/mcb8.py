@@ -1,0 +1,144 @@
+"""MCB8 multi-capacity bin-packing heuristic (Leinberger et al., 1999).
+
+This is the two-resource variant used by the paper (§III-B) and by the
+earlier off-line work it builds on (Stillwell et al., "Resource allocation
+using virtual clusters", CCGrid 2009).  The heuristic:
+
+1. splits the items into two lists — items whose CPU requirement is at least
+   their memory requirement, and items whose memory requirement is larger;
+2. sorts each list by non-increasing order of the item's *largest*
+   requirement;
+3. fills nodes one at a time: the first item placed on a fresh node is the
+   largest remaining item; subsequently the heuristic always tries to pick
+   the first fitting item from the list that goes *against* the node's
+   current imbalance (if free memory exceeds free CPU, pick a memory-heavy
+   item, and vice versa), falling back to the other list, and moving to the
+   next node when neither list has a fitting item;
+4. succeeds when every item has been placed within the available nodes.
+
+The goal of step 3 is to keep the consumption of both resources balanced on
+every node so that neither dimension is exhausted while the other is still
+underutilized.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .item import Bin, PackingItem, PackingResult
+
+__all__ = ["mcb8_pack"]
+
+
+def _sorted_lists(
+    items: Sequence[PackingItem],
+) -> Tuple[List[PackingItem], List[PackingItem]]:
+    """Split and sort items as required by MCB8 (step 1 and 2)."""
+    cpu_heavy = [item for item in items if item.cpu_dominant]
+    mem_heavy = [item for item in items if not item.cpu_dominant]
+    # Stable sort by decreasing max requirement; ties broken by job/task id so
+    # that packing is fully deterministic.
+    key = lambda item: (-item.max_requirement, item.job_id, item.task_index)
+    cpu_heavy.sort(key=key)
+    mem_heavy.sort(key=key)
+    return cpu_heavy, mem_heavy
+
+
+def _first_fitting(bin_: Bin, items: List[PackingItem]) -> Optional[int]:
+    """Index of the first item of ``items`` that fits in ``bin_``, or None."""
+    for index, item in enumerate(items):
+        if bin_.fits(item):
+            return index
+    return None
+
+
+def mcb8_pack(
+    items: Sequence[PackingItem],
+    num_bins: int,
+) -> PackingResult:
+    """Pack ``items`` into at most ``num_bins`` unit bins using MCB8.
+
+    Returns a :class:`PackingResult`; on success ``assignments`` maps each job
+    id to the tuple of bin (node) indices assigned to its tasks in task-index
+    order.
+    """
+    if not items:
+        return PackingResult(success=True, assignments={}, bins_used=0)
+    if num_bins <= 0:
+        return PackingResult.failure()
+
+    cpu_list, mem_list = _sorted_lists(items)
+    bins: List[Bin] = []
+    bin_index = 0
+
+    while cpu_list or mem_list:
+        if bin_index >= num_bins:
+            return PackingResult.failure()
+        bin_ = Bin(bin_index)
+        bins.append(bin_)
+        bin_index += 1
+
+        # Seed the fresh node with the largest remaining item overall.
+        seed_list = _pick_seed_list(cpu_list, mem_list)
+        if seed_list is None:
+            return PackingResult.failure()
+        seed = seed_list.pop(0)
+        if not bin_.fits(seed):
+            # An item that does not fit in an empty node can never be placed.
+            return PackingResult.failure()
+        bin_.add(seed)
+
+        # Fill the node, balancing the two resource dimensions.
+        while True:
+            if bin_.imbalance_favors_memory():
+                primary, secondary = mem_list, cpu_list
+            else:
+                primary, secondary = cpu_list, mem_list
+            index = _first_fitting(bin_, primary)
+            if index is not None:
+                bin_.add(primary.pop(index))
+                continue
+            index = _first_fitting(bin_, secondary)
+            if index is not None:
+                bin_.add(secondary.pop(index))
+                continue
+            break
+
+    assignments = _collect_assignments(bins)
+    if assignments is None:
+        return PackingResult.failure()
+    return PackingResult(
+        success=True, assignments=assignments, bins_used=len(bins)
+    )
+
+
+def _pick_seed_list(
+    cpu_list: List[PackingItem], mem_list: List[PackingItem]
+) -> Optional[List[PackingItem]]:
+    """List whose head is the largest remaining item (paper: arbitrary pick)."""
+    if not cpu_list and not mem_list:
+        return None
+    if not cpu_list:
+        return mem_list
+    if not mem_list:
+        return cpu_list
+    if cpu_list[0].max_requirement >= mem_list[0].max_requirement:
+        return cpu_list
+    return mem_list
+
+
+def _collect_assignments(
+    bins: Sequence[Bin],
+) -> Optional[Dict[int, Tuple[int, ...]]]:
+    """Rebuild per-job assignments from filled bins."""
+    per_job: Dict[int, Dict[int, int]] = {}
+    for bin_ in bins:
+        for item in bin_.items:
+            per_job.setdefault(item.job_id, {})[item.task_index] = bin_.index
+    assignments: Dict[int, Tuple[int, ...]] = {}
+    for job_id, mapping in per_job.items():
+        num_tasks = max(mapping) + 1
+        if len(mapping) != num_tasks:
+            return None
+        assignments[job_id] = tuple(mapping[i] for i in range(num_tasks))
+    return assignments

@@ -1,0 +1,203 @@
+"""Alternative vector-packing heuristics and the packer registry.
+
+The paper uses the two-resource MCB8 heuristic of Leinberger et al.; the
+original MCB family differs in how items are ordered within each list (by
+largest component for MCB8, by sum of components, by a single component, ...).
+This module implements that family in a parameterised form, adds a
+load-balancing worst-fit baseline, and exposes a registry used by the packing
+ablation experiment and by scheduler construction (``dynmcb8`` can be asked to
+pack with any registered heuristic).
+
+Every packer shares the signature ``(items, num_bins) -> PackingResult`` of
+:func:`repro.packing.mcb8.mcb8_pack`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from .first_fit import best_fit_decreasing_pack, first_fit_decreasing_pack
+from .item import Bin, PackingItem, PackingResult
+from .mcb8 import _collect_assignments, mcb8_pack
+
+__all__ = [
+    "mcb_family_pack",
+    "worst_fit_decreasing_pack",
+    "PACKER_NAMES",
+    "get_packer",
+]
+
+#: Ordering keys of the MCB family.  Each maps an item to a sort value; items
+#: are considered in non-increasing order of that value.
+_ORDERINGS: Dict[str, Callable[[PackingItem], float]] = {
+    # MCB8: order by the largest of the two requirements (the paper's choice).
+    "max": lambda item: item.max_requirement,
+    # MCB6-style: order by the sum of the requirements.
+    "sum": lambda item: item.cpu + item.memory,
+    # Single-dimension orderings (MCB2/MCB4-style degenerate variants).
+    "cpu": lambda item: item.cpu,
+    "memory": lambda item: item.memory,
+    # Order by the imbalance between the two requirements.
+    "difference": lambda item: abs(item.cpu - item.memory),
+}
+
+
+def mcb_family_pack(
+    items: Sequence[PackingItem],
+    num_bins: int,
+    *,
+    ordering: str = "max",
+) -> PackingResult:
+    """Multi-capacity balancing pack with a configurable item ordering.
+
+    The algorithm is the same as :func:`repro.packing.mcb8.mcb8_pack` — split
+    items into CPU-heavy and memory-heavy lists, fill one node at a time,
+    always drawing from the list that goes against the node's current
+    imbalance — but the two lists are sorted by the requested ``ordering``
+    key instead of MCB8's largest-component key.
+    """
+    if ordering not in _ORDERINGS:
+        raise ConfigurationError(
+            f"unknown MCB ordering {ordering!r}; known orderings: "
+            f"{', '.join(sorted(_ORDERINGS))}"
+        )
+    if not items:
+        return PackingResult(success=True, assignments={}, bins_used=0)
+    if num_bins <= 0:
+        return PackingResult.failure()
+
+    sort_value = _ORDERINGS[ordering]
+    key = lambda item: (-sort_value(item), item.job_id, item.task_index)
+    cpu_list = sorted((item for item in items if item.cpu_dominant), key=key)
+    mem_list = sorted((item for item in items if not item.cpu_dominant), key=key)
+
+    bins: List[Bin] = []
+    bin_index = 0
+    while cpu_list or mem_list:
+        if bin_index >= num_bins:
+            return PackingResult.failure()
+        bin_ = Bin(bin_index)
+        bins.append(bin_)
+        bin_index += 1
+
+        seed_list = _seed_list(cpu_list, mem_list, sort_value)
+        seed = seed_list.pop(0)
+        if not bin_.fits(seed):
+            return PackingResult.failure()
+        bin_.add(seed)
+
+        while True:
+            if bin_.imbalance_favors_memory():
+                primary, secondary = mem_list, cpu_list
+            else:
+                primary, secondary = cpu_list, mem_list
+            index = _first_fitting_index(bin_, primary)
+            if index is not None:
+                bin_.add(primary.pop(index))
+                continue
+            index = _first_fitting_index(bin_, secondary)
+            if index is not None:
+                bin_.add(secondary.pop(index))
+                continue
+            break
+
+    assignments = _collect_assignments(bins)
+    if assignments is None:
+        return PackingResult.failure()
+    return PackingResult(success=True, assignments=assignments, bins_used=len(bins))
+
+
+def _seed_list(
+    cpu_list: List[PackingItem],
+    mem_list: List[PackingItem],
+    sort_value: Callable[[PackingItem], float],
+) -> List[PackingItem]:
+    """The list whose head has the larger ordering value."""
+    if not cpu_list:
+        return mem_list
+    if not mem_list:
+        return cpu_list
+    if sort_value(cpu_list[0]) >= sort_value(mem_list[0]):
+        return cpu_list
+    return mem_list
+
+
+def _first_fitting_index(bin_: Bin, items: List[PackingItem]) -> Optional[int]:
+    for index, item in enumerate(items):
+        if bin_.fits(item):
+            return index
+    return None
+
+
+def worst_fit_decreasing_pack(
+    items: Sequence[PackingItem], num_bins: int
+) -> PackingResult:
+    """Worst-fit decreasing: place each item in the *emptiest* open bin.
+
+    "Emptiest" is measured by the remaining capacity in the item's dominant
+    dimension.  This load-balancing flavour spreads items across nodes, which
+    tends to use more bins than MCB8 but keeps per-node contention low; it is
+    included as an ablation endpoint, not as a recommended policy.
+    """
+    if not items:
+        return PackingResult(success=True, assignments={}, bins_used=0)
+    if num_bins <= 0:
+        return PackingResult.failure()
+
+    ordered = sorted(
+        items, key=lambda item: (-item.max_requirement, item.job_id, item.task_index)
+    )
+    bins: List[Bin] = []
+    for item in ordered:
+        best: Optional[Bin] = None
+        best_slack = -1.0
+        for bin_ in bins:
+            if not bin_.fits(item):
+                continue
+            slack = bin_.cpu_free if item.cpu_dominant else bin_.memory_free
+            if slack > best_slack:
+                best_slack = slack
+                best = bin_
+        if best is None:
+            if len(bins) >= num_bins:
+                return PackingResult.failure()
+            best = Bin(len(bins))
+            bins.append(best)
+            if not best.fits(item):
+                return PackingResult.failure()
+        best.add(item)
+    assignments = _collect_assignments(bins)
+    if assignments is None:
+        return PackingResult.failure()
+    return PackingResult(success=True, assignments=assignments, bins_used=len(bins))
+
+
+#: Registry of named packers usable by the ablation experiments and by the
+#: scheduler factory.  All share the ``(items, num_bins) -> PackingResult``
+#: signature.
+_PACKERS: Dict[str, Callable[[Sequence[PackingItem], int], PackingResult]] = {
+    "mcb8": mcb8_pack,
+    "mcb-sum": lambda items, bins: mcb_family_pack(items, bins, ordering="sum"),
+    "mcb-cpu": lambda items, bins: mcb_family_pack(items, bins, ordering="cpu"),
+    "mcb-memory": lambda items, bins: mcb_family_pack(items, bins, ordering="memory"),
+    "mcb-difference": lambda items, bins: mcb_family_pack(
+        items, bins, ordering="difference"
+    ),
+    "first-fit": first_fit_decreasing_pack,
+    "best-fit": best_fit_decreasing_pack,
+    "worst-fit": worst_fit_decreasing_pack,
+}
+
+#: Names accepted by :func:`get_packer`, in a stable order.
+PACKER_NAMES: Tuple[str, ...] = tuple(sorted(_PACKERS))
+
+
+def get_packer(name: str) -> Callable[[Sequence[PackingItem], int], PackingResult]:
+    """Look up a packer by registry name."""
+    key = name.strip().lower()
+    if key not in _PACKERS:
+        raise ConfigurationError(
+            f"unknown packer {name!r}; known packers: {', '.join(PACKER_NAMES)}"
+        )
+    return _PACKERS[key]

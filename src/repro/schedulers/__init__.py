@@ -1,0 +1,50 @@
+"""Scheduling policies: batch baselines (FCFS, EASY) and the DFRS family."""
+
+from .base import Scheduler
+from .batch.conservative import ConservativeBackfillingScheduler
+from .batch.easy import EasyBackfillingScheduler
+from .batch.fcfs import FcfsScheduler
+from .batch.gang import GangScheduler
+from .dfrs.dynmcb8 import DynMcb8Scheduler
+from .dfrs.fairness import LongJobThrottlingScheduler
+from .dfrs.greedy import GreedyScheduler
+from .dfrs.greedy_pmtn import GreedyPmtnMigrScheduler, GreedyPmtnScheduler
+from .dfrs.periodic import (
+    DEFAULT_PERIOD,
+    DynMcb8AsapPeriodicScheduler,
+    DynMcb8PeriodicScheduler,
+)
+from .dfrs.stretch_per import DynMcb8StretchPeriodicScheduler
+from .dfrs.weighted import WeightedYieldScheduler, inverse_size_weight, uniform_weight
+from .registry import (
+    BATCH_ALGORITHMS,
+    DFRS_ALGORITHMS,
+    PAPER_ALGORITHMS,
+    available_algorithms,
+    create_scheduler,
+)
+
+__all__ = [
+    "Scheduler",
+    "ConservativeBackfillingScheduler",
+    "EasyBackfillingScheduler",
+    "FcfsScheduler",
+    "GangScheduler",
+    "DynMcb8Scheduler",
+    "LongJobThrottlingScheduler",
+    "GreedyScheduler",
+    "GreedyPmtnMigrScheduler",
+    "GreedyPmtnScheduler",
+    "DEFAULT_PERIOD",
+    "DynMcb8AsapPeriodicScheduler",
+    "DynMcb8PeriodicScheduler",
+    "DynMcb8StretchPeriodicScheduler",
+    "WeightedYieldScheduler",
+    "inverse_size_weight",
+    "uniform_weight",
+    "BATCH_ALGORITHMS",
+    "DFRS_ALGORITHMS",
+    "PAPER_ALGORITHMS",
+    "available_algorithms",
+    "create_scheduler",
+]

@@ -1,0 +1,13 @@
+"""Classical baselines: FCFS, EASY, conservative backfilling, gang scheduling."""
+
+from .conservative import ConservativeBackfillingScheduler
+from .easy import EasyBackfillingScheduler
+from .fcfs import FcfsScheduler
+from .gang import GangScheduler
+
+__all__ = [
+    "ConservativeBackfillingScheduler",
+    "EasyBackfillingScheduler",
+    "FcfsScheduler",
+    "GangScheduler",
+]

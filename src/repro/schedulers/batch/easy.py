@@ -1,0 +1,128 @@
+"""EASY backfilling batch scheduler (Lifka 1995; paper §IV-B).
+
+EASY extends FCFS with aggressive backfilling: the first job of the queue
+receives a *reservation* for the earliest time at which enough nodes will be
+free (computed from the running jobs' completion times), and any other queued
+job may start immediately as long as doing so does not delay that
+reservation.  A backfilled job is harmless when either
+
+* it will finish before the reservation time (its runtime fits in the gap), or
+* it only uses nodes that the reservation does not need (the "extra" nodes).
+
+Following the paper, EASY is given **perfect runtime estimates** — the
+simulation engine populates ``runtime_estimate``/``remaining_runtime_estimate``
+in the job views because ``requires_runtime_estimates`` is True.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from ...core.allocation import AllocationDecision
+from ...core.context import JobView, SchedulingContext
+from ...exceptions import SchedulingError
+from .fcfs import FcfsScheduler
+
+__all__ = ["EasyBackfillingScheduler"]
+
+
+class EasyBackfillingScheduler(FcfsScheduler):
+    """EASY backfilling with perfect runtime estimates."""
+
+    name = "easy"
+    requires_runtime_estimates = True
+    exclusive_node_allocation = True
+
+    def schedule(self, context: SchedulingContext) -> AllocationDecision:
+        decision = AllocationDecision()
+        decision.running = self.keep_running(context)
+        free = self.free_nodes(context)
+        queue = self.waiting_queue(context)
+
+        # Plain FCFS start while the head of the queue fits.  Jobs started at
+        # this very event also occupy nodes and release them later, so they
+        # must be part of the reservation computation below.
+        started_now: List[Tuple[float, int]] = []
+        index = 0
+        while index < len(queue) and queue[index].num_tasks <= len(free):
+            view = queue[index]
+            nodes, free = free[: view.num_tasks], free[view.num_tasks:]
+            decision.set(view.job_id, nodes, 1.0)
+            runtime = view.runtime_estimate
+            if runtime is None:
+                raise SchedulingError(
+                    "EASY requires runtime estimates but none were provided"
+                )
+            started_now.append((context.time + runtime, view.num_tasks))
+            index += 1
+        queue = queue[index:]
+        if not queue:
+            return decision
+
+        # Reservation for the (blocked) head of the queue.
+        head = queue[0]
+        shadow_time, extra_nodes = self._reservation(
+            context, head, len(free), started_now
+        )
+
+        # Backfill the remaining jobs in submission order.
+        for view in queue[1:]:
+            if view.num_tasks > len(free):
+                continue
+            runtime = view.runtime_estimate
+            if runtime is None:
+                raise SchedulingError(
+                    "EASY requires runtime estimates but none were provided"
+                )
+            finishes_in_time = context.time + runtime <= shadow_time + 1e-9
+            uses_only_extra = view.num_tasks <= extra_nodes
+            if finishes_in_time or uses_only_extra:
+                nodes, free = free[: view.num_tasks], free[view.num_tasks:]
+                decision.set(view.job_id, nodes, 1.0)
+                if not finishes_in_time:
+                    extra_nodes -= view.num_tasks
+        return decision
+
+    def _reservation(
+        self,
+        context: SchedulingContext,
+        head: JobView,
+        free_now: int,
+        started_now: List[Tuple[float, int]],
+    ) -> Tuple[float, int]:
+        """Shadow time and extra-node count for the blocked queue head.
+
+        The *shadow time* is the earliest instant at which the head job could
+        start if nothing is backfilled; the *extra nodes* are the nodes that
+        will be free at the shadow time beyond what the head needs — jobs
+        small enough to run on the extra nodes may run past the shadow time.
+        """
+        releases: List[Tuple[float, int]] = list(started_now)
+        for view in context.running_jobs():
+            assert view.assignment is not None
+            remaining = view.remaining_runtime_estimate
+            if remaining is None:
+                raise SchedulingError(
+                    "EASY requires runtime estimates but none were provided"
+                )
+            releases.append((context.time + remaining, len(view.assignment)))
+        releases.sort()
+
+        available = free_now
+        shadow_time = context.time
+        for end_time, released in releases:
+            if available >= head.num_tasks:
+                break
+            available += released
+            shadow_time = end_time
+        if available < head.num_tasks:
+            # Not even draining every running job frees enough nodes; the
+            # engine guards against jobs wider than the cluster, so this
+            # indicates an internal inconsistency.
+            raise SchedulingError(
+                f"job {head.job_id} needs {head.num_tasks} nodes but only "
+                f"{available} can ever be free"
+            )
+        extra_nodes = available - head.num_tasks
+        return shadow_time, extra_nodes

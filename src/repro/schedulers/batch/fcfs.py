@@ -1,0 +1,53 @@
+"""FCFS batch scheduling baseline (paper §IV-B).
+
+First-Come-First-Serve with strict queue order: jobs wait in submission order
+and the head of the queue starts as soon as enough whole nodes are free (one
+node per task, exclusive access, yield 1.0).  No job may overtake the head of
+the queue, which is what EASY backfilling later relaxes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ...core.allocation import AllocationDecision
+from ...core.context import JobView, SchedulingContext
+from ..base import Scheduler
+
+__all__ = ["FcfsScheduler"]
+
+
+class FcfsScheduler(Scheduler):
+    """First-Come-First-Serve with exclusive whole-node allocations."""
+
+    name = "fcfs"
+    exclusive_node_allocation = True
+
+    def free_nodes(self, context: SchedulingContext) -> List[int]:
+        """Node indices not used by any running job, in increasing order."""
+        busy: Set[int] = set()
+        for view in context.running_jobs():
+            assert view.assignment is not None
+            busy.update(view.assignment)
+        return [node for node in context.cluster.node_ids if node not in busy]
+
+    def waiting_queue(self, context: SchedulingContext) -> List[JobView]:
+        """Pending jobs in submission order (batch jobs are never paused)."""
+        return sorted(
+            context.pending_jobs(), key=lambda v: (v.submit_time, v.job_id)
+        )
+
+    def keep_running(self, context: SchedulingContext) -> Dict[int, "JobAllocation"]:
+        """Running jobs keep their nodes untouched."""
+        return context.current_allocations()
+
+    def schedule(self, context: SchedulingContext) -> AllocationDecision:
+        decision = AllocationDecision()
+        decision.running = self.keep_running(context)
+        free = self.free_nodes(context)
+        for view in self.waiting_queue(context):
+            if view.num_tasks > len(free):
+                break  # strict FCFS: nobody overtakes the queue head
+            nodes, free = free[: view.num_tasks], free[view.num_tasks:]
+            decision.set(view.job_id, nodes, 1.0)
+        return decision

@@ -1,0 +1,42 @@
+"""Dynamic Fractional Resource Scheduling algorithms (paper §III)."""
+
+from .dynmcb8 import DynMcb8Scheduler
+from .fairness import LongJobThrottlingScheduler
+from .greedy import GreedyScheduler
+from .greedy_pmtn import GreedyPmtnMigrScheduler, GreedyPmtnScheduler
+from .periodic import (
+    DEFAULT_PERIOD,
+    DynMcb8AsapPeriodicScheduler,
+    DynMcb8PeriodicScheduler,
+)
+from .priority import job_priority, priority_of_view
+from .stretch_per import DynMcb8StretchPeriodicScheduler
+from .weighted import (
+    WeightedYieldScheduler,
+    inverse_size_weight,
+    uniform_weight,
+    weighted_fair_yields,
+    weighted_improve_yield,
+)
+from .yield_opt import fair_yields, improve_average_yield
+
+__all__ = [
+    "DynMcb8Scheduler",
+    "LongJobThrottlingScheduler",
+    "GreedyScheduler",
+    "GreedyPmtnMigrScheduler",
+    "GreedyPmtnScheduler",
+    "DEFAULT_PERIOD",
+    "DynMcb8AsapPeriodicScheduler",
+    "DynMcb8PeriodicScheduler",
+    "job_priority",
+    "priority_of_view",
+    "DynMcb8StretchPeriodicScheduler",
+    "WeightedYieldScheduler",
+    "inverse_size_weight",
+    "uniform_weight",
+    "weighted_fair_yields",
+    "weighted_improve_yield",
+    "fair_yields",
+    "improve_average_yield",
+]

@@ -1,0 +1,73 @@
+"""DYNMCB8: global reallocation via vector packing at every event (§III-B).
+
+At every job submission or completion the whole set of active jobs (running,
+paused, and pending) is repacked from scratch: a binary search on the yield
+finds the largest value for which the MCB8 vector-packing heuristic can place
+every task, all placed jobs receive that yield, and the average-yield
+heuristic then distributes leftover CPU.  If no yield admits a packing (the
+memory requirements alone do not fit), the job with the smallest priority is
+evicted from consideration and the search is retried.
+
+This is the most aggressive DFRS algorithm: with no rescheduling penalty it
+is nearly optimal, but its heavy use of preemption and migration makes it
+lose to the periodic variants once a realistic penalty is charged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ...core.allocation import AllocationDecision
+from ...core.context import JobView, SchedulingContext
+from ...packing.yield_search import PackingJob, maximize_min_yield
+from ..base import Scheduler
+from .priority import sort_by_increasing_priority
+from .yield_opt import build_allocations, improve_average_yield
+
+__all__ = ["DynMcb8Scheduler"]
+
+
+class DynMcb8Scheduler(Scheduler):
+    """The paper's DYNMCB8 algorithm."""
+
+    name = "dynmcb8"
+
+    def schedule(self, context: SchedulingContext) -> AllocationDecision:
+        decision = AllocationDecision()
+        placements, yield_value = self.repack(context, list(context.jobs.values()))
+        yields = {job_id: yield_value for job_id in placements}
+        yields = improve_average_yield(
+            placements, yields, context.jobs, context.cluster
+        )
+        decision.running = build_allocations(placements, yields)
+        return decision
+
+    def repack(
+        self, context: SchedulingContext, candidates: List[JobView]
+    ) -> Tuple[Dict[int, Tuple[int, ...]], float]:
+        """Pack as many candidate jobs as possible at the best common yield.
+
+        Jobs are evicted in increasing priority order until the packing
+        becomes feasible.  Returns the per-job placements and the achieved
+        minimum yield.
+        """
+        # Evict lowest-priority jobs first, so process a mutable list sorted
+        # from most to least deserving (we pop from the end).
+        ordered = list(reversed(sort_by_increasing_priority(candidates)))
+        while ordered:
+            packing_jobs = [
+                PackingJob(
+                    job_id=view.job_id,
+                    num_tasks=view.num_tasks,
+                    cpu_need=view.cpu_need,
+                    mem_requirement=view.mem_requirement,
+                    flow_time=view.flow_time,
+                    virtual_time=view.virtual_time,
+                )
+                for view in ordered
+            ]
+            result = maximize_min_yield(packing_jobs, context.cluster.num_nodes)
+            if result.success:
+                return dict(result.assignments), result.yield_value
+            ordered.pop()
+        return {}, 1.0

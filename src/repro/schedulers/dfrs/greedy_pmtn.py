@@ -1,0 +1,171 @@
+"""GREEDY-PMTN and GREEDY-PMTN-MIGR: greedy DFRS with preemption (§III-A).
+
+Both algorithms force the admission of newly submitted jobs: when a job
+cannot be placed because of memory constraints, currently running jobs are
+considered for pausing in *increasing* priority order until enough memory
+would be freed, then the marked jobs are re-examined in *decreasing* priority
+order and any that can be kept running (the incoming job still fits) is
+unmarked.  The remaining marked jobs are paused and the new job starts.
+
+Paused jobs are resumed, in decreasing priority order, at any later event
+where memory allows.  GREEDY-PMTN-MIGR additionally allows a job paused at
+the current event to be restarted *within the same event* on a different set
+of nodes, which the engine accounts for as a migration rather than a
+preemption/resume cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ...core.allocation import AllocationDecision
+from ...core.cluster import ClusterUsage
+from ...core.context import JobView, SchedulingContext
+from .greedy import GreedyScheduler
+from .placement import greedy_place_job
+from .priority import sort_by_decreasing_priority, sort_by_increasing_priority
+
+__all__ = ["GreedyPmtnScheduler", "GreedyPmtnMigrScheduler"]
+
+
+class GreedyPmtnScheduler(GreedyScheduler):
+    """GREEDY-PMTN: greedy placement with forced admission via preemption."""
+
+    name = "greedy-pmtn"
+    #: Whether jobs paused at this event may be restarted within the event
+    #: on other nodes (the MIGR variant flips this to True).
+    resume_within_event = False
+
+    def schedule(self, context: SchedulingContext) -> AllocationDecision:
+        decision = AllocationDecision()
+        placements: Dict[int, Tuple[int, ...]] = {
+            view.job_id: view.assignment  # type: ignore[misc]
+            for view in context.running_jobs()
+        }
+        usage = self._usage_of(placements, context)
+        #: Jobs that were running before this event (eligible for pausing).
+        previously_running: Set[int] = set(placements)
+        paused_now: List[JobView] = []
+
+        for view in self._eligible_pending(context):
+            if self._admit(view, context, placements, usage, previously_running,
+                           paused_now):
+                self._forget(view.job_id)
+            else:
+                self._postpone(view, context, decision)
+
+        # Resume jobs paused at earlier events, most deserving first.
+        for view in sort_by_decreasing_priority(context.paused_jobs()):
+            nodes = greedy_place_job(view, usage)
+            if nodes is not None:
+                placements[view.job_id] = tuple(nodes)
+
+        if self.resume_within_event:
+            # MIGR variant: jobs paused at this very event may move instead.
+            for view in sort_by_decreasing_priority(paused_now):
+                nodes = greedy_place_job(view, usage)
+                if nodes is not None:
+                    placements[view.job_id] = tuple(nodes)
+
+        return self._finalize(placements, context, decision)
+
+    # -- internals ---------------------------------------------------------
+    def _usage_of(
+        self, placements: Dict[int, Tuple[int, ...]], context: SchedulingContext
+    ) -> ClusterUsage:
+        usage = context.cluster.usage()
+        for job_id, nodes in placements.items():
+            view = context.jobs[job_id]
+            for node in nodes:
+                usage.add_task(
+                    node, view.cpu_need, view.mem_requirement, 0.0, check=False
+                )
+        return usage
+
+    def _remove_from_usage(
+        self, view: JobView, nodes: Tuple[int, ...], usage: ClusterUsage
+    ) -> None:
+        for node in nodes:
+            usage.remove_task(node, view.cpu_need, view.mem_requirement, 0.0)
+
+    def _add_to_usage(
+        self, view: JobView, nodes: Tuple[int, ...], usage: ClusterUsage
+    ) -> None:
+        for node in nodes:
+            usage.add_task(node, view.cpu_need, view.mem_requirement, 0.0, check=False)
+
+    def _admit(
+        self,
+        view: JobView,
+        context: SchedulingContext,
+        placements: Dict[int, Tuple[int, ...]],
+        usage: ClusterUsage,
+        previously_running: Set[int],
+        paused_now: List[JobView],
+    ) -> bool:
+        """Try to start ``view`` now, pausing running jobs if needed.
+
+        Returns True when the job was placed (``placements`` and ``usage`` are
+        updated in place), False when it must be postponed.
+        """
+        nodes = greedy_place_job(view, usage)
+        if nodes is not None:
+            placements[view.job_id] = tuple(nodes)
+            return True
+
+        # Mark running jobs for pausing, least deserving first, until the
+        # incoming job would fit.
+        pausable = [
+            context.jobs[job_id]
+            for job_id in placements
+            if job_id in previously_running
+        ]
+        marked: List[JobView] = []
+        scratch = usage.snapshot()
+        feasible = False
+        for candidate in sort_by_increasing_priority(pausable):
+            self._remove_from_usage(candidate, placements[candidate.job_id], scratch)
+            marked.append(candidate)
+            probe = scratch.snapshot()
+            if greedy_place_job(view, probe) is not None:
+                feasible = True
+                break
+        if not feasible:
+            return False
+
+        # Second pass: keep running any marked job whose presence still lets
+        # the incoming job start, most deserving first.
+        kept: List[JobView] = []
+        for candidate in sort_by_decreasing_priority(marked):
+            probe = scratch.snapshot()
+            self._add_to_usage(candidate, placements[candidate.job_id], probe)
+            if greedy_place_job(view, probe.snapshot()) is not None:
+                self._add_to_usage(candidate, placements[candidate.job_id], scratch)
+                kept.append(candidate)
+        to_pause = [c for c in marked if c not in kept]
+
+        for candidate in to_pause:
+            del placements[candidate.job_id]
+            paused_now.append(candidate)
+
+        nodes = greedy_place_job(view, scratch)
+        if nodes is None:  # pragma: no cover - guarded by the feasibility probe
+            return False
+        placements[view.job_id] = tuple(nodes)
+        # Adopt the scratch tally (it reflects pauses and the new placement).
+        self._copy_usage(scratch, usage)
+        return True
+
+    @staticmethod
+    def _copy_usage(source: ClusterUsage, target: ClusterUsage) -> None:
+        target._cpu_alloc[:] = source._cpu_alloc
+        target._cpu_load[:] = source._cpu_load
+        target._memory[:] = source._memory
+        target._tasks[:] = source._tasks
+
+
+class GreedyPmtnMigrScheduler(GreedyPmtnScheduler):
+    """GREEDY-PMTN-MIGR: paused-at-this-event jobs may move immediately."""
+
+    name = "greedy-pmtn-migr"
+    resume_within_event = True

@@ -1,0 +1,63 @@
+"""Greedy memory-constrained task placement (paper §III-A, GREEDY).
+
+For each task of a job, among the nodes that still have enough free memory,
+the node with the lowest CPU load (sum of CPU needs of the tasks it hosts) is
+chosen.  A node whose remaining memory can no longer host another task drops
+out of consideration automatically.  The helper operates on a scratch
+:class:`~repro.core.cluster.ClusterUsage` so callers can chain placements of
+several jobs and roll back on failure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ...core.cluster import ClusterUsage
+from ...core.context import JobView
+
+__all__ = ["greedy_place_job", "usage_from_placements", "can_place_job"]
+
+
+def greedy_place_job(view: JobView, usage: ClusterUsage) -> Optional[List[int]]:
+    """Place every task of ``view`` on the least loaded memory-feasible node.
+
+    On success the placement is committed to ``usage`` (CPU load and memory
+    are updated; no CPU fraction is reserved since yields are decided later)
+    and the list of node indices is returned.  On failure ``usage`` is left
+    untouched and ``None`` is returned.
+    """
+    placed: List[int] = []
+    for _ in range(view.num_tasks):
+        candidates = [
+            node
+            for node in usage.nodes_by_cpu_load()
+            if usage.can_fit_memory(node, view.mem_requirement)
+        ]
+        if not candidates:
+            for node in placed:
+                usage.remove_task(node, view.cpu_need, view.mem_requirement, 0.0)
+            return None
+        node = candidates[0]
+        usage.add_task(node, view.cpu_need, view.mem_requirement, 0.0)
+        placed.append(node)
+    return placed
+
+
+def can_place_job(view: JobView, usage: ClusterUsage) -> bool:
+    """True if :func:`greedy_place_job` would succeed (without committing)."""
+    scratch = usage.snapshot()
+    return greedy_place_job(view, scratch) is not None
+
+
+def usage_from_placements(
+    placements: Mapping[int, Tuple[int, ...]],
+    jobs: Mapping[int, JobView],
+    cluster,
+) -> ClusterUsage:
+    """Usage tally (memory + CPU load) implied by a set of placements."""
+    usage = cluster.usage()
+    for job_id, nodes in placements.items():
+        view = jobs[job_id]
+        for node in nodes:
+            usage.add_task(node, view.cpu_need, view.mem_requirement, 0.0, check=False)
+    return usage

@@ -1,0 +1,219 @@
+"""User-priority (weighted-yield) DFRS scheduling.
+
+The paper's conclusion lists "mechanisms for implementing user priorities,
+such as those supported in batch scheduling systems" as needed future work.
+This module provides that mechanism on top of DYNMCB8-ASAP-PER:
+
+* every job receives a **weight** from a user-supplied weight function (a
+  plain callable on the job view, so weights can encode users, queues, job
+  size, or anything else visible to a non-clairvoyant scheduler);
+* at every repacking, instead of giving all placed jobs the same yield, the
+  scheduler performs **weighted max–min sharing**: it finds the largest
+  ``z`` such that giving every job the yield ``min(1, weight × z)`` keeps
+  every node's allocated CPU within capacity, for the placements chosen by
+  the MCB8 packing;
+* leftover CPU is then handed out in decreasing weight order (ties broken by
+  the usual smallest-total-need rule).
+
+With all weights equal to 1 the behaviour reduces exactly to
+DYNMCB8-ASAP-PER.  Weighted sharing only changes CPU shares, never
+placements, so the preemption/migration profile is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Tuple
+
+import numpy as np
+
+from ...core.allocation import AllocationDecision
+from ...core.cluster import CAPACITY_EPSILON, Cluster
+from ...core.context import JobView, SchedulingContext
+from ...core.job import MINIMUM_YIELD
+from ...exceptions import ConfigurationError
+from .periodic import DEFAULT_PERIOD, DynMcb8AsapPeriodicScheduler
+from .yield_opt import build_allocations
+
+__all__ = [
+    "WeightFunction",
+    "uniform_weight",
+    "inverse_size_weight",
+    "weighted_fair_yields",
+    "weighted_improve_yield",
+    "WeightedYieldScheduler",
+]
+
+#: A weight function maps a job view to a strictly positive weight.
+WeightFunction = Callable[[JobView], float]
+
+
+def uniform_weight(view: JobView) -> float:
+    """Every job weighs the same (reduces to plain max–min sharing)."""
+    return 1.0
+
+
+def inverse_size_weight(view: JobView) -> float:
+    """Favour narrow jobs: weight ``1 / num_tasks``.
+
+    This encodes the common administrative policy of protecting small
+    (interactive, debugging) jobs from wide production runs.
+    """
+    return 1.0 / view.num_tasks
+
+
+def _check_weights(weights: Mapping[int, float]) -> None:
+    for job_id, weight in weights.items():
+        if weight <= 0 or not np.isfinite(weight):
+            raise ConfigurationError(
+                f"job {job_id}: weight must be finite and > 0, got {weight}"
+            )
+
+
+def weighted_fair_yields(
+    placements: Mapping[int, Tuple[int, ...]],
+    jobs: Mapping[int, JobView],
+    cluster: Cluster,
+    weights: Mapping[int, float],
+    *,
+    iterations: int = 40,
+) -> Dict[int, float]:
+    """Weighted max–min yields for fixed placements.
+
+    Finds (by bisection) the largest ``z`` such that yields
+    ``min(1, weight_j × z)`` keep the allocated CPU of every node within
+    capacity, then returns those yields clamped to ``[MINIMUM_YIELD, 1]``.
+    """
+    if not placements:
+        return {}
+    _check_weights({job_id: weights[job_id] for job_id in placements})
+
+    # Per-node task counts per job, reused by every feasibility probe.
+    counts: Dict[int, Dict[int, int]] = {}
+    for job_id, nodes in placements.items():
+        per_node: Dict[int, int] = {}
+        for node in nodes:
+            per_node[node] = per_node.get(node, 0) + 1
+        counts[job_id] = per_node
+
+    def feasible(z: float) -> bool:
+        allocated = np.zeros(cluster.num_nodes, dtype=float)
+        for job_id, per_node in counts.items():
+            view = jobs[job_id]
+            value = min(1.0, weights[job_id] * z)
+            for node, count in per_node.items():
+                allocated[node] += count * view.cpu_need * value
+        return bool(np.all(allocated <= 1.0 + CAPACITY_EPSILON))
+
+    max_weight = max(weights[job_id] for job_id in placements)
+    low, high = 0.0, 1.0 / max_weight  # z beyond this point changes nothing...
+    # ...unless smaller weights still grow; extend until every yield saturates.
+    while any(min(1.0, weights[job_id] * high) < 1.0 for job_id in placements) and feasible(high):
+        low = high
+        high *= 2.0
+    if feasible(high):
+        low = high
+    for _ in range(iterations):
+        mid = (low + high) / 2.0
+        if feasible(mid):
+            low = mid
+        else:
+            high = mid
+    return {
+        job_id: min(1.0, max(MINIMUM_YIELD, weights[job_id] * low))
+        for job_id in placements
+    }
+
+
+def weighted_improve_yield(
+    placements: Mapping[int, Tuple[int, ...]],
+    yields: Mapping[int, float],
+    jobs: Mapping[int, JobView],
+    cluster: Cluster,
+    weights: Mapping[int, float],
+) -> Dict[int, float]:
+    """Hand leftover CPU to jobs in decreasing weight order.
+
+    Like the paper's average-yield heuristic, this never decreases a yield
+    and never violates node capacities; the only difference is the order in
+    which candidate jobs are considered.
+    """
+    improved: Dict[int, float] = dict(yields)
+    if not placements:
+        return improved
+    _check_weights({job_id: weights[job_id] for job_id in placements})
+
+    allocated = np.zeros(cluster.num_nodes, dtype=float)
+    counts: Dict[int, Dict[int, int]] = {}
+    for job_id, nodes in placements.items():
+        need = jobs[job_id].cpu_need
+        per_node: Dict[int, int] = {}
+        for node in nodes:
+            per_node[node] = per_node.get(node, 0) + 1
+        counts[job_id] = per_node
+        for node, count in per_node.items():
+            allocated[node] += count * need * improved[job_id]
+
+    while True:
+        best_job = None
+        best_key: Tuple[float, float] = (0.0, 0.0)
+        for job_id, per_node in counts.items():
+            if improved[job_id] >= 1.0 - 1e-9:
+                continue
+            if all(allocated[node] < 1.0 - CAPACITY_EPSILON for node in per_node):
+                key = (weights[job_id], -jobs[job_id].total_cpu_need)
+                if best_job is None or key > best_key:
+                    best_key = key
+                    best_job = job_id
+        if best_job is None:
+            break
+        per_node = counts[best_job]
+        need = jobs[best_job].cpu_need
+        delta = min(
+            (1.0 - allocated[node]) / (count * need)
+            for node, count in per_node.items()
+        )
+        delta = min(delta, 1.0 - improved[best_job])
+        if delta <= 1e-9:
+            improved[best_job] = min(1.0, improved[best_job] + 1e-9)
+            continue
+        improved[best_job] += delta
+        for node, count in per_node.items():
+            allocated[node] += count * need * delta
+    return improved
+
+
+class WeightedYieldScheduler(DynMcb8AsapPeriodicScheduler):
+    """DYNMCB8-ASAP-PER with weighted max–min CPU sharing."""
+
+    def __init__(
+        self,
+        period: float = DEFAULT_PERIOD,
+        *,
+        weight_function: WeightFunction = inverse_size_weight,
+    ) -> None:
+        super().__init__(period)
+        if not callable(weight_function):
+            raise ConfigurationError("weight_function must be callable")
+        self.weight_function = weight_function
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"dynmcb8-asap-weighted-per-{int(self.period)}"
+
+    def _weights(self, context: SchedulingContext, placements) -> Dict[int, float]:
+        return {
+            job_id: float(self.weight_function(context.jobs[job_id]))
+            for job_id in placements
+        }
+
+    def _repack_all(
+        self, context: SchedulingContext, decision: AllocationDecision
+    ) -> AllocationDecision:
+        placements, _ = self.repack(context, list(context.jobs.values()))
+        weights = self._weights(context, placements)
+        yields = weighted_fair_yields(placements, context.jobs, context.cluster, weights)
+        yields = weighted_improve_yield(
+            placements, yields, context.jobs, context.cluster, weights
+        )
+        decision.running = build_allocations(placements, yields)
+        return decision

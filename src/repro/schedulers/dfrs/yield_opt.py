@@ -1,0 +1,134 @@
+"""Yield assignment helpers shared by the DFRS schedulers.
+
+Two steps are composed by every DFRS algorithm except DYNMCB8-STRETCH-PER
+(paper §III-A):
+
+1. :func:`fair_yields` — given fixed placements, give every job the same
+   yield ``1 / max(1, Λ)`` where Λ is the maximum CPU load (sum of CPU
+   *needs*) over all nodes.  This maximizes the minimum yield for the given
+   placement.
+2. :func:`improve_average_yield` — repeatedly pick, among the jobs whose
+   nodes all have spare CPU capacity, the one with the smallest total CPU
+   need (best improvement of the average yield per unit of CPU consumed) and
+   raise its yield as much as possible.  This never decreases any yield.
+
+Placements are expressed as a mapping ``job_id -> tuple of node indices`` and
+job characteristics are read from :class:`~repro.core.context.JobView`
+objects, so these helpers are usable both on current allocations and on
+hypothetical packings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ...core.allocation import JobAllocation
+from ...core.cluster import CAPACITY_EPSILON, Cluster
+from ...core.context import JobView
+from ...core.job import MINIMUM_YIELD
+
+__all__ = ["fair_yields", "improve_average_yield", "build_allocations"]
+
+
+def _node_loads(
+    placements: Mapping[int, Tuple[int, ...]],
+    jobs: Mapping[int, JobView],
+    num_nodes: int,
+) -> np.ndarray:
+    """Per-node sum of CPU needs implied by ``placements``."""
+    loads = np.zeros(num_nodes, dtype=float)
+    for job_id, nodes in placements.items():
+        need = jobs[job_id].cpu_need
+        for node in nodes:
+            loads[node] += need
+    return loads
+
+
+def fair_yields(
+    placements: Mapping[int, Tuple[int, ...]],
+    jobs: Mapping[int, JobView],
+    cluster: Cluster,
+) -> Dict[int, float]:
+    """Identical yield ``1 / max(1, Λ)`` for every placed job."""
+    if not placements:
+        return {}
+    loads = _node_loads(placements, jobs, cluster.num_nodes)
+    max_load = float(loads.max()) if loads.size else 0.0
+    value = 1.0 / max(1.0, max_load)
+    value = min(1.0, max(MINIMUM_YIELD, value))
+    return {job_id: value for job_id in placements}
+
+
+def improve_average_yield(
+    placements: Mapping[int, Tuple[int, ...]],
+    yields: Mapping[int, float],
+    jobs: Mapping[int, JobView],
+    cluster: Cluster,
+) -> Dict[int, float]:
+    """Greedy average-yield improvement (paper §III-A).
+
+    Returns a new yield mapping that is point-wise ``>=`` the input and keeps
+    every node's allocated CPU fraction within capacity.
+    """
+    improved: Dict[int, float] = dict(yields)
+    if not placements:
+        return improved
+
+    # Allocated CPU fraction per node under the current yields.
+    allocated = np.zeros(cluster.num_nodes, dtype=float)
+    tasks_per_node: Dict[int, Dict[int, int]] = {}
+    for job_id, nodes in placements.items():
+        need = jobs[job_id].cpu_need
+        counts: Dict[int, int] = {}
+        for node in nodes:
+            counts[node] = counts.get(node, 0) + 1
+        tasks_per_node[job_id] = counts
+        for node, count in counts.items():
+            allocated[node] += count * need * improved[job_id]
+
+    while True:
+        best_job = None
+        best_need = float("inf")
+        for job_id, nodes in placements.items():
+            if improved[job_id] >= 1.0 - 1e-9:
+                continue
+            counts = tasks_per_node[job_id]
+            # Every node hosting this job must have spare CPU capacity.
+            if all(
+                allocated[node] < 1.0 - CAPACITY_EPSILON for node in counts
+            ):
+                total_need = jobs[job_id].total_cpu_need
+                if total_need < best_need:
+                    best_need = total_need
+                    best_job = job_id
+        if best_job is None:
+            break
+        counts = tasks_per_node[best_job]
+        need = jobs[best_job].cpu_need
+        # Largest yield increase that keeps every hosting node within capacity.
+        delta = min(
+            (1.0 - allocated[node]) / (count * need)
+            for node, count in counts.items()
+        )
+        delta = min(delta, 1.0 - improved[best_job])
+        if delta <= 1e-9:
+            # Numerical corner: mark the job as saturated and continue.
+            improved[best_job] = min(1.0, improved[best_job] + 1e-9)
+            continue
+        improved[best_job] += delta
+        for node, count in counts.items():
+            allocated[node] += count * need * delta
+    return improved
+
+
+def build_allocations(
+    placements: Mapping[int, Tuple[int, ...]],
+    yields: Mapping[int, float],
+) -> Dict[int, JobAllocation]:
+    """Combine placements and yields into :class:`JobAllocation` objects."""
+    return {
+        job_id: JobAllocation.create(nodes, yields[job_id])
+        for job_id, nodes in placements.items()
+    }

@@ -1,0 +1,114 @@
+"""Name-based scheduler registry.
+
+Every algorithm evaluated in the paper is constructible from a short string
+(e.g. ``"dynmcb8-asap-per-600"``), which the experiment harness, the CLI, and
+the benchmarks use to stay declarative.  Periodic algorithms accept an
+optional ``-<seconds>`` suffix overriding the default 600-second period.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List
+
+from ..exceptions import ConfigurationError
+from .base import Scheduler
+from .batch.conservative import ConservativeBackfillingScheduler
+from .batch.easy import EasyBackfillingScheduler
+from .batch.fcfs import FcfsScheduler
+from .batch.gang import GangScheduler
+from .dfrs.dynmcb8 import DynMcb8Scheduler
+from .dfrs.fairness import LongJobThrottlingScheduler
+from .dfrs.greedy import GreedyScheduler
+from .dfrs.greedy_pmtn import GreedyPmtnMigrScheduler, GreedyPmtnScheduler
+from .dfrs.periodic import (
+    DEFAULT_PERIOD,
+    DynMcb8AsapPeriodicScheduler,
+    DynMcb8PeriodicScheduler,
+)
+from .dfrs.stretch_per import DynMcb8StretchPeriodicScheduler
+from .dfrs.weighted import WeightedYieldScheduler
+
+__all__ = [
+    "create_scheduler",
+    "available_algorithms",
+    "PAPER_ALGORITHMS",
+    "DFRS_ALGORITHMS",
+    "BATCH_ALGORITHMS",
+]
+
+#: The nine algorithms evaluated in the paper, in the order of Table I.
+PAPER_ALGORITHMS: List[str] = [
+    "fcfs",
+    "easy",
+    "greedy",
+    "greedy-pmtn",
+    "greedy-pmtn-migr",
+    "dynmcb8",
+    "dynmcb8-per-600",
+    "dynmcb8-asap-per-600",
+    "dynmcb8-stretch-per-600",
+]
+
+BATCH_ALGORITHMS: List[str] = ["fcfs", "easy"]
+DFRS_ALGORITHMS: List[str] = [name for name in PAPER_ALGORITHMS if name not in BATCH_ALGORITHMS]
+
+_SIMPLE_FACTORIES: Dict[str, Callable[[], Scheduler]] = {
+    "fcfs": FcfsScheduler,
+    "easy": EasyBackfillingScheduler,
+    "conservative": ConservativeBackfillingScheduler,
+    "gang": GangScheduler,
+    "greedy": GreedyScheduler,
+    "greedy-pmtn": GreedyPmtnScheduler,
+    "greedy-pmtn-migr": GreedyPmtnMigrScheduler,
+    "dynmcb8": DynMcb8Scheduler,
+}
+
+#: Algorithms taking an integer suffix interpreted as their period in seconds.
+_PERIODIC_FACTORIES: Dict[str, Callable[[float], Scheduler]] = {
+    "dynmcb8-per": DynMcb8PeriodicScheduler,
+    "dynmcb8-asap-per": DynMcb8AsapPeriodicScheduler,
+    "dynmcb8-stretch-per": DynMcb8StretchPeriodicScheduler,
+    # Extensions (paper's future work): long-job yield throttling and
+    # user-priority weighted sharing on top of DYNMCB8-ASAP-PER.  Not part of
+    # PAPER_ALGORITHMS.
+    "dynmcb8-asap-throttled-per": LongJobThrottlingScheduler,
+    "dynmcb8-asap-weighted-per": WeightedYieldScheduler,
+}
+
+#: Algorithms taking an integer suffix with a non-period meaning.
+_INTEGER_SUFFIX_FACTORIES: Dict[str, Callable[[int], Scheduler]] = {
+    # gang-<rows>: idealised gang scheduling with the given multiprogramming level.
+    "gang": lambda rows: GangScheduler(max_rows=rows),
+}
+
+_PERIODIC_PATTERN = re.compile(r"^(?P<base>[a-z0-9\-]+?)(?:-(?P<period>\d+))?$")
+
+
+def available_algorithms() -> List[str]:
+    """Names accepted by :func:`create_scheduler` (periodic names unsuffixed)."""
+    return sorted(list(_SIMPLE_FACTORIES) + list(_PERIODIC_FACTORIES))
+
+
+def create_scheduler(name: str) -> Scheduler:
+    """Instantiate a scheduler from its registry name.
+
+    Periodic algorithms accept an optional period suffix, e.g.
+    ``"dynmcb8-per"`` (default 600 s) or ``"dynmcb8-per-60"``.
+    """
+    key = name.strip().lower()
+    if key in _SIMPLE_FACTORIES:
+        return _SIMPLE_FACTORIES[key]()
+    match = _PERIODIC_PATTERN.match(key)
+    if match:
+        base = match.group("base")
+        period = match.group("period")
+        if base in _PERIODIC_FACTORIES:
+            seconds = float(period) if period is not None else DEFAULT_PERIOD
+            return _PERIODIC_FACTORIES[base](seconds)
+        if base in _INTEGER_SUFFIX_FACTORIES and period is not None:
+            return _INTEGER_SUFFIX_FACTORIES[base](int(period))
+    raise ConfigurationError(
+        f"unknown scheduling algorithm {name!r}; known algorithms: "
+        f"{', '.join(available_algorithms())}"
+    )

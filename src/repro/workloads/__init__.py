@@ -1,0 +1,63 @@
+"""Workload generation and trace handling (Lublin model, SWF, HPC2N)."""
+
+from .characterization import (
+    WorkloadCharacterization,
+    characterization_table,
+    characterize,
+    size_histogram,
+)
+from .cpu import CpuNeedModel
+from .filters import (
+    clip_runtimes,
+    drop_shorter_than,
+    drop_wider_than,
+    filter_jobs,
+    merge_workloads,
+    rebase_submit_times,
+    truncate_after,
+)
+from .hpc2n import (
+    HPC2N_CLUSTER,
+    WEEK_SECONDS,
+    Hpc2nLikeTraceGenerator,
+    Hpc2nPreprocessingOptions,
+    swf_to_dfrs_jobs,
+)
+from .lublin import LublinModelParameters, LublinWorkloadGenerator
+from .memory import MemoryRequirementModel
+from .model import Workload, offered_load
+from .scaling import DEFAULT_LOAD_LEVELS, load_sweep, scale_to_load
+from .swf import SwfRecord, parse_swf, parse_swf_lines, swf_header, write_swf
+
+__all__ = [
+    "WorkloadCharacterization",
+    "characterization_table",
+    "characterize",
+    "size_histogram",
+    "clip_runtimes",
+    "drop_shorter_than",
+    "drop_wider_than",
+    "filter_jobs",
+    "merge_workloads",
+    "rebase_submit_times",
+    "truncate_after",
+    "CpuNeedModel",
+    "HPC2N_CLUSTER",
+    "WEEK_SECONDS",
+    "Hpc2nLikeTraceGenerator",
+    "Hpc2nPreprocessingOptions",
+    "swf_to_dfrs_jobs",
+    "LublinModelParameters",
+    "LublinWorkloadGenerator",
+    "MemoryRequirementModel",
+    "Workload",
+    "offered_load",
+    "DEFAULT_LOAD_LEVELS",
+    "load_sweep",
+    "scale_to_load",
+    "SwfRecord",
+    "parse_swf",
+    "parse_swf_lines",
+    "swf_header",
+    "write_swf",
+]

@@ -1,0 +1,175 @@
+"""Workload characterization in the terms used by the paper's motivation.
+
+The paper's introduction justifies DFRS with observations about real HPC
+workloads: "more than 95% of the jobs use under 40% of a node's memory, and
+more than 27% of the jobs effectively use less than 50% of the node's CPU
+resource".  This module computes exactly those quantities (and a few more)
+for any :class:`~repro.workloads.model.Workload`, so that synthetic traces
+can be checked against the assumptions they are supposed to embody and real
+SWF traces can be profiled before being fed to the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+from .model import Workload
+
+__all__ = [
+    "WorkloadCharacterization",
+    "characterize",
+    "size_histogram",
+    "characterization_table",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadCharacterization:
+    """Descriptive profile of one workload."""
+
+    name: str
+    num_jobs: int
+    offered_load: float
+    span_seconds: float
+    #: Fraction of jobs with a single task.
+    serial_fraction: float
+    #: Fraction of jobs whose per-task memory requirement is below 40 % (§I).
+    fraction_memory_under_40pct: float
+    #: Fraction of jobs whose per-task CPU need is below 50 % (§I).
+    fraction_cpu_under_50pct: float
+    mean_tasks: float
+    max_tasks: int
+    mean_runtime_seconds: float
+    median_runtime_seconds: float
+    p95_runtime_seconds: float
+    mean_interarrival_seconds: float
+    #: Total node-seconds of work requested (Σ tasks × runtime).
+    total_demand_node_seconds: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "num_jobs": float(self.num_jobs),
+            "offered_load": self.offered_load,
+            "span_seconds": self.span_seconds,
+            "serial_fraction": self.serial_fraction,
+            "fraction_memory_under_40pct": self.fraction_memory_under_40pct,
+            "fraction_cpu_under_50pct": self.fraction_cpu_under_50pct,
+            "mean_tasks": self.mean_tasks,
+            "max_tasks": float(self.max_tasks),
+            "mean_runtime_seconds": self.mean_runtime_seconds,
+            "median_runtime_seconds": self.median_runtime_seconds,
+            "p95_runtime_seconds": self.p95_runtime_seconds,
+            "mean_interarrival_seconds": self.mean_interarrival_seconds,
+            "total_demand_node_seconds": self.total_demand_node_seconds,
+        }
+
+
+def characterize(
+    workload: Workload,
+    *,
+    memory_threshold: float = 0.4,
+    cpu_threshold: float = 0.5,
+) -> WorkloadCharacterization:
+    """Profile a workload with the paper's motivating statistics.
+
+    ``memory_threshold`` and ``cpu_threshold`` default to the §I thresholds
+    (40 % of node memory, 50 % of node CPU) but can be changed to study other
+    cut-offs.
+    """
+    if not workload.jobs:
+        raise WorkloadError(f"workload {workload.name!r} is empty")
+    if not (0.0 < memory_threshold <= 1.0):
+        raise WorkloadError(f"memory_threshold must be in (0, 1], got {memory_threshold}")
+    if not (0.0 < cpu_threshold <= 1.0):
+        raise WorkloadError(f"cpu_threshold must be in (0, 1], got {cpu_threshold}")
+
+    tasks = np.array([spec.num_tasks for spec in workload.jobs], dtype=float)
+    runtimes = np.array([spec.execution_time for spec in workload.jobs], dtype=float)
+    memory = np.array([spec.mem_requirement for spec in workload.jobs], dtype=float)
+    cpu = np.array([spec.cpu_need for spec in workload.jobs], dtype=float)
+    submits = np.array(sorted(spec.submit_time for spec in workload.jobs), dtype=float)
+    interarrivals = np.diff(submits) if submits.size > 1 else np.array([0.0])
+
+    return WorkloadCharacterization(
+        name=workload.name,
+        num_jobs=len(workload.jobs),
+        offered_load=workload.load(),
+        span_seconds=workload.span_seconds,
+        serial_fraction=float(np.mean(tasks == 1)),
+        fraction_memory_under_40pct=float(np.mean(memory < memory_threshold)),
+        fraction_cpu_under_50pct=float(np.mean(cpu < cpu_threshold)),
+        mean_tasks=float(tasks.mean()),
+        max_tasks=int(tasks.max()),
+        mean_runtime_seconds=float(runtimes.mean()),
+        median_runtime_seconds=float(np.median(runtimes)),
+        p95_runtime_seconds=float(np.percentile(runtimes, 95)),
+        mean_interarrival_seconds=float(interarrivals.mean()),
+        total_demand_node_seconds=float(np.dot(tasks, runtimes)),
+    )
+
+
+def size_histogram(workload: Workload) -> List[Tuple[str, int]]:
+    """Histogram of job widths in power-of-two buckets.
+
+    Returns ``(label, count)`` pairs in increasing width order, e.g.
+    ``[("1", 120), ("2-3", 18), ("4-7", 30), ...]``.  Buckets with zero jobs
+    are omitted.
+    """
+    if not workload.jobs:
+        raise WorkloadError(f"workload {workload.name!r} is empty")
+    counts: Dict[int, int] = {}
+    for spec in workload.jobs:
+        bucket = int(np.floor(np.log2(spec.num_tasks)))
+        counts[bucket] = counts.get(bucket, 0) + 1
+    histogram: List[Tuple[str, int]] = []
+    for bucket in sorted(counts):
+        low = 2**bucket
+        high = 2 ** (bucket + 1) - 1
+        label = str(low) if low == high else f"{low}-{high}"
+        histogram.append((label, counts[bucket]))
+    return histogram
+
+
+def characterization_table(
+    characterizations: Sequence[WorkloadCharacterization],
+) -> str:
+    """Fixed-width text table of several workload profiles, one per row."""
+    if not characterizations:
+        raise WorkloadError("need at least one characterization to render a table")
+    headers = [
+        "workload",
+        "jobs",
+        "load",
+        "serial%",
+        "mem<40%",
+        "cpu<50%",
+        "mean tasks",
+        "median runtime (s)",
+    ]
+    rows = [
+        [
+            profile.name,
+            str(profile.num_jobs),
+            f"{profile.offered_load:.2f}",
+            f"{100 * profile.serial_fraction:.0f}",
+            f"{100 * profile.fraction_memory_under_40pct:.0f}",
+            f"{100 * profile.fraction_cpu_under_50pct:.0f}",
+            f"{profile.mean_tasks:.1f}",
+            f"{profile.median_runtime_seconds:.0f}",
+        ]
+        for profile in characterizations
+    ]
+    widths = [
+        max(len(headers[i]), max(len(row[i]) for row in rows)) for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

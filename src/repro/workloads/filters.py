@@ -1,0 +1,166 @@
+"""Workload cleaning and transformation utilities.
+
+Real SWF traces routinely need cleaning before they can drive a simulation:
+jobs wider than the simulated cluster, zero-length jobs left by crashed
+submissions, bursts one wants to excise, several logs to be merged into one.
+The paper performs such preprocessing by hand for the HPC2N trace (§IV-C);
+these helpers make every step explicit, reusable, and testable.
+
+All functions return **new** :class:`~repro.workloads.model.Workload`
+objects; the input is never mutated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Optional, Sequence
+
+from ..core.job import JobSpec
+from ..exceptions import WorkloadError
+from .model import Workload
+
+__all__ = [
+    "filter_jobs",
+    "drop_wider_than",
+    "drop_shorter_than",
+    "clip_runtimes",
+    "rebase_submit_times",
+    "truncate_after",
+    "merge_workloads",
+]
+
+
+def filter_jobs(
+    workload: Workload,
+    predicate: Callable[[JobSpec], bool],
+    *,
+    name: Optional[str] = None,
+) -> Workload:
+    """Keep only the jobs for which ``predicate`` returns True."""
+    kept = [spec for spec in workload.jobs if predicate(spec)]
+    return Workload(name or f"{workload.name}-filtered", workload.cluster, kept)
+
+
+def drop_wider_than(workload: Workload, max_tasks: Optional[int] = None) -> Workload:
+    """Drop jobs requesting more tasks than ``max_tasks``.
+
+    With ``max_tasks=None`` the cluster size is used, which is the cleaning
+    step every batch baseline needs (a job wider than the cluster can never
+    start under exclusive node allocation).
+    """
+    limit = workload.cluster.num_nodes if max_tasks is None else max_tasks
+    if limit < 1:
+        raise WorkloadError(f"max_tasks must be >= 1, got {limit}")
+    return filter_jobs(
+        workload,
+        lambda spec: spec.num_tasks <= limit,
+        name=f"{workload.name}-max{limit}",
+    )
+
+
+def drop_shorter_than(workload: Workload, min_runtime_seconds: float) -> Workload:
+    """Drop jobs with a dedicated execution time below ``min_runtime_seconds``.
+
+    Useful for excluding the crashed-at-startup jobs that motivate the
+    *bounded* stretch (§II-B2) when one wants to study the unbounded metric.
+    """
+    if min_runtime_seconds < 0:
+        raise WorkloadError(
+            f"min_runtime_seconds must be >= 0, got {min_runtime_seconds}"
+        )
+    return filter_jobs(
+        workload,
+        lambda spec: spec.execution_time >= min_runtime_seconds,
+        name=f"{workload.name}-min{int(min_runtime_seconds)}s",
+    )
+
+
+def clip_runtimes(
+    workload: Workload,
+    *,
+    min_runtime_seconds: float = 1.0,
+    max_runtime_seconds: Optional[float] = None,
+) -> Workload:
+    """Clamp every job's execution time into the given range.
+
+    Unlike :func:`drop_shorter_than` this keeps every job; it is the standard
+    way of handling the zero-second runtimes found in some archive traces
+    without changing the job count.
+    """
+    if min_runtime_seconds <= 0:
+        raise WorkloadError(
+            f"min_runtime_seconds must be > 0, got {min_runtime_seconds}"
+        )
+    if max_runtime_seconds is not None and max_runtime_seconds < min_runtime_seconds:
+        raise WorkloadError("max_runtime_seconds must be >= min_runtime_seconds")
+    clipped: List[JobSpec] = []
+    for spec in workload.jobs:
+        runtime = max(spec.execution_time, min_runtime_seconds)
+        if max_runtime_seconds is not None:
+            runtime = min(runtime, max_runtime_seconds)
+        clipped.append(replace(spec, execution_time=runtime))
+    return Workload(f"{workload.name}-clipped", workload.cluster, clipped)
+
+
+def rebase_submit_times(workload: Workload, *, start: float = 0.0) -> Workload:
+    """Shift all submission times so that the first job is submitted at ``start``."""
+    if start < 0:
+        raise WorkloadError(f"start must be >= 0, got {start}")
+    if not workload.jobs:
+        return Workload(workload.name, workload.cluster, [])
+    first = min(spec.submit_time for spec in workload.jobs)
+    shifted = [
+        replace(spec, submit_time=spec.submit_time - first + start)
+        for spec in workload.jobs
+    ]
+    return Workload(workload.name, workload.cluster, shifted)
+
+
+def truncate_after(workload: Workload, duration_seconds: float) -> Workload:
+    """Keep only the jobs submitted within ``duration_seconds`` of the first job."""
+    if duration_seconds <= 0:
+        raise WorkloadError(f"duration_seconds must be > 0, got {duration_seconds}")
+    if not workload.jobs:
+        return Workload(workload.name, workload.cluster, [])
+    first = min(spec.submit_time for spec in workload.jobs)
+    return filter_jobs(
+        workload,
+        lambda spec: spec.submit_time - first <= duration_seconds,
+        name=f"{workload.name}-first{int(duration_seconds)}s",
+    )
+
+
+def merge_workloads(
+    name: str,
+    workloads: Sequence[Workload],
+    *,
+    sequential: bool = False,
+    gap_seconds: float = 0.0,
+) -> Workload:
+    """Merge several workloads targeting the same cluster into one.
+
+    Job ids are re-numbered to stay unique.  With ``sequential=False``
+    (default) submission times are kept as they are, which interleaves the
+    workloads; with ``sequential=True`` each workload is shifted to start
+    ``gap_seconds`` after the previous one ends its submissions.
+    """
+    if not workloads:
+        raise WorkloadError("need at least one workload to merge")
+    if gap_seconds < 0:
+        raise WorkloadError(f"gap_seconds must be >= 0, got {gap_seconds}")
+    cluster = workloads[0].cluster
+    for workload in workloads[1:]:
+        if workload.cluster != cluster:
+            raise WorkloadError("all merged workloads must target the same cluster")
+    merged: List[JobSpec] = []
+    next_id = 0
+    offset = 0.0
+    for workload in workloads:
+        rebased = rebase_submit_times(workload) if sequential else workload
+        for spec in rebased.jobs:
+            submit = spec.submit_time + (offset if sequential else 0.0)
+            merged.append(replace(spec, job_id=next_id, submit_time=submit))
+            next_id += 1
+        if sequential and rebased.jobs:
+            offset += rebased.span_seconds + gap_seconds
+    return Workload(name, cluster, merged)

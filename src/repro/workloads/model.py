@@ -1,0 +1,148 @@
+"""Workload container shared by the synthetic and trace-based generators.
+
+A :class:`Workload` couples a list of :class:`~repro.core.job.JobSpec` with
+the cluster it was generated for, plus a human-readable name used in reports.
+It also implements the *offered load* computation of the paper (§IV-C): the
+total node-seconds requested by the jobs divided by the node-seconds the
+cluster offers over the submission span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.cluster import Cluster
+from ..core.job import JobSpec
+from ..exceptions import WorkloadError
+
+__all__ = ["Workload", "offered_load"]
+
+
+def offered_load(jobs: Sequence[JobSpec], cluster: Cluster) -> float:
+    """Offered load of a job list on a cluster.
+
+    Defined as ``sum_j(tasks_j × runtime_j) / (N × span)`` where the span is
+    the time between the first and the last submission.  Values above 1 mean
+    the cluster cannot keep up even at perfect packing.
+    """
+    if not jobs:
+        return 0.0
+    demand = sum(spec.num_tasks * spec.execution_time for spec in jobs)
+    submits = [spec.submit_time for spec in jobs]
+    span = max(submits) - min(submits)
+    if span <= 0:
+        return float("inf")
+    return demand / (cluster.num_nodes * span)
+
+
+@dataclass
+class Workload:
+    """A named list of jobs targeted at a specific cluster."""
+
+    name: str
+    cluster: Cluster
+    jobs: List[JobSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        ids = [spec.job_id for spec in self.jobs]
+        if len(ids) != len(set(ids)):
+            raise WorkloadError(f"workload {self.name!r} contains duplicate job ids")
+        self.jobs = sorted(self.jobs, key=lambda spec: (spec.submit_time, spec.job_id))
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[JobSpec]:
+        return iter(self.jobs)
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def span_seconds(self) -> float:
+        """Time between the first and the last submission."""
+        if not self.jobs:
+            return 0.0
+        submits = [spec.submit_time for spec in self.jobs]
+        return max(submits) - min(submits)
+
+    def load(self) -> float:
+        """Offered load of this workload on its cluster."""
+        return offered_load(self.jobs, self.cluster)
+
+    def scaled_interarrival(self, factor: float, *, name: Optional[str] = None) -> "Workload":
+        """New workload with every inter-arrival time multiplied by ``factor``.
+
+        Job mixes (sizes, runtimes, needs) are untouched; only submission
+        times move, which is how the paper creates traces with target offered
+        loads from a single generated trace.
+        """
+        if factor <= 0:
+            raise WorkloadError(f"inter-arrival scaling factor must be > 0, got {factor}")
+        if not self.jobs:
+            return Workload(name or self.name, self.cluster, [])
+        base = self.jobs[0].submit_time
+        scaled_jobs: List[JobSpec] = []
+        for spec in self.jobs:
+            new_submit = base + (spec.submit_time - base) * factor
+            scaled_jobs.append(replace(spec, submit_time=new_submit))
+        return Workload(name or f"{self.name}-x{factor:.3f}", self.cluster, scaled_jobs)
+
+    def head(self, count: int, *, name: Optional[str] = None) -> "Workload":
+        """New workload containing only the first ``count`` jobs."""
+        if count < 1:
+            raise WorkloadError(f"count must be >= 1, got {count}")
+        return Workload(name or f"{self.name}-head{count}", self.cluster, self.jobs[:count])
+
+    def segments(self, duration_seconds: float) -> List["Workload"]:
+        """Split the workload into consecutive segments of fixed duration.
+
+        Used to split the HPC2N trace into 1-week segments (§IV-C).  Each
+        segment's submission times are rebased to start at zero and job ids
+        are preserved.  Empty segments are dropped.
+        """
+        if duration_seconds <= 0:
+            raise WorkloadError(
+                f"segment duration must be > 0, got {duration_seconds}"
+            )
+        if not self.jobs:
+            return []
+        start = self.jobs[0].submit_time
+        buckets: dict = {}
+        for spec in self.jobs:
+            index = int((spec.submit_time - start) // duration_seconds)
+            buckets.setdefault(index, []).append(spec)
+        segments = []
+        for index in sorted(buckets):
+            base = start + index * duration_seconds
+            rebased = [
+                replace(spec, submit_time=spec.submit_time - base)
+                for spec in buckets[index]
+            ]
+            segments.append(
+                Workload(f"{self.name}-week{index:03d}", self.cluster, rebased)
+            )
+        return segments
+
+    def statistics(self) -> dict:
+        """Descriptive statistics used by reports and sanity tests."""
+        if not self.jobs:
+            return {"num_jobs": 0}
+        sizes = np.array([spec.num_tasks for spec in self.jobs], dtype=float)
+        runtimes = np.array([spec.execution_time for spec in self.jobs], dtype=float)
+        memory = np.array([spec.mem_requirement for spec in self.jobs], dtype=float)
+        return {
+            "num_jobs": len(self.jobs),
+            "load": self.load(),
+            "span_seconds": self.span_seconds,
+            "mean_tasks": float(sizes.mean()),
+            "max_tasks": int(sizes.max()),
+            "serial_fraction": float(np.mean(sizes == 1)),
+            "mean_runtime": float(runtimes.mean()),
+            "median_runtime": float(np.median(runtimes)),
+            "mean_memory": float(memory.mean()),
+        }

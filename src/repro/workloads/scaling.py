@@ -1,0 +1,54 @@
+"""Offered-load computation and inter-arrival scaling (paper §IV-C).
+
+The paper turns each generated trace into nine traces with identical job
+mixes but offered loads 0.1 … 0.9 by multiplying all inter-arrival times by a
+computed constant.  :func:`scale_to_load` performs that computation: since
+the offered load is inversely proportional to the submission span, the
+scaling factor is simply ``current_load / target_load``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from ..exceptions import WorkloadError
+from .model import Workload
+
+__all__ = ["scale_to_load", "load_sweep", "DEFAULT_LOAD_LEVELS"]
+
+#: The nine load levels evaluated in Figure 1.
+DEFAULT_LOAD_LEVELS: Sequence[float] = tuple(round(0.1 * i, 1) for i in range(1, 10))
+
+
+def scale_to_load(workload: Workload, target_load: float) -> Workload:
+    """Workload with inter-arrival times scaled to reach ``target_load``.
+
+    The job mix (sizes, runtimes, CPU needs, memory requirements) is exactly
+    preserved; only submission times are stretched or compressed.
+    """
+    if target_load <= 0:
+        raise WorkloadError(f"target_load must be > 0, got {target_load}")
+    if workload.num_jobs < 2:
+        raise WorkloadError("cannot scale a workload with fewer than two jobs")
+    current = workload.load()
+    if current <= 0 or not _is_finite(current):
+        raise WorkloadError(
+            f"workload {workload.name!r} has degenerate load {current}; "
+            "cannot rescale"
+        )
+    factor = current / target_load
+    scaled = workload.scaled_interarrival(
+        factor, name=f"{workload.name}-load{target_load:.1f}"
+    )
+    return scaled
+
+
+def load_sweep(
+    workload: Workload, levels: Iterable[float] = DEFAULT_LOAD_LEVELS
+) -> Dict[float, Workload]:
+    """Scaled copies of ``workload`` for every requested load level."""
+    return {level: scale_to_load(workload, level) for level in levels}
+
+
+def _is_finite(value: float) -> bool:
+    return value == value and value not in (float("inf"), float("-inf"))

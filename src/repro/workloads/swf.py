@@ -1,0 +1,189 @@
+"""Standard Workload Format (SWF) reader and writer.
+
+The Parallel Workloads Archive distributes every trace (including HPC2N, the
+real-world workload of the paper) in SWF: one line per job with 18
+whitespace-separated fields, header/comment lines starting with ``;``.  This
+module parses and writes that format losslessly for the fields the DFRS
+pipeline needs; unknown or missing values use the SWF convention of ``-1``.
+
+Field reference (1-based, as in the SWF specification):
+
+1. job number              7. used memory (KB per processor)
+2. submit time (s)         8. requested number of processors
+3. wait time (s)           9. requested time (s)
+4. run time (s)           10. requested memory (KB per processor)
+5. allocated processors   11. status
+6. average CPU time (s)   12-18. user/group/app/queue/partition/prec/think
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, TextIO, Union
+
+from ..exceptions import TraceFormatError
+
+__all__ = ["SwfRecord", "parse_swf", "parse_swf_lines", "write_swf", "swf_header"]
+
+_NUM_FIELDS = 18
+
+
+@dataclass(frozen=True)
+class SwfRecord:
+    """One job line of an SWF trace (missing values are ``-1``)."""
+
+    job_number: int
+    submit_time: float
+    wait_time: float = -1.0
+    run_time: float = -1.0
+    allocated_processors: int = -1
+    average_cpu_time: float = -1.0
+    used_memory_kb: float = -1.0
+    requested_processors: int = -1
+    requested_time: float = -1.0
+    requested_memory_kb: float = -1.0
+    status: int = -1
+    user_id: int = -1
+    group_id: int = -1
+    executable: int = -1
+    queue: int = -1
+    partition: int = -1
+    preceding_job: int = -1
+    think_time: float = -1.0
+
+    @property
+    def processors(self) -> int:
+        """Best available processor count (requested, falling back to allocated)."""
+        if self.requested_processors > 0:
+            return self.requested_processors
+        return self.allocated_processors
+
+    def is_usable(self) -> bool:
+        """True when the record has the minimum data needed for simulation."""
+        return self.run_time > 0 and self.processors > 0 and self.submit_time >= 0
+
+    def to_line(self) -> str:
+        """Serialize the record as one SWF line."""
+        fields = [
+            self.job_number,
+            _fmt(self.submit_time),
+            _fmt(self.wait_time),
+            _fmt(self.run_time),
+            self.allocated_processors,
+            _fmt(self.average_cpu_time),
+            _fmt(self.used_memory_kb),
+            self.requested_processors,
+            _fmt(self.requested_time),
+            _fmt(self.requested_memory_kb),
+            self.status,
+            self.user_id,
+            self.group_id,
+            self.executable,
+            self.queue,
+            self.partition,
+            self.preceding_job,
+            _fmt(self.think_time),
+        ]
+        return " ".join(str(value) for value in fields)
+
+
+def _fmt(value: float) -> Union[int, float]:
+    """Render integral floats as integers, as conventional SWF files do."""
+    if float(value).is_integer():
+        return int(value)
+    return round(float(value), 2)
+
+
+def _parse_line(line: str, line_number: int) -> SwfRecord:
+    parts = line.split()
+    if len(parts) < _NUM_FIELDS:
+        # Tolerate short lines by padding with the "unknown" marker; several
+        # archive traces omit trailing fields.
+        parts = parts + ["-1"] * (_NUM_FIELDS - len(parts))
+    try:
+        return SwfRecord(
+            job_number=int(float(parts[0])),
+            submit_time=float(parts[1]),
+            wait_time=float(parts[2]),
+            run_time=float(parts[3]),
+            allocated_processors=int(float(parts[4])),
+            average_cpu_time=float(parts[5]),
+            used_memory_kb=float(parts[6]),
+            requested_processors=int(float(parts[7])),
+            requested_time=float(parts[8]),
+            requested_memory_kb=float(parts[9]),
+            status=int(float(parts[10])),
+            user_id=int(float(parts[11])),
+            group_id=int(float(parts[12])),
+            executable=int(float(parts[13])),
+            queue=int(float(parts[14])),
+            partition=int(float(parts[15])),
+            preceding_job=int(float(parts[16])),
+            think_time=float(parts[17]),
+        )
+    except (ValueError, IndexError) as exc:
+        raise TraceFormatError(
+            f"line {line_number}: cannot parse SWF record: {line!r}"
+        ) from exc
+
+
+def parse_swf_lines(lines: Iterable[str]) -> List[SwfRecord]:
+    """Parse SWF content given as an iterable of lines."""
+    records: List[SwfRecord] = []
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith(";"):
+            continue
+        records.append(_parse_line(line, line_number))
+    return records
+
+
+def parse_swf(path: Union[str, Path]) -> List[SwfRecord]:
+    """Parse an SWF file from disk."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceFormatError(f"SWF trace not found: {path}")
+    with path.open("r", encoding="utf-8", errors="replace") as handle:
+        return parse_swf_lines(handle)
+
+
+def swf_header(
+    *,
+    computer: str = "synthetic",
+    max_nodes: int = 0,
+    max_procs: int = 0,
+    note: str = "",
+) -> List[str]:
+    """Standard comment header lines for a generated SWF file."""
+    lines = [
+        f"; Computer: {computer}",
+        f"; MaxNodes: {max_nodes}",
+        f"; MaxProcs: {max_procs}",
+        "; Format: SWF standard 18-field records",
+    ]
+    if note:
+        lines.append(f"; Note: {note}")
+    return lines
+
+
+def write_swf(
+    records: Sequence[SwfRecord],
+    destination: Union[str, Path, TextIO],
+    *,
+    header: Optional[Sequence[str]] = None,
+) -> None:
+    """Write records to ``destination`` (path or open text file)."""
+    def _emit(handle: TextIO) -> None:
+        for line in header or []:
+            handle.write(line.rstrip("\n") + "\n")
+        for record in records:
+            handle.write(record.to_line() + "\n")
+
+    if hasattr(destination, "write"):
+        _emit(destination)  # type: ignore[arg-type]
+        return
+    path = Path(destination)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        _emit(handle)

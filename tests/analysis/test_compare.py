@@ -1,0 +1,139 @@
+"""Tests for the algorithm comparison toolkit."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import compare_instances
+from repro.exceptions import ReproError
+
+
+def _instances():
+    return [
+        {"fcfs": 100.0, "easy": 80.0, "dynmcb8-asap-per-600": 4.0},
+        {"fcfs": 200.0, "easy": 150.0, "dynmcb8-asap-per-600": 2.0},
+        {"fcfs": 50.0, "easy": 60.0, "dynmcb8-asap-per-600": 5.0},
+    ]
+
+
+class TestCompareInstancesConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            compare_instances([])
+
+    def test_mismatched_algorithms_rejected(self):
+        with pytest.raises(ReproError):
+            compare_instances([{"a": 1.0}, {"b": 2.0}])
+
+    def test_non_positive_stretch_rejected(self):
+        with pytest.raises(ReproError):
+            compare_instances([{"a": 0.0, "b": 1.0}])
+
+    def test_algorithm_set_is_sorted(self):
+        comparison = compare_instances(_instances())
+        assert list(comparison.algorithms) == sorted(comparison.algorithms)
+
+    def test_num_instances(self):
+        assert compare_instances(_instances()).num_instances == 3
+
+
+class TestComparisonMetrics:
+    def test_degradation_of_best_algorithm_is_one_per_instance(self):
+        comparison = compare_instances(_instances())
+        for mapping in comparison.per_instance_degradation:
+            assert min(mapping.values()) == pytest.approx(1.0)
+
+    def test_best_algorithm_matches_expectation(self):
+        comparison = compare_instances(_instances())
+        assert comparison.best_algorithm() == "dynmcb8-asap-per-600"
+
+    def test_win_fraction_sums_to_at_least_one(self):
+        comparison = compare_instances(_instances())
+        total = sum(comparison.win_fraction(name) for name in comparison.algorithms)
+        assert total >= 1.0  # ties can push it above 1
+
+    def test_ranking_is_sorted_by_mean_degradation(self):
+        comparison = compare_instances(_instances())
+        ranking = comparison.ranking()
+        means = [mean for _, mean in ranking]
+        assert means == sorted(means)
+
+    def test_dominance_ratio_direction(self):
+        comparison = compare_instances(_instances())
+        ratio = comparison.dominance_ratio("dynmcb8-asap-per-600", "fcfs")
+        assert ratio > 1.0
+        inverse = comparison.dominance_ratio("fcfs", "dynmcb8-asap-per-600")
+        assert inverse == pytest.approx(1.0 / ratio)
+
+    def test_pairwise_dominance_covers_all_ordered_pairs(self):
+        comparison = compare_instances(_instances())
+        matrix = comparison.pairwise_dominance()
+        n = len(comparison.algorithms)
+        assert len(matrix) == n * (n - 1)
+
+    def test_unknown_algorithm_rejected(self):
+        comparison = compare_instances(_instances())
+        with pytest.raises(ReproError):
+            comparison.degradation_values("nonexistent")
+        with pytest.raises(ReproError):
+            comparison.dominance_ratio("fcfs", "nonexistent")
+
+    def test_confidence_interval_brackets_mean(self):
+        comparison = compare_instances(_instances())
+        summary = comparison.degradation_summary("fcfs")
+        lower, upper = comparison.degradation_confidence_interval("fcfs", seed=3)
+        assert lower <= summary.mean <= upper
+
+    def test_single_instance_comparison(self):
+        comparison = compare_instances([{"a": 10.0, "b": 20.0}])
+        assert comparison.best_algorithm() == "a"
+        assert comparison.win_fraction("a") == 1.0
+        assert comparison.degradation_summary("b").mean == pytest.approx(2.0)
+
+
+@st.composite
+def instance_sets(draw):
+    algorithms = draw(
+        st.lists(
+            st.sampled_from(["a", "b", "c", "d"]), min_size=2, max_size=4, unique=True
+        )
+    )
+    num_instances = draw(st.integers(min_value=1, max_value=8))
+    instances = []
+    for _ in range(num_instances):
+        instances.append(
+            {
+                name: draw(st.floats(min_value=0.5, max_value=1e4, allow_nan=False))
+                for name in algorithms
+            }
+        )
+    return instances
+
+
+class TestComparisonProperties:
+    @given(instance_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_degradation_always_at_least_one(self, instances):
+        comparison = compare_instances(instances)
+        for name in comparison.algorithms:
+            assert all(value >= 1.0 - 1e-12 for value in comparison.degradation_values(name))
+
+    @given(instance_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_best_algorithm_minimizes_mean_degradation(self, instances):
+        comparison = compare_instances(instances)
+        best = comparison.best_algorithm()
+        best_mean = comparison.degradation_summary(best).mean
+        for name in comparison.algorithms:
+            assert best_mean <= comparison.degradation_summary(name).mean + 1e-12
+
+    @given(instance_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_dominance_ratios_are_reciprocal(self, instances):
+        comparison = compare_instances(instances)
+        names = comparison.algorithms
+        ratio = comparison.dominance_ratio(names[0], names[1])
+        inverse = comparison.dominance_ratio(names[1], names[0])
+        assert ratio * inverse == pytest.approx(1.0, rel=1e-9)

@@ -1,0 +1,130 @@
+"""Tests for CSV / JSON export of simulation artifacts."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis import (
+    allocation_intervals_to_csv,
+    degradation_factors_to_csv,
+    job_records_to_csv,
+    result_summary_to_json,
+    utilization_samples_to_csv,
+)
+from repro.core import (
+    AllocationTraceRecorder,
+    Cluster,
+    JobSpec,
+    SimulationConfig,
+    Simulator,
+    UtilizationRecorder,
+)
+from repro.exceptions import ReproError
+from repro.schedulers import create_scheduler
+
+
+@pytest.fixture(scope="module")
+def run_artifacts():
+    cluster = Cluster(num_nodes=4, cores_per_node=4, node_memory_gb=8.0)
+    trace = AllocationTraceRecorder()
+    util = UtilizationRecorder()
+    specs = [JobSpec(i, i * 10.0, 1 + i % 2, 0.6, 0.25, 120.0) for i in range(5)]
+    result = Simulator(
+        cluster,
+        create_scheduler("greedy-pmtn"),
+        SimulationConfig(),
+        observers=[trace, util],
+    ).run(specs)
+    return result, trace, util
+
+
+class TestJobRecordsCsv:
+    def test_returns_string_when_no_destination(self, run_artifacts):
+        result, _, _ = run_artifacts
+        text = job_records_to_csv(result)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == result.num_jobs
+
+    def test_columns_and_values(self, run_artifacts):
+        result, _, _ = run_artifacts
+        rows = list(csv.DictReader(io.StringIO(job_records_to_csv(result))))
+        first = rows[0]
+        assert set(first) >= {"job_id", "bounded_stretch", "completion_time", "wait_time"}
+        assert float(first["bounded_stretch"]) >= 1.0
+
+    def test_writes_to_path(self, run_artifacts, tmp_path):
+        result, _, _ = run_artifacts
+        path = tmp_path / "jobs.csv"
+        assert job_records_to_csv(result, path) is None
+        assert path.exists()
+        assert len(path.read_text().splitlines()) == result.num_jobs + 1
+
+    def test_writes_to_file_object(self, run_artifacts):
+        result, _, _ = run_artifacts
+        buffer = io.StringIO()
+        job_records_to_csv(result, buffer)
+        assert "job_id" in buffer.getvalue()
+
+    def test_invalid_destination_rejected(self, run_artifacts):
+        result, _, _ = run_artifacts
+        with pytest.raises(ReproError):
+            job_records_to_csv(result, destination=123)
+
+
+class TestIntervalAndUtilizationCsv:
+    def test_interval_rows_sorted_by_start(self, run_artifacts):
+        _, trace, _ = run_artifacts
+        rows = list(csv.DictReader(io.StringIO(allocation_intervals_to_csv(trace))))
+        starts = [float(row["start"]) for row in rows]
+        assert starts == sorted(starts)
+        assert len(rows) == len(trace.intervals)
+
+    def test_interval_nodes_column_parses_back(self, run_artifacts):
+        _, trace, _ = run_artifacts
+        rows = list(csv.DictReader(io.StringIO(allocation_intervals_to_csv(trace))))
+        for row in rows:
+            nodes = [int(part) for part in row["nodes"].split()]
+            assert nodes  # at least one node per interval
+
+    def test_utilization_rows_match_samples(self, run_artifacts):
+        _, _, util = run_artifacts
+        rows = list(csv.DictReader(io.StringIO(utilization_samples_to_csv(util))))
+        assert len(rows) == len(util.samples)
+        assert float(rows[0]["busy_nodes"]) >= 0
+
+
+class TestDegradationCsv:
+    def test_round_trip(self):
+        per_instance = [{"a": 1.0, "b": 2.5}, {"a": 1.2, "b": 1.0}]
+        rows = list(csv.DictReader(io.StringIO(degradation_factors_to_csv(per_instance))))
+        assert len(rows) == 2
+        assert float(rows[0]["b"]) == 2.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            degradation_factors_to_csv([])
+
+    def test_mismatched_algorithms_rejected(self):
+        with pytest.raises(ReproError):
+            degradation_factors_to_csv([{"a": 1.0}, {"b": 1.0}])
+
+
+class TestJsonSummary:
+    def test_valid_json_with_expected_keys(self, run_artifacts):
+        result, _, _ = run_artifacts
+        text = result_summary_to_json({"greedy-pmtn": result})
+        payload = json.loads(text)
+        assert "greedy-pmtn" in payload
+        summary = payload["greedy-pmtn"]
+        for key in ("max_stretch", "mean_turnaround", "preemptions_per_job"):
+            assert key in summary
+
+    def test_writes_to_path(self, run_artifacts, tmp_path):
+        result, _, _ = run_artifacts
+        path = tmp_path / "summary.json"
+        assert result_summary_to_json({"x": result}, path) is None
+        assert json.loads(path.read_text())["x"]["num_jobs"] == result.num_jobs

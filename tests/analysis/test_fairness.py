@@ -1,0 +1,155 @@
+"""Tests for the fairness metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    gini_coefficient,
+    jain_index,
+    mean_yields_from_trace,
+    stretch_fairness,
+)
+from repro.core import (
+    AllocationTraceRecorder,
+    Cluster,
+    JobSpec,
+    SimulationConfig,
+    Simulator,
+)
+from repro.exceptions import ReproError
+from repro.schedulers import create_scheduler
+
+positive_samples = st.lists(
+    st.floats(min_value=0.01, max_value=1e4, allow_nan=False),
+    min_size=2,
+    max_size=40,
+)
+
+
+class TestJainIndex:
+    def test_equal_values_give_one(self):
+        assert jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_dominant_value_approaches_one_over_n(self):
+        values = [100.0] + [0.0] * 9
+        assert jain_index(values) == pytest.approx(0.1)
+
+    def test_known_value(self):
+        # (1+3)^2 / (2 * (1+9)) = 16/20
+        assert jain_index([1.0, 3.0]) == pytest.approx(0.8)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            jain_index([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            jain_index([1.0, -1.0])
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ReproError):
+            jain_index([0.0, 0.0])
+
+    @given(positive_samples)
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_between_one_over_n_and_one(self, values):
+        index = jain_index(values)
+        assert 1.0 / len(values) - 1e-9 <= index <= 1.0 + 1e-9
+
+    @given(positive_samples, st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_scale_invariant(self, values, factor):
+        scaled = [value * factor for value in values]
+        assert jain_index(scaled) == pytest.approx(jain_index(values), rel=1e-9)
+
+
+class TestGiniCoefficient:
+    def test_equal_values_give_zero(self):
+        assert gini_coefficient([5.0, 5.0, 5.0]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_value(self):
+        # For [0, 1], Gini = 0.5.
+        assert gini_coefficient([0.0, 1.0]) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            gini_coefficient([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            gini_coefficient([-1.0, 1.0])
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ReproError):
+            gini_coefficient([0.0])
+
+    @given(positive_samples)
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_in_unit_interval(self, values):
+        coefficient = gini_coefficient(values)
+        assert -1e-9 <= coefficient < 1.0
+
+    @given(positive_samples, st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_scale_invariant(self, values, factor):
+        scaled = [value * factor for value in values]
+        assert gini_coefficient(scaled) == pytest.approx(
+            gini_coefficient(values), abs=1e-9
+        )
+
+
+def _run_with_trace(algorithm="greedy-pmtn", num_jobs=5, nodes=4):
+    cluster = Cluster(num_nodes=nodes, cores_per_node=4, node_memory_gb=8.0)
+    trace = AllocationTraceRecorder()
+    specs = [JobSpec(i, i * 10.0, 1, 0.5, 0.2, 100.0 + 5 * i) for i in range(num_jobs)]
+    result = Simulator(
+        cluster, create_scheduler(algorithm), SimulationConfig(), observers=[trace]
+    ).run(specs)
+    return result, trace
+
+
+class TestStretchFairness:
+    def test_report_fields_consistent_with_result(self):
+        result, _ = _run_with_trace()
+        report = stretch_fairness(result)
+        assert report.algorithm == result.algorithm
+        assert report.num_jobs == result.num_jobs
+        assert report.max_stretch == pytest.approx(result.max_stretch)
+        assert report.mean_stretch == pytest.approx(result.mean_stretch)
+
+    def test_jain_and_gini_within_bounds(self):
+        result, _ = _run_with_trace(num_jobs=8)
+        report = stretch_fairness(result)
+        assert 0.0 < report.jain_stretch <= 1.0
+        assert 0.0 <= report.gini_stretch < 1.0
+
+    def test_p95_between_mean_and_max(self):
+        result, _ = _run_with_trace(num_jobs=10)
+        report = stretch_fairness(result)
+        assert report.p95_stretch <= report.max_stretch + 1e-9
+
+    def test_as_dict_contains_all_fields(self):
+        result, _ = _run_with_trace()
+        data = stretch_fairness(result).as_dict()
+        for key in ("max_stretch", "mean_stretch", "jain_stretch", "gini_stretch"):
+            assert key in data
+
+
+class TestMeanYieldsFromTrace:
+    def test_yields_in_unit_interval(self):
+        _, trace = _run_with_trace(num_jobs=6, nodes=2)
+        yields = mean_yields_from_trace(trace)
+        assert yields  # at least one job ran
+        for value in yields.values():
+            assert 0.0 < value <= 1.0 + 1e-9
+
+    def test_uncontended_job_has_yield_one(self):
+        _, trace = _run_with_trace(num_jobs=1, nodes=4)
+        yields = mean_yields_from_trace(trace)
+        assert yields[0] == pytest.approx(1.0)
+
+    def test_empty_trace_gives_empty_mapping(self):
+        assert mean_yields_from_trace(AllocationTraceRecorder()) == {}

@@ -1,0 +1,138 @@
+"""Tests for the text Gantt / occupancy rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import job_gantt, node_occupancy, yield_profile
+from repro.core import (
+    AllocationTraceRecorder,
+    Cluster,
+    JobSpec,
+    SimulationConfig,
+    Simulator,
+)
+from repro.core.observers import AllocationInterval
+from repro.exceptions import ReproError
+from repro.schedulers import create_scheduler
+
+
+def _trace_from_run(num_jobs=4, nodes=4, algorithm="greedy-pmtn"):
+    cluster = Cluster(num_nodes=nodes, cores_per_node=4, node_memory_gb=8.0)
+    trace = AllocationTraceRecorder()
+    specs = [JobSpec(i, i * 20.0, 1 + i % 2, 0.8, 0.3, 150.0) for i in range(num_jobs)]
+    Simulator(
+        cluster, create_scheduler(algorithm), SimulationConfig(), observers=[trace]
+    ).run(specs)
+    return trace, cluster
+
+
+def _manual_trace():
+    trace = AllocationTraceRecorder()
+    trace.intervals = [
+        AllocationInterval(job_id=0, start=0.0, end=100.0, nodes=(0,), yield_value=1.0),
+        AllocationInterval(job_id=1, start=50.0, end=150.0, nodes=(0, 1), yield_value=0.5),
+    ]
+    return trace
+
+
+class TestJobGantt:
+    def test_one_row_per_job_plus_header(self):
+        trace, _ = _trace_from_run(num_jobs=4)
+        chart = job_gantt(trace, width=40)
+        lines = chart.splitlines()
+        assert len(lines) == 1 + len(trace.job_ids())
+        assert all("|" in line for line in lines[1:])
+
+    def test_rows_have_requested_width(self):
+        trace = _manual_trace()
+        chart = job_gantt(trace, width=30)
+        for line in chart.splitlines()[1:]:
+            body = line.split("|")[1]
+            assert len(body) == 30
+
+    def test_full_yield_renders_dense_glyph(self):
+        trace = _manual_trace()
+        chart = job_gantt(trace, width=10)
+        job0_row = [line for line in chart.splitlines() if line.startswith("job 0")][0]
+        assert "@" in job0_row
+
+    def test_waiting_period_renders_blank(self):
+        trace = _manual_trace()
+        chart = job_gantt(trace, width=10)
+        job1_row = [line for line in chart.splitlines() if line.startswith("job 1")][0]
+        body = job1_row.split("|")[1]
+        assert body[0] == " "  # job 1 starts at t=50 of a 150-second span
+
+    def test_job_subset_selection(self):
+        trace = _manual_trace()
+        chart = job_gantt(trace, width=10, job_ids=[1])
+        assert "job 1" in chart
+        assert "job 0" not in chart
+
+    def test_unknown_job_id_rejected(self):
+        trace = _manual_trace()
+        with pytest.raises(ReproError):
+            job_gantt(trace, job_ids=[99])
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ReproError):
+            job_gantt(AllocationTraceRecorder())
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ReproError):
+            job_gantt(_manual_trace(), width=0)
+
+
+class TestNodeOccupancy:
+    def test_one_row_per_node(self):
+        trace, cluster = _trace_from_run()
+        chart = node_occupancy(trace, cluster.num_nodes, width=40)
+        assert len(chart.splitlines()) == 1 + cluster.num_nodes
+
+    def test_counts_reflect_colocation(self):
+        trace = _manual_trace()
+        chart = node_occupancy(trace, 2, width=10)
+        node0_row = [line for line in chart.splitlines() if line.startswith("node 0")][0]
+        # In the overlap window node 0 hosts tasks from both jobs.
+        assert "2" in node0_row
+
+    def test_idle_node_renders_blank(self):
+        trace = _manual_trace()
+        chart = node_occupancy(trace, 3, width=10)
+        node2_row = [line for line in chart.splitlines() if line.startswith("node 2")][0]
+        assert set(node2_row.split("|")[1]) == {" "}
+
+    def test_out_of_range_node_rejected(self):
+        trace = _manual_trace()
+        with pytest.raises(ReproError):
+            node_occupancy(trace, 1, width=10)
+
+    def test_invalid_arguments_rejected(self):
+        trace = _manual_trace()
+        with pytest.raises(ReproError):
+            node_occupancy(trace, 0)
+        with pytest.raises(ReproError):
+            node_occupancy(trace, 2, width=0)
+
+
+class TestYieldProfile:
+    def test_profile_length_and_bounds(self):
+        trace, _ = _trace_from_run()
+        for job_id in trace.job_ids():
+            profile = yield_profile(trace, job_id, width=12)
+            assert len(profile) == 12
+            assert all(0.0 <= value <= 1.0 + 1e-9 for value in profile)
+
+    def test_constant_yield_job(self):
+        trace = _manual_trace()
+        profile = yield_profile(trace, 0, width=5)
+        assert profile == pytest.approx([1.0] * 5)
+
+    def test_unknown_job_rejected(self):
+        with pytest.raises(ReproError):
+            yield_profile(_manual_trace(), 7)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ReproError):
+            yield_profile(_manual_trace(), 0, width=0)

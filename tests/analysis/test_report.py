@@ -1,0 +1,104 @@
+"""Tests for the Markdown rendering helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    NodePowerModel,
+    comparison_report,
+    compare_instances,
+    energy_from_result,
+    energy_report_table,
+    fairness_report_table,
+    markdown_table,
+    stretch_fairness,
+)
+from repro.core import Cluster, JobSpec, SimulationConfig, Simulator
+from repro.exceptions import ReproError
+from repro.schedulers import create_scheduler
+
+
+def _result(algorithm="greedy-pmtn"):
+    cluster = Cluster(num_nodes=4, cores_per_node=4, node_memory_gb=8.0)
+    specs = [JobSpec(i, i * 5.0, 1, 0.5, 0.2, 80.0) for i in range(4)]
+    return Simulator(cluster, create_scheduler(algorithm), SimulationConfig()).run(specs)
+
+
+class TestMarkdownTable:
+    def test_basic_rendering(self):
+        table = markdown_table(["name", "value"], [["a", 1.5], ["b", 2.0]])
+        lines = table.splitlines()
+        assert lines[0] == "| name | value |"
+        assert lines[1] == "| --- | --- |"
+        assert "| a | 1.50 |" in lines
+        assert "| b | 2.00 |" in lines
+
+    def test_custom_float_format(self):
+        table = markdown_table(["x"], [[3.14159]], float_format="{:.4f}")
+        assert "3.1416" in table
+
+    def test_integer_and_string_cells_passed_through(self):
+        table = markdown_table(["n", "s"], [[7, "hello"]])
+        assert "| 7 | hello |" in table
+
+    def test_mismatched_row_length_rejected(self):
+        with pytest.raises(ReproError):
+            markdown_table(["a", "b"], [[1.0]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ReproError):
+            markdown_table([], [])
+
+    def test_no_rows_is_valid(self):
+        table = markdown_table(["only", "header"], [])
+        assert len(table.splitlines()) == 2
+
+
+class TestComparisonReport:
+    def test_contains_all_algorithms(self):
+        comparison = compare_instances(
+            [{"fcfs": 100.0, "easy": 50.0}, {"fcfs": 80.0, "easy": 60.0}]
+        )
+        text = comparison_report(comparison)
+        assert "fcfs" in text
+        assert "easy" in text
+
+    def test_title_rendered_as_heading(self):
+        comparison = compare_instances([{"a": 1.0, "b": 2.0}])
+        text = comparison_report(comparison, title="My comparison")
+        assert text.startswith("### My comparison")
+
+    def test_reference_column_present(self):
+        comparison = compare_instances([{"a": 1.0, "b": 2.0}])
+        text = comparison_report(comparison, reference_algorithm="a")
+        assert "x vs a" in text
+
+    def test_rows_sorted_best_first(self):
+        comparison = compare_instances(
+            [{"worst": 100.0, "best": 1.0}, {"worst": 200.0, "best": 2.0}]
+        )
+        text = comparison_report(comparison)
+        assert text.index("best") < text.index("worst")
+
+
+class TestFairnessAndEnergyTables:
+    def test_fairness_table_contains_algorithm_name(self):
+        report = stretch_fairness(_result())
+        text = fairness_report_table([report])
+        assert "greedy-pmtn" in text
+        assert "Jain" in text
+
+    def test_fairness_table_rejects_empty(self):
+        with pytest.raises(ReproError):
+            fairness_report_table([])
+
+    def test_energy_table_contains_savings_column(self):
+        report = energy_from_result(_result(), model=NodePowerModel())
+        text = energy_report_table([report])
+        assert "savings" in text
+        assert "%" in text
+
+    def test_energy_table_rejects_empty(self):
+        with pytest.raises(ReproError):
+            energy_report_table([])

@@ -1,0 +1,164 @@
+"""Tests for the descriptive / resampling statistics helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    bootstrap_confidence_interval,
+    geometric_mean,
+    paired_win_fractions,
+    summarize,
+)
+from repro.exceptions import ReproError
+
+positive_samples = st.lists(
+    st.floats(min_value=0.01, max_value=1e4, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestSummarize:
+    def test_single_value(self):
+        summary = summarize([5.0])
+        assert summary.count == 1
+        assert summary.mean == 5.0
+        assert summary.std == 0.0
+        assert summary.minimum == summary.maximum == 5.0
+
+    def test_known_sample(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ReproError):
+            summarize([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ReproError):
+            summarize([1.0, float("nan")])
+
+    def test_as_dict_round_trip(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        data = summary.as_dict()
+        assert data["mean"] == summary.mean
+        assert data["max"] == summary.maximum
+        assert data["count"] == 3.0
+
+    @given(positive_samples)
+    @settings(max_examples=50, deadline=None)
+    def test_percentiles_ordered(self, values):
+        summary = summarize(values)
+        assert (
+            summary.minimum
+            <= summary.p25
+            <= summary.median
+            <= summary.p75
+            <= summary.p95
+            <= summary.maximum
+        )
+
+    @given(positive_samples)
+    @settings(max_examples=50, deadline=None)
+    def test_mean_within_range(self, values):
+        summary = summarize(values)
+        assert summary.minimum - 1e-9 <= summary.mean <= summary.maximum + 1e-9
+
+
+class TestGeometricMean:
+    def test_identical_values(self):
+        assert geometric_mean([4.0, 4.0, 4.0]) == pytest.approx(4.0)
+
+    def test_known_value(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            geometric_mean([])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ReproError):
+            geometric_mean([1.0, 0.0])
+
+    @given(positive_samples)
+    @settings(max_examples=50, deadline=None)
+    def test_never_exceeds_arithmetic_mean(self, values):
+        assert geometric_mean(values) <= float(np.mean(values)) + 1e-9
+
+
+class TestBootstrap:
+    def test_interval_contains_point_estimate_for_tight_sample(self):
+        values = [10.0] * 20
+        lower, upper = bootstrap_confidence_interval(values, seed=1)
+        assert lower == pytest.approx(10.0)
+        assert upper == pytest.approx(10.0)
+
+    def test_interval_ordering(self):
+        rng = np.random.default_rng(0)
+        values = rng.lognormal(mean=1.0, sigma=0.5, size=40).tolist()
+        lower, upper = bootstrap_confidence_interval(values, seed=2)
+        assert lower <= upper
+        assert lower <= float(np.mean(values)) <= upper
+
+    def test_deterministic_given_seed(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        first = bootstrap_confidence_interval(values, seed=42)
+        second = bootstrap_confidence_interval(values, seed=42)
+        assert first == second
+
+    def test_custom_statistic(self):
+        values = [1.0, 2.0, 3.0, 100.0]
+        lower, upper = bootstrap_confidence_interval(values, statistic=np.median, seed=0)
+        assert lower >= 1.0
+        assert upper <= 100.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            bootstrap_confidence_interval([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ReproError):
+            bootstrap_confidence_interval([1.0], confidence=1.5)
+
+    def test_bad_resample_count_rejected(self):
+        with pytest.raises(ReproError):
+            bootstrap_confidence_interval([1.0], num_resamples=0)
+
+
+class TestPairedWinFractions:
+    def test_clear_winner(self):
+        instances = [
+            {"a": 1.0, "b": 2.0},
+            {"a": 1.0, "b": 3.0},
+            {"a": 0.5, "b": 4.0},
+        ]
+        fractions = paired_win_fractions(instances)
+        assert fractions["a"] == 1.0
+        assert fractions["b"] == 0.0
+
+    def test_ties_count_for_both(self):
+        instances = [{"a": 1.0, "b": 1.0}]
+        fractions = paired_win_fractions(instances)
+        assert fractions["a"] == 1.0
+        assert fractions["b"] == 1.0
+
+    def test_higher_is_better_mode(self):
+        instances = [{"a": 1.0, "b": 2.0}]
+        fractions = paired_win_fractions(instances, lower_is_better=False)
+        assert fractions["b"] == 1.0
+        assert fractions["a"] == 0.0
+
+    def test_mismatched_algorithm_sets_rejected(self):
+        with pytest.raises(ReproError):
+            paired_win_fractions([{"a": 1.0}, {"b": 1.0}])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            paired_win_fractions([])

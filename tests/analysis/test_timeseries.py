@@ -1,0 +1,240 @@
+"""Tests for the step-series analysis primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    StepSeries,
+    busy_nodes_series,
+    cpu_allocated_series,
+    memory_used_series,
+    min_yield_series,
+    running_jobs_series,
+)
+from repro.core import (
+    Cluster,
+    JobSpec,
+    SimulationConfig,
+    Simulator,
+    UtilizationRecorder,
+)
+from repro.exceptions import ReproError
+from repro.schedulers import create_scheduler
+
+
+class TestStepSeriesConstruction:
+    def test_breakpoints_and_values_must_match_in_length(self):
+        with pytest.raises(ReproError):
+            StepSeries((0.0, 1.0), (1.0,), 2.0)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ReproError):
+            StepSeries((), (), 0.0)
+
+    def test_non_increasing_breakpoints_rejected(self):
+        with pytest.raises(ReproError):
+            StepSeries((0.0, 0.0), (1.0, 2.0), 1.0)
+
+    def test_end_before_last_breakpoint_rejected(self):
+        with pytest.raises(ReproError):
+            StepSeries((0.0, 5.0), (1.0, 2.0), 4.0)
+
+    def test_from_samples_merges_duplicate_times(self):
+        series = StepSeries.from_samples([(0.0, 1.0), (0.0, 3.0), (2.0, 5.0)], end=4.0)
+        assert series.value_at(0.0) == 3.0
+        assert series.value_at(3.0) == 5.0
+
+    def test_from_samples_merges_equal_consecutive_values(self):
+        series = StepSeries.from_samples([(0.0, 1.0), (1.0, 1.0), (2.0, 2.0)], end=3.0)
+        assert len(series) == 2
+
+    def test_from_samples_rejects_empty(self):
+        with pytest.raises(ReproError):
+            StepSeries.from_samples([])
+
+    def test_from_samples_sorts_input(self):
+        series = StepSeries.from_samples([(2.0, 5.0), (0.0, 1.0)], end=3.0)
+        assert series.start == 0.0
+        assert series.value_at(0.5) == 1.0
+        assert series.value_at(2.5) == 5.0
+
+
+class TestStepSeriesStatistics:
+    def test_constant_series_mean_is_the_constant(self):
+        series = StepSeries((0.0,), (3.5,), 10.0)
+        assert series.mean() == pytest.approx(3.5)
+        assert series.integral() == pytest.approx(35.0)
+
+    def test_two_segment_mean_is_time_weighted(self):
+        # value 1 on [0, 2), value 3 on [2, 10] -> mean = (2*1 + 8*3) / 10
+        series = StepSeries((0.0, 2.0), (1.0, 3.0), 10.0)
+        assert series.mean() == pytest.approx(2.6)
+
+    def test_max_and_min(self):
+        series = StepSeries((0.0, 1.0, 2.0), (5.0, -1.0, 2.0), 3.0)
+        assert series.max() == 5.0
+        assert series.min() == -1.0
+
+    def test_value_at_before_start_clamps(self):
+        series = StepSeries((10.0,), (7.0,), 20.0)
+        assert series.value_at(0.0) == 7.0
+
+    def test_value_at_breakpoint_is_right_continuous(self):
+        series = StepSeries((0.0, 5.0), (1.0, 9.0), 10.0)
+        assert series.value_at(5.0) == 9.0
+        assert series.value_at(4.999) == 1.0
+
+    def test_fraction_above(self):
+        series = StepSeries((0.0, 4.0), (0.0, 2.0), 10.0)
+        assert series.fraction_above(1.0) == pytest.approx(0.6)
+        assert series.fraction_at_or_below(1.0) == pytest.approx(0.4)
+
+    def test_time_weighted_quantile(self):
+        series = StepSeries((0.0, 9.0), (1.0, 100.0), 10.0)
+        # value 1 covers 90% of the time, so the median is 1.
+        assert series.time_weighted_quantile(0.5) == 1.0
+        assert series.time_weighted_quantile(0.99) == 100.0
+
+    def test_quantile_out_of_range_rejected(self):
+        series = StepSeries((0.0,), (1.0,), 1.0)
+        with pytest.raises(ReproError):
+            series.time_weighted_quantile(1.5)
+
+
+class TestStepSeriesTransformations:
+    def test_scale(self):
+        series = StepSeries((0.0, 1.0), (1.0, 2.0), 2.0).scale(10.0)
+        assert series.values == (10.0, 20.0)
+
+    def test_map(self):
+        series = StepSeries((0.0, 1.0), (1.0, 4.0), 2.0).map(lambda v: v * v)
+        assert series.values == (1.0, 16.0)
+
+    def test_restrict_inside_domain(self):
+        series = StepSeries((0.0, 10.0, 20.0), (1.0, 2.0, 3.0), 30.0)
+        restricted = series.restrict(5.0, 25.0)
+        assert restricted.start == 5.0
+        assert restricted.end == 25.0
+        assert restricted.value_at(5.0) == 1.0
+        assert restricted.value_at(15.0) == 2.0
+        assert restricted.value_at(22.0) == 3.0
+
+    def test_restrict_rejects_disjoint_interval(self):
+        series = StepSeries((0.0,), (1.0,), 10.0)
+        with pytest.raises(ReproError):
+            series.restrict(20.0, 30.0)
+
+    def test_restrict_rejects_empty_interval(self):
+        series = StepSeries((0.0,), (1.0,), 10.0)
+        with pytest.raises(ReproError):
+            series.restrict(5.0, 5.0)
+
+    def test_resample(self):
+        series = StepSeries((0.0, 5.0), (1.0, 2.0), 10.0)
+        points = series.resample(2.5)
+        assert points == [(0.0, 1.0), (2.5, 1.0), (5.0, 2.0), (7.5, 2.0), (10.0, 2.0)]
+
+    def test_resample_rejects_non_positive_step(self):
+        series = StepSeries((0.0,), (1.0,), 10.0)
+        with pytest.raises(ReproError):
+            series.resample(0.0)
+
+
+@st.composite
+def step_series(draw):
+    times = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+            min_size=1,
+            max_size=20,
+            unique=True,
+        )
+    )
+    times = sorted(times)
+    values = draw(
+        st.lists(
+            st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+            min_size=len(times),
+            max_size=len(times),
+        )
+    )
+    tail = draw(st.floats(min_value=0.0, max_value=1e3, allow_nan=False))
+    return StepSeries(tuple(times), tuple(values), times[-1] + tail)
+
+
+class TestStepSeriesProperties:
+    @given(step_series())
+    @settings(max_examples=60, deadline=None)
+    def test_mean_between_min_and_max(self, series):
+        assert series.min() - 1e-9 <= series.mean() <= series.max() + 1e-9
+
+    @given(step_series())
+    @settings(max_examples=60, deadline=None)
+    def test_integral_consistent_with_mean(self, series):
+        if series.duration > 0:
+            assert series.integral() == pytest.approx(series.mean() * series.duration)
+
+    @given(step_series(), st.floats(min_value=-10.0, max_value=10.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_fraction_above_is_a_probability(self, series, threshold):
+        fraction = series.fraction_above(threshold)
+        assert 0.0 <= fraction <= 1.0
+
+    @given(step_series(), st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_scaling_scales_the_integral(self, series, factor):
+        assert series.scale(factor).integral() == pytest.approx(
+            series.integral() * factor, rel=1e-9, abs=1e-6
+        )
+
+
+class TestRecorderConversions:
+    @pytest.fixture(scope="class")
+    def recorder_and_cluster(self):
+        cluster = Cluster(num_nodes=4, cores_per_node=4, node_memory_gb=8.0)
+        recorder = UtilizationRecorder()
+        specs = [
+            JobSpec(i, i * 10.0, 2, 0.8, 0.3, 200.0 + 10 * i) for i in range(6)
+        ]
+        Simulator(
+            cluster,
+            create_scheduler("dynmcb8-per-600"),
+            SimulationConfig(),
+            observers=[recorder],
+        ).run(specs)
+        return recorder, cluster
+
+    def test_busy_nodes_series_bounded_by_cluster(self, recorder_and_cluster):
+        recorder, cluster = recorder_and_cluster
+        series = busy_nodes_series(recorder)
+        assert 0 <= series.min()
+        assert series.max() <= cluster.num_nodes
+
+    def test_cpu_allocated_series_bounded_by_cluster(self, recorder_and_cluster):
+        recorder, cluster = recorder_and_cluster
+        series = cpu_allocated_series(recorder)
+        assert series.max() <= cluster.num_nodes + 1e-6
+
+    def test_memory_series_bounded_by_cluster(self, recorder_and_cluster):
+        recorder, cluster = recorder_and_cluster
+        series = memory_used_series(recorder)
+        assert series.max() <= cluster.num_nodes + 1e-6
+
+    def test_running_jobs_series_counts_jobs(self, recorder_and_cluster):
+        recorder, _ = recorder_and_cluster
+        series = running_jobs_series(recorder)
+        assert series.max() >= 1
+        assert series.min() >= 0
+
+    def test_min_yield_series_in_unit_interval(self, recorder_and_cluster):
+        recorder, _ = recorder_and_cluster
+        series = min_yield_series(recorder)
+        assert 0.0 < series.min() <= 1.0
+        assert series.max() <= 1.0 + 1e-9
+
+    def test_empty_recorder_rejected(self):
+        with pytest.raises(ReproError):
+            busy_nodes_series(UtilizationRecorder())

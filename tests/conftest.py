@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.job import JobSpec
+from repro.workloads.lublin import LublinWorkloadGenerator
+from repro.workloads.model import Workload
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    """An 8-node quad-core cluster used by most unit tests."""
+    return Cluster(num_nodes=8, cores_per_node=4, node_memory_gb=8.0)
+
+
+@pytest.fixture
+def tiny_cluster() -> Cluster:
+    """A 4-node cluster for hand-constructed scheduling scenarios."""
+    return Cluster(num_nodes=4, cores_per_node=4, node_memory_gb=8.0)
+
+
+@pytest.fixture
+def small_workload(small_cluster: Cluster) -> Workload:
+    """A deterministic 30-job synthetic workload."""
+    generator = LublinWorkloadGenerator(small_cluster)
+    return generator.generate(30, seed=42)
+
+
+def make_job(
+    job_id: int,
+    *,
+    submit: float = 0.0,
+    tasks: int = 1,
+    cpu: float = 1.0,
+    mem: float = 0.1,
+    runtime: float = 100.0,
+) -> JobSpec:
+    """Terse JobSpec constructor for hand-written scenarios."""
+    return JobSpec(
+        job_id=job_id,
+        submit_time=submit,
+        num_tasks=tasks,
+        cpu_need=cpu,
+        mem_requirement=mem,
+        execution_time=runtime,
+    )

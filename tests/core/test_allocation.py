@@ -1,0 +1,114 @@
+"""Unit tests for :mod:`repro.core.allocation`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allocation import AllocationDecision, JobAllocation, validate_decision
+from repro.core.job import MINIMUM_YIELD
+from repro.exceptions import AllocationError, InfeasibleAllocationError
+
+from ..conftest import make_job
+
+
+class TestJobAllocation:
+    def test_create_clamps_yield(self):
+        alloc = JobAllocation.create([0, 1], 1.5)
+        assert alloc.yield_value == pytest.approx(1.0)
+        alloc = JobAllocation.create([0], 0.0001)
+        assert alloc.yield_value == pytest.approx(MINIMUM_YIELD)
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(AllocationError):
+            JobAllocation(tuple(), 1.0)
+
+    def test_bad_yield_rejected(self):
+        with pytest.raises(AllocationError):
+            JobAllocation((0,), 0.0)
+        with pytest.raises(AllocationError):
+            JobAllocation((0,), 1.5)
+
+    def test_with_yield(self):
+        alloc = JobAllocation((0, 1), 0.5)
+        new = alloc.with_yield(0.7)
+        assert new.nodes == (0, 1)
+        assert new.yield_value == pytest.approx(0.7)
+        assert alloc.yield_value == pytest.approx(0.5)
+
+    def test_node_multiset(self):
+        alloc = JobAllocation((2, 2, 5), 1.0)
+        assert alloc.node_multiset() == {2: 2, 5: 1}
+
+
+class TestAllocationDecision:
+    def test_set_and_wakeups(self):
+        decision = AllocationDecision()
+        decision.set(7, [1, 2], 0.8)
+        decision.request_wakeup(100.0)
+        assert 7 in decision.running
+        assert decision.running[7].nodes == (1, 2)
+        assert decision.wakeups == [100.0]
+        assert list(decision.job_ids()) == [7]
+
+
+class TestValidateDecision:
+    def test_valid_decision(self, small_cluster):
+        specs = {1: make_job(1, tasks=2, cpu=0.5, mem=0.2)}
+        decision = AllocationDecision()
+        decision.set(1, [0, 1], 1.0)
+        usage = validate_decision(decision, specs, small_cluster)
+        assert usage.cpu_allocated(0) == pytest.approx(0.5)
+        assert usage.memory_used(1) == pytest.approx(0.2)
+
+    def test_unknown_job_rejected(self, small_cluster):
+        decision = AllocationDecision()
+        decision.set(99, [0], 1.0)
+        with pytest.raises(AllocationError):
+            validate_decision(decision, {}, small_cluster)
+
+    def test_wrong_arity_rejected(self, small_cluster):
+        specs = {1: make_job(1, tasks=3)}
+        decision = AllocationDecision()
+        decision.set(1, [0, 1], 1.0)
+        with pytest.raises(AllocationError):
+            validate_decision(decision, specs, small_cluster)
+
+    def test_out_of_range_node_rejected(self, small_cluster):
+        specs = {1: make_job(1, tasks=1)}
+        decision = AllocationDecision()
+        decision.set(1, [small_cluster.num_nodes], 1.0)
+        with pytest.raises(AllocationError):
+            validate_decision(decision, specs, small_cluster)
+
+    def test_memory_overcommit_rejected(self, small_cluster):
+        specs = {
+            1: make_job(1, tasks=1, mem=0.7),
+            2: make_job(2, tasks=1, mem=0.7),
+        }
+        decision = AllocationDecision()
+        decision.set(1, [0], 0.5)
+        decision.set(2, [0], 0.5)
+        with pytest.raises(InfeasibleAllocationError):
+            validate_decision(decision, specs, small_cluster)
+
+    def test_cpu_overcommit_rejected(self, small_cluster):
+        specs = {
+            1: make_job(1, tasks=1, cpu=1.0, mem=0.1),
+            2: make_job(2, tasks=1, cpu=1.0, mem=0.1),
+        }
+        decision = AllocationDecision()
+        decision.set(1, [0], 0.8)
+        decision.set(2, [0], 0.8)
+        with pytest.raises(InfeasibleAllocationError):
+            validate_decision(decision, specs, small_cluster)
+
+    def test_cpu_sharing_within_capacity_accepted(self, small_cluster):
+        specs = {
+            1: make_job(1, tasks=1, cpu=1.0, mem=0.1),
+            2: make_job(2, tasks=1, cpu=1.0, mem=0.1),
+        }
+        decision = AllocationDecision()
+        decision.set(1, [0], 0.5)
+        decision.set(2, [0], 0.5)
+        usage = validate_decision(decision, specs, small_cluster)
+        assert usage.cpu_allocated(0) == pytest.approx(1.0)

@@ -1,0 +1,129 @@
+"""Unit tests for :mod:`repro.core.cluster`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.cluster import CAPACITY_EPSILON, Cluster, ClusterUsage
+from repro.exceptions import ConfigurationError, InfeasibleAllocationError
+
+
+class TestCluster:
+    def test_defaults(self):
+        cluster = Cluster(num_nodes=128)
+        assert cluster.cores_per_node == 4
+        assert cluster.node_memory_gb == 8.0
+        assert list(cluster.node_ids) == list(range(128))
+        assert cluster.sequential_cpu_need() == pytest.approx(0.25)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 0},
+            {"num_nodes": -3},
+            {"num_nodes": 4, "cores_per_node": 0},
+            {"num_nodes": 4, "node_memory_gb": 0.0},
+        ],
+    )
+    def test_invalid_cluster(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Cluster(**kwargs)
+
+
+class TestClusterUsage:
+    def test_add_and_remove_task(self, small_cluster):
+        usage = small_cluster.usage()
+        usage.add_task(0, cpu_need=0.5, mem_requirement=0.3, yield_value=0.8)
+        assert usage.cpu_load(0) == pytest.approx(0.5)
+        assert usage.cpu_allocated(0) == pytest.approx(0.4)
+        assert usage.memory_used(0) == pytest.approx(0.3)
+        assert usage.task_count(0) == 1
+        assert usage.busy_nodes() == 1
+        assert usage.idle_nodes() == small_cluster.num_nodes - 1
+        usage.remove_task(0, 0.5, 0.3, 0.8)
+        assert usage.cpu_load(0) == pytest.approx(0.0)
+        assert usage.memory_used(0) == pytest.approx(0.0)
+        assert usage.task_count(0) == 0
+
+    def test_memory_capacity_enforced(self, small_cluster):
+        usage = small_cluster.usage()
+        usage.add_task(1, 0.1, 0.7, 1.0)
+        with pytest.raises(InfeasibleAllocationError):
+            usage.add_task(1, 0.1, 0.4, 1.0)
+
+    def test_cpu_allocation_capacity_enforced(self, small_cluster):
+        usage = small_cluster.usage()
+        usage.add_task(2, 1.0, 0.1, 0.7)
+        with pytest.raises(InfeasibleAllocationError):
+            usage.add_task(2, 1.0, 0.1, 0.5)
+
+    def test_cpu_load_may_exceed_capacity(self, small_cluster):
+        """CPU *needs* can be oversubscribed as long as allocations are not."""
+        usage = small_cluster.usage()
+        usage.add_task(0, 1.0, 0.1, 0.4)
+        usage.add_task(0, 1.0, 0.1, 0.4)
+        assert usage.cpu_load(0) == pytest.approx(2.0)
+        assert usage.cpu_allocated(0) == pytest.approx(0.8)
+        assert usage.max_cpu_load() == pytest.approx(2.0)
+
+    def test_add_job_rolls_back_on_failure(self, small_cluster):
+        usage = small_cluster.usage()
+        usage.add_task(0, 0.1, 0.9, 1.0)
+        with pytest.raises(InfeasibleAllocationError):
+            # Second task cannot fit on node 0 anymore.
+            usage.add_job([1, 0], cpu_need=0.1, mem_requirement=0.5, yield_value=1.0)
+        assert usage.memory_used(1) == pytest.approx(0.0)
+        assert usage.task_count(1) == 0
+
+    def test_nodes_by_cpu_load_orders_ties_by_index(self, small_cluster):
+        usage = small_cluster.usage()
+        usage.add_task(3, 0.5, 0.1, 1.0)
+        order = usage.nodes_by_cpu_load()
+        assert order[0] == 0
+        assert order[-1] == 3
+
+    def test_snapshot_is_independent(self, small_cluster):
+        usage = small_cluster.usage()
+        usage.add_task(0, 0.5, 0.5, 1.0)
+        clone = usage.snapshot()
+        clone.add_task(0, 0.1, 0.1, 1.0)
+        assert usage.task_count(0) == 1
+        assert clone.task_count(0) == 2
+
+    def test_can_fit_memory(self, small_cluster):
+        usage = small_cluster.usage()
+        usage.add_task(0, 0.1, 0.95, 1.0)
+        assert not usage.can_fit_memory(0, 0.1)
+        assert usage.can_fit_memory(1, 0.1)
+
+    @given(
+        placements=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),
+                st.floats(min_value=0.01, max_value=0.3),
+                st.floats(min_value=0.01, max_value=0.12),
+                st.floats(min_value=0.01, max_value=1.0),
+            ),
+            max_size=20,
+        )
+    )
+    def test_usage_invariants_property(self, placements):
+        """Adding then removing all tasks returns the tally to zero."""
+        cluster = Cluster(num_nodes=8)
+        usage = cluster.usage()
+        added = []
+        for node, cpu, mem, yd in placements:
+            try:
+                usage.add_task(node, cpu, mem, yd)
+            except InfeasibleAllocationError:
+                continue
+            added.append((node, cpu, mem, yd))
+            assert usage.memory_used(node) <= 1.0 + CAPACITY_EPSILON
+            assert usage.cpu_allocated(node) <= 1.0 + CAPACITY_EPSILON
+        for node, cpu, mem, yd in added:
+            usage.remove_task(node, cpu, mem, yd)
+        for node in cluster.node_ids:
+            assert usage.task_count(node) == 0
+            assert usage.memory_used(node) == pytest.approx(0.0, abs=1e-6)
+            assert usage.cpu_allocated(node) == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,190 @@
+"""Failure-injection tests: the engine must reject misbehaving schedulers.
+
+Schedulers are pluggable, so the engine cannot trust them; these tests drive
+the simulator with deliberately broken policies and check that each class of
+misbehaviour is rejected with a clear exception instead of silently producing
+a corrupt schedule.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Cluster, JobSpec, SimulationConfig, Simulator
+from repro.core.allocation import AllocationDecision
+from repro.exceptions import (
+    AllocationError,
+    InfeasibleAllocationError,
+    SimulationError,
+)
+from repro.schedulers import create_scheduler
+from repro.schedulers.base import Scheduler
+
+
+CLUSTER = Cluster(num_nodes=2, cores_per_node=4, node_memory_gb=8.0)
+
+
+def _spec(job_id, submit=0.0, tasks=1, cpu=0.5, mem=0.2, runtime=50.0):
+    return JobSpec(job_id, submit, tasks, cpu, mem, runtime)
+
+
+def _simulate(scheduler, specs, cluster=CLUSTER):
+    return Simulator(cluster, scheduler, SimulationConfig()).run(specs)
+
+
+class _StubScheduler(Scheduler):
+    """Scheduler that delegates to a function supplied by the test."""
+
+    name = "stub"
+
+    def __init__(self, policy):
+        self._policy = policy
+
+    def schedule(self, context):
+        return self._policy(context)
+
+
+class TestWorkloadValidation:
+    def test_empty_workload_rejected(self):
+        with pytest.raises(SimulationError):
+            _simulate(create_scheduler("fcfs"), [])
+
+    def test_duplicate_job_ids_rejected(self):
+        specs = [_spec(0), _spec(0, submit=10.0)]
+        with pytest.raises(SimulationError):
+            _simulate(create_scheduler("fcfs"), specs)
+
+    def test_batch_job_wider_than_cluster_rejected_up_front(self):
+        specs = [_spec(0, tasks=10)]
+        with pytest.raises(SimulationError):
+            _simulate(create_scheduler("easy"), specs)
+
+    def test_dfrs_job_wider_than_cluster_is_allowed(self):
+        # DFRS can co-locate several tasks on one node, so a 4-task job on a
+        # 2-node cluster is legitimate as long as memory fits.
+        specs = [_spec(0, tasks=4, cpu=1.0, mem=0.2)]
+        result = _simulate(create_scheduler("dynmcb8"), specs)
+        assert result.num_jobs == 1
+
+
+class TestDecisionValidation:
+    def test_unknown_job_in_decision_rejected(self):
+        def policy(context):
+            decision = AllocationDecision()
+            decision.set(999, [0], 1.0)
+            return decision
+
+        with pytest.raises(AllocationError):
+            _simulate(_StubScheduler(policy), [_spec(0)])
+
+    def test_wrong_task_count_rejected(self):
+        def policy(context):
+            decision = AllocationDecision()
+            for view in context.jobs.values():
+                decision.set(view.job_id, [0, 1], 1.0)  # 2 tasks for a 1-task job
+            return decision
+
+        with pytest.raises(AllocationError):
+            _simulate(_StubScheduler(policy), [_spec(0, tasks=1)])
+
+    def test_out_of_range_node_rejected(self):
+        def policy(context):
+            decision = AllocationDecision()
+            for view in context.jobs.values():
+                decision.set(view.job_id, [17], 1.0)
+            return decision
+
+        with pytest.raises(AllocationError):
+            _simulate(_StubScheduler(policy), [_spec(0)])
+
+    def test_memory_oversubscription_rejected(self):
+        def policy(context):
+            decision = AllocationDecision()
+            for view in context.jobs.values():
+                decision.set(view.job_id, [0], 1.0)  # everyone on node 0
+            return decision
+
+        specs = [_spec(0, mem=0.7), _spec(1, mem=0.7)]
+        with pytest.raises(InfeasibleAllocationError):
+            _simulate(_StubScheduler(policy), specs)
+
+    def test_cpu_oversubscription_rejected(self):
+        def policy(context):
+            decision = AllocationDecision()
+            for view in context.jobs.values():
+                decision.set(view.job_id, [0], 1.0)  # full yield for everyone
+            return decision
+
+        specs = [_spec(0, cpu=0.8, mem=0.1), _spec(1, cpu=0.8, mem=0.1)]
+        with pytest.raises(InfeasibleAllocationError):
+            _simulate(_StubScheduler(policy), specs)
+
+    def test_allocating_to_completed_job_rejected(self):
+        state = {"completed": None}
+
+        def policy(context):
+            decision = AllocationDecision()
+            if state["completed"] is not None:
+                # Maliciously keep allocating to the job that just completed.
+                decision.set(state["completed"], [0], 1.0)
+            for view in context.jobs.values():
+                decision.set(view.job_id, [0], 1.0)
+            if context.completed:
+                state["completed"] = context.completed[0]
+            return decision
+
+        specs = [_spec(0, runtime=20.0, mem=0.2), _spec(1, submit=100.0, runtime=20.0)]
+        with pytest.raises((SimulationError, AllocationError)):
+            _simulate(_StubScheduler(policy), specs)
+
+
+class TestSchedulingLoopProtection:
+    def test_deadlock_detected_when_nothing_is_scheduled(self):
+        def policy(context):
+            return AllocationDecision()  # never schedule anything, never wake up
+
+        with pytest.raises(SimulationError):
+            _simulate(_StubScheduler(policy), [_spec(0)])
+
+    def test_wakeup_in_the_past_rejected(self):
+        def policy(context):
+            decision = AllocationDecision()
+            for view in context.jobs.values():
+                decision.set(view.job_id, [0], 1.0)
+            decision.request_wakeup(context.time - 100.0)
+            return decision
+
+        with pytest.raises(SimulationError):
+            _simulate(_StubScheduler(policy), [_spec(0, submit=200.0)])
+
+    def test_event_budget_guard_triggers_on_thrashing(self):
+        def policy(context):
+            decision = AllocationDecision()
+            for view in context.jobs.values():
+                decision.set(view.job_id, [0], 1.0)
+            decision.request_wakeup(context.time + 0.001)  # absurdly fast ticks
+            return decision
+
+        simulator = Simulator(
+            CLUSTER, _StubScheduler(policy), SimulationConfig(max_events=500)
+        )
+        with pytest.raises(SimulationError):
+            simulator.run([_spec(0, runtime=1e6)])
+
+    def test_none_decision_is_treated_as_empty(self):
+        calls = {"count": 0}
+
+        def policy(context):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                return None  # first event: no decision at all
+            decision = AllocationDecision()
+            for view in context.jobs.values():
+                decision.set(view.job_id, [0], 1.0)
+            return decision
+
+        # A second submission event arrives later and rescues the first job,
+        # so returning None must not crash the engine by itself.
+        specs = [_spec(0), _spec(1, submit=10.0)]
+        result = _simulate(_StubScheduler(policy), specs)
+        assert result.num_jobs == 2

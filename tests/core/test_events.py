@@ -1,0 +1,63 @@
+"""Unit tests for :mod:`repro.core.events`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.events import Event, EventQueue, EventType
+
+
+class TestEventQueue:
+    def test_empty_queue(self):
+        queue = EventQueue()
+        assert len(queue) == 0
+        assert not queue
+        assert queue.peek_time() == math.inf
+        with pytest.raises(IndexError):
+            queue.pop()
+
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        queue.push(Event(30.0, EventType.JOB_SUBMISSION, 1))
+        queue.push(Event(10.0, EventType.JOB_SUBMISSION, 2))
+        queue.push(Event(20.0, EventType.SCHEDULER_WAKEUP))
+        times = [queue.pop().time for _ in range(3)]
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_simultaneous_events_ordered_by_type(self):
+        """Completions are processed before submissions, then wake-ups."""
+        queue = EventQueue()
+        queue.push(Event(5.0, EventType.SCHEDULER_WAKEUP))
+        queue.push(Event(5.0, EventType.JOB_SUBMISSION, 3))
+        queue.push(Event(5.0, EventType.JOB_COMPLETION, 4))
+        types = [queue.pop().event_type for _ in range(3)]
+        assert types == [
+            EventType.JOB_COMPLETION,
+            EventType.JOB_SUBMISSION,
+            EventType.SCHEDULER_WAKEUP,
+        ]
+
+    def test_pop_until(self):
+        queue = EventQueue()
+        for t in (1.0, 2.0, 3.0, 10.0):
+            queue.push(Event(t, EventType.JOB_SUBMISSION, int(t)))
+        events = queue.pop_until(3.0)
+        assert [e.time for e in events] == [1.0, 2.0, 3.0]
+        assert len(queue) == 1
+        assert queue.peek_time() == 10.0
+
+    def test_non_finite_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.push(Event(math.inf, EventType.SCHEDULER_WAKEUP))
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e9), max_size=50))
+    def test_pop_order_is_sorted_property(self, times):
+        queue = EventQueue()
+        for t in times:
+            queue.push(Event(t, EventType.JOB_SUBMISSION, 0))
+        popped = [queue.pop().time for _ in range(len(times))]
+        assert popped == sorted(times)

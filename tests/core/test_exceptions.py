@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    AllocationError,
+    ConfigurationError,
+    InfeasibleAllocationError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    TraceFormatError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            ConfigurationError,
+            AllocationError,
+            InfeasibleAllocationError,
+            SchedulingError,
+            WorkloadError,
+            TraceFormatError,
+            SimulationError,
+        ],
+    )
+    def test_everything_derives_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+        with pytest.raises(ReproError):
+            raise exception_type("boom")
+
+    def test_specialisations(self):
+        assert issubclass(InfeasibleAllocationError, AllocationError)
+        assert issubclass(TraceFormatError, WorkloadError)
+
+    def test_repro_error_is_an_exception(self):
+        assert issubclass(ReproError, Exception)

@@ -1,0 +1,134 @@
+"""Unit tests for :mod:`repro.core.job`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.job import Job, JobSpec, JobState, MINIMUM_YIELD
+from repro.exceptions import WorkloadError
+
+from ..conftest import make_job
+
+
+class TestJobSpecValidation:
+    def test_valid_spec_round_trips_fields(self):
+        spec = JobSpec(3, 10.0, 4, 0.5, 0.25, 3600.0)
+        assert spec.job_id == 3
+        assert spec.submit_time == 10.0
+        assert spec.num_tasks == 4
+        assert spec.cpu_need == 0.5
+        assert spec.mem_requirement == 0.25
+        assert spec.execution_time == 3600.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"job_id": -1},
+            {"submit_time": -5.0},
+            {"submit_time": math.nan},
+            {"num_tasks": 0},
+            {"cpu_need": 0.0},
+            {"cpu_need": 1.5},
+            {"mem_requirement": 0.0},
+            {"mem_requirement": 1.2},
+            {"execution_time": 0.0},
+            {"execution_time": -10.0},
+            {"execution_time": math.inf},
+        ],
+    )
+    def test_invalid_specs_are_rejected(self, kwargs):
+        base = dict(
+            job_id=1,
+            submit_time=0.0,
+            num_tasks=2,
+            cpu_need=0.5,
+            mem_requirement=0.1,
+            execution_time=100.0,
+        )
+        base.update(kwargs)
+        with pytest.raises(WorkloadError):
+            JobSpec(**base)
+
+    def test_totals(self):
+        spec = JobSpec(0, 0.0, 8, 0.25, 0.1, 60.0)
+        assert spec.total_cpu_need == pytest.approx(2.0)
+        assert spec.total_memory == pytest.approx(0.8)
+        assert spec.dedicated_work() == pytest.approx(60.0)
+
+
+class TestJobProgress:
+    def test_initial_state(self):
+        job = Job(spec=make_job(1, runtime=200.0))
+        assert job.state is JobState.PENDING
+        assert job.remaining_work == pytest.approx(200.0)
+        assert job.virtual_time == 0.0
+        assert not math.isfinite(job.predicted_completion(0.0))
+
+    def test_advance_only_progresses_running_jobs(self):
+        job = Job(spec=make_job(1, runtime=100.0))
+        job.advance(50.0)
+        assert job.remaining_work == pytest.approx(100.0)
+        job.state = JobState.RUNNING
+        job.current_yield = 0.5
+        job.advance(50.0)
+        assert job.remaining_work == pytest.approx(75.0)
+        assert job.virtual_time == pytest.approx(25.0)
+
+    def test_penalty_is_drained_before_progress(self):
+        job = Job(spec=make_job(1, runtime=100.0))
+        job.state = JobState.RUNNING
+        job.current_yield = 1.0
+        job.penalty_remaining = 30.0
+        job.advance(40.0)
+        assert job.penalty_remaining == pytest.approx(0.0)
+        assert job.remaining_work == pytest.approx(90.0)
+        assert job.virtual_time == pytest.approx(10.0)
+
+    def test_penalty_longer_than_interval(self):
+        job = Job(spec=make_job(1, runtime=100.0))
+        job.state = JobState.RUNNING
+        job.current_yield = 1.0
+        job.penalty_remaining = 100.0
+        job.advance(40.0)
+        assert job.penalty_remaining == pytest.approx(60.0)
+        assert job.remaining_work == pytest.approx(100.0)
+
+    def test_predicted_completion_includes_penalty(self):
+        job = Job(spec=make_job(1, runtime=100.0))
+        job.state = JobState.RUNNING
+        job.current_yield = 0.5
+        job.penalty_remaining = 10.0
+        assert job.predicted_completion(1000.0) == pytest.approx(1000.0 + 10.0 + 200.0)
+
+    def test_negative_advance_rejected(self):
+        job = Job(spec=make_job(1))
+        with pytest.raises(ValueError):
+            job.advance(-1.0)
+
+    def test_flow_time_and_turnaround(self):
+        job = Job(spec=make_job(1, submit=100.0, runtime=50.0))
+        assert job.flow_time(130.0) == pytest.approx(30.0)
+        assert job.flow_time(50.0) == 0.0
+        with pytest.raises(ValueError):
+            job.turnaround_time()
+        job.completion_time = 400.0
+        assert job.turnaround_time() == pytest.approx(300.0)
+
+    @given(
+        yield_value=st.floats(min_value=MINIMUM_YIELD, max_value=1.0),
+        runtime=st.floats(min_value=1.0, max_value=1e5),
+        steps=st.integers(min_value=1, max_value=20),
+    )
+    def test_work_conservation_property(self, yield_value, runtime, steps):
+        """Virtual time plus remaining work always equals the dedicated work."""
+        job = Job(spec=make_job(1, runtime=runtime))
+        job.state = JobState.RUNNING
+        job.current_yield = yield_value
+        step = runtime / (yield_value * steps * 2)
+        for _ in range(steps):
+            job.advance(step)
+        assert job.virtual_time + job.remaining_work == pytest.approx(runtime, rel=1e-6)
+        assert job.remaining_work >= 0.0

@@ -1,0 +1,107 @@
+"""Unit tests for :mod:`repro.core.metrics`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import (
+    STRETCH_BOUND_SECONDS,
+    aggregate_degradation,
+    bounded_stretch,
+    degradation_factors,
+    job_yield,
+    raw_stretch,
+)
+
+
+class TestStretch:
+    def test_raw_stretch(self):
+        assert raw_stretch(400.0, 100.0) == pytest.approx(4.0)
+        assert raw_stretch(100.0, 100.0) == pytest.approx(1.0)
+
+    def test_raw_stretch_validation(self):
+        with pytest.raises(ValueError):
+            raw_stretch(-1.0, 100.0)
+        with pytest.raises(ValueError):
+            raw_stretch(10.0, 0.0)
+
+    def test_bounded_stretch_equals_raw_for_long_jobs(self):
+        assert bounded_stretch(7200.0, 3600.0) == pytest.approx(2.0)
+
+    def test_bounded_stretch_caps_short_jobs(self):
+        # A 1-second job that waits 15 seconds has raw stretch 16 but bounded
+        # stretch 1 (both times are below the 30-second threshold).
+        assert bounded_stretch(16.0, 1.0) == pytest.approx(1.0)
+
+    def test_bounded_stretch_mixed_regime(self):
+        # 1-second job with a 300-second turnaround: numerator unbounded,
+        # denominator bounded at 30.
+        assert bounded_stretch(300.0, 1.0) == pytest.approx(10.0)
+
+    def test_bounded_stretch_custom_bound(self):
+        assert bounded_stretch(50.0, 10.0, bound=100.0) == pytest.approx(1.0)
+
+    @given(
+        turnaround=st.floats(min_value=0.0, max_value=1e7),
+        dedicated=st.floats(min_value=1e-3, max_value=1e7),
+    )
+    def test_bounded_stretch_properties(self, turnaround, dedicated):
+        value = bounded_stretch(turnaround, dedicated)
+        assert value > 0.0
+        # Bounded stretch is at least 1 whenever the turnaround is at least
+        # the dedicated time (a job cannot finish faster than dedicated).
+        if turnaround >= dedicated:
+            assert value >= 1.0 - 1e-12
+        # It never exceeds the raw stretch computed with the same bound logic.
+        assert value <= max(turnaround, STRETCH_BOUND_SECONDS) / min(
+            dedicated, max(dedicated, STRETCH_BOUND_SECONDS)
+        ) + 1e-9
+
+
+class TestYield:
+    def test_job_yield(self):
+        assert job_yield(0.3, 0.6) == pytest.approx(0.5)
+        assert job_yield(0.6, 0.6) == pytest.approx(1.0)
+
+    def test_job_yield_validation(self):
+        with pytest.raises(ValueError):
+            job_yield(0.5, 0.0)
+        with pytest.raises(ValueError):
+            job_yield(-0.1, 0.5)
+
+
+class TestDegradation:
+    def test_best_algorithm_gets_one(self):
+        factors = degradation_factors({"a": 10.0, "b": 5.0, "c": 50.0})
+        assert factors["b"] == pytest.approx(1.0)
+        assert factors["a"] == pytest.approx(2.0)
+        assert factors["c"] == pytest.approx(10.0)
+
+    def test_empty_input(self):
+        assert degradation_factors({}) == {}
+
+    def test_non_positive_stretch_rejected(self):
+        with pytest.raises(ValueError):
+            degradation_factors({"a": 0.0})
+
+    def test_aggregate(self):
+        stats = aggregate_degradation([1.0, 2.0, 3.0])
+        assert stats.average == pytest.approx(2.0)
+        assert stats.maximum == pytest.approx(3.0)
+        assert stats.count == 3
+        assert stats.as_row() == [stats.average, stats.std, stats.maximum]
+
+    def test_aggregate_empty(self):
+        stats = aggregate_degradation([])
+        assert stats.count == 0
+        assert stats.average == 0.0
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=5),
+                           st.floats(min_value=1e-3, max_value=1e6),
+                           min_size=1, max_size=8))
+    def test_degradation_factor_properties(self, stretches):
+        factors = degradation_factors(stretches)
+        assert min(factors.values()) == pytest.approx(1.0)
+        for name in stretches:
+            assert factors[name] >= 1.0 - 1e-9

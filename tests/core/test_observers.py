@@ -1,0 +1,265 @@
+"""Tests for the engine observer hooks and the built-in recorders."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    AllocationTraceRecorder,
+    Cluster,
+    EventLogRecorder,
+    JobSpec,
+    ReschedulingPenaltyModel,
+    SimulationConfig,
+    SimulationObserver,
+    Simulator,
+    UtilizationRecorder,
+)
+from repro.schedulers import create_scheduler
+
+
+def _spec(job_id, submit, tasks=1, cpu=0.5, mem=0.2, runtime=100.0):
+    return JobSpec(
+        job_id=job_id,
+        submit_time=submit,
+        num_tasks=tasks,
+        cpu_need=cpu,
+        mem_requirement=mem,
+        execution_time=runtime,
+    )
+
+
+def _run(specs, algorithm="greedy-pmtn", nodes=4, penalty=0.0, observers=()):
+    cluster = Cluster(num_nodes=nodes, cores_per_node=4, node_memory_gb=8.0)
+    simulator = Simulator(
+        cluster,
+        create_scheduler(algorithm),
+        SimulationConfig(penalty_model=ReschedulingPenaltyModel(penalty)),
+        observers=list(observers),
+    )
+    return simulator.run(specs)
+
+
+class TestSimulationObserverBase:
+    def test_base_observer_hooks_are_noops(self):
+        observer = SimulationObserver()
+        cluster = Cluster(num_nodes=2)
+        spec = _spec(0, 0.0)
+        # None of the default hooks should raise or return anything.
+        assert observer.on_simulation_start(cluster, 0.0) is None
+        assert observer.on_job_submitted(0.0, spec) is None
+        assert observer.on_job_completed(1.0, spec) is None
+        assert observer.on_simulation_end(2.0) is None
+
+    def test_simulation_runs_unchanged_without_observers(self):
+        specs = [_spec(0, 0.0), _spec(1, 10.0)]
+        result_plain = _run(specs)
+        result_observed = _run(specs, observers=[EventLogRecorder()])
+        assert result_plain.max_stretch == pytest.approx(result_observed.max_stretch)
+        assert result_plain.makespan == pytest.approx(result_observed.makespan)
+
+
+class TestEventLogRecorder:
+    def test_records_submission_start_and_completion(self):
+        log = EventLogRecorder()
+        specs = [_spec(0, 0.0, runtime=50.0)]
+        _run(specs, observers=[log])
+        kinds = [event.kind for event in log.events]
+        assert kinds[0] == "sim-start"
+        assert kinds[-1] == "sim-end"
+        assert log.count("submit") == 1
+        assert log.count("start") == 1
+        assert log.count("complete") == 1
+
+    def test_submission_precedes_start_which_precedes_completion(self):
+        log = EventLogRecorder()
+        _run([_spec(0, 5.0, runtime=40.0)], observers=[log])
+        events = log.events_of_job(0)
+        kinds = [event.kind for event in events]
+        assert kinds.index("submit") < kinds.index("start") < kinds.index("complete")
+
+    def test_every_job_gets_a_completion_event(self):
+        log = EventLogRecorder()
+        specs = [_spec(i, i * 5.0, runtime=30.0 + i) for i in range(6)]
+        _run(specs, observers=[log])
+        completed = {event.job_id for event in log.events_of_kind("complete")}
+        assert completed == set(range(6))
+
+    def test_event_times_are_non_decreasing(self):
+        log = EventLogRecorder()
+        specs = [_spec(i, i * 3.0, runtime=25.0) for i in range(8)]
+        _run(specs, observers=[log])
+        times = [event.time for event in log.events]
+        assert times == sorted(times)
+
+    def test_preemption_events_recorded_under_memory_pressure(self):
+        # Two memory-heavy jobs on one node force the preempting greedy
+        # algorithm to pause one of them when the second arrives.
+        log = EventLogRecorder()
+        specs = [
+            _spec(0, 0.0, cpu=1.0, mem=0.9, runtime=500.0),
+            _spec(1, 10.0, cpu=1.0, mem=0.9, runtime=500.0),
+        ]
+        _run(specs, algorithm="greedy-pmtn", nodes=1, observers=[log])
+        assert log.count("preempt") >= 1
+        assert log.count("resume") >= 1
+
+    def test_events_of_kind_filters_correctly(self):
+        log = EventLogRecorder()
+        _run([_spec(0, 0.0)], observers=[log])
+        for kind in ("submit", "start", "complete"):
+            events = log.events_of_kind(kind)
+            assert all(event.kind == kind for event in events)
+
+    def test_counts_match_simulation_result_costs(self):
+        log = EventLogRecorder()
+        specs = [
+            _spec(i, i * 2.0, cpu=1.0, mem=0.6, runtime=300.0) for i in range(5)
+        ]
+        result = _run(specs, algorithm="dynmcb8", nodes=2, observers=[log])
+        assert log.count("preempt") == result.costs.preemption_count
+        assert log.count("migrate") == result.costs.migration_count
+
+
+class TestAllocationTraceRecorder:
+    def test_single_job_yields_one_interval(self):
+        trace = AllocationTraceRecorder()
+        _run([_spec(0, 0.0, runtime=60.0)], observers=[trace])
+        intervals = trace.intervals_of_job(0)
+        assert len(intervals) >= 1
+        assert intervals[0].start == pytest.approx(0.0)
+        assert intervals[-1].end >= 60.0 - 1e-6
+
+    def test_intervals_do_not_overlap_per_job(self):
+        trace = AllocationTraceRecorder()
+        specs = [_spec(i, i * 4.0, cpu=1.0, mem=0.5, runtime=200.0) for i in range(6)]
+        _run(specs, algorithm="dynmcb8", nodes=2, observers=[trace])
+        for job_id in trace.job_ids():
+            intervals = trace.intervals_of_job(job_id)
+            for earlier, later in zip(intervals, intervals[1:]):
+                assert earlier.end <= later.start + 1e-9
+
+    def test_interval_durations_are_positive(self):
+        trace = AllocationTraceRecorder()
+        specs = [_spec(i, i * 3.0, runtime=50.0) for i in range(5)]
+        _run(specs, observers=[trace])
+        assert all(interval.duration > 0 for interval in trace.intervals)
+
+    def test_virtual_time_reconstruction_close_to_execution_time(self):
+        # With no penalty, the sum of duration x yield over a job's intervals
+        # must equal its dedicated execution time.
+        trace = AllocationTraceRecorder()
+        specs = [_spec(i, i * 10.0, cpu=0.8, mem=0.3, runtime=120.0) for i in range(4)]
+        _run(specs, algorithm="dynmcb8-per-600", nodes=2, observers=[trace])
+        for job_id in trace.job_ids():
+            accrued = sum(iv.virtual_time for iv in trace.intervals_of_job(job_id))
+            assert accrued == pytest.approx(120.0, rel=1e-6)
+
+    def test_nodes_are_within_cluster_range(self):
+        trace = AllocationTraceRecorder()
+        specs = [_spec(i, i * 2.0, tasks=2, runtime=80.0) for i in range(4)]
+        _run(specs, nodes=4, observers=[trace])
+        for interval in trace.intervals:
+            assert all(0 <= node < 4 for node in interval.nodes)
+
+    def test_busy_node_seconds_positive(self):
+        trace = AllocationTraceRecorder()
+        _run([_spec(0, 0.0, runtime=100.0)], observers=[trace])
+        assert trace.busy_node_seconds() >= 100.0 - 1e-6
+
+
+class TestUtilizationRecorder:
+    def test_samples_are_recorded_for_every_event(self):
+        recorder = UtilizationRecorder()
+        specs = [_spec(i, i * 5.0, runtime=40.0) for i in range(5)]
+        _run(specs, observers=[recorder])
+        assert len(recorder.samples) >= 5  # at least one sample per submission
+
+    def test_memory_never_exceeds_cluster_capacity(self):
+        recorder = UtilizationRecorder()
+        specs = [_spec(i, i * 1.0, cpu=1.0, mem=0.7, runtime=200.0) for i in range(8)]
+        _run(specs, algorithm="dynmcb8", nodes=3, observers=[recorder])
+        assert recorder.peak_memory_used() <= 3.0 + 1e-6
+
+    def test_cpu_allocated_never_exceeds_cluster_capacity(self):
+        recorder = UtilizationRecorder()
+        specs = [_spec(i, i * 1.0, cpu=1.0, mem=0.2, runtime=150.0) for i in range(10)]
+        _run(specs, algorithm="dynmcb8", nodes=4, observers=[recorder])
+        assert recorder.peak_cpu_allocated() <= 4.0 + 1e-6
+
+    def test_busy_nodes_bounded_by_cluster_size(self):
+        recorder = UtilizationRecorder()
+        specs = [_spec(i, i * 1.0, tasks=2, runtime=100.0) for i in range(6)]
+        _run(specs, nodes=4, observers=[recorder])
+        assert recorder.peak_busy_nodes() <= 4
+
+    def test_min_yield_in_unit_interval(self):
+        recorder = UtilizationRecorder()
+        specs = [_spec(i, i * 1.0, cpu=1.0, mem=0.1, runtime=100.0) for i in range(10)]
+        _run(specs, algorithm="greedy-pmtn", nodes=2, observers=[recorder])
+        for sample in recorder.samples:
+            assert 0.0 < sample.min_yield <= 1.0 + 1e-9
+
+    def test_times_non_decreasing(self):
+        recorder = UtilizationRecorder()
+        specs = [_spec(i, i * 7.0, runtime=60.0) for i in range(5)]
+        _run(specs, observers=[recorder])
+        times = [sample.time for sample in recorder.samples]
+        assert times == sorted(times)
+
+    def test_empty_recorder_peaks_are_zero(self):
+        recorder = UtilizationRecorder()
+        assert recorder.peak_busy_nodes() == 0
+        assert recorder.peak_cpu_allocated() == 0.0
+        assert recorder.peak_memory_used() == 0.0
+
+
+class TestMultipleObservers:
+    def test_all_observers_receive_callbacks(self):
+        log = EventLogRecorder()
+        trace = AllocationTraceRecorder()
+        util = UtilizationRecorder()
+        specs = [_spec(i, i * 5.0, runtime=50.0) for i in range(4)]
+        _run(specs, observers=[log, trace, util])
+        assert log.count("complete") == 4
+        assert len(trace.intervals) >= 4
+        assert len(util.samples) >= 4
+
+    def test_observer_state_reset_between_runs(self):
+        log = EventLogRecorder()
+        specs = [_spec(0, 0.0, runtime=40.0)]
+        _run(specs, observers=[log])
+        first_count = len(log.events)
+        _run(specs, observers=[log])
+        # on_simulation_start resets nothing in the log recorder by design;
+        # the trace and utilization recorders do reset.
+        assert len(log.events) >= first_count
+        trace = AllocationTraceRecorder()
+        _run(specs, observers=[trace])
+        _run(specs, observers=[trace])
+        assert len(trace.intervals_of_job(0)) >= 1
+
+    def test_custom_observer_subclass_receives_lifecycle(self):
+        class Counter(SimulationObserver):
+            def __init__(self):
+                self.started = 0
+                self.completed = 0
+                self.ended = False
+
+            def on_job_started(self, time, spec, allocation):
+                self.started += 1
+
+            def on_job_completed(self, time, spec):
+                self.completed += 1
+
+            def on_simulation_end(self, time):
+                self.ended = True
+
+        counter = Counter()
+        specs = [_spec(i, i * 2.0, runtime=30.0) for i in range(3)]
+        _run(specs, observers=[counter])
+        assert counter.started >= 3
+        assert counter.completed == 3
+        assert counter.ended is True

@@ -1,0 +1,46 @@
+"""Unit tests for :mod:`repro.core.penalties`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.penalties import (
+    FIVE_MINUTE_PENALTY,
+    NO_PENALTY,
+    ReschedulingPenaltyModel,
+)
+from repro.exceptions import ConfigurationError
+
+from ..conftest import make_job
+
+
+class TestPenaltyModel:
+    def test_constants(self):
+        assert NO_PENALTY.penalty_seconds == 0.0
+        assert FIVE_MINUTE_PENALTY.penalty_seconds == 300.0
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReschedulingPenaltyModel(-1.0)
+
+    def test_penalty_values(self):
+        model = ReschedulingPenaltyModel(120.0)
+        spec = make_job(1, tasks=4, mem=0.25)
+        assert model.resume_penalty(spec) == pytest.approx(120.0)
+        assert model.migration_penalty(spec) == pytest.approx(120.0)
+
+    def test_memory_accounting_scales_with_node_memory(self):
+        model = ReschedulingPenaltyModel(300.0)
+        cluster = Cluster(num_nodes=128, cores_per_node=4, node_memory_gb=8.0)
+        spec = make_job(1, tasks=128, mem=1.0)
+        # 128 tasks x 100% of an 8 GB node = 1 TB, the paper's footnote example.
+        assert model.job_memory_gb(spec, cluster) == pytest.approx(1024.0)
+        assert model.preemption_bytes_gb(spec, cluster) == pytest.approx(1024.0)
+        assert model.migration_bytes_gb(spec, cluster) == pytest.approx(1024.0)
+
+    def test_small_job_memory(self):
+        model = NO_PENALTY
+        cluster = Cluster(num_nodes=4, node_memory_gb=2.0)
+        spec = make_job(1, tasks=2, mem=0.5)
+        assert model.job_memory_gb(spec, cluster) == pytest.approx(2.0)

@@ -1,0 +1,112 @@
+"""Unit tests for :mod:`repro.core.records`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.records import CostSummary, JobRecord, SimulationResult
+
+from ..conftest import make_job
+
+
+def record(job_id=0, submit=0.0, start=10.0, end=110.0, runtime=100.0, **kwargs):
+    return JobRecord(
+        spec=make_job(job_id, submit=submit, runtime=runtime, **kwargs),
+        first_start_time=start,
+        completion_time=end,
+        preemptions=0,
+        migrations=0,
+    )
+
+
+class TestJobRecord:
+    def test_derived_times(self):
+        r = record(submit=0.0, start=10.0, end=110.0, runtime=100.0)
+        assert r.turnaround_time == pytest.approx(110.0)
+        assert r.wait_time == pytest.approx(10.0)
+        assert r.stretch == pytest.approx(1.1)
+
+    def test_short_job_stretch_is_bounded(self):
+        r = record(submit=0.0, start=0.0, end=5.0, runtime=1.0)
+        assert r.stretch == pytest.approx(1.0)
+
+
+class TestCostSummary:
+    def test_accumulation(self):
+        costs = CostSummary()
+        costs.record_preemption(2.0)
+        costs.record_preemption(3.0)
+        costs.record_migration(1.5)
+        assert costs.preemption_count == 2
+        assert costs.migration_count == 1
+        assert costs.preemption_gb == pytest.approx(5.0)
+        assert costs.migration_gb == pytest.approx(1.5)
+
+
+class TestSimulationResult:
+    def _result(self):
+        cluster = Cluster(4, node_memory_gb=8.0)
+        costs = CostSummary()
+        costs.record_preemption(8.0)
+        costs.record_migration(4.0)
+        jobs = [
+            record(0, submit=0.0, start=0.0, end=3600.0, runtime=1800.0),
+            record(1, submit=0.0, start=100.0, end=400.0, runtime=100.0),
+        ]
+        return SimulationResult(
+            algorithm="test",
+            cluster=cluster,
+            jobs=jobs,
+            costs=costs,
+            makespan=3600.0,
+            scheduler_times=[0.001, 0.5, 0.002],
+            scheduler_job_counts=[1, 20, 2],
+            idle_node_seconds=7200.0,
+        )
+
+    def test_stretch_statistics(self):
+        result = self._result()
+        assert result.num_jobs == 2
+        assert result.max_stretch == pytest.approx(4.0)  # job 1: 400/100
+        assert result.mean_stretch == pytest.approx((2.0 + 4.0) / 2.0)
+        assert result.mean_turnaround == pytest.approx((3600.0 + 400.0) / 2.0)
+
+    def test_cost_rates(self):
+        result = self._result()
+        assert result.preemptions_per_hour() == pytest.approx(1.0)
+        assert result.migrations_per_hour() == pytest.approx(1.0)
+        assert result.preemptions_per_job() == pytest.approx(0.5)
+        assert result.migrations_per_job() == pytest.approx(0.5)
+        assert result.preemption_bandwidth_gb_per_sec() == pytest.approx(8.0 / 3600.0)
+        assert result.migration_bandwidth_gb_per_sec() == pytest.approx(4.0 / 3600.0)
+
+    def test_scheduler_timing(self):
+        result = self._result()
+        assert result.mean_scheduler_time() == pytest.approx((0.001 + 0.5 + 0.002) / 3)
+        assert result.max_scheduler_time() == pytest.approx(0.5)
+
+    def test_idle_nodes(self):
+        result = self._result()
+        assert result.mean_idle_nodes() == pytest.approx(2.0)
+
+    def test_record_lookup_and_summary(self):
+        result = self._result()
+        assert result.record_for(1).spec.job_id == 1
+        assert result.record_for(99) is None
+        summary = result.summary()
+        assert summary["algorithm_max_stretch"] == pytest.approx(4.0)
+        assert summary["makespan"] == pytest.approx(3600.0)
+
+    def test_empty_result_statistics(self):
+        result = SimulationResult(
+            algorithm="empty",
+            cluster=Cluster(2),
+            jobs=[],
+            costs=CostSummary(),
+            makespan=0.0,
+        )
+        assert result.max_stretch == 0.0
+        assert result.mean_stretch == 0.0
+        assert result.mean_scheduler_time() == 0.0
+        assert result.preemptions_per_job() == 0.0

@@ -1,0 +1,74 @@
+"""Smoke tests: every example script must run end-to-end at a tiny scale.
+
+The examples are part of the public deliverable, so they are executed as real
+subprocesses (the way a user would run them), with arguments small enough to
+finish in a few seconds each.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+_CASES = {
+    "quickstart.py": ["--jobs", "30", "--nodes", "8", "--load", "0.5"],
+    "load_sweep.py": ["--traces", "1", "--jobs", "25", "--nodes", "8", "--loads", "0.5"],
+    "memory_pressure_study.py": ["--jobs", "25", "--nodes", "8", "--load", "0.5"],
+    "swf_trace_replay.py": ["--weeks", "1", "--jobs-per-week", "40"],
+    "custom_scheduler.py": ["--jobs", "25", "--nodes", "8", "--load", "0.5"],
+    "energy_and_utilization.py": ["--jobs", "25", "--nodes", "8", "--load", "0.3"],
+    "ablations_and_extensions.py": ["--jobs", "25", "--nodes", "8", "--traces", "1"],
+}
+
+
+def _run_example(name: str, arguments):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *arguments],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def test_every_example_has_a_smoke_case():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(_CASES), (
+        "every example script must have a smoke-test entry (and vice versa)"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(_CASES))
+def test_example_runs_successfully(name):
+    completed = _run_example(name, _CASES[name])
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), f"{name} produced no output"
+
+
+def test_quickstart_reports_degradation_factors():
+    completed = _run_example("quickstart.py", _CASES["quickstart.py"])
+    assert "degradation factor" in completed.stdout
+
+
+def test_energy_example_reports_savings():
+    completed = _run_example(
+        "energy_and_utilization.py", _CASES["energy_and_utilization.py"]
+    )
+    assert "savings" in completed.stdout
+
+
+def test_ablations_example_reports_all_four_studies():
+    completed = _run_example(
+        "ablations_and_extensions.py", _CASES["ablations_and_extensions.py"]
+    )
+    for marker in (
+        "Packing-heuristic ablation",
+        "Period sensitivity",
+        "Extensions vs. paper algorithms",
+        "Utilization and energy study",
+    ):
+        assert marker in completed.stdout

@@ -1,0 +1,57 @@
+"""Tests for the ``repro-dfrs`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_global_options(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["--nodes", "16", "--num-jobs", "50", "--loads", "0.2,0.6",
+             "--algorithms", "fcfs,greedy", "--penalty", "0", "figure1"]
+        )
+        assert args.nodes == 16
+        assert args.num_jobs == 50
+        assert args.command == "figure1"
+
+    def test_compare_load_option(self):
+        parser = build_parser()
+        args = parser.parse_args(["compare", "--load", "0.4"])
+        assert args.load == pytest.approx(0.4)
+
+
+class TestMain:
+    def _common(self):
+        return [
+            "--nodes", "8",
+            "--num-traces", "1",
+            "--num-jobs", "12",
+            "--algorithms", "easy,greedy-pmtn",
+            "--seed", "3",
+        ]
+
+    def test_compare_command(self, capsys):
+        code = main(self._common() + ["compare", "--load", "0.5"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "easy" in output and "greedy-pmtn" in output
+        assert "max stretch" in output
+
+    def test_figure1_command(self, capsys):
+        code = main(self._common() + ["--loads", "0.5", "figure1"])
+        assert code == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_timing_command(self, capsys):
+        code = main(self._common() + ["--algorithms", "dynmcb8", "timing"])
+        assert code == 0
+        assert "Scheduling-time" in capsys.readouterr().out

@@ -1,0 +1,77 @@
+"""Tests for experiment configuration and plain-text reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.exceptions import ConfigurationError
+from repro.experiments.config import (
+    ExperimentConfig,
+    default_scale,
+    paper_scale,
+    quick_scale,
+)
+from repro.experiments.reporting import format_figure_series, format_table
+
+
+class TestExperimentConfig:
+    def test_presets(self):
+        quick = quick_scale()
+        default = default_scale()
+        paper = paper_scale()
+        assert quick.num_jobs < default.num_jobs < paper.num_jobs
+        assert paper.num_traces == 100
+        assert paper.load_levels == tuple(round(0.1 * i, 1) for i in range(1, 10))
+        assert paper.cluster.num_nodes == 128
+        assert len(paper.algorithms) == 9
+
+    def test_with_penalty_and_algorithms(self):
+        config = quick_scale().with_penalty(0.0).with_algorithms(["fcfs", "greedy"])
+        assert config.penalty_seconds == 0.0
+        assert config.algorithms == ("fcfs", "greedy")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_traces": 0},
+            {"num_jobs": 1},
+            {"load_levels": ()},
+            {"load_levels": (0.0,)},
+            {"algorithms": ()},
+            {"penalty_seconds": -1.0},
+            {"hpc2n_weeks": 0},
+            {"hpc2n_jobs_per_week": 1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(**kwargs)
+
+
+class TestReporting:
+    def test_format_table_alignment_and_floats(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.23456], ["b", 10.0]],
+            title="My table",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My table"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.23" in text
+        assert "10.00" in text
+
+    def test_format_table_without_title(self):
+        text = format_table(["a"], [[1]])
+        assert not text.startswith("\n")
+        assert "1" in text
+
+    def test_format_figure_series(self):
+        series = {"fcfs": {0.1: 10.0, 0.5: 20.0}, "easy": {0.1: 5.0}}
+        text = format_figure_series(series, title="Figure")
+        assert "Figure" in text
+        assert "0.1" in text and "0.5" in text
+        assert "fcfs" in text and "easy" in text
+        # Missing points are rendered as a dash.
+        assert "-" in text.splitlines()[-1] or "-" in text

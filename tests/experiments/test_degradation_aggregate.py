@@ -1,0 +1,65 @@
+"""Unit tests for the degradation-factor aggregation layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.records import CostSummary, SimulationResult
+from repro.core.cluster import Cluster
+from repro.experiments.degradation import DegradationAggregate, aggregate_instances
+from repro.experiments.runner import InstanceResult
+
+from ..conftest import make_job
+from ..core.test_records import record
+
+
+def instance(name: str, stretches: dict) -> InstanceResult:
+    """Build an InstanceResult whose per-algorithm max stretch is prescribed."""
+    result = InstanceResult(workload_name=name)
+    for algorithm, stretch in stretches.items():
+        # One job whose bounded stretch equals the prescribed value.
+        runtime = 1000.0
+        completion = runtime * stretch
+        result.results[algorithm] = SimulationResult(
+            algorithm=algorithm,
+            cluster=Cluster(4),
+            jobs=[record(0, submit=0.0, start=0.0, end=completion, runtime=runtime)],
+            costs=CostSummary(),
+            makespan=completion,
+        )
+    return result
+
+
+class TestInstanceResult:
+    def test_max_stretches_and_factors(self):
+        inst = instance("i0", {"a": 2.0, "b": 8.0})
+        assert inst.max_stretches() == {"a": pytest.approx(2.0), "b": pytest.approx(8.0)}
+        factors = inst.degradation_factors()
+        assert factors["a"] == pytest.approx(1.0)
+        assert factors["b"] == pytest.approx(4.0)
+
+
+class TestDegradationAggregate:
+    def test_aggregation_over_instances(self):
+        aggregate = aggregate_instances(
+            [
+                instance("i0", {"a": 2.0, "b": 4.0}),
+                instance("i1", {"a": 9.0, "b": 3.0}),
+            ]
+        )
+        stats = aggregate.stats()
+        assert stats["a"].average == pytest.approx((1.0 + 3.0) / 2.0)
+        assert stats["b"].average == pytest.approx((2.0 + 1.0) / 2.0)
+        assert stats["a"].maximum == pytest.approx(3.0)
+        assert aggregate.best_algorithm() == "b"
+        assert set(aggregate.algorithms()) == {"a", "b"}
+
+    def test_averages_shortcut(self):
+        aggregate = aggregate_instances([instance("i0", {"a": 5.0, "b": 10.0})])
+        averages = aggregate.averages()
+        assert averages["a"] == pytest.approx(1.0)
+        assert averages["b"] == pytest.approx(2.0)
+
+    def test_best_algorithm_requires_data(self):
+        with pytest.raises(ValueError):
+            DegradationAggregate().best_algorithm()

@@ -1,0 +1,113 @@
+"""End-to-end tests of the experiment harness at a tiny scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.degradation import aggregate_instances
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.runner import (
+    generate_synthetic_instances,
+    run_algorithm,
+    run_instance,
+)
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import TABLE2_ALGORITHMS, run_table2
+from repro.experiments.timing import run_timing_study
+
+TINY = ExperimentConfig(
+    cluster=Cluster(16, 4, 8.0),
+    num_traces=2,
+    num_jobs=30,
+    load_levels=(0.3, 0.8),
+    algorithms=("fcfs", "easy", "greedy-pmtn", "dynmcb8-asap-per-600"),
+    penalty_seconds=300.0,
+    hpc2n_weeks=1,
+    hpc2n_jobs_per_week=40,
+    seed_base=7,
+)
+
+
+class TestRunner:
+    def test_generate_synthetic_instances_scaled(self):
+        instances = generate_synthetic_instances(TINY, load=0.5)
+        assert len(instances) == TINY.num_traces
+        for workload in instances:
+            assert workload.num_jobs == TINY.num_jobs
+            assert workload.load() == pytest.approx(0.5, rel=1e-6)
+
+    def test_generate_synthetic_instances_unscaled(self):
+        instances = generate_synthetic_instances(TINY, load=None)
+        assert len(instances) == TINY.num_traces
+        assert instances[0].load() != pytest.approx(instances[1].load())
+
+    def test_run_algorithm_completes_every_job(self):
+        workload = generate_synthetic_instances(TINY, load=0.5)[0]
+        result = run_algorithm(workload, "greedy-pmtn", penalty_seconds=300.0)
+        assert result.num_jobs == workload.num_jobs
+        assert result.max_stretch >= 1.0
+
+    def test_run_instance_and_degradation(self):
+        workload = generate_synthetic_instances(TINY, load=0.5)[0]
+        instance = run_instance(workload, TINY.algorithms, penalty_seconds=300.0)
+        assert set(instance.results) == set(TINY.algorithms)
+        factors = instance.degradation_factors()
+        assert min(factors.values()) == pytest.approx(1.0)
+        aggregate = aggregate_instances([instance])
+        assert aggregate.best_algorithm() in TINY.algorithms
+
+
+class TestArtifacts:
+    def test_figure1_structure(self):
+        result = run_figure1(TINY, penalty_seconds=0.0)
+        assert set(result.points) == set(TINY.load_levels)
+        for load, values in result.points.items():
+            assert set(values) == set(TINY.algorithms)
+            assert min(values.values()) >= 1.0 - 1e-9
+        text = result.format()
+        assert "Figure 1" in text
+        for algorithm in TINY.algorithms:
+            assert algorithm in text
+
+    def test_table1_structure(self):
+        result = run_table1(TINY)
+        assert set(result.columns) == {"scaled", "unscaled", "real"}
+        for column in result.columns.values():
+            assert set(column) == set(TINY.algorithms)
+            for stats in column.values():
+                assert stats.average >= 1.0 - 1e-9
+                assert stats.maximum >= stats.average - 1e-9
+        assert "Table I" in result.format()
+
+    def test_table2_structure(self):
+        config = TINY.with_algorithms(("greedy-pmtn", "dynmcb8-asap-per-600"))
+        result = run_table2(config, algorithms=config.algorithms)
+        assert set(result.metrics) == set(config.algorithms)
+        for metrics in result.metrics.values():
+            for name in result.METRIC_NAMES:
+                assert metrics[name].maximum >= metrics[name].average - 1e-9
+        # GREEDY-PMTN never migrates (Table II shows 0.00 in the paper).
+        assert result.metrics["greedy-pmtn"]["migr_per_job"].maximum == pytest.approx(0.0)
+        assert "Table II" in result.format()
+
+    def test_table2_requires_high_load_level(self):
+        config = ExperimentConfig(
+            cluster=Cluster(8),
+            num_traces=1,
+            num_jobs=10,
+            load_levels=(0.3,),
+            algorithms=("greedy-pmtn",),
+        )
+        with pytest.raises(ValueError):
+            run_table2(config, algorithms=("greedy-pmtn",))
+
+    def test_timing_study(self):
+        config = TINY.with_algorithms(("dynmcb8",))
+        result = run_timing_study(config, algorithm="dynmcb8")
+        assert result.num_observations > 0
+        assert result.max_seconds >= result.mean_seconds
+        assert 0.0 <= result.small_event_fast_fraction <= 1.0
+        assert result.mean_interarrival_seconds > 0.0
+        assert "dynmcb8" in result.format()

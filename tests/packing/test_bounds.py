@@ -1,0 +1,152 @@
+"""Tests for the analytic packing bounds and feasibility checks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ReproError
+from repro.packing import (
+    PackingJob,
+    cpu_capacity_yield_bound,
+    infeasibility_reasons,
+    job_items,
+    maximize_min_yield,
+    memory_feasible,
+    memory_lower_bound_bins,
+    mcb8_pack,
+    total_cpu_need,
+    total_memory_requirement,
+)
+
+
+def _job(job_id, tasks=1, cpu=0.5, mem=0.2):
+    return PackingJob(job_id=job_id, num_tasks=tasks, cpu_need=cpu, mem_requirement=mem)
+
+
+class TestTotals:
+    def test_total_cpu_need(self):
+        jobs = [_job(0, tasks=2, cpu=0.5), _job(1, tasks=3, cpu=1.0)]
+        assert total_cpu_need(jobs) == pytest.approx(4.0)
+
+    def test_total_memory(self):
+        jobs = [_job(0, tasks=2, mem=0.25), _job(1, tasks=1, mem=0.5)]
+        assert total_memory_requirement(jobs) == pytest.approx(1.0)
+
+    def test_empty_totals_are_zero(self):
+        assert total_cpu_need([]) == 0.0
+        assert total_memory_requirement([]) == 0.0
+
+
+class TestCpuCapacityYieldBound:
+    def test_underloaded_cluster_allows_full_yield(self):
+        jobs = [_job(0, tasks=2, cpu=0.5)]
+        assert cpu_capacity_yield_bound(jobs, 4) == 1.0
+
+    def test_overloaded_cluster_caps_yield(self):
+        # 8 node-units of demand on 4 nodes -> yield at most 0.5.
+        jobs = [_job(0, tasks=8, cpu=1.0)]
+        assert cpu_capacity_yield_bound(jobs, 4) == pytest.approx(0.5)
+
+    def test_empty_jobs_give_one(self):
+        assert cpu_capacity_yield_bound([], 4) == 1.0
+
+    def test_invalid_node_count_rejected(self):
+        with pytest.raises(ReproError):
+            cpu_capacity_yield_bound([], 0)
+
+    def test_bound_never_exceeded_by_mcb8_search(self):
+        jobs = [
+            _job(0, tasks=4, cpu=1.0, mem=0.1),
+            _job(1, tasks=4, cpu=0.8, mem=0.2),
+            _job(2, tasks=2, cpu=0.6, mem=0.3),
+        ]
+        num_nodes = 3
+        bound = cpu_capacity_yield_bound(jobs, num_nodes)
+        result = maximize_min_yield(jobs, num_nodes)
+        assert result.success
+        assert result.yield_value <= bound + 0.01  # binary-search accuracy
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=6),
+                st.floats(min_value=0.05, max_value=1.0),
+                st.floats(min_value=0.05, max_value=0.5),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_search_respects_capacity_bound(self, raw_jobs, num_nodes):
+        jobs = [
+            _job(i, tasks=tasks, cpu=cpu, mem=mem)
+            for i, (tasks, cpu, mem) in enumerate(raw_jobs)
+        ]
+        bound = cpu_capacity_yield_bound(jobs, num_nodes)
+        result = maximize_min_yield(jobs, num_nodes)
+        if result.success:
+            assert result.yield_value <= bound + 0.011
+
+
+class TestMemoryLowerBound:
+    def test_empty_items(self):
+        assert memory_lower_bound_bins([]) == 0
+
+    def test_volume_bound(self):
+        items = job_items(0, 4, cpu=0.1, memory=0.6)
+        # 2.4 node-units of memory -> at least 3 bins; also 4 items > 0.5.
+        assert memory_lower_bound_bins(items) == 4
+
+    def test_pairing_bound_dominates(self):
+        items = job_items(0, 3, cpu=0.1, memory=0.51)
+        assert memory_lower_bound_bins(items) == 3
+
+    def test_small_items_use_volume(self):
+        items = job_items(0, 10, cpu=0.1, memory=0.3)
+        assert memory_lower_bound_bins(items) == 3
+
+    def test_bound_is_consistent_with_mcb8(self):
+        items = job_items(0, 6, cpu=0.2, memory=0.4) + job_items(1, 3, cpu=0.3, memory=0.7)
+        bound = memory_lower_bound_bins(items)
+        result = mcb8_pack(items, 64)
+        assert result.success
+        assert result.bins_used >= bound
+
+
+class TestFeasibility:
+    def test_feasible_case(self):
+        jobs = [_job(0, tasks=2, mem=0.4), _job(1, tasks=2, mem=0.4)]
+        assert memory_feasible(jobs, 2)
+        assert infeasibility_reasons(jobs, 2) == {}
+
+    def test_volume_violation_detected(self):
+        jobs = [_job(0, tasks=10, mem=0.9)]
+        reasons = infeasibility_reasons(jobs, 4)
+        assert "volume" in reasons
+        assert not memory_feasible(jobs, 4)
+
+    def test_pairing_violation_detected(self):
+        jobs = [_job(0, tasks=5, mem=0.6)]
+        reasons = infeasibility_reasons(jobs, 4)
+        assert "pairing" in reasons
+
+    def test_invalid_node_count_rejected(self):
+        with pytest.raises(ReproError):
+            infeasibility_reasons([], 0)
+
+    def test_infeasible_jobs_fail_the_search_too(self):
+        jobs = [_job(0, tasks=6, cpu=0.1, mem=0.9)]
+        assert not memory_feasible(jobs, 4)
+        result = maximize_min_yield(jobs, 4)
+        assert not result.success
+
+    def test_feasibility_is_necessary_not_sufficient(self):
+        # A job set can pass the necessary checks yet still be unpackable;
+        # the check must never claim infeasibility for a packable set.
+        jobs = [_job(i, tasks=1, cpu=0.5, mem=0.45) for i in range(8)]
+        assert memory_feasible(jobs, 4)
+        assert maximize_min_yield(jobs, 4).success

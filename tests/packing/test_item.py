@@ -1,0 +1,74 @@
+"""Unit tests for :mod:`repro.packing.item`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import AllocationError
+from repro.packing.item import Bin, PackingItem, PackingResult, job_items
+
+
+class TestPackingItem:
+    def test_properties(self):
+        item = PackingItem(job_id=1, task_index=0, cpu=0.6, memory=0.3)
+        assert item.max_requirement == pytest.approx(0.6)
+        assert item.cpu_dominant
+        item = PackingItem(job_id=1, task_index=1, cpu=0.2, memory=0.9)
+        assert item.max_requirement == pytest.approx(0.9)
+        assert not item.cpu_dominant
+
+    def test_negative_requirements_rejected(self):
+        with pytest.raises(AllocationError):
+            PackingItem(1, 0, cpu=-0.1, memory=0.1)
+        with pytest.raises(AllocationError):
+            PackingItem(1, 0, cpu=0.1, memory=-0.1)
+
+    def test_memory_above_node_rejected(self):
+        with pytest.raises(AllocationError):
+            PackingItem(1, 0, cpu=0.1, memory=1.5)
+
+    def test_job_items(self):
+        items = job_items(7, 3, cpu=0.5, memory=0.2)
+        assert len(items) == 3
+        assert [item.task_index for item in items] == [0, 1, 2]
+        assert all(item.job_id == 7 for item in items)
+
+    def test_job_items_invalid_count(self):
+        with pytest.raises(AllocationError):
+            job_items(7, 0, cpu=0.5, memory=0.2)
+
+
+class TestBin:
+    def test_fits_and_add(self):
+        bin_ = Bin(0)
+        item = PackingItem(1, 0, cpu=0.7, memory=0.4)
+        assert bin_.fits(item)
+        bin_.add(item)
+        assert bin_.cpu_used == pytest.approx(0.7)
+        assert bin_.memory_used == pytest.approx(0.4)
+        assert bin_.cpu_free == pytest.approx(0.3)
+        assert bin_.memory_free == pytest.approx(0.6)
+        assert not bin_.fits(PackingItem(2, 0, cpu=0.5, memory=0.1))
+        assert bin_.fits(PackingItem(2, 0, cpu=0.3, memory=0.1))
+
+    def test_add_rejects_overflow(self):
+        bin_ = Bin(0)
+        bin_.add(PackingItem(1, 0, cpu=0.9, memory=0.9))
+        with pytest.raises(AllocationError):
+            bin_.add(PackingItem(2, 0, cpu=0.2, memory=0.01))
+
+    def test_imbalance(self):
+        bin_ = Bin(0)
+        bin_.add(PackingItem(1, 0, cpu=0.8, memory=0.1))
+        # Free memory (0.9) exceeds free CPU (0.2) -> want memory-heavy items.
+        assert bin_.imbalance_favors_memory()
+        bin_ = Bin(1)
+        bin_.add(PackingItem(1, 0, cpu=0.1, memory=0.8))
+        assert not bin_.imbalance_favors_memory()
+
+
+class TestPackingResult:
+    def test_failure_constructor(self):
+        result = PackingResult.failure()
+        assert not result.success
+        assert result.assignments == {}

@@ -1,0 +1,143 @@
+"""Tests for the yield / estimated-stretch binary searches."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.job import MINIMUM_YIELD
+from repro.packing.yield_search import (
+    PackingJob,
+    YIELD_SEARCH_ACCURACY,
+    maximize_min_yield,
+    minimize_estimated_stretch,
+    stretch_target_yields,
+)
+
+
+def job(job_id, tasks=1, cpu=1.0, mem=0.1, flow=0.0, vt=0.0):
+    return PackingJob(
+        job_id=job_id,
+        num_tasks=tasks,
+        cpu_need=cpu,
+        mem_requirement=mem,
+        flow_time=flow,
+        virtual_time=vt,
+    )
+
+
+class TestMaximizeMinYield:
+    def test_empty(self):
+        result = maximize_min_yield([], 4)
+        assert result.success
+        assert result.yield_value == pytest.approx(1.0)
+
+    def test_underloaded_cluster_gives_full_yield(self):
+        jobs = [job(0, tasks=2, cpu=0.5), job(1, tasks=1, cpu=0.25)]
+        result = maximize_min_yield(jobs, 8)
+        assert result.success
+        assert result.yield_value == pytest.approx(1.0)
+        assert set(result.assignments) == {0, 1}
+
+    def test_two_jobs_on_one_node_share_cpu(self):
+        jobs = [job(0, cpu=1.0, mem=0.4), job(1, cpu=1.0, mem=0.4)]
+        result = maximize_min_yield(jobs, 1)
+        assert result.success
+        # Both CPU-bound tasks must share a single node: yield ~ 0.5.
+        assert result.yield_value == pytest.approx(0.5, abs=YIELD_SEARCH_ACCURACY)
+
+    def test_memory_infeasible_reports_failure(self):
+        jobs = [job(0, mem=0.9), job(1, mem=0.9)]
+        result = maximize_min_yield(jobs, 1)
+        assert not result.success
+
+    def test_yield_never_below_minimum(self):
+        jobs = [job(i, cpu=1.0, mem=0.01) for i in range(40)]
+        result = maximize_min_yield(jobs, 1)
+        assert result.success
+        assert result.yield_value >= MINIMUM_YIELD
+
+    @given(
+        num_jobs=st.integers(min_value=1, max_value=10),
+        num_nodes=st.integers(min_value=1, max_value=8),
+        cpu=st.floats(min_value=0.05, max_value=1.0),
+        mem=st.floats(min_value=0.05, max_value=0.5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_found_yield_is_feasible_property(self, num_jobs, num_nodes, cpu, mem):
+        jobs = [job(i, cpu=cpu, mem=mem) for i in range(num_jobs)]
+        result = maximize_min_yield(jobs, num_nodes)
+        if not result.success:
+            return
+        # Re-checking feasibility at the returned yield must succeed: the
+        # assignments returned are exactly a witness packing.
+        loads = {}
+        memories = {}
+        for job_id, nodes in result.assignments.items():
+            for node in nodes:
+                loads[node] = loads.get(node, 0.0) + cpu * result.yield_value
+                memories[node] = memories.get(node, 0.0) + mem
+        assert all(value <= 1.0 + 1e-6 for value in loads.values())
+        assert all(value <= 1.0 + 1e-6 for value in memories.values())
+
+
+class TestStretchTargetYields:
+    def test_fresh_job_needs_full_yield_for_stretch_one(self):
+        jobs = [job(0, flow=0.0, vt=0.0)]
+        yields = stretch_target_yields(jobs, target_stretch=1.0, period=600.0)
+        assert yields[0] == pytest.approx(1.0)
+
+    def test_negative_requirement_clamped_to_minimum(self):
+        # A job whose virtual time already exceeds what the target requires.
+        jobs = [job(0, flow=100.0, vt=1e6)]
+        yields = stretch_target_yields(jobs, target_stretch=10.0, period=600.0)
+        assert yields[0] == pytest.approx(MINIMUM_YIELD)
+
+    def test_monotone_in_target(self):
+        jobs = [job(0, flow=3000.0, vt=600.0)]
+        lenient = stretch_target_yields(jobs, target_stretch=10.0, period=600.0)[0]
+        strict = stretch_target_yields(jobs, target_stretch=2.0, period=600.0)[0]
+        assert strict >= lenient
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            stretch_target_yields([job(0)], target_stretch=0.0, period=600.0)
+        with pytest.raises(ValueError):
+            stretch_target_yields([job(0)], target_stretch=1.0, period=0.0)
+
+
+class TestMinimizeEstimatedStretch:
+    def test_empty(self):
+        result = minimize_estimated_stretch([], 4, 600.0)
+        assert result.success
+
+    def test_light_load_achieves_stretch_one(self):
+        jobs = [job(0, cpu=0.5), job(1, cpu=0.5)]
+        result = minimize_estimated_stretch(jobs, 4, 600.0)
+        assert result.success
+        assert result.target_stretch == pytest.approx(1.0)
+        assert all(abs(y - 1.0) < 1e-9 for y in result.yields.values())
+
+    def test_contended_node_raises_target(self):
+        jobs = [job(i, cpu=1.0, mem=0.3) for i in range(3)]
+        result = minimize_estimated_stretch(jobs, 1, 600.0)
+        assert result.success
+        assert result.target_stretch > 1.0
+        total_cpu = sum(result.yields.values())
+        assert total_cpu <= 1.0 + 0.05
+
+    def test_memory_infeasible_fails(self):
+        jobs = [job(0, mem=0.9), job(1, mem=0.9)]
+        result = minimize_estimated_stretch(jobs, 1, 600.0)
+        assert not result.success
+
+    def test_jobs_with_history_need_less(self):
+        # A job far ahead of schedule (large virtual time) can tolerate a low
+        # yield, freeing CPU for the others.
+        jobs = [
+            job(0, cpu=1.0, mem=0.3, flow=600.0, vt=600.0),
+            job(1, cpu=1.0, mem=0.3, flow=600.0, vt=10.0),
+        ]
+        result = minimize_estimated_stretch(jobs, 1, 600.0)
+        assert result.success
+        assert result.yields[1] > result.yields[0]

@@ -1,0 +1,158 @@
+"""Unit tests for the FCFS and EASY batch schedulers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.job import JobState
+from repro.exceptions import SchedulingError
+from repro.schedulers.batch.easy import EasyBackfillingScheduler
+from repro.schedulers.batch.fcfs import FcfsScheduler
+
+from .conftest import context, view
+
+
+def started_ids(decision):
+    return set(decision.running)
+
+
+class TestFcfs:
+    def test_starts_jobs_in_order_while_nodes_free(self):
+        scheduler = FcfsScheduler()
+        cluster = Cluster(4)
+        scheduler.start(cluster, 0.0)
+        ctx = context(
+            [view(0, tasks=2), view(1, tasks=2), view(2, tasks=1)], cluster=cluster
+        )
+        decision = scheduler.schedule(ctx)
+        # Jobs 0 and 1 fill the cluster; job 2 must wait (strict FCFS).
+        assert started_ids(decision) == {0, 1}
+        assert decision.running[0].yield_value == pytest.approx(1.0)
+
+    def test_head_blocks_queue(self):
+        scheduler = FcfsScheduler()
+        cluster = Cluster(4)
+        scheduler.start(cluster, 0.0)
+        ctx = context(
+            [
+                view(0, tasks=3, state=JobState.RUNNING, assignment=(0, 1, 2), current_yield=1.0),
+                view(1, tasks=2, submit=1.0),
+                view(2, tasks=1, submit=2.0),
+            ],
+            cluster=cluster,
+        )
+        decision = scheduler.schedule(ctx)
+        # Only one node is free: the head (job 1) does not fit, and FCFS does
+        # not let job 2 overtake it.
+        assert started_ids(decision) == {0}
+
+    def test_exclusive_nodes_one_per_task(self):
+        scheduler = FcfsScheduler()
+        cluster = Cluster(4)
+        scheduler.start(cluster, 0.0)
+        ctx = context([view(0, tasks=3)], cluster=cluster)
+        decision = scheduler.schedule(ctx)
+        assert len(set(decision.running[0].nodes)) == 3
+
+    def test_running_jobs_untouched(self):
+        scheduler = FcfsScheduler()
+        cluster = Cluster(4)
+        scheduler.start(cluster, 0.0)
+        running = view(
+            0, tasks=2, state=JobState.RUNNING, assignment=(1, 3), current_yield=1.0
+        )
+        ctx = context([running, view(1, tasks=2, submit=5.0)], cluster=cluster)
+        decision = scheduler.schedule(ctx)
+        assert decision.running[0].nodes == (1, 3)
+        assert set(decision.running[1].nodes) == {0, 2}
+
+
+class TestEasy:
+    def test_requires_estimates(self):
+        scheduler = EasyBackfillingScheduler()
+        cluster = Cluster(4)
+        scheduler.start(cluster, 0.0)
+        ctx = context(
+            [
+                view(0, tasks=4, state=JobState.RUNNING, assignment=(0, 1, 2, 3),
+                     current_yield=1.0, remaining_estimate=None),
+                view(1, tasks=2, runtime_estimate=None),
+            ],
+            cluster=cluster,
+        )
+        with pytest.raises(SchedulingError):
+            scheduler.schedule(ctx)
+
+    def test_backfills_short_job_behind_blocked_head(self):
+        scheduler = EasyBackfillingScheduler()
+        cluster = Cluster(4)
+        scheduler.start(cluster, 0.0)
+        ctx = context(
+            [
+                # Two nodes busy for another 1000 s.
+                view(0, tasks=2, state=JobState.RUNNING, assignment=(0, 1),
+                     current_yield=1.0, runtime_estimate=2000.0,
+                     remaining_estimate=1000.0),
+                # Head of the queue needs the full cluster: blocked until 1000.
+                view(1, tasks=4, submit=10.0, runtime_estimate=500.0),
+                # Short narrow job fits now and ends before the reservation.
+                view(2, tasks=2, submit=20.0, runtime_estimate=100.0),
+            ],
+            cluster=cluster,
+            time=100.0,
+        )
+        decision = scheduler.schedule(ctx)
+        assert 2 in decision.running
+        assert 1 not in decision.running
+
+    def test_does_not_backfill_job_that_would_delay_reservation(self):
+        scheduler = EasyBackfillingScheduler()
+        cluster = Cluster(4)
+        scheduler.start(cluster, 0.0)
+        ctx = context(
+            [
+                view(0, tasks=2, state=JobState.RUNNING, assignment=(0, 1),
+                     current_yield=1.0, runtime_estimate=2000.0,
+                     remaining_estimate=1000.0),
+                view(1, tasks=4, submit=10.0, runtime_estimate=500.0),
+                # This job fits now but runs past the reservation and would
+                # use nodes the head needs (no extra nodes exist).
+                view(2, tasks=2, submit=20.0, runtime_estimate=5000.0),
+            ],
+            cluster=cluster,
+            time=100.0,
+        )
+        decision = scheduler.schedule(ctx)
+        assert 2 not in decision.running
+
+    def test_backfills_on_extra_nodes_even_if_long(self):
+        scheduler = EasyBackfillingScheduler()
+        cluster = Cluster(4)
+        scheduler.start(cluster, 0.0)
+        ctx = context(
+            [
+                view(0, tasks=2, state=JobState.RUNNING, assignment=(0, 1),
+                     current_yield=1.0, runtime_estimate=2000.0,
+                     remaining_estimate=1000.0),
+                # Head needs 3 nodes at the shadow time, leaving 1 extra node.
+                view(1, tasks=3, submit=10.0, runtime_estimate=500.0),
+                # A 1-node job can run arbitrarily long on the extra node.
+                view(2, tasks=1, submit=20.0, runtime_estimate=50000.0),
+            ],
+            cluster=cluster,
+            time=100.0,
+        )
+        decision = scheduler.schedule(ctx)
+        assert 2 in decision.running
+
+    def test_plain_start_when_everything_fits(self):
+        scheduler = EasyBackfillingScheduler()
+        cluster = Cluster(8)
+        scheduler.start(cluster, 0.0)
+        ctx = context(
+            [view(0, tasks=2, runtime_estimate=100.0), view(1, tasks=3, runtime_estimate=100.0)],
+            cluster=cluster,
+        )
+        decision = scheduler.schedule(ctx)
+        assert started_ids(decision) == {0, 1}

@@ -1,0 +1,185 @@
+"""Unit tests for the DYNMCB8 family of schedulers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.job import JobState, MINIMUM_YIELD
+from repro.schedulers.dfrs.dynmcb8 import DynMcb8Scheduler
+from repro.schedulers.dfrs.periodic import (
+    DynMcb8AsapPeriodicScheduler,
+    DynMcb8PeriodicScheduler,
+)
+from repro.schedulers.dfrs.stretch_per import DynMcb8StretchPeriodicScheduler
+from repro.exceptions import ConfigurationError
+
+from .conftest import context, view
+
+
+class TestDynMcb8:
+    def test_packs_all_jobs_when_feasible(self):
+        scheduler = DynMcb8Scheduler()
+        cluster = Cluster(4)
+        scheduler.start(cluster, 0.0)
+        ctx = context(
+            [view(i, cpu=0.5, mem=0.2) for i in range(4)], cluster=cluster
+        )
+        decision = scheduler.schedule(ctx)
+        assert set(decision.running) == {0, 1, 2, 3}
+        for alloc in decision.running.values():
+            assert MINIMUM_YIELD <= alloc.yield_value <= 1.0
+
+    def test_average_yield_heuristic_fills_spare_capacity(self):
+        scheduler = DynMcb8Scheduler()
+        cluster = Cluster(4)
+        scheduler.start(cluster, 0.0)
+        ctx = context([view(0, cpu=0.25, mem=0.1)], cluster=cluster)
+        decision = scheduler.schedule(ctx)
+        assert decision.running[0].yield_value == pytest.approx(1.0)
+
+    def test_evicts_lowest_priority_job_when_memory_infeasible(self):
+        scheduler = DynMcb8Scheduler()
+        cluster = Cluster(1)
+        scheduler.start(cluster, 0.0)
+        ctx = context(
+            [
+                view(0, cpu=0.5, mem=0.8, vt=1000.0, flow=2000.0,
+                     state=JobState.RUNNING, assignment=(0,), current_yield=1.0),
+                view(1, cpu=0.5, mem=0.8, vt=0.0, flow=0.0),
+            ],
+            cluster=cluster,
+        )
+        decision = scheduler.schedule(ctx)
+        # Only one of the two memory-hungry jobs fits; the never-run job has
+        # infinite priority and must be the one that is kept.
+        assert set(decision.running) == {1}
+
+    def test_repacks_everything_including_paused_jobs(self):
+        scheduler = DynMcb8Scheduler()
+        cluster = Cluster(4)
+        scheduler.start(cluster, 0.0)
+        ctx = context(
+            [
+                view(0, cpu=1.0, mem=0.2, state=JobState.PAUSED, vt=5.0, flow=100.0),
+                view(1, cpu=1.0, mem=0.2, state=JobState.RUNNING, assignment=(3,),
+                     current_yield=0.5, vt=50.0, flow=100.0),
+            ],
+            cluster=cluster,
+        )
+        decision = scheduler.schedule(ctx)
+        assert set(decision.running) == {0, 1}
+
+
+class TestPeriodicVariants:
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DynMcb8PeriodicScheduler(period=0.0)
+
+    def test_name_contains_period(self):
+        assert DynMcb8PeriodicScheduler(600).name == "dynmcb8-per-600"
+        assert DynMcb8AsapPeriodicScheduler(60).name == "dynmcb8-asap-per-60"
+        assert DynMcb8StretchPeriodicScheduler(3600).name == "dynmcb8-stretch-per-3600"
+
+    def test_first_event_triggers_packing_and_arms_tick(self):
+        scheduler = DynMcb8PeriodicScheduler(600)
+        cluster = Cluster(4)
+        scheduler.start(cluster, 0.0)
+        ctx = context([view(0, cpu=0.5, mem=0.2)], cluster=cluster, time=100.0)
+        decision = scheduler.schedule(ctx)
+        assert 0 in decision.running
+        assert decision.wakeups == [pytest.approx(700.0)]
+
+    def test_submissions_between_ticks_wait(self):
+        scheduler = DynMcb8PeriodicScheduler(600)
+        cluster = Cluster(4)
+        scheduler.start(cluster, 0.0)
+        first = context([view(0, cpu=0.5, mem=0.2)], cluster=cluster, time=0.0)
+        scheduler.schedule(first)
+        # A new job arrives before the next tick: it is left waiting and the
+        # running job keeps its allocation untouched.
+        running = view(0, cpu=0.5, mem=0.2, state=JobState.RUNNING,
+                       assignment=(0,), current_yield=0.8)
+        later = context([running, view(1, cpu=0.5, mem=0.2, submit=100.0)],
+                        cluster=cluster, time=100.0)
+        decision = scheduler.schedule(later)
+        assert set(decision.running) == {0}
+        assert decision.running[0].yield_value == pytest.approx(0.8)
+        assert decision.wakeups == []
+
+    def test_tick_event_repacks_queue(self):
+        scheduler = DynMcb8PeriodicScheduler(600)
+        cluster = Cluster(4)
+        scheduler.start(cluster, 0.0)
+        scheduler.schedule(context([view(0, cpu=0.5, mem=0.2)], cluster=cluster, time=0.0))
+        running = view(0, cpu=0.5, mem=0.2, state=JobState.RUNNING,
+                       assignment=(0,), current_yield=1.0, vt=600.0, flow=600.0)
+        tick = context(
+            [running, view(1, cpu=0.5, mem=0.2, flow=500.0)],
+            cluster=cluster, time=600.0, is_wakeup=True,
+        )
+        decision = scheduler.schedule(tick)
+        assert set(decision.running) == {0, 1}
+        assert decision.wakeups == [pytest.approx(1200.0)]
+
+    def test_asap_admits_new_jobs_immediately(self):
+        scheduler = DynMcb8AsapPeriodicScheduler(600)
+        cluster = Cluster(4)
+        scheduler.start(cluster, 0.0)
+        scheduler.schedule(context([view(0, cpu=0.5, mem=0.2)], cluster=cluster, time=0.0))
+        running = view(0, cpu=0.5, mem=0.2, state=JobState.RUNNING,
+                       assignment=(0,), current_yield=1.0)
+        later = context([running, view(1, cpu=0.5, mem=0.2, submit=100.0)],
+                        cluster=cluster, time=100.0)
+        decision = scheduler.schedule(later)
+        assert set(decision.running) == {0, 1}
+
+    def test_asap_leaves_memory_blocked_jobs_waiting(self):
+        scheduler = DynMcb8AsapPeriodicScheduler(600)
+        cluster = Cluster(1)
+        scheduler.start(cluster, 0.0)
+        scheduler.schedule(context([view(0, cpu=0.5, mem=0.9)], cluster=cluster, time=0.0))
+        running = view(0, cpu=0.5, mem=0.9, state=JobState.RUNNING,
+                       assignment=(0,), current_yield=1.0)
+        later = context([running, view(1, cpu=0.5, mem=0.5, submit=100.0)],
+                        cluster=cluster, time=100.0)
+        decision = scheduler.schedule(later)
+        assert set(decision.running) == {0}
+
+
+class TestStretchPeriodic:
+    def test_assigns_higher_yield_to_lagging_jobs(self):
+        scheduler = DynMcb8StretchPeriodicScheduler(600)
+        cluster = Cluster(1)
+        scheduler.start(cluster, 0.0)
+        ctx = context(
+            [
+                # Far behind: almost no virtual time despite a long flow time.
+                view(0, cpu=1.0, mem=0.3, vt=30.0, flow=3000.0,
+                     state=JobState.RUNNING, assignment=(0,), current_yield=0.5),
+                # Comfortably ahead.
+                view(1, cpu=1.0, mem=0.3, vt=2900.0, flow=3000.0,
+                     state=JobState.RUNNING, assignment=(0,), current_yield=0.5),
+            ],
+            cluster=cluster,
+            time=3000.0,
+            is_wakeup=True,
+        )
+        decision = scheduler.schedule(ctx)
+        assert set(decision.running) == {0, 1}
+        assert (
+            decision.running[0].yield_value > decision.running[1].yield_value
+        )
+
+    def test_respects_cpu_capacity(self):
+        scheduler = DynMcb8StretchPeriodicScheduler(600)
+        cluster = Cluster(1)
+        scheduler.start(cluster, 0.0)
+        ctx = context(
+            [view(i, cpu=1.0, mem=0.2, flow=100.0, vt=10.0) for i in range(3)],
+            cluster=cluster,
+            time=100.0,
+        )
+        decision = scheduler.schedule(ctx)
+        total = sum(a.yield_value for a in decision.running.values())
+        assert total <= 1.0 + 0.05

@@ -1,0 +1,73 @@
+"""Tests for the greedy memory-constrained placement helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.job import JobState
+from repro.schedulers.dfrs.placement import (
+    can_place_job,
+    greedy_place_job,
+    usage_from_placements,
+)
+
+from .conftest import view
+
+
+class TestGreedyPlacement:
+    def test_prefers_least_loaded_node(self):
+        cluster = Cluster(3)
+        usage = cluster.usage()
+        usage.add_task(0, 1.0, 0.1, 0.0)
+        usage.add_task(1, 0.5, 0.1, 0.0)
+        placed = greedy_place_job(view(9, tasks=1, cpu=1.0, mem=0.1), usage)
+        assert placed == [2]
+
+    def test_respects_memory(self):
+        cluster = Cluster(2)
+        usage = cluster.usage()
+        usage.add_task(0, 0.1, 0.95, 0.0)
+        placed = greedy_place_job(view(9, tasks=1, cpu=1.0, mem=0.2), usage)
+        assert placed == [1]
+
+    def test_multi_task_spreads_by_load(self):
+        cluster = Cluster(2)
+        usage = cluster.usage()
+        placed = greedy_place_job(view(9, tasks=2, cpu=1.0, mem=0.1), usage)
+        assert sorted(placed) == [0, 1]
+
+    def test_multiple_tasks_can_share_a_node_when_needed(self):
+        cluster = Cluster(2)
+        usage = cluster.usage()
+        placed = greedy_place_job(view(9, tasks=4, cpu=0.25, mem=0.2), usage)
+        assert len(placed) == 4
+        assert set(placed) <= {0, 1}
+
+    def test_failure_rolls_back(self):
+        cluster = Cluster(2)
+        usage = cluster.usage()
+        usage.add_task(0, 0.1, 0.8, 0.0)
+        usage.add_task(1, 0.1, 0.8, 0.0)
+        # Needs two tasks of 30% memory each: only one node has room for one.
+        placed = greedy_place_job(view(9, tasks=4, cpu=0.1, mem=0.3), usage)
+        assert placed is None
+        assert usage.task_count(0) == 1
+        assert usage.task_count(1) == 1
+
+    def test_can_place_does_not_mutate(self):
+        cluster = Cluster(2)
+        usage = cluster.usage()
+        assert can_place_job(view(9, tasks=2, cpu=0.5, mem=0.5), usage)
+        assert usage.busy_nodes() == 0
+
+    def test_usage_from_placements(self):
+        cluster = Cluster(3)
+        jobs = {
+            0: view(0, tasks=2, cpu=0.5, mem=0.3, state=JobState.RUNNING),
+            1: view(1, tasks=1, cpu=1.0, mem=0.1, state=JobState.RUNNING),
+        }
+        usage = usage_from_placements({0: (0, 1), 1: (0,)}, jobs, cluster)
+        assert usage.cpu_load(0) == pytest.approx(1.5)
+        assert usage.memory_used(0) == pytest.approx(0.4)
+        assert usage.task_count(1) == 1

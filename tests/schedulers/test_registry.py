@@ -1,0 +1,77 @@
+"""Tests for the scheduler registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.schedulers.registry import (
+    BATCH_ALGORITHMS,
+    DFRS_ALGORITHMS,
+    PAPER_ALGORITHMS,
+    available_algorithms,
+    create_scheduler,
+)
+from repro.schedulers.batch.easy import EasyBackfillingScheduler
+from repro.schedulers.batch.fcfs import FcfsScheduler
+from repro.schedulers.dfrs.periodic import (
+    DynMcb8AsapPeriodicScheduler,
+    DynMcb8PeriodicScheduler,
+)
+from repro.schedulers.dfrs.stretch_per import DynMcb8StretchPeriodicScheduler
+
+
+class TestRegistry:
+    def test_all_paper_algorithms_instantiate(self):
+        for name in PAPER_ALGORITHMS:
+            scheduler = create_scheduler(name)
+            assert scheduler is not None
+
+    def test_paper_algorithm_list_is_complete(self):
+        assert len(PAPER_ALGORITHMS) == 9
+        assert set(BATCH_ALGORITHMS) == {"fcfs", "easy"}
+        assert len(DFRS_ALGORITHMS) == 7
+
+    def test_simple_names(self):
+        assert isinstance(create_scheduler("fcfs"), FcfsScheduler)
+        assert isinstance(create_scheduler("easy"), EasyBackfillingScheduler)
+        assert isinstance(create_scheduler("EASY"), EasyBackfillingScheduler)
+
+    def test_periodic_default_period(self):
+        scheduler = create_scheduler("dynmcb8-per")
+        assert isinstance(scheduler, DynMcb8PeriodicScheduler)
+        assert scheduler.period == pytest.approx(600.0)
+
+    def test_periodic_custom_period(self):
+        scheduler = create_scheduler("dynmcb8-asap-per-60")
+        assert isinstance(scheduler, DynMcb8AsapPeriodicScheduler)
+        assert scheduler.period == pytest.approx(60.0)
+        scheduler = create_scheduler("dynmcb8-stretch-per-3600")
+        assert isinstance(scheduler, DynMcb8StretchPeriodicScheduler)
+        assert scheduler.period == pytest.approx(3600.0)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            create_scheduler("slurm")
+
+    def test_available_algorithms_cover_paper(self):
+        known = available_algorithms()
+        assert "fcfs" in known
+        assert "dynmcb8-stretch-per" in known
+
+    def test_clairvoyance_flags(self):
+        assert create_scheduler("easy").requires_runtime_estimates
+        assert not create_scheduler("fcfs").requires_runtime_estimates
+        for name in DFRS_ALGORITHMS:
+            assert not create_scheduler(name).requires_runtime_estimates
+
+    def test_exclusive_node_flags(self):
+        for name in BATCH_ALGORITHMS:
+            assert create_scheduler(name).exclusive_node_allocation
+        for name in DFRS_ALGORITHMS:
+            assert not create_scheduler(name).exclusive_node_allocation
+
+    def test_new_instances_are_independent(self):
+        first = create_scheduler("greedy")
+        second = create_scheduler("greedy")
+        assert first is not second

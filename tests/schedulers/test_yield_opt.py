@@ -1,0 +1,122 @@
+"""Tests for the fair-yield rule and the average-yield improvement heuristic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cluster import Cluster
+from repro.core.job import MINIMUM_YIELD
+from repro.schedulers.dfrs.yield_opt import (
+    build_allocations,
+    fair_yields,
+    improve_average_yield,
+)
+
+from .conftest import view
+
+
+class TestFairYields:
+    def test_empty(self):
+        cluster = Cluster(4)
+        assert fair_yields({}, {}, cluster) == {}
+
+    def test_underloaded_gives_full_yield(self):
+        cluster = Cluster(4)
+        jobs = {0: view(0, cpu=0.5), 1: view(1, cpu=0.25)}
+        placements = {0: (0,), 1: (1,)}
+        yields = fair_yields(placements, jobs, cluster)
+        assert yields == {0: 1.0, 1: 1.0}
+
+    def test_overloaded_node_shares_equally(self):
+        cluster = Cluster(4)
+        jobs = {0: view(0, cpu=1.0), 1: view(1, cpu=1.0)}
+        placements = {0: (0,), 1: (0,)}
+        yields = fair_yields(placements, jobs, cluster)
+        assert yields[0] == pytest.approx(0.5)
+        assert yields[1] == pytest.approx(0.5)
+
+    def test_max_load_drives_everybody(self):
+        """The paper's rule gives all jobs the same yield 1/max(1, Λ)."""
+        cluster = Cluster(4)
+        jobs = {0: view(0, cpu=1.0), 1: view(1, cpu=1.0), 2: view(2, cpu=0.1)}
+        placements = {0: (0,), 1: (0,), 2: (1,)}
+        yields = fair_yields(placements, jobs, cluster)
+        assert yields[2] == pytest.approx(0.5)
+
+
+class TestImproveAverageYield:
+    def test_lightly_loaded_job_is_raised_to_one(self):
+        cluster = Cluster(4)
+        jobs = {0: view(0, cpu=1.0), 1: view(1, cpu=1.0), 2: view(2, cpu=0.4)}
+        placements = {0: (0,), 1: (0,), 2: (1,)}
+        yields = fair_yields(placements, jobs, cluster)
+        improved = improve_average_yield(placements, yields, jobs, cluster)
+        # Job 2 is alone on node 1 and can run at full speed.
+        assert improved[2] == pytest.approx(1.0)
+        # Jobs on the saturated node cannot be raised.
+        assert improved[0] == pytest.approx(0.5)
+        assert improved[1] == pytest.approx(0.5)
+
+    def test_never_decreases_yields(self):
+        cluster = Cluster(4)
+        jobs = {i: view(i, cpu=0.5) for i in range(4)}
+        placements = {0: (0,), 1: (0,), 2: (1,), 3: (1,)}
+        yields = fair_yields(placements, jobs, cluster)
+        improved = improve_average_yield(placements, yields, jobs, cluster)
+        for job_id in yields:
+            assert improved[job_id] >= yields[job_id] - 1e-12
+
+    def test_partial_improvement_respects_capacity(self):
+        cluster = Cluster(2)
+        jobs = {0: view(0, cpu=1.0), 1: view(1, cpu=1.0), 2: view(2, cpu=1.0)}
+        # Node 0 hosts jobs 0 and 1; node 1 hosts jobs 1 (second task) -- not
+        # possible since job 1 has one task; instead: job 2 alone on node 1.
+        placements = {0: (0,), 1: (0,), 2: (1,)}
+        yields = {0: 0.5, 1: 0.5, 2: 0.5}
+        improved = improve_average_yield(placements, yields, jobs, cluster)
+        assert improved[2] == pytest.approx(1.0)
+        node0_alloc = improved[0] + improved[1]
+        assert node0_alloc <= 1.0 + 1e-6
+
+    def test_smallest_total_need_first(self):
+        """The job with the lowest total CPU need gets leftover CPU first."""
+        cluster = Cluster(1)
+        jobs = {0: view(0, cpu=0.7), 1: view(1, cpu=0.4)}
+        placements = {0: (0,), 1: (0,)}
+        yields = {0: 0.5, 1: 0.5}
+        improved = improve_average_yield(placements, yields, jobs, cluster)
+        # Job 1 (smallest total need, 0.4) is raised to 1.0 first; job 0 then
+        # takes what is left of the node: 1 - 0.4 = 0.6 of CPU for a 0.7 need.
+        assert improved[1] == pytest.approx(1.0)
+        assert improved[0] == pytest.approx(0.6 / 0.7)
+
+    @given(
+        num_jobs=st.integers(min_value=1, max_value=6),
+        cpu=st.floats(min_value=0.1, max_value=1.0),
+        base_yield=st.floats(min_value=MINIMUM_YIELD, max_value=0.5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_invariant_property(self, num_jobs, cpu, base_yield):
+        cluster = Cluster(2)
+        jobs = {i: view(i, cpu=cpu) for i in range(num_jobs)}
+        placements = {i: (i % 2,) for i in range(num_jobs)}
+        yields = {i: min(base_yield, 1.0 / max(1.0, num_jobs * cpu)) for i in range(num_jobs)}
+        improved = improve_average_yield(placements, yields, jobs, cluster)
+        per_node = {0: 0.0, 1: 0.0}
+        for job_id, nodes in placements.items():
+            per_node[nodes[0]] += improved[job_id] * cpu
+        assert per_node[0] <= 1.0 + 1e-6
+        assert per_node[1] <= 1.0 + 1e-6
+        for job_id in jobs:
+            assert improved[job_id] <= 1.0 + 1e-9
+
+
+class TestBuildAllocations:
+    def test_round_trip(self):
+        placements = {0: (0, 1), 1: (2,)}
+        yields = {0: 0.4, 1: 1.0}
+        allocations = build_allocations(placements, yields)
+        assert allocations[0].nodes == (0, 1)
+        assert allocations[0].yield_value == pytest.approx(0.4)
+        assert allocations[1].yield_value == pytest.approx(1.0)

@@ -1,0 +1,123 @@
+"""Tests for workload characterization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Cluster, JobSpec
+from repro.exceptions import WorkloadError
+from repro.workloads import (
+    LublinWorkloadGenerator,
+    Workload,
+    characterization_table,
+    characterize,
+    size_histogram,
+)
+
+CLUSTER = Cluster(num_nodes=16, cores_per_node=4, node_memory_gb=8.0)
+
+
+def _workload(specs, name="test"):
+    return Workload(name, CLUSTER, specs)
+
+
+def _spec(job_id, submit=0.0, tasks=1, cpu=0.25, mem=0.1, runtime=100.0):
+    return JobSpec(job_id, submit, tasks, cpu, mem, runtime)
+
+
+class TestCharacterize:
+    def test_empty_workload_rejected(self):
+        with pytest.raises(WorkloadError):
+            characterize(_workload([]))
+
+    def test_serial_fraction(self):
+        specs = [_spec(0, tasks=1), _spec(1, tasks=1), _spec(2, tasks=4)]
+        profile = characterize(_workload(specs))
+        assert profile.serial_fraction == pytest.approx(2 / 3)
+
+    def test_memory_threshold_fraction(self):
+        specs = [
+            _spec(0, mem=0.1),
+            _spec(1, mem=0.3),
+            _spec(2, mem=0.5),
+            _spec(3, mem=0.9),
+        ]
+        profile = characterize(_workload(specs))
+        assert profile.fraction_memory_under_40pct == pytest.approx(0.5)
+
+    def test_cpu_threshold_fraction(self):
+        specs = [_spec(0, cpu=0.25), _spec(1, cpu=0.25), _spec(2, cpu=1.0), _spec(3, cpu=0.5)]
+        profile = characterize(_workload(specs))
+        assert profile.fraction_cpu_under_50pct == pytest.approx(0.5)
+
+    def test_custom_thresholds(self):
+        specs = [_spec(0, mem=0.2), _spec(1, mem=0.6)]
+        profile = characterize(_workload(specs), memory_threshold=0.7)
+        assert profile.fraction_memory_under_40pct == pytest.approx(1.0)
+
+    def test_invalid_thresholds_rejected(self):
+        workload = _workload([_spec(0)])
+        with pytest.raises(WorkloadError):
+            characterize(workload, memory_threshold=0.0)
+        with pytest.raises(WorkloadError):
+            characterize(workload, cpu_threshold=1.5)
+
+    def test_demand_and_runtime_statistics(self):
+        specs = [_spec(0, tasks=2, runtime=100.0), _spec(1, tasks=4, runtime=50.0, submit=60.0)]
+        profile = characterize(_workload(specs))
+        assert profile.total_demand_node_seconds == pytest.approx(400.0)
+        assert profile.mean_runtime_seconds == pytest.approx(75.0)
+        assert profile.mean_interarrival_seconds == pytest.approx(60.0)
+
+    def test_as_dict_round_trip(self):
+        profile = characterize(_workload([_spec(0), _spec(1, submit=10.0)]))
+        data = profile.as_dict()
+        assert data["num_jobs"] == 2.0
+        assert "fraction_memory_under_40pct" in data
+
+    def test_lublin_traces_match_paper_motivation(self):
+        # The synthetic annotation model (§IV-C) makes serial tasks 25% CPU
+        # and most memory requirements small; the motivating observation that
+        # many jobs under-use nodes must therefore hold.
+        workload = LublinWorkloadGenerator(Cluster(128, 4, 8.0)).generate(300, seed=7)
+        profile = characterize(workload)
+        assert profile.fraction_memory_under_40pct >= 0.5
+        assert 0.0 <= profile.fraction_cpu_under_50pct <= 1.0
+        assert profile.serial_fraction == pytest.approx(
+            profile.fraction_cpu_under_50pct, abs=1e-9
+        )
+
+
+class TestSizeHistogram:
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            size_histogram(_workload([]))
+
+    def test_buckets_are_powers_of_two(self):
+        specs = [_spec(0, tasks=1), _spec(1, tasks=2), _spec(2, tasks=3), _spec(3, tasks=8)]
+        histogram = size_histogram(_workload(specs))
+        labels = [label for label, _ in histogram]
+        assert labels == ["1", "2-3", "8-15"]
+        counts = dict(histogram)
+        assert counts["2-3"] == 2
+
+    def test_counts_sum_to_job_count(self):
+        workload = LublinWorkloadGenerator(CLUSTER).generate(100, seed=3)
+        histogram = size_histogram(workload)
+        assert sum(count for _, count in histogram) == workload.num_jobs
+
+
+class TestCharacterizationTable:
+    def test_renders_one_row_per_workload(self):
+        profiles = [
+            characterize(_workload([_spec(0), _spec(1, submit=5.0)], name="alpha")),
+            characterize(_workload([_spec(0, tasks=4)], name="beta")),
+        ]
+        table = characterization_table(profiles)
+        assert "alpha" in table
+        assert "beta" in table
+        assert len(table.splitlines()) == 4  # header + separator + 2 rows
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            characterization_table([])

@@ -1,0 +1,160 @@
+"""Tests for the workload filtering and transformation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Cluster, JobSpec
+from repro.exceptions import WorkloadError
+from repro.workloads import (
+    Workload,
+    clip_runtimes,
+    drop_shorter_than,
+    drop_wider_than,
+    filter_jobs,
+    merge_workloads,
+    rebase_submit_times,
+    truncate_after,
+)
+
+CLUSTER = Cluster(num_nodes=8, cores_per_node=4, node_memory_gb=8.0)
+
+
+def _spec(job_id, submit=0.0, tasks=1, runtime=100.0, cpu=0.5, mem=0.2):
+    return JobSpec(job_id, submit, tasks, cpu, mem, runtime)
+
+
+def _workload(specs, name="wl"):
+    return Workload(name, CLUSTER, specs)
+
+
+class TestFilterJobs:
+    def test_predicate_applied(self):
+        workload = _workload([_spec(0, tasks=1), _spec(1, tasks=4)])
+        narrow = filter_jobs(workload, lambda spec: spec.num_tasks == 1)
+        assert [spec.job_id for spec in narrow.jobs] == [0]
+
+    def test_original_untouched(self):
+        workload = _workload([_spec(0), _spec(1)])
+        filter_jobs(workload, lambda spec: False)
+        assert workload.num_jobs == 2
+
+    def test_custom_name(self):
+        workload = _workload([_spec(0)])
+        named = filter_jobs(workload, lambda spec: True, name="picked")
+        assert named.name == "picked"
+
+
+class TestDropFilters:
+    def test_drop_wider_than_cluster_default(self):
+        wide = JobSpec(1, 0.0, 32, 0.5, 0.2, 100.0)
+        workload = _workload([_spec(0), wide])
+        cleaned = drop_wider_than(workload)
+        assert [spec.job_id for spec in cleaned.jobs] == [0]
+
+    def test_drop_wider_than_explicit_limit(self):
+        workload = _workload([_spec(0, tasks=2), _spec(1, tasks=4)])
+        cleaned = drop_wider_than(workload, max_tasks=2)
+        assert [spec.job_id for spec in cleaned.jobs] == [0]
+
+    def test_drop_wider_invalid_limit(self):
+        with pytest.raises(WorkloadError):
+            drop_wider_than(_workload([_spec(0)]), max_tasks=0)
+
+    def test_drop_shorter_than(self):
+        workload = _workload([_spec(0, runtime=5.0), _spec(1, runtime=500.0)])
+        cleaned = drop_shorter_than(workload, 30.0)
+        assert [spec.job_id for spec in cleaned.jobs] == [1]
+
+    def test_drop_shorter_invalid(self):
+        with pytest.raises(WorkloadError):
+            drop_shorter_than(_workload([_spec(0)]), -1.0)
+
+
+class TestClipRuntimes:
+    def test_clips_both_ends(self):
+        workload = _workload([_spec(0, runtime=0.5), _spec(1, runtime=1e6)])
+        clipped = clip_runtimes(workload, min_runtime_seconds=1.0, max_runtime_seconds=1000.0)
+        runtimes = sorted(spec.execution_time for spec in clipped.jobs)
+        assert runtimes == [1.0, 1000.0]
+
+    def test_keeps_job_count(self):
+        workload = _workload([_spec(i, runtime=10.0 * (i + 1)) for i in range(5)])
+        clipped = clip_runtimes(workload, min_runtime_seconds=15.0)
+        assert clipped.num_jobs == 5
+
+    def test_invalid_bounds_rejected(self):
+        workload = _workload([_spec(0)])
+        with pytest.raises(WorkloadError):
+            clip_runtimes(workload, min_runtime_seconds=0.0)
+        with pytest.raises(WorkloadError):
+            clip_runtimes(workload, min_runtime_seconds=10.0, max_runtime_seconds=5.0)
+
+
+class TestRebaseAndTruncate:
+    def test_rebase_to_zero(self):
+        workload = _workload([_spec(0, submit=100.0), _spec(1, submit=160.0)])
+        rebased = rebase_submit_times(workload)
+        assert min(spec.submit_time for spec in rebased.jobs) == 0.0
+        assert rebased.span_seconds == pytest.approx(60.0)
+
+    def test_rebase_to_custom_start(self):
+        workload = _workload([_spec(0, submit=100.0)])
+        rebased = rebase_submit_times(workload, start=10.0)
+        assert rebased.jobs[0].submit_time == pytest.approx(10.0)
+
+    def test_rebase_negative_start_rejected(self):
+        with pytest.raises(WorkloadError):
+            rebase_submit_times(_workload([_spec(0)]), start=-5.0)
+
+    def test_rebase_empty_workload(self):
+        assert rebase_submit_times(_workload([])).num_jobs == 0
+
+    def test_truncate_after(self):
+        workload = _workload([_spec(0, submit=0.0), _spec(1, submit=50.0), _spec(2, submit=500.0)])
+        shortened = truncate_after(workload, 100.0)
+        assert [spec.job_id for spec in shortened.jobs] == [0, 1]
+
+    def test_truncate_invalid_duration(self):
+        with pytest.raises(WorkloadError):
+            truncate_after(_workload([_spec(0)]), 0.0)
+
+
+class TestMergeWorkloads:
+    def test_interleaved_merge_keeps_times(self):
+        first = _workload([_spec(0, submit=0.0), _spec(1, submit=100.0)], name="a")
+        second = _workload([_spec(0, submit=50.0)], name="b")
+        merged = merge_workloads("merged", [first, second])
+        assert merged.num_jobs == 3
+        assert len({spec.job_id for spec in merged.jobs}) == 3
+        assert sorted(spec.submit_time for spec in merged.jobs) == [0.0, 50.0, 100.0]
+
+    def test_sequential_merge_offsets_times(self):
+        first = _workload([_spec(0, submit=0.0), _spec(1, submit=100.0)], name="a")
+        second = _workload([_spec(0, submit=0.0)], name="b")
+        merged = merge_workloads("seq", [first, second], sequential=True, gap_seconds=50.0)
+        assert max(spec.submit_time for spec in merged.jobs) == pytest.approx(150.0)
+
+    def test_mismatched_clusters_rejected(self):
+        other_cluster = Cluster(num_nodes=4)
+        first = _workload([_spec(0)], name="a")
+        second = Workload("b", other_cluster, [_spec(0)])
+        with pytest.raises(WorkloadError):
+            merge_workloads("bad", [first, second])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(WorkloadError):
+            merge_workloads("none", [])
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(WorkloadError):
+            merge_workloads("gap", [_workload([_spec(0)])], sequential=True, gap_seconds=-1.0)
+
+    def test_merged_workload_is_simulatable(self):
+        from repro.experiments import run_instance
+
+        first = _workload([_spec(i, submit=i * 10.0) for i in range(3)], name="a")
+        second = _workload([_spec(i, submit=5.0 + i * 10.0) for i in range(3)], name="b")
+        merged = merge_workloads("combo", [first, second])
+        outcome = run_instance(merged, ["greedy-pmtn"], penalty_seconds=0.0)
+        assert outcome.results["greedy-pmtn"].num_jobs == 6

@@ -1,0 +1,243 @@
+"""Tests for the SWF parser/writer and HPC2N preprocessing."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import TraceFormatError, WorkloadError
+from repro.workloads.hpc2n import (
+    HPC2N_CLUSTER,
+    Hpc2nLikeTraceGenerator,
+    Hpc2nPreprocessingOptions,
+    swf_to_dfrs_jobs,
+)
+from repro.workloads.scaling import DEFAULT_LOAD_LEVELS, load_sweep, scale_to_load
+from repro.workloads.swf import (
+    SwfRecord,
+    parse_swf,
+    parse_swf_lines,
+    swf_header,
+    write_swf,
+)
+
+SAMPLE_SWF = """
+; Computer: test cluster
+; MaxProcs: 240
+1 0 10 3600 4 3600 524288 4 7200 524288 1 1 1 1 1 -1 -1 -1
+2 60 0 30 1 30 -1 1 60 -1 1 2 1 1 1 -1 -1 -1
+3 120 5 86400 8 86000 1048576 8 90000 1048576 1 3 1 2 1 -1 -1 -1
+; trailing comment
+4 180 0 -1 2 -1 -1 2 100 -1 0 4 1 1 1 -1 -1 -1
+"""
+
+
+class TestSwfParsing:
+    def test_parse_lines(self):
+        records = parse_swf_lines(SAMPLE_SWF.splitlines())
+        assert len(records) == 4
+        first = records[0]
+        assert first.job_number == 1
+        assert first.submit_time == 0.0
+        assert first.run_time == 3600.0
+        assert first.used_memory_kb == 524288.0
+        assert first.requested_processors == 4
+
+    def test_processors_falls_back_to_allocated(self):
+        record = SwfRecord(job_number=1, submit_time=0.0, allocated_processors=6,
+                           requested_processors=-1, run_time=10.0)
+        assert record.processors == 6
+
+    def test_is_usable(self):
+        records = parse_swf_lines(SAMPLE_SWF.splitlines())
+        assert records[0].is_usable()
+        assert not records[3].is_usable()  # run_time = -1
+
+    def test_short_lines_are_padded(self):
+        records = parse_swf_lines(["5 10 0 100 2"])
+        assert records[0].job_number == 5
+        assert records[0].requested_processors == -1
+
+    def test_garbage_line_raises(self):
+        with pytest.raises(TraceFormatError):
+            parse_swf_lines(["not a number at all x y z a b c d e f g h i j k l m"])
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            parse_swf(tmp_path / "missing.swf")
+
+    def test_round_trip_through_file(self, tmp_path):
+        records = parse_swf_lines(SAMPLE_SWF.splitlines())
+        path = tmp_path / "out.swf"
+        write_swf(records, path, header=swf_header(computer="test", max_procs=240))
+        reread = parse_swf(path)
+        assert len(reread) == len(records)
+        assert reread[0].run_time == records[0].run_time
+        assert reread[2].requested_processors == records[2].requested_processors
+
+    def test_write_to_stream(self):
+        records = parse_swf_lines(SAMPLE_SWF.splitlines())
+        buffer = io.StringIO()
+        write_swf(records, buffer)
+        text = buffer.getvalue()
+        assert len(text.strip().splitlines()) == 4
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=10_000),
+                st.floats(min_value=0, max_value=1e7),
+                st.floats(min_value=1, max_value=1e6),
+                st.integers(min_value=1, max_value=240),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, rows):
+        records = [
+            SwfRecord(job_number=n, submit_time=float(int(s)), run_time=float(int(r)),
+                      allocated_processors=p, requested_processors=p)
+            for n, s, r, p in rows
+        ]
+        buffer = io.StringIO()
+        write_swf(records, buffer)
+        reread = parse_swf_lines(buffer.getvalue().splitlines())
+        assert len(reread) == len(records)
+        for original, parsed in zip(records, reread):
+            assert parsed.job_number == original.job_number
+            assert parsed.submit_time == pytest.approx(original.submit_time)
+            assert parsed.run_time == pytest.approx(original.run_time)
+            assert parsed.processors == original.processors
+
+
+class TestHpc2nPreprocessing:
+    def test_even_processors_small_memory_become_dual_core_tasks(self):
+        record = SwfRecord(job_number=1, submit_time=0.0, run_time=100.0,
+                           allocated_processors=8, requested_processors=8,
+                           used_memory_kb=0.2 * 2 * 1024 * 1024)
+        workload = swf_to_dfrs_jobs([record])
+        spec = workload.jobs[0]
+        assert spec.num_tasks == 4
+        assert spec.cpu_need == pytest.approx(1.0)
+        assert spec.mem_requirement == pytest.approx(0.4)
+
+    def test_odd_processors_keep_one_task_per_processor(self):
+        record = SwfRecord(job_number=1, submit_time=0.0, run_time=100.0,
+                           allocated_processors=3, requested_processors=3,
+                           used_memory_kb=0.2 * 2 * 1024 * 1024)
+        workload = swf_to_dfrs_jobs([record])
+        spec = workload.jobs[0]
+        assert spec.num_tasks == 3
+        assert spec.cpu_need == pytest.approx(0.5)
+        assert spec.mem_requirement == pytest.approx(0.2)
+
+    def test_memory_hungry_even_job_not_paired(self):
+        record = SwfRecord(job_number=1, submit_time=0.0, run_time=100.0,
+                           allocated_processors=4, requested_processors=4,
+                           used_memory_kb=0.6 * 2 * 1024 * 1024)
+        workload = swf_to_dfrs_jobs([record])
+        spec = workload.jobs[0]
+        assert spec.num_tasks == 4
+        assert spec.cpu_need == pytest.approx(0.5)
+        assert spec.mem_requirement == pytest.approx(0.6)
+
+    def test_missing_memory_defaults_to_ten_percent(self):
+        record = SwfRecord(job_number=1, submit_time=0.0, run_time=100.0,
+                           allocated_processors=1, requested_processors=1)
+        workload = swf_to_dfrs_jobs([record])
+        assert workload.jobs[0].mem_requirement == pytest.approx(0.1)
+
+    def test_memory_is_max_of_used_and_requested(self):
+        record = SwfRecord(job_number=1, submit_time=0.0, run_time=100.0,
+                           allocated_processors=1, requested_processors=1,
+                           used_memory_kb=0.2 * 2 * 1024 * 1024,
+                           requested_memory_kb=0.7 * 2 * 1024 * 1024)
+        workload = swf_to_dfrs_jobs([record])
+        assert workload.jobs[0].mem_requirement == pytest.approx(0.7)
+
+    def test_unusable_records_dropped(self):
+        records = [
+            SwfRecord(job_number=1, submit_time=0.0, run_time=-1.0,
+                      allocated_processors=1),
+            SwfRecord(job_number=2, submit_time=0.0, run_time=100.0,
+                      allocated_processors=1, requested_processors=1),
+        ]
+        workload = swf_to_dfrs_jobs(records)
+        assert workload.num_jobs == 1
+
+    def test_all_unusable_raises(self):
+        records = [SwfRecord(job_number=1, submit_time=0.0, run_time=-1.0)]
+        with pytest.raises(WorkloadError):
+            swf_to_dfrs_jobs(records)
+
+
+class TestHpc2nLikeGenerator:
+    def test_workload_shape(self):
+        generator = Hpc2nLikeTraceGenerator(jobs_per_week=200)
+        workload = generator.generate_workload(1, seed=5)
+        assert workload.cluster.num_nodes == 120
+        assert workload.num_jobs > 150
+        stats = workload.statistics()
+        # The defining trait: a large majority of short serial jobs.
+        assert stats["serial_fraction"] >= 0.6
+        assert stats["median_runtime"] < stats["mean_runtime"]
+
+    def test_records_are_valid_swf(self):
+        generator = Hpc2nLikeTraceGenerator(jobs_per_week=100)
+        records = generator.generate_records(1, seed=2)
+        assert all(r.is_usable() or r.run_time <= 0 for r in records)
+        buffer = io.StringIO()
+        write_swf(records, buffer)
+        assert len(parse_swf_lines(buffer.getvalue().splitlines())) == len(records)
+
+    def test_determinism(self):
+        generator = Hpc2nLikeTraceGenerator(jobs_per_week=100)
+        first = generator.generate_workload(1, seed=9)
+        second = generator.generate_workload(1, seed=9)
+        assert [s.submit_time for s in first] == [s.submit_time for s in second]
+
+    def test_invalid_configuration(self):
+        with pytest.raises(WorkloadError):
+            Hpc2nLikeTraceGenerator(serial_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            Hpc2nLikeTraceGenerator(jobs_per_week=0)
+        with pytest.raises(WorkloadError):
+            Hpc2nLikeTraceGenerator().generate_records(0)
+
+
+class TestScaling:
+    def test_scale_to_load_hits_target(self, small_cluster):
+        from repro.workloads.lublin import LublinWorkloadGenerator
+
+        workload = LublinWorkloadGenerator(small_cluster).generate(200, seed=1)
+        for target in (0.1, 0.5, 0.9):
+            scaled = scale_to_load(workload, target)
+            assert scaled.load() == pytest.approx(target, rel=1e-6)
+            assert scaled.num_jobs == workload.num_jobs
+
+    def test_load_sweep_levels(self, small_cluster):
+        from repro.workloads.lublin import LublinWorkloadGenerator
+
+        workload = LublinWorkloadGenerator(small_cluster).generate(100, seed=2)
+        sweep = load_sweep(workload, (0.2, 0.4))
+        assert set(sweep) == {0.2, 0.4}
+        assert sweep[0.2].load() == pytest.approx(0.2, rel=1e-6)
+
+    def test_default_levels_match_paper(self):
+        assert DEFAULT_LOAD_LEVELS == tuple(round(0.1 * i, 1) for i in range(1, 10))
+
+    def test_invalid_target(self, small_workload):
+        with pytest.raises(WorkloadError):
+            scale_to_load(small_workload, 0.0)
+
+    def test_too_few_jobs(self, small_cluster):
+        from repro.workloads.model import Workload
+        from ..conftest import make_job
+
+        workload = Workload("one", small_cluster, [make_job(0)])
+        with pytest.raises(WorkloadError):
+            scale_to_load(workload, 0.5)
