@@ -21,6 +21,8 @@ from typing import Dict, List
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.bench
+
 from repro.core.cluster import Cluster
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import generate_synthetic_instances, run_instance

@@ -1,0 +1,161 @@
+"""Benchmark E6: engine event-loop scaling and parallel runner speedup.
+
+Two claims are measured here:
+
+1. **O(active jobs) event loop** — the refactored engine (active-job table,
+   lazily invalidated completion-time heap, busy-node refcounts) against the
+   seed's full-dictionary-scan loop (``legacy_event_loop=True``) on Lublin
+   traces of increasing length.  The legacy loop touches every job ever
+   submitted at every event, so its total work grows quadratically with the
+   trace; the refactored loop only touches active jobs.  The acceptance bar
+   is a >= 3x speedup on the largest trace.
+
+2. **Parallel experiment runner** — the ``workers=N`` fan-out of the
+   *instances x algorithms* grid must produce results identical to the
+   serial loop while scaling across CPUs.
+
+Scale knob: ``REPRO_BENCH_SCALE=quick`` shrinks the traces for CI-style
+runs; the default exercises the full 1k/5k/10k-job sweep from the issue
+(the 10k-job legacy run alone takes a few minutes — that is the point).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.engine import SimulationConfig, Simulator
+from repro.core.penalties import ReschedulingPenaltyModel
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_instance, run_instances
+from repro.schedulers.registry import create_scheduler
+from repro.workloads.lublin import LublinWorkloadGenerator
+
+pytestmark = pytest.mark.bench
+
+#: Cheap per-event scheduler so the measurement isolates the engine loop.
+ALGORITHM = "easy"
+#: Required speedup of the O(active) loop on the largest trace.
+MIN_SPEEDUP = 3.0
+
+
+def _trace_sizes():
+    if os.environ.get("REPRO_BENCH_SCALE", "default").lower() == "quick":
+        return (500, 1000, 2000)
+    return (1000, 5000, 10000)
+
+
+def _simulate(workload, *, legacy):
+    simulator = Simulator(
+        workload.cluster,
+        create_scheduler(ALGORITHM),
+        SimulationConfig(
+            penalty_model=ReschedulingPenaltyModel(300.0),
+            legacy_event_loop=legacy,
+            record_scheduler_times=False,
+        ),
+    )
+    start = time.perf_counter()
+    result = simulator.run(workload.jobs)
+    return result, time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="engine-scaling")
+def test_engine_event_loop_scaling(report_artifact):
+    cluster = Cluster(128, 4, 8.0)
+    generator = LublinWorkloadGenerator(cluster)
+    sizes = _trace_sizes()
+    rows = []
+    speedups = {}
+    for num_jobs in sizes:
+        workload = generator.generate(num_jobs, seed=2010, name=f"scaling-{num_jobs}")
+        legacy_result, legacy_seconds = _simulate(workload, legacy=True)
+        fast_result, fast_seconds = _simulate(workload, legacy=False)
+        # The refactor must not change a single observable number.
+        assert fast_result.makespan == legacy_result.makespan
+        assert fast_result.idle_node_seconds == legacy_result.idle_node_seconds
+        assert [
+            (r.spec.job_id, r.completion_time) for r in fast_result.jobs
+        ] == [(r.spec.job_id, r.completion_time) for r in legacy_result.jobs]
+        speedups[num_jobs] = legacy_seconds / fast_seconds
+        rows.append(
+            [num_jobs, legacy_seconds, fast_seconds, speedups[num_jobs]]
+        )
+    report_artifact(
+        "engine_scaling",
+        format_table(
+            ["jobs", "legacy loop (s)", "O(active) loop (s)", "speedup"],
+            rows,
+            title=(
+                f"Engine event-loop scaling ({ALGORITHM}, 128 nodes, "
+                "300-second penalty)"
+            ),
+            float_format="{:.2f}",
+        ),
+    )
+    largest = sizes[-1]
+    assert speedups[largest] >= MIN_SPEEDUP, (
+        f"O(active) event loop is only {speedups[largest]:.1f}x faster than "
+        f"the legacy full scan on the {largest}-job trace (need >= {MIN_SPEEDUP}x)"
+    )
+    # The gap must widen with trace length — that is what distinguishes an
+    # O(active) loop from a constant-factor win.
+    assert speedups[sizes[-1]] > speedups[sizes[0]]
+
+
+@pytest.mark.benchmark(group="engine-scaling")
+def test_parallel_runner_scaling(report_artifact):
+    cluster = Cluster(64, 4, 8.0)
+    generator = LublinWorkloadGenerator(cluster)
+    quick = os.environ.get("REPRO_BENCH_SCALE", "default").lower() == "quick"
+    num_instances = 4 if quick else 8
+    num_jobs = 150 if quick else 300
+    workloads = [
+        generator.generate(num_jobs, seed=2010 + i, name=f"par-{i}")
+        for i in range(num_instances)
+    ]
+    algorithms = ["fcfs", "easy"]
+    cpus = os.cpu_count() or 1
+    # Always exercise a real pool (even on one CPU the results-identical
+    # check is meaningful); only expect a speedup when CPUs exist to scale
+    # across.
+    workers = max(2, min(cpus, num_instances))
+
+    start = time.perf_counter()
+    serial = [
+        run_instance(w, algorithms, penalty_seconds=300.0) for w in workloads
+    ]
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_instances(
+        workloads, algorithms, penalty_seconds=300.0, workers=workers
+    )
+    parallel_seconds = time.perf_counter() - start
+
+    for a, b in zip(serial, parallel):
+        assert a.workload_name == b.workload_name
+        assert a.max_stretches() == b.max_stretches()
+        for name in algorithms:
+            assert a.results[name].makespan == b.results[name].makespan
+
+    speedup = serial_seconds / parallel_seconds
+    report_artifact(
+        "parallel_runner_scaling",
+        format_table(
+            ["workers", "serial (s)", "parallel (s)", "speedup"],
+            [[workers, serial_seconds, parallel_seconds, speedup]],
+            title=(
+                f"Parallel runner: {num_instances} instances x "
+                f"{len(algorithms)} algorithms"
+            ),
+            float_format="{:.2f}",
+        ),
+    )
+    if cpus > 1:
+        # Loose lower bound: pool start-up and result pickling eat into the
+        # ideal N-x scaling, but the fan-out must clearly beat serial.
+        assert speedup > 1.3

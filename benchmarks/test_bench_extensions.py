@@ -12,6 +12,8 @@ from dataclasses import replace
 
 import pytest
 
+pytestmark = pytest.mark.bench
+
 from repro.experiments.extensions import EXTENSION_ALGORITHMS, run_extensions_comparison
 
 

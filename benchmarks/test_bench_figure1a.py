@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.bench
+
 from repro.experiments.figure1 import run_figure1
 
 

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.bench
+
 from repro.experiments.table2 import TABLE2_ALGORITHMS, run_table2
 
 

@@ -11,6 +11,8 @@ from dataclasses import replace
 
 import pytest
 
+pytestmark = pytest.mark.bench
+
 from repro.experiments.utilization_study import run_utilization_study
 
 

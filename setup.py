@@ -2,9 +2,14 @@
 
 The canonical project metadata lives in ``pyproject.toml``; this file exists
 so that ``pip install -e .`` keeps working on minimal offline environments
-that lack the ``wheel`` package required by PEP 660 editable builds.
+that lack the ``wheel`` package required by PEP 660 editable builds.  The
+``src`` layout is restated here so legacy ``setup.py``-driven installs also
+resolve the packages correctly.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -95,6 +95,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="rescheduling penalty in seconds (0 or 300 in the paper)",
     )
     parser.add_argument("--seed", type=int, default=None, help="base random seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the instance x algorithm fan-out "
+            "(default 1 = serial, 0 = one per CPU); results are identical "
+            "to a serial run"
+        ),
+    )
 
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("figure1", help="degradation factor vs. load")
@@ -176,6 +186,8 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         config = replace(config, penalty_seconds=args.penalty)
     if args.seed is not None:
         config = replace(config, seed_base=args.seed)
+    if args.workers is not None:
+        config = replace(config, workers=args.workers)
     return config
 
 

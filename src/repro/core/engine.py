@@ -7,6 +7,29 @@ events every running job has a constant yield, so progress is integrated
 analytically and the next completion time is computed in closed form — the
 event queue never needs invalidation.
 
+Complexity contract
+-------------------
+
+Per-event work is ``O(active jobs · log n)``: the engine never iterates jobs
+that have completed (or jobs submitted in the far future that have not yet
+arrived).  Three pieces of incremental state make this possible:
+
+* an **active-job table** (``_active``) holding exactly the arrived,
+  not-yet-completed jobs, iterated in submission-spec order so scheduler
+  visible ordering is identical to a full scan of every job;
+* a **min-heap of predicted completion times** (``_completion_heap``) with
+  *lazy invalidation*: every (re)allocation bumps the job's allocation
+  version and pushes a fresh entry; stale entries are discarded when they
+  surface at the top of the heap;
+* **busy-node reference counts** (``_node_refcount``/``_busy_count``)
+  updated at every allocation change, so idle-node-seconds accounting does
+  not rebuild a busy-node set per event.
+
+``SimulationConfig(legacy_event_loop=True)`` selects the original
+full-dictionary-scan implementation (kept verbatim as the reference
+semantics); equivalence tests assert both modes produce byte-identical
+results and ``benchmarks/test_bench_engine_scaling.py`` measures the gap.
+
 Cost accounting rules (paper §IV-A, Table II):
 
 * a job going from RUNNING to unallocated is a **preemption** (memory saved
@@ -23,11 +46,12 @@ Cost accounting rules (paper §IV-A, Table II):
 
 from __future__ import annotations
 
+import heapq
 import logging
 import math
 import time as _time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..exceptions import SimulationError
 from .allocation import AllocationDecision, JobAllocation, validate_decision
@@ -56,6 +80,9 @@ class SimulationConfig:
     max_events: int = _DEFAULT_MAX_EVENTS
     #: Record per-invocation scheduler wall-clock times (§V timing study).
     record_scheduler_times: bool = True
+    #: Use the original O(all jobs)-per-event full-scan loop (reference
+    #: semantics for equivalence tests and the scaling benchmark baseline).
+    legacy_event_loop: bool = False
 
 
 class Simulator:
@@ -98,6 +125,26 @@ class Simulator:
         self._idle_node_seconds = 0.0
         self._now = 0.0
         self._pending_submissions = 0
+        # -- O(active) event-loop state ------------------------------------
+        #: Arrived, not-yet-completed jobs, keyed by job id.
+        self._active: Dict[int, Job] = {}
+        #: job id -> position in the submitted spec sequence; iteration over
+        #: active jobs is sorted by this so scheduler-visible ordering is
+        #: identical to the legacy full scan of ``_jobs``.
+        self._seq: Dict[int, int] = {}
+        #: Min-heap of ``(predicted completion, job id, allocation version)``.
+        self._completion_heap: List[Tuple[float, int, int]] = []
+        #: job id -> allocation version; bumped whenever a change invalidates
+        #: the job's queued completion prediction (lazy heap invalidation).
+        self._alloc_version: Dict[int, int] = {}
+        #: node index -> number of tasks of RUNNING jobs placed on it.
+        self._node_refcount: Dict[int, int] = {}
+        #: Number of nodes with a non-zero reference count.
+        self._busy_count = 0
+        #: True when the spec sequence is submit-time sorted, in which case
+        #: the active table's insertion order *is* spec order (submissions
+        #: pop in (time, spec-position) order) and iteration needs no sort.
+        self._specs_time_sorted = True
 
     # ------------------------------------------------------------------ run --
     def run(self, specs: Sequence[JobSpec]) -> SimulationResult:
@@ -105,7 +152,7 @@ class Simulator:
         if not specs:
             raise SimulationError("cannot simulate an empty workload")
         seen_ids = set()
-        for spec in specs:
+        for index, spec in enumerate(specs):
             if spec.job_id in seen_ids:
                 raise SimulationError(f"duplicate job id {spec.job_id} in workload")
             seen_ids.add(spec.job_id)
@@ -117,10 +164,16 @@ class Simulator:
                 )
             self._jobs[spec.job_id] = Job(spec=spec)
             self._arrived[spec.job_id] = False
+            self._seq[spec.job_id] = index
+            self._alloc_version[spec.job_id] = 0
             self._queue.push(
                 Event(spec.submit_time, EventType.JOB_SUBMISSION, spec.job_id)
             )
 
+        self._specs_time_sorted = all(
+            specs[i].submit_time <= specs[i + 1].submit_time
+            for i in range(len(specs) - 1)
+        )
         first_submit = min(spec.submit_time for spec in specs)
         self._now = first_submit
         self._pending_submissions = len(specs)
@@ -138,7 +191,7 @@ class Simulator:
                 )
             next_time = self._next_event_time()
             if math.isinf(next_time):
-                stuck = [job.job_id for job in self._jobs.values() if job.is_active()]
+                stuck = [job.job_id for job in self._iter_jobs() if job.is_active()]
                 raise SimulationError(
                     f"simulation deadlock at t={self._now:.1f}: jobs {stuck} are "
                     "active but no event will ever occur (scheduler left them "
@@ -172,16 +225,113 @@ class Simulator:
             idle_node_seconds=self._idle_node_seconds,
         )
 
+    # ------------------------------------------------- active-job iteration --
+    def _iter_jobs(self) -> Iterable[Job]:
+        """Arrived active jobs in submission-spec order.
+
+        In legacy mode this is the original scan over *every* job ever
+        submitted; the fast path walks only the active table, sorted by spec
+        position so both modes present jobs in the same order everywhere
+        (contexts, completion detection, decision application).
+        """
+        if self.config.legacy_event_loop:
+            return self._jobs.values()
+        if self._specs_time_sorted:
+            return list(self._active.values())
+        return sorted(self._active.values(), key=lambda job: self._seq[job.job_id])
+
+    def _activate(self, job_id: int) -> None:
+        self._arrived[job_id] = True
+        self._active[job_id] = self._jobs[job_id]
+
+    def _deactivate(self, job_id: int) -> None:
+        self._active.pop(job_id, None)
+        self._alloc_version[job_id] += 1
+
+    # ------------------------------------------- busy-node refcount tracking --
+    def _acquire_nodes(self, nodes: Tuple[int, ...]) -> None:
+        refcount = self._node_refcount
+        for node in nodes:
+            count = refcount.get(node, 0)
+            if count == 0:
+                self._busy_count += 1
+            refcount[node] = count + 1
+
+    def _release_nodes(self, nodes: Tuple[int, ...]) -> None:
+        refcount = self._node_refcount
+        for node in nodes:
+            count = refcount[node] - 1
+            if count == 0:
+                self._busy_count -= 1
+                del refcount[node]
+            else:
+                refcount[node] = count
+
+    # ------------------------------------------------ completion-time heap --
+    def _note_allocation_change(self, job: Job) -> None:
+        """Invalidate the job's queued completion prediction and requeue it.
+
+        Called whenever state/yield/penalty changes alter the predicted
+        completion instant.  The stale heap entry is *not* removed here — it
+        is skipped lazily when it reaches the top (``_next_event_time``).
+        """
+        version = self._alloc_version[job.job_id] + 1
+        self._alloc_version[job.job_id] = version
+        if job.state is JobState.RUNNING:
+            predicted = job.predicted_completion(self._now)
+            if math.isfinite(predicted):
+                heapq.heappush(self._completion_heap, (predicted, job.job_id, version))
+
+    def _next_completion_time(self) -> float:
+        """Earliest live predicted completion over all RUNNING jobs.
+
+        Stale heap entries (version mismatch, paused/completed jobs) are
+        discarded lazily.  Heap keys were computed at allocation time;
+        ``Job.advance`` re-derives the same instant with slightly different
+        floating-point operations, so keys within rounding noise of the
+        minimum are *recomputed from live job state* and the true minimum
+        returned — exactly the arithmetic of the legacy full scan, keeping
+        the two modes byte-identical even when two jobs' completions tie to
+        within accumulated ulp drift.
+        """
+        heap = self._completion_heap
+        tied: List[Tuple[float, int, int]] = []
+        best = math.inf
+        first_key: Optional[float] = None
+        while heap:
+            key, job_id, version = heap[0]
+            job = self._active.get(job_id)
+            if (
+                job is None
+                or job.state is not JobState.RUNNING
+                or self._alloc_version[job_id] != version
+            ):
+                heapq.heappop(heap)
+                continue
+            if first_key is None:
+                first_key = key
+            elif key > first_key + 1e-9 * max(1.0, abs(first_key)):
+                break
+            tied.append(heapq.heappop(heap))
+            best = min(best, job.predicted_completion(self._now))
+        for entry in tied:
+            heapq.heappush(heap, entry)
+        return best
+
     # ----------------------------------------------------------- event loop --
     def _has_active_jobs(self) -> bool:
-        return any(job.is_active() for job in self._jobs.values())
+        if self.config.legacy_event_loop:
+            return any(job.is_active() for job in self._jobs.values())
+        return bool(self._active)
 
     def _next_event_time(self) -> float:
-        next_time = self._queue.peek_time()
-        for job in self._jobs.values():
-            if job.state is JobState.RUNNING:
-                next_time = min(next_time, job.predicted_completion(self._now))
-        return next_time
+        if self.config.legacy_event_loop:
+            next_time = self._queue.peek_time()
+            for job in self._jobs.values():
+                if job.state is JobState.RUNNING:
+                    next_time = min(next_time, job.predicted_completion(self._now))
+            return next_time
+        return min(self._queue.peek_time(), self._next_completion_time())
 
     def _advance_to(self, next_time: float) -> None:
         duration = next_time - self._now
@@ -191,14 +341,20 @@ class Simulator:
             )
         duration = max(0.0, duration)
         if duration > 0.0:
-            busy_nodes = set()
-            for job in self._jobs.values():
-                if job.state is JobState.RUNNING and job.assignment is not None:
-                    busy_nodes.update(job.assignment)
-            idle = self.cluster.num_nodes - len(busy_nodes)
-            self._idle_node_seconds += idle * duration
-            for job in self._jobs.values():
-                job.advance(duration)
+            if self.config.legacy_event_loop:
+                busy_nodes = set()
+                for job in self._jobs.values():
+                    if job.state is JobState.RUNNING and job.assignment is not None:
+                        busy_nodes.update(job.assignment)
+                idle = self.cluster.num_nodes - len(busy_nodes)
+                self._idle_node_seconds += idle * duration
+                for job in self._jobs.values():
+                    job.advance(duration)
+            else:
+                idle = self.cluster.num_nodes - self._busy_count
+                self._idle_node_seconds += idle * duration
+                for job in self._active.values():
+                    job.advance(duration)
         self._now = next_time
 
     def _collect_triggers(self, now: float):
@@ -206,14 +362,14 @@ class Simulator:
         completed: List[int] = []
         is_wakeup = False
         # Completions are detected from job state, not from queued events.
-        for job in self._jobs.values():
+        for job in self._iter_jobs():
             if job.state is JobState.RUNNING and job.remaining_work <= 0.0:
                 self._complete_job(job)
                 completed.append(job.job_id)
         for event in self._queue.pop_until(now):
             if event.event_type is EventType.JOB_SUBMISSION:
                 assert event.job_id is not None
-                self._arrived[event.job_id] = True
+                self._activate(event.job_id)
                 self._pending_submissions -= 1
                 submitted.append(event.job_id)
                 for observer in self._observers:
@@ -223,10 +379,13 @@ class Simulator:
         return submitted, completed, is_wakeup
 
     def _complete_job(self, job: Job) -> None:
+        if job.assignment is not None:
+            self._release_nodes(job.assignment)
         job.state = JobState.COMPLETED
         job.completion_time = self._now
         job.assignment = None
         job.current_yield = 0.0
+        self._deactivate(job.job_id)
         self._records.append(
             JobRecord(
                 spec=job.spec,
@@ -249,7 +408,8 @@ class Simulator:
     ) -> SchedulingContext:
         clairvoyant = bool(getattr(self.scheduler, "requires_runtime_estimates", False))
         views: Dict[int, JobView] = {}
-        for job_id, job in self._jobs.items():
+        for job in self._iter_jobs():
+            job_id = job.job_id
             if not self._arrived[job_id] or not job.is_active():
                 continue
             views[job_id] = JobView(
@@ -302,7 +462,8 @@ class Simulator:
 
     def _apply_decision(self, decision: AllocationDecision) -> None:
         penalty = self.config.penalty_model
-        for job_id, job in self._jobs.items():
+        for job in self._iter_jobs():
+            job_id = job.job_id
             if not self._arrived[job_id] or not job.is_active():
                 continue
             new_alloc = decision.running.get(job_id)
@@ -314,10 +475,12 @@ class Simulator:
                         penalty.preemption_bytes_gb(job.spec, self.cluster)
                     )
                     job.preemption_count += 1
+                    self._release_nodes(job.assignment)
                     job.last_assignment = job.assignment
                     job.assignment = None
                     job.current_yield = 0.0
                     job.state = JobState.PAUSED
+                    self._note_allocation_change(job)
                     for observer in self._observers:
                         observer.on_job_preempted(self._now, job.spec)
                 elif sorted(new_alloc.nodes) != sorted(job.assignment):
@@ -328,9 +491,12 @@ class Simulator:
                     job.migration_count += 1
                     job.penalty_remaining += penalty.migration_penalty(job.spec)
                     old_nodes = job.assignment
+                    self._release_nodes(old_nodes)
+                    self._acquire_nodes(new_alloc.nodes)
                     job.last_assignment = job.assignment
                     job.assignment = new_alloc.nodes
                     job.current_yield = new_alloc.yield_value
+                    self._note_allocation_change(job)
                     for observer in self._observers:
                         observer.on_job_migrated(self._now, job.spec, old_nodes, new_alloc)
                 else:
@@ -338,6 +504,7 @@ class Simulator:
                     old_yield = job.current_yield
                     job.current_yield = new_alloc.yield_value
                     if old_yield != new_alloc.yield_value:
+                        self._note_allocation_change(job)
                         for observer in self._observers:
                             observer.on_yield_changed(
                                 self._now, job.spec, old_yield, new_alloc.yield_value
@@ -347,6 +514,8 @@ class Simulator:
                     job.state = JobState.RUNNING
                     job.assignment = new_alloc.nodes
                     job.current_yield = new_alloc.yield_value
+                    self._acquire_nodes(new_alloc.nodes)
+                    self._note_allocation_change(job)
                     if job.first_start_time is None:
                         job.first_start_time = self._now
                     for observer in self._observers:
@@ -357,13 +526,15 @@ class Simulator:
                     job.penalty_remaining += penalty.resume_penalty(job.spec)
                     job.assignment = new_alloc.nodes
                     job.current_yield = new_alloc.yield_value
+                    self._acquire_nodes(new_alloc.nodes)
+                    self._note_allocation_change(job)
                     for observer in self._observers:
                         observer.on_job_resumed(self._now, job.spec, new_alloc)
         if self._observers:
             running_now: Dict[int, JobAllocation] = {}
-            for job_id, job in self._jobs.items():
+            for job in self._iter_jobs():
                 if job.state is JobState.RUNNING and job.assignment is not None:
-                    running_now[job_id] = JobAllocation.create(
+                    running_now[job.job_id] = JobAllocation.create(
                         job.assignment, job.current_yield
                     )
             for observer in self._observers:

@@ -16,6 +16,7 @@ from .packing_ablation import (
     generate_packing_instances,
     run_packing_ablation,
 )
+from .parallel import generate_instances, resolve_workers
 from .period_sweep import DEFAULT_PERIODS, PeriodSweepResult, run_period_sweep
 from .reporting import format_figure_series, format_table
 from .runner import (
@@ -23,6 +24,7 @@ from .runner import (
     generate_synthetic_instances,
     run_algorithm,
     run_instance,
+    run_instances,
 )
 from .table1 import Table1Result, run_table1
 from .table2 import TABLE2_ALGORITHMS, CostStatistics, Table2Result, run_table2
@@ -54,9 +56,12 @@ __all__ = [
     "format_figure_series",
     "format_table",
     "InstanceResult",
+    "generate_instances",
     "generate_synthetic_instances",
+    "resolve_workers",
     "run_algorithm",
     "run_instance",
+    "run_instances",
     "Table1Result",
     "run_table1",
     "TABLE2_ALGORITHMS",

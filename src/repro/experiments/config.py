@@ -43,6 +43,9 @@ class ExperimentConfig:
     hpc2n_weeks: int = 2
     #: Jobs per HPC2N-like week (the real trace averages ~1,100).
     hpc2n_jobs_per_week: int = 400
+    #: Worker processes for instance x algorithm fan-out (1 = serial,
+    #: 0 or negative = one worker per CPU); results are identical either way.
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.num_traces < 1:

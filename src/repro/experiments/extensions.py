@@ -18,7 +18,8 @@ from ..exceptions import ConfigurationError
 from .config import ExperimentConfig
 from .degradation import aggregate_instances
 from .reporting import format_table
-from .runner import generate_synthetic_instances, run_instance
+from .parallel import generate_instances
+from .runner import run_instances
 
 __all__ = ["ExtensionsResult", "run_extensions_comparison", "EXTENSION_ALGORITHMS"]
 
@@ -74,12 +75,14 @@ def run_extensions_comparison(
     if not algorithms:
         raise ConfigurationError("algorithms must not be empty")
     penalty = config.penalty_seconds if penalty_seconds is None else penalty_seconds
-    outcomes = []
-    for load in config.load_levels:
-        for workload in generate_synthetic_instances(config, load=load):
-            outcomes.append(
-                run_instance(workload, algorithms, penalty_seconds=penalty)
-            )
+    workloads = [
+        workload
+        for load in config.load_levels
+        for workload in generate_instances(config, load=load, workers=config.workers)
+    ]
+    outcomes = run_instances(
+        workloads, algorithms, penalty_seconds=penalty, workers=config.workers
+    )
     aggregate = aggregate_instances(outcomes)
     return ExtensionsResult(
         penalty_seconds=penalty,

@@ -14,7 +14,8 @@ from typing import Dict, List, Mapping, Optional
 from .config import ExperimentConfig
 from .degradation import DegradationAggregate, aggregate_instances
 from .reporting import format_figure_series
-from .runner import generate_synthetic_instances, run_instance
+from .parallel import generate_instances
+from .runner import run_instances
 
 __all__ = ["Figure1Result", "run_figure1"]
 
@@ -59,11 +60,13 @@ def run_figure1(
     penalty = config.penalty_seconds if penalty_seconds is None else penalty_seconds
     result = Figure1Result(penalty_seconds=penalty)
     for load in config.load_levels:
-        instances = generate_synthetic_instances(config, load=load)
-        outcomes = [
-            run_instance(workload, config.algorithms, penalty_seconds=penalty)
-            for workload in instances
-        ]
+        instances = generate_instances(config, load=load, workers=config.workers)
+        outcomes = run_instances(
+            instances,
+            config.algorithms,
+            penalty_seconds=penalty,
+            workers=config.workers,
+        )
         aggregate = aggregate_instances(outcomes)
         result.points[load] = aggregate.averages()
     return result

@@ -1,0 +1,154 @@
+"""Parallel experiment execution over a :mod:`multiprocessing` pool.
+
+An experimental campaign is an embarrassingly parallel grid: *instances ×
+algorithms* independent simulations (every simulation is deterministic given
+its workload and algorithm name, so parallel results are identical to serial
+ones).  This module fans that grid out over worker processes:
+
+* :func:`run_instances` — simulate many workloads under many algorithms; the
+  unit of parallelism is one ``(workload, algorithm)`` cell, so a single
+  slow algorithm does not serialise the whole campaign;
+* :func:`generate_instances` — generate the seeded synthetic traces of a
+  campaign in parallel (trace ``i`` always uses ``seed_base + i``, so the
+  worker that happens to build it is irrelevant to the result).
+
+Workers are seeded deterministically per *task*, never per worker process:
+all randomness lives in the workload generators, which take an explicit seed
+derived from the experiment configuration.  Nothing reads global RNG state,
+which is what makes ``workers=N`` bit-for-bit equal to ``workers=1``.
+
+``workers=1`` (the default everywhere) bypasses the pool entirely and runs
+in-process, which keeps unit tests fast and stack traces simple.  ``workers
+<= 0`` means "one worker per CPU".
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from ..core.records import SimulationResult
+from ..workloads.lublin import LublinWorkloadGenerator
+from ..workloads.model import Workload
+from ..workloads.scaling import scale_to_load
+from .config import ExperimentConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .runner import InstanceResult
+
+__all__ = ["resolve_workers", "run_instances", "generate_instances"]
+
+_LOGGER = logging.getLogger(__name__)
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a worker-count request: ``None``/``1`` serial, ``<=0`` all CPUs."""
+    if workers is None:
+        return 1
+    if workers <= 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def _pool(workers: int):
+    # fork keeps the warm interpreter (and is the only start method that
+    # does not require the callables to be importable from __main__ on
+    # every platform); fall back to the default context where missing.
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context()
+    return context.Pool(processes=workers)
+
+
+# -- simulation fan-out -------------------------------------------------------
+
+def _run_cell(task: Tuple[Workload, str, float]) -> SimulationResult:
+    workload, algorithm, penalty_seconds = task
+    # Imported lazily so worker start-up does not re-enter this module's
+    # import of runner (runner imports us for the serial fallback).
+    from .runner import run_algorithm
+
+    return run_algorithm(workload, algorithm, penalty_seconds=penalty_seconds)
+
+
+def run_instances(
+    workloads: Sequence[Workload],
+    algorithms: Sequence[str],
+    *,
+    penalty_seconds: float = 0.0,
+    workers: Optional[int] = None,
+) -> List["InstanceResult"]:
+    """Simulate every workload under every algorithm, possibly in parallel.
+
+    Returns one :class:`~repro.experiments.runner.InstanceResult` per
+    workload, in workload order, with per-algorithm results in ``algorithms``
+    order — exactly what a serial loop of
+    :func:`~repro.experiments.runner.run_instance` produces.
+    """
+    from .runner import InstanceResult, run_instance
+
+    workers = resolve_workers(workers)
+    if workers == 1 or len(workloads) * len(algorithms) <= 1:
+        return [
+            run_instance(workload, algorithms, penalty_seconds=penalty_seconds)
+            for workload in workloads
+        ]
+
+    tasks = [
+        (workload, algorithm, penalty_seconds)
+        for workload in workloads
+        for algorithm in algorithms
+    ]
+    _LOGGER.debug(
+        "running %d simulations (%d instances x %d algorithms) on %d workers",
+        len(tasks), len(workloads), len(algorithms), workers,
+    )
+    with _pool(workers) as pool:
+        flat = pool.map(_run_cell, tasks, chunksize=1)
+
+    outcomes: List[InstanceResult] = []
+    cursor = iter(flat)
+    for workload in workloads:
+        instance = InstanceResult(workload_name=workload.name)
+        for algorithm in algorithms:
+            instance.results[algorithm] = next(cursor)
+        outcomes.append(instance)
+    return outcomes
+
+
+# -- workload-generation fan-out ----------------------------------------------
+
+def _generate_one(task: Tuple[ExperimentConfig, int, Optional[float]]) -> Workload:
+    """Generate trace ``index`` of a campaign — the single source of the
+    seeding/naming scheme; the serial :func:`~repro.experiments.runner.
+    generate_synthetic_instances` delegates here too, so ``workers=N``
+    cannot drift from the serial traces."""
+    config, index, load = task
+    generator = LublinWorkloadGenerator(config.cluster)
+    workload = generator.generate(
+        config.num_jobs,
+        seed=config.seed_base + index,
+        name=f"lublin-{index:03d}",
+    )
+    if load is not None:
+        workload = scale_to_load(workload, load)
+    return workload
+
+
+def generate_instances(
+    config: ExperimentConfig,
+    *,
+    load: Optional[float] = None,
+    workers: Optional[int] = None,
+) -> List[Workload]:
+    """Parallel equivalent of :func:`~repro.experiments.runner.
+    generate_synthetic_instances` (same traces, same order)."""
+    workers = resolve_workers(workers)
+    tasks = [(config, index, load) for index in range(config.num_traces)]
+    if workers == 1 or config.num_traces <= 1:
+        return [_generate_one(task) for task in tasks]
+    with _pool(workers) as pool:
+        return pool.map(_generate_one, tasks, chunksize=1)

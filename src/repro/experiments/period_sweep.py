@@ -18,7 +18,8 @@ import numpy as np
 from ..exceptions import ConfigurationError
 from .config import ExperimentConfig
 from .reporting import format_table
-from .runner import generate_synthetic_instances, run_instance
+from .parallel import generate_instances
+from .runner import run_instances
 
 __all__ = ["PeriodSweepResult", "run_period_sweep", "DEFAULT_PERIODS"]
 
@@ -98,13 +99,15 @@ def run_period_sweep(
         base_algorithm=base_algorithm, load=load, penalty_seconds=penalty
     )
     algorithms = [f"{base_algorithm}-{int(period)}" for period in periods]
-    instances = generate_synthetic_instances(config, load=load)
+    instances = generate_instances(config, load=load, workers=config.workers)
 
     stretches: Dict[str, List[float]] = {name: [] for name in algorithms}
     preemption_rates: Dict[str, List[float]] = {name: [] for name in algorithms}
     migration_rates: Dict[str, List[float]] = {name: [] for name in algorithms}
-    for workload in instances:
-        outcome = run_instance(workload, algorithms, penalty_seconds=penalty)
+    outcomes = run_instances(
+        instances, algorithms, penalty_seconds=penalty, workers=config.workers
+    )
+    for outcome in outcomes:
         for name, run in outcome.results.items():
             stretches[name].append(run.max_stretch)
             preemption_rates[name].append(run.preemptions_per_hour())

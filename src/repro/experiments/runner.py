@@ -17,12 +17,16 @@ from ..core.metrics import degradation_factors
 from ..core.penalties import ReschedulingPenaltyModel
 from ..core.records import SimulationResult
 from ..schedulers.registry import create_scheduler
-from ..workloads.lublin import LublinWorkloadGenerator
 from ..workloads.model import Workload
-from ..workloads.scaling import scale_to_load
 from .config import ExperimentConfig
 
-__all__ = ["InstanceResult", "run_algorithm", "run_instance", "generate_synthetic_instances"]
+__all__ = [
+    "InstanceResult",
+    "run_algorithm",
+    "run_instance",
+    "run_instances",
+    "generate_synthetic_instances",
+]
 
 _LOGGER = logging.getLogger(__name__)
 
@@ -77,6 +81,27 @@ def run_instance(
     return instance
 
 
+def run_instances(
+    workloads: Sequence[Workload],
+    algorithms: Sequence[str],
+    *,
+    penalty_seconds: float = 0.0,
+    workers: Optional[int] = None,
+) -> List[InstanceResult]:
+    """Simulate many workloads under many algorithms, optionally in parallel.
+
+    With ``workers`` unset (or 1) this is a plain serial loop of
+    :func:`run_instance`; larger values fan the *instances × algorithms*
+    grid out over a process pool (see :mod:`repro.experiments.parallel`)
+    with results identical to the serial run.
+    """
+    from .parallel import run_instances as _run_instances_parallel
+
+    return _run_instances_parallel(
+        workloads, algorithms, penalty_seconds=penalty_seconds, workers=workers
+    )
+
+
 def generate_synthetic_instances(
     config: ExperimentConfig,
     *,
@@ -86,17 +111,12 @@ def generate_synthetic_instances(
 
     With ``load=None`` the unscaled traces are returned; otherwise each trace
     is rescaled (identical job mix, stretched inter-arrival times) to the
-    requested offered load.
+    requested offered load.  The per-trace seeding/naming scheme lives in
+    :func:`repro.experiments.parallel._generate_one`, shared with the
+    parallel generator so ``workers=N`` produces the exact same traces.
     """
-    generator = LublinWorkloadGenerator(config.cluster)
-    instances: List[Workload] = []
-    for index in range(config.num_traces):
-        workload = generator.generate(
-            config.num_jobs,
-            seed=config.seed_base + index,
-            name=f"lublin-{index:03d}",
-        )
-        if load is not None:
-            workload = scale_to_load(workload, load)
-        instances.append(workload)
-    return instances
+    from .parallel import _generate_one
+
+    return [
+        _generate_one((config, index, load)) for index in range(config.num_traces)
+    ]

@@ -19,7 +19,8 @@ from ..workloads.hpc2n import Hpc2nLikeTraceGenerator
 from .config import ExperimentConfig
 from .degradation import aggregate_instances
 from .reporting import format_table
-from .runner import generate_synthetic_instances, run_instance
+from .parallel import generate_instances
+from .runner import run_instances
 
 __all__ = ["Table1Result", "run_table1"]
 
@@ -71,28 +72,39 @@ def run_table1(
     result = Table1Result(penalty_seconds=penalty)
 
     # Scaled synthetic traces: pool every load level.
-    scaled_outcomes = []
-    for load in config.load_levels:
-        for workload in generate_synthetic_instances(config, load=load):
-            scaled_outcomes.append(
-                run_instance(workload, config.algorithms, penalty_seconds=penalty)
-            )
+    scaled_workloads = [
+        workload
+        for load in config.load_levels
+        for workload in generate_instances(config, load=load, workers=config.workers)
+    ]
+    scaled_outcomes = run_instances(
+        scaled_workloads,
+        config.algorithms,
+        penalty_seconds=penalty,
+        workers=config.workers,
+    )
     result.columns["scaled"] = aggregate_instances(scaled_outcomes).stats()
 
     # Unscaled synthetic traces, straight from the Lublin model.
-    unscaled_outcomes = [
-        run_instance(workload, config.algorithms, penalty_seconds=penalty)
-        for workload in generate_synthetic_instances(config, load=None)
-    ]
+    unscaled_outcomes = run_instances(
+        generate_instances(config, load=None, workers=config.workers),
+        config.algorithms,
+        penalty_seconds=penalty,
+        workers=config.workers,
+    )
     result.columns["unscaled"] = aggregate_instances(unscaled_outcomes).stats()
 
     # Real-world (HPC2N-like) 1-week segments.
     generator = Hpc2nLikeTraceGenerator(jobs_per_week=config.hpc2n_jobs_per_week)
-    real_outcomes = []
-    for week in range(config.hpc2n_weeks):
-        workload = generator.generate_workload(1, seed=config.seed_base + week)
-        real_outcomes.append(
-            run_instance(workload, config.algorithms, penalty_seconds=penalty)
-        )
+    real_workloads = [
+        generator.generate_workload(1, seed=config.seed_base + week)
+        for week in range(config.hpc2n_weeks)
+    ]
+    real_outcomes = run_instances(
+        real_workloads,
+        config.algorithms,
+        penalty_seconds=penalty,
+        workers=config.workers,
+    )
     result.columns["real"] = aggregate_instances(real_outcomes).stats()
     return result

@@ -18,7 +18,8 @@ import numpy as np
 
 from .config import ExperimentConfig
 from .reporting import format_table
-from .runner import generate_synthetic_instances, run_instance
+from .parallel import generate_instances
+from .runner import run_instances
 
 __all__ = ["CostStatistics", "Table2Result", "run_table2", "TABLE2_ALGORITHMS"]
 
@@ -101,21 +102,30 @@ def run_table2(
         algorithm: {name: [] for name in Table2Result.METRIC_NAMES}
         for algorithm in algorithms
     }
-    for load in loads:
-        for workload in generate_synthetic_instances(config, load=load):
-            instance = run_instance(workload, algorithms, penalty_seconds=penalty)
-            for algorithm, result in instance.results.items():
-                samples = per_algorithm[algorithm]
-                samples["pmtn_bandwidth_gb_per_sec"].append(
-                    result.preemption_bandwidth_gb_per_sec()
-                )
-                samples["migr_bandwidth_gb_per_sec"].append(
-                    result.migration_bandwidth_gb_per_sec()
-                )
-                samples["pmtn_per_hour"].append(result.preemptions_per_hour())
-                samples["migr_per_hour"].append(result.migrations_per_hour())
-                samples["pmtn_per_job"].append(result.preemptions_per_job())
-                samples["migr_per_job"].append(result.migrations_per_job())
+    high_load_workloads = [
+        workload
+        for load in loads
+        for workload in generate_instances(config, load=load, workers=config.workers)
+    ]
+    instances = run_instances(
+        high_load_workloads,
+        algorithms,
+        penalty_seconds=penalty,
+        workers=config.workers,
+    )
+    for instance in instances:
+        for algorithm, result in instance.results.items():
+            samples = per_algorithm[algorithm]
+            samples["pmtn_bandwidth_gb_per_sec"].append(
+                result.preemption_bandwidth_gb_per_sec()
+            )
+            samples["migr_bandwidth_gb_per_sec"].append(
+                result.migration_bandwidth_gb_per_sec()
+            )
+            samples["pmtn_per_hour"].append(result.preemptions_per_hour())
+            samples["migr_per_hour"].append(result.migrations_per_hour())
+            samples["pmtn_per_job"].append(result.preemptions_per_job())
+            samples["migr_per_job"].append(result.migrations_per_job())
 
     table = Table2Result(penalty_seconds=penalty)
     for algorithm, samples in per_algorithm.items():

@@ -1,0 +1,1 @@
+"""Test package (enables relative imports of shared conftest helpers)."""

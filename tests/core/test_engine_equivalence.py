@@ -1,0 +1,247 @@
+"""Equivalence of the O(active)-event-loop engine and the legacy full scan.
+
+The refactored engine (active-job table + lazily invalidated completion-time
+min-heap + busy-node refcounts) must be *byte-identical* to the seed
+semantics, which are preserved verbatim behind
+``SimulationConfig(legacy_event_loop=True)``.  These property-style tests
+run both modes over seeded Lublin traces under the paper's algorithm
+families and compare every externally observable quantity without any
+tolerance; further cases exercise the lazy heap invalidation on migration
+and preemption directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.allocation import AllocationDecision
+from repro.core.cluster import Cluster
+from repro.core.engine import SimulationConfig, Simulator
+from repro.core.job import JobState
+from repro.core.penalties import ReschedulingPenaltyModel
+from repro.schedulers.base import Scheduler
+from repro.schedulers.registry import create_scheduler
+from repro.workloads.lublin import LublinWorkloadGenerator
+
+from ..conftest import make_job
+
+#: (algorithm, cluster nodes, trace length) — DFRS schedulers are far more
+#: expensive per event than the batch ones, so they get smaller traces to
+#: keep the tier-1 suite fast.
+ALGORITHM_SCALES = [
+    ("fcfs", 32, 120),
+    ("easy", 32, 120),
+    ("greedy", 16, 60),
+    ("dynmcb8-asap-per-600", 16, 60),
+]
+
+
+def _fingerprint(result):
+    """Every externally observable field of a SimulationResult, exactly."""
+    return (
+        result.algorithm,
+        result.makespan,
+        result.idle_node_seconds,
+        result.scheduler_job_counts,
+        [
+            (
+                record.spec.job_id,
+                record.first_start_time,
+                record.completion_time,
+                record.preemptions,
+                record.migrations,
+            )
+            for record in result.jobs
+        ],
+        (
+            result.costs.preemption_count,
+            result.costs.migration_count,
+            result.costs.preemption_gb,
+            result.costs.migration_gb,
+        ),
+    )
+
+
+def _simulate(workload, algorithm, *, legacy, penalty=300.0):
+    simulator = Simulator(
+        workload.cluster,
+        create_scheduler(algorithm),
+        SimulationConfig(
+            penalty_model=ReschedulingPenaltyModel(penalty),
+            legacy_event_loop=legacy,
+        ),
+    )
+    return simulator.run(workload.jobs)
+
+
+class TestLegacyFastEquivalence:
+    @pytest.mark.parametrize("algorithm,nodes,num_jobs", ALGORITHM_SCALES)
+    @pytest.mark.parametrize("seed", [11, 42])
+    def test_byte_identical_on_lublin_traces(self, algorithm, nodes, num_jobs, seed):
+        cluster = Cluster(num_nodes=nodes, cores_per_node=4, node_memory_gb=8.0)
+        workload = LublinWorkloadGenerator(cluster).generate(num_jobs, seed=seed)
+        legacy = _simulate(workload, algorithm, legacy=True)
+        fast = _simulate(workload, algorithm, legacy=False)
+        assert _fingerprint(fast) == _fingerprint(legacy)
+
+    @pytest.mark.parametrize("algorithm", ["easy", "dynmcb8-asap-per-600"])
+    def test_byte_identical_without_penalty(self, algorithm):
+        cluster = Cluster(num_nodes=16, cores_per_node=4, node_memory_gb=8.0)
+        workload = LublinWorkloadGenerator(cluster).generate(50, seed=7)
+        legacy = _simulate(workload, algorithm, legacy=True, penalty=0.0)
+        fast = _simulate(workload, algorithm, legacy=False, penalty=0.0)
+        assert _fingerprint(fast) == _fingerprint(legacy)
+
+    def test_byte_identical_on_unsorted_submissions(self):
+        """The sorted-spec fast path must not be assumed: out-of-order
+        submit times fall back to explicit spec-order iteration."""
+        jobs = [
+            make_job(0, submit=50.0, runtime=80.0, mem=0.2),
+            make_job(1, submit=0.0, runtime=120.0, mem=0.2),
+            make_job(2, submit=25.0, runtime=60.0, mem=0.2),
+            make_job(3, submit=0.0, runtime=40.0, mem=0.2),
+        ]
+        results = {}
+        for legacy in (True, False):
+            cluster = Cluster(num_nodes=4, cores_per_node=4, node_memory_gb=8.0)
+            simulator = Simulator(
+                cluster,
+                create_scheduler("fcfs"),
+                SimulationConfig(legacy_event_loop=legacy),
+            )
+            results[legacy] = simulator.run(jobs)
+        assert _fingerprint(results[False]) == _fingerprint(results[True])
+
+
+class ScriptedScheduler(Scheduler):
+    """Scheduler whose behaviour is driven by a user-supplied callback."""
+
+    name = "scripted"
+
+    def __init__(self, callback):
+        self._callback = callback
+
+    def schedule(self, context):
+        return self._callback(context)
+
+
+class TestLazyHeapInvalidation:
+    def _simulator(self, callback, *, nodes=4, penalty=0.0):
+        cluster = Cluster(num_nodes=nodes, cores_per_node=4, node_memory_gb=8.0)
+        return Simulator(
+            cluster,
+            ScriptedScheduler(callback),
+            SimulationConfig(penalty_model=ReschedulingPenaltyModel(penalty)),
+        )
+
+    def test_migration_requeues_and_invalidates(self):
+        """A migration pushes a fresh heap entry; the stale one is skipped."""
+
+        def migrate_at_wakeup(context):
+            decision = AllocationDecision()
+            for view in context.jobs.values():
+                nodes = [1] if context.is_wakeup else [0]
+                decision.set(view.job_id, nodes, 1.0)
+            if not context.is_wakeup:
+                decision.request_wakeup(50.0)
+            return decision
+
+        simulator = self._simulator(migrate_at_wakeup, penalty=30.0)
+        result = simulator.run([make_job(0, runtime=100.0)])
+        record = result.jobs[0]
+        assert record.migrations == 1
+        # 100s of work + 30s migration penalty, no progress lost.
+        assert record.completion_time == pytest.approx(130.0)
+        # The stale pre-migration entry was lazily discarded: the heap holds
+        # no live entries once the simulation has drained.
+        assert math.isinf(simulator._next_completion_time())
+
+    def test_preemption_invalidates_without_requeue(self):
+        """A preempted job has no completion; its heap entry goes stale and
+        the engine relies on the requested wake-up instead."""
+        seen_states = []
+
+        def preempt_then_resume(context):
+            decision = AllocationDecision()
+            for view in context.jobs.values():
+                seen_states.append((context.time, view.state))
+                if context.time < 50.0:
+                    decision.set(view.job_id, [0], 1.0)
+                    decision.request_wakeup(50.0)
+                elif view.state is JobState.PAUSED or context.time >= 100.0:
+                    decision.set(view.job_id, [0], 1.0)
+                elif view.state is JobState.RUNNING:
+                    decision.request_wakeup(100.0)
+            return decision
+
+        simulator = self._simulator(preempt_then_resume)
+        result = simulator.run([make_job(0, runtime=100.0)])
+        record = result.jobs[0]
+        assert record.preemptions == 1
+        # 50s progress, 50s paused, then the remaining 50s.
+        assert record.completion_time == pytest.approx(150.0)
+        assert (50.0, JobState.RUNNING) in seen_states
+
+    def test_yield_shrink_pushes_new_completion(self):
+        """Changing only the yield re-predicts the completion instant."""
+
+        def shrink_at_wakeup(context):
+            decision = AllocationDecision()
+            for view in context.jobs.values():
+                decision.set(view.job_id, [0], 0.5 if context.is_wakeup else 1.0)
+            if not context.is_wakeup:
+                decision.request_wakeup(50.0)
+            return decision
+
+        simulator = self._simulator(shrink_at_wakeup)
+        result = simulator.run([make_job(0, runtime=100.0)])
+        # 50s at yield 1.0 + 100s at yield 0.5.
+        assert result.jobs[0].completion_time == pytest.approx(150.0)
+
+    def test_stale_entries_accumulate_then_drain(self):
+        """Repeated reallocations leave stale heap entries behind; they are
+        discarded lazily and never surface as events."""
+        bounces = 10
+
+        def bounce(context):
+            decision = AllocationDecision()
+            for view in context.jobs.values():
+                tick = int(context.time // 10.0)
+                decision.set(view.job_id, [tick % 2], 1.0)
+            if context.time < 10.0 * bounces:
+                decision.request_wakeup(context.time + 10.0)
+            return decision
+
+        simulator = self._simulator(bounce)
+        result = simulator.run([make_job(0, runtime=10.0 * bounces + 50.0)])
+        record = result.jobs[0]
+        assert record.migrations == bounces
+        assert record.completion_time == pytest.approx(10.0 * bounces + 50.0)
+        assert math.isinf(simulator._next_completion_time())
+
+
+class TestIncrementalBusyNodes:
+    def test_idle_node_seconds_matches_legacy(self):
+        cluster = Cluster(num_nodes=16, cores_per_node=4, node_memory_gb=8.0)
+        workload = LublinWorkloadGenerator(cluster).generate(60, seed=3)
+        legacy = _simulate(workload, "greedy", legacy=True)
+        fast = _simulate(workload, "greedy", legacy=False)
+        assert fast.idle_node_seconds == legacy.idle_node_seconds
+
+    def test_refcounts_drain_to_zero(self):
+        def run_all(context):
+            decision = AllocationDecision()
+            node = 0
+            for view in context.jobs.values():
+                decision.set(view.job_id, [node % 4], 1.0)
+                node += 1
+            return decision
+
+        cluster = Cluster(num_nodes=4, cores_per_node=4, node_memory_gb=8.0)
+        simulator = Simulator(cluster, ScriptedScheduler(run_all))
+        simulator.run([make_job(i, runtime=50.0 + i, mem=0.2) for i in range(4)])
+        assert simulator._busy_count == 0
+        assert simulator._node_refcount == {}
+        assert simulator._active == {}

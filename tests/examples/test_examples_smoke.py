@@ -13,7 +13,8 @@ from pathlib import Path
 
 import pytest
 
-EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
 
 _CASES = {
     "quickstart.py": ["--jobs", "30", "--nodes", "8", "--load", "0.5"],
@@ -42,11 +43,50 @@ def test_every_example_has_a_smoke_case():
     )
 
 
+#: Where a misbehaving example could plausibly drop files: next to itself
+#: (the historical bug), into the package, or cwd-relative into the repo
+#: root.  Deliberately not the whole tree — .git churn, virtualenvs, and
+#: cache directories would make the assertion flaky.
+_WATCHED_DIRS = ("examples", "src", "tests", "benchmarks")
+_VOLATILE_PARTS = {"__pycache__", ".pytest_cache", ".hypothesis", "results"}
+
+
+def _tree_files(root: Path):
+    """Every file under the watched repo-tree areas an example could pollute."""
+    files = {path for path in root.iterdir() if path.is_file()}
+    for name in _WATCHED_DIRS:
+        files.update(
+            path
+            for path in (root / name).rglob("*")
+            if path.is_file()
+            and not any(
+                part in _VOLATILE_PARTS or part.endswith(".egg-info")
+                for part in path.relative_to(root).parts
+            )
+        )
+    return files
+
+
 @pytest.mark.parametrize("name", sorted(_CASES))
 def test_example_runs_successfully(name):
+    before = _tree_files(REPO_ROOT)
     completed = _run_example(name, _CASES[name])
     assert completed.returncode == 0, completed.stderr[-2000:]
     assert completed.stdout.strip(), f"{name} produced no output"
+    created = _tree_files(REPO_ROOT) - before
+    assert not created, (
+        f"{name} wrote files into the source tree: "
+        f"{sorted(str(p) for p in created)}"
+    )
+
+
+def test_swf_replay_honours_output_dir(tmp_path):
+    completed = _run_example(
+        "swf_trace_replay.py",
+        [*_CASES["swf_trace_replay.py"], "--output-dir", str(tmp_path)],
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert (tmp_path / "hpc2n_like_generated.swf").is_file()
 
 
 def test_quickstart_reports_degradation_factors():

@@ -1,0 +1,152 @@
+"""Tests for the parallel experiment runner (:mod:`repro.experiments.parallel`).
+
+The contract is strict: ``workers=N`` must be *bit-for-bit* identical to the
+serial path, both for simulation fan-out and for seeded trace generation —
+parallelism only changes wall-clock time, never results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import (
+    generate_instances,
+    resolve_workers,
+    run_instances,
+)
+from repro.experiments.runner import generate_synthetic_instances, run_instance
+from repro.workloads.lublin import LublinWorkloadGenerator
+
+ALGORITHMS = ["fcfs", "easy"]
+
+
+def _small_config(num_traces=3):
+    return ExperimentConfig(
+        cluster=Cluster(8, 4, 8.0),
+        num_traces=num_traces,
+        num_jobs=25,
+        load_levels=(0.5,),
+        algorithms=tuple(ALGORITHMS),
+        hpc2n_weeks=1,
+        hpc2n_jobs_per_week=20,
+    )
+
+
+def _workloads(num=3, jobs=25):
+    cluster = Cluster(8, 4, 8.0)
+    generator = LublinWorkloadGenerator(cluster)
+    return [
+        generator.generate(jobs, seed=100 + i, name=f"wl-{i}") for i in range(num)
+    ]
+
+
+def _result_fingerprint(result):
+    return (
+        result.algorithm,
+        result.makespan,
+        result.idle_node_seconds,
+        [
+            (r.spec.job_id, r.first_start_time, r.completion_time,
+             r.preemptions, r.migrations)
+            for r in result.jobs
+        ],
+    )
+
+
+def _instance_fingerprint(instance):
+    return (
+        instance.workload_name,
+        [(name, _result_fingerprint(res)) for name, res in instance.results.items()],
+    )
+
+
+class TestResolveWorkers:
+    def test_none_and_one_are_serial(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(1) == 1
+
+    def test_zero_and_negative_mean_all_cpus(self):
+        assert resolve_workers(0) >= 1
+        assert resolve_workers(-3) >= 1
+
+    def test_positive_passthrough(self):
+        assert resolve_workers(5) == 5
+
+
+class TestRunInstancesParallel:
+    def test_parallel_identical_to_serial(self):
+        workloads = _workloads()
+        serial = [
+            run_instance(w, ALGORITHMS, penalty_seconds=300.0) for w in workloads
+        ]
+        parallel = run_instances(
+            workloads, ALGORITHMS, penalty_seconds=300.0, workers=2
+        )
+        assert [_instance_fingerprint(i) for i in parallel] == [
+            _instance_fingerprint(i) for i in serial
+        ]
+
+    def test_preserves_instance_and_algorithm_order(self):
+        workloads = _workloads(num=2)
+        outcomes = run_instances(workloads, ALGORITHMS, workers=2)
+        assert [o.workload_name for o in outcomes] == ["wl-0", "wl-1"]
+        for outcome in outcomes:
+            assert list(outcome.results) == ALGORITHMS
+
+    def test_workers_one_uses_serial_path(self):
+        workloads = _workloads(num=1)
+        outcomes = run_instances(workloads, ALGORITHMS, workers=1)
+        assert len(outcomes) == 1
+        assert set(outcomes[0].results) == set(ALGORITHMS)
+
+    def test_empty_workload_list(self):
+        assert run_instances([], ALGORITHMS, workers=2) == []
+
+
+class TestGenerateInstancesParallel:
+    def test_parallel_traces_identical_to_serial(self):
+        config = _small_config(num_traces=4)
+        serial = generate_synthetic_instances(config, load=0.5)
+        parallel = generate_instances(config, load=0.5, workers=2)
+        assert len(parallel) == len(serial)
+        for a, b in zip(serial, parallel):
+            assert a.name == b.name
+            assert a.jobs == b.jobs
+
+    def test_unscaled_traces_identical(self):
+        config = _small_config(num_traces=2)
+        serial = generate_synthetic_instances(config, load=None)
+        parallel = generate_instances(config, load=None, workers=2)
+        for a, b in zip(serial, parallel):
+            assert a.jobs == b.jobs
+
+
+class TestDriverWiring:
+    def test_config_carries_workers(self):
+        config = _small_config()
+        assert config.workers == 1
+        from dataclasses import replace
+
+        assert replace(config, workers=4).workers == 4
+
+    def test_figure1_parallel_matches_serial(self):
+        from dataclasses import replace
+
+        from repro.experiments.figure1 import run_figure1
+
+        config = _small_config(num_traces=2)
+        serial = run_figure1(config)
+        parallel = run_figure1(replace(config, workers=2))
+        assert parallel.points == serial.points
+
+    def test_cli_exposes_workers_flag(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["--workers", "3", "figure1"])
+        assert args.workers == 3
+
+        from repro.cli import _config_from_args
+
+        assert _config_from_args(args).workers == 3
