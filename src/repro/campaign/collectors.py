@@ -1,0 +1,223 @@
+"""Pluggable metric collectors backed by :mod:`repro.core.observers`.
+
+A collector turns one finished simulation into a flat metrics dictionary —
+the cells of a :class:`~repro.campaign.result.RunRecord`.  Collectors declare
+which engine recorders they need by *name* (resolved through
+:func:`repro.core.observers.create_recorder`), which keeps campaign tasks
+picklable: worker processes receive collector names and options, instantiate
+the recorders locally, attach them to the simulator, and evaluate the
+collectors in-process so only plain dictionaries travel back over the pool.
+
+Metric values are floats, ints, or lists of floats (for raw sample vectors
+such as scheduler timings); everything must survive a JSON round trip, which
+is what makes the executor's run cache and the CSV/JSON exporters lossless.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core.observers import SimulationObserver, UtilizationRecorder
+from ..core.records import SimulationResult
+from ..exceptions import ConfigurationError
+from ..workloads.model import Workload
+
+__all__ = [
+    "MetricCollector",
+    "StretchCollector",
+    "CostCollector",
+    "TimingCollector",
+    "FairnessCollector",
+    "UtilizationCollector",
+    "available_collectors",
+    "create_collector",
+    "register_collector",
+]
+
+
+class MetricCollector:
+    """Base collector: subclass, set ``name``/``recorders``, override ``collect``.
+
+    ``recorders`` lists the observer names (see
+    :func:`repro.core.observers.available_recorders`) that must be attached to
+    the simulator for this collector; ``collect`` receives them back, keyed by
+    name, together with the finished result and the workload that produced it.
+    """
+
+    name: str = "base"
+    recorders: Tuple[str, ...] = ()
+
+    def collect(
+        self,
+        result: SimulationResult,
+        recorders: Mapping[str, SimulationObserver],
+        workload: Workload,
+    ) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+class StretchCollector(MetricCollector):
+    """Headline stretch/turnaround metrics — the default collector."""
+
+    name = "stretch"
+
+    def collect(self, result, recorders, workload):
+        return {
+            "max_stretch": result.max_stretch,
+            "mean_stretch": result.mean_stretch,
+            "mean_turnaround": result.mean_turnaround,
+            "makespan": result.makespan,
+            "num_jobs": result.num_jobs,
+        }
+
+
+class CostCollector(MetricCollector):
+    """Preemption/migration cost metrics (the Table II columns)."""
+
+    name = "costs"
+
+    def collect(self, result, recorders, workload):
+        return {
+            "pmtn_bandwidth_gb_per_sec": result.preemption_bandwidth_gb_per_sec(),
+            "migr_bandwidth_gb_per_sec": result.migration_bandwidth_gb_per_sec(),
+            "pmtn_per_hour": result.preemptions_per_hour(),
+            "migr_per_hour": result.migrations_per_hour(),
+            "pmtn_per_job": result.preemptions_per_job(),
+            "migr_per_job": result.migrations_per_job(),
+        }
+
+
+class TimingCollector(MetricCollector):
+    """Raw per-event scheduler timings and job inter-arrival gaps (§V study)."""
+
+    name = "timing"
+
+    def collect(self, result, recorders, workload):
+        submits = sorted(spec.submit_time for spec in workload.jobs)
+        return {
+            "scheduler_times": [float(value) for value in result.scheduler_times],
+            "scheduler_job_counts": [
+                int(value) for value in result.scheduler_job_counts
+            ],
+            "interarrivals": np.diff(submits).tolist(),
+        }
+
+
+class FairnessCollector(MetricCollector):
+    """Per-job stretch fairness indices (Jain, Gini, tail percentile)."""
+
+    name = "fairness"
+
+    def collect(self, result, recorders, workload):
+        from ..analysis.fairness import stretch_fairness
+
+        report = stretch_fairness(result)
+        return {
+            "jain_stretch": report.jain_stretch,
+            "gini_stretch": report.gini_stretch,
+            "p95_stretch": report.p95_stretch,
+        }
+
+
+class UtilizationCollector(MetricCollector):
+    """Busy-node / CPU-allocation profile plus the node-power energy model.
+
+    Needs the ``utilization`` recorder.  The power-model watts are collector
+    options so that scenarios can carry a non-default
+    :class:`~repro.analysis.energy.NodePowerModel` declaratively.
+    """
+
+    name = "utilization"
+    recorders = ("utilization",)
+
+    def __init__(
+        self,
+        *,
+        busy_watts: Optional[float] = None,
+        idle_watts: Optional[float] = None,
+        off_watts: Optional[float] = None,
+    ) -> None:
+        # None means "use NodePowerModel's own default" — the defaults are
+        # deliberately not duplicated here.
+        self.busy_watts = busy_watts
+        self.idle_watts = idle_watts
+        self.off_watts = off_watts
+
+    def collect(self, result, recorders, workload):
+        from ..analysis.energy import NodePowerModel, energy_from_recorder
+        from ..analysis.fairness import stretch_fairness
+        from ..analysis.timeseries import busy_nodes_series, cpu_allocated_series
+
+        recorder = recorders["utilization"]
+        assert isinstance(recorder, UtilizationRecorder)
+        busy = busy_nodes_series(recorder)
+        cpu = cpu_allocated_series(recorder)
+        options = {
+            key: value
+            for key, value in (
+                ("busy_watts", self.busy_watts),
+                ("idle_watts", self.idle_watts),
+                ("off_watts", self.off_watts),
+            )
+            if value is not None
+        }
+        model = NodePowerModel(**options)
+        energy = energy_from_recorder(
+            recorder, workload.cluster, algorithm=result.algorithm, model=model
+        )
+        fairness = stretch_fairness(result)
+        return {
+            "mean_busy_nodes": busy.mean(),
+            "peak_busy_nodes": recorder.peak_busy_nodes(),
+            "mean_cpu_allocated": cpu.mean(),
+            "energy_duration_seconds": energy.duration_seconds,
+            "energy_busy_node_seconds": energy.busy_node_seconds,
+            "energy_idle_node_seconds": energy.idle_node_seconds,
+            "energy_always_on_joules": energy.always_on_joules,
+            "energy_power_down_joules": energy.power_down_joules,
+            "energy_savings_fraction": energy.savings_fraction,
+            "jain_stretch": fairness.jain_stretch,
+            "gini_stretch": fairness.gini_stretch,
+            "p95_stretch": fairness.p95_stretch,
+        }
+
+
+_COLLECTOR_FACTORIES: Dict[str, Callable[..., MetricCollector]] = {
+    "stretch": StretchCollector,
+    "costs": CostCollector,
+    "timing": TimingCollector,
+    "fairness": FairnessCollector,
+    "utilization": UtilizationCollector,
+}
+
+
+def available_collectors() -> List[str]:
+    """Names accepted by :func:`create_collector`."""
+    return sorted(_COLLECTOR_FACTORIES)
+
+
+def register_collector(name: str, factory: Callable[..., MetricCollector]) -> None:
+    """Register a collector factory under a short name (idempotent per factory)."""
+    existing = _COLLECTOR_FACTORIES.get(name)
+    if existing is not None and existing is not factory:
+        raise ConfigurationError(f"collector name {name!r} is already registered")
+    _COLLECTOR_FACTORIES[name] = factory
+
+
+def create_collector(name: str, **options: Any) -> MetricCollector:
+    """Instantiate a registered collector from its name and options."""
+    try:
+        factory = _COLLECTOR_FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown metric collector {name!r}; known collectors: "
+            f"{', '.join(available_collectors())}"
+        ) from None
+    try:
+        return factory(**options)
+    except TypeError as error:
+        raise ConfigurationError(
+            f"invalid options for collector {name!r}: {error}"
+        ) from None

@@ -1,0 +1,289 @@
+"""Campaign executor: expand a scenario, fan it out, collect tidy rows.
+
+The executor turns a :class:`~repro.campaign.scenario.Scenario` into the
+``cells × instances × algorithms`` run grid and pushes it through the
+process pool of :mod:`repro.experiments.parallel` (``map_tasks``).  Each
+worker builds its recorders locally, simulates, evaluates the scenario's
+metric collectors, and ships back only a plain metrics dictionary — so the
+grid parallelises even when collectors need observers attached.
+
+With a ``cache_dir``, finished runs are persisted under the stable
+:func:`~repro.campaign.scenario.scenario_hash` after every cell; a rerun of
+the same scenario loads finished cells from disk and only simulates what is
+missing, which makes long campaigns resumable after an interruption.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import re
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.engine import SimulationConfig, Simulator
+from ..core.observers import create_recorder
+from ..exceptions import ReproError
+from ..schedulers.registry import create_scheduler
+from ..workloads.model import Workload
+from ..workloads.scaling import scale_to_load
+from .collectors import create_collector
+from .result import CampaignResult, RunRecord
+from .scenario import CollectorSpec, Scenario, scenario_hash
+
+__all__ = ["Campaign", "export_campaign_artifacts"]
+
+_LOGGER = logging.getLogger(__name__)
+
+#: One unit of pool work: everything a worker needs to simulate and measure.
+_RunTask = Tuple[Workload, str, SimulationConfig, Tuple[CollectorSpec, ...]]
+
+
+def _execute_run(task: _RunTask) -> Dict[str, Any]:
+    """Run one (workload, algorithm) cell and evaluate its collectors.
+
+    Module-level so the pool can pickle it by reference; recorders are
+    instantiated per run from their registered names.
+    """
+    workload, algorithm, simulation_config, collector_specs = task
+    collectors = [
+        create_collector(spec.name, **spec.options_dict())
+        for spec in collector_specs
+    ]
+    recorder_names: Dict[str, None] = {}
+    for collector in collectors:
+        for name in collector.recorders:
+            recorder_names.setdefault(name, None)
+    recorders = {name: create_recorder(name) for name in recorder_names}
+    simulator = Simulator(
+        workload.cluster,
+        create_scheduler(algorithm),
+        simulation_config,
+        observers=list(recorders.values()) or None,
+    )
+    result = simulator.run(workload.jobs)
+    metrics: Dict[str, Any] = {}
+    for collector in collectors:
+        metrics.update(collector.collect(result, recorders, workload))
+    return metrics
+
+
+class Campaign:
+    """Execute scenarios into :class:`~repro.campaign.result.CampaignResult`.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes for the run-grid fan-out (``None``/1 = serial,
+        ``<= 0`` = one per CPU); results are identical either way.
+    cache_dir:
+        Directory for the resumable run cache, keyed by scenario hash.
+        ``None`` disables caching.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: Optional[int] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.workers = workers
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+
+    # -- cache -----------------------------------------------------------------
+    def _cache_path(self, digest: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{digest}.json"
+
+    def _load_cache(
+        self, digest: str
+    ) -> Tuple[Dict[str, Dict[str, Any]], Optional[int]]:
+        """Cached run entries (``{"workload": name, "metrics": {...}}`` per
+        key) plus the instance count, so fully cached reruns skip workload
+        generation entirely."""
+        path = self._cache_path(digest)
+        if path is None or not path.exists():
+            return {}, None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            _LOGGER.warning("ignoring unreadable campaign cache %s: %s", path, error)
+            return {}, None
+        if payload.get("scenario_hash") != digest:
+            _LOGGER.warning("ignoring mismatched campaign cache %s", path)
+            return {}, None
+        runs = dict(payload.get("runs", {}))
+        if any(
+            not isinstance(entry, Mapping)
+            or "metrics" not in entry
+            or "workload" not in entry
+            for entry in runs.values()
+        ):
+            _LOGGER.warning("ignoring incompatible campaign cache %s", path)
+            return {}, None
+        num_instances = payload.get("num_instances")
+        return runs, num_instances if isinstance(num_instances, int) else None
+
+    def _store_cache(
+        self,
+        digest: str,
+        scenario: Scenario,
+        runs: Mapping[str, Mapping[str, Any]],
+        num_instances: int,
+    ) -> None:
+        path = self._cache_path(digest)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "scenario_hash": digest,
+            "scenario": scenario.to_dict(),
+            "num_instances": num_instances,
+            "runs": dict(runs),
+        }
+        # The whole file is rewritten after every finished cell (that is what
+        # makes interrupted campaigns resumable), so keep it compact — with
+        # sample-vector collectors the accumulated payload can get large.
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")),
+            encoding="utf-8",
+        )
+        tmp.replace(path)
+
+    # -- execution -------------------------------------------------------------
+    def run(self, scenario: Scenario) -> CampaignResult:
+        """Run one scenario (or load/complete it from the cache).
+
+        Workload generation is lazy: a rerun whose runs are all cached reads
+        everything (metrics and workload names) from the cache file and never
+        touches the workload source.
+        """
+        from ..experiments.parallel import map_tasks
+
+        digest = scenario_hash(scenario)
+        cached, num_instances = self._load_cache(digest)
+        cells = scenario.expand()
+        simulation_config = scenario.simulation_config()
+
+        raw_workloads: Optional[List[Workload]] = None
+
+        def raw() -> List[Workload]:
+            nonlocal raw_workloads
+            if raw_workloads is None:
+                raw_workloads = scenario.source.workloads(
+                    scenario.cluster, workers=self.workers
+                )
+                if not raw_workloads:
+                    raise ReproError(
+                        f"scenario {scenario.name!r}: workload source produced "
+                        "no instances"
+                    )
+            return raw_workloads
+
+        if num_instances is None:
+            num_instances = len(raw())
+
+        # Memoised per load value, not per cell: in a cross sweep many cells
+        # share a load, and rescaling every instance once per cell would
+        # repeat identical work.
+        scaled_cache: Dict[Any, List[Workload]] = {}
+
+        def workloads_at(load: Any) -> List[Workload]:
+            if load is None:
+                return raw()
+            if load not in scaled_cache:
+                scaled_cache[load] = [
+                    scale_to_load(workload, float(load)) for workload in raw()
+                ]
+            return scaled_cache[load]
+
+        rows: List[RunRecord] = []
+        for cell in cells:
+            params = cell.params_dict()
+            load = params.get("load")
+            algorithms = scenario.resolved_algorithms(params)
+
+            pending: List[_RunTask] = []
+            pending_keys: List[str] = []
+            cell_keys: List[Tuple[str, int, str]] = []
+            for instance_index in range(num_instances):
+                for algorithm in algorithms:
+                    key = f"{cell.index}/{instance_index}/{algorithm}"
+                    cell_keys.append((key, instance_index, algorithm))
+                    if key not in cached:
+                        workload = workloads_at(load)[instance_index]
+                        pending.append(
+                            (workload, algorithm, simulation_config,
+                             scenario.collectors)
+                        )
+                        pending_keys.append(key)
+
+            if pending:
+                _LOGGER.debug(
+                    "scenario %s cell %d: running %d of %d cells",
+                    scenario.name, cell.index, len(pending), len(cell_keys),
+                )
+                outcomes = map_tasks(_execute_run, pending, workers=self.workers)
+                for key, metrics in zip(pending_keys, outcomes):
+                    instance_index = int(key.split("/", 2)[1])
+                    cached[key] = {
+                        "workload": workloads_at(load)[instance_index].name,
+                        "metrics": metrics,
+                    }
+                # Persist after every cell so an interrupted campaign resumes
+                # from the last finished cell instead of from scratch.
+                self._store_cache(digest, scenario, cached, num_instances)
+
+            for key, instance_index, algorithm in cell_keys:
+                entry = cached[key]
+                rows.append(
+                    RunRecord(
+                        cell_index=cell.index,
+                        instance_index=instance_index,
+                        workload=str(entry["workload"]),
+                        algorithm=algorithm,
+                        params=cell.params,
+                        metrics=entry["metrics"],
+                    )
+                )
+
+        return CampaignResult(
+            scenario=scenario.to_dict(), scenario_hash=digest, rows=rows
+        )
+
+    def run_many(self, scenarios: Iterable[Scenario]) -> Dict[str, CampaignResult]:
+        """Run several scenarios, returned as a name-keyed mapping."""
+        results: Dict[str, CampaignResult] = {}
+        for scenario in scenarios:
+            if scenario.name in results:
+                raise ReproError(f"duplicate scenario name {scenario.name!r}")
+            results[scenario.name] = self.run(scenario)
+        return results
+
+
+def export_campaign_artifacts(
+    results: Sequence[CampaignResult],
+    directory: Union[str, Path],
+) -> List[Path]:
+    """Write each result's tidy rows (CSV) and full payload (JSON) to a directory.
+
+    File names are ``<scenario-name>-<hash>.rows.csv`` / ``.json``; the paths
+    written are returned in order.
+    """
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for result in results:
+        # Scenario names are validated to a filename-safe charset, but a
+        # hand-built CampaignResult can carry anything — sanitise defensively.
+        safe_name = re.sub(r"[^A-Za-z0-9._-]", "_", result.name) or "campaign"
+        stem = f"{safe_name}-{result.scenario_hash}"
+        json_path = target / f"{stem}.json"
+        result.to_json(json_path)
+        written.append(json_path)
+        csv_path = target / f"{stem}.rows.csv"
+        result.rows_to_csv(csv_path)
+        written.append(csv_path)
+    return written

@@ -1,0 +1,531 @@
+"""Scenario specification: the declarative half of the campaign layer.
+
+A :class:`Scenario` is a frozen description of one study: a workload source,
+the cluster it targets, the algorithm set (possibly templated on sweep-axis
+values), the rescheduling penalty, the sweep axes, the metric collectors, and
+the engine options.  Scenarios are pure data — they can be built in code, be
+loaded from a JSON/TOML spec file (:mod:`repro.campaign.spec`), and be hashed
+stably across processes (:func:`scenario_hash`), which is what keys the
+executor's resumable run cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..core.cluster import Cluster
+from ..core.engine import SimulationConfig
+from ..core.penalties import ReschedulingPenaltyModel
+from ..exceptions import ConfigurationError
+from ..workloads.model import Workload
+
+__all__ = [
+    "WorkloadSource",
+    "LublinSource",
+    "Hpc2nLikeSource",
+    "SwfSource",
+    "CustomSource",
+    "CollectorSpec",
+    "Cell",
+    "Scenario",
+    "payload_hash",
+    "scenario_hash",
+    "scenario_from_dict",
+    "source_from_dict",
+]
+
+#: Default cluster of the paper's synthetic experiments.
+_DEFAULT_CLUSTER = Cluster(128, 4, 8.0)
+
+
+# --------------------------------------------------------------------------- #
+# Workload sources                                                             #
+# --------------------------------------------------------------------------- #
+class WorkloadSource:
+    """A named, deterministic producer of workload instances.
+
+    Sources generate the *raw* (unscaled) instances of a scenario once per
+    campaign run; per-cell offered-load scaling (the ``load`` sweep axis) is
+    applied by the executor on top, so every source composes with load sweeps
+    for free.
+    """
+
+    kind: str = "abstract"
+
+    def workloads(
+        self, cluster: Cluster, *, workers: Optional[int] = None
+    ) -> List[Workload]:
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LublinSource(WorkloadSource):
+    """Synthetic traces from the Lublin-Feitelson model (paper §IV-C)."""
+
+    num_traces: int = 3
+    num_jobs: int = 150
+    seed_base: int = 2010
+
+    kind = "lublin"
+
+    def workloads(
+        self, cluster: Cluster, *, workers: Optional[int] = None
+    ) -> List[Workload]:
+        # Delegate to the canonical per-trace seeding/naming scheme so that
+        # campaign traces are bit-identical to the legacy drivers'.
+        from ..experiments.config import ExperimentConfig
+        from ..experiments.parallel import generate_instances
+
+        config = ExperimentConfig(
+            cluster=cluster,
+            num_traces=self.num_traces,
+            num_jobs=self.num_jobs,
+            seed_base=self.seed_base,
+        )
+        return generate_instances(config, load=None, workers=workers)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": self.kind,
+            "num_traces": self.num_traces,
+            "num_jobs": self.num_jobs,
+            "seed_base": self.seed_base,
+        }
+
+
+@dataclass(frozen=True)
+class Hpc2nLikeSource(WorkloadSource):
+    """HPC2N-like synthetic 1-week segments (the paper's real-world column).
+
+    The trace mimics the HPC2N machine, so scenarios reproducing the paper
+    should set the scenario cluster to
+    :data:`repro.workloads.hpc2n.HPC2N_CLUSTER` (the
+    :func:`~repro.campaign.studies.hpc2n_scenario` builder does); the source
+    honours whatever cluster the scenario declares.
+    """
+
+    weeks: int = 2
+    jobs_per_week: int = 400
+    seed_base: int = 2010
+
+    kind = "hpc2n-like"
+
+    def workloads(
+        self, cluster: Cluster, *, workers: Optional[int] = None
+    ) -> List[Workload]:
+        from ..workloads.hpc2n import Hpc2nLikeTraceGenerator
+
+        generator = Hpc2nLikeTraceGenerator(cluster, jobs_per_week=self.jobs_per_week)
+        return [
+            generator.generate_workload(1, seed=self.seed_base + week)
+            for week in range(self.weeks)
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": self.kind,
+            "weeks": self.weeks,
+            "jobs_per_week": self.jobs_per_week,
+            "seed_base": self.seed_base,
+        }
+
+
+@dataclass(frozen=True)
+class SwfSource(WorkloadSource):
+    """Jobs parsed from a Standard Workload Format trace file.
+
+    With ``segment_seconds`` set, the trace is split into consecutive
+    fixed-duration segments (the paper's 1-week HPC2N split), each of which
+    becomes one instance of the scenario.
+    """
+
+    path: str = ""
+    segment_seconds: Optional[float] = None
+
+    kind = "swf"
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ConfigurationError("SwfSource needs a trace file path")
+
+    def workloads(
+        self, cluster: Cluster, *, workers: Optional[int] = None
+    ) -> List[Workload]:
+        from ..workloads.hpc2n import swf_to_dfrs_jobs
+        from ..workloads.swf import parse_swf
+
+        workload = swf_to_dfrs_jobs(parse_swf(self.path), cluster)
+        if self.segment_seconds is None:
+            return [workload]
+        return workload.segments(self.segment_seconds)
+
+    def _content_fingerprint(self) -> Optional[str]:
+        """Digest of the trace file, hashed once per source object.
+
+        Memoised because the executor serialises the scenario once per
+        finished cell; the file cannot meaningfully change mid-run, and a
+        rerun constructs a fresh source (fresh fingerprint) anyway.
+        """
+        cached = getattr(self, "_content_cache", None)
+        if cached is None:
+            try:
+                cached = hashlib.sha256(
+                    Path(self.path).read_bytes()
+                ).hexdigest()[:16]
+            except OSError:
+                cached = ""
+            object.__setattr__(self, "_content_cache", cached)
+        return cached or None
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "type": self.kind,
+            "path": self.path,
+            "segment_seconds": self.segment_seconds,
+        }
+        # Fold a content fingerprint into the canonical form (and therefore
+        # into the scenario hash) so that editing the trace file in place
+        # invalidates the run cache instead of silently serving stale rows.
+        fingerprint = self._content_fingerprint()
+        if fingerprint is not None:
+            data["content"] = fingerprint
+        return data
+
+
+@dataclass(frozen=True)
+class CustomSource(WorkloadSource):
+    """Arbitrary user-supplied workload factory.
+
+    ``factory`` receives the scenario cluster and returns the instance list.
+    The ``key`` string stands in for the factory in the scenario hash, so two
+    custom sources hash equal iff their keys (and the rest of the scenario)
+    are equal — callers are responsible for keying distinct generators
+    distinctly.  Custom sources cannot be expressed in spec files.
+    """
+
+    factory: Callable[[Cluster], List[Workload]] = None  # type: ignore[assignment]
+    key: str = "custom"
+
+    kind = "custom"
+
+    def __post_init__(self) -> None:
+        if self.factory is None:
+            raise ConfigurationError("CustomSource needs a factory callable")
+
+    def workloads(
+        self, cluster: Cluster, *, workers: Optional[int] = None
+    ) -> List[Workload]:
+        return list(self.factory(cluster))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": self.kind, "key": self.key}
+
+
+_SOURCE_TYPES: Dict[str, Callable[..., WorkloadSource]] = {
+    "lublin": LublinSource,
+    "hpc2n-like": Hpc2nLikeSource,
+    "swf": SwfSource,
+}
+
+
+def source_from_dict(data: Mapping[str, Any]) -> WorkloadSource:
+    """Build a workload source from its spec dictionary."""
+    payload = dict(data)
+    # The SWF content fingerprint is derived state (see SwfSource.to_dict),
+    # not a constructor argument.
+    payload.pop("content", None)
+    kind = payload.pop("type", None)
+    if kind is None:
+        raise ConfigurationError("workload source spec needs a 'type' field")
+    try:
+        factory = _SOURCE_TYPES[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload source type {kind!r}; known types: "
+            f"{', '.join(sorted(_SOURCE_TYPES))}"
+        ) from None
+    try:
+        return factory(**payload)
+    except TypeError as error:
+        raise ConfigurationError(
+            f"invalid options for workload source {kind!r}: {error}"
+        ) from None
+
+
+# --------------------------------------------------------------------------- #
+# Collector specs and sweep cells                                              #
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CollectorSpec:
+    """One metric collector requested by name, with optional constructor options."""
+
+    name: str
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(
+        cls, spec: Union[str, "CollectorSpec", Mapping[str, Any]]
+    ) -> "CollectorSpec":
+        """Coerce a string / mapping / spec into a canonical CollectorSpec."""
+        if isinstance(spec, CollectorSpec):
+            return spec
+        if isinstance(spec, str):
+            return cls(name=spec)
+        if isinstance(spec, Mapping):
+            name = spec.get("name")
+            if not name:
+                raise ConfigurationError("collector spec mapping needs a 'name'")
+            options = spec.get("options", {})
+            return cls(name=name, options=tuple(sorted(options.items())))
+        raise ConfigurationError(f"cannot interpret collector spec {spec!r}")
+
+    def options_dict(self) -> Dict[str, Any]:
+        return dict(self.options)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "options": self.options_dict()}
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of a scenario's sweep grid."""
+
+    index: int
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+
+# --------------------------------------------------------------------------- #
+# Scenario                                                                     #
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Scenario:
+    """Frozen, declarative description of one experimental study.
+
+    ``sweep`` maps axis names to value tuples; cells are the cross-product in
+    axis order.  The ``load`` axis is special-cased by the executor (instances
+    are rescaled to that offered load); every other axis is free-form and is
+    available to algorithm-name templates — an algorithm entry containing
+    ``{axis}`` placeholders is formatted with the cell parameters, so e.g.
+    ``"dynmcb8-asap-per-{period}"`` crossed with ``sweep={"period": (60,
+    600)}`` evaluates two periodic variants with zero driver code.
+    """
+
+    name: str
+    source: WorkloadSource
+    algorithms: Tuple[str, ...]
+    cluster: Cluster = _DEFAULT_CLUSTER
+    penalty_seconds: float = 0.0
+    sweep: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+    collectors: Tuple[CollectorSpec, ...] = (CollectorSpec("stretch"),)
+    legacy_event_loop: bool = False
+    record_scheduler_times: bool = True
+
+    def __post_init__(self) -> None:
+        # Names end up in cache keys and exported file names.
+        if not re.fullmatch(r"[A-Za-z0-9._-]+", self.name or ""):
+            raise ConfigurationError(
+                f"scenario name {self.name!r} must be non-empty and use only "
+                "letters, digits, '.', '_', and '-'"
+            )
+        if isinstance(self.algorithms, str):
+            raise ConfigurationError(
+                "algorithms must be a sequence of names, not a bare string"
+            )
+        if not self.algorithms:
+            raise ConfigurationError("scenario algorithms must not be empty")
+        if self.penalty_seconds < 0:
+            raise ConfigurationError("penalty_seconds must be >= 0")
+        object.__setattr__(self, "algorithms", tuple(self.algorithms))
+        sweep = self.sweep
+        if isinstance(sweep, Mapping):
+            sweep = tuple(sweep.items())
+        for axis, values in sweep:
+            if isinstance(values, str) or not isinstance(values, (list, tuple)):
+                raise ConfigurationError(
+                    f"sweep axis {axis!r} must map to a list of values, "
+                    f"got {values!r}"
+                )
+        sweep = tuple((axis, tuple(values)) for axis, values in sweep)
+        for axis, values in sweep:
+            if not values:
+                raise ConfigurationError(f"sweep axis {axis!r} must not be empty")
+        axes = [axis for axis, _ in sweep]
+        if len(axes) != len(set(axes)):
+            raise ConfigurationError("sweep axes must be unique")
+        object.__setattr__(self, "sweep", sweep)
+        object.__setattr__(
+            self,
+            "collectors",
+            tuple(CollectorSpec.of(spec) for spec in self.collectors),
+        )
+
+    # -- grid expansion --------------------------------------------------------
+    def expand(self) -> List[Cell]:
+        """Cross-product of the sweep axes, in axis order (one cell if empty)."""
+        if not self.sweep:
+            return [Cell(index=0)]
+        axes = [axis for axis, _ in self.sweep]
+        cells = []
+        for index, combo in enumerate(
+            itertools.product(*(values for _, values in self.sweep))
+        ):
+            cells.append(Cell(index=index, params=tuple(zip(axes, combo))))
+        return cells
+
+    def resolved_algorithms(self, params: Mapping[str, Any]) -> List[str]:
+        """Algorithm names of one cell, with ``{axis}`` templates filled in.
+
+        Duplicates (listed twice, or distinct templates resolving to the same
+        name in this cell) are dropped keeping the first occurrence — one run
+        per ``(instance, algorithm)`` pair, as the legacy drivers' per-name
+        result dictionaries guaranteed.
+        """
+        names: Dict[str, None] = {}
+        for template in self.algorithms:
+            if "{" in template:
+                try:
+                    names.setdefault(template.format(**dict(params)), None)
+                except (KeyError, IndexError, ValueError) as error:
+                    raise ConfigurationError(
+                        f"algorithm template {template!r} cannot be formatted "
+                        f"with cell parameters {dict(params)!r}: {error}"
+                    ) from None
+            else:
+                names.setdefault(template, None)
+        return list(names)
+
+    def simulation_config(self) -> SimulationConfig:
+        """Engine configuration shared by every run of this scenario."""
+        return SimulationConfig(
+            penalty_model=ReschedulingPenaltyModel(self.penalty_seconds),
+            record_scheduler_times=self.record_scheduler_times,
+            legacy_event_loop=self.legacy_event_loop,
+        )
+
+    # -- serialisation ---------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical spec dictionary (what the scenario hash is computed over)."""
+        return {
+            "name": self.name,
+            "source": self.source.to_dict(),
+            "cluster": {
+                "nodes": self.cluster.num_nodes,
+                "cores_per_node": self.cluster.cores_per_node,
+                "node_memory_gb": self.cluster.node_memory_gb,
+            },
+            "algorithms": list(self.algorithms),
+            "penalty_seconds": self.penalty_seconds,
+            "sweep": [[axis, list(values)] for axis, values in self.sweep],
+            "collectors": [spec.to_dict() for spec in self.collectors],
+            "engine": {
+                "legacy_event_loop": self.legacy_event_loop,
+                "record_scheduler_times": self.record_scheduler_times,
+            },
+        }
+
+    def with_penalty(self, penalty_seconds: float) -> "Scenario":
+        return replace(self, penalty_seconds=penalty_seconds)
+
+
+def scenario_from_dict(data: Mapping[str, Any]) -> Scenario:
+    """Build a scenario from a spec dictionary (inverse of ``to_dict``)."""
+    payload = dict(data)
+    unknown = set(payload) - {
+        "name", "source", "cluster", "algorithms", "penalty_seconds",
+        "sweep", "collectors", "engine",
+    }
+    if unknown:
+        raise ConfigurationError(
+            f"unknown scenario spec fields: {', '.join(sorted(unknown))}"
+        )
+    if "source" not in payload:
+        raise ConfigurationError("scenario spec needs a 'source' field")
+    if "algorithms" not in payload:
+        raise ConfigurationError("scenario spec needs an 'algorithms' field")
+    cluster_spec = payload.get("cluster", {})
+    unknown_cluster = set(cluster_spec) - {"nodes", "cores_per_node", "node_memory_gb"}
+    if unknown_cluster:
+        raise ConfigurationError(
+            f"unknown cluster spec fields: {', '.join(sorted(unknown_cluster))} "
+            "(known: nodes, cores_per_node, node_memory_gb)"
+        )
+    cluster = Cluster(
+        num_nodes=int(cluster_spec.get("nodes", _DEFAULT_CLUSTER.num_nodes)),
+        cores_per_node=int(
+            cluster_spec.get("cores_per_node", _DEFAULT_CLUSTER.cores_per_node)
+        ),
+        node_memory_gb=float(
+            cluster_spec.get("node_memory_gb", _DEFAULT_CLUSTER.node_memory_gb)
+        ),
+    )
+    sweep_spec = payload.get("sweep", ())
+    # Axis values are validated (and coerced to tuples) by Scenario itself,
+    # so a scalar like {"load": 0.5} gets a ConfigurationError, not a
+    # TypeError.
+    if isinstance(sweep_spec, Mapping):
+        sweep = tuple(sweep_spec.items())
+    else:
+        sweep = tuple((axis, values) for axis, values in sweep_spec)
+    engine = payload.get("engine", {})
+    unknown_engine = set(engine) - {"legacy_event_loop", "record_scheduler_times"}
+    if unknown_engine:
+        raise ConfigurationError(
+            f"unknown engine spec fields: {', '.join(sorted(unknown_engine))} "
+            "(known: legacy_event_loop, record_scheduler_times)"
+        )
+    return Scenario(
+        name=payload.get("name", "scenario"),
+        source=source_from_dict(payload["source"]),
+        # Passed through untupled so Scenario's own bare-string guard fires
+        # on "algorithms": "easy" instead of tuple() splitting it into chars.
+        algorithms=payload["algorithms"],
+        cluster=cluster,
+        penalty_seconds=float(payload.get("penalty_seconds", 0.0)),
+        sweep=sweep,
+        collectors=tuple(
+            CollectorSpec.of(spec)
+            for spec in payload.get("collectors", ("stretch",))
+        ),
+        legacy_event_loop=bool(engine.get("legacy_event_loop", False)),
+        record_scheduler_times=bool(engine.get("record_scheduler_times", True)),
+    )
+
+
+def payload_hash(payload: Mapping[str, Any]) -> str:
+    """Stable 16-hex-digit digest of a JSON-serialisable spec dictionary.
+
+    Computed over sorted-key canonical JSON, so it is identical across
+    processes, platforms, and Python versions.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def scenario_hash(scenario: Scenario) -> str:
+    """Stable digest of a scenario's canonical spec (:meth:`Scenario.to_dict`).
+
+    The key of the executor's resumable run cache.
+    """
+    return payload_hash(scenario.to_dict())

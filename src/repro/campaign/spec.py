@@ -1,0 +1,74 @@
+"""Load scenarios from JSON/TOML spec files — ``repro-dfrs run``'s input.
+
+A spec file is the :meth:`~repro.campaign.scenario.Scenario.to_dict` shape::
+
+    {
+      "name": "load-period-cross",
+      "cluster": {"nodes": 64, "cores_per_node": 4, "node_memory_gb": 8.0},
+      "source": {"type": "lublin", "num_traces": 2, "num_jobs": 60,
+                 "seed_base": 2010},
+      "algorithms": ["easy", "dynmcb8-asap-per-{period}"],
+      "penalty_seconds": 300,
+      "sweep": {"load": [0.3, 0.7], "period": [60, 600]},
+      "collectors": ["stretch", "costs"]
+    }
+
+``sweep`` may be a mapping (axis order = key order) or a list of
+``[axis, [values...]]`` pairs.  TOML files need Python 3.11+ (the standard
+library ``tomllib``); JSON works everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..exceptions import ConfigurationError
+from .scenario import Scenario, scenario_from_dict
+
+__all__ = ["load_scenario", "scenario_from_spec_text"]
+
+
+def scenario_from_spec_text(text: str, *, format: str = "json") -> Scenario:
+    """Parse a scenario from spec text in the given format (json or toml)."""
+    format = format.lower()
+    if format == "json":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"invalid JSON scenario spec: {error}") from None
+    elif format == "toml":
+        try:
+            import tomllib
+        except ImportError:  # pragma: no cover - version-dependent
+            raise ConfigurationError(
+                "TOML scenario specs need Python 3.11+ (stdlib tomllib); "
+                "use a JSON spec instead"
+            ) from None
+        try:
+            payload = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as error:
+            raise ConfigurationError(f"invalid TOML scenario spec: {error}") from None
+    else:
+        raise ConfigurationError(
+            f"unknown scenario spec format {format!r} (json or toml)"
+        )
+    if not isinstance(payload, dict):
+        raise ConfigurationError("scenario spec must be a mapping at top level")
+    return scenario_from_dict(payload)
+
+
+def load_scenario(path: Union[str, Path]) -> Scenario:
+    """Load a scenario from a ``.json`` or ``.toml`` spec file."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix not in (".json", ".toml"):
+        raise ConfigurationError(
+            f"scenario spec {path} must end in .json or .toml"
+        )
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise ConfigurationError(f"cannot read scenario spec {path}: {error}") from None
+    return scenario_from_spec_text(text, format=suffix[1:])

@@ -1,0 +1,240 @@
+"""Scenario builders for the repository's standard studies.
+
+Every experiment driver in :mod:`repro.experiments` is a thin wrapper that
+builds its scenario(s) here, runs them through a
+:class:`~repro.campaign.executor.Campaign`, and formats the rows.  The
+builders take the familiar :class:`~repro.experiments.config.ExperimentConfig`
+so that scale knobs (traces, jobs, loads, seeds) stay in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from .scenario import CollectorSpec, Hpc2nLikeSource, LublinSource, Scenario
+
+__all__ = [
+    "lublin_source",
+    "scaled_scenario",
+    "unscaled_scenario",
+    "hpc2n_scenario",
+    "figure1_scenario",
+    "table1_scenarios",
+    "table2_scenario",
+    "extensions_scenario",
+    "period_sweep_scenario",
+    "utilization_scenario",
+    "timing_scenario",
+    "compare_scenario",
+]
+
+_STRETCH = (CollectorSpec("stretch"),)
+_STRETCH_AND_COSTS = (CollectorSpec("stretch"), CollectorSpec("costs"))
+
+
+def lublin_source(config, *, num_traces: Optional[int] = None) -> LublinSource:
+    """The synthetic-trace source of an experiment configuration."""
+    return LublinSource(
+        num_traces=config.num_traces if num_traces is None else num_traces,
+        num_jobs=config.num_jobs,
+        seed_base=config.seed_base,
+    )
+
+
+def scaled_scenario(
+    name: str,
+    config,
+    *,
+    penalty_seconds: float,
+    algorithms: Optional[Sequence[str]] = None,
+    collectors: Tuple[CollectorSpec, ...] = _STRETCH,
+    loads: Optional[Sequence[float]] = None,
+) -> Scenario:
+    """Synthetic traces swept over offered-load levels."""
+    return Scenario(
+        name=name,
+        source=lublin_source(config),
+        cluster=config.cluster,
+        algorithms=tuple(algorithms if algorithms is not None else config.algorithms),
+        penalty_seconds=penalty_seconds,
+        sweep=(("load", tuple(loads if loads is not None else config.load_levels)),),
+        collectors=collectors,
+    )
+
+
+def unscaled_scenario(
+    name: str,
+    config,
+    *,
+    penalty_seconds: float,
+    algorithms: Optional[Sequence[str]] = None,
+    collectors: Tuple[CollectorSpec, ...] = _STRETCH,
+) -> Scenario:
+    """Synthetic traces straight out of the Lublin model (no load scaling)."""
+    return Scenario(
+        name=name,
+        source=lublin_source(config),
+        cluster=config.cluster,
+        algorithms=tuple(algorithms if algorithms is not None else config.algorithms),
+        penalty_seconds=penalty_seconds,
+        collectors=collectors,
+    )
+
+
+def hpc2n_scenario(
+    name: str,
+    config,
+    *,
+    penalty_seconds: float,
+    algorithms: Optional[Sequence[str]] = None,
+) -> Scenario:
+    """HPC2N-like 1-week segments (the real-world Table I column).
+
+    The scenario cluster is the HPC2N machine itself, not ``config.cluster``
+    — the paper's real-world column simulates the traced system.
+    """
+    from ..workloads.hpc2n import HPC2N_CLUSTER
+
+    return Scenario(
+        name=name,
+        source=Hpc2nLikeSource(
+            weeks=config.hpc2n_weeks,
+            jobs_per_week=config.hpc2n_jobs_per_week,
+            seed_base=config.seed_base,
+        ),
+        cluster=HPC2N_CLUSTER,
+        algorithms=tuple(algorithms if algorithms is not None else config.algorithms),
+        penalty_seconds=penalty_seconds,
+    )
+
+
+def figure1_scenario(config, *, penalty_seconds: float) -> Scenario:
+    """The Figure 1 sweep: degradation factor vs. offered load."""
+    return scaled_scenario("figure1", config, penalty_seconds=penalty_seconds)
+
+
+def table1_scenarios(config, *, penalty_seconds: float) -> Dict[str, Scenario]:
+    """The three Table I workload families, keyed by column name."""
+    return {
+        "scaled": scaled_scenario(
+            "table1-scaled", config, penalty_seconds=penalty_seconds
+        ),
+        "unscaled": unscaled_scenario(
+            "table1-unscaled", config, penalty_seconds=penalty_seconds
+        ),
+        "real": hpc2n_scenario(
+            "table1-real", config, penalty_seconds=penalty_seconds
+        ),
+    }
+
+
+def table2_scenario(
+    config,
+    *,
+    penalty_seconds: float,
+    algorithms: Sequence[str],
+    high_load_threshold: float,
+) -> Scenario:
+    """The Table II study: preemption/migration costs under high load."""
+    loads = [load for load in config.load_levels if load >= high_load_threshold]
+    if not loads:
+        raise ValueError(
+            "Table II needs at least one load level >= "
+            f"{high_load_threshold}; got {config.load_levels}"
+        )
+    return scaled_scenario(
+        "table2",
+        config,
+        penalty_seconds=penalty_seconds,
+        algorithms=algorithms,
+        collectors=(CollectorSpec("costs"),),
+        loads=loads,
+    )
+
+
+def extensions_scenario(
+    config, *, penalty_seconds: float, algorithms: Sequence[str]
+) -> Scenario:
+    """The extension-scheduler comparison over the scaled synthetic traces."""
+    if not algorithms:
+        raise ConfigurationError("algorithms must not be empty")
+    return scaled_scenario(
+        "extensions", config, penalty_seconds=penalty_seconds, algorithms=algorithms
+    )
+
+
+def period_sweep_scenario(
+    config,
+    *,
+    base_algorithm: str,
+    periods: Sequence[float],
+    load: float,
+    penalty_seconds: float,
+) -> Scenario:
+    """The scheduling-period sensitivity sweep for one periodic algorithm."""
+    if not periods:
+        raise ConfigurationError("periods must not be empty")
+    for period in periods:
+        if period <= 0:
+            raise ConfigurationError(f"periods must be > 0, got {period}")
+    return Scenario(
+        name="period-sweep",
+        source=lublin_source(config),
+        cluster=config.cluster,
+        algorithms=(f"{base_algorithm}-{{period}}",),
+        penalty_seconds=penalty_seconds,
+        sweep=(("load", (load,)), ("period", tuple(int(p) for p in periods))),
+        collectors=_STRETCH_AND_COSTS,
+    )
+
+
+def utilization_scenario(
+    config,
+    *,
+    load: float,
+    penalty_seconds: float,
+    algorithms: Optional[Sequence[str]] = None,
+    power_options: Optional[Dict[str, float]] = None,
+) -> Scenario:
+    """The utilization/energy/fairness study on one synthetic trace."""
+    names = tuple(algorithms if algorithms is not None else config.algorithms)
+    if not names:
+        raise ConfigurationError("algorithms must not be empty")
+    utilization = CollectorSpec(
+        "utilization", options=tuple(sorted((power_options or {}).items()))
+    )
+    return Scenario(
+        name="utilization",
+        source=lublin_source(config, num_traces=1),
+        cluster=config.cluster,
+        algorithms=names,
+        penalty_seconds=penalty_seconds,
+        sweep=(("load", (load,)),),
+        collectors=(CollectorSpec("stretch"), utilization),
+    )
+
+
+def timing_scenario(config, *, algorithm: str) -> Scenario:
+    """The §V scheduling-time study on the unscaled synthetic traces."""
+    return Scenario(
+        name="timing",
+        source=lublin_source(config),
+        cluster=config.cluster,
+        algorithms=(algorithm,),
+        penalty_seconds=0.0,
+        collectors=(CollectorSpec("timing"),),
+    )
+
+
+def compare_scenario(config, *, load: float) -> Scenario:
+    """Single-trace exploratory comparison (the ``compare`` subcommand)."""
+    return Scenario(
+        name="compare",
+        source=lublin_source(config, num_traces=1),
+        cluster=config.cluster,
+        algorithms=tuple(config.algorithms),
+        penalty_seconds=config.penalty_seconds,
+        sweep=(("load", (load,)),),
+        collectors=_STRETCH_AND_COSTS,
+    )

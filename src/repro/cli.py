@@ -21,15 +21,32 @@ Ablation and extension studies beyond the paper's artifacts:
   the paper's best algorithm;
 * ``characterize``     — the §I workload statistics (memory/CPU under-use,
   width histogram) for a synthetic trace or any SWF file.
+
+Campaign-layer subcommands:
+
+* ``run``        — execute any scenario described in a JSON/TOML spec file
+  (see :mod:`repro.campaign.spec`) with zero new driver code;
+* ``algorithms`` — list the scheduler registry with its name grammar.
+
+Every experiment subcommand honours ``--export-dir PATH`` (write the tidy
+per-run rows and full campaign payloads as CSV/JSON).  The
+simulation-backed subcommands also honour ``--cache-dir PATH`` (resume
+interrupted campaigns from the on-disk run cache); ``packing-ablation``
+runs no simulations and keeps no run cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
+from pathlib import Path
 from typing import List, Optional, Sequence
 
+from .campaign.executor import Campaign, export_campaign_artifacts
+from .campaign.spec import load_scenario
+from .campaign.studies import compare_scenario
 from .core.cluster import Cluster
 from .experiments.config import ExperimentConfig, default_scale
 from .experiments.extensions import run_extensions_comparison
@@ -37,12 +54,11 @@ from .experiments.figure1 import run_figure1
 from .experiments.packing_ablation import run_packing_ablation
 from .experiments.period_sweep import run_period_sweep
 from .experiments.reporting import format_table
-from .experiments.runner import generate_synthetic_instances, run_instance
 from .experiments.table1 import run_table1
 from .experiments.table2 import run_table2
 from .experiments.timing import run_timing_study
 from .experiments.utilization_study import run_utilization_study
-from .schedulers.registry import PAPER_ALGORITHMS, available_algorithms
+from .schedulers.registry import algorithm_catalog
 from .workloads import (
     HPC2N_CLUSTER,
     characterization_table,
@@ -85,7 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "comma-separated algorithm names "
-            f"(known: {', '.join(available_algorithms())})"
+            "(run 'repro-dfrs algorithms' for the full list)"
         ),
     )
     parser.add_argument(
@@ -103,6 +119,24 @@ def build_parser() -> argparse.ArgumentParser:
             "worker processes for the instance x algorithm fan-out "
             "(default 1 = serial, 0 = one per CPU); results are identical "
             "to a serial run"
+        ),
+    )
+    parser.add_argument(
+        "--export-dir",
+        type=str,
+        default=None,
+        help=(
+            "write the campaign artifacts behind the printed output "
+            "(tidy per-run rows as CSV, full payload as JSON) to this directory"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help=(
+            "resumable campaign run cache: finished cells are persisted here "
+            "(keyed by scenario hash) and reloaded on rerun"
         ),
     )
 
@@ -165,6 +199,15 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--load", type=float, default=None, help="rescale the synthetic trace to this load"
     )
+
+    run = subparsers.add_parser(
+        "run", help="execute a scenario described in a JSON/TOML spec file"
+    )
+    run.add_argument("spec", type=str, help="path to the scenario spec file")
+
+    subparsers.add_parser(
+        "algorithms", help="list the scheduler registry and its name grammar"
+    )
     return parser
 
 
@@ -191,40 +234,51 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     return config
 
 
-def _run_compare(config: ExperimentConfig, load: float) -> str:
-    workload = generate_synthetic_instances(
-        replace(config, num_traces=1, load_levels=(load,)), load=load
-    )[0]
-    instance = run_instance(
-        workload, config.algorithms, penalty_seconds=config.penalty_seconds
-    )
+def _campaign_from_args(
+    args: argparse.Namespace, config: ExperimentConfig
+) -> Campaign:
+    return Campaign(workers=config.workers, cache_dir=args.cache_dir)
+
+
+def _run_compare(
+    config: ExperimentConfig, load: float, campaign: Campaign
+):
+    outcome = campaign.run(compare_scenario(config, load=load))
     rows = []
-    for name, result in instance.results.items():
+    for record in outcome.rows:
         rows.append(
             [
-                name,
-                result.max_stretch,
-                result.mean_stretch,
-                result.mean_turnaround,
-                result.preemptions_per_job(),
-                result.migrations_per_job(),
+                record.algorithm,
+                record.metric("max_stretch"),
+                record.metric("mean_stretch"),
+                record.metric("mean_turnaround"),
+                record.metric("pmtn_per_job"),
+                record.metric("migr_per_job"),
             ]
         )
-    return format_table(
+    workload_name = outcome.rows[0].workload if outcome.rows else "?"
+    text = format_table(
         ["algorithm", "max stretch", "mean stretch", "mean turnaround (s)",
          "pmtn/job", "migr/job"],
         rows,
         title=(
-            f"Single-trace comparison ({workload.name}, load {load}, "
+            f"Single-trace comparison ({workload_name}, load {load}, "
             f"{config.penalty_seconds:.0f}-second penalty)"
         ),
     )
+    return text, [outcome]
 
 
 def _run_characterize(
     config: ExperimentConfig, swf_path: Optional[str], load: Optional[float]
-) -> str:
-    """Profile either an SWF trace or a generated synthetic trace."""
+):
+    """Profile either an SWF trace or a generated synthetic trace.
+
+    Returns ``(text, workload)`` so the export path reuses the workload
+    instead of parsing/generating it a second time.
+    """
+    from .experiments.runner import generate_synthetic_instances
+
     if swf_path is not None:
         workload = swf_to_dfrs_jobs(parse_swf(swf_path), HPC2N_CLUSTER)
     else:
@@ -237,7 +291,35 @@ def _run_characterize(
     for label, count in size_histogram(workload):
         bar = "#" * max(1, round(40 * count / total))
         lines.append(f"  {label:>9s} tasks  {count:6d}  {bar}")
-    return "\n".join(lines)
+    return "\n".join(lines), workload
+
+
+def _format_algorithms() -> str:
+    """The ``algorithms`` subcommand body: registry listing with grammar."""
+    rows: List[List[object]] = []
+    for entry in algorithm_catalog():
+        if entry["periodic"]:
+            note = (
+                "periodic: optional -<seconds> suffix "
+                f"(default {entry['default_period']:.0f})"
+            )
+        elif entry["integer_suffix"]:
+            note = "optional -<rows> multiprogramming-level suffix"
+        else:
+            note = "fixed name"
+        rows.append(
+            [
+                entry["name"],
+                entry["grammar"],
+                "yes" if entry["paper"] else "-",
+                note,
+            ]
+        )
+    return format_table(
+        ["name", "grammar", "paper", "notes"],
+        rows,
+        title="Registered scheduling algorithms (pass with --algorithms)",
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -245,49 +327,93 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     config = _config_from_args(args)
+    campaign = _campaign_from_args(args, config)
 
+    campaigns = []
     if args.command == "figure1":
-        print(run_figure1(config).format())
+        result = run_figure1(config, campaign=campaign)
+        print(result.format())
+        campaigns = result.campaigns
     elif args.command == "table1":
-        print(run_table1(config).format())
+        result = run_table1(config, campaign=campaign)
+        print(result.format())
+        campaigns = result.campaigns
     elif args.command == "table2":
-        print(run_table2(config).format())
+        result = run_table2(config, campaign=campaign)
+        print(result.format())
+        campaigns = result.campaigns
     elif args.command == "timing":
-        print(run_timing_study(config).format())
+        result = run_timing_study(config, campaign=campaign)
+        print(result.format())
+        campaigns = result.campaigns
     elif args.command == "compare":
-        print(_run_compare(config, args.load))
+        text, campaigns = _run_compare(config, args.load, campaign)
+        print(text)
     elif args.command == "period-sweep":
         periods = tuple(float(part) for part in args.periods.split(",") if part.strip())
-        print(
-            run_period_sweep(
-                config,
-                base_algorithm=args.base_algorithm,
-                periods=periods,
-                load=args.load,
-            ).format()
+        result = run_period_sweep(
+            config,
+            base_algorithm=args.base_algorithm,
+            periods=periods,
+            load=args.load,
+            campaign=campaign,
         )
+        print(result.format())
+        campaigns = result.campaigns
     elif args.command == "packing-ablation":
-        print(
-            run_packing_ablation(
-                num_nodes=args.pack_nodes,
-                num_instances=args.pack_instances,
-                jobs_per_instance=args.pack_jobs,
-                seed=config.seed_base,
-            ).format()
+        result = run_packing_ablation(
+            num_nodes=args.pack_nodes,
+            num_instances=args.pack_instances,
+            jobs_per_instance=args.pack_jobs,
+            seed=config.seed_base,
+            workers=config.workers,
         )
+        print(result.format())
+        campaigns = result.campaigns
     elif args.command == "utilization":
-        print(run_utilization_study(config, load=args.load).format())
+        result = run_utilization_study(config, load=args.load, campaign=campaign)
+        print(result.format())
+        campaigns = result.campaigns
     elif args.command == "characterize":
-        print(_run_characterize(config, args.swf, args.load))
+        text, workload = _run_characterize(config, args.swf, args.load)
+        print(text)
+        if args.export_dir is not None:
+            target = Path(args.export_dir)
+            target.mkdir(parents=True, exist_ok=True)
+            if args.swf is not None:
+                # Key the artifact to the trace so profiling two traces into
+                # the same directory does not silently overwrite.
+                workload_label = f"swf-{Path(args.swf).stem}"
+            else:
+                workload_label = "synthetic"
+            profile_path = target / f"characterize-{workload_label}.json"
+            profile_path.write_text(
+                json.dumps(workload.statistics(), indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            print(f"wrote {profile_path}")
     elif args.command == "extensions":
         if args.algorithms is not None:
-            print(
-                run_extensions_comparison(config, algorithms=config.algorithms).format()
+            result = run_extensions_comparison(
+                config, algorithms=config.algorithms, campaign=campaign
             )
         else:
-            print(run_extensions_comparison(config).format())
+            result = run_extensions_comparison(config, campaign=campaign)
+        print(result.format())
+        campaigns = result.campaigns
+    elif args.command == "run":
+        scenario = load_scenario(args.spec)
+        outcome = campaign.run(scenario)
+        print(outcome.format_summary())
+        campaigns = [outcome]
+    elif args.command == "algorithms":
+        print(_format_algorithms())
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {args.command!r}")
+
+    if campaigns and args.export_dir is not None:
+        for path in export_campaign_artifacts(campaigns, args.export_dir):
+            print(f"wrote {path}")
     return 0
 
 

@@ -24,8 +24,9 @@ immutable specs/allocations and copies of aggregate counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ..exceptions import ConfigurationError
 from .allocation import JobAllocation
 from .cluster import Cluster
 from .job import JobSpec
@@ -38,6 +39,9 @@ __all__ = [
     "AllocationTraceRecorder",
     "UtilizationSample",
     "UtilizationRecorder",
+    "available_recorders",
+    "create_recorder",
+    "register_recorder",
 ]
 
 
@@ -366,3 +370,41 @@ class UtilizationRecorder(SimulationObserver):
     def peak_memory_used(self) -> float:
         """Largest total memory usage (in node units) observed."""
         return max((sample.memory_used for sample in self.samples), default=0.0)
+
+
+# --------------------------------------------------------------------------- #
+# Recorder registry                                                            #
+# --------------------------------------------------------------------------- #
+#: Name-constructible recorders.  The campaign layer ships recorder *names*
+#: (not instances) to worker processes, so anything pluggable into a
+#: :class:`repro.campaign.collectors.MetricCollector` must be registered here.
+_RECORDER_FACTORIES: Dict[str, Callable[[], SimulationObserver]] = {
+    "event-log": EventLogRecorder,
+    "allocation-trace": AllocationTraceRecorder,
+    "utilization": UtilizationRecorder,
+}
+
+
+def available_recorders() -> List[str]:
+    """Names accepted by :func:`create_recorder`."""
+    return sorted(_RECORDER_FACTORIES)
+
+
+def register_recorder(name: str, factory: Callable[[], SimulationObserver]) -> None:
+    """Register a recorder factory under a short name (idempotent per factory)."""
+    existing = _RECORDER_FACTORIES.get(name)
+    if existing is not None and existing is not factory:
+        raise ConfigurationError(f"recorder name {name!r} is already registered")
+    _RECORDER_FACTORIES[name] = factory
+
+
+def create_recorder(name: str) -> SimulationObserver:
+    """Instantiate a registered recorder from its name."""
+    try:
+        factory = _RECORDER_FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown recorder {name!r}; known recorders: "
+            f"{', '.join(available_recorders())}"
+        ) from None
+    return factory()

@@ -16,12 +16,13 @@ from .packing_ablation import (
     generate_packing_instances,
     run_packing_ablation,
 )
-from .parallel import generate_instances, resolve_workers
+from .parallel import generate_instances, map_tasks, resolve_workers
 from .period_sweep import DEFAULT_PERIODS, PeriodSweepResult, run_period_sweep
 from .reporting import format_figure_series, format_table
 from .runner import (
     InstanceResult,
     generate_synthetic_instances,
+    resolve_simulation_config,
     run_algorithm,
     run_instance,
     run_instances,
@@ -58,6 +59,8 @@ __all__ = [
     "InstanceResult",
     "generate_instances",
     "generate_synthetic_instances",
+    "map_tasks",
+    "resolve_simulation_config",
     "resolve_workers",
     "run_algorithm",
     "run_instance",

@@ -6,6 +6,9 @@ adds a conservative-backfilling batch baseline.  This experiment compares all
 of them against DYNMCB8-ASAP-PER (the paper's best algorithm) and against
 EASY on the scaled synthetic traces, using the same degradation-factor
 methodology as Table I.
+
+The driver is a thin builder over :mod:`repro.campaign` (the ``extensions``
+scenario is the Table I scaled scenario with a different algorithm set).
 """
 
 from __future__ import annotations
@@ -13,13 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..campaign.executor import Campaign
+from ..campaign.result import CampaignResult
+from ..campaign.studies import extensions_scenario
 from ..core.metrics import DegradationStats
 from ..exceptions import ConfigurationError
 from .config import ExperimentConfig
-from .degradation import aggregate_instances
 from .reporting import format_table
-from .parallel import generate_instances
-from .runner import run_instances
 
 __all__ = ["ExtensionsResult", "run_extensions_comparison", "EXTENSION_ALGORITHMS"]
 
@@ -41,6 +44,10 @@ class ExtensionsResult:
     penalty_seconds: float
     load_levels: Tuple[float, ...]
     stats: Dict[str, DegradationStats] = field(default_factory=dict)
+    #: Campaigns behind this artifact (for ``--export-dir`` persistence).
+    campaigns: List[CampaignResult] = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     def best_algorithm(self) -> str:
         if not self.stats:
@@ -70,22 +77,18 @@ def run_extensions_comparison(
     *,
     algorithms: Sequence[str] = EXTENSION_ALGORITHMS,
     penalty_seconds: Optional[float] = None,
+    campaign: Optional[Campaign] = None,
 ) -> ExtensionsResult:
     """Run the extension comparison at the configured scale."""
-    if not algorithms:
-        raise ConfigurationError("algorithms must not be empty")
     penalty = config.penalty_seconds if penalty_seconds is None else penalty_seconds
-    workloads = [
-        workload
-        for load in config.load_levels
-        for workload in generate_instances(config, load=load, workers=config.workers)
-    ]
-    outcomes = run_instances(
-        workloads, algorithms, penalty_seconds=penalty, workers=config.workers
+    scenario = extensions_scenario(
+        config, penalty_seconds=penalty, algorithms=algorithms
     )
-    aggregate = aggregate_instances(outcomes)
+    campaign = campaign or Campaign(workers=config.workers)
+    outcome = campaign.run(scenario)
     return ExtensionsResult(
         penalty_seconds=penalty,
         load_levels=tuple(config.load_levels),
-        stats=aggregate.stats(),
+        stats=outcome.degradation_stats(),
+        campaigns=[outcome],
     )

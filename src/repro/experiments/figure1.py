@@ -4,18 +4,23 @@ Figure 1(a) uses no rescheduling penalty; Figure 1(b) charges the 5-minute
 penalty.  Each data point of the paper is the average, over 100 instances, of
 the per-instance degradation factor at one load level; the reproduction runs
 the same sweep at a configurable scale.
+
+The driver is a thin builder over :mod:`repro.campaign`: it runs the
+``figure1`` scenario (synthetic traces × load axis) and reads the averages
+off the campaign rows.  Results are byte-identical to the pre-campaign
+implementation (see ``tests/experiments/test_golden_outputs.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Optional
 
+from ..campaign.executor import Campaign
+from ..campaign.result import CampaignResult
+from ..campaign.studies import figure1_scenario
 from .config import ExperimentConfig
-from .degradation import DegradationAggregate, aggregate_instances
 from .reporting import format_figure_series
-from .parallel import generate_instances
-from .runner import run_instances
 
 __all__ = ["Figure1Result", "run_figure1"]
 
@@ -27,6 +32,10 @@ class Figure1Result:
     penalty_seconds: float
     #: load level -> algorithm -> average degradation factor
     points: Dict[float, Dict[str, float]] = field(default_factory=dict)
+    #: Campaigns behind this artifact (for ``--export-dir`` persistence).
+    campaigns: List[CampaignResult] = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     def series(self) -> Dict[str, Dict[float, float]]:
         """Transpose to {algorithm -> {load -> average degradation factor}}."""
@@ -55,18 +64,13 @@ def run_figure1(
     config: ExperimentConfig,
     *,
     penalty_seconds: Optional[float] = None,
+    campaign: Optional[Campaign] = None,
 ) -> Figure1Result:
     """Run the Figure 1 sweep at the configured scale."""
     penalty = config.penalty_seconds if penalty_seconds is None else penalty_seconds
-    result = Figure1Result(penalty_seconds=penalty)
+    campaign = campaign or Campaign(workers=config.workers)
+    outcome = campaign.run(figure1_scenario(config, penalty_seconds=penalty))
+    result = Figure1Result(penalty_seconds=penalty, campaigns=[outcome])
     for load in config.load_levels:
-        instances = generate_instances(config, load=load, workers=config.workers)
-        outcomes = run_instances(
-            instances,
-            config.algorithms,
-            penalty_seconds=penalty,
-            workers=config.workers,
-        )
-        aggregate = aggregate_instances(outcomes)
-        result.points[load] = aggregate.averages()
+        result.points[load] = outcome.degradation_averages(load=load)
     return result

@@ -6,15 +6,23 @@ paper's job-mix distributions, every registered packer
 (:data:`repro.packing.PACKER_NAMES`) runs the same minimum-yield binary
 search, and the achieved yields are compared against each other and against
 the heuristic-independent CPU-capacity upper bound.
+
+The study has no simulation behind it, so it does not build a
+:class:`~repro.campaign.scenario.Scenario`; instead it rides the campaign
+layer's generic grid primitive (:func:`repro.experiments.parallel.map_tasks`,
+one task per ``packer × instance`` cell) and materialises its rows as a
+:class:`~repro.campaign.result.CampaignResult` for uniform export.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..campaign.result import CampaignResult, RunRecord
+from ..campaign.scenario import payload_hash
 from ..exceptions import ConfigurationError
 from ..packing import (
     PACKER_NAMES,
@@ -83,6 +91,10 @@ class PackingAblationResult:
     num_nodes: int
     num_instances: int
     scores: List[PackerScore] = field(default_factory=list)
+    #: Campaign rows behind this artifact (for ``--export-dir`` persistence).
+    campaigns: List[CampaignResult] = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     def ranking(self) -> List[str]:
         """Packer names sorted by decreasing mean achieved yield."""
@@ -118,6 +130,22 @@ class PackingAblationResult:
         )
 
 
+def _score_cell(task: Tuple[str, List[PackingJob], int]) -> Dict[str, float]:
+    """One ``packer × instance`` grid cell (module-level for the pool)."""
+    packer_name, jobs, num_nodes = task
+    packer = get_packer(packer_name)
+    bound = cpu_capacity_yield_bound(jobs, num_nodes)
+    outcome = maximize_min_yield(jobs, num_nodes, packer=packer)
+    if not outcome.success:
+        return {"min_yield": 0.0, "bound_ratio": 0.0, "bound": bound, "success": 0}
+    return {
+        "min_yield": outcome.yield_value,
+        "bound_ratio": outcome.yield_value / bound if bound > 0 else 1.0,
+        "bound": bound,
+        "success": 1,
+    }
+
+
 def run_packing_ablation(
     *,
     num_nodes: int = 32,
@@ -125,8 +153,11 @@ def run_packing_ablation(
     jobs_per_instance: int = 24,
     seed: int = 9,
     packers: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
 ) -> PackingAblationResult:
     """Compare every requested packer on a shared instance population."""
+    from .parallel import map_tasks
+
     if num_nodes < 1:
         raise ConfigurationError(f"num_nodes must be >= 1, got {num_nodes}")
     names = tuple(packers) if packers is not None else PACKER_NAMES
@@ -135,23 +166,51 @@ def run_packing_ablation(
     instances = generate_packing_instances(
         num_instances, jobs_per_instance, seed=seed
     )
-    result = PackingAblationResult(num_nodes=num_nodes, num_instances=len(instances))
 
+    spec = {
+        "name": "packing-ablation",
+        "source": {
+            "type": "packing-random",
+            "num_instances": num_instances,
+            "jobs_per_instance": jobs_per_instance,
+            "seed": seed,
+        },
+        "num_nodes": num_nodes,
+        "packers": list(names),
+    }
+    tasks = [
+        (name, jobs, num_nodes) for name in names for jobs in instances
+    ]
+    metrics = map_tasks(_score_cell, tasks, workers=workers)
+
+    rows: List[RunRecord] = []
+    cursor = iter(metrics)
+    for cell_index, name in enumerate(names):
+        for instance_index in range(len(instances)):
+            rows.append(
+                RunRecord(
+                    cell_index=cell_index,
+                    instance_index=instance_index,
+                    workload=f"packing-{instance_index:03d}",
+                    algorithm=name,
+                    params=(("packer", name),),
+                    metrics=next(cursor),
+                )
+            )
+    campaign_result = CampaignResult(
+        scenario=spec, scenario_hash=payload_hash(spec), rows=rows
+    )
+
+    result = PackingAblationResult(
+        num_nodes=num_nodes,
+        num_instances=len(instances),
+        campaigns=[campaign_result],
+    )
     for name in names:
-        packer = get_packer(name)
-        yields: List[float] = []
-        ratios: List[float] = []
-        failures = 0
-        for jobs in instances:
-            bound = cpu_capacity_yield_bound(jobs, num_nodes)
-            outcome = maximize_min_yield(jobs, num_nodes, packer=packer)
-            if not outcome.success:
-                failures += 1
-                yields.append(0.0)
-                ratios.append(0.0)
-                continue
-            yields.append(outcome.yield_value)
-            ratios.append(outcome.yield_value / bound if bound > 0 else 1.0)
+        selected = campaign_result.select(algorithm=name)
+        yields = [row.metric("min_yield") for row in selected]
+        ratios = [row.metric("bound_ratio") for row in selected]
+        failures = sum(1 for row in selected if not row.metric("success"))
         result.scores.append(
             PackerScore(
                 packer=name,

@@ -29,6 +29,7 @@ import multiprocessing
 import os
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
+from ..core.engine import SimulationConfig
 from ..core.records import SimulationResult
 from ..workloads.lublin import LublinWorkloadGenerator
 from ..workloads.model import Workload
@@ -38,7 +39,7 @@ from .config import ExperimentConfig
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from .runner import InstanceResult
 
-__all__ = ["resolve_workers", "run_instances", "generate_instances"]
+__all__ = ["resolve_workers", "map_tasks", "run_instances", "generate_instances"]
 
 _LOGGER = logging.getLogger(__name__)
 
@@ -63,15 +64,38 @@ def _pool(workers: int):
     return context.Pool(processes=workers)
 
 
+def map_tasks(fn, tasks: Sequence, *, workers: Optional[int] = None) -> List:
+    """Map a picklable, deterministic function over tasks, possibly in parallel.
+
+    The generic fan-out primitive under every campaign: results come back in
+    task order, and ``workers=1`` (or a single task) degenerates to an
+    in-process loop with simple stack traces.  ``fn`` must be importable at
+    module level (pool workers pickle it by reference).
+    """
+    workers = resolve_workers(workers)
+    if workers == 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    _LOGGER.debug("running %d tasks on %d workers", len(tasks), workers)
+    with _pool(workers) as pool:
+        return pool.map(fn, tasks, chunksize=1)
+
+
 # -- simulation fan-out -------------------------------------------------------
 
-def _run_cell(task: Tuple[Workload, str, float]) -> SimulationResult:
-    workload, algorithm, penalty_seconds = task
+def _run_cell(
+    task: Tuple[Workload, str, float, Optional[SimulationConfig]]
+) -> SimulationResult:
+    workload, algorithm, penalty_seconds, simulation_config = task
     # Imported lazily so worker start-up does not re-enter this module's
     # import of runner (runner imports us for the serial fallback).
     from .runner import run_algorithm
 
-    return run_algorithm(workload, algorithm, penalty_seconds=penalty_seconds)
+    return run_algorithm(
+        workload,
+        algorithm,
+        penalty_seconds=penalty_seconds,
+        simulation_config=simulation_config,
+    )
 
 
 def run_instances(
@@ -79,6 +103,7 @@ def run_instances(
     algorithms: Sequence[str],
     *,
     penalty_seconds: float = 0.0,
+    simulation_config: Optional[SimulationConfig] = None,
     workers: Optional[int] = None,
 ) -> List["InstanceResult"]:
     """Simulate every workload under every algorithm, possibly in parallel.
@@ -93,12 +118,17 @@ def run_instances(
     workers = resolve_workers(workers)
     if workers == 1 or len(workloads) * len(algorithms) <= 1:
         return [
-            run_instance(workload, algorithms, penalty_seconds=penalty_seconds)
+            run_instance(
+                workload,
+                algorithms,
+                penalty_seconds=penalty_seconds,
+                simulation_config=simulation_config,
+            )
             for workload in workloads
         ]
 
     tasks = [
-        (workload, algorithm, penalty_seconds)
+        (workload, algorithm, penalty_seconds, simulation_config)
         for workload in workloads
         for algorithm in algorithms
     ]
@@ -106,8 +136,7 @@ def run_instances(
         "running %d simulations (%d instances x %d algorithms) on %d workers",
         len(tasks), len(workloads), len(algorithms), workers,
     )
-    with _pool(workers) as pool:
-        flat = pool.map(_run_cell, tasks, chunksize=1)
+    flat = map_tasks(_run_cell, tasks, workers=workers)
 
     outcomes: List[InstanceResult] = []
     cursor = iter(flat)
@@ -146,9 +175,5 @@ def generate_instances(
 ) -> List[Workload]:
     """Parallel equivalent of :func:`~repro.experiments.runner.
     generate_synthetic_instances` (same traces, same order)."""
-    workers = resolve_workers(workers)
     tasks = [(config, index, load) for index in range(config.num_traces)]
-    if workers == 1 or config.num_traces <= 1:
-        return [_generate_one(task) for task in tasks]
-    with _pool(workers) as pool:
-        return pool.map(_generate_one, tasks, chunksize=1)
+    return map_tasks(_generate_one, tasks, workers=workers)

@@ -6,20 +6,25 @@ lead to overhead comparable to that using the much larger period", based on
 experiments with T ∈ {60, 600, 3600}.  This experiment reproduces that
 sensitivity sweep for any of the periodic DFRS algorithms: for every period it
 reports the mean maximum bounded stretch and the preemption/migration rates.
+
+The driver is a thin builder over :mod:`repro.campaign`: the period is a
+sweep axis feeding the ``{period}`` algorithm-name template (see
+:func:`repro.campaign.studies.period_sweep_scenario`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..campaign.executor import Campaign
+from ..campaign.result import CampaignResult
+from ..campaign.studies import period_sweep_scenario
 from ..exceptions import ConfigurationError
 from .config import ExperimentConfig
 from .reporting import format_table
-from .parallel import generate_instances
-from .runner import run_instances
 
 __all__ = ["PeriodSweepResult", "run_period_sweep", "DEFAULT_PERIODS"]
 
@@ -47,6 +52,10 @@ class PeriodSweepResult:
     load: float
     penalty_seconds: float
     points: List[PeriodPoint] = field(default_factory=list)
+    #: Campaigns behind this artifact (for ``--export-dir`` persistence).
+    campaigns: List[CampaignResult] = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     def best_period(self) -> float:
         """Period with the lowest mean maximum stretch."""
@@ -82,6 +91,7 @@ def run_period_sweep(
     periods: Sequence[float] = DEFAULT_PERIODS,
     load: float = 0.7,
     penalty_seconds: Optional[float] = None,
+    campaign: Optional[Campaign] = None,
 ) -> PeriodSweepResult:
     """Evaluate ``base_algorithm`` for every period in ``periods``.
 
@@ -89,39 +99,43 @@ def run_period_sweep(
     (``dynmcb8-per``, ``dynmcb8-asap-per``, ``dynmcb8-stretch-per``, ...); the
     period suffix is appended internally.
     """
-    if not periods:
-        raise ConfigurationError("periods must not be empty")
-    for period in periods:
-        if period <= 0:
-            raise ConfigurationError(f"periods must be > 0, got {period}")
     penalty = config.penalty_seconds if penalty_seconds is None else penalty_seconds
+    scenario = period_sweep_scenario(
+        config,
+        base_algorithm=base_algorithm,
+        periods=periods,
+        load=load,
+        penalty_seconds=penalty,
+    )
+    campaign = campaign or Campaign(workers=config.workers)
+    outcome = campaign.run(scenario)
+
     result = PeriodSweepResult(
-        base_algorithm=base_algorithm, load=load, penalty_seconds=penalty
+        base_algorithm=base_algorithm,
+        load=load,
+        penalty_seconds=penalty,
+        campaigns=[outcome],
     )
-    algorithms = [f"{base_algorithm}-{int(period)}" for period in periods]
-    instances = generate_instances(config, load=load, workers=config.workers)
-
-    stretches: Dict[str, List[float]] = {name: [] for name in algorithms}
-    preemption_rates: Dict[str, List[float]] = {name: [] for name in algorithms}
-    migration_rates: Dict[str, List[float]] = {name: [] for name in algorithms}
-    outcomes = run_instances(
-        instances, algorithms, penalty_seconds=penalty, workers=config.workers
-    )
-    for outcome in outcomes:
-        for name, run in outcome.results.items():
-            stretches[name].append(run.max_stretch)
-            preemption_rates[name].append(run.preemptions_per_hour())
-            migration_rates[name].append(run.migrations_per_hour())
-
-    for period, name in zip(periods, algorithms):
+    for period in periods:
+        rows = outcome.select(
+            algorithm=f"{base_algorithm}-{int(period)}", period=int(period)
+        )
         result.points.append(
             PeriodPoint(
-                algorithm=name,
+                algorithm=f"{base_algorithm}-{int(period)}",
                 period_seconds=float(period),
-                mean_max_stretch=float(np.mean(stretches[name])),
-                max_max_stretch=float(np.max(stretches[name])),
-                preemptions_per_hour=float(np.mean(preemption_rates[name])),
-                migrations_per_hour=float(np.mean(migration_rates[name])),
+                mean_max_stretch=float(
+                    np.mean([row.metric("max_stretch") for row in rows])
+                ),
+                max_max_stretch=float(
+                    np.max([row.metric("max_stretch") for row in rows])
+                ),
+                preemptions_per_hour=float(
+                    np.mean([row.metric("pmtn_per_hour") for row in rows])
+                ),
+                migrations_per_hour=float(
+                    np.mean([row.metric("migr_per_hour") for row in rows])
+                ),
             )
         )
     return result

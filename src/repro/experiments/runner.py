@@ -22,6 +22,7 @@ from .config import ExperimentConfig
 
 __all__ = [
     "InstanceResult",
+    "resolve_simulation_config",
     "run_algorithm",
     "run_instance",
     "run_instances",
@@ -47,20 +48,35 @@ class InstanceResult:
         return degradation_factors(self.max_stretches())
 
 
+def resolve_simulation_config(
+    penalty_seconds: float = 0.0,
+    simulation_config: Optional[SimulationConfig] = None,
+) -> SimulationConfig:
+    """Engine configuration for one run.
+
+    An explicit ``simulation_config`` wins wholesale (its own penalty model
+    included) so per-scenario engine options such as ``legacy_event_loop``
+    reach single-run paths; otherwise a default configuration carrying
+    ``penalty_seconds`` is built.
+    """
+    if simulation_config is not None:
+        return simulation_config
+    return SimulationConfig(penalty_model=ReschedulingPenaltyModel(penalty_seconds))
+
+
 def run_algorithm(
     workload: Workload,
     algorithm: str,
     *,
     penalty_seconds: float = 0.0,
+    simulation_config: Optional[SimulationConfig] = None,
 ) -> SimulationResult:
     """Simulate one workload under one algorithm."""
     scheduler = create_scheduler(algorithm)
     simulator = Simulator(
         workload.cluster,
         scheduler,
-        SimulationConfig(
-            penalty_model=ReschedulingPenaltyModel(penalty_seconds),
-        ),
+        resolve_simulation_config(penalty_seconds, simulation_config),
     )
     return simulator.run(workload.jobs)
 
@@ -70,13 +86,17 @@ def run_instance(
     algorithms: Sequence[str],
     *,
     penalty_seconds: float = 0.0,
+    simulation_config: Optional[SimulationConfig] = None,
 ) -> InstanceResult:
     """Simulate one workload under every requested algorithm."""
     instance = InstanceResult(workload_name=workload.name)
     for algorithm in algorithms:
         _LOGGER.debug("running %s on %s", algorithm, workload.name)
         instance.results[algorithm] = run_algorithm(
-            workload, algorithm, penalty_seconds=penalty_seconds
+            workload,
+            algorithm,
+            penalty_seconds=penalty_seconds,
+            simulation_config=simulation_config,
         )
     return instance
 
@@ -86,6 +106,7 @@ def run_instances(
     algorithms: Sequence[str],
     *,
     penalty_seconds: float = 0.0,
+    simulation_config: Optional[SimulationConfig] = None,
     workers: Optional[int] = None,
 ) -> List[InstanceResult]:
     """Simulate many workloads under many algorithms, optionally in parallel.
@@ -98,7 +119,11 @@ def run_instances(
     from .parallel import run_instances as _run_instances_parallel
 
     return _run_instances_parallel(
-        workloads, algorithms, penalty_seconds=penalty_seconds, workers=workers
+        workloads,
+        algorithms,
+        penalty_seconds=penalty_seconds,
+        simulation_config=simulation_config,
+        workers=workers,
     )
 
 

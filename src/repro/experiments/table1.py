@@ -7,6 +7,10 @@ penalty, the average, standard deviation, and maximum degradation factor on:
 * the unscaled synthetic traces straight out of the Lublin model,
 * the real-world HPC2N workload split into 1-week segments (reproduced here
   with the HPC2N-like synthetic stand-in, see DESIGN.md).
+
+The driver is a thin builder over :mod:`repro.campaign`: one scenario per
+workload family (see :func:`repro.campaign.studies.table1_scenarios`), with
+the column statistics pooled from the campaign rows.
 """
 
 from __future__ import annotations
@@ -14,13 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..campaign.executor import Campaign
+from ..campaign.result import CampaignResult
+from ..campaign.studies import table1_scenarios
 from ..core.metrics import DegradationStats
-from ..workloads.hpc2n import Hpc2nLikeTraceGenerator
 from .config import ExperimentConfig
-from .degradation import aggregate_instances
 from .reporting import format_table
-from .parallel import generate_instances
-from .runner import run_instances
 
 __all__ = ["Table1Result", "run_table1"]
 
@@ -34,6 +37,10 @@ class Table1Result:
     penalty_seconds: float
     #: column name ("scaled" | "unscaled" | "real") -> algorithm -> stats
     columns: Dict[str, Dict[str, DegradationStats]] = field(default_factory=dict)
+    #: Campaigns behind this artifact (for ``--export-dir`` persistence).
+    campaigns: List[CampaignResult] = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     def format(self) -> str:
         algorithms: List[str] = []
@@ -65,46 +72,19 @@ class Table1Result:
 
 
 def run_table1(
-    config: ExperimentConfig, *, penalty_seconds: Optional[float] = None
+    config: ExperimentConfig,
+    *,
+    penalty_seconds: Optional[float] = None,
+    campaign: Optional[Campaign] = None,
 ) -> Table1Result:
     """Run the Table I campaign at the configured scale."""
     penalty = config.penalty_seconds if penalty_seconds is None else penalty_seconds
+    campaign = campaign or Campaign(workers=config.workers)
     result = Table1Result(penalty_seconds=penalty)
-
-    # Scaled synthetic traces: pool every load level.
-    scaled_workloads = [
-        workload
-        for load in config.load_levels
-        for workload in generate_instances(config, load=load, workers=config.workers)
-    ]
-    scaled_outcomes = run_instances(
-        scaled_workloads,
-        config.algorithms,
-        penalty_seconds=penalty,
-        workers=config.workers,
-    )
-    result.columns["scaled"] = aggregate_instances(scaled_outcomes).stats()
-
-    # Unscaled synthetic traces, straight from the Lublin model.
-    unscaled_outcomes = run_instances(
-        generate_instances(config, load=None, workers=config.workers),
-        config.algorithms,
-        penalty_seconds=penalty,
-        workers=config.workers,
-    )
-    result.columns["unscaled"] = aggregate_instances(unscaled_outcomes).stats()
-
-    # Real-world (HPC2N-like) 1-week segments.
-    generator = Hpc2nLikeTraceGenerator(jobs_per_week=config.hpc2n_jobs_per_week)
-    real_workloads = [
-        generator.generate_workload(1, seed=config.seed_base + week)
-        for week in range(config.hpc2n_weeks)
-    ]
-    real_outcomes = run_instances(
-        real_workloads,
-        config.algorithms,
-        penalty_seconds=penalty,
-        workers=config.workers,
-    )
-    result.columns["real"] = aggregate_instances(real_outcomes).stats()
+    for column, scenario in table1_scenarios(
+        config, penalty_seconds=penalty
+    ).items():
+        outcome = campaign.run(scenario)
+        result.columns[column] = outcome.degradation_stats()
+        result.campaigns.append(outcome)
     return result

@@ -7,6 +7,10 @@ preempts or migrates — the average (and worst-trace maximum) of:
 * bandwidth consumed by preemptions and by migrations, in GB/s,
 * preemption and migration occurrences per hour,
 * preemption and migration occurrences per job.
+
+The driver is a thin builder over :mod:`repro.campaign`: the ``table2``
+scenario sweeps the high-load levels with the ``costs`` metric collector,
+and the statistics are reduced from the campaign rows.
 """
 
 from __future__ import annotations
@@ -16,10 +20,11 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..campaign.executor import Campaign
+from ..campaign.result import CampaignResult
+from ..campaign.studies import table2_scenario
 from .config import ExperimentConfig
 from .reporting import format_table
-from .parallel import generate_instances
-from .runner import run_instances
 
 __all__ = ["CostStatistics", "Table2Result", "run_table2", "TABLE2_ALGORITHMS"]
 
@@ -52,6 +57,10 @@ class Table2Result:
     penalty_seconds: float
     #: algorithm -> metric name -> statistics
     metrics: Dict[str, Dict[str, CostStatistics]] = field(default_factory=dict)
+    #: Campaigns behind this artifact (for ``--export-dir`` persistence).
+    campaigns: List[CampaignResult] = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     METRIC_NAMES = (
         "pmtn_bandwidth_gb_per_sec",
@@ -89,51 +98,31 @@ def run_table2(
     *,
     penalty_seconds: Optional[float] = None,
     algorithms: Sequence[str] = TABLE2_ALGORITHMS,
+    campaign: Optional[Campaign] = None,
 ) -> Table2Result:
     """Run the Table II campaign at the configured scale."""
     penalty = config.penalty_seconds if penalty_seconds is None else penalty_seconds
-    loads = [load for load in config.load_levels if load >= HIGH_LOAD_THRESHOLD]
-    if not loads:
-        raise ValueError(
-            "Table II needs at least one load level >= "
-            f"{HIGH_LOAD_THRESHOLD}; got {config.load_levels}"
-        )
-    per_algorithm: Dict[str, Dict[str, List[float]]] = {
-        algorithm: {name: [] for name in Table2Result.METRIC_NAMES}
-        for algorithm in algorithms
-    }
-    high_load_workloads = [
-        workload
-        for load in loads
-        for workload in generate_instances(config, load=load, workers=config.workers)
-    ]
-    instances = run_instances(
-        high_load_workloads,
-        algorithms,
+    scenario = table2_scenario(
+        config,
         penalty_seconds=penalty,
-        workers=config.workers,
+        algorithms=algorithms,
+        high_load_threshold=HIGH_LOAD_THRESHOLD,
     )
-    for instance in instances:
-        for algorithm, result in instance.results.items():
-            samples = per_algorithm[algorithm]
-            samples["pmtn_bandwidth_gb_per_sec"].append(
-                result.preemption_bandwidth_gb_per_sec()
-            )
-            samples["migr_bandwidth_gb_per_sec"].append(
-                result.migration_bandwidth_gb_per_sec()
-            )
-            samples["pmtn_per_hour"].append(result.preemptions_per_hour())
-            samples["migr_per_hour"].append(result.migrations_per_hour())
-            samples["pmtn_per_job"].append(result.preemptions_per_job())
-            samples["migr_per_job"].append(result.migrations_per_job())
+    campaign = campaign or Campaign(workers=config.workers)
+    outcome = campaign.run(scenario)
 
-    table = Table2Result(penalty_seconds=penalty)
-    for algorithm, samples in per_algorithm.items():
+    table = Table2Result(penalty_seconds=penalty, campaigns=[outcome])
+    for algorithm in algorithms:
+        rows = outcome.select(algorithm=algorithm)
         table.metrics[algorithm] = {
             name: CostStatistics(
-                average=float(np.mean(values)) if values else 0.0,
-                maximum=float(np.max(values)) if values else 0.0,
+                average=float(np.mean([row.metric(name) for row in rows]))
+                if rows
+                else 0.0,
+                maximum=float(np.max([row.metric(name) for row in rows]))
+                if rows
+                else 0.0,
             )
-            for name, values in samples.items()
+            for name in Table2Result.METRIC_NAMES
         }
     return table

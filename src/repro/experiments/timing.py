@@ -6,18 +6,24 @@ two thirds of the events, with a mean around 0.25 s and a maximum under
 4.5 s — orders of magnitude below typical job inter-arrival times, hence the
 feasibility claim.  This module reproduces those statistics on the local
 machine (absolute numbers depend on the host; the claim is about the shape).
+
+The driver is a thin builder over :mod:`repro.campaign`: the ``timing``
+metric collector ships the raw per-event scheduler timings and inter-arrival
+gaps back as row metrics, which this module pools into the §V statistics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 import numpy as np
 
+from ..campaign.executor import Campaign
+from ..campaign.result import CampaignResult
+from ..campaign.studies import timing_scenario
 from .config import ExperimentConfig
 from .reporting import format_table
-from .runner import generate_synthetic_instances, run_algorithm
 
 __all__ = ["TimingResult", "run_timing_study"]
 
@@ -36,6 +42,10 @@ class TimingResult:
     small_job_threshold: int
     fast_threshold_seconds: float
     mean_interarrival_seconds: float
+    #: Campaigns behind this artifact (for ``--export-dir`` persistence).
+    campaigns: List[CampaignResult] = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     def format(self) -> str:
         rows = [
@@ -63,17 +73,26 @@ def run_timing_study(
     algorithm: str = "dynmcb8",
     small_job_threshold: int = 10,
     fast_threshold_seconds: float = 0.001,
+    campaign: Optional[Campaign] = None,
 ) -> TimingResult:
-    """Measure scheduling computation time on the unscaled synthetic traces."""
+    """Measure scheduling computation time on the unscaled synthetic traces.
+
+    Runs are always serial: the reported statistics are wall-clock
+    measurements, and fanning them out over a pool would inflate them with
+    core contention.  (For the same reason, a cache replays the timings of
+    the host that originally ran the scenario.)
+    """
+    cache_dir = campaign.cache_dir if campaign is not None else None
+    campaign = Campaign(workers=1, cache_dir=cache_dir)
+    outcome = campaign.run(timing_scenario(config, algorithm=algorithm))
+
     times: List[float] = []
     counts: List[int] = []
     interarrivals: List[float] = []
-    for workload in generate_synthetic_instances(config, load=None):
-        result = run_algorithm(workload, algorithm, penalty_seconds=0.0)
-        times.extend(result.scheduler_times)
-        counts.extend(result.scheduler_job_counts)
-        submits = sorted(spec.submit_time for spec in workload.jobs)
-        interarrivals.extend(np.diff(submits).tolist())
+    for row in outcome.rows:
+        times.extend(row.metric("scheduler_times"))
+        counts.extend(row.metric("scheduler_job_counts"))
+        interarrivals.extend(row.metric("interarrivals"))
 
     times_array = np.asarray(times, dtype=float)
     counts_array = np.asarray(counts, dtype=int)
@@ -95,4 +114,5 @@ def run_timing_study(
         mean_interarrival_seconds=(
             float(np.mean(interarrivals)) if interarrivals else 0.0
         ),
+        campaigns=[outcome],
     )

@@ -3,10 +3,14 @@
 The paper notes that once the minimum yield is maximized, leftover capacity
 either raises the average yield or — on an under-subscribed cluster — lets
 idle nodes be powered down.  This experiment quantifies both effects for any
-set of algorithms on one synthetic trace per configuration: it runs each
-algorithm with a :class:`~repro.core.observers.UtilizationRecorder` attached
-and reports time-weighted busy-node counts, energy consumption under a node
-power model, and per-job stretch fairness.
+set of algorithms on one synthetic trace per configuration.
+
+The driver is a thin builder over :mod:`repro.campaign`: the ``utilization``
+metric collector attaches a
+:class:`~repro.core.observers.UtilizationRecorder` inside each worker and
+ships back the busy-node/energy/fairness metrics, from which the typed
+:class:`~repro.analysis.energy.EnergyReport` and
+:class:`~repro.analysis.fairness.FairnessReport` are reconstructed exactly.
 """
 
 from __future__ import annotations
@@ -14,19 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..analysis.energy import EnergyReport, NodePowerModel, energy_from_recorder
-from ..analysis.fairness import FairnessReport, stretch_fairness
-from ..analysis.timeseries import busy_nodes_series, cpu_allocated_series
-from ..core.engine import SimulationConfig, Simulator
-from ..core.observers import UtilizationRecorder
-from ..core.penalties import ReschedulingPenaltyModel
-from ..core.records import SimulationResult
+from ..analysis.energy import EnergyReport, NodePowerModel
+from ..analysis.fairness import FairnessReport
+from ..campaign.executor import Campaign
+from ..campaign.result import CampaignResult
+from ..campaign.studies import utilization_scenario
 from ..exceptions import ConfigurationError
-from ..schedulers.registry import create_scheduler
-from ..workloads.model import Workload
 from .config import ExperimentConfig
 from .reporting import format_table
-from .runner import generate_synthetic_instances
 
 __all__ = ["AlgorithmUtilization", "UtilizationStudyResult", "run_utilization_study"]
 
@@ -52,6 +51,10 @@ class UtilizationStudyResult:
     penalty_seconds: float
     num_nodes: int
     profiles: List[AlgorithmUtilization] = field(default_factory=list)
+    #: Campaigns behind this artifact (for ``--export-dir`` persistence).
+    campaigns: List[CampaignResult] = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     def profile_for(self, algorithm: str) -> AlgorithmUtilization:
         for profile in self.profiles:
@@ -90,18 +93,34 @@ class UtilizationStudyResult:
         )
 
 
-def _run_with_recorder(
-    workload: Workload, algorithm: str, penalty_seconds: float
-) -> tuple:
-    recorder = UtilizationRecorder()
-    simulator = Simulator(
-        workload.cluster,
-        create_scheduler(algorithm),
-        SimulationConfig(penalty_model=ReschedulingPenaltyModel(penalty_seconds)),
-        observers=[recorder],
+def _profile_from_metrics(algorithm: str, metrics: Dict) -> AlgorithmUtilization:
+    """Rebuild the typed utilization profile from campaign row metrics."""
+    energy = EnergyReport(
+        algorithm=algorithm,
+        duration_seconds=metrics["energy_duration_seconds"],
+        busy_node_seconds=metrics["energy_busy_node_seconds"],
+        idle_node_seconds=metrics["energy_idle_node_seconds"],
+        always_on_joules=metrics["energy_always_on_joules"],
+        power_down_joules=metrics["energy_power_down_joules"],
     )
-    result = simulator.run(workload.jobs)
-    return result, recorder
+    fairness = FairnessReport(
+        algorithm=algorithm,
+        num_jobs=int(metrics["num_jobs"]),
+        max_stretch=metrics["max_stretch"],
+        mean_stretch=metrics["mean_stretch"],
+        jain_stretch=metrics["jain_stretch"],
+        gini_stretch=metrics["gini_stretch"],
+        p95_stretch=metrics["p95_stretch"],
+    )
+    return AlgorithmUtilization(
+        algorithm=algorithm,
+        max_stretch=metrics["max_stretch"],
+        mean_busy_nodes=metrics["mean_busy_nodes"],
+        peak_busy_nodes=int(metrics["peak_busy_nodes"]),
+        mean_cpu_allocated=metrics["mean_cpu_allocated"],
+        energy=energy,
+        fairness=fairness,
+    )
 
 
 def run_utilization_study(
@@ -111,6 +130,7 @@ def run_utilization_study(
     penalty_seconds: Optional[float] = None,
     algorithms: Optional[Sequence[str]] = None,
     power_model: Optional[NodePowerModel] = None,
+    campaign: Optional[Campaign] = None,
 ) -> UtilizationStudyResult:
     """Profile utilization, energy, and fairness for each algorithm.
 
@@ -120,29 +140,30 @@ def run_utilization_study(
     """
     penalty = config.penalty_seconds if penalty_seconds is None else penalty_seconds
     names = tuple(algorithms) if algorithms is not None else config.algorithms
-    if not names:
-        raise ConfigurationError("algorithms must not be empty")
-    model = power_model or NodePowerModel()
-    workload = generate_synthetic_instances(config, load=load)[0]
+    power_options = None
+    if power_model is not None:
+        power_options = {
+            "busy_watts": power_model.busy_watts,
+            "idle_watts": power_model.idle_watts,
+            "off_watts": power_model.off_watts,
+        }
+    scenario = utilization_scenario(
+        config,
+        load=load,
+        penalty_seconds=penalty,
+        algorithms=names,
+        power_options=power_options,
+    )
+    campaign = campaign or Campaign(workers=config.workers)
+    outcome = campaign.run(scenario)
 
     study = UtilizationStudyResult(
-        load=load, penalty_seconds=penalty, num_nodes=workload.cluster.num_nodes
+        load=load,
+        penalty_seconds=penalty,
+        num_nodes=config.cluster.num_nodes,
+        campaigns=[outcome],
     )
     for name in names:
-        result, recorder = _run_with_recorder(workload, name, penalty)
-        busy = busy_nodes_series(recorder)
-        cpu = cpu_allocated_series(recorder)
-        study.profiles.append(
-            AlgorithmUtilization(
-                algorithm=name,
-                max_stretch=result.max_stretch,
-                mean_busy_nodes=busy.mean(),
-                peak_busy_nodes=int(busy.max()),
-                mean_cpu_allocated=cpu.mean(),
-                energy=energy_from_recorder(
-                    recorder, workload.cluster, algorithm=name, model=model
-                ),
-                fairness=stretch_fairness(result),
-            )
-        )
+        row = outcome.select(algorithm=name)[0]
+        study.profiles.append(_profile_from_metrics(name, dict(row.metrics)))
     return study

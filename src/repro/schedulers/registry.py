@@ -32,6 +32,7 @@ from .dfrs.weighted import WeightedYieldScheduler
 __all__ = [
     "create_scheduler",
     "available_algorithms",
+    "algorithm_catalog",
     "PAPER_ALGORITHMS",
     "DFRS_ALGORITHMS",
     "BATCH_ALGORITHMS",
@@ -88,6 +89,37 @@ _PERIODIC_PATTERN = re.compile(r"^(?P<base>[a-z0-9\-]+?)(?:-(?P<period>\d+))?$")
 def available_algorithms() -> List[str]:
     """Names accepted by :func:`create_scheduler` (periodic names unsuffixed)."""
     return sorted(list(_SIMPLE_FACTORIES) + list(_PERIODIC_FACTORIES))
+
+
+def algorithm_catalog() -> List[Dict[str, object]]:
+    """Structured registry listing for user-facing output.
+
+    One entry per registered base name, sorted, with the name grammar a user
+    needs to construct valid registry strings: whether the name accepts a
+    ``-<seconds>`` period suffix (and its default), whether an integer suffix
+    has a non-period meaning, and whether the name appears in the paper's
+    evaluated set (possibly via its default-period variant).
+    """
+    entries: List[Dict[str, object]] = []
+    for name in available_algorithms():
+        periodic = name in _PERIODIC_FACTORIES
+        integer_suffix = name in _INTEGER_SUFFIX_FACTORIES
+        entry: Dict[str, object] = {
+            "name": name,
+            "periodic": periodic,
+            "integer_suffix": integer_suffix,
+            "grammar": f"{name}[-<seconds>]" if periodic else name,
+            "paper": (
+                name in PAPER_ALGORITHMS
+                or (periodic and f"{name}-{int(DEFAULT_PERIOD)}" in PAPER_ALGORITHMS)
+            ),
+        }
+        if periodic:
+            entry["default_period"] = DEFAULT_PERIOD
+        if integer_suffix:
+            entry["grammar"] = f"{name}[-<rows>]"
+        entries.append(entry)
+    return entries
 
 
 def create_scheduler(name: str) -> Scheduler:

@@ -1,0 +1,113 @@
+"""Export round-trip tests (satellite): CampaignResult -> CSV/JSON -> back.
+
+The reloaded result must reproduce the in-memory aggregates exactly, and the
+CSV row form must be type-faithful (floats stay floats, lists stay lists).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.export import campaign_rows_from_csv, campaign_rows_to_csv
+from repro.campaign.executor import Campaign
+from repro.campaign.result import CampaignResult
+from repro.campaign.scenario import LublinSource, Scenario
+from repro.core.cluster import Cluster
+from repro.exceptions import ReproError
+
+
+@pytest.fixture(scope="module")
+def outcome() -> CampaignResult:
+    scenario = Scenario(
+        name="roundtrip",
+        source=LublinSource(num_traces=2, num_jobs=20, seed_base=5),
+        cluster=Cluster(16, 4, 8.0),
+        algorithms=("fcfs", "greedy-pmtn"),
+        penalty_seconds=300.0,
+        sweep={"load": (0.4, 0.8)},
+        collectors=("stretch", "costs", "timing"),
+    )
+    return Campaign().run(scenario)
+
+
+class TestJsonRoundTrip:
+    def test_in_memory_round_trip_is_lossless(self, outcome):
+        rebuilt = CampaignResult.from_json(outcome.to_json())
+        assert rebuilt.to_json_dict() == outcome.to_json_dict()
+
+    def test_file_round_trip_is_lossless(self, outcome, tmp_path):
+        path = tmp_path / "campaign.json"
+        outcome.to_json(path)
+        rebuilt = CampaignResult.from_json(path)
+        assert rebuilt.to_json_dict() == outcome.to_json_dict()
+
+    def test_aggregates_survive_round_trip(self, outcome, tmp_path):
+        path = tmp_path / "campaign.json"
+        outcome.to_json(path)
+        rebuilt = CampaignResult.from_json(path)
+        assert rebuilt.degradation_stats() == outcome.degradation_stats()
+        assert rebuilt.aggregate("max_stretch") == outcome.aggregate("max_stretch")
+        assert rebuilt.format_summary() == outcome.format_summary()
+
+
+class TestCsvRoundTrip:
+    def test_rows_round_trip_type_faithfully(self, outcome, tmp_path):
+        path = tmp_path / "rows.csv"
+        outcome.rows_to_csv(path)
+        rebuilt = CampaignResult.rows_from_csv(str(path))
+        assert [row.to_dict() for row in rebuilt] == [
+            row.to_dict() for row in outcome.rows
+        ]
+        # Raw sample vectors (timing collector) survive as lists of floats.
+        assert isinstance(rebuilt[0].metric("scheduler_times"), list)
+
+    def test_aggregates_from_reparsed_rows_match(self, outcome):
+        text = outcome.rows_to_csv()
+        rebuilt = CampaignResult(
+            scenario=outcome.scenario,
+            scenario_hash=outcome.scenario_hash,
+            rows=CampaignResult.rows_from_csv(text),
+        )
+        assert rebuilt.degradation_stats() == outcome.degradation_stats()
+        assert rebuilt.aggregate(
+            "pmtn_per_job", statistic="max"
+        ) == outcome.aggregate("pmtn_per_job", statistic="max")
+
+    def test_header_is_tidy(self, outcome):
+        header = outcome.rows_to_csv().splitlines()[0]
+        assert header.startswith("cell_index,instance_index,workload,algorithm")
+        assert "param:load" in header
+        assert "metric:max_stretch" in header
+
+    def test_empty_csv_rejected(self):
+        with pytest.raises(ReproError):
+            campaign_rows_from_csv("\n")
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ReproError):
+            campaign_rows_from_csv("a,b,c\n1,2,3\n")
+
+    def test_missing_cells_skipped(self):
+        rows = [
+            {
+                "cell_index": 0,
+                "instance_index": 0,
+                "workload": "w",
+                "algorithm": "a",
+                "params": [["load", 0.3]],
+                "metrics": {"x": 1.0},
+            },
+            {
+                "cell_index": 0,
+                "instance_index": 1,
+                "workload": "w2",
+                "algorithm": "a",
+                "params": [],
+                "metrics": {},
+            },
+        ]
+        text = campaign_rows_to_csv(rows)
+        rebuilt = campaign_rows_from_csv(text)
+        assert rebuilt[0]["metrics"] == {"x": 1.0}
+        assert rebuilt[1]["params"] == []
+        assert rebuilt[1]["metrics"] == {}

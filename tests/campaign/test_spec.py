@@ -1,0 +1,144 @@
+"""Tests for scenario spec files and the ``repro-dfrs run`` subcommand."""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import pytest
+
+from repro.campaign.spec import load_scenario, scenario_from_spec_text
+from repro.cli import main
+from repro.exceptions import ConfigurationError
+
+CROSS_SWEEP_SPEC = {
+    "name": "load-period-cross",
+    "cluster": {"nodes": 16, "cores_per_node": 4, "node_memory_gb": 8.0},
+    "source": {"type": "lublin", "num_traces": 1, "num_jobs": 20, "seed_base": 11},
+    "algorithms": ["easy", "dynmcb8-asap-per-{period}"],
+    "penalty_seconds": 300,
+    "sweep": {"load": [0.3, 0.7], "period": [60, 600]},
+    "collectors": ["stretch", "costs"],
+}
+
+
+class TestSpecParsing:
+    def test_json_spec(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(CROSS_SWEEP_SPEC))
+        scenario = load_scenario(path)
+        assert scenario.name == "load-period-cross"
+        assert scenario.cluster.num_nodes == 16
+        assert len(scenario.expand()) == 4
+        assert scenario.resolved_algorithms({"load": 0.3, "period": 600}) == [
+            "easy",
+            "dynmcb8-asap-per-600",
+        ]
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text("{}")
+        with pytest.raises(ConfigurationError):
+            load_scenario(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_scenario(tmp_path / "missing.json")
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scenario_from_spec_text("{not json", format="json")
+
+    def test_bare_string_algorithms_in_spec_rejected(self):
+        spec = dict(CROSS_SWEEP_SPEC, algorithms="easy")
+        with pytest.raises(ConfigurationError):
+            scenario_from_spec_text(json.dumps(spec), format="json")
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scenario_from_spec_text("[1, 2]", format="json")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scenario_from_spec_text("{}", format="ini")
+
+    def test_shipped_example_spec_parses(self):
+        import pathlib
+
+        example = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "examples" / "scenarios" / "load_period_cross.json"
+        )
+        scenario = load_scenario(example)
+        assert scenario.name == "load-period-cross"
+        assert len(scenario.expand()) == 9
+
+    @pytest.mark.skipif(
+        sys.version_info < (3, 11), reason="tomllib needs Python 3.11+"
+    )
+    def test_toml_spec(self, tmp_path):
+        path = tmp_path / "spec.toml"
+        path.write_text(
+            "\n".join(
+                [
+                    'name = "toml-scenario"',
+                    'algorithms = ["fcfs", "easy"]',
+                    "penalty_seconds = 300",
+                    "[source]",
+                    'type = "lublin"',
+                    "num_traces = 1",
+                    "num_jobs = 20",
+                    "[sweep]",
+                    "load = [0.5]",
+                ]
+            )
+        )
+        scenario = load_scenario(path)
+        assert scenario.name == "toml-scenario"
+        assert scenario.sweep == (("load", (0.5,)),)
+
+
+class TestRunSubcommand:
+    """The acceptance scenario: a cross-sweep runs from a spec file with
+    zero new driver code."""
+
+    @pytest.fixture()
+    def spec_path(self, tmp_path):
+        path = tmp_path / "cross.json"
+        path.write_text(json.dumps(CROSS_SWEEP_SPEC))
+        return path
+
+    def test_run_prints_summary(self, spec_path, capsys):
+        code = main(["run", str(spec_path)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "load-period-cross" in output
+        # Both periodic variants were materialised from the template axis.
+        assert "dynmcb8-asap-per-60" in output
+        assert "dynmcb8-asap-per-600" in output
+
+    def test_run_with_export_and_cache(self, spec_path, tmp_path, capsys):
+        export_dir = tmp_path / "out"
+        cache_dir = tmp_path / "cache"
+        code = main(
+            [
+                "--export-dir", str(export_dir),
+                "--cache-dir", str(cache_dir),
+                "run", str(spec_path),
+            ]
+        )
+        assert code == 0
+        assert len(list(export_dir.glob("load-period-cross-*.json"))) == 1
+        assert len(list(export_dir.glob("load-period-cross-*.rows.csv"))) == 1
+        assert len(list(cache_dir.glob("*.json"))) == 1
+        # Second invocation is served from the cache and prints identically.
+        first = capsys.readouterr().out
+        code = main(
+            [
+                "--export-dir", str(export_dir),
+                "--cache-dir", str(cache_dir),
+                "run", str(spec_path),
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == first

@@ -55,3 +55,59 @@ class TestMain:
         code = main(self._common() + ["--algorithms", "dynmcb8", "timing"])
         assert code == 0
         assert "Scheduling-time" in capsys.readouterr().out
+
+    def test_algorithms_command(self, capsys):
+        code = main(["algorithms"])
+        assert code == 0
+        output = capsys.readouterr().out
+        from repro.schedulers.registry import available_algorithms
+
+        for name in available_algorithms():
+            assert name in output
+        # The periodic-name grammar is spelled out, not buried in --help.
+        assert "-<seconds>" in output
+        assert "default 600" in output
+
+    def test_export_dir_writes_campaign_artifacts(self, tmp_path, capsys):
+        export_dir = tmp_path / "artifacts"
+        code = main(
+            self._common()
+            + ["--loads", "0.5", "--export-dir", str(export_dir), "figure1"]
+        )
+        assert code == 0
+        json_files = list(export_dir.glob("figure1-*.json"))
+        csv_files = list(export_dir.glob("figure1-*.rows.csv"))
+        assert len(json_files) == 1 and len(csv_files) == 1
+        output = capsys.readouterr().out
+        assert str(json_files[0]) in output
+
+    def test_export_dir_table1_writes_all_three_campaigns(self, tmp_path):
+        export_dir = tmp_path / "artifacts"
+        code = main(
+            self._common()
+            + ["--loads", "0.5", "--export-dir", str(export_dir), "table1"]
+        )
+        assert code == 0
+        stems = {path.name.split("-", 2)[1] for path in export_dir.glob("table1-*")}
+        assert stems == {"scaled", "unscaled", "real"}
+
+    def test_export_dir_packing_ablation(self, tmp_path):
+        export_dir = tmp_path / "artifacts"
+        code = main(
+            [
+                "--export-dir", str(export_dir),
+                "packing-ablation",
+                "--pack-nodes", "8", "--pack-instances", "2", "--pack-jobs", "8",
+            ]
+        )
+        assert code == 0
+        assert len(list(export_dir.glob("packing-ablation-*.rows.csv"))) == 1
+
+    def test_compare_through_campaign_cache(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        args = self._common() + ["--cache-dir", str(cache_dir), "compare", "--load", "0.5"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+        assert list(cache_dir.glob("*.json"))
