@@ -40,10 +40,12 @@ from .scenario import (
     Cell,
     CollectorSpec,
     CustomSource,
+    GeneratorSource,
     Hpc2nLikeSource,
     LublinSource,
     Scenario,
     SwfSource,
+    TransformSource,
     WorkloadSource,
     scenario_from_dict,
     scenario_hash,
@@ -59,6 +61,7 @@ __all__ = [
     "CostCollector",
     "CustomSource",
     "FairnessCollector",
+    "GeneratorSource",
     "Hpc2nLikeSource",
     "LublinSource",
     "MetricCollector",
@@ -67,6 +70,7 @@ __all__ = [
     "StretchCollector",
     "SwfSource",
     "TimingCollector",
+    "TransformSource",
     "UtilizationCollector",
     "WorkloadSource",
     "available_collectors",

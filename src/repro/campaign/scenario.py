@@ -41,6 +41,8 @@ __all__ = [
     "Hpc2nLikeSource",
     "SwfSource",
     "CustomSource",
+    "GeneratorSource",
+    "TransformSource",
     "CollectorSpec",
     "Cell",
     "Scenario",
@@ -64,9 +66,17 @@ class WorkloadSource:
     campaign run; per-cell offered-load scaling (the ``load`` sweep axis) is
     applied by the executor on top, so every source composes with load sweeps
     for free.
+
+    ``spec_expressible`` records whether the source can be written in a
+    ``repro-dfrs run`` spec file: True for :class:`LublinSource`,
+    :class:`Hpc2nLikeSource`, :class:`SwfSource`, :class:`GeneratorSource`,
+    and :class:`TransformSource`; False for :class:`CustomSource`, whose
+    factory callable only exists in code (:func:`source_from_dict` points at
+    the ``generator``/``transform`` types as the declarative alternatives).
     """
 
     kind: str = "abstract"
+    spec_expressible: bool = True
 
     def workloads(
         self, cluster: Cluster, *, workers: Optional[int] = None
@@ -226,6 +236,7 @@ class CustomSource(WorkloadSource):
     key: str = "custom"
 
     kind = "custom"
+    spec_expressible = False
 
     def __post_init__(self) -> None:
         if self.factory is None:
@@ -240,11 +251,143 @@ class CustomSource(WorkloadSource):
         return {"type": self.kind, "key": self.key}
 
 
+@dataclass(frozen=True)
+class GeneratorSource(WorkloadSource):
+    """Instances drawn from a registered :mod:`repro.traces` source model.
+
+    ``model`` names any spec-expressible trace source type (``"downey"``,
+    ``"diurnal-poisson"``, ``"lublin"``, ...; see
+    :func:`repro.traces.available_trace_sources`) and ``options`` carries its
+    constructor options verbatim — except ``seed``, which this source owns:
+    instance ``i`` is built with ``seed = seed_base + i``, which is how one
+    spec file describes several independent replicas of a synthetic model.
+    """
+
+    model: str = ""
+    instances: int = 1
+    seed_base: int = 2010
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+    kind = "generator"
+
+    def __post_init__(self) -> None:
+        if not self.model:
+            raise ConfigurationError("GeneratorSource needs a 'model' name")
+        if self.instances < 1:
+            raise ConfigurationError(
+                f"instances must be >= 1, got {self.instances}"
+            )
+        options = self.options
+        if isinstance(options, Mapping):
+            options = tuple(sorted(options.items()))
+        object.__setattr__(self, "options", tuple(options))
+        if "seed" in dict(self.options):
+            raise ConfigurationError(
+                "generator options must not set 'seed'; use 'seed_base' "
+                "(instance i runs with seed_base + i)"
+            )
+        # Build instance 0 eagerly so bad models/options fail at spec-load
+        # time, not mid-campaign.
+        self._trace_source(0)
+
+    def _trace_source(self, instance: int):
+        from ..traces import trace_source_from_dict
+
+        return trace_source_from_dict(
+            {
+                "type": self.model,
+                "seed": self.seed_base + instance,
+                **dict(self.options),
+            }
+        )
+
+    def workloads(
+        self, cluster: Cluster, *, workers: Optional[int] = None
+    ) -> List[Workload]:
+        return [
+            self._trace_source(instance).materialize(cluster)
+            for instance in range(self.instances)
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": self.kind,
+            "model": self.model,
+            "instances": self.instances,
+            "seed_base": self.seed_base,
+            "options": dict(self.options),
+        }
+
+
+@dataclass(frozen=True)
+class TransformSource(WorkloadSource):
+    """A :mod:`repro.traces` transform chain as a scenario workload source.
+
+    Wraps a spec-expressible
+    :class:`~repro.traces.transforms.TransformedSource`; the spec form is the
+    chain's own dictionary, e.g.::
+
+        {"type": "transform",
+         "base": {"type": "diurnal-poisson", "num_jobs": 2000, "seed": 7},
+         "steps": [{"type": "rescale-load", "target_load": 0.7}]}
+
+    Only chains are accepted — their spec ``type`` is ``"transform"``, which
+    is exactly what this source's round-trip dispatches on (a bare model
+    belongs in :class:`GeneratorSource` instead; a bare model with no steps
+    would serialise under its own type name and not round-trip here).  The
+    chain produces one instance; sweep axes (``load`` included) compose on
+    top exactly as with every other source.
+    """
+
+    source: Any = None  # a repro.traces.TransformedSource
+
+    kind = "transform"
+
+    def __post_init__(self) -> None:
+        from ..traces import TransformedSource
+
+        if not isinstance(self.source, TransformedSource):
+            raise ConfigurationError(
+                "TransformSource needs a repro.traces.TransformedSource "
+                "(a transform chain); for a bare generator model use "
+                "GeneratorSource instead"
+            )
+        if not self.source.spec_expressible:
+            raise ConfigurationError(
+                "the transform chain is not spec-expressible (it contains a "
+                "code-only source or step) and cannot back a TransformSource; "
+                "wrap it with CustomSource in code instead"
+            )
+
+    def workloads(
+        self, cluster: Cluster, *, workers: Optional[int] = None
+    ) -> List[Workload]:
+        return [self.source.materialize(cluster)]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return self.source.to_dict()
+
+
+def _transform_source_from_spec(**payload: Any) -> TransformSource:
+    from ..traces import trace_source_from_dict
+
+    return TransformSource(
+        source=trace_source_from_dict({"type": "transform", **payload})
+    )
+
+
+#: Source types a spec file can express.  ``custom`` deliberately has no
+#: entry: its factory callable cannot be serialised (see CustomSource).
 _SOURCE_TYPES: Dict[str, Callable[..., WorkloadSource]] = {
     "lublin": LublinSource,
     "hpc2n-like": Hpc2nLikeSource,
     "swf": SwfSource,
+    "generator": GeneratorSource,
+    "transform": _transform_source_from_spec,
 }
+
+#: Known-but-not-expressible source kinds, for a targeted error message.
+_CODE_ONLY_SOURCE_TYPES = ("custom",)
 
 
 def source_from_dict(data: Mapping[str, Any]) -> WorkloadSource:
@@ -256,6 +399,13 @@ def source_from_dict(data: Mapping[str, Any]) -> WorkloadSource:
     kind = payload.pop("type", None)
     if kind is None:
         raise ConfigurationError("workload source spec needs a 'type' field")
+    if kind in _CODE_ONLY_SOURCE_TYPES:
+        raise ConfigurationError(
+            f"workload source type {kind!r} is not spec-expressible (its "
+            "factory is a Python callable); build the scenario in code, or "
+            "describe the workload declaratively with the 'generator' or "
+            "'transform' source types (see repro.traces)"
+        )
     try:
         factory = _SOURCE_TYPES[kind]
     except KeyError:

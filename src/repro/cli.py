@@ -28,6 +28,16 @@ Campaign-layer subcommands:
   (see :mod:`repro.campaign.spec`) with zero new driver code;
 * ``algorithms`` — list the scheduler registry with its name grammar.
 
+Trace subcommands (``repro-dfrs trace <command>``, see :mod:`repro.traces`):
+
+* ``trace inspect``       — SWF header directives and stream statistics;
+* ``trace characterize``  — the §I workload statistics for any trace file or
+  trace-source spec (synthetic generators and transform chains included);
+* ``trace transform``     — materialize a trace-source spec (e.g. a
+  transform chain over a generator) to an SWF or internal JSON trace file;
+* ``trace convert``       — convert between SWF and the internal JSON trace
+  format (``.gz`` handled transparently in both directions).
+
 Every experiment subcommand honours ``--export-dir PATH`` (write the tidy
 per-run rows and full campaign payloads as CSV/JSON).  The
 simulation-backed subcommands also honour ``--cache-dir PATH`` (resume
@@ -208,6 +218,44 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "algorithms", help="list the scheduler registry and its name grammar"
     )
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect, characterize, transform, and convert traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_inspect = trace_sub.add_parser(
+        "inspect", help="print SWF header directives and stream statistics"
+    )
+    trace_inspect.add_argument("path", type=str, help="trace file (.swf[.gz] or .json[.gz])")
+    trace_char = trace_sub.add_parser(
+        "characterize",
+        help="workload statistics (§I) for a trace file or trace-source spec",
+    )
+    trace_char.add_argument(
+        "path",
+        type=str,
+        help="trace file (.swf[.gz]/.json[.gz]) or trace-source spec JSON",
+    )
+    trace_transform = trace_sub.add_parser(
+        "transform",
+        help="materialize a trace-source spec (e.g. a transform chain) to a file",
+    )
+    trace_transform.add_argument(
+        "source",
+        type=str,
+        help="trace-source spec JSON file, or a trace file to transform from",
+    )
+    trace_transform.add_argument(
+        "--output",
+        type=str,
+        required=True,
+        help="output trace path (.json or .swf, optionally .gz)",
+    )
+    trace_convert = trace_sub.add_parser(
+        "convert", help="convert between SWF and the internal JSON trace format"
+    )
+    trace_convert.add_argument("input", type=str, help="input trace file")
+    trace_convert.add_argument("output", type=str, help="output trace file")
     return parser
 
 
@@ -292,6 +340,130 @@ def _run_characterize(
         bar = "#" * max(1, round(40 * count / total))
         lines.append(f"  {label:>9s} tasks  {count:6d}  {bar}")
     return "\n".join(lines), workload
+
+
+def _trace_cluster(args: argparse.Namespace, default: Cluster) -> Cluster:
+    """Cluster for trace operations: ``--nodes`` wins, then the default."""
+    if args.nodes is not None:
+        return Cluster(args.nodes, 4, 8.0)
+    return default
+
+
+def _load_trace_source(path_text: str):
+    """Resolve a CLI trace argument to ``(JobSource, default_cluster)``.
+
+    Accepts SWF files (``.swf``/``.swf.gz``), internal JSON traces (the
+    ``repro-dfrs-trace-v1`` format), and trace-source spec dictionaries
+    (``{"type": ...}`` JSON files, e.g. a transform chain).  JSON files are
+    read and parsed exactly once — internal-format payloads are turned into
+    an in-memory source directly instead of being re-read from disk.
+    """
+    from .exceptions import ConfigurationError
+    from .traces import (
+        TRACE_JSON_FORMAT,
+        SwfTraceSource,
+        WorkloadTraceSource,
+        trace_json_payload_to_workload,
+        trace_source_from_dict,
+    )
+    from .workloads import open_trace_text
+
+    path = Path(path_text)
+    if not path.exists():
+        raise ConfigurationError(f"trace file not found: {path}")
+    name = path.name.lower()
+    if name.endswith((".swf", ".swf.gz")):
+        return SwfTraceSource(path=str(path)), HPC2N_CLUSTER
+    if not name.endswith((".json", ".json.gz")):
+        raise ConfigurationError(
+            f"cannot interpret {path}: expected .swf[.gz], .json[.gz], or a "
+            "trace-source spec JSON file"
+        )
+    with open_trace_text(path, "rt") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict) and payload.get("format") == TRACE_JSON_FORMAT:
+        workload = trace_json_payload_to_workload(
+            payload, origin=str(path), name_fallback=path.stem
+        )
+        return WorkloadTraceSource(workload=workload), workload.cluster
+    if isinstance(payload, dict):
+        return trace_source_from_dict(payload), Cluster(128, 4, 8.0)
+    raise ConfigurationError(
+        f"{path}: expected a trace-source spec object, got {type(payload).__name__}"
+    )
+
+
+def _run_trace_inspect(args: argparse.Namespace) -> None:
+    from .workloads import read_swf_header
+
+    path = Path(args.path)
+    lines: List[str] = [f"trace: {path}"]
+    if path.name.lower().endswith((".swf", ".swf.gz")):
+        header = read_swf_header(path)
+        if header.directives:
+            lines.append("header directives:")
+            for key, value in header.directives:
+                lines.append(f"  {key}: {value}")
+        else:
+            lines.append("header directives: (none)")
+    source, default_cluster = _load_trace_source(args.path)
+    cluster = _trace_cluster(args, default_cluster)
+    workload = source.materialize(cluster)
+    stats = workload.statistics()
+    lines.append(
+        f"cluster: {cluster.num_nodes} nodes x {cluster.cores_per_node} cores, "
+        f"{cluster.node_memory_gb:g} GB"
+    )
+    lines.append(f"usable jobs: {stats['num_jobs']}")
+    if stats["num_jobs"]:
+        lines.append(f"span: {stats['span_seconds'] / 3600.0:.1f} hours")
+        lines.append(f"offered load: {stats['load']:.3f}")
+        lines.append(
+            f"widths: mean {stats['mean_tasks']:.1f}, max {stats['max_tasks']}, "
+            f"serial fraction {stats['serial_fraction']:.2f}"
+        )
+        lines.append(
+            f"runtimes: mean {stats['mean_runtime']:.0f} s, "
+            f"median {stats['median_runtime']:.0f} s"
+        )
+    print("\n".join(lines))
+
+
+def _run_trace_characterize(args: argparse.Namespace) -> None:
+    source, default_cluster = _load_trace_source(args.path)
+    workload = source.materialize(_trace_cluster(args, default_cluster))
+    profile = characterize(workload)
+    lines = [characterization_table([profile]), "", "job width histogram:"]
+    total = profile.num_jobs
+    for label, count in size_histogram(workload):
+        bar = "#" * max(1, round(40 * count / total))
+        lines.append(f"  {label:>9s} tasks  {count:6d}  {bar}")
+    print("\n".join(lines))
+
+
+def _write_trace(workload, output: str) -> Path:
+    from .exceptions import ConfigurationError
+    from .traces import write_trace_json, write_workload_swf
+
+    name = Path(output).name.lower()
+    if name.endswith((".swf", ".swf.gz")):
+        return write_workload_swf(workload, output)
+    if name.endswith((".json", ".json.gz")):
+        return write_trace_json(workload, output)
+    raise ConfigurationError(
+        f"output {output!r} must end in .swf[.gz] or .json[.gz]"
+    )
+
+
+def _run_trace_transform(args: argparse.Namespace, source_path: str, output: str) -> None:
+    source, default_cluster = _load_trace_source(source_path)
+    workload = source.materialize(_trace_cluster(args, default_cluster))
+    written = _write_trace(workload, output)
+    stats = workload.statistics()
+    print(
+        f"wrote {written} ({stats['num_jobs']} jobs, "
+        f"load {stats.get('load', 0.0):.3f})"
+    )
 
 
 def _format_algorithms() -> str:
@@ -408,6 +580,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         campaigns = [outcome]
     elif args.command == "algorithms":
         print(_format_algorithms())
+    elif args.command == "trace":
+        if args.trace_command == "inspect":
+            _run_trace_inspect(args)
+        elif args.trace_command == "characterize":
+            _run_trace_characterize(args)
+        elif args.trace_command == "transform":
+            _run_trace_transform(args, args.source, args.output)
+        elif args.trace_command == "convert":
+            _run_trace_transform(args, args.input, args.output)
+        else:  # pragma: no cover - argparse enforces the choices
+            parser.error(f"unknown trace command {args.trace_command!r}")
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {args.command!r}")
 

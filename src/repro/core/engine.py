@@ -51,7 +51,7 @@ import logging
 import math
 import time as _time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import SimulationError
 from .allocation import AllocationDecision, JobAllocation, validate_decision
@@ -145,38 +145,66 @@ class Simulator:
         #: the active table's insertion order *is* spec order (submissions
         #: pop in (time, spec-position) order) and iteration needs no sort.
         self._specs_time_sorted = True
+        # -- streaming intake state ----------------------------------------
+        #: True while running in streaming mode (``run_stream``): specs are
+        #: admitted lazily from an iterator and completed jobs are evicted.
+        self._streaming = False
+        #: The spec iterator of a streaming run (None once exhausted).
+        self._stream: Optional[Iterator[JobSpec]] = None
+        #: job ids ever admitted (duplicate detection across the stream).
+        self._seen_job_ids: set = set()
+        #: Submit time of the most recently admitted spec (order enforcement).
+        self._last_admitted_submit = -math.inf
+        #: Spec-sequence position of the next streamed admission.
+        self._next_stream_index = 0
+        #: Submit time of the first job (makespan baseline).
+        self._first_submit = 0.0
+        #: High-water mark of jobs resident in the engine's tables at once.
+        #: In streaming mode this stays O(active jobs); materialized runs
+        #: register every spec up front so it equals the workload size.
+        self.peak_resident_jobs = 0
 
     # ------------------------------------------------------------------ run --
     def run(self, specs: Sequence[JobSpec]) -> SimulationResult:
-        """Simulate the full workload and return the per-run results."""
+        """Simulate the full (materialized) workload and return the results."""
         if not specs:
             raise SimulationError("cannot simulate an empty workload")
-        seen_ids = set()
         for index, spec in enumerate(specs):
-            if spec.job_id in seen_ids:
-                raise SimulationError(f"duplicate job id {spec.job_id} in workload")
-            seen_ids.add(spec.job_id)
-            if spec.num_tasks > self.cluster.num_nodes and _is_batch(self.scheduler):
-                raise SimulationError(
-                    f"job {spec.job_id} needs {spec.num_tasks} nodes but the "
-                    f"cluster only has {self.cluster.num_nodes} (batch scheduling "
-                    "would never start it)"
-                )
-            self._jobs[spec.job_id] = Job(spec=spec)
-            self._arrived[spec.job_id] = False
-            self._seq[spec.job_id] = index
-            self._alloc_version[spec.job_id] = 0
-            self._queue.push(
-                Event(spec.submit_time, EventType.JOB_SUBMISSION, spec.job_id)
-            )
-
+            self._register_spec(spec, index)
         self._specs_time_sorted = all(
             specs[i].submit_time <= specs[i + 1].submit_time
             for i in range(len(specs) - 1)
         )
-        first_submit = min(spec.submit_time for spec in specs)
-        self._now = first_submit
         self._pending_submissions = len(specs)
+        return self._run_event_loop(min(spec.submit_time for spec in specs))
+
+    def run_stream(self, specs: Iterable[JobSpec]) -> SimulationResult:
+        """Simulate a streaming workload with lazy job admission.
+
+        ``specs`` must be arrival-ordered (non-decreasing submit times, the
+        :class:`repro.traces.JobSource` contract).  Jobs are admitted from
+        the iterator one ahead of simulated time and evicted from every
+        engine table on completion, so the resident job count — tracked by
+        :attr:`peak_resident_jobs` — stays ``O(active jobs)`` instead of
+        ``O(total jobs)``.  Results are byte-identical to ``run(list(specs))``.
+        """
+        if self.config.legacy_event_loop:
+            raise SimulationError(
+                "streaming intake requires the O(active jobs) event loop "
+                "(legacy_event_loop=False)"
+            )
+        self._streaming = True
+        self._stream = iter(specs)
+        first = next(self._stream, None)
+        if first is None:
+            raise SimulationError("cannot simulate an empty workload")
+        self._specs_time_sorted = True
+        self._admit_spec(first)
+        return self._run_event_loop(first.submit_time)
+
+    def _run_event_loop(self, first_submit: float) -> SimulationResult:
+        self._first_submit = first_submit
+        self._now = first_submit
         self.scheduler.start(self.cluster, first_submit)
         for observer in self._observers:
             observer.on_simulation_start(self.cluster, first_submit)
@@ -213,7 +241,7 @@ class Simulator:
 
         for observer in self._observers:
             observer.on_simulation_end(self._now)
-        makespan = self._compute_makespan(specs)
+        makespan = self._compute_makespan()
         return SimulationResult(
             algorithm=getattr(self.scheduler, "name", type(self.scheduler).__name__),
             cluster=self.cluster,
@@ -224,6 +252,52 @@ class Simulator:
             scheduler_job_counts=list(self._scheduler_job_counts),
             idle_node_seconds=self._idle_node_seconds,
         )
+
+    # -------------------------------------------------------- spec admission --
+    def _register_spec(self, spec: JobSpec, index: int) -> None:
+        """Create the engine-side state of one spec and queue its submission."""
+        if spec.job_id in self._seen_job_ids:
+            raise SimulationError(f"duplicate job id {spec.job_id} in workload")
+        self._seen_job_ids.add(spec.job_id)
+        if spec.num_tasks > self.cluster.num_nodes and _is_batch(self.scheduler):
+            raise SimulationError(
+                f"job {spec.job_id} needs {spec.num_tasks} nodes but the "
+                f"cluster only has {self.cluster.num_nodes} (batch scheduling "
+                "would never start it)"
+            )
+        self._jobs[spec.job_id] = Job(spec=spec)
+        self._arrived[spec.job_id] = False
+        self._seq[spec.job_id] = index
+        self._alloc_version[spec.job_id] = 0
+        self._queue.push(
+            Event(spec.submit_time, EventType.JOB_SUBMISSION, spec.job_id)
+        )
+        resident = len(self._jobs)
+        if resident > self.peak_resident_jobs:
+            self.peak_resident_jobs = resident
+
+    def _admit_spec(self, spec: JobSpec) -> None:
+        """Streaming intake of one spec, enforcing arrival order."""
+        if spec.submit_time < self._last_admitted_submit:
+            raise SimulationError(
+                f"streaming intake requires arrival-ordered specs: job "
+                f"{spec.job_id} submitted at {spec.submit_time:.3f} after a "
+                f"job submitted at {self._last_admitted_submit:.3f}"
+            )
+        self._last_admitted_submit = spec.submit_time
+        self._register_spec(spec, self._next_stream_index)
+        self._next_stream_index += 1
+        self._pending_submissions += 1
+
+    def _admit_next_from_stream(self) -> None:
+        """Pull the next spec (if any) from the streaming source."""
+        if self._stream is None:
+            return
+        spec = next(self._stream, None)
+        if spec is None:
+            self._stream = None
+            return
+        self._admit_spec(spec)
 
     # ------------------------------------------------- active-job iteration --
     def _iter_jobs(self) -> Iterable[Job]:
@@ -366,16 +440,24 @@ class Simulator:
             if job.state is JobState.RUNNING and job.remaining_work <= 0.0:
                 self._complete_job(job)
                 completed.append(job.job_id)
-        for event in self._queue.pop_until(now):
-            if event.event_type is EventType.JOB_SUBMISSION:
-                assert event.job_id is not None
-                self._activate(event.job_id)
-                self._pending_submissions -= 1
-                submitted.append(event.job_id)
-                for observer in self._observers:
-                    observer.on_job_submitted(now, self._jobs[event.job_id].spec)
-            elif event.event_type is EventType.SCHEDULER_WAKEUP:
-                is_wakeup = True
+        events = self._queue.pop_until(now)
+        while events:
+            for event in events:
+                if event.event_type is EventType.JOB_SUBMISSION:
+                    assert event.job_id is not None
+                    self._activate(event.job_id)
+                    self._pending_submissions -= 1
+                    submitted.append(event.job_id)
+                    for observer in self._observers:
+                        observer.on_job_submitted(now, self._jobs[event.job_id].spec)
+                    if self._streaming:
+                        # Lazy admission keeps exactly one unarrived spec
+                        # queued; replacing it may queue another event <= now
+                        # (same-timestamp submissions), hence the outer loop.
+                        self._admit_next_from_stream()
+                elif event.event_type is EventType.SCHEDULER_WAKEUP:
+                    is_wakeup = True
+            events = self._queue.pop_until(now) if self._streaming else []
         return submitted, completed, is_wakeup
 
     def _complete_job(self, job: Job) -> None:
@@ -399,6 +481,17 @@ class Simulator:
                 migrations=job.migration_count,
             )
         )
+        if self._streaming:
+            # Evict the finished job from every per-job table so streaming
+            # runs keep O(active jobs) state resident.  Safe: schedulers only
+            # see active jobs, stale completion-heap entries are discarded
+            # before their version is consulted, and the record above already
+            # captured everything the results need.
+            job_id = job.job_id
+            del self._jobs[job_id]
+            del self._arrived[job_id]
+            self._seq.pop(job_id, None)
+            self._alloc_version.pop(job_id, None)
         for observer in self._observers:
             observer.on_job_completed(self._now, job.spec)
 
@@ -541,12 +634,11 @@ class Simulator:
                 observer.on_allocation_applied(self._now, running_now)
 
     # --------------------------------------------------------------- results --
-    def _compute_makespan(self, specs: Sequence[JobSpec]) -> float:
+    def _compute_makespan(self) -> float:
         if not self._records:
             return 0.0
-        first_submit = min(spec.submit_time for spec in specs)
         last_completion = max(record.completion_time for record in self._records)
-        return max(0.0, last_completion - first_submit)
+        return max(0.0, last_completion - self._first_submit)
 
 
 def _is_batch(scheduler) -> bool:

@@ -181,7 +181,18 @@ class Job:
             return self.completion_time if self.completion_time is not None else now
         if self.state is not JobState.RUNNING or self.current_yield <= 0.0:
             return math.inf
-        return now + self.penalty_remaining + self.remaining_work / self.current_yield
+        completion = (
+            now + self.penalty_remaining + self.remaining_work / self.current_yield
+        )
+        if completion <= now:
+            # At large simulated times one float ulp can exceed the residual
+            # work's drain time, making ``now + residual`` round back to
+            # ``now``; the event loop would then spin at constant time without
+            # ever completing the job.  Nudge the prediction one ulp into the
+            # future so simulated time always advances (and the residual is
+            # drained by that step).
+            return math.nextafter(now, math.inf)
+        return completion
 
     def advance(self, duration: float) -> None:
         """Advance the job by ``duration`` wall-clock seconds.

@@ -1,0 +1,99 @@
+"""Streaming workload sources, synthetic generators, and trace transforms.
+
+This package is the workload seam of the reproduction:
+
+* :mod:`~repro.traces.source` — the :class:`JobSource` streaming protocol
+  (arrival-ordered, bounded-memory iterators of job specs with a canonical
+  ``to_dict``/``from_dict`` spec form) plus adapters for every existing
+  path: Lublin, HPC2N-like, SWF files (gzip-aware), internal JSON traces,
+  in-memory workloads, arbitrary callables, and sequential splicing;
+* :mod:`~repro.traces.generators` — new synthetic models beyond the paper:
+  a Feitelson/Downey-style log-uniform runtime + parallelism model
+  (``"downey"``) and a diurnal/bursty Markov-modulated Poisson arrival
+  process (``"diurnal-poisson"``);
+* :mod:`~repro.traces.transforms` — composable, spec-expressible trace
+  surgery (time-window slice, load rescale, seeded perturbation, filters,
+  head, bootstrap resample) chained over any source via
+  :class:`TransformedSource`;
+* :mod:`~repro.traces.io` — the internal JSON trace format and (lossy)
+  SWF export.
+
+Sources plug into the campaign layer through the ``generator`` and
+``transform`` scenario source types (:mod:`repro.campaign.scenario`), into
+the CLI through ``repro-dfrs trace``, and into the engine through
+:meth:`repro.core.engine.Simulator.run_stream`, which admits jobs lazily so
+peak resident state is O(active jobs) even on million-job traces.
+"""
+
+from .generators import DiurnalPoissonTraceSource, DowneyTraceSource
+from .io import (
+    TRACE_JSON_FORMAT,
+    load_trace_json,
+    trace_json_payload_to_workload,
+    workload_to_swf_records,
+    write_trace_json,
+    write_workload_swf,
+)
+from .source import (
+    CallableTraceSource,
+    ConcatTraceSource,
+    Hpc2nLikeTraceSource,
+    JobSource,
+    JsonTraceSource,
+    LublinTraceSource,
+    SwfTraceSource,
+    WorkloadTraceSource,
+    available_trace_sources,
+    register_trace_source,
+    trace_source_from_dict,
+)
+from .transforms import (
+    BootstrapResample,
+    FilterJobs,
+    Head,
+    Perturb,
+    PredicateFilter,
+    RescaleLoad,
+    ScaleInterarrival,
+    TimeWindow,
+    TraceTransform,
+    TransformedSource,
+    available_transforms,
+    register_transform,
+    transform_from_dict,
+)
+
+__all__ = [
+    "JobSource",
+    "LublinTraceSource",
+    "Hpc2nLikeTraceSource",
+    "SwfTraceSource",
+    "JsonTraceSource",
+    "WorkloadTraceSource",
+    "CallableTraceSource",
+    "ConcatTraceSource",
+    "register_trace_source",
+    "trace_source_from_dict",
+    "available_trace_sources",
+    "DowneyTraceSource",
+    "DiurnalPoissonTraceSource",
+    "TraceTransform",
+    "TimeWindow",
+    "ScaleInterarrival",
+    "RescaleLoad",
+    "Perturb",
+    "FilterJobs",
+    "PredicateFilter",
+    "Head",
+    "BootstrapResample",
+    "TransformedSource",
+    "register_transform",
+    "transform_from_dict",
+    "available_transforms",
+    "TRACE_JSON_FORMAT",
+    "write_trace_json",
+    "load_trace_json",
+    "trace_json_payload_to_workload",
+    "workload_to_swf_records",
+    "write_workload_swf",
+]

@@ -21,13 +21,25 @@ from .hpc2n import (
     WEEK_SECONDS,
     Hpc2nLikeTraceGenerator,
     Hpc2nPreprocessingOptions,
+    record_to_jobspec,
     swf_to_dfrs_jobs,
 )
 from .lublin import LublinModelParameters, LublinWorkloadGenerator
 from .memory import MemoryRequirementModel
 from .model import Workload, offered_load
 from .scaling import DEFAULT_LOAD_LEVELS, load_sweep, scale_to_load
-from .swf import SwfRecord, parse_swf, parse_swf_lines, swf_header, write_swf
+from .swf import (
+    SwfHeader,
+    SwfRecord,
+    iter_swf_records,
+    open_trace_text,
+    parse_swf,
+    parse_swf_lines,
+    parse_swf_with_header,
+    read_swf_header,
+    swf_header,
+    write_swf,
+)
 
 __all__ = [
     "WorkloadCharacterization",
@@ -46,6 +58,7 @@ __all__ = [
     "WEEK_SECONDS",
     "Hpc2nLikeTraceGenerator",
     "Hpc2nPreprocessingOptions",
+    "record_to_jobspec",
     "swf_to_dfrs_jobs",
     "LublinModelParameters",
     "LublinWorkloadGenerator",
@@ -55,9 +68,14 @@ __all__ = [
     "DEFAULT_LOAD_LEVELS",
     "load_sweep",
     "scale_to_load",
+    "SwfHeader",
     "SwfRecord",
+    "iter_swf_records",
+    "open_trace_text",
     "parse_swf",
     "parse_swf_lines",
+    "parse_swf_with_header",
+    "read_swf_header",
     "swf_header",
     "write_swf",
 ]

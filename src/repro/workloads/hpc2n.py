@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -40,6 +40,7 @@ from .swf import SwfRecord
 __all__ = [
     "HPC2N_CLUSTER",
     "Hpc2nPreprocessingOptions",
+    "record_to_jobspec",
     "swf_to_dfrs_jobs",
     "Hpc2nLikeTraceGenerator",
     "WEEK_SECONDS",
@@ -65,6 +66,44 @@ class Hpc2nPreprocessingOptions:
     single_core_need: float = 0.50
 
 
+def record_to_jobspec(
+    record: SwfRecord,
+    cluster: Cluster = HPC2N_CLUSTER,
+    *,
+    job_id: int,
+    options: Optional[Hpc2nPreprocessingOptions] = None,
+) -> Optional[JobSpec]:
+    """Convert a single SWF record with the paper's §IV-C rules.
+
+    Returns ``None`` for unusable records (no runtime or processor count).
+    This is the per-record kernel of :func:`swf_to_dfrs_jobs`, exposed
+    separately so the streaming trace sources in :mod:`repro.traces` can
+    convert records one at a time without materializing the trace.
+    """
+    opts = options or Hpc2nPreprocessingOptions()
+    if not record.is_usable():
+        return None
+    processors = record.processors
+    per_proc_memory = _per_processor_memory(record, opts)
+    if processors % 2 == 0 and per_proc_memory < opts.pairing_threshold:
+        num_tasks = processors // 2
+        cpu_need = 1.0
+        memory = min(1.0, 2.0 * per_proc_memory)
+    else:
+        num_tasks = processors
+        cpu_need = opts.single_core_need
+        memory = min(1.0, per_proc_memory)
+    num_tasks = min(num_tasks, cluster.num_nodes)
+    return JobSpec(
+        job_id=job_id,
+        submit_time=float(record.submit_time),
+        num_tasks=int(num_tasks),
+        cpu_need=cpu_need,
+        mem_requirement=memory,
+        execution_time=float(record.run_time),
+    )
+
+
 def swf_to_dfrs_jobs(
     records: Sequence[SwfRecord],
     cluster: Cluster = HPC2N_CLUSTER,
@@ -75,32 +114,10 @@ def swf_to_dfrs_jobs(
     """Convert SWF records to a DFRS workload using the paper's rules."""
     opts = options or Hpc2nPreprocessingOptions()
     jobs: List[JobSpec] = []
-    job_id = 0
     for record in records:
-        if not record.is_usable():
-            continue
-        processors = record.processors
-        per_proc_memory = _per_processor_memory(record, opts)
-        if processors % 2 == 0 and per_proc_memory < opts.pairing_threshold:
-            num_tasks = processors // 2
-            cpu_need = 1.0
-            memory = min(1.0, 2.0 * per_proc_memory)
-        else:
-            num_tasks = processors
-            cpu_need = opts.single_core_need
-            memory = min(1.0, per_proc_memory)
-        num_tasks = min(num_tasks, cluster.num_nodes)
-        jobs.append(
-            JobSpec(
-                job_id=job_id,
-                submit_time=float(record.submit_time),
-                num_tasks=int(num_tasks),
-                cpu_need=cpu_need,
-                mem_requirement=memory,
-                execution_time=float(record.run_time),
-            )
-        )
-        job_id += 1
+        spec = record_to_jobspec(record, cluster, job_id=len(jobs), options=opts)
+        if spec is not None:
+            jobs.append(spec)
     if not jobs:
         raise WorkloadError("no usable jobs found in the SWF records")
     return Workload(name, cluster, jobs)
@@ -186,38 +203,45 @@ class Hpc2nLikeTraceGenerator:
         fraction = min(1.0, max(0.02, rng.beta(1.2, 6.0)))
         return float(fraction * node_kb)
 
-    def generate_records(
+    def iter_records(
         self, num_weeks: int = 1, *, seed: int = 0
-    ) -> List[SwfRecord]:
-        """Generate SWF records spanning ``num_weeks`` weeks."""
+    ) -> Iterator[SwfRecord]:
+        """Stream SWF records spanning ``num_weeks`` weeks one at a time.
+
+        Byte-identical to :meth:`generate_records` (same RNG draw order);
+        this is the bounded-memory intake used by the streaming trace
+        sources of :mod:`repro.traces`.
+        """
         if num_weeks < 1:
             raise WorkloadError(f"num_weeks must be >= 1, got {num_weeks}")
         rng = np.random.default_rng(seed)
         total_jobs = self.jobs_per_week * num_weeks
         mean_gap = (num_weeks * WEEK_SECONDS) / total_jobs
-        records: List[SwfRecord] = []
         current_time = 0.0
         for job_number in range(1, total_jobs + 1):
             current_time += float(rng.exponential(mean_gap))
             processors = self._sample_processors(rng)
             runtime = self._sample_runtime(rng)
             memory_kb = self._sample_memory_kb(rng)
-            records.append(
-                SwfRecord(
-                    job_number=job_number,
-                    submit_time=round(current_time, 1),
-                    wait_time=0.0,
-                    run_time=round(runtime, 1),
-                    allocated_processors=processors,
-                    average_cpu_time=round(runtime, 1),
-                    used_memory_kb=round(memory_kb, 1),
-                    requested_processors=processors,
-                    requested_time=round(runtime * 1.5, 1),
-                    requested_memory_kb=round(memory_kb, 1),
-                    status=1,
-                )
+            yield SwfRecord(
+                job_number=job_number,
+                submit_time=round(current_time, 1),
+                wait_time=0.0,
+                run_time=round(runtime, 1),
+                allocated_processors=processors,
+                average_cpu_time=round(runtime, 1),
+                used_memory_kb=round(memory_kb, 1),
+                requested_processors=processors,
+                requested_time=round(runtime * 1.5, 1),
+                requested_memory_kb=round(memory_kb, 1),
+                status=1,
             )
-        return records
+
+    def generate_records(
+        self, num_weeks: int = 1, *, seed: int = 0
+    ) -> List[SwfRecord]:
+        """Generate SWF records spanning ``num_weeks`` weeks."""
+        return list(self.iter_records(num_weeks, seed=seed))
 
     def generate_workload(
         self, num_weeks: int = 1, *, seed: int = 0, name: str = "hpc2n-like"

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -162,6 +162,32 @@ class LublinWorkloadGenerator:
         return float(gap / max(intensity, 1e-6))
 
     # -- workload assembly -----------------------------------------------------
+    def iter_jobs(self, num_jobs: int, *, seed: int = 0) -> Iterator[JobSpec]:
+        """Stream ``num_jobs`` annotated jobs one at a time, arrival-ordered.
+
+        Byte-identical to :meth:`generate` (same RNG draw order); this is the
+        bounded-memory intake used by the streaming trace sources of
+        :mod:`repro.traces`.
+        """
+        if num_jobs < 1:
+            raise ConfigurationError(f"num_jobs must be >= 1, got {num_jobs}")
+        rng = np.random.default_rng(seed)
+        current_time = 0.0
+        for job_id in range(num_jobs):
+            current_time += self.sample_interarrival(current_time, rng)
+            size = self.sample_size(rng)
+            runtime = self.sample_runtime(size, rng)
+            cpu_need = self.cpu_model.cpu_need(size, rng)
+            memory = self.memory_model.memory_requirement(rng)
+            yield JobSpec(
+                job_id=job_id,
+                submit_time=current_time,
+                num_tasks=size,
+                cpu_need=cpu_need,
+                mem_requirement=memory,
+                execution_time=runtime,
+            )
+
     def generate(
         self,
         num_jobs: int,
@@ -170,25 +196,5 @@ class LublinWorkloadGenerator:
         name: Optional[str] = None,
     ) -> Workload:
         """Generate ``num_jobs`` annotated jobs for the configured cluster."""
-        if num_jobs < 1:
-            raise ConfigurationError(f"num_jobs must be >= 1, got {num_jobs}")
-        rng = np.random.default_rng(seed)
-        jobs: List[JobSpec] = []
-        current_time = 0.0
-        for job_id in range(num_jobs):
-            current_time += self.sample_interarrival(current_time, rng)
-            size = self.sample_size(rng)
-            runtime = self.sample_runtime(size, rng)
-            cpu_need = self.cpu_model.cpu_need(size, rng)
-            memory = self.memory_model.memory_requirement(rng)
-            jobs.append(
-                JobSpec(
-                    job_id=job_id,
-                    submit_time=current_time,
-                    num_tasks=size,
-                    cpu_need=cpu_need,
-                    mem_requirement=memory,
-                    execution_time=runtime,
-                )
-            )
+        jobs = list(self.iter_jobs(num_jobs, seed=seed))
         return Workload(name or f"lublin-seed{seed}", self.cluster, jobs)

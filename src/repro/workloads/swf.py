@@ -6,6 +6,13 @@ whitespace-separated fields, header/comment lines starting with ``;``.  This
 module parses and writes that format losslessly for the fields the DFRS
 pipeline needs; unknown or missing values use the SWF convention of ``-1``.
 
+Archive downloads are usually gzip-compressed (``*.swf.gz``); every reader
+here opens those transparently.  Header directives (``; MaxNodes: 120`` and
+friends) are parsed into a :class:`SwfHeader` instead of being discarded, and
+:func:`iter_swf_records` streams records one at a time so arbitrarily long
+traces can feed the streaming simulation path of :mod:`repro.traces` in
+bounded memory.
+
 Field reference (1-based, as in the SWF specification):
 
 1. job number              7. used memory (KB per processor)
@@ -18,15 +25,109 @@ Field reference (1-based, as in the SWF specification):
 
 from __future__ import annotations
 
+import gzip
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence, TextIO, Union
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+    Union,
+)
 
 from ..exceptions import TraceFormatError
 
-__all__ = ["SwfRecord", "parse_swf", "parse_swf_lines", "write_swf", "swf_header"]
+__all__ = [
+    "SwfRecord",
+    "SwfHeader",
+    "open_trace_text",
+    "parse_swf",
+    "parse_swf_lines",
+    "parse_swf_with_header",
+    "iter_swf_records",
+    "read_swf_header",
+    "write_swf",
+    "swf_header",
+]
 
 _NUM_FIELDS = 18
+
+
+@dataclass(frozen=True)
+class SwfHeader:
+    """Metadata parsed from the ``;``-comment directives of an SWF trace.
+
+    The Parallel Workloads Archive convention is ``; Key: value`` lines at
+    the top of the file.  The well-known keys used by this pipeline get
+    typed attributes; every directive (known or not) is also kept verbatim
+    in ``directives`` so nothing is lost.
+    """
+
+    computer: Optional[str] = None
+    max_nodes: Optional[int] = None
+    max_procs: Optional[int] = None
+    unix_start_time: Optional[int] = None
+    directives: Tuple[Tuple[str, str], ...] = ()
+
+    def directives_dict(self) -> Dict[str, str]:
+        return dict(self.directives)
+
+    @classmethod
+    def from_comment_lines(cls, lines: Iterable[str]) -> "SwfHeader":
+        """Build a header from the raw ``;`` comment lines of a trace."""
+        directives: List[Tuple[str, str]] = []
+        for raw in lines:
+            stripped = raw.strip().lstrip(";").strip()
+            if ":" not in stripped:
+                continue
+            key, _, value = stripped.partition(":")
+            key = key.strip()
+            value = value.strip()
+            if key:
+                directives.append((key, value))
+        mapping = dict(directives)
+        return cls(
+            computer=mapping.get("Computer"),
+            max_nodes=_int_directive(mapping, "MaxNodes"),
+            max_procs=_int_directive(mapping, "MaxProcs"),
+            unix_start_time=_int_directive(mapping, "UnixStartTime"),
+            directives=tuple(directives),
+        )
+
+
+def _int_directive(mapping: Dict[str, str], key: str) -> Optional[int]:
+    value = mapping.get(key)
+    if value is None:
+        return None
+    try:
+        return int(float(value.split()[0]))
+    except (ValueError, IndexError):
+        return None
+
+
+def open_trace_text(path: Union[str, Path], mode: str = "rt") -> TextIO:
+    """Open a trace file as text, transparently (de)compressing ``.gz``.
+
+    ``mode`` is ``"rt"`` or ``"wt"``.  The shared gzip seam of every trace
+    format in this package (SWF here, the internal JSON format in
+    :mod:`repro.traces.io`); reads substitute undecodable bytes so a stray
+    binary glitch cannot abort a multi-gigabyte parse.
+    """
+    path = Path(path)
+    errors = "replace" if "r" in mode else None
+    if path.suffix == ".gz":
+        return gzip.open(path, mode, encoding="utf-8", errors=errors)
+    return path.open(mode.replace("t", ""), encoding="utf-8", errors=errors)
+
+
+def _open_trace(path: Path) -> TextIO:
+    """Open an SWF trace for reading, transparently decompressing ``.gz``."""
+    return open_trace_text(path, "rt")
 
 
 @dataclass(frozen=True)
@@ -140,12 +241,74 @@ def parse_swf_lines(lines: Iterable[str]) -> List[SwfRecord]:
 
 
 def parse_swf(path: Union[str, Path]) -> List[SwfRecord]:
-    """Parse an SWF file from disk."""
+    """Parse an SWF file (optionally gzip-compressed) from disk."""
+    return parse_swf_with_header(path)[1]
+
+
+def parse_swf_with_header(
+    path: Union[str, Path]
+) -> Tuple[SwfHeader, List[SwfRecord]]:
+    """Parse an SWF file, returning its header metadata and records."""
     path = Path(path)
     if not path.exists():
         raise TraceFormatError(f"SWF trace not found: {path}")
-    with path.open("r", encoding="utf-8", errors="replace") as handle:
-        return parse_swf_lines(handle)
+    comments: List[str] = []
+    records: List[SwfRecord] = []
+    with _open_trace(path) as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(";"):
+                comments.append(line)
+                continue
+            records.append(_parse_line(line, line_number))
+    return SwfHeader.from_comment_lines(comments), records
+
+
+def read_swf_header(path: Union[str, Path]) -> SwfHeader:
+    """Read only the leading comment header of an SWF file.
+
+    Stops at the first job line, so it is cheap even on multi-gigabyte
+    traces.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TraceFormatError(f"SWF trace not found: {path}")
+    comments: List[str] = []
+    with _open_trace(path) as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line:
+                continue
+            if not line.startswith(";"):
+                break
+            comments.append(line)
+    return SwfHeader.from_comment_lines(comments)
+
+
+def iter_swf_records(path: Union[str, Path]) -> Iterator[SwfRecord]:
+    """Stream the records of an SWF file one at a time.
+
+    A missing file is reported here, at call time (matching
+    :func:`parse_swf`), not at first iteration.  The file handle stays open
+    for the lifetime of the returned iterator; exhausting (or
+    garbage-collecting) it closes the file.  This is the bounded-memory
+    intake used by :class:`repro.traces.SwfTraceSource`.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TraceFormatError(f"SWF trace not found: {path}")
+
+    def _stream() -> Iterator[SwfRecord]:
+        with _open_trace(path) as handle:
+            for line_number, raw in enumerate(handle, start=1):
+                line = raw.strip()
+                if not line or line.startswith(";"):
+                    continue
+                yield _parse_line(line, line_number)
+
+    return _stream()
 
 
 def swf_header(
@@ -185,5 +348,5 @@ def write_swf(
         return
     path = Path(destination)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as handle:
+    with open_trace_text(path, "wt") as handle:
         _emit(handle)

@@ -73,6 +73,23 @@ class TestSpecParsing:
         assert scenario.name == "load-period-cross"
         assert len(scenario.expand()) == 9
 
+    def test_shipped_generated_transform_spec_parses(self):
+        import pathlib
+
+        example = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "examples" / "scenarios" / "generated_transform.json"
+        )
+        scenario = load_scenario(example)
+        assert scenario.name == "generated-transform-chain"
+        assert scenario.source.kind == "transform"
+        # The chain round-trips through the canonical spec form.
+        from repro.campaign.scenario import source_from_dict
+
+        assert source_from_dict(scenario.source.to_dict()).to_dict() == (
+            scenario.source.to_dict()
+        )
+
     @pytest.mark.skipif(
         sys.version_info < (3, 11), reason="tomllib needs Python 3.11+"
     )

@@ -1,0 +1,149 @@
+"""Tests for the new synthetic trace generators (Downey, diurnal Poisson)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.exceptions import ConfigurationError
+from repro.traces import (
+    DiurnalPoissonTraceSource,
+    DowneyTraceSource,
+    trace_source_from_dict,
+)
+
+CLUSTER = Cluster(64, 4, 8.0)
+
+GENERATORS = [
+    DowneyTraceSource(num_jobs=400, seed=11),
+    DiurnalPoissonTraceSource(num_jobs=400, seed=11),
+]
+
+
+@pytest.mark.parametrize("source", GENERATORS, ids=lambda s: s.kind)
+class TestGeneratorContract:
+    def test_deterministic_under_fixed_seed(self, source):
+        assert list(source.jobs(CLUSTER)) == list(source.jobs(CLUSTER))
+
+    def test_different_seeds_differ(self, source):
+        reseeded = type(source)(num_jobs=400, seed=12)
+        assert list(source.jobs(CLUSTER)) != list(reseeded.jobs(CLUSTER))
+
+    def test_arrival_ordered(self, source):
+        specs = list(source.jobs(CLUSTER))
+        assert all(
+            specs[i].submit_time <= specs[i + 1].submit_time
+            for i in range(len(specs) - 1)
+        )
+
+    def test_specs_are_valid_and_fit_cluster(self, source):
+        specs = list(source.jobs(CLUSTER))
+        assert len(specs) == 400
+        assert [spec.job_id for spec in specs] == list(range(400))
+        for spec in specs:
+            assert 1 <= spec.num_tasks <= CLUSTER.num_nodes
+            assert 0.0 < spec.cpu_need <= 1.0
+            assert 0.0 < spec.mem_requirement <= 1.0
+            assert spec.execution_time > 0
+
+    def test_round_trip_spec(self, source):
+        rebuilt = trace_source_from_dict(source.to_dict())
+        assert rebuilt == source
+        assert list(rebuilt.jobs(CLUSTER)) == list(source.jobs(CLUSTER))
+
+
+class TestDowneyModel:
+    def test_runtime_bounds_respected(self):
+        source = DowneyTraceSource(
+            num_jobs=300,
+            seed=3,
+            min_runtime_seconds=60.0,
+            max_runtime_seconds=600.0,
+        )
+        runtimes = [spec.execution_time for spec in source.jobs(CLUSTER)]
+        assert min(runtimes) >= 60.0
+        assert max(runtimes) <= 600.0
+
+    def test_log_uniform_runtimes_cover_the_range(self):
+        # A log-uniform sample puts roughly equal mass in each decade.
+        source = DowneyTraceSource(
+            num_jobs=2000,
+            seed=4,
+            min_runtime_seconds=10.0,
+            max_runtime_seconds=100000.0,
+        )
+        runtimes = np.array([s.execution_time for s in source.jobs(CLUSTER)])
+        logs = np.log10(runtimes)
+        low = np.mean(logs < 3.0)  # first half of the log10 range [1, 5]
+        assert 0.4 < low < 0.6
+
+    def test_serial_fraction_controls_width(self):
+        source = DowneyTraceSource(num_jobs=1000, seed=5, serial_fraction=1.0)
+        assert all(spec.num_tasks == 1 for spec in source.jobs(CLUSTER))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            DowneyTraceSource(num_jobs=0)
+        with pytest.raises(ConfigurationError):
+            DowneyTraceSource(mean_interarrival_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            DowneyTraceSource(min_runtime_seconds=100.0, max_runtime_seconds=10.0)
+        with pytest.raises(ConfigurationError):
+            DowneyTraceSource(serial_fraction=1.5)
+
+
+class TestDiurnalPoissonModel:
+    def test_diurnal_cycle_shapes_arrivals(self):
+        # With a deep trough, hours around the peak must collect far more
+        # arrivals than hours around the opposite side of the clock.
+        source = DiurnalPoissonTraceSource(
+            num_jobs=4000,
+            seed=6,
+            mean_interarrival_seconds=120.0,
+            diurnal_depth=0.9,
+            peak_hour=14.0,
+            burst_factor=1.0,
+        )
+        hours = [
+            (spec.submit_time / 3600.0) % 24.0 for spec in source.jobs(CLUSTER)
+        ]
+        near_peak = sum(1 for h in hours if 12.0 <= h <= 16.0)
+        near_trough = sum(1 for h in hours if h >= 24.0 - 2.0 or h <= 2.0)
+        assert near_peak > 2 * near_trough
+
+    def test_bursts_compress_gaps(self):
+        calm = DiurnalPoissonTraceSource(
+            num_jobs=2000, seed=7, diurnal_depth=0.0, burst_factor=1.0
+        )
+        bursty = DiurnalPoissonTraceSource(
+            num_jobs=2000,
+            seed=7,
+            diurnal_depth=0.0,
+            burst_factor=10.0,
+            mean_burst_seconds=3600.0,
+            mean_quiet_seconds=3600.0,
+        )
+        def squared_cv(source):
+            times = [s.submit_time for s in source.jobs(CLUSTER)]
+            gaps = np.diff(times)
+            return float(np.var(gaps) / np.mean(gaps) ** 2)
+
+        # A Poisson process has CV^2 = 1; the MMPP overlay is overdispersed.
+        assert squared_cv(bursty) > squared_cv(calm)
+
+    def test_runtime_cap_respected(self):
+        source = DiurnalPoissonTraceSource(
+            num_jobs=500, seed=8, max_runtime_seconds=1000.0
+        )
+        assert all(
+            spec.execution_time <= 1000.0 for spec in source.jobs(CLUSTER)
+        )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalPoissonTraceSource(diurnal_depth=1.0)
+        with pytest.raises(ConfigurationError):
+            DiurnalPoissonTraceSource(burst_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            DiurnalPoissonTraceSource(mean_burst_seconds=0.0)

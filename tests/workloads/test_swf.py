@@ -16,9 +16,13 @@ from repro.workloads.hpc2n import (
 )
 from repro.workloads.scaling import DEFAULT_LOAD_LEVELS, load_sweep, scale_to_load
 from repro.workloads.swf import (
+    SwfHeader,
     SwfRecord,
+    iter_swf_records,
     parse_swf,
     parse_swf_lines,
+    parse_swf_with_header,
+    read_swf_header,
     swf_header,
     write_swf,
 )
@@ -241,3 +245,100 @@ class TestScaling:
         workload = Workload("one", small_cluster, [make_job(0)])
         with pytest.raises(WorkloadError):
             scale_to_load(workload, 0.5)
+
+
+HEADERED_SWF = """\
+; Computer: Linux Cluster (HPC2N)
+; MaxNodes: 120
+; MaxProcs: 240
+; UnixStartTime: 1027839845
+; Note: preprocessed
+1 0 10 3600 4 3600 524288 4 7200 524288 1 1 1 1 1 -1 -1 -1
+2 60 0 30 1 30 -1 1 60 -1 1 2 1 1 1 -1 -1 -1
+"""
+
+
+class TestSwfHeader:
+    def test_directives_parsed_into_typed_fields(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        path.write_text(HEADERED_SWF, encoding="utf-8")
+        header, records = parse_swf_with_header(path)
+        assert header.computer == "Linux Cluster (HPC2N)"
+        assert header.max_nodes == 120
+        assert header.max_procs == 240
+        assert header.unix_start_time == 1027839845
+        assert header.directives_dict()["Note"] == "preprocessed"
+        assert len(records) == 2
+
+    def test_read_header_only_stops_at_first_job(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        path.write_text(HEADERED_SWF, encoding="utf-8")
+        header = read_swf_header(path)
+        assert header.max_nodes == 120
+
+    def test_headerless_trace_yields_empty_header(self, tmp_path):
+        path = tmp_path / "bare.swf"
+        path.write_text("1 0 0 100 1 100 -1 1 100 -1 1 1 1 1 1 -1 -1 -1\n")
+        header, records = parse_swf_with_header(path)
+        assert header == SwfHeader()
+        assert len(records) == 1
+
+    def test_malformed_directives_are_kept_verbatim_only(self):
+        header = SwfHeader.from_comment_lines(
+            ["; MaxNodes: not-a-number", "; no colon here", ";"]
+        )
+        assert header.max_nodes is None
+        assert header.directives_dict() == {"MaxNodes": "not-a-number"}
+
+
+class TestGzipTransparency:
+    def _write_gz(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "trace.swf.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(HEADERED_SWF)
+        return path
+
+    def test_parse_swf_opens_gz(self, tmp_path):
+        path = self._write_gz(tmp_path)
+        records = parse_swf(path)
+        assert len(records) == 2
+        assert records[0].job_number == 1
+
+    def test_header_read_from_gz(self, tmp_path):
+        header = read_swf_header(self._write_gz(tmp_path))
+        assert header.max_nodes == 120
+
+    def test_gz_and_plain_parse_identically(self, tmp_path):
+        gz_path = self._write_gz(tmp_path)
+        plain = tmp_path / "trace.swf"
+        plain.write_text(HEADERED_SWF, encoding="utf-8")
+        assert parse_swf(gz_path) == parse_swf(plain)
+
+    def test_write_swf_compresses_gz_round_trip(self, tmp_path):
+        records = parse_swf_lines(HEADERED_SWF.splitlines())
+        path = tmp_path / "out.swf.gz"
+        write_swf(records, path, header=swf_header(computer="x"))
+        assert parse_swf(path) == records
+        # The file on disk really is gzip (magic bytes), not plain text.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+
+
+class TestStreamingIterator:
+    def test_streams_records_lazily(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        path.write_text(HEADERED_SWF, encoding="utf-8")
+        iterator = iter_swf_records(path)
+        first = next(iterator)
+        assert first.job_number == 1
+        assert [record.job_number for record in iterator] == [2]
+
+    def test_matches_parse_swf(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        path.write_text(HEADERED_SWF, encoding="utf-8")
+        assert list(iter_swf_records(path)) == parse_swf(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            list(iter_swf_records(tmp_path / "missing.swf"))
