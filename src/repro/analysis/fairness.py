@@ -94,7 +94,15 @@ class FairnessReport:
 
 
 def stretch_fairness(result: SimulationResult) -> FairnessReport:
-    """Fairness report over the bounded stretches of a finished run."""
+    """Fairness report over the bounded stretches of a finished run.
+
+    Needs the materialized per-job records; a streaming-metrics result has
+    no per-job distribution to assess (``result.stretches()`` says so).
+    The tail percentile routes through the exact-mode accumulator of
+    :mod:`repro.metrics` — same NumPy percentile, same bytes.
+    """
+    from ..metrics import ExactDistribution
+
     stretches = result.stretches()
     if stretches.size == 0:
         raise ReproError(
@@ -107,7 +115,7 @@ def stretch_fairness(result: SimulationResult) -> FairnessReport:
         mean_stretch=float(stretches.mean()),
         jain_stretch=jain_index(stretches),
         gini_stretch=gini_coefficient(stretches),
-        p95_stretch=float(np.percentile(stretches, 95)),
+        p95_stretch=ExactDistribution(stretches).percentile(95),
     )
 
 

@@ -56,21 +56,33 @@ class SummaryStatistics:
 
 
 def summarize(values: Sequence[float]) -> SummaryStatistics:
-    """Summary statistics of a sample (population standard deviation)."""
+    """Summary statistics of a sample (population standard deviation).
+
+    Backed by the exact-mode accumulator of :mod:`repro.metrics`
+    (:class:`~repro.metrics.ExactDistribution`), which performs the same
+    NumPy operations the historical inline code did — outputs are
+    byte-identical.  For samples too large to materialize, accumulate a
+    :class:`~repro.metrics.Moments` + :class:`~repro.metrics.QuantileSketch`
+    pair instead.
+    """
+    from ..metrics import ExactDistribution
+
     if len(values) == 0:
         raise ReproError("cannot summarize an empty sample")
     array = np.asarray(values, dtype=float)
     if not np.all(np.isfinite(array)):
         raise ReproError("cannot summarize a sample containing NaN or infinity")
+    # Zero-copy: ExactDistribution wraps the ndarray directly.
+    sample = ExactDistribution(array)
     return SummaryStatistics(
-        count=int(array.size),
+        count=sample.count,
         mean=float(array.mean()),
         std=float(array.std(ddof=0)),
         minimum=float(array.min()),
-        p25=float(np.percentile(array, 25)),
-        median=float(np.percentile(array, 50)),
-        p75=float(np.percentile(array, 75)),
-        p95=float(np.percentile(array, 95)),
+        p25=sample.percentile(25),
+        median=sample.percentile(50),
+        p75=sample.percentile(75),
+        p95=sample.percentile(95),
         maximum=float(array.max()),
     )
 

@@ -21,6 +21,13 @@ The eight experiment drivers in :mod:`repro.experiments` are thin scenario
 builders over this API (see :mod:`repro.campaign.studies`), and the
 ``repro-dfrs run`` subcommand executes a scenario described in a JSON/TOML
 file with zero new driver code.
+
+``Campaign(streaming=True)`` (CLI ``--streaming-metrics``) swaps in the
+bounded-memory execution path: per-instance :class:`repro.traces.JobSource`
+streams feed :meth:`~repro.core.engine.Simulator.run_stream` with online
+metrics (:mod:`repro.metrics`), and per-cell accumulator partials merge
+exactly across the worker pool — campaign memory is independent of trace
+length.
 """
 
 from .collectors import (

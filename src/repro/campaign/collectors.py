@@ -11,6 +11,17 @@ collectors in-process so only plain dictionaries travel back over the pool.
 Metric values are floats, ints, or lists of floats (for raw sample vectors
 such as scheduler timings); everything must survive a JSON round trip, which
 is what makes the executor's run cache and the CSV/JSON exporters lossless.
+
+Streaming campaigns (``Campaign(streaming=True)``) use a second, two-phase
+protocol on collectors that declare ``streaming_capable``:
+``stream_partials`` turns one streaming-metrics
+:class:`~repro.core.records.SimulationResult` into a bundle of mergeable
+:class:`repro.metrics.Accumulator` objects (what workers ship back over the
+pool), and ``stream_finalize`` turns the bundle merged across a cell's
+instances into the flat metrics row.  Collectors that fundamentally need the
+full per-job population (fairness, raw timing vectors, utilization traces)
+keep ``streaming_capable = False`` and are rejected with a targeted error
+when a streaming campaign requests them.
 """
 
 from __future__ import annotations
@@ -22,6 +33,7 @@ import numpy as np
 from ..core.observers import SimulationObserver, UtilizationRecorder
 from ..core.records import SimulationResult
 from ..exceptions import ConfigurationError
+from ..metrics import Accumulator, Moments, SumAccumulator
 from ..workloads.model import Workload
 
 __all__ = [
@@ -48,6 +60,10 @@ class MetricCollector:
 
     name: str = "base"
     recorders: Tuple[str, ...] = ()
+    #: True when the collector implements the two-phase streaming protocol
+    #: (``stream_partials`` / ``stream_finalize``) and therefore works in
+    #: bounded-memory campaigns.
+    streaming_capable: bool = False
 
     def collect(
         self,
@@ -57,11 +73,41 @@ class MetricCollector:
     ) -> Dict[str, Any]:
         raise NotImplementedError
 
+    def stream_partials(self, result: SimulationResult) -> Dict[str, Accumulator]:
+        """Mergeable partials of one streaming-metrics run (worker side)."""
+        raise ConfigurationError(
+            f"metric collector {self.name!r} does not support streaming "
+            "campaigns (it needs the full per-job population)"
+        )
+
+    def stream_finalize(
+        self, merged: Mapping[str, Accumulator]
+    ) -> Dict[str, Any]:
+        """Flat metrics row from partials merged across a cell's instances."""
+        raise ConfigurationError(
+            f"metric collector {self.name!r} does not support streaming campaigns"
+        )
+
+    def _require_job_stats(self, result: SimulationResult):
+        if result.job_stats is None:
+            raise ConfigurationError(
+                f"collector {self.name!r} needs a streaming-metrics result "
+                "(SimulationConfig(streaming_metrics=True)) to build partials"
+            )
+        return result.job_stats
+
 
 class StretchCollector(MetricCollector):
-    """Headline stretch/turnaround metrics — the default collector."""
+    """Headline stretch/turnaround metrics — the default collector.
+
+    In streaming mode the row additionally carries the sketched stretch
+    quantiles (``stretch_p50``/``p90``/``p99``, within the sketch's
+    documented relative-error bound) merged exactly across the cell's
+    instances; ``max_stretch`` and ``num_jobs`` stay exact.
+    """
 
     name = "stretch"
+    streaming_capable = True
 
     def collect(self, result, recorders, workload):
         return {
@@ -72,11 +118,40 @@ class StretchCollector(MetricCollector):
             "num_jobs": result.num_jobs,
         }
 
+    def stream_partials(self, result):
+        job_stats = self._require_job_stats(result)
+        makespan = Moments()
+        makespan.add(result.makespan)
+        return {"jobs": job_stats, "makespan": makespan}
+
+    def stream_finalize(self, merged):
+        summary = merged["jobs"].summary()
+        summary["num_jobs"] = int(summary.get("num_jobs", 0))
+        worst = merged["jobs"].worst_stretch.items()
+        if worst:
+            # The id of the worst-stretch job (within its instance, when the
+            # cell merges several) — the first thing to pull out of a trace
+            # when a campaign row shows a pathological maximum.
+            summary["worst_job_id"] = int(worst[0][1])
+        makespan = merged["makespan"]
+        # One makespan per instance: report the mean (what the non-streaming
+        # summary table would average) and the worst case.
+        summary["makespan"] = makespan.mean if makespan.count else 0.0
+        summary["max_makespan"] = makespan.maximum if makespan.count else 0.0
+        return summary
+
 
 class CostCollector(MetricCollector):
-    """Preemption/migration cost metrics (the Table II columns)."""
+    """Preemption/migration cost metrics (the Table II columns).
+
+    Streaming mode pools the raw tallies (counts, GB moved, simulated
+    seconds, jobs) across the cell's instances and re-derives the ratios
+    from the pooled totals, so the merged row is the cost profile of the
+    concatenated runs rather than a mean of per-run ratios.
+    """
 
     name = "costs"
+    streaming_capable = True
 
     def collect(self, result, recorders, workload):
         return {
@@ -86,6 +161,32 @@ class CostCollector(MetricCollector):
             "migr_per_hour": result.migrations_per_hour(),
             "pmtn_per_job": result.preemptions_per_job(),
             "migr_per_job": result.migrations_per_job(),
+        }
+
+    def stream_partials(self, result):
+        def tally(value: float) -> SumAccumulator:
+            return SumAccumulator(total=float(value), n=1)
+
+        return {
+            "pmtn_count": tally(result.costs.preemption_count),
+            "migr_count": tally(result.costs.migration_count),
+            "pmtn_gb": tally(result.costs.preemption_gb),
+            "migr_gb": tally(result.costs.migration_gb),
+            "jobs": tally(result.num_jobs),
+            "seconds": tally(result.makespan),
+        }
+
+    def stream_finalize(self, merged):
+        seconds = max(merged["seconds"].total, 1e-9)
+        hours = seconds / 3600.0
+        jobs = max(1.0, merged["jobs"].total)
+        return {
+            "pmtn_bandwidth_gb_per_sec": merged["pmtn_gb"].total / seconds,
+            "migr_bandwidth_gb_per_sec": merged["migr_gb"].total / seconds,
+            "pmtn_per_hour": merged["pmtn_count"].total / hours,
+            "migr_per_hour": merged["migr_count"].total / hours,
+            "pmtn_per_job": merged["pmtn_count"].total / jobs,
+            "migr_per_job": merged["migr_count"].total / jobs,
         }
 
 

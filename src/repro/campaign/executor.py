@@ -11,6 +11,20 @@ With a ``cache_dir``, finished runs are persisted under the stable
 :func:`~repro.campaign.scenario.scenario_hash` after every cell; a rerun of
 the same scenario loads finished cells from disk and only simulates what is
 missing, which makes long campaigns resumable after an interruption.
+
+``Campaign(streaming=True)`` selects the bounded-memory execution path
+instead: each worker feeds a per-instance :class:`repro.traces.JobSource`
+straight into :meth:`~repro.core.engine.Simulator.run_stream` with
+``SimulationConfig(streaming_metrics=True)`` — no instance is ever
+materialized, no per-job record is ever kept — and ships back a bundle of
+mergeable :class:`repro.metrics.Accumulator` partials.  The executor merges
+the partials of a cell's instances exactly (the accumulators' associative
+``merge``) and emits **one row per (cell, algorithm)** with
+``instance_index = -1`` marking the merge.  Campaign memory is
+O(cells × accumulators), independent of trace length; a ``load`` sweep axis
+is honoured by measuring the stream's offered load in one extra pass and
+chaining a streaming inter-arrival rescale (the same arithmetic as
+:func:`~repro.workloads.scaling.scale_to_load`).
 """
 
 from __future__ import annotations
@@ -18,18 +32,21 @@ from __future__ import annotations
 import json
 import logging
 import re
+from dataclasses import replace as dataclasses_replace
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..core.cluster import Cluster
 from ..core.engine import SimulationConfig, Simulator
 from ..core.observers import create_recorder
-from ..exceptions import ReproError
+from ..exceptions import ConfigurationError, ReproError
+from ..metrics import bundle_from_dict, bundle_to_dict, merge_bundles
 from ..schedulers.registry import create_scheduler
 from ..workloads.model import Workload
 from ..workloads.scaling import scale_to_load
 from .collectors import create_collector
 from .result import CampaignResult, RunRecord
-from .scenario import CollectorSpec, Scenario, scenario_hash
+from .scenario import CollectorSpec, Scenario, payload_hash, scenario_hash
 
 __all__ = ["Campaign", "export_campaign_artifacts"]
 
@@ -37,6 +54,10 @@ _LOGGER = logging.getLogger(__name__)
 
 #: One unit of pool work: everything a worker needs to simulate and measure.
 _RunTask = Tuple[Workload, str, SimulationConfig, Tuple[CollectorSpec, ...]]
+
+#: One unit of streaming pool work: (job source, cluster, algorithm,
+#: engine config, collector specs, inter-arrival rescale factor or None).
+_StreamTask = Tuple[Any, Cluster, str, SimulationConfig, Tuple[CollectorSpec, ...], Optional[float]]
 
 
 def _execute_run(task: _RunTask) -> Dict[str, Any]:
@@ -68,6 +89,78 @@ def _execute_run(task: _RunTask) -> Dict[str, Any]:
     return metrics
 
 
+def _streaming_offered_load(source, cluster: Cluster) -> float:
+    """Offered load of a job stream, via the shared one-pass helper.
+
+    ``offered_load_stream`` has exactly the materialized
+    :func:`~repro.workloads.model.offered_load` semantics (max−min span);
+    this wrapper only turns its degenerate sentinels into targeted errors.
+    """
+    from ..workloads.model import offered_load_stream
+
+    current = offered_load_stream(source.jobs(cluster), cluster)
+    if not 0.0 < current < float("inf"):
+        raise ReproError(
+            f"stream {source.default_name()!r} has degenerate load {current!r}; "
+            "cannot rescale it to a target load"
+        )
+    return current
+
+
+def _check_arrival_order(source, cluster: Cluster) -> None:
+    """Fail fast if a convention-ordered stream is not actually sorted.
+
+    One cheap streaming pass over the submit times; raises a targeted
+    ConfigurationError (with a fix) instead of letting the engine abort the
+    campaign mid-simulation.
+    """
+    previous = -float("inf")
+    for position, spec in enumerate(source.jobs(cluster)):
+        if spec.submit_time < previous:
+            raise ConfigurationError(
+                f"stream {source.default_name()!r} is not arrival-ordered: "
+                f"job {spec.job_id} (record {position}) is submitted at "
+                f"{spec.submit_time:.3f}, before its predecessor "
+                f"({previous:.3f}); sort the trace first, e.g. "
+                "'repro-dfrs trace convert TRACE sorted.json.gz', or run "
+                "without streaming"
+            )
+        previous = spec.submit_time
+
+
+def _execute_streaming_run(task: _StreamTask) -> Dict[str, Any]:
+    """Simulate one (source, algorithm) streaming cell; ship back partials.
+
+    The worker never materializes the instance: the source streams into
+    ``run_stream`` (admitting O(active jobs)), the engine reduces per-job
+    outcomes online, and only serialized accumulator bundles travel back
+    over the pool.  ``factor`` (when set) chains a lazy inter-arrival
+    rescale — it was computed once per (instance, load) by the executor
+    (``current / target``, the ``scale_to_load`` arithmetic), so workers
+    never pay a load-measurement pass.
+    """
+    source, cluster, algorithm, simulation_config, collector_specs, factor = task
+    from ..traces import ScaleInterarrival
+
+    collectors = [
+        create_collector(spec.name, **spec.options_dict())
+        for spec in collector_specs
+    ]
+    stream_source = source
+    if factor is not None:
+        stream_source = source.transformed(ScaleInterarrival(factor=factor))
+    simulator = Simulator(cluster, create_scheduler(algorithm), simulation_config)
+    result = simulator.run_stream(stream_source.jobs(cluster))
+    return {
+        "workload": source.default_name(),
+        "partials": {
+            collector.name: bundle_to_dict(collector.stream_partials(result))
+            for collector in collectors
+        },
+        "peak_resident_jobs": simulator.peak_resident_jobs,
+    }
+
+
 class Campaign:
     """Execute scenarios into :class:`~repro.campaign.result.CampaignResult`.
 
@@ -79,6 +172,16 @@ class Campaign:
     cache_dir:
         Directory for the resumable run cache, keyed by scenario hash.
         ``None`` disables caching.
+    streaming:
+        Select the bounded-memory execution path (see the module docstring):
+        instances stream straight into ``run_stream`` with online metrics,
+        per-cell accumulators merge exactly across workers, and rows come
+        back one per ``(cell, algorithm)`` with ``instance_index = -1``.
+        Requires a source with ``streaming_sources`` and collectors with
+        ``streaming_capable``.
+    metrics_relative_error:
+        Accuracy of the streaming quantile sketches (see
+        :class:`repro.metrics.QuantileSketch`); only read when ``streaming``.
     """
 
     def __init__(
@@ -86,9 +189,13 @@ class Campaign:
         *,
         workers: Optional[int] = None,
         cache_dir: Optional[Union[str, Path]] = None,
+        streaming: bool = False,
+        metrics_relative_error: float = 0.01,
     ) -> None:
         self.workers = workers
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.streaming = streaming
+        self.metrics_relative_error = metrics_relative_error
 
     # -- cache -----------------------------------------------------------------
     def _cache_path(self, digest: str) -> Optional[Path]:
@@ -161,6 +268,9 @@ class Campaign:
         touches the workload source.
         """
         from ..experiments.parallel import map_tasks
+
+        if self.streaming:
+            return self._run_streaming(scenario)
 
         digest = scenario_hash(scenario)
         cached, num_instances = self._load_cache(digest)
@@ -242,6 +352,190 @@ class Campaign:
                     RunRecord(
                         cell_index=cell.index,
                         instance_index=instance_index,
+                        workload=str(entry["workload"]),
+                        algorithm=algorithm,
+                        params=cell.params,
+                        metrics=entry["metrics"],
+                    )
+                )
+
+        return CampaignResult(
+            scenario=scenario.to_dict(), scenario_hash=digest, rows=rows
+        )
+
+    # -- streaming execution ---------------------------------------------------
+    def _run_streaming(self, scenario: Scenario) -> CampaignResult:
+        """Bounded-memory execution: stream instances, merge partials per cell."""
+        from ..experiments.parallel import map_tasks
+
+        if scenario.legacy_event_loop:
+            # run_stream would reject this inside every pool worker; fail
+            # fast with the same style of error the other preconditions get.
+            raise ConfigurationError(
+                "streaming campaigns need the O(active jobs) event loop; "
+                "drop legacy_event_loop from the scenario or run without "
+                "streaming"
+            )
+        sources = scenario.source.streaming_sources(scenario.cluster)
+        if sources is None:
+            raise ConfigurationError(
+                f"workload source {scenario.source.kind!r} cannot stream "
+                "(no per-instance JobSources); use a generator/transform/"
+                "swf source or run without streaming"
+            )
+        if not sources:
+            raise ConfigurationError(
+                f"scenario {scenario.name!r}: workload source produced no "
+                "streaming instances"
+            )
+        # Built once and reused for validation and every cell's finalize —
+        # collectors are stateless between runs by contract.
+        collectors = [
+            create_collector(spec.name, **spec.options_dict())
+            for spec in scenario.collectors
+        ]
+        for collector in collectors:
+            if not collector.streaming_capable:
+                raise ConfigurationError(
+                    f"metric collector {collector.name!r} needs the full "
+                    "per-job population and cannot run in a streaming "
+                    "campaign; drop it or run without streaming"
+                )
+
+        # The streaming rows are a different shape (merged per cell, sketched
+        # quantile columns), so the cache must never be shared with the
+        # materialized path: fold the execution mode into the digest.  The
+        # sketch accuracy changes the computed quantiles, so it is part of
+        # the key too — rows cached at 1 % must not serve a 0.1 % run.
+        digest = payload_hash(
+            {
+                "execution": "streaming-metrics",
+                "metrics_relative_error": self.metrics_relative_error,
+                "scenario": scenario.to_dict(),
+            }
+        )
+        cached, _ = self._load_cache(digest)
+        cells = scenario.expand()
+        simulation_config = dataclasses_replace(
+            scenario.simulation_config(),
+            streaming_metrics=True,
+            metrics_relative_error=self.metrics_relative_error,
+        )
+
+        # Offered load is a per-instance constant: measure it lazily, once
+        # per instance, with a single O(1)-memory pass — not once per
+        # (cell × algorithm × load) worker task.  Mirrors the materialized
+        # path's per-load scaled-workload memoisation.
+        measured_loads: List[Optional[float]] = [None] * len(sources)
+
+        # Convention-ordered streams (SWF archives, directly or under
+        # transforms/concat) are order-checked before the first simulation,
+        # so a stray out-of-order record fails in seconds instead of
+        # aborting a potentially hours-long run — but lazily, only when
+        # some cell actually needs simulating: a fully cached rerun must
+        # not re-parse a gigabyte archive just to resume.
+        order_checked = False
+
+        def check_order_once() -> None:
+            nonlocal order_checked
+            if order_checked:
+                return
+            order_checked = True
+            for source in sources:
+                # The JobSource protocol flag: SWF archives set it, wrapper
+                # sources propagate it from their bases; the check runs on
+                # the outer stream so order-restoring buffering transforms
+                # correctly pass.
+                if getattr(source, "order_by_convention", False):
+                    _check_arrival_order(source, scenario.cluster)
+
+        def rescale_factor(instance: int, load: Any) -> Optional[float]:
+            if load is None:
+                return None
+            # Same guard (and error style) as the materialized path's
+            # scale_to_load — not a ZeroDivisionError three layers deep.
+            if float(load) <= 0:
+                raise ConfigurationError(
+                    f"load axis values must be > 0, got {load!r}"
+                )
+            if measured_loads[instance] is None:
+                measured_loads[instance] = _streaming_offered_load(
+                    sources[instance], scenario.cluster
+                )
+            return measured_loads[instance] / float(load)
+
+        rows: List[RunRecord] = []
+        for cell in cells:
+            params = cell.params_dict()
+            load = params.get("load")
+            algorithms = scenario.resolved_algorithms(params)
+
+            pending: List[_StreamTask] = []
+            pending_algorithms: List[str] = []
+            for algorithm in algorithms:
+                key = f"{cell.index}/merged/{algorithm}"
+                if key in cached:
+                    continue
+                for instance, source in enumerate(sources):
+                    pending.append(
+                        (
+                            source,
+                            scenario.cluster,
+                            algorithm,
+                            simulation_config,
+                            scenario.collectors,
+                            rescale_factor(instance, load),
+                        )
+                    )
+                pending_algorithms.append(algorithm)
+
+            if pending:
+                check_order_once()
+                _LOGGER.debug(
+                    "scenario %s cell %d: streaming %d runs (%d algorithms x "
+                    "%d instances)",
+                    scenario.name, cell.index, len(pending),
+                    len(pending_algorithms), len(sources),
+                )
+                outcomes = map_tasks(
+                    _execute_streaming_run, pending, workers=self.workers
+                )
+                cursor = iter(outcomes)
+                for algorithm in pending_algorithms:
+                    per_instance = [next(cursor) for _ in sources]
+                    metrics: Dict[str, Any] = {}
+                    for collector in collectors:
+                        merged = merge_bundles(
+                            [
+                                bundle_from_dict(outcome["partials"][collector.name])
+                                for outcome in per_instance
+                            ]
+                        )
+                        metrics.update(collector.stream_finalize(merged))
+                    metrics["peak_resident_jobs"] = max(
+                        outcome["peak_resident_jobs"] for outcome in per_instance
+                    )
+                    workload_names = {
+                        str(outcome["workload"]) for outcome in per_instance
+                    }
+                    if len(workload_names) == 1:
+                        workload_name = next(iter(workload_names))
+                    else:
+                        workload_name = (
+                            f"{per_instance[0]['workload']}"
+                            f"(+{len(per_instance) - 1})"
+                        )
+                    key = f"{cell.index}/merged/{algorithm}"
+                    cached[key] = {"workload": workload_name, "metrics": metrics}
+                self._store_cache(digest, scenario, cached, len(sources))
+
+            for algorithm in algorithms:
+                entry = cached[f"{cell.index}/merged/{algorithm}"]
+                rows.append(
+                    RunRecord(
+                        cell_index=cell.index,
+                        # -1 marks "merged across every instance of the cell".
+                        instance_index=-1,
                         workload=str(entry["workload"]),
                         algorithm=algorithm,
                         params=cell.params,

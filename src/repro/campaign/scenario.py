@@ -83,6 +83,19 @@ class WorkloadSource:
     ) -> List[Workload]:
         raise NotImplementedError
 
+    def streaming_sources(self, cluster: Cluster) -> Optional[List[Any]]:
+        """Per-instance :class:`repro.traces.JobSource` streams, or ``None``.
+
+        The streaming campaign executor feeds these straight into
+        :meth:`repro.core.engine.Simulator.run_stream`, so sources that can
+        express their instances as arrival-ordered lazy streams should
+        return one :class:`~repro.traces.JobSource` per instance (same
+        instance count, same jobs, same order as :meth:`workloads`).
+        ``None`` (the default) means the source only exists materialized and
+        cannot back a ``--streaming-metrics`` campaign.
+        """
+        return None
+
     def to_dict(self) -> Dict[str, Any]:
         raise NotImplementedError
 
@@ -112,6 +125,16 @@ class LublinSource(WorkloadSource):
             seed_base=self.seed_base,
         )
         return generate_instances(config, load=None, workers=workers)
+
+    def streaming_sources(self, cluster: Cluster) -> Optional[List[Any]]:
+        from ..traces import LublinTraceSource
+
+        # Same per-trace seeding as generate_instances (trace i uses
+        # seed_base + i), so streaming instances carry identical jobs.
+        return [
+            LublinTraceSource(num_jobs=self.num_jobs, seed=self.seed_base + index)
+            for index in range(self.num_traces)
+        ]
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -147,6 +170,16 @@ class Hpc2nLikeSource(WorkloadSource):
         generator = Hpc2nLikeTraceGenerator(cluster, jobs_per_week=self.jobs_per_week)
         return [
             generator.generate_workload(1, seed=self.seed_base + week)
+            for week in range(self.weeks)
+        ]
+
+    def streaming_sources(self, cluster: Cluster) -> Optional[List[Any]]:
+        from ..traces import Hpc2nLikeTraceSource
+
+        return [
+            Hpc2nLikeTraceSource(
+                weeks=1, jobs_per_week=self.jobs_per_week, seed=self.seed_base + week
+            )
             for week in range(self.weeks)
         ]
 
@@ -187,6 +220,15 @@ class SwfSource(WorkloadSource):
         if self.segment_seconds is None:
             return [workload]
         return workload.segments(self.segment_seconds)
+
+    def streaming_sources(self, cluster: Cluster) -> Optional[List[Any]]:
+        if self.segment_seconds is not None:
+            # Fixed-duration segmentation needs the whole trace split into
+            # separate instances; keep that path materialized.
+            return None
+        from ..traces import SwfTraceSource
+
+        return [SwfTraceSource(path=self.path)]
 
     def _content_fingerprint(self) -> Optional[str]:
         """Digest of the trace file, hashed once per source object.
@@ -309,6 +351,9 @@ class GeneratorSource(WorkloadSource):
             for instance in range(self.instances)
         ]
 
+    def streaming_sources(self, cluster: Cluster) -> Optional[List[Any]]:
+        return [self._trace_source(instance) for instance in range(self.instances)]
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "type": self.kind,
@@ -363,6 +408,9 @@ class TransformSource(WorkloadSource):
         self, cluster: Cluster, *, workers: Optional[int] = None
     ) -> List[Workload]:
         return [self.source.materialize(cluster)]
+
+    def streaming_sources(self, cluster: Cluster) -> Optional[List[Any]]:
+        return [self.source]
 
     def to_dict(self) -> Dict[str, Any]:
         return self.source.to_dict()

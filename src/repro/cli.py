@@ -32,7 +32,9 @@ Trace subcommands (``repro-dfrs trace <command>``, see :mod:`repro.traces`):
 
 * ``trace inspect``       — SWF header directives and stream statistics;
 * ``trace characterize``  — the §I workload statistics for any trace file or
-  trace-source spec (synthetic generators and transform chains included);
+  trace-source spec (synthetic generators and transform chains included),
+  computed in one bounded-memory streaming pass so gzipped million-job
+  archives profile without blowing RAM;
 * ``trace transform``     — materialize a trace-source spec (e.g. a
   transform chain over a generator) to an SWF or internal JSON trace file;
 * ``trace convert``       — convert between SWF and the internal JSON trace
@@ -41,8 +43,13 @@ Trace subcommands (``repro-dfrs trace <command>``, see :mod:`repro.traces`):
 Every experiment subcommand honours ``--export-dir PATH`` (write the tidy
 per-run rows and full campaign payloads as CSV/JSON).  The
 simulation-backed subcommands also honour ``--cache-dir PATH`` (resume
-interrupted campaigns from the on-disk run cache); ``packing-ablation``
-runs no simulations and keeps no run cache.
+interrupted campaigns from the on-disk run cache).  ``run`` and
+``compare`` additionally honour ``--streaming-metrics`` (bounded-memory
+execution: instances stream into the engine, per-job records reduce to
+mergeable online statistics, rows merge per cell — see
+:mod:`repro.metrics`); the paper-artifact drivers refuse the flag because
+merged rows would change their per-instance aggregation semantics.
+``packing-ablation`` runs no simulations and keeps no run cache.
 """
 
 from __future__ import annotations
@@ -147,6 +154,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "resumable campaign run cache: finished cells are persisted here "
             "(keyed by scenario hash) and reloaded on rerun"
+        ),
+    )
+    parser.add_argument(
+        "--streaming-metrics",
+        action="store_true",
+        help=(
+            "bounded-memory campaign execution (run/compare only): "
+            "instances stream straight into the engine, per-job records "
+            "are reduced to mergeable online statistics (exact max/mean, "
+            "sketched p50/p90/p99), and each cell's rows are merged across "
+            "instances; memory is independent of trace length"
         ),
     )
 
@@ -285,7 +303,11 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
 def _campaign_from_args(
     args: argparse.Namespace, config: ExperimentConfig
 ) -> Campaign:
-    return Campaign(workers=config.workers, cache_dir=args.cache_dir)
+    return Campaign(
+        workers=config.workers,
+        cache_dir=args.cache_dir,
+        streaming=bool(getattr(args, "streaming_metrics", False)),
+    )
 
 
 def _run_compare(
@@ -430,12 +452,19 @@ def _run_trace_inspect(args: argparse.Namespace) -> None:
 
 
 def _run_trace_characterize(args: argparse.Namespace) -> None:
+    from .workloads import characterize_stream
+
     source, default_cluster = _load_trace_source(args.path)
-    workload = source.materialize(_trace_cluster(args, default_cluster))
-    profile = characterize(workload)
+    cluster = _trace_cluster(args, default_cluster)
+    # Single streaming pass: statistics and the width histogram accumulate
+    # online, so a gzipped million-job archive trace never needs to be
+    # resident (the runtime median/p95 come from a 0.1 %-accuracy sketch).
+    profile, histogram = characterize_stream(
+        source.jobs(cluster), cluster, name=source.default_name()
+    )
     lines = [characterization_table([profile]), "", "job width histogram:"]
     total = profile.num_jobs
-    for label, count in size_histogram(workload):
+    for label, count in histogram:
         bar = "#" * max(1, round(40 * count / total))
         lines.append(f"  {label:>9s} tasks  {count:6d}  {bar}")
     print("\n".join(lines))
@@ -494,10 +523,24 @@ def _format_algorithms() -> str:
     )
 
 
+#: Subcommands whose output semantics are well-defined for merged streaming
+#: rows.  The paper-artifact drivers (figure1/table1/...) aggregate
+#: *per-instance* degradation factors; a merged pseudo-instance row would
+#: silently change the estimator, so they refuse the flag instead.
+_STREAMING_COMMANDS = ("run", "compare")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``repro-dfrs`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "streaming_metrics", False) and args.command not in _STREAMING_COMMANDS:
+        parser.error(
+            f"--streaming-metrics only applies to {' / '.join(_STREAMING_COMMANDS)}: "
+            "the paper-artifact drivers average per-instance degradation "
+            "factors, which the merged per-cell streaming rows would "
+            "silently change"
+        )
     config = _config_from_args(args)
     campaign = _campaign_from_args(args, config)
 

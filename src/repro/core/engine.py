@@ -83,6 +83,18 @@ class SimulationConfig:
     #: Use the original O(all jobs)-per-event full-scan loop (reference
     #: semantics for equivalence tests and the scaling benchmark baseline).
     legacy_event_loop: bool = False
+    #: Accumulate per-job outcomes into mergeable online statistics
+    #: (:class:`repro.metrics.JobMetricsAccumulator`) instead of keeping one
+    #: :class:`~repro.core.records.JobRecord` per job: the result carries
+    #: ``job_stats`` summaries, ``result.jobs`` stays empty, and result
+    #: memory is O(accumulators) instead of O(jobs).  Scheduler timings are
+    #: likewise reduced to moments.  Off by default — the default mode is
+    #: byte-identical to previous releases.
+    streaming_metrics: bool = False
+    #: Relative-error bound of the streaming quantile sketches (see
+    #: :class:`repro.metrics.QuantileSketch`); only read when
+    #: ``streaming_metrics`` is on.
+    metrics_relative_error: float = 0.01
 
 
 class Simulator:
@@ -120,6 +132,22 @@ class Simulator:
         self._queue = EventQueue()
         self._costs = CostSummary()
         self._records: List[JobRecord] = []
+        # -- streaming-metrics state ---------------------------------------
+        #: Online per-job statistics replacing ``_records`` when
+        #: ``config.streaming_metrics`` is set (None otherwise).
+        self._job_stats = None
+        self._scheduler_time_stats = None
+        self._scheduler_job_count_stats = None
+        if self.config.streaming_metrics:
+            from ..metrics import JobMetricsAccumulator, Moments
+
+            self._job_stats = JobMetricsAccumulator(
+                relative_error=self.config.metrics_relative_error
+            )
+            self._scheduler_time_stats = Moments()
+            self._scheduler_job_count_stats = Moments()
+        #: Latest completion instant (streaming metrics makespan baseline).
+        self._last_completion = -math.inf
         self._scheduler_times: List[float] = []
         self._scheduler_job_counts: List[int] = []
         self._idle_node_seconds = 0.0
@@ -251,6 +279,9 @@ class Simulator:
             scheduler_times=list(self._scheduler_times),
             scheduler_job_counts=list(self._scheduler_job_counts),
             idle_node_seconds=self._idle_node_seconds,
+            job_stats=self._job_stats,
+            scheduler_time_stats=self._scheduler_time_stats,
+            scheduler_job_count_stats=self._scheduler_job_count_stats,
         )
 
     # -------------------------------------------------------- spec admission --
@@ -468,19 +499,29 @@ class Simulator:
         job.assignment = None
         job.current_yield = 0.0
         self._deactivate(job.job_id)
-        self._records.append(
-            JobRecord(
-                spec=job.spec,
-                first_start_time=(
-                    job.first_start_time
-                    if job.first_start_time is not None
-                    else self._now
-                ),
-                completion_time=self._now,
-                preemptions=job.preemption_count,
-                migrations=job.migration_count,
-            )
+        self._last_completion = max(self._last_completion, self._now)
+        record = JobRecord(
+            spec=job.spec,
+            first_start_time=(
+                job.first_start_time
+                if job.first_start_time is not None
+                else self._now
+            ),
+            completion_time=self._now,
+            preemptions=job.preemption_count,
+            migrations=job.migration_count,
         )
+        if self._job_stats is not None:
+            # Streaming metrics: fold the outcome into the accumulators and
+            # drop the record — result memory stays O(accumulators).
+            self._job_stats.observe(
+                job_id=record.spec.job_id,
+                stretch=record.stretch,
+                turnaround=record.turnaround_time,
+                wait=record.wait_time,
+            )
+        else:
+            self._records.append(record)
         if self._streaming:
             # Evict the finished job from every per-job table so streaming
             # runs keep O(active jobs) state resident.  Safe: schedulers only
@@ -540,8 +581,12 @@ class Simulator:
         decision = self.scheduler.schedule(context)
         elapsed = _time.perf_counter() - start
         if self.config.record_scheduler_times:
-            self._scheduler_times.append(elapsed)
-            self._scheduler_job_counts.append(len(context.jobs))
+            if self._scheduler_time_stats is not None:
+                self._scheduler_time_stats.add(elapsed)
+                self._scheduler_job_count_stats.add(len(context.jobs))
+            else:
+                self._scheduler_times.append(elapsed)
+                self._scheduler_job_counts.append(len(context.jobs))
         if decision is None:
             decision = AllocationDecision()
         specs = {job_id: self._jobs[job_id].spec for job_id in context.jobs}
@@ -635,6 +680,10 @@ class Simulator:
 
     # --------------------------------------------------------------- results --
     def _compute_makespan(self) -> float:
+        if self._job_stats is not None:
+            if self._job_stats.count == 0:
+                return 0.0
+            return max(0.0, self._last_completion - self._first_submit)
         if not self._records:
             return 0.0
         last_completion = max(record.completion_time for record in self._records)

@@ -4,18 +4,31 @@
 returns: the full set of per-job records plus the preemption/migration cost
 tally needed for Table II and the scheduler-computation timing needed for the
 §V feasibility discussion.
+
+In streaming-metrics mode (``SimulationConfig(streaming_metrics=True)``) the
+per-job list is replaced by mergeable online summaries: ``jobs`` stays empty
+and ``job_stats`` (a :class:`repro.metrics.JobMetricsAccumulator`) carries
+exact count/mean/min/max stretch statistics plus sketched quantiles, so the
+result's memory footprint is independent of trace length.  The headline
+properties (``max_stretch``, ``mean_stretch``, ``mean_turnaround``,
+``num_jobs``, the scheduler-timing reductions) consult whichever form is
+present, so analysis code works unchanged in both modes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
+from ..exceptions import ReproError
 from .cluster import Cluster
 from .job import JobSpec
 from .metrics import bounded_stretch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..metrics import JobMetricsAccumulator, Moments
 
 __all__ = ["JobRecord", "CostSummary", "SimulationResult"]
 
@@ -79,25 +92,72 @@ class SimulationResult:
     #: Time-integral of the number of idle nodes (node·seconds), for the
     #: energy/under-subscription observation of §II-B2.
     idle_node_seconds: float = 0.0
+    #: Streaming-metrics summaries (replace ``jobs`` when the engine ran
+    #: with ``streaming_metrics=True``; None in the default mode).
+    job_stats: Optional["JobMetricsAccumulator"] = None
+    scheduler_time_stats: Optional["Moments"] = None
+    scheduler_job_count_stats: Optional["Moments"] = None
+
+    @property
+    def is_streaming(self) -> bool:
+        """True when per-job records were reduced to online summaries."""
+        return self.job_stats is not None
 
     # -- stretch statistics ----------------------------------------------------
     def stretches(self) -> np.ndarray:
-        """Bounded stretch of every job, as an array."""
+        """Bounded stretch of every job, as an array.
+
+        Only available with materialized per-job records; a streaming-metrics
+        result has no per-job distribution to return.
+        """
+        if self.is_streaming and not self.jobs:
+            raise ReproError(
+                "per-job stretches are not materialized in streaming-metrics "
+                "mode; use job_stats (moments/quantile sketch) instead"
+            )
         return np.array([record.stretch for record in self.jobs], dtype=float)
 
     @property
     def max_stretch(self) -> float:
-        """Maximum bounded stretch (the paper's headline metric)."""
+        """Maximum bounded stretch (the paper's headline metric).
+
+        Exact in both modes: the streaming accumulator tracks the maximum
+        exactly.
+        """
+        if self.is_streaming and not self.jobs:
+            return self.job_stats.stretch.maximum if self.job_stats.count else 0.0
         values = self.stretches()
         return float(values.max()) if values.size else 0.0
 
     @property
     def mean_stretch(self) -> float:
+        if self.is_streaming and not self.jobs:
+            return self.job_stats.stretch.mean if self.job_stats.count else 0.0
         values = self.stretches()
         return float(values.mean()) if values.size else 0.0
 
+    def stretch_quantile(self, q: float) -> float:
+        """Bounded-stretch quantile, ``q`` in [0, 1].
+
+        Exact (NumPy nearest-rank over the records) in the default mode;
+        within the sketch's documented relative-error bound in streaming
+        mode.
+        """
+        if not (0.0 <= q <= 1.0):
+            raise ReproError(f"quantile q must be in [0, 1], got {q}")
+        if self.is_streaming and not self.jobs:
+            return self.job_stats.stretch_quantile(q)
+        from ..metrics import nearest_rank
+
+        values = np.sort(self.stretches())
+        if not values.size:
+            raise ReproError("run finished no jobs; no stretch quantiles")
+        return float(values[nearest_rank(q, values.size) - 1])
+
     @property
     def mean_turnaround(self) -> float:
+        if self.is_streaming and not self.jobs:
+            return self.job_stats.turnaround.mean if self.job_stats.count else 0.0
         if not self.jobs:
             return 0.0
         return float(np.mean([record.turnaround_time for record in self.jobs]))
@@ -105,6 +165,8 @@ class SimulationResult:
     # -- Table II style cost statistics ---------------------------------------
     @property
     def num_jobs(self) -> int:
+        if self.is_streaming and not self.jobs:
+            return self.job_stats.count
         return len(self.jobs)
 
     def _hours(self) -> float:
@@ -130,9 +192,15 @@ class SimulationResult:
 
     # -- scheduler timing ------------------------------------------------------
     def mean_scheduler_time(self) -> float:
+        if self.scheduler_time_stats is not None and not self.scheduler_times:
+            stats = self.scheduler_time_stats
+            return stats.mean if stats.count else 0.0
         return float(np.mean(self.scheduler_times)) if self.scheduler_times else 0.0
 
     def max_scheduler_time(self) -> float:
+        if self.scheduler_time_stats is not None and not self.scheduler_times:
+            stats = self.scheduler_time_stats
+            return stats.maximum if stats.count else 0.0
         return float(np.max(self.scheduler_times)) if self.scheduler_times else 0.0
 
     # -- utilization -----------------------------------------------------------

@@ -1,0 +1,661 @@
+"""Online, mergeable statistics accumulators.
+
+Every accumulator in this module follows one contract:
+
+* ``add(value, ...)`` consumes one observation in O(1) (amortised) time and
+  O(1) (or O(k)) memory — never O(observations);
+* ``merge(other)`` folds another accumulator of the same type (and
+  configuration) into this one, **associatively and commutatively**: merging
+  per-worker partials in any grouping yields the same summary, which is what
+  lets a multiprocessing campaign combine partial results exactly.  The only
+  caveat is :class:`Moments`, whose mean/variance merge is associative up to
+  floating-point rounding (documented on the class);
+* ``to_dict()`` returns a canonical JSON-serialisable form (with a ``type``
+  field) that round-trips through :func:`accumulator_from_dict`, so
+  accumulator *state* can cross process boundaries and live in campaign run
+  caches;
+* ``summary()`` returns a flat ``{statistic: value}`` dictionary for
+  reporting.
+
+The quantile sketch lives in :mod:`repro.metrics.quantiles` (it is big
+enough to deserve its own module) and registers itself here on import.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ReproError
+
+__all__ = [
+    "Accumulator",
+    "Moments",
+    "SumAccumulator",
+    "ExactDistribution",
+    "FixedHistogram",
+    "TopK",
+    "ReservoirSample",
+    "register_accumulator",
+    "accumulator_from_dict",
+    "available_accumulators",
+    "merge_accumulators",
+]
+
+
+class Accumulator:
+    """Abstract mergeable online statistic.
+
+    Subclasses set ``kind`` (the registry/spec name), implement ``add``,
+    ``merge``, ``to_dict``/``from_dict``, and ``summary``, and register
+    themselves with :func:`register_accumulator`.
+    """
+
+    kind: str = "abstract"
+
+    @property
+    def count(self) -> int:
+        """Number of observations consumed so far."""
+        raise NotImplementedError
+
+    def add(self, value: float) -> None:
+        raise NotImplementedError
+
+    def update(self, values) -> None:
+        """Consume an iterable of observations."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "Accumulator") -> "Accumulator":
+        """Fold ``other`` into this accumulator (in place); returns ``self``."""
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Accumulator":
+        raise NotImplementedError
+
+    def summary(self) -> Dict[str, float]:
+        raise NotImplementedError
+
+    def _require_same_type(self, other: "Accumulator") -> None:
+        if type(other) is not type(self):
+            raise ReproError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}"
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Registry                                                                     #
+# --------------------------------------------------------------------------- #
+_ACCUMULATOR_TYPES: Dict[str, Callable[[Mapping[str, Any]], Accumulator]] = {}
+
+
+def register_accumulator(kind: str, loader: Callable[[Mapping[str, Any]], Accumulator]) -> None:
+    """Register an accumulator type under its spec ``type`` name."""
+    if kind in _ACCUMULATOR_TYPES:
+        raise ConfigurationError(f"accumulator type {kind!r} already registered")
+    _ACCUMULATOR_TYPES[kind] = loader
+
+
+def available_accumulators() -> List[str]:
+    """Registered accumulator type names, sorted."""
+    return sorted(_ACCUMULATOR_TYPES)
+
+
+def accumulator_from_dict(data: Mapping[str, Any]) -> Accumulator:
+    """Rebuild an accumulator from its ``to_dict`` form (state included)."""
+    kind = data.get("type")
+    if kind is None:
+        raise ConfigurationError("accumulator spec needs a 'type' field")
+    try:
+        loader = _ACCUMULATOR_TYPES[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown accumulator type {kind!r}; known types: "
+            f"{', '.join(available_accumulators())}"
+        ) from None
+    return loader(data)
+
+
+def merge_accumulators(parts: Sequence[Accumulator]) -> Accumulator:
+    """Merge a non-empty sequence of same-type accumulators left to right."""
+    if not parts:
+        raise ReproError("cannot merge an empty sequence of accumulators")
+    merged = parts[0]
+    for part in parts[1:]:
+        merged.merge(part)
+    return merged
+
+
+# --------------------------------------------------------------------------- #
+# Welford moments                                                              #
+# --------------------------------------------------------------------------- #
+@dataclass
+class Moments(Accumulator):
+    """Count / mean / variance / min / max via Welford's online algorithm.
+
+    ``merge`` uses Chan's parallel-variance formula, so per-worker partials
+    combine into exactly the moments of the concatenated stream — up to
+    floating-point rounding (count, min, and max merge exactly; mean and
+    variance are associative to within a few ulps).
+    """
+
+    n: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    kind = "moments"
+
+    @property
+    def count(self) -> int:
+        return self.n
+
+    @property
+    def variance(self) -> float:
+        """Population variance (``ddof=0``); 0 for fewer than two values."""
+        return self.m2 / self.n if self.n > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def total(self) -> float:
+        """Sum of observations, reconstructed as ``mean × count``."""
+        return self.mean * self.n
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self.m2 += delta * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def merge(self, other: Accumulator) -> "Moments":
+        self._require_same_type(other)
+        assert isinstance(other, Moments)
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n, self.mean, self.m2 = other.n, other.mean, other.m2
+            self.minimum, self.maximum = other.minimum, other.maximum
+            return self
+        total = self.n + other.n
+        delta = other.mean - self.mean
+        self.m2 += other.m2 + delta * delta * self.n * other.n / total
+        self.mean += delta * other.n / total
+        self.n = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": self.kind,
+            "n": self.n,
+            "mean": self.mean,
+            "m2": self.m2,
+            # JSON has no +-inf literal; the empty sentinel travels as None.
+            "min": self.minimum if self.n else None,
+            "max": self.maximum if self.n else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Moments":
+        n = int(data.get("n", 0))
+        return cls(
+            n=n,
+            mean=float(data.get("mean", 0.0)),
+            m2=float(data.get("m2", 0.0)),
+            minimum=float(data["min"]) if n else math.inf,
+            maximum=float(data["max"]) if n else -math.inf,
+        )
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.n),
+            "mean": self.mean if self.n else 0.0,
+            "std": self.std,
+            "min": self.minimum if self.n else 0.0,
+            "max": self.maximum if self.n else 0.0,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Plain sums                                                                   #
+# --------------------------------------------------------------------------- #
+@dataclass
+class SumAccumulator(Accumulator):
+    """Exact running total (and count) — for tallies such as cost counters.
+
+    Unlike :class:`Moments`, the total is tracked directly, so integer tallies
+    (preemption counts, job counts) merge without floating-point drift.
+    """
+
+    total: float = 0.0
+    n: int = 0
+
+    kind = "sum"
+
+    @property
+    def count(self) -> int:
+        return self.n
+
+    def add(self, value: float) -> None:
+        self.total += value
+        self.n += 1
+
+    def merge(self, other: Accumulator) -> "SumAccumulator":
+        self._require_same_type(other)
+        assert isinstance(other, SumAccumulator)
+        self.total += other.total
+        self.n += other.n
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": self.kind, "total": self.total, "n": self.n}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SumAccumulator":
+        return cls(total=float(data.get("total", 0.0)), n=int(data.get("n", 0)))
+
+    def summary(self) -> Dict[str, float]:
+        return {"count": float(self.n), "total": self.total}
+
+
+# --------------------------------------------------------------------------- #
+# Exact distribution (the non-streaming reference mode)                        #
+# --------------------------------------------------------------------------- #
+# eq=False: the generated __eq__ would compare `values` fields, and
+# `ndarray == list` evaluates element-wise (ambiguous truth value) for the
+# documented zero-copy ndarray wrap.  Compare via to_dict() instead.
+@dataclass(eq=False)
+class ExactDistribution(Accumulator):
+    """Keeps every value — exact percentiles, O(observations) memory.
+
+    This is the *exact mode* backing :func:`repro.analysis.stats.summarize`
+    and friends: it computes with the same NumPy operations as the historical
+    ad-hoc code, so routing existing call sites through it keeps their
+    outputs byte-identical.  ``values`` accepts a list or an ndarray — an
+    ndarray is wrapped zero-copy (query-only call sites pay nothing) and is
+    normalised to a list only when a mutation (``add``/``merge``) needs
+    one.  Use it when the sample is known to be small; use
+    :class:`~repro.metrics.quantiles.QuantileSketch` when it is not.
+    """
+
+    values: Sequence[float] = field(default_factory=list)
+
+    kind = "exact"
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    def _ensure_list(self) -> List[float]:
+        if not isinstance(self.values, list):
+            self.values = [float(value) for value in self.values]
+        return self.values
+
+    def add(self, value: float) -> None:
+        self._ensure_list().append(float(value))
+
+    def merge(self, other: Accumulator) -> "ExactDistribution":
+        self._require_same_type(other)
+        assert isinstance(other, ExactDistribution)
+        self._ensure_list().extend(float(value) for value in other.values)
+        return self
+
+    def as_array(self) -> np.ndarray:
+        # Cached so repeated percentile queries (summarize asks for four)
+        # convert the sample once; every intake path appends, so a length
+        # check is a sufficient invalidation rule.
+        cached = getattr(self, "_array_cache", None)
+        if cached is None or cached.size != len(self.values):
+            cached = np.asarray(self.values, dtype=float)
+            self._array_cache = cached
+        return cached
+
+    def percentile(self, q: float) -> float:
+        """Exact linear-interpolation percentile (NumPy semantics), ``q`` in [0, 100]."""
+        if len(self.values) == 0:
+            raise ReproError("cannot take a percentile of an empty sample")
+        return float(np.percentile(self.as_array(), q))
+
+    def quantile(self, q: float) -> float:
+        """Exact quantile, ``q`` in [0, 1] (sketch-compatible signature)."""
+        return self.percentile(100.0 * q)
+
+    def to_dict(self) -> Dict[str, Any]:
+        # float() each entry so an ndarray-backed sample serialises to plain
+        # JSON numbers, not numpy scalars.
+        return {"type": self.kind, "values": [float(value) for value in self.values]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExactDistribution":
+        return cls(values=[float(value) for value in data.get("values", ())])
+
+    def summary(self) -> Dict[str, float]:
+        if len(self.values) == 0:
+            return {"count": 0.0}
+        array = self.as_array()
+        return {
+            "count": float(array.size),
+            "mean": float(array.mean()),
+            "std": float(array.std(ddof=0)),
+            "min": float(array.min()),
+            "p50": float(np.percentile(array, 50)),
+            "max": float(array.max()),
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Fixed-bin streaming histogram                                                #
+# --------------------------------------------------------------------------- #
+@dataclass
+class FixedHistogram(Accumulator):
+    """Streaming histogram with a fixed number of equal-width bins.
+
+    Values below ``low`` and at-or-above ``high`` are tallied in dedicated
+    underflow/overflow counters, so the configuration (and therefore exact
+    mergeability) never depends on the data.  Bin ``i`` covers
+    ``[low + i·w, low + (i+1)·w)`` with ``w = (high - low) / bins``.
+    """
+
+    low: float = 0.0
+    high: float = 1.0
+    bins: int = 10
+    counts: List[int] = field(default_factory=list)
+    underflow: int = 0
+    overflow: int = 0
+
+    kind = "histogram"
+
+    def __post_init__(self) -> None:
+        if self.bins < 1:
+            raise ConfigurationError(f"bins must be >= 1, got {self.bins}")
+        if not self.high > self.low:
+            raise ConfigurationError(
+                f"high ({self.high}) must be > low ({self.low})"
+            )
+        if not self.counts:
+            self.counts = [0] * self.bins
+        elif len(self.counts) != self.bins:
+            raise ConfigurationError(
+                f"counts length {len(self.counts)} != bins {self.bins}"
+            )
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts) + self.underflow + self.overflow
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        if value < self.low:
+            self.underflow += 1
+        elif value >= self.high:
+            self.overflow += 1
+        else:
+            width = (self.high - self.low) / self.bins
+            index = min(self.bins - 1, int((value - self.low) / width))
+            self.counts[index] += 1
+
+    def merge(self, other: Accumulator) -> "FixedHistogram":
+        self._require_same_type(other)
+        assert isinstance(other, FixedHistogram)
+        if (other.low, other.high, other.bins) != (self.low, self.high, self.bins):
+            raise ReproError(
+                "cannot merge histograms with different bin configurations: "
+                f"({self.low}, {self.high}, {self.bins}) vs "
+                f"({other.low}, {other.high}, {other.bins})"
+            )
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+        return self
+
+    def edges(self) -> List[float]:
+        """The ``bins + 1`` bin edges, ``low`` through ``high``."""
+        width = (self.high - self.low) / self.bins
+        return [self.low + index * width for index in range(self.bins)] + [self.high]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": self.kind,
+            "low": self.low,
+            "high": self.high,
+            "bins": self.bins,
+            "counts": list(self.counts),
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FixedHistogram":
+        return cls(
+            low=float(data["low"]),
+            high=float(data["high"]),
+            bins=int(data["bins"]),
+            counts=[int(value) for value in data.get("counts", ())],
+            underflow=int(data.get("underflow", 0)),
+            overflow=int(data.get("overflow", 0)),
+        )
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "underflow": float(self.underflow),
+            "overflow": float(self.overflow),
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Top-k tracker                                                                #
+# --------------------------------------------------------------------------- #
+@dataclass
+class TopK(Accumulator):
+    """The ``k`` largest ``(value, key)`` observations seen so far.
+
+    Keys must be unique across the stream (job ids are); ties in value are
+    broken by smaller key — numerically for numeric keys (job ids), then
+    lexicographically for everything else — which makes the selection a
+    total order and the merge exactly associative.  ``items()`` returns the
+    retained pairs, largest first.
+    """
+
+    k: int = 10
+    n: int = 0
+    # Kept sorted by descending value, ascending key (see _order).
+    _items: List[Tuple[float, Any]] = field(default_factory=list)
+
+    kind = "top-k"
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k}")
+
+    @property
+    def count(self) -> int:
+        return self.n
+
+    @staticmethod
+    def _order(item: Tuple[float, Any]) -> Tuple[float, int, float, str]:
+        value, key = item
+        if isinstance(key, (int, float)) and not isinstance(key, bool):
+            return (-value, 0, float(key), "")
+        return (-value, 1, 0.0, str(key))
+
+    def _truncate(self) -> None:
+        self._items.sort(key=self._order)
+        del self._items[self.k:]
+
+    def add(self, value: float, key: Any = None) -> None:  # type: ignore[override]
+        self.n += 1
+        self._items.append((float(value), key))
+        if len(self._items) > 2 * self.k:
+            self._truncate()
+
+    def merge(self, other: Accumulator) -> "TopK":
+        self._require_same_type(other)
+        assert isinstance(other, TopK)
+        if other.k != self.k:
+            raise ReproError(f"cannot merge top-{other.k} into top-{self.k}")
+        self.n += other.n
+        self._items.extend(other._items)
+        self._truncate()
+        return self
+
+    def items(self) -> List[Tuple[float, Any]]:
+        """Retained ``(value, key)`` pairs, largest value first."""
+        self._truncate()
+        return list(self._items)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": self.kind,
+            "k": self.k,
+            "n": self.n,
+            "items": [[value, key] for value, key in self.items()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TopK":
+        out = cls(k=int(data["k"]), n=int(data.get("n", 0)))
+        out._items = [(float(value), key) for value, key in data.get("items", ())]
+        out._truncate()
+        return out
+
+    def summary(self) -> Dict[str, float]:
+        items = self.items()
+        return {
+            "count": float(self.n),
+            "max": items[0][0] if items else 0.0,
+            "kth": items[-1][0] if items else 0.0,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Mergeable uniform reservoir (bottom-k priority sample)                       #
+# --------------------------------------------------------------------------- #
+def _priority(seed: int, key: Any) -> int:
+    """Deterministic pseudo-random priority of one keyed observation."""
+    digest = hashlib.blake2b(
+        f"{seed}:{key!r}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass
+class ReservoirSample(Accumulator):
+    """Uniform sample of ``k`` keyed observations, exactly mergeable.
+
+    Implemented as a *bottom-k priority sample*: each observation's priority
+    is a deterministic hash of ``(seed, key)`` and the ``k`` smallest
+    priorities are retained.  Because selection depends only on the per-item
+    priorities, merging partial reservoirs in any grouping retains exactly
+    the same items as a single pass — unlike the classic algorithm-R
+    reservoir, which is neither deterministic nor mergeable.  Keys must be
+    unique across the stream (job ids are); the sampled ``value`` travels
+    with the key and may be any JSON-serialisable payload.
+    """
+
+    k: int = 16
+    seed: int = 2010
+    n: int = 0
+    # Kept sorted ascending by priority: List[(priority, key, value)].
+    _items: List[Tuple[int, Any, Any]] = field(default_factory=list)
+
+    kind = "reservoir"
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k}")
+
+    @property
+    def count(self) -> int:
+        return self.n
+
+    @staticmethod
+    def _sort_key(item: Tuple[int, Any, Any]) -> Tuple[int, str]:
+        # Priorities are 64-bit hashes, so collisions are vanishingly rare;
+        # the stringified key makes the order total even then.
+        return (item[0], str(item[1]))
+
+    def add(self, value: Any, key: Any = None) -> None:  # type: ignore[override]
+        if key is None:
+            raise ReproError(
+                "ReservoirSample.add needs a unique key per observation "
+                "(e.g. the job id)"
+            )
+        self.n += 1
+        entry = (_priority(self.seed, key), key, value)
+        if len(self._items) >= self.k and self._sort_key(entry) >= self._sort_key(self._items[-1]):
+            return
+        self._items.append(entry)
+        self._items.sort(key=self._sort_key)
+        del self._items[self.k:]
+
+    def merge(self, other: Accumulator) -> "ReservoirSample":
+        self._require_same_type(other)
+        assert isinstance(other, ReservoirSample)
+        if (other.k, other.seed) != (self.k, self.seed):
+            raise ReproError(
+                "cannot merge reservoirs with different (k, seed): "
+                f"({self.k}, {self.seed}) vs ({other.k}, {other.seed})"
+            )
+        self.n += other.n
+        combined = {item[1]: item for item in self._items}
+        for item in other._items:
+            combined.setdefault(item[1], item)
+        self._items = sorted(combined.values(), key=self._sort_key)
+        del self._items[self.k:]
+        return self
+
+    def sample(self) -> List[Any]:
+        """The retained values, in priority order (stable across merges)."""
+        return [value for _, _, value in self._items]
+
+    def keys(self) -> List[Any]:
+        return [key for _, key, _ in self._items]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": self.kind,
+            "k": self.k,
+            "seed": self.seed,
+            "n": self.n,
+            "items": [[key, value] for _, key, value in self._items],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ReservoirSample":
+        out = cls(k=int(data["k"]), seed=int(data.get("seed", 2010)), n=int(data.get("n", 0)))
+        out._items = sorted(
+            ((_priority(out.seed, key), key, value) for key, value in data.get("items", ())),
+            key=cls._sort_key,
+        )
+        del out._items[out.k:]
+        return out
+
+    def summary(self) -> Dict[str, float]:
+        return {"count": float(self.n), "sampled": float(len(self._items))}
+
+
+register_accumulator("moments", Moments.from_dict)
+register_accumulator("sum", SumAccumulator.from_dict)
+register_accumulator("exact", ExactDistribution.from_dict)
+register_accumulator("histogram", FixedHistogram.from_dict)
+register_accumulator("top-k", TopK.from_dict)
+register_accumulator("reservoir", ReservoirSample.from_dict)

@@ -1,0 +1,227 @@
+"""Mergeable streaming quantile sketch with a proven relative-error bound.
+
+:class:`QuantileSketch` is a logarithmically-binned histogram sketch in the
+style of DDSketch (Masson, Rim, Lee, VLDB 2019): each positive value ``x``
+is mapped to the bucket ``ceil(log_gamma(x))`` with
+``gamma = (1 + alpha) / (1 - alpha)``.  Every value in bucket ``i`` lies in
+``(gamma^(i-1), gamma^i]``, and the bucket's representative value
+``2·gamma^i / (gamma + 1)`` is within a factor ``(1 ± alpha)`` of *every*
+point of the bucket.  This yields the sketch's guarantee:
+
+    **Error bound.**  For a stream of ``n`` values and any ``q ∈ [0, 1]``,
+    ``quantile(q)`` returns an estimate ``x̂`` with
+    ``|x̂ − x_(r)| ≤ alpha · x_(r)``, where ``x_(r)`` is the exact
+    nearest-rank quantile (the ``r``-th smallest value,
+    ``r = max(1, ceil(q·n))``).  Zero values are counted exactly;
+    negative values use a mirrored bucket array with the same bound on
+    ``|x|``.
+
+Unlike P² (not mergeable) or sampling-based KLL (randomized, merge-order
+dependent), the sketch state is a plain bucket→count mapping, so ``merge``
+is bucket-wise integer addition — **exactly associative and commutative**.
+Per-worker partials therefore combine into precisely the sketch of the
+concatenated stream, which is what the streaming campaign executor relies
+on.  Memory is O(buckets) = O(log(max/min) / alpha): ~700 buckets cover six
+decades at the default 1 % accuracy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Tuple
+
+from ..exceptions import ConfigurationError, ReproError
+from .accumulators import Accumulator, register_accumulator
+
+__all__ = ["QuantileSketch", "DEFAULT_RELATIVE_ERROR", "nearest_rank"]
+
+#: Default accuracy: estimates within 1 % of the exact quantile value.
+DEFAULT_RELATIVE_ERROR = 0.01
+
+
+def nearest_rank(q: float, n: int) -> int:
+    """1-based nearest rank of quantile ``q`` in a sample of ``n`` values.
+
+    ``max(1, ceil(q·n))`` with an epsilon guard against ``q·n`` landing one
+    ulp above an integer.  The single definition shared by the sketch and
+    the exact-mode quantile paths — the cross-mode agreement the acceptance
+    tests pin ("streamed quantiles within the bound of the exact values")
+    only holds while both use identical rank semantics.
+    """
+    return max(1, int(math.ceil(q * n - 1e-9)))
+
+
+@dataclass
+class QuantileSketch(Accumulator):
+    """Log-binned quantile sketch; see the module docstring for the bound.
+
+    ``relative_error`` (``alpha``) fixes the accuracy/memory trade-off at
+    construction time; sketches only merge with sketches of the same
+    ``alpha``.  ``quantile(q)`` takes ``q`` in ``[0, 1]``;
+    ``percentile(p)`` takes ``p`` in ``[0, 100]``.
+    """
+
+    relative_error: float = DEFAULT_RELATIVE_ERROR
+    n: int = 0
+    zeros: int = 0
+    buckets: Dict[int, int] = field(default_factory=dict)
+    negative_buckets: Dict[int, int] = field(default_factory=dict)
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    kind = "quantile-sketch"
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.relative_error < 1.0):
+            raise ConfigurationError(
+                f"relative_error must be in (0, 1), got {self.relative_error}"
+            )
+        gamma = (1.0 + self.relative_error) / (1.0 - self.relative_error)
+        # Derived constants are recomputed from relative_error (not
+        # serialized) so equality of alpha implies identical bucketing.
+        self._gamma = gamma
+        self._log_gamma = math.log(gamma)
+
+    @property
+    def count(self) -> int:
+        return self.n
+
+    # -- intake ----------------------------------------------------------------
+    def _bucket_of(self, magnitude: float) -> int:
+        return int(math.ceil(math.log(magnitude) / self._log_gamma - 1e-12))
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value) or math.isinf(value):
+            raise ReproError(f"cannot sketch non-finite value {value!r}")
+        self.n += 1
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if value == 0.0:
+            self.zeros += 1
+        elif value > 0.0:
+            index = self._bucket_of(value)
+            self.buckets[index] = self.buckets.get(index, 0) + 1
+        else:
+            index = self._bucket_of(-value)
+            self.negative_buckets[index] = self.negative_buckets.get(index, 0) + 1
+
+    # -- merge -----------------------------------------------------------------
+    def merge(self, other: Accumulator) -> "QuantileSketch":
+        self._require_same_type(other)
+        assert isinstance(other, QuantileSketch)
+        if other.relative_error != self.relative_error:
+            raise ReproError(
+                "cannot merge quantile sketches with different accuracies: "
+                f"{self.relative_error} vs {other.relative_error}"
+            )
+        self.n += other.n
+        self.zeros += other.zeros
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+        for index, count in other.negative_buckets.items():
+            self.negative_buckets[index] = self.negative_buckets.get(index, 0) + count
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self
+
+    # -- queries ---------------------------------------------------------------
+    def _representative(self, index: int) -> float:
+        # Geometric "midpoint" of (gamma^(i-1), gamma^i]: within (1 ± alpha)
+        # of every value of the bucket.
+        return 2.0 * self._gamma ** index / (self._gamma + 1.0)
+
+    def quantile(self, q: float) -> float:
+        """Estimate of the nearest-rank ``q``-quantile; ``q`` in [0, 1].
+
+        Guaranteed within ``relative_error`` (relatively) of the exact
+        ``max(1, ceil(q·n))``-th smallest value; clamped into the exact
+        observed ``[min, max]``, so ``quantile(0.0)`` and ``quantile(1.0)``
+        are exact.
+        """
+        if not (0.0 <= q <= 1.0):
+            raise ReproError(f"quantile q must be in [0, 1], got {q}")
+        if self.n == 0:
+            raise ReproError("cannot take a quantile of an empty sketch")
+        # The extremes are tracked exactly, so return them exactly.
+        if q == 0.0:
+            return self.minimum
+        if q == 1.0:
+            return self.maximum
+        estimate = self._value_at_rank(nearest_rank(q, self.n))
+        return min(self.maximum, max(self.minimum, estimate))
+
+    def percentile(self, p: float) -> float:
+        """Estimate of the ``p``-th percentile; ``p`` in [0, 100]."""
+        if not (0.0 <= p <= 100.0):
+            raise ReproError(f"percentile p must be in [0, 100], got {p}")
+        return self.quantile(p / 100.0)
+
+    def _value_at_rank(self, rank: int) -> float:
+        cumulative = 0
+        # Negative values first, from most negative (largest |x| bucket) up.
+        for index in sorted(self.negative_buckets, reverse=True):
+            cumulative += self.negative_buckets[index]
+            if cumulative >= rank:
+                return -self._representative(index)
+        cumulative += self.zeros
+        if cumulative >= rank:
+            return 0.0
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative >= rank:
+                return self._representative(index)
+        # Unreachable when rank <= n, kept as a defensive fallback.
+        return self.maximum  # pragma: no cover
+
+    # -- serialisation ---------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": self.kind,
+            "relative_error": self.relative_error,
+            "n": self.n,
+            "zeros": self.zeros,
+            # Sorted [index, count] pairs: JSON keys must be strings and the
+            # canonical form should not depend on insertion order.
+            "buckets": [[index, self.buckets[index]] for index in sorted(self.buckets)],
+            "negative_buckets": [
+                [index, self.negative_buckets[index]]
+                for index in sorted(self.negative_buckets)
+            ],
+            "min": self.minimum if self.n else None,
+            "max": self.maximum if self.n else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QuantileSketch":
+        n = int(data.get("n", 0))
+        return cls(
+            relative_error=float(data.get("relative_error", DEFAULT_RELATIVE_ERROR)),
+            n=n,
+            zeros=int(data.get("zeros", 0)),
+            buckets={int(index): int(count) for index, count in data.get("buckets", ())},
+            negative_buckets={
+                int(index): int(count)
+                for index, count in data.get("negative_buckets", ())
+            },
+            minimum=float(data["min"]) if n else math.inf,
+            maximum=float(data["max"]) if n else -math.inf,
+        )
+
+    def summary(self) -> Dict[str, float]:
+        if self.n == 0:
+            return {"count": 0.0}
+        return {
+            "count": float(self.n),
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+register_accumulator("quantile-sketch", QuantileSketch.from_dict)

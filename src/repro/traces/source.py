@@ -61,6 +61,13 @@ class JobSource:
     #: True when ``to_dict()`` round-trips through ``trace_source_from_dict``
     #: (i.e. the source can appear in a ``repro-dfrs run`` spec file).
     spec_expressible: bool = True
+    #: True when the arrival-order promise rests on external *convention*
+    #: (e.g. an SWF archive's sort order) rather than on construction.
+    #: Consumers that would fail late on an unsorted stream (the streaming
+    #: campaign executor) pre-check such sources with one cheap pass.
+    #: Wrapper sources (transform chains, concat splices) propagate the flag
+    #: from their bases.
+    order_by_convention: bool = False
 
     def jobs(self, cluster: Cluster) -> Iterator[JobSpec]:
         """Yield the trace's specs in arrival order for ``cluster``."""
@@ -207,6 +214,8 @@ class SwfTraceSource(JobSource):
     path: str = ""
 
     kind = "swf"
+    #: Archive files are submit-ordered by convention, not construction.
+    order_by_convention = True
 
     def __post_init__(self) -> None:
         if not self.path:
@@ -347,6 +356,11 @@ class ConcatTraceSource(JobSource):
             self,
             "spec_expressible",
             all(source.spec_expressible for source in self.sources),
+        )
+        object.__setattr__(
+            self,
+            "order_by_convention",
+            any(source.order_by_convention for source in self.sources),
         )
 
     def jobs(self, cluster: Cluster) -> Iterator[JobSpec]:

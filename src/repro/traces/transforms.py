@@ -450,6 +450,10 @@ class TransformedSource(JobSource):
             self.base.spec_expressible
             and all(step.spec_expressible for step in self.steps),
         )
+        # The chain's output order is only as trustworthy as its base's.
+        object.__setattr__(
+            self, "order_by_convention", self.base.order_by_convention
+        )
 
     @property
     def streaming(self) -> bool:

@@ -4,6 +4,7 @@ from .characterization import (
     WorkloadCharacterization,
     characterization_table,
     characterize,
+    characterize_stream,
     size_histogram,
 )
 from .cpu import CpuNeedModel
@@ -45,6 +46,7 @@ __all__ = [
     "WorkloadCharacterization",
     "characterization_table",
     "characterize",
+    "characterize_stream",
     "size_histogram",
     "clip_runtimes",
     "drop_shorter_than",

@@ -9,6 +9,7 @@ cluster offers over the submission span.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator, List, Optional, Sequence
 
@@ -18,7 +19,7 @@ from ..core.cluster import Cluster
 from ..core.job import JobSpec
 from ..exceptions import WorkloadError
 
-__all__ = ["Workload", "offered_load"]
+__all__ = ["Workload", "offered_load", "offered_load_stream"]
 
 
 def offered_load(jobs: Sequence[JobSpec], cluster: Cluster) -> float:
@@ -28,11 +29,31 @@ def offered_load(jobs: Sequence[JobSpec], cluster: Cluster) -> float:
     the time between the first and the last submission.  Values above 1 mean
     the cluster cannot keep up even at perfect packing.
     """
-    if not jobs:
+    return offered_load_stream(jobs, cluster)
+
+
+def offered_load_stream(specs: Iterable[JobSpec], cluster: Cluster) -> float:
+    """:func:`offered_load` of a spec stream, in one O(1)-memory pass.
+
+    The single implementation behind both forms: the span is
+    ``max(submits) - min(submits)``, so a stray out-of-order record yields
+    the same load as sorting would, ``0.0`` for an empty stream, and ``inf``
+    for a degenerate span.
+    """
+    demand = 0.0
+    earliest = math.inf
+    latest = -math.inf
+    empty = True
+    for spec in specs:
+        empty = False
+        demand += spec.num_tasks * spec.execution_time
+        if spec.submit_time < earliest:
+            earliest = spec.submit_time
+        if spec.submit_time > latest:
+            latest = spec.submit_time
+    if empty:
         return 0.0
-    demand = sum(spec.num_tasks * spec.execution_time for spec in jobs)
-    submits = [spec.submit_time for spec in jobs]
-    span = max(submits) - min(submits)
+    span = latest - earliest
     if span <= 0:
         return float("inf")
     return demand / (cluster.num_nodes * span)

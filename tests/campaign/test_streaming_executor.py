@@ -1,0 +1,339 @@
+"""Streaming campaign execution: bounded memory, exact per-cell merges."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import Campaign, CampaignResult
+from repro.campaign.scenario import (
+    CollectorSpec,
+    CustomSource,
+    GeneratorSource,
+    Scenario,
+)
+from repro.core.cluster import Cluster
+from repro.exceptions import ConfigurationError
+from repro.workloads.model import Workload
+
+CLUSTER = Cluster(32, 4, 8.0)
+
+
+def _scenario(**overrides) -> Scenario:
+    options = dict(
+        name="stream-exec",
+        source=GeneratorSource(
+            model="diurnal-poisson",
+            instances=2,
+            seed_base=7,
+            # Sub-critical load keeps the active-job population (and the
+            # suite runtime) small without losing stretch spread.
+            options={
+                "num_jobs": 400,
+                "mean_interarrival_seconds": 300.0,
+                "runtime_log_mean": 5.0,
+                "runtime_log_sigma": 1.2,
+                "max_runtime_seconds": 14400.0,
+            },
+        ),
+        algorithms=("fcfs",),
+        cluster=CLUSTER,
+        collectors=(CollectorSpec("stretch"), CollectorSpec("costs")),
+    )
+    options.update(overrides)
+    return Scenario(**options)
+
+
+class TestStreamingExecution:
+    def test_one_merged_row_per_cell_algorithm(self):
+        outcome = Campaign(streaming=True).run(_scenario(algorithms=("fcfs", "easy")))
+        assert len(outcome.rows) == 2
+        for row in outcome.rows:
+            assert row.instance_index == -1  # merged across instances
+            assert row.metric("num_jobs") == 800  # both instances pooled
+            for name in ("stretch_p50", "stretch_p90", "stretch_p99",
+                         "max_stretch", "worst_job_id", "pmtn_per_job",
+                         "peak_resident_jobs"):
+                assert name in row.metrics
+
+    def test_merged_extremes_match_materialized_runs(self):
+        scenario = _scenario()
+        streamed = Campaign(streaming=True).run(scenario)
+        materialized = Campaign().run(scenario)
+        per_instance_max = [
+            row.metric("max_stretch") for row in materialized.rows
+        ]
+        merged = streamed.rows[0]
+        # max is tracked exactly, so the merged row is the exact max over
+        # the cell's instances; job counts pool exactly.
+        assert merged.metric("max_stretch") == max(per_instance_max)
+        assert merged.metric("num_jobs") == sum(
+            row.metric("num_jobs") for row in materialized.rows
+        )
+
+    def test_load_axis_rescales_streams(self):
+        scenario = _scenario(sweep=(("load", (0.3, 0.7)),))
+        outcome = Campaign(streaming=True).run(scenario)
+        assert len(outcome.rows) == 2
+        low, high = outcome.rows
+        assert low.params_dict()["load"] == 0.3
+        # Higher offered load must hurt (or at least not improve) stretch.
+        assert high.metric("mean_stretch") >= low.metric("mean_stretch")
+
+    def test_empty_source_rejected(self):
+        from repro.campaign.scenario import LublinSource
+
+        scenario = _scenario(source=LublinSource(num_traces=0, num_jobs=20))
+        with pytest.raises(ConfigurationError, match="no.*streaming instances"):
+            Campaign(streaming=True).run(scenario)
+
+    def test_non_positive_load_rejected(self):
+        scenario = _scenario(sweep=(("load", (0.0,)),))
+        with pytest.raises(ConfigurationError, match="load axis"):
+            Campaign(streaming=True).run(scenario)
+
+    def test_peak_resident_jobs_is_bounded(self):
+        outcome = Campaign(streaming=True).run(_scenario())
+        assert outcome.rows[0].metric("peak_resident_jobs") < 400
+
+    def test_workers_match_serial(self):
+        scenario = _scenario(algorithms=("fcfs", "easy"))
+        serial = Campaign(streaming=True).run(scenario)
+        parallel = Campaign(streaming=True, workers=2).run(scenario)
+        assert [row.to_dict() for row in serial.rows] == [
+            row.to_dict() for row in parallel.rows
+        ]
+
+    def test_non_streaming_collector_rejected(self):
+        scenario = _scenario(collectors=(CollectorSpec("fairness"),))
+        with pytest.raises(ConfigurationError, match="fairness"):
+            Campaign(streaming=True).run(scenario)
+
+    def test_legacy_event_loop_rejected_up_front(self):
+        scenario = _scenario(legacy_event_loop=True)
+        with pytest.raises(ConfigurationError, match="legacy_event_loop"):
+            Campaign(streaming=True).run(scenario)
+
+    def test_worst_job_id_is_the_exact_max(self):
+        scenario = _scenario()
+        streamed = Campaign(streaming=True).run(scenario)
+        materialized = Campaign().run(scenario)
+        worst_instance = max(
+            materialized.rows, key=lambda row: row.metric("max_stretch")
+        )
+        merged = streamed.rows[0]
+        assert merged.metric("max_stretch") == worst_instance.metric("max_stretch")
+        assert isinstance(merged.metric("worst_job_id"), int)
+
+    def test_out_of_order_swf_fails_fast(self, tmp_path):
+        # SWF archives are submit-ordered only by convention; the streaming
+        # path must reject an unsorted one before simulating, not mid-run.
+        from repro.campaign.scenario import SwfSource
+
+        path = tmp_path / "unsorted.swf"
+        path.write_text(
+            "; Computer: test\n"
+            "1 0 0 100 4 -1 0.5 4 100 -1 1 0 0 0 0 0 0 0\n"
+            "2 2000 0 100 4 -1 0.5 4 100 -1 1 0 0 0 0 0 0 0\n"
+            "3 500 0 100 4 -1 0.5 4 100 -1 1 0 0 0 0 0 0 0\n",
+            encoding="utf-8",
+        )
+        scenario = _scenario(source=SwfSource(path=str(path)))
+        with pytest.raises(ConfigurationError, match="not arrival-ordered"):
+            Campaign(streaming=True).run(scenario)
+
+    def test_out_of_order_swf_caught_under_transform_chain(self, tmp_path):
+        from repro.campaign.scenario import TransformSource
+        from repro.traces import Head, SwfTraceSource
+
+        path = tmp_path / "unsorted.swf"
+        path.write_text(
+            "1 0 0 100 4 -1 0.5 4 100 -1 1 0 0 0 0 0 0 0\n"
+            "2 2000 0 100 4 -1 0.5 4 100 -1 1 0 0 0 0 0 0 0\n"
+            "3 500 0 100 4 -1 0.5 4 100 -1 1 0 0 0 0 0 0 0\n",
+            encoding="utf-8",
+        )
+        chain = SwfTraceSource(path=str(path)).transformed(Head(count=3))
+        scenario = _scenario(source=TransformSource(source=chain))
+        with pytest.raises(ConfigurationError, match="not arrival-ordered"):
+            Campaign(streaming=True).run(scenario)
+
+    def test_cached_rerun_skips_trace_parsing(self, tmp_path):
+        # A fully cached rerun must not re-read the archive at all — prove
+        # it by deleting the trace file between runs.
+        from repro.campaign.scenario import SwfSource
+
+        path = tmp_path / "sorted.swf"
+        path.write_text(
+            "1 0 0 100 4 -1 0.5 4 100 -1 1 0 0 0 0 0 0 0\n"
+            "2 500 0 100 4 -1 0.5 4 100 -1 1 0 0 0 0 0 0 0\n"
+            "3 2000 0 100 4 -1 0.5 4 100 -1 1 0 0 0 0 0 0 0\n",
+            encoding="utf-8",
+        )
+        scenario = _scenario(source=SwfSource(path=str(path)))
+        cache = tmp_path / "cache"
+        first = Campaign(streaming=True, cache_dir=cache).run(scenario)
+        path.unlink()
+        second = Campaign(streaming=True, cache_dir=cache).run(scenario)
+        assert [row.to_dict() for row in second.rows] == [
+            row.to_dict() for row in first.rows
+        ]
+
+    def test_non_streaming_source_rejected(self):
+        def factory(cluster):
+            return [Workload("custom", cluster, [])]
+
+        scenario = _scenario(source=CustomSource(factory=factory, key="x"))
+        with pytest.raises(ConfigurationError, match="cannot stream"):
+            Campaign(streaming=True).run(scenario)
+
+    def test_cache_resume_and_isolation(self, tmp_path):
+        scenario = _scenario()
+        first = Campaign(streaming=True, cache_dir=tmp_path).run(scenario)
+        # A cached rerun reloads the merged rows without re-simulating.
+        second = Campaign(streaming=True, cache_dir=tmp_path).run(scenario)
+        assert [row.to_dict() for row in first.rows] == [
+            row.to_dict() for row in second.rows
+        ]
+        # The streaming cache must never collide with the materialized one.
+        materialized = Campaign(cache_dir=tmp_path).run(scenario)
+        assert materialized.scenario_hash != first.scenario_hash
+        assert len(materialized.rows) == 2  # per-instance rows, not merged
+
+    def test_custom_relative_error(self):
+        outcome = Campaign(streaming=True, metrics_relative_error=0.05).run(
+            _scenario()
+        )
+        assert outcome.rows[0].metric("stretch_p99") > 0
+
+    def test_load_measured_once_per_instance(self):
+        # The offered-load measurement pass must run once per instance in
+        # the parent, not once per (cell x algorithm) worker task.
+        from repro.campaign.scenario import WorkloadSource
+        from repro.traces import CallableTraceSource, DiurnalPoissonTraceSource
+
+        passes = {"count": 0}
+        base = DiurnalPoissonTraceSource(
+            num_jobs=120,
+            seed=5,
+            mean_interarrival_seconds=300.0,
+            runtime_log_mean=5.0,
+            runtime_log_sigma=1.0,
+        )
+
+        def counted(cluster):
+            passes["count"] += 1
+            return base.jobs(cluster)
+
+        class CountedSource(WorkloadSource):
+            kind = "counted"
+
+            def streaming_sources(self, cluster):
+                return [CallableTraceSource(factory=counted, key="counted")]
+
+            def to_dict(self):
+                return {"type": self.kind}
+
+        scenario = _scenario(
+            source=CountedSource(),
+            algorithms=("fcfs", "easy"),
+            sweep=(("load", (0.3, 0.7)),),
+        )
+        Campaign(streaming=True).run(scenario)
+        # 1 measurement + 2 loads x 2 algorithms simulations = 5 passes
+        # (the pre-fix behaviour measured inside every task: 8 passes).
+        assert passes["count"] == 5
+
+    def test_cache_keyed_by_sketch_accuracy(self, tmp_path):
+        scenario = _scenario()
+        default = Campaign(streaming=True, cache_dir=tmp_path).run(scenario)
+        finer = Campaign(
+            streaming=True, cache_dir=tmp_path, metrics_relative_error=0.001
+        ).run(scenario)
+        # Different accuracies must never share cache entries.
+        assert default.scenario_hash != finer.scenario_hash
+
+
+class TestStreamingExportRoundTrip:
+    """Satellite: JSON/CSV export stays lossless for the new summary rows."""
+
+    def test_json_round_trip(self, tmp_path):
+        outcome = Campaign(streaming=True).run(_scenario())
+        path = tmp_path / "streaming.json"
+        outcome.to_json(path)
+        restored = CampaignResult.from_json(path)
+        assert [row.to_dict() for row in restored.rows] == [
+            row.to_dict() for row in outcome.rows
+        ]
+        for name in ("stretch_p50", "stretch_p90", "stretch_p99"):
+            assert restored.rows[0].metric(name) == outcome.rows[0].metric(name)
+
+    def test_csv_round_trip(self, tmp_path):
+        outcome = Campaign(streaming=True).run(
+            _scenario(sweep=(("load", (0.5,)),))
+        )
+        path = tmp_path / "streaming.rows.csv"
+        outcome.rows_to_csv(path)
+        rows = CampaignResult.rows_from_csv(path)
+        assert [row.to_dict() for row in rows] == [
+            row.to_dict() for row in outcome.rows
+        ]
+        # The merged-row marker and the quantile columns survive typed.
+        assert rows[0].instance_index == -1
+        assert isinstance(rows[0].metric("stretch_p99"), float)
+
+    def test_format_summary_renders_quantile_columns(self):
+        outcome = Campaign(streaming=True).run(_scenario())
+        text = outcome.format_summary()
+        assert "stretch_p99" in text
+        assert "max_stretch" in text
+
+
+class TestStreamingCli:
+    def test_run_spec_with_streaming_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = {
+            "name": "cli-streaming",
+            "cluster": {"nodes": 32, "cores_per_node": 4, "node_memory_gb": 8.0},
+            "source": {
+                "type": "generator",
+                "model": "diurnal-poisson",
+                "instances": 2,
+                "seed_base": 7,
+                "options": {"num_jobs": 150, "mean_interarrival_seconds": 300.0},
+            },
+            "algorithms": ["fcfs"],
+            "collectors": ["stretch"],
+        }
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec), encoding="utf-8")
+        export_dir = tmp_path / "artifacts"
+        assert main(
+            ["--streaming-metrics", "--export-dir", str(export_dir),
+             "run", str(spec_path)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "stretch_p99" in output
+        csv_files = list(export_dir.glob("*.rows.csv"))
+        assert len(csv_files) == 1
+        assert "metric:stretch_p99" in csv_files[0].read_text(encoding="utf-8")
+
+    def test_compare_subcommand_streams(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["--streaming-metrics", "--num-jobs", "60", "--num-traces", "1",
+             "--algorithms", "fcfs", "compare", "--load", "0.5"]
+        ) == 0
+        assert "max stretch" in capsys.readouterr().out
+
+    def test_paper_drivers_refuse_streaming_flag(self, capsys):
+        # Merged per-cell rows would silently change the per-instance
+        # degradation estimator of the paper artifacts — refuse loudly.
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["--streaming-metrics", "figure1"])
+        assert "per-instance degradation" in capsys.readouterr().err

@@ -121,3 +121,107 @@ class TestCharacterizationTable:
     def test_empty_rejected(self):
         with pytest.raises(WorkloadError):
             characterization_table([])
+
+
+class TestCharacterizeStream:
+    """The single-pass streaming twin must agree with the materialized path."""
+
+    def _parity_workload(self):
+        return LublinWorkloadGenerator(CLUSTER).generate(300, seed=11)
+
+    def test_matches_materialized_characterize(self):
+        from repro.workloads import characterize_stream
+
+        workload = self._parity_workload()
+        exact = characterize(workload)
+        profile, histogram = characterize_stream(
+            iter(workload.jobs), CLUSTER, name=workload.name
+        )
+        assert profile.num_jobs == exact.num_jobs
+        assert profile.serial_fraction == exact.serial_fraction
+        assert profile.fraction_memory_under_40pct == exact.fraction_memory_under_40pct
+        assert profile.fraction_cpu_under_50pct == exact.fraction_cpu_under_50pct
+        assert profile.max_tasks == exact.max_tasks
+        assert profile.span_seconds == exact.span_seconds
+        assert profile.offered_load == pytest.approx(exact.offered_load, rel=1e-12)
+        assert profile.mean_tasks == pytest.approx(exact.mean_tasks, rel=1e-12)
+        assert profile.mean_runtime_seconds == pytest.approx(
+            exact.mean_runtime_seconds, rel=1e-12
+        )
+        assert profile.mean_interarrival_seconds == pytest.approx(
+            exact.mean_interarrival_seconds, rel=1e-12
+        )
+        assert profile.total_demand_node_seconds == pytest.approx(
+            exact.total_demand_node_seconds, rel=1e-12
+        )
+        # Quantile statistics are nearest-rank estimates within the sketch's
+        # documented 0.1 % bound (np.median/np.percentile interpolate between
+        # order statistics, so compare against the nearest-rank references).
+        import math
+
+        import numpy as np
+
+        runtimes = np.sort([spec.execution_time for spec in workload.jobs])
+
+        def nearest_rank(q):
+            return float(runtimes[max(1, math.ceil(q * runtimes.size - 1e-9)) - 1])
+
+        assert profile.median_runtime_seconds == pytest.approx(
+            nearest_rank(0.5), rel=2e-3
+        )
+        assert profile.p95_runtime_seconds == pytest.approx(
+            nearest_rank(0.95), rel=2e-3
+        )
+        # The width histogram is exact and identical to size_histogram.
+        assert histogram == size_histogram(workload)
+
+    def test_is_single_pass(self):
+        from repro.workloads import characterize_stream
+
+        workload = self._parity_workload()
+        profile, _ = characterize_stream(iter(workload.jobs), CLUSTER)
+        assert profile.num_jobs == workload.num_jobs
+
+    def test_empty_stream_rejected(self):
+        from repro.workloads import characterize_stream
+
+        with pytest.raises(WorkloadError, match="empty"):
+            characterize_stream(iter(()), CLUSTER, name="nothing")
+
+    def test_single_job_stream(self):
+        from repro.workloads import characterize_stream
+
+        profile, histogram = characterize_stream(
+            iter([_spec(0, tasks=4, runtime=50.0)]), CLUSTER
+        )
+        assert profile.num_jobs == 1
+        assert profile.mean_interarrival_seconds == 0.0
+        assert profile.median_runtime_seconds == 50.0
+        assert histogram == [("4-7", 1)]
+
+    def test_bad_thresholds_rejected(self):
+        from repro.workloads import characterize_stream
+
+        with pytest.raises(WorkloadError):
+            characterize_stream(iter([_spec(0)]), CLUSTER, memory_threshold=0.0)
+        with pytest.raises(WorkloadError):
+            characterize_stream(iter([_spec(0)]), CLUSTER, cpu_threshold=1.5)
+
+    def test_out_of_order_stream_matches_sorted_semantics(self):
+        # Archive traces are submit-ordered only by convention; a stray
+        # out-of-order record must not corrupt span/load/inter-arrival.
+        from repro.workloads import characterize_stream
+
+        specs = [
+            _spec(0, submit=0.0),
+            _spec(1, submit=1000.0),
+            _spec(2, submit=2000.0),
+            _spec(3, submit=500.0),
+        ]
+        exact = characterize(_workload(list(specs)))
+        profile, _ = characterize_stream(iter(specs), CLUSTER)
+        assert profile.span_seconds == exact.span_seconds == 2000.0
+        assert profile.offered_load == pytest.approx(exact.offered_load, rel=1e-12)
+        assert profile.mean_interarrival_seconds == pytest.approx(
+            exact.mean_interarrival_seconds, rel=1e-12
+        )
