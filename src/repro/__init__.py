@@ -65,6 +65,15 @@ from .experiments import (
     run_timing_study,
     run_utilization_study,
 )
+from .platform import (
+    ExponentialFailureSource,
+    HomogeneousPlatform,
+    NodeClass,
+    NodeClassesPlatform,
+    Platform,
+    WeibullFailureSource,
+    platform_from_dict,
+)
 from .schedulers import (
     PAPER_ALGORITHMS,
     available_algorithms,
@@ -121,6 +130,14 @@ __all__ = [
     "run_table2",
     "run_timing_study",
     "run_utilization_study",
+    # platform
+    "Platform",
+    "HomogeneousPlatform",
+    "NodeClass",
+    "NodeClassesPlatform",
+    "ExponentialFailureSource",
+    "WeibullFailureSource",
+    "platform_from_dict",
     # schedulers
     "PAPER_ALGORITHMS",
     "available_algorithms",

@@ -21,9 +21,12 @@ from ..exceptions import ReproError
 
 __all__ = [
     "jain_index",
+    "jain_index_from_moments",
     "gini_coefficient",
+    "gini_from_masses",
     "FairnessReport",
     "stretch_fairness",
+    "streaming_stretch_fairness",
     "mean_yields_from_trace",
 ]
 
@@ -65,6 +68,65 @@ def gini_coefficient(values: Sequence[float]) -> float:
     n = array.size
     ranks = np.arange(1, n + 1, dtype=float)
     return float((2.0 * np.dot(ranks, sorted_values)) / (n * total) - (n + 1.0) / n)
+
+
+def jain_index_from_moments(moments) -> float:
+    """Jain's index from online first/second moments (exact, mergeable).
+
+    ``(Σx)² / (n·Σx²)`` rewrites as ``mean² / (mean² + variance)``, so the
+    index needs only a :class:`repro.metrics.Moments` accumulator — no
+    per-job population and no sketch approximation.  This is what makes the
+    ``fairness`` collector streamable: moments merge exactly across a
+    cell's instances.
+    """
+    if moments.count == 0:
+        raise ReproError("cannot compute Jain's index of an empty sample")
+    if moments.minimum < 0:
+        raise ReproError("Jain's index requires non-negative values")
+    mean_square = moments.m2 / moments.n + moments.mean ** 2
+    if mean_square == 0.0:
+        raise ReproError("Jain's index is undefined when every value is zero")
+    return moments.mean ** 2 / mean_square
+
+
+def gini_from_masses(masses: Sequence[tuple]) -> float:
+    """Gini coefficient of a weighted sample (``(value, count)`` pairs).
+
+    ``masses`` must be sorted by ascending value — exactly what
+    :meth:`repro.metrics.QuantileSketch.bucket_masses` returns.  Uses the
+    rank formulation of the mean-absolute-difference definition: a block of
+    ``c`` equal values starting after cumulative count ``s`` contributes
+    ranks ``s+1 .. s+c``, whose sum is ``c·s + c·(c+1)/2``.  Fed with sketch
+    bucket masses, the result is within a few multiples of the sketch's
+    relative-error bound of the exact coefficient.
+    """
+    if not masses:
+        raise ReproError("cannot compute the Gini coefficient of an empty sample")
+    total = 0.0
+    n = 0
+    rank_weighted = 0.0
+    previous = -np.inf
+    for value, count in masses:
+        value = float(value)
+        count = int(count)
+        if count < 0:
+            raise ReproError("mass counts must be >= 0")
+        if count == 0:
+            continue
+        if value < 0:
+            raise ReproError("the Gini coefficient requires non-negative values")
+        if value < previous:
+            raise ReproError("masses must be sorted by ascending value")
+        previous = value
+        rank_sum = count * n + count * (count + 1) / 2.0
+        rank_weighted += value * rank_sum
+        total += value * count
+        n += count
+    if n == 0:
+        raise ReproError("cannot compute the Gini coefficient of an empty sample")
+    if total == 0.0:
+        raise ReproError("the Gini coefficient is undefined when every value is zero")
+    return float((2.0 * rank_weighted) / (n * total) - (n + 1.0) / n)
 
 
 @dataclass(frozen=True)
@@ -117,6 +179,25 @@ def stretch_fairness(result: SimulationResult) -> FairnessReport:
         gini_stretch=gini_coefficient(stretches),
         p95_stretch=ExactDistribution(stretches).percentile(95),
     )
+
+
+def streaming_stretch_fairness(job_stats) -> Dict[str, float]:
+    """Fairness row of a streaming-metrics run (or a merged cell).
+
+    ``job_stats`` is a :class:`repro.metrics.JobMetricsAccumulator`.  Jain's
+    index is computed **exactly** from the stretch moments (it only needs
+    the first two moments — see :func:`jain_index_from_moments`); the Gini
+    coefficient and the tail percentile come from the stretch quantile
+    sketch's bucket masses and carry its documented relative-error bound.
+    """
+    if job_stats.count == 0:
+        raise ReproError("run finished no jobs; cannot assess fairness")
+    sketch = job_stats.stretch_sketch
+    return {
+        "jain_stretch": jain_index_from_moments(job_stats.stretch),
+        "gini_stretch": gini_from_masses(sketch.bucket_masses()),
+        "p95_stretch": sketch.percentile(95),
+    }
 
 
 def mean_yields_from_trace(trace: AllocationTraceRecorder) -> Dict[int, float]:

@@ -19,9 +19,11 @@ protocol on collectors that declare ``streaming_capable``:
 :class:`repro.metrics.Accumulator` objects (what workers ship back over the
 pool), and ``stream_finalize`` turns the bundle merged across a cell's
 instances into the flat metrics row.  Collectors that fundamentally need the
-full per-job population (fairness, raw timing vectors, utilization traces)
-keep ``streaming_capable = False`` and are rejected with a targeted error
-when a streaming campaign requests them.
+full per-job population (raw timing vectors, utilization traces) keep
+``streaming_capable = False`` and are rejected with a targeted error when a
+streaming campaign requests them; ``fairness`` streams via the stretch
+moments (exact Jain) and quantile-sketch bucket masses (bounded-error Gini
+and p95).
 """
 
 from __future__ import annotations
@@ -161,6 +163,11 @@ class CostCollector(MetricCollector):
             "migr_per_hour": result.migrations_per_hour(),
             "pmtn_per_job": result.preemptions_per_job(),
             "migr_per_job": result.migrations_per_job(),
+            # Platform failure impact (zero on static platforms): node-down
+            # events applied, and jobs killed by the "resubmit" policy —
+            # checkpointed ("migrate") victims show up in the pmtn columns.
+            "node_failures": result.costs.node_failures,
+            "failure_job_kills": result.costs.failure_job_kills,
         }
 
     def stream_partials(self, result):
@@ -172,6 +179,8 @@ class CostCollector(MetricCollector):
             "migr_count": tally(result.costs.migration_count),
             "pmtn_gb": tally(result.costs.preemption_gb),
             "migr_gb": tally(result.costs.migration_gb),
+            "node_failures": tally(result.costs.node_failures),
+            "failure_job_kills": tally(result.costs.failure_job_kills),
             "jobs": tally(result.num_jobs),
             "seconds": tally(result.makespan),
         }
@@ -187,6 +196,8 @@ class CostCollector(MetricCollector):
             "migr_per_hour": merged["migr_count"].total / hours,
             "pmtn_per_job": merged["pmtn_count"].total / jobs,
             "migr_per_job": merged["migr_count"].total / jobs,
+            "node_failures": int(merged["node_failures"].total),
+            "failure_job_kills": int(merged["failure_job_kills"].total),
         }
 
 
@@ -207,9 +218,19 @@ class TimingCollector(MetricCollector):
 
 
 class FairnessCollector(MetricCollector):
-    """Per-job stretch fairness indices (Jain, Gini, tail percentile)."""
+    """Per-job stretch fairness indices (Jain, Gini, tail percentile).
+
+    The exact path (default campaigns) is unchanged: indices over the
+    materialized per-job stretches.  In streaming campaigns the collector
+    ships the engine's :class:`~repro.metrics.JobMetricsAccumulator` as its
+    partial and derives the row from the merged accumulator: Jain's index is
+    **exact** (it needs only the stretch moments, which merge exactly);
+    Gini and p95 come from the stretch quantile sketch's bucket masses and
+    carry the sketch's documented relative-error bound.
+    """
 
     name = "fairness"
+    streaming_capable = True
 
     def collect(self, result, recorders, workload):
         from ..analysis.fairness import stretch_fairness
@@ -220,6 +241,14 @@ class FairnessCollector(MetricCollector):
             "gini_stretch": report.gini_stretch,
             "p95_stretch": report.p95_stretch,
         }
+
+    def stream_partials(self, result):
+        return {"jobs": self._require_job_stats(result)}
+
+    def stream_finalize(self, merged):
+        from ..analysis.fairness import streaming_stretch_fairness
+
+        return streaming_stretch_fairness(merged["jobs"])
 
 
 class UtilizationCollector(MetricCollector):

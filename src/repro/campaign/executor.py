@@ -32,6 +32,7 @@ from __future__ import annotations
 import json
 import logging
 import re
+import warnings
 from dataclasses import replace as dataclasses_replace
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
@@ -51,6 +52,12 @@ from .scenario import CollectorSpec, Scenario, payload_hash, scenario_hash
 __all__ = ["Campaign", "export_campaign_artifacts"]
 
 _LOGGER = logging.getLogger(__name__)
+
+#: On-disk run-cache payload format.  Bumped whenever a collector's output
+#: shape changes (e.g. the ``costs`` failure columns of the platform seam),
+#: so resumed campaigns never mix rows with inconsistent metric columns;
+#: caches with another format are ignored and regenerated.
+_CACHE_FORMAT = 2
 
 #: One unit of pool work: everything a worker needs to simulate and measure.
 _RunTask = Tuple[Workload, str, SimulationConfig, Tuple[CollectorSpec, ...]]
@@ -205,21 +212,28 @@ class Campaign:
 
     def _load_cache(
         self, digest: str
-    ) -> Tuple[Dict[str, Dict[str, Any]], Optional[int]]:
+    ) -> Tuple[Dict[str, Dict[str, Any]], Optional[int], Dict[str, int]]:
         """Cached run entries (``{"workload": name, "metrics": {...}}`` per
-        key) plus the instance count, so fully cached reruns skip workload
+        key) plus the instance counts — scenario-wide, and per cell for
+        sweep-templated platforms — so fully cached reruns skip workload
         generation entirely."""
         path = self._cache_path(digest)
         if path is None or not path.exists():
-            return {}, None
+            return {}, None, {}
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as error:
             _LOGGER.warning("ignoring unreadable campaign cache %s: %s", path, error)
-            return {}, None
+            return {}, None, {}
         if payload.get("scenario_hash") != digest:
             _LOGGER.warning("ignoring mismatched campaign cache %s", path)
-            return {}, None
+            return {}, None, {}
+        if payload.get("format") != _CACHE_FORMAT:
+            _LOGGER.warning(
+                "ignoring campaign cache %s with format %r (current: %r)",
+                path, payload.get("format"), _CACHE_FORMAT,
+            )
+            return {}, None, {}
         runs = dict(payload.get("runs", {}))
         if any(
             not isinstance(entry, Mapping)
@@ -228,27 +242,41 @@ class Campaign:
             for entry in runs.values()
         ):
             _LOGGER.warning("ignoring incompatible campaign cache %s", path)
-            return {}, None
+            return {}, None, {}
         num_instances = payload.get("num_instances")
-        return runs, num_instances if isinstance(num_instances, int) else None
+        cell_counts = payload.get("cell_instances", {})
+        if not (
+            isinstance(cell_counts, Mapping)
+            and all(isinstance(count, int) for count in cell_counts.values())
+        ):
+            cell_counts = {}
+        return (
+            runs,
+            num_instances if isinstance(num_instances, int) else None,
+            dict(cell_counts),
+        )
 
     def _store_cache(
         self,
         digest: str,
         scenario: Scenario,
         runs: Mapping[str, Mapping[str, Any]],
-        num_instances: int,
+        num_instances: Optional[int],
+        cell_counts: Optional[Mapping[str, int]] = None,
     ) -> None:
         path = self._cache_path(digest)
         if path is None:
             return
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
+            "format": _CACHE_FORMAT,
             "scenario_hash": digest,
             "scenario": scenario.to_dict(),
             "num_instances": num_instances,
             "runs": dict(runs),
         }
+        if cell_counts:
+            payload["cell_instances"] = dict(cell_counts)
         # The whole file is rewritten after every finished cell (that is what
         # makes interrupted campaigns resumable), so keep it compact — with
         # sample-vector collectors the accumulated payload can get large.
@@ -265,67 +293,90 @@ class Campaign:
 
         Workload generation is lazy: a rerun whose runs are all cached reads
         everything (metrics and workload names) from the cache file and never
-        touches the workload source.
+        touches the workload source.  A sweep-templated platform spec makes
+        the cluster (and engine failure trace) a per-cell quantity: workloads
+        are then generated once per *distinct cluster*, so sweeping only the
+        failure model still generates every instance exactly once.
         """
         from ..experiments.parallel import map_tasks
 
         if self.streaming:
-            return self._run_streaming(scenario)
+            if self._must_materialize_stream(scenario):
+                # Fall through to the materialized path (warning emitted).
+                pass
+            else:
+                return self._run_streaming(scenario)
 
         digest = scenario_hash(scenario)
-        cached, num_instances = self._load_cache(digest)
+        cached, num_instances, cell_counts = self._load_cache(digest)
         cells = scenario.expand()
+        templated = scenario.has_platform_template
         simulation_config = scenario.simulation_config()
 
-        raw_workloads: Optional[List[Workload]] = None
+        raw_cache: Dict[Cluster, List[Workload]] = {}
 
-        def raw() -> List[Workload]:
-            nonlocal raw_workloads
-            if raw_workloads is None:
-                raw_workloads = scenario.source.workloads(
-                    scenario.cluster, workers=self.workers
-                )
-                if not raw_workloads:
+        def raw(cluster: Cluster) -> List[Workload]:
+            if cluster not in raw_cache:
+                workloads = scenario.source.workloads(cluster, workers=self.workers)
+                if not workloads:
                     raise ReproError(
                         f"scenario {scenario.name!r}: workload source produced "
                         "no instances"
                     )
-            return raw_workloads
+                raw_cache[cluster] = workloads
+            return raw_cache[cluster]
 
-        if num_instances is None:
-            num_instances = len(raw())
+        if num_instances is None and not templated:
+            num_instances = len(raw(scenario.cluster))
 
-        # Memoised per load value, not per cell: in a cross sweep many cells
-        # share a load, and rescaling every instance once per cell would
-        # repeat identical work.
-        scaled_cache: Dict[Any, List[Workload]] = {}
+        # Memoised per (cluster, load) value, not per cell: in a cross sweep
+        # many cells share a load, and rescaling every instance once per cell
+        # would repeat identical work.
+        scaled_cache: Dict[Tuple[Cluster, Any], List[Workload]] = {}
 
-        def workloads_at(load: Any) -> List[Workload]:
+        def workloads_at(load: Any, cluster: Cluster) -> List[Workload]:
             if load is None:
-                return raw()
-            if load not in scaled_cache:
-                scaled_cache[load] = [
-                    scale_to_load(workload, float(load)) for workload in raw()
+                return raw(cluster)
+            key = (cluster, load)
+            if key not in scaled_cache:
+                scaled_cache[key] = [
+                    scale_to_load(workload, float(load))
+                    for workload in raw(cluster)
                 ]
-            return scaled_cache[load]
+            return scaled_cache[key]
 
         rows: List[RunRecord] = []
         for cell in cells:
             params = cell.params_dict()
             load = params.get("load")
             algorithms = scenario.resolved_algorithms(params)
+            if templated:
+                cell_platform = scenario.resolved_platform(params)
+                cell_cluster = cell_platform.build_cluster()
+                cell_config = scenario.simulation_config(platform=cell_platform)
+                # The cached per-cell count lets a fully cached rerun skip
+                # workload generation, mirroring num_instances on the
+                # single-cluster path.
+                cell_instances = cell_counts.get(str(cell.index))
+                if cell_instances is None:
+                    cell_instances = len(raw(cell_cluster))
+                cell_counts[str(cell.index)] = cell_instances
+            else:
+                cell_cluster = scenario.cluster
+                cell_config = simulation_config
+                cell_instances = num_instances
 
             pending: List[_RunTask] = []
             pending_keys: List[str] = []
             cell_keys: List[Tuple[str, int, str]] = []
-            for instance_index in range(num_instances):
+            for instance_index in range(cell_instances):
                 for algorithm in algorithms:
                     key = f"{cell.index}/{instance_index}/{algorithm}"
                     cell_keys.append((key, instance_index, algorithm))
                     if key not in cached:
-                        workload = workloads_at(load)[instance_index]
+                        workload = workloads_at(load, cell_cluster)[instance_index]
                         pending.append(
-                            (workload, algorithm, simulation_config,
+                            (workload, algorithm, cell_config,
                              scenario.collectors)
                         )
                         pending_keys.append(key)
@@ -339,12 +390,19 @@ class Campaign:
                 for key, metrics in zip(pending_keys, outcomes):
                     instance_index = int(key.split("/", 2)[1])
                     cached[key] = {
-                        "workload": workloads_at(load)[instance_index].name,
+                        "workload": workloads_at(load, cell_cluster)[instance_index].name,
                         "metrics": metrics,
                     }
                 # Persist after every cell so an interrupted campaign resumes
-                # from the last finished cell instead of from scratch.
-                self._store_cache(digest, scenario, cached, num_instances)
+                # from the last finished cell instead of from scratch.  The
+                # scenario-wide instance count only holds when every cell
+                # shares one cluster; templated platforms record per-cell
+                # counts instead.
+                self._store_cache(
+                    digest, scenario, cached,
+                    None if templated else num_instances,
+                    cell_counts if templated else None,
+                )
 
             for key, instance_index, algorithm in cell_keys:
                 entry = cached[key]
@@ -364,10 +422,40 @@ class Campaign:
         )
 
     # -- streaming execution ---------------------------------------------------
+    @staticmethod
+    def _must_materialize_stream(scenario: Scenario) -> bool:
+        """True when a streaming request must fall back to the materialized path.
+
+        Sources declare the condition themselves
+        (:meth:`~repro.campaign.scenario.WorkloadSource
+        .materialize_stream_reason`; today: ``swf`` with ``segment_seconds``,
+        whose fixed-duration segmentation the per-instance streaming protocol
+        cannot express — a windowed splitter is a ROADMAP follow-on).  The
+        fallback is announced with a targeted warning — rows come back per
+        instance (materialized shape), not merged per cell.
+        """
+        reason = scenario.source.materialize_stream_reason()
+        if reason is None:
+            return False
+        warnings.warn(
+            f"scenario {scenario.name!r}: {reason}; falling back to the "
+            "materialized execution path — rows will be per-instance, not "
+            "merged per cell",
+            stacklevel=4,
+        )
+        return True
+
     def _run_streaming(self, scenario: Scenario) -> CampaignResult:
         """Bounded-memory execution: stream instances, merge partials per cell."""
         from ..experiments.parallel import map_tasks
 
+        if scenario.has_platform_template:
+            raise ConfigurationError(
+                "platform sweep templating resolves one platform per cell, "
+                "which the streaming executor does not support; drop the "
+                "{axis} placeholders from the platform block or run without "
+                "streaming"
+            )
         if scenario.legacy_event_loop:
             # run_stream would reject this inside every pool worker; fail
             # fast with the same style of error the other preconditions get.
@@ -414,7 +502,7 @@ class Campaign:
                 "scenario": scenario.to_dict(),
             }
         )
-        cached, _ = self._load_cache(digest)
+        cached, _, _ = self._load_cache(digest)
         cells = scenario.expand()
         simulation_config = dataclasses_replace(
             scenario.simulation_config(),

@@ -11,6 +11,7 @@ executor's resumable run cache.
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import itertools
 import json
@@ -93,6 +94,18 @@ class WorkloadSource:
         instance count, same jobs, same order as :meth:`workloads`).
         ``None`` (the default) means the source only exists materialized and
         cannot back a ``--streaming-metrics`` campaign.
+        """
+        return None
+
+    def materialize_stream_reason(self) -> Optional[str]:
+        """Why a streaming campaign must fall back to the materialized path.
+
+        ``None`` (the default) means no fallback: the executor either
+        streams the source (``streaming_sources``) or rejects it with a
+        hard error.  A reason string marks a *configuration* of an otherwise
+        streamable source that cannot stream (today: ``swf`` with
+        ``segment_seconds``); the executor then warns with the reason and
+        runs the materialized path instead.
         """
         return None
 
@@ -229,6 +242,15 @@ class SwfSource(WorkloadSource):
         from ..traces import SwfTraceSource
 
         return [SwfTraceSource(path=self.path)]
+
+    def materialize_stream_reason(self) -> Optional[str]:
+        if self.segment_seconds is None:
+            return None
+        return (
+            "an 'swf' source with segment_seconds set cannot stream "
+            "(fixed-duration segmentation needs the materialized instance "
+            "split)"
+        )
 
     def _content_fingerprint(self) -> Optional[str]:
         """Digest of the trace file, hashed once per source object.
@@ -515,6 +537,58 @@ class Cell:
 
 
 # --------------------------------------------------------------------------- #
+# Platform templating                                                          #
+# --------------------------------------------------------------------------- #
+_PLACEHOLDER = re.compile(r"\{([A-Za-z_][A-Za-z0-9_]*)\}")
+
+
+def _platform_template_axes(value: Any) -> set:
+    """Sweep-axis names referenced by ``{axis}`` placeholders in a spec."""
+    if isinstance(value, str):
+        return set(_PLACEHOLDER.findall(value))
+    if isinstance(value, Mapping):
+        axes: set = set()
+        for key, item in value.items():
+            axes |= _platform_template_axes(item)
+        return axes
+    if isinstance(value, (list, tuple)):
+        axes = set()
+        for item in value:
+            axes |= _platform_template_axes(item)
+        return axes
+    return set()
+
+
+def _substitute_templates(value: Any, params: Mapping[str, Any]) -> Any:
+    """Fill ``{axis}`` placeholders in a platform spec with cell parameters.
+
+    A string that *is* a single placeholder (``"{mtbf}"``) is replaced by the
+    raw axis value, so numeric sweep values stay numbers; placeholders inside
+    longer strings are formatted textually.
+    """
+    if isinstance(value, str):
+        whole = _PLACEHOLDER.fullmatch(value)
+        try:
+            if whole:
+                return params[whole.group(1)]
+            if "{" in value:
+                return value.format(**dict(params))
+        except (KeyError, IndexError, ValueError) as error:
+            raise ConfigurationError(
+                f"platform template {value!r} cannot be formatted with cell "
+                f"parameters {dict(params)!r}: {error}"
+            ) from None
+        return value
+    if isinstance(value, Mapping):
+        return {
+            key: _substitute_templates(item, params) for key, item in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [_substitute_templates(item, params) for item in value]
+    return value
+
+
+# --------------------------------------------------------------------------- #
 # Scenario                                                                     #
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
@@ -539,6 +613,13 @@ class Scenario:
     collectors: Tuple[CollectorSpec, ...] = (CollectorSpec("stretch"),)
     legacy_event_loop: bool = False
     record_scheduler_times: bool = True
+    #: Optional :class:`repro.platform.Platform` (or its spec mapping)
+    #: describing the machine, instead of a bare ``cluster``.  When set, the
+    #: ``cluster`` field is *derived* from the platform.  A spec mapping may
+    #: reference sweep axes with ``{axis}`` placeholders (e.g. sweep the
+    #: failure MTBF or a node-class count); the executor then resolves one
+    #: platform per cell.
+    platform: Any = None
 
     def __post_init__(self) -> None:
         # Names end up in cache keys and exported file names.
@@ -578,6 +659,102 @@ class Scenario:
             "collectors",
             tuple(CollectorSpec.of(spec) for spec in self.collectors),
         )
+        self._init_platform()
+
+    def _init_platform(self) -> None:
+        """Normalise the ``platform`` field and derive the cluster from it.
+
+        ``_static_platform`` caches the resolved platform when the spec has
+        no ``{axis}`` templates (one platform for every cell); a templated
+        spec is validated by resolving it with the first value of each
+        referenced axis, and ``_static_platform`` stays ``None``.
+        """
+        from ..platform import Platform, platform_from_dict
+
+        platform = self.platform
+        if platform is None:
+            if self.cluster.is_heterogeneous:
+                raise ConfigurationError(
+                    "heterogeneous clusters must be declared through a "
+                    "platform (see repro.platform.NodeClassesPlatform) so "
+                    "the scenario spec can express them"
+                )
+            object.__setattr__(self, "_static_platform", None)
+            return
+        if isinstance(platform, Platform):
+            if self._demote_platform(platform):
+                return
+            object.__setattr__(self, "_static_platform", platform)
+            object.__setattr__(self, "cluster", platform.build_cluster())
+            return
+        if not isinstance(platform, Mapping):
+            raise ConfigurationError(
+                "platform must be a repro.platform.Platform or its spec "
+                f"mapping, got {type(platform).__name__}"
+            )
+        spec = dict(platform)
+        object.__setattr__(self, "platform", spec)
+        referenced = _platform_template_axes(spec)
+        axes = {axis for axis, _ in self.sweep}
+        missing = referenced - axes
+        if missing:
+            raise ConfigurationError(
+                f"platform spec references sweep axes that do not exist: "
+                f"{', '.join(sorted(missing))}"
+            )
+        if referenced:
+            # Validate the template eagerly with a representative cell (the
+            # first value of each axis) so bad specs fail at build time, not
+            # mid-campaign; the representative also provides the cluster for
+            # informational uses (the executor resolves per cell regardless).
+            first = {axis: values[0] for axis, values in self.sweep}
+            representative = platform_from_dict(_substitute_templates(spec, first))
+            object.__setattr__(self, "_static_platform", None)
+            object.__setattr__(self, "cluster", representative.build_cluster())
+        else:
+            resolved = platform_from_dict(spec)
+            if self._demote_platform(resolved):
+                return
+            object.__setattr__(self, "_static_platform", resolved)
+            object.__setattr__(self, "cluster", resolved.build_cluster())
+
+    def _demote_platform(self, resolved: Any) -> bool:
+        """Collapse a platform that adds nothing over a bare cluster.
+
+        A static platform with no availability events whose cluster is
+        homogeneous *is* the legacy cluster path; dropping the platform field
+        makes the scenario — spec dictionary, hash, cache keys, artifact
+        names — byte-identical to one built with ``cluster=...`` directly.
+        """
+        built = resolved.build_cluster()
+        if resolved.events is None and not built.is_heterogeneous:
+            object.__setattr__(self, "platform", None)
+            object.__setattr__(self, "_static_platform", None)
+            object.__setattr__(self, "cluster", built)
+            return True
+        return False
+
+    @property
+    def has_platform_template(self) -> bool:
+        """True when the platform spec varies with the sweep cell."""
+        return self.platform is not None and self._static_platform is None
+
+    def resolved_platform(self, params: Mapping[str, Any] = ()) -> Optional[Any]:
+        """The platform of the cell with parameters ``params`` (or ``None``).
+
+        Static platforms (no templates) resolve to the same object for every
+        cell; templated specs are filled with the cell parameters and built
+        through the platform registry.
+        """
+        from ..platform import platform_from_dict
+
+        if self.platform is None:
+            return None
+        if self._static_platform is not None:
+            return self._static_platform
+        return platform_from_dict(
+            _substitute_templates(self.platform, dict(params))
+        )
 
     # -- grid expansion --------------------------------------------------------
     def expand(self) -> List[Cell]:
@@ -614,34 +791,77 @@ class Scenario:
                 names.setdefault(template, None)
         return list(names)
 
-    def simulation_config(self) -> SimulationConfig:
-        """Engine configuration shared by every run of this scenario."""
+    def simulation_config(self, platform: Optional[Any] = None) -> SimulationConfig:
+        """Engine configuration for one run of this scenario.
+
+        ``platform`` is the cell's resolved platform when the scenario's
+        platform spec is sweep-templated; by default the scenario's static
+        platform (if any) supplies the node availability events and failure
+        policy.  Scenarios without a platform get the exact configuration of
+        previous releases.
+        """
+        if platform is None:
+            platform = self._static_platform
+        extra: Dict[str, Any] = {}
+        if platform is not None and platform.events is not None:
+            extra["node_events"] = platform.events
+            extra["failure_policy"] = platform.failure_policy
         return SimulationConfig(
             penalty_model=ReschedulingPenaltyModel(self.penalty_seconds),
             record_scheduler_times=self.record_scheduler_times,
             legacy_event_loop=self.legacy_event_loop,
+            **extra,
         )
 
     # -- serialisation ---------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Canonical spec dictionary (what the scenario hash is computed over)."""
-        return {
+        """Canonical spec dictionary (what the scenario hash is computed over).
+
+        Scenarios without a platform serialise their cluster block exactly as
+        before, so pre-existing scenario hashes (and therefore run caches and
+        exported artifact names) are unchanged.  Scenarios with a platform
+        serialise the ``platform`` block *instead* — the cluster is derived
+        state.
+        """
+        data: Dict[str, Any] = {
             "name": self.name,
             "source": self.source.to_dict(),
-            "cluster": {
+        }
+        if self.platform is None:
+            data["cluster"] = {
                 "nodes": self.cluster.num_nodes,
                 "cores_per_node": self.cluster.cores_per_node,
                 "node_memory_gb": self.cluster.node_memory_gb,
-            },
-            "algorithms": list(self.algorithms),
-            "penalty_seconds": self.penalty_seconds,
-            "sweep": [[axis, list(values)] for axis, values in self.sweep],
-            "collectors": [spec.to_dict() for spec in self.collectors],
-            "engine": {
-                "legacy_event_loop": self.legacy_event_loop,
-                "record_scheduler_times": self.record_scheduler_times,
-            },
-        }
+            }
+        elif self._static_platform is not None:
+            data["platform"] = self._static_platform.to_dict()
+        else:
+            # Templated spec: the template itself (placeholders included) is
+            # the canonical form — the sweep block already carries the
+            # values.  An *untemplated* events sub-block is canonicalised
+            # through its source (so e.g. a json trace's content fingerprint
+            # still folds into the hash, and editing the file invalidates
+            # caches exactly like on the static path).
+            template = copy.deepcopy(self.platform)
+            events = template.get("events")
+            if isinstance(events, Mapping) and not _platform_template_axes(events):
+                from ..platform import node_event_source_from_dict
+
+                template["events"] = node_event_source_from_dict(events).to_dict()
+            data["platform"] = template
+        data.update(
+            {
+                "algorithms": list(self.algorithms),
+                "penalty_seconds": self.penalty_seconds,
+                "sweep": [[axis, list(values)] for axis, values in self.sweep],
+                "collectors": [spec.to_dict() for spec in self.collectors],
+                "engine": {
+                    "legacy_event_loop": self.legacy_event_loop,
+                    "record_scheduler_times": self.record_scheduler_times,
+                },
+            }
+        )
+        return data
 
     def with_penalty(self, penalty_seconds: float) -> "Scenario":
         return replace(self, penalty_seconds=penalty_seconds)
@@ -651,8 +871,8 @@ def scenario_from_dict(data: Mapping[str, Any]) -> Scenario:
     """Build a scenario from a spec dictionary (inverse of ``to_dict``)."""
     payload = dict(data)
     unknown = set(payload) - {
-        "name", "source", "cluster", "algorithms", "penalty_seconds",
-        "sweep", "collectors", "engine",
+        "name", "source", "cluster", "platform", "algorithms",
+        "penalty_seconds", "sweep", "collectors", "engine",
     }
     if unknown:
         raise ConfigurationError(
@@ -662,6 +882,13 @@ def scenario_from_dict(data: Mapping[str, Any]) -> Scenario:
         raise ConfigurationError("scenario spec needs a 'source' field")
     if "algorithms" not in payload:
         raise ConfigurationError("scenario spec needs an 'algorithms' field")
+    platform_spec = payload.get("platform")
+    if platform_spec is not None and "cluster" in payload:
+        raise ConfigurationError(
+            "scenario spec must not set both 'cluster' and 'platform': the "
+            "platform block describes the whole machine (put nodes / "
+            "cores_per_node / node_memory_gb inside it)"
+        )
     cluster_spec = payload.get("cluster", {})
     unknown_cluster = set(cluster_spec) - {"nodes", "cores_per_node", "node_memory_gb"}
     if unknown_cluster:
@@ -708,6 +935,7 @@ def scenario_from_dict(data: Mapping[str, Any]) -> Scenario:
         ),
         legacy_event_loop=bool(engine.get("legacy_event_loop", False)),
         record_scheduler_times=bool(engine.get("record_scheduler_times", True)),
+        platform=platform_spec,
     )
 
 

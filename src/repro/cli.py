@@ -28,6 +28,16 @@ Campaign-layer subcommands:
   (see :mod:`repro.campaign.spec`) with zero new driver code;
 * ``algorithms`` — list the scheduler registry with its name grammar.
 
+Platform subcommands (``repro-dfrs platform <command>``, see
+:mod:`repro.platform`):
+
+* ``platform inspect``  — node classes, per-class capacities, aggregate
+  capacity, and a preview of the availability (failure/repair) trace of a
+  platform spec — or of the ``platform`` block of a scenario spec;
+* ``platform validate`` — build the platform, round-trip its canonical spec
+  form through the registry, and fully check the availability trace
+  (ordering, node ranges).
+
 Trace subcommands (``repro-dfrs trace <command>``, see :mod:`repro.traces`):
 
 * ``trace inspect``       — SWF header directives and stream statistics;
@@ -235,6 +245,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser(
         "algorithms", help="list the scheduler registry and its name grammar"
+    )
+
+    platform = subparsers.add_parser(
+        "platform", help="inspect and validate platform specs (see repro.platform)"
+    )
+    platform_sub = platform.add_subparsers(dest="platform_command", required=True)
+    platform_inspect = platform_sub.add_parser(
+        "inspect",
+        help="print a platform's node classes, capacities, and availability model",
+    )
+    platform_inspect.add_argument(
+        "spec",
+        type=str,
+        help="platform spec JSON (a platform object, or a scenario spec with a 'platform' block)",
+    )
+    platform_inspect.add_argument(
+        "--events",
+        type=int,
+        default=10,
+        help="number of availability events to preview (default 10)",
+    )
+    platform_validate = platform_sub.add_parser(
+        "validate",
+        help="build the platform and fully check its availability trace",
+    )
+    platform_validate.add_argument(
+        "spec", type=str, help="platform spec JSON (as for 'platform inspect')"
     )
 
     trace = subparsers.add_parser(
@@ -495,6 +532,126 @@ def _run_trace_transform(args: argparse.Namespace, source_path: str, output: str
     )
 
 
+def _load_platform_spec(path_text: str):
+    """Resolve a CLI platform argument to a built ``Platform``.
+
+    Accepts a platform spec object (``{"type": ...}``) or a full scenario
+    spec carrying a ``platform`` block, so the same file drives both
+    ``repro-dfrs run`` and ``repro-dfrs platform inspect``.  Templated
+    scenario platforms are resolved with the first value of each sweep axis
+    (the representative cell), which is stated in the output.
+    """
+    from .exceptions import ConfigurationError
+    from .platform import platform_from_dict
+
+    path = Path(path_text)
+    if not path.exists():
+        raise ConfigurationError(f"platform spec not found: {path}")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"invalid JSON in {path}: {error}") from None
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"{path}: expected a platform or scenario spec object"
+        )
+    note = ""
+    if "platform" not in payload and "type" not in payload:
+        if "source" in payload or "algorithms" in payload:
+            raise ConfigurationError(
+                f"{path}: this scenario spec has no 'platform' block to "
+                "inspect (it runs on a plain homogeneous cluster)"
+            )
+        raise ConfigurationError(
+            f"{path}: expected a platform spec (a 'type' field) or a "
+            "scenario spec with a 'platform' block"
+        )
+    if "platform" in payload and "type" not in payload:
+        # A scenario spec: pull the platform block out and resolve templates
+        # with the representative (first-value) cell.
+        from .campaign.scenario import scenario_from_dict
+
+        scenario = scenario_from_dict(payload)
+        if scenario.platform is None:
+            # An event-free homogeneous platform is demoted to the plain
+            # cluster form inside Scenario; describe the spec's own block.
+            return platform_from_dict(payload["platform"]), note
+        first = {axis: values[0] for axis, values in scenario.sweep}
+        if scenario.has_platform_template:
+            note = (
+                f"(templated platform resolved with representative cell "
+                f"{first})"
+            )
+        return scenario.resolved_platform(first), note
+    return platform_from_dict(payload), note
+
+
+def _describe_platform(platform, *, max_events: int) -> str:
+    """Human-readable summary used by ``platform inspect``."""
+    from .platform import NodeClassesPlatform
+
+    cluster = platform.build_cluster()
+    lines: List[str] = [f"platform: {platform.kind}"]
+    lines.append(
+        f"nodes: {cluster.num_nodes} x {cluster.cores_per_node} cores, "
+        f"reference node {cluster.node_memory_gb:g} GB"
+    )
+    if isinstance(platform, NodeClassesPlatform):
+        lines.append("node classes:")
+        for node_class in platform.classes:
+            lines.append(
+                f"  {node_class.name:>12s}  count {node_class.count:4d}  "
+                f"cpu x{node_class.cpu:g}  memory x{node_class.memory:g}"
+            )
+    lines.append(
+        f"aggregate capacity: {cluster.total_cpu_capacity():g} CPU units, "
+        f"{cluster.total_mem_capacity():g} memory units"
+    )
+    if platform.events is None:
+        lines.append("availability: static (no failure trace)")
+        return "\n".join(lines)
+    events = platform.events.materialize(cluster)
+    downs = sum(1 for event in events if not event.up)
+    lines.append(
+        f"availability: {platform.events.kind} trace, {len(events)} events "
+        f"({downs} failures), failure policy '{platform.failure_policy}'"
+    )
+    for event in events[:max_events]:
+        lines.append(
+            f"  t={event.time:12.1f}s  node {event.node:4d}  {event.kind}"
+        )
+    if len(events) > max_events:
+        lines.append(f"  ... {len(events) - max_events} more")
+    return "\n".join(lines)
+
+
+def _run_platform_inspect(args: argparse.Namespace) -> None:
+    platform, note = _load_platform_spec(args.spec)
+    if note:
+        print(note)
+    print(_describe_platform(platform, max_events=max(0, args.events)))
+
+
+def _run_platform_validate(args: argparse.Namespace) -> None:
+    from .platform import platform_from_dict
+
+    platform, note = _load_platform_spec(args.spec)
+    if note:
+        print(note)
+    # Round-trip through the registry: the canonical form must rebuild.
+    rebuilt = platform_from_dict(platform.to_dict())
+    cluster = rebuilt.build_cluster()
+    if rebuilt.events is not None:
+        # materialize() runs the full ordering/node-range validation.
+        events = rebuilt.events.materialize(cluster)
+        print(
+            f"platform OK: {cluster.num_nodes} nodes, {len(events)} "
+            "availability events, spec round-trips"
+        )
+    else:
+        print(f"platform OK: {cluster.num_nodes} nodes, static, spec round-trips")
+
+
 def _format_algorithms() -> str:
     """The ``algorithms`` subcommand body: registry listing with grammar."""
     rows: List[List[object]] = []
@@ -623,6 +780,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         campaigns = [outcome]
     elif args.command == "algorithms":
         print(_format_algorithms())
+    elif args.command == "platform":
+        if args.platform_command == "inspect":
+            _run_platform_inspect(args)
+        elif args.platform_command == "validate":
+            _run_platform_validate(args)
+        else:  # pragma: no cover - argparse enforces the choices
+            parser.error(f"unknown platform command {args.platform_command!r}")
     elif args.command == "trace":
         if args.trace_command == "inspect":
             _run_trace_inspect(args)

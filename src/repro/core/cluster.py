@@ -1,4 +1,4 @@
-"""Homogeneous cluster model.
+"""Cluster model: homogeneous by default, per-node capacities when needed.
 
 The paper (§II-B1) targets a homogeneous cluster with a switched interconnect
 and network-attached storage.  Every node exposes two resource dimensions:
@@ -6,19 +6,31 @@ and network-attached storage.  Every node exposes two resource dimensions:
 * **CPU** — an arbitrarily divisible resource normalised to 1.0 per node.  A
   multi-core node is treated as a single fluid CPU resource (the Xen credit
   scheduler abstraction, §II-A); oversubscription of *needs* is allowed but
-  the sum of *allocated* fractions must stay within 1.0.
+  the sum of *allocated* fractions must stay within the node's capacity.
 * **Memory** — normalised to 1.0 per node; the sum of the memory requirements
-  of the tasks placed on a node must never exceed 1.0 (no swapping, §II-B1).
+  of the tasks placed on a node must never exceed its capacity (no swapping,
+  §II-B1).
+
+:mod:`repro.platform` extends this model to heterogeneous clusters: a
+:class:`Cluster` may carry optional per-node capacity vectors
+(``cpu_capacities`` — relative node speed, ``mem_capacities`` — relative
+memory size, both expressed against the 1.0 reference node).  ``None`` (and
+all-ones vectors, which are canonicalised to ``None``) means the paper's
+homogeneous cluster, and every capacity-aware code path then reduces to the
+exact arithmetic of the original model — the homogeneous default stays
+byte-identical.
 
 :class:`Cluster` is a small immutable description; :class:`ClusterUsage` is a
 mutable tally used by the engine and the schedulers to validate and construct
-allocations.
+allocations.  A usage tally may additionally mark nodes *unavailable* (down
+under a :mod:`repro.platform` failure trace): unavailable nodes refuse
+placements and drop out of the load-ordered candidate list.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,26 +43,65 @@ __all__ = ["Cluster", "ClusterUsage", "CAPACITY_EPSILON"]
 CAPACITY_EPSILON = 1e-6
 
 
+def _canonical_capacities(
+    values: Optional[Sequence[float]], num_nodes: int, label: str
+) -> Optional[Tuple[float, ...]]:
+    """Validate and canonicalise a per-node capacity vector.
+
+    All-ones vectors collapse to ``None`` so that an explicitly homogeneous
+    cluster is *the same object shape* (equality, hash, spec dictionary) as a
+    plain one — which is what keeps the homogeneous platform byte-identical
+    to the legacy ``Cluster`` path everywhere.
+    """
+    if values is None:
+        return None
+    capacities = tuple(float(value) for value in values)
+    if len(capacities) != num_nodes:
+        raise ConfigurationError(
+            f"{label} must list one capacity per node "
+            f"({num_nodes}), got {len(capacities)}"
+        )
+    for node, value in enumerate(capacities):
+        if not value > 0.0:
+            raise ConfigurationError(
+                f"{label}[{node}] must be > 0, got {value}"
+            )
+    if all(value == 1.0 for value in capacities):
+        return None
+    return capacities
+
+
 @dataclass(frozen=True)
 class Cluster:
-    """Description of a homogeneous cluster.
+    """Description of a cluster, homogeneous unless capacity vectors are set.
 
     Parameters
     ----------
     num_nodes:
         Number of physical nodes.
     cores_per_node:
-        Number of cores per node.  Only used by workload annotation (a
-        sequential task can use at most ``1/cores_per_node`` of the node CPU)
-        and by reporting; the scheduling model treats the CPU as fluid.
+        Number of cores per (reference) node.  Only used by workload
+        annotation (a sequential task can use at most ``1/cores_per_node`` of
+        the node CPU) and by reporting; the scheduling model treats the CPU
+        as fluid.
     node_memory_gb:
-        Physical memory per node in GB, used to convert memory fractions into
-        bytes for the preemption/migration bandwidth accounting of Table II.
+        Physical memory of the capacity-1.0 reference node in GB, used to
+        convert memory fractions into bytes for the preemption/migration
+        bandwidth accounting of Table II.
+    cpu_capacities:
+        Optional per-node CPU capacity (relative node speed): a node of
+        capacity 2.0 can host twice the allocated CPU fraction of the
+        reference node.  ``None`` (or all ones) means homogeneous.
+    mem_capacities:
+        Optional per-node memory capacity relative to the reference node.
+        ``None`` (or all ones) means homogeneous.
     """
 
     num_nodes: int
     cores_per_node: int = 4
     node_memory_gb: float = 8.0
+    cpu_capacities: Optional[Tuple[float, ...]] = None
+    mem_capacities: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -63,38 +114,122 @@ class Cluster:
             raise ConfigurationError(
                 f"node_memory_gb must be > 0, got {self.node_memory_gb}"
             )
+        object.__setattr__(
+            self,
+            "cpu_capacities",
+            _canonical_capacities(self.cpu_capacities, self.num_nodes, "cpu_capacities"),
+        )
+        object.__setattr__(
+            self,
+            "mem_capacities",
+            _canonical_capacities(self.mem_capacities, self.num_nodes, "mem_capacities"),
+        )
 
     @property
     def node_ids(self) -> range:
         """Iterable of valid node indices."""
         return range(self.num_nodes)
 
+    @property
+    def is_heterogeneous(self) -> bool:
+        """True when some node differs from the 1.0 × 1.0 reference node."""
+        return self.cpu_capacities is not None or self.mem_capacities is not None
+
+    def cpu_capacity(self, node: int) -> float:
+        """CPU capacity (relative speed) of ``node``; 1.0 when homogeneous."""
+        return 1.0 if self.cpu_capacities is None else self.cpu_capacities[node]
+
+    def mem_capacity(self, node: int) -> float:
+        """Memory capacity of ``node`` relative to the reference node."""
+        return 1.0 if self.mem_capacities is None else self.mem_capacities[node]
+
+    def cpu_capacity_vector(self) -> np.ndarray:
+        """Per-node CPU capacities as an array (ones when homogeneous)."""
+        if self.cpu_capacities is None:
+            return np.ones(self.num_nodes, dtype=float)
+        return np.array(self.cpu_capacities, dtype=float)
+
+    def mem_capacity_vector(self) -> np.ndarray:
+        """Per-node memory capacities as an array (ones when homogeneous)."""
+        if self.mem_capacities is None:
+            return np.ones(self.num_nodes, dtype=float)
+        return np.array(self.mem_capacities, dtype=float)
+
+    def total_cpu_capacity(self) -> float:
+        """Sum of per-node CPU capacities (``num_nodes`` when homogeneous)."""
+        if self.cpu_capacities is None:
+            return float(self.num_nodes)
+        return float(sum(self.cpu_capacities))
+
+    def total_mem_capacity(self) -> float:
+        """Sum of per-node memory capacities (``num_nodes`` when homogeneous)."""
+        if self.mem_capacities is None:
+            return float(self.num_nodes)
+        return float(sum(self.mem_capacities))
+
+    def node_capacities(self) -> Tuple[Tuple[float, float], ...]:
+        """Per-node ``(cpu, memory)`` capacity pairs (for vector packing)."""
+        return tuple(
+            (self.cpu_capacity(node), self.mem_capacity(node))
+            for node in range(self.num_nodes)
+        )
+
     def sequential_cpu_need(self) -> float:
         """CPU need of a CPU-bound sequential task on this cluster (§IV-C)."""
         return 1.0 / self.cores_per_node
 
-    def usage(self) -> "ClusterUsage":
-        """Return a fresh, empty usage tally for this cluster."""
-        return ClusterUsage(self)
+    def usage(self, unavailable: Iterable[int] = ()) -> "ClusterUsage":
+        """Return a fresh, empty usage tally for this cluster.
+
+        ``unavailable`` marks nodes that are currently down (see
+        :mod:`repro.platform`): they refuse placements and drop out of the
+        candidate orderings.
+        """
+        return ClusterUsage(self, unavailable)
 
 
 class ClusterUsage:
     """Mutable per-node CPU and memory usage tally.
 
     CPU usage is tracked both as *allocated fraction* (needs × yield, which
-    must stay ≤ 1) and as *load* (sum of CPU needs, which may exceed 1 and is
-    the quantity Λ used by the GREEDY yield rule).
+    must stay within the node's CPU capacity) and as *load* (sum of CPU
+    needs, which may exceed capacity and is the quantity Λ used by the
+    GREEDY yield rule; on heterogeneous clusters Λ is normalised by node
+    speed).
     """
 
-    __slots__ = ("cluster", "_cpu_alloc", "_cpu_load", "_memory", "_tasks")
+    __slots__ = (
+        "cluster",
+        "_cpu_alloc",
+        "_cpu_load",
+        "_memory",
+        "_tasks",
+        "_cpu_cap",
+        "_mem_cap",
+        "_down",
+    )
 
-    def __init__(self, cluster: Cluster) -> None:
+    def __init__(self, cluster: Cluster, unavailable: Iterable[int] = ()) -> None:
         self.cluster = cluster
         n = cluster.num_nodes
         self._cpu_alloc = np.zeros(n, dtype=float)
         self._cpu_load = np.zeros(n, dtype=float)
         self._memory = np.zeros(n, dtype=float)
         self._tasks = np.zeros(n, dtype=int)
+        # None on the homogeneous path: capacity checks then use the literal
+        # 1.0 constants of the original model (identical float arithmetic).
+        self._cpu_cap = (
+            None
+            if cluster.cpu_capacities is None
+            else np.array(cluster.cpu_capacities, dtype=float)
+        )
+        self._mem_cap = (
+            None
+            if cluster.mem_capacities is None
+            else np.array(cluster.mem_capacities, dtype=float)
+        )
+        down = frozenset(int(node) for node in unavailable)
+        self._down: Optional[FrozenSet[int]] = down or None
 
     # -- inspection -----------------------------------------------------------
     def cpu_allocated(self, node: int) -> float:
@@ -109,21 +244,54 @@ class ClusterUsage:
         """Sum of memory requirements of the tasks placed on ``node``."""
         return float(self._memory[node])
 
+    def cpu_capacity(self, node: int) -> float:
+        """CPU capacity of ``node`` (1.0 on homogeneous clusters)."""
+        return 1.0 if self._cpu_cap is None else float(self._cpu_cap[node])
+
+    def mem_capacity(self, node: int) -> float:
+        """Memory capacity of ``node`` (1.0 on homogeneous clusters)."""
+        return 1.0 if self._mem_cap is None else float(self._mem_cap[node])
+
     def memory_free(self, node: int) -> float:
         """Remaining memory fraction on ``node``."""
-        return 1.0 - float(self._memory[node])
+        if self._mem_cap is None:
+            return 1.0 - float(self._memory[node])
+        return float(self._mem_cap[node]) - float(self._memory[node])
 
     def cpu_free(self, node: int) -> float:
         """Remaining allocatable CPU fraction on ``node``."""
-        return 1.0 - float(self._cpu_alloc[node])
+        if self._cpu_cap is None:
+            return 1.0 - float(self._cpu_alloc[node])
+        return float(self._cpu_cap[node]) - float(self._cpu_alloc[node])
 
     def task_count(self, node: int) -> int:
         """Number of tasks currently placed on ``node``."""
         return int(self._tasks[node])
 
+    def is_available(self, node: int) -> bool:
+        """False when ``node`` is marked down (see :meth:`set_unavailable`)."""
+        return self._down is None or node not in self._down
+
+    def unavailable_nodes(self) -> FrozenSet[int]:
+        """The set of nodes currently marked down."""
+        return self._down or frozenset()
+
+    def set_unavailable(self, nodes: Iterable[int]) -> None:
+        """Mark ``nodes`` as down (replaces any previous mark)."""
+        down = frozenset(int(node) for node in nodes)
+        self._down = down or None
+
     def max_cpu_load(self) -> float:
-        """Maximum CPU load over all nodes (Λ in the GREEDY yield rule)."""
-        return float(self._cpu_load.max()) if self.cluster.num_nodes else 0.0
+        """Maximum CPU load over all nodes (Λ in the GREEDY yield rule).
+
+        On heterogeneous clusters the load of each node is normalised by its
+        CPU capacity, so Λ stays "load per unit of reference CPU".
+        """
+        if not self.cluster.num_nodes:
+            return 0.0
+        if self._cpu_cap is None:
+            return float(self._cpu_load.max())
+        return float((self._cpu_load / self._cpu_cap).max())
 
     def busy_nodes(self) -> int:
         """Number of nodes hosting at least one task."""
@@ -147,8 +315,18 @@ class ClusterUsage:
 
     # -- mutation -------------------------------------------------------------
     def can_fit_memory(self, node: int, mem_requirement: float) -> bool:
-        """True if a task of the given memory requirement fits on ``node``."""
-        return self._memory[node] + mem_requirement <= 1.0 + CAPACITY_EPSILON
+        """True if a task of the given memory requirement fits on ``node``.
+
+        Down nodes never fit anything.
+        """
+        if self._down is not None and node in self._down:
+            return False
+        if self._mem_cap is None:
+            return self._memory[node] + mem_requirement <= 1.0 + CAPACITY_EPSILON
+        return (
+            self._memory[node] + mem_requirement
+            <= self._mem_cap[node] + CAPACITY_EPSILON
+        )
 
     def add_task(
         self,
@@ -162,17 +340,23 @@ class ClusterUsage:
         """Place one task on ``node``.
 
         With ``check=True`` (default) the memory and allocated-CPU capacity
-        constraints are enforced and :class:`InfeasibleAllocationError` is
-        raised on violation.
+        constraints (and node availability) are enforced and
+        :class:`InfeasibleAllocationError` is raised on violation.
         """
         cpu_fraction = cpu_need * yield_value
         if check:
-            if self._memory[node] + mem_requirement > 1.0 + CAPACITY_EPSILON:
+            if self._down is not None and node in self._down:
+                raise InfeasibleAllocationError(
+                    f"node {node} is unavailable (down)"
+                )
+            mem_limit = 1.0 if self._mem_cap is None else self._mem_cap[node]
+            if self._memory[node] + mem_requirement > mem_limit + CAPACITY_EPSILON:
                 raise InfeasibleAllocationError(
                     f"node {node}: memory {self._memory[node]:.4f} + "
                     f"{mem_requirement:.4f} exceeds capacity"
                 )
-            if self._cpu_alloc[node] + cpu_fraction > 1.0 + CAPACITY_EPSILON:
+            cpu_limit = 1.0 if self._cpu_cap is None else self._cpu_cap[node]
+            if self._cpu_alloc[node] + cpu_fraction > cpu_limit + CAPACITY_EPSILON:
                 raise InfeasibleAllocationError(
                     f"node {node}: CPU allocation {self._cpu_alloc[node]:.4f} + "
                     f"{cpu_fraction:.4f} exceeds capacity"
@@ -223,9 +407,21 @@ class ClusterUsage:
             raise
 
     def nodes_by_cpu_load(self) -> List[int]:
-        """Node indices sorted by increasing CPU load, ties by index."""
-        order = np.lexsort((np.arange(self.cluster.num_nodes), self._cpu_load))
-        return [int(i) for i in order]
+        """Available node indices sorted by increasing CPU load, ties by index.
+
+        On heterogeneous clusters the sort key is the *speed-normalised* load
+        (``load / cpu_capacity``), so a fast node half as loaded per unit of
+        capacity sorts ahead of a slow node — the natural generalisation of
+        the paper's least-loaded rule.  Down nodes are excluded.
+        """
+        if self._cpu_cap is None:
+            keys = self._cpu_load
+        else:
+            keys = self._cpu_load / self._cpu_cap
+        order = np.lexsort((np.arange(self.cluster.num_nodes), keys))
+        if self._down is None:
+            return [int(i) for i in order]
+        return [int(i) for i in order if int(i) not in self._down]
 
     def snapshot(self) -> "ClusterUsage":
         """Deep copy of this usage tally."""
@@ -234,4 +430,5 @@ class ClusterUsage:
         clone._cpu_load[:] = self._cpu_load
         clone._memory[:] = self._memory
         clone._tasks[:] = self._tasks
+        clone._down = self._down
         return clone

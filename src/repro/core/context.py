@@ -12,7 +12,7 @@ baselines, §IV-B); DFRS schedulers receive ``None`` there.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from .allocation import JobAllocation
 from .cluster import Cluster, ClusterUsage
@@ -84,6 +84,13 @@ class SchedulingContext:
     completed: List[int] = field(default_factory=list)
     #: True when the event includes a scheduler-requested wake-up.
     is_wakeup: bool = False
+    #: Nodes currently unavailable (down under a platform failure trace).
+    #: Schedulers must not place tasks on them; the engine rejects decisions
+    #: that do.  Empty on static platforms.
+    down_nodes: FrozenSet[int] = frozenset()
+    #: Ids of jobs evicted at this event because their node failed (killed
+    #: and requeued, or checkpoint-paused, per the platform failure policy).
+    evicted: List[int] = field(default_factory=list)
 
     def running_jobs(self) -> List[JobView]:
         """Views of currently running jobs."""
@@ -97,9 +104,29 @@ class SchedulingContext:
         """Views of jobs that have never been started."""
         return [view for view in self.jobs.values() if view.is_pending]
 
+    def scratch_usage(self) -> ClusterUsage:
+        """Fresh, empty usage tally with the down nodes already marked."""
+        return self.cluster.usage(self.down_nodes)
+
+    def packing_capacities(self) -> Optional[Tuple[Tuple[float, float], ...]]:
+        """Per-node ``(cpu, memory)`` bin capacities for vector packing.
+
+        ``None`` on the fast path — a homogeneous cluster with every node up
+        — which tells the packers to use their original unit-bin code.  Down
+        nodes get zero capacity, so no packing ever lands on them.
+        """
+        if not self.down_nodes and not self.cluster.is_heterogeneous:
+            return None
+        return tuple(
+            (0.0, 0.0)
+            if node in self.down_nodes
+            else (self.cluster.cpu_capacity(node), self.cluster.mem_capacity(node))
+            for node in range(self.cluster.num_nodes)
+        )
+
     def usage_from_running(self) -> ClusterUsage:
         """Cluster usage implied by the currently running jobs."""
-        usage = self.cluster.usage()
+        usage = self.cluster.usage(self.down_nodes)
         for view in self.running_jobs():
             assert view.assignment is not None
             usage.add_job(

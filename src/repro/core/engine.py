@@ -51,7 +51,7 @@ import logging
 import math
 import time as _time
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import SimulationError
 from .allocation import AllocationDecision, JobAllocation, validate_decision
@@ -95,6 +95,16 @@ class SimulationConfig:
     #: :class:`repro.metrics.QuantileSketch`); only read when
     #: ``streaming_metrics`` is on.
     metrics_relative_error: float = 0.01
+    #: Optional :class:`repro.platform.NodeEventSource` of timed node
+    #: failures/repairs.  None (the default) keeps every node up for the
+    #: whole run — the original static platform, byte-identical.
+    node_events: Optional[Any] = None
+    #: What happens to jobs with a task on a failed node: ``"resubmit"``
+    #: kills them and requeues them from scratch (progress lost);
+    #: ``"migrate"`` checkpoints them exactly like a scheduler preemption
+    #: (progress kept, preemption cost charged, resume penalty on restart).
+    #: Only read when ``node_events`` is set.
+    failure_policy: str = "resubmit"
 
 
 class Simulator:
@@ -187,6 +197,12 @@ class Simulator:
         self._next_stream_index = 0
         #: Submit time of the first job (makespan baseline).
         self._first_submit = 0.0
+        # -- dynamic platform state ----------------------------------------
+        #: Nodes currently unavailable (down under the platform failure
+        #: trace).  Always empty on static platforms.
+        self._down_nodes: set = set()
+        #: Jobs evicted by node failures at the event being processed.
+        self._evicted_now: List[int] = []
         #: High-water mark of jobs resident in the engine's tables at once.
         #: In streaming mode this stays O(active jobs); materialized runs
         #: register every spec up front so it equals the workload size.
@@ -233,6 +249,7 @@ class Simulator:
     def _run_event_loop(self, first_submit: float) -> SimulationResult:
         self._first_submit = first_submit
         self._now = first_submit
+        self._setup_platform(first_submit)
         self.scheduler.start(self.cluster, first_submit)
         for observer in self._observers:
             observer.on_simulation_start(self.cluster, first_submit)
@@ -284,6 +301,98 @@ class Simulator:
             scheduler_job_count_stats=self._scheduler_job_count_stats,
         )
 
+    # --------------------------------------------------------- platform setup --
+    def _setup_platform(self, first_submit: float) -> None:
+        """Queue the platform's node availability events, if any.
+
+        Failure traces are tiny next to job traces (one entry per failure),
+        so the whole stream is materialized up front.  Events strictly
+        before the first submission are applied as the initial availability
+        state instead of being replayed.
+        """
+        if self.cluster.is_heterogeneous and _is_batch(self.scheduler):
+            raise SimulationError(
+                f"scheduler {getattr(self.scheduler, 'name', '?')!r} allocates "
+                "whole homogeneous nodes; heterogeneous platforms need a DFRS "
+                "scheduler"
+            )
+        source = self.config.node_events
+        if source is None:
+            return
+        if self.config.legacy_event_loop:
+            raise SimulationError(
+                "node availability events require the O(active jobs) event "
+                "loop (legacy_event_loop=False)"
+            )
+        if self.config.failure_policy not in ("resubmit", "migrate"):
+            raise SimulationError(
+                f"unknown failure_policy {self.config.failure_policy!r} "
+                "(expected 'resubmit' or 'migrate')"
+            )
+        if self.config.failure_policy == "migrate" and not getattr(
+            self.scheduler, "resumes_paused_jobs", True
+        ):
+            raise SimulationError(
+                f"failure_policy 'migrate' checkpoints victims as PAUSED "
+                f"jobs, but scheduler "
+                f"{getattr(self.scheduler, 'name', '?')!r} never resumes "
+                "paused jobs (they would starve); use failure_policy "
+                "'resubmit' or a pmtn/dynmcb8-family scheduler"
+            )
+        for event in source.events(self.cluster):
+            if event.time < first_submit:
+                if event.up:
+                    self._down_nodes.discard(event.node)
+                else:
+                    self._down_nodes.add(event.node)
+            else:
+                self._queue.push(
+                    Event(
+                        event.time,
+                        EventType.NODE_UP if event.up else EventType.NODE_DOWN,
+                        node=event.node,
+                    )
+                )
+
+    def _apply_node_down(self, node: int) -> None:
+        """Mark ``node`` down and evict the jobs running a task on it."""
+        if node in self._down_nodes:
+            return
+        self._down_nodes.add(node)
+        self._costs.record_node_failure()
+        penalty = self.config.penalty_model
+        resubmit = self.config.failure_policy == "resubmit"
+        for job in list(self._iter_jobs()):
+            if job.state is not JobState.RUNNING or job.assignment is None:
+                continue
+            if node not in job.assignment:
+                continue
+            self._release_nodes(job.assignment)
+            job.last_assignment = job.assignment
+            job.assignment = None
+            job.current_yield = 0.0
+            if resubmit:
+                # Kill-and-resubmit: all progress is lost, nothing is saved
+                # to storage, and the job queues again as if fresh.
+                job.state = JobState.PENDING
+                job.remaining_work = job.spec.dedicated_work()
+                job.virtual_time = 0.0
+                job.penalty_remaining = 0.0
+                self._costs.record_failure_kill()
+            else:
+                # Checkpoint ("migrate"): exactly a preemption — memory goes
+                # to storage, progress is kept, and the resume penalty is
+                # charged when a scheduler later restarts the job elsewhere.
+                job.state = JobState.PAUSED
+                job.preemption_count += 1
+                self._costs.record_preemption(
+                    penalty.preemption_bytes_gb(job.spec, self.cluster)
+                )
+            self._note_allocation_change(job)
+            self._evicted_now.append(job.job_id)
+            for observer in self._observers:
+                observer.on_job_preempted(self._now, job.spec)
+
     # -------------------------------------------------------- spec admission --
     def _register_spec(self, spec: JobSpec, index: int) -> None:
         """Create the engine-side state of one spec and queue its submission."""
@@ -295,6 +404,15 @@ class Simulator:
                 f"job {spec.job_id} needs {spec.num_tasks} nodes but the "
                 f"cluster only has {self.cluster.num_nodes} (batch scheduling "
                 "would never start it)"
+            )
+        if spec.num_tasks > _max_hostable_tasks(self.cluster, spec.mem_requirement):
+            # Without this check the job would wait forever (DFRS backoff
+            # retries, batch queue head) and the run would livelock.
+            raise SimulationError(
+                f"job {spec.job_id} needs {spec.num_tasks} tasks of memory "
+                f"{spec.mem_requirement:g} but the platform can host at most "
+                f"{_max_hostable_tasks(self.cluster, spec.mem_requirement)} "
+                "such tasks even when empty (permanently infeasible)"
             )
         self._jobs[spec.job_id] = Job(spec=spec)
         self._arrived[spec.job_id] = False
@@ -456,7 +574,9 @@ class Simulator:
                 for job in self._jobs.values():
                     job.advance(duration)
             else:
-                idle = self.cluster.num_nodes - self._busy_count
+                # Down nodes are neither busy nor idle: they draw no power
+                # and host no work, so they drop out of the idle integral.
+                idle = self.cluster.num_nodes - self._busy_count - len(self._down_nodes)
                 self._idle_node_seconds += idle * duration
                 for job in self._active.values():
                     job.advance(duration)
@@ -466,6 +586,7 @@ class Simulator:
         submitted: List[int] = []
         completed: List[int] = []
         is_wakeup = False
+        self._evicted_now = []
         # Completions are detected from job state, not from queued events.
         for job in self._iter_jobs():
             if job.state is JobState.RUNNING and job.remaining_work <= 0.0:
@@ -486,6 +607,18 @@ class Simulator:
                         # queued; replacing it may queue another event <= now
                         # (same-timestamp submissions), hence the outer loop.
                         self._admit_next_from_stream()
+                elif event.event_type is EventType.NODE_DOWN:
+                    assert event.node is not None
+                    self._apply_node_down(event.node)
+                    is_wakeup = True
+                    for observer in self._observers:
+                        observer.on_node_down(now, event.node)
+                elif event.event_type is EventType.NODE_UP:
+                    assert event.node is not None
+                    self._down_nodes.discard(event.node)
+                    is_wakeup = True
+                    for observer in self._observers:
+                        observer.on_node_up(now, event.node)
                 elif event.event_type is EventType.SCHEDULER_WAKEUP:
                     is_wakeup = True
             events = self._queue.pop_until(now) if self._streaming else []
@@ -571,6 +704,8 @@ class Simulator:
             submitted=[j for j in submitted if j in views],
             completed=completed,
             is_wakeup=is_wakeup,
+            down_nodes=frozenset(self._down_nodes),
+            evicted=list(self._evicted_now),
         )
 
     def _invoke_scheduler(
@@ -590,7 +725,13 @@ class Simulator:
         if decision is None:
             decision = AllocationDecision()
         specs = {job_id: self._jobs[job_id].spec for job_id in context.jobs}
-        validate_decision(decision, specs, self.cluster)
+        # With down nodes marked in the validation tally, an allocation on a
+        # failed node raises the same InfeasibleAllocationError a capacity
+        # violation would — schedulers cannot place work on dead nodes.
+        usage = (
+            self.cluster.usage(self._down_nodes) if self._down_nodes else None
+        )
+        validate_decision(decision, specs, self.cluster, usage=usage)
         for job_id in decision.running:
             if self._jobs[job_id].state is JobState.COMPLETED:
                 raise SimulationError(
@@ -693,3 +834,24 @@ class Simulator:
 def _is_batch(scheduler) -> bool:
     """True for schedulers that allocate whole nodes and never co-locate."""
     return bool(getattr(scheduler, "exclusive_node_allocation", False))
+
+
+def _max_hostable_tasks(cluster: Cluster, mem_requirement: float) -> int:
+    """Most tasks of the given memory footprint an *empty* cluster can host.
+
+    A node of memory capacity ``c`` hosts at most ``floor(c / m)`` tasks of
+    requirement ``m`` (no swapping).  A job wider than the sum over all
+    nodes can never be placed by any scheduler, whatever the yield — on
+    homogeneous clusters that only happens for jobs wider than the cluster
+    allows, but small-memory node classes make it easy to hit.
+    """
+    from .cluster import CAPACITY_EPSILON
+
+    if mem_requirement <= 0.0:
+        return cluster.num_nodes * 10**9
+    if cluster.mem_capacities is None:
+        return cluster.num_nodes * int((1.0 + CAPACITY_EPSILON) / mem_requirement)
+    return sum(
+        int((capacity + CAPACITY_EPSILON) / mem_requirement)
+        for capacity in cluster.mem_capacities
+    )

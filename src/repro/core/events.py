@@ -25,6 +25,10 @@ class EventType(enum.Enum):
 
     #: A job's work reached zero (resources are released before scheduling).
     JOB_COMPLETION = "completion"
+    #: A node became unavailable (platform failure trace).
+    NODE_DOWN = "node-down"
+    #: A previously failed node was repaired (platform failure trace).
+    NODE_UP = "node-up"
     #: A new job enters the system.
     JOB_SUBMISSION = "submission"
     #: The scheduler asked to be re-invoked (periodic tick or backoff retry).
@@ -32,11 +36,16 @@ class EventType(enum.Enum):
 
 
 #: Processing order of simultaneous events: completions free resources first,
-#: then submissions are admitted, then wake-ups fire.
+#: then node availability changes apply (downs evict before ups restore, so
+#: the scheduler sees a consistent platform), then submissions are admitted,
+#: then wake-ups fire.  Only the relative order matters; the pre-existing
+#: types keep their relative order, so default-mode runs are unchanged.
 _TYPE_ORDER = {
     EventType.JOB_COMPLETION: 0,
-    EventType.JOB_SUBMISSION: 1,
-    EventType.SCHEDULER_WAKEUP: 2,
+    EventType.NODE_DOWN: 1,
+    EventType.NODE_UP: 2,
+    EventType.JOB_SUBMISSION: 3,
+    EventType.SCHEDULER_WAKEUP: 4,
 }
 
 
@@ -44,12 +53,14 @@ _TYPE_ORDER = {
 class Event:
     """A single simulation event.
 
-    ``job_id`` is set for submissions and completions, ``None`` for wake-ups.
+    ``job_id`` is set for submissions and completions, ``None`` otherwise;
+    ``node`` is set for node availability events, ``None`` otherwise.
     """
 
     time: float
     event_type: EventType
     job_id: Optional[int] = None
+    node: Optional[int] = None
 
     def sort_key(self) -> Tuple[float, int, int]:
         return (self.time, _TYPE_ORDER[self.event_type], self.job_id or -1)

@@ -14,8 +14,10 @@ Checked invariants:
   submission, never completes before it starts, and is never touched again
   after completing.
 * **Capacity** — at every event, the sum of memory requirements on each node
-  stays within 1.0 and the sum of allocated CPU fractions stays within 1.0
-  (both with the engine's epsilon).
+  stays within the node's memory capacity and the sum of allocated CPU
+  fractions stays within its CPU capacity (1.0 × 1.0 on homogeneous
+  clusters, the per-node vectors of :mod:`repro.platform` otherwise; both
+  with the engine's epsilon).
 * **Yield bounds** — every running job's yield lies in ``(0, 1]``.
 * **Clock** — observed event times never decrease.
 
@@ -155,12 +157,12 @@ class InvariantCheckingObserver(SimulationObserver):
                 memory[node] += spec.mem_requirement
                 cpu[node] += spec.cpu_need * allocation.yield_value
         for node in range(self.cluster.num_nodes):
-            if memory[node] > 1.0 + CAPACITY_EPSILON:
+            if memory[node] > self.cluster.mem_capacity(node) + CAPACITY_EPSILON:
                 raise SimulationError(
                     f"node {node} memory oversubscribed at t={time:.1f}: "
                     f"{memory[node]:.4f}"
                 )
-            if cpu[node] > 1.0 + CAPACITY_EPSILON:
+            if cpu[node] > self.cluster.cpu_capacity(node) + CAPACITY_EPSILON:
                 raise SimulationError(
                     f"node {node} CPU oversubscribed at t={time:.1f}: {cpu[node]:.4f}"
                 )

@@ -92,6 +92,17 @@ class SimulationObserver:
     def on_job_completed(self, time: float, spec: JobSpec) -> None:
         """Called when a job finishes all of its work."""
 
+    def on_node_down(self, time: float, node: int) -> None:
+        """Called when a node fails (platform availability trace).
+
+        Jobs evicted by the failure are additionally reported through
+        ``on_job_preempted`` (both failure policies close their allocation
+        the same way; only the engine-side bookkeeping differs).
+        """
+
+    def on_node_up(self, time: float, node: int) -> None:
+        """Called when a previously failed node is repaired."""
+
     def on_allocation_applied(
         self, time: float, running: Dict[int, JobAllocation]
     ) -> None:

@@ -60,12 +60,21 @@ class JobRecord:
 
 @dataclass
 class CostSummary:
-    """Aggregate preemption/migration cost tally for one simulation run."""
+    """Aggregate preemption/migration cost tally for one simulation run.
+
+    ``node_failures`` counts node-down events applied during the run (zero
+    unless the platform carries an availability trace).  ``failure_job_kills``
+    counts jobs killed and resubmitted by the ``"resubmit"`` failure policy;
+    jobs checkpointed by the ``"migrate"`` policy are tallied as ordinary
+    preemptions (that is exactly what they cost).
+    """
 
     preemption_count: int = 0
     migration_count: int = 0
     preemption_gb: float = 0.0
     migration_gb: float = 0.0
+    node_failures: int = 0
+    failure_job_kills: int = 0
 
     def record_preemption(self, gb: float) -> None:
         self.preemption_count += 1
@@ -74,6 +83,12 @@ class CostSummary:
     def record_migration(self, gb: float) -> None:
         self.migration_count += 1
         self.migration_gb += gb
+
+    def record_node_failure(self) -> None:
+        self.node_failures += 1
+
+    def record_failure_kill(self) -> None:
+        self.failure_job_kills += 1
 
 
 @dataclass

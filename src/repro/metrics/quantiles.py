@@ -177,6 +177,28 @@ class QuantileSketch(Accumulator):
         # Unreachable when rank <= n, kept as a defensive fallback.
         return self.maximum  # pragma: no cover
 
+    def bucket_masses(self) -> List[Tuple[float, int]]:
+        """``(representative value, count)`` pairs in ascending value order.
+
+        The sketch viewed as a weighted sample: negative buckets (most
+        negative first), the exact zero count, then positive buckets.  Each
+        representative is within the sketch's relative-error bound of every
+        value it stands for, so distribution statistics computed over the
+        masses (e.g. a weighted Gini coefficient) inherit a bound of the
+        same order.  Total mass equals ``count``.
+        """
+        masses: List[Tuple[float, int]] = [
+            (-self._representative(index), self.negative_buckets[index])
+            for index in sorted(self.negative_buckets, reverse=True)
+        ]
+        if self.zeros:
+            masses.append((0.0, self.zeros))
+        masses.extend(
+            (self._representative(index), self.buckets[index])
+            for index in sorted(self.buckets)
+        )
+        return masses
+
     # -- serialisation ---------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         return {

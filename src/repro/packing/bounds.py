@@ -12,13 +12,16 @@ module are heuristic-independent necessary conditions; they are used
 
 All bounds treat the cluster as ``num_nodes`` bins of capacity 1.0 × 1.0 and
 a job as ``num_tasks`` identical (CPU-need, memory) items, exactly as in
-§III-B of the paper.
+§III-B of the paper.  On heterogeneous platforms pass the per-node
+``capacities`` (the :meth:`repro.core.cluster.Cluster.node_capacities`
+pairs): the aggregate bounds then sum real capacities instead of counting
+unit nodes.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..exceptions import ReproError
 from .item import PackingItem
@@ -44,20 +47,31 @@ def total_memory_requirement(jobs: Sequence[PackingJob]) -> float:
     return sum(job.num_tasks * job.mem_requirement for job in jobs)
 
 
-def cpu_capacity_yield_bound(jobs: Sequence[PackingJob], num_nodes: int) -> float:
+def cpu_capacity_yield_bound(
+    jobs: Sequence[PackingJob],
+    num_nodes: int,
+    *,
+    capacities: Optional[Sequence[Tuple[float, float]]] = None,
+) -> float:
     """Upper bound on the achievable minimum yield when all yields are equal.
 
     If every job receives yield ``Y`` then the total allocated CPU is
-    ``Y × Σ (tasks × need)``, which cannot exceed the cluster's ``num_nodes``
-    units of CPU.  Hence ``Y ≤ num_nodes / Σ need`` (and never above 1).
-    An empty job set has a bound of 1.0 by convention.
+    ``Y × Σ (tasks × need)``, which cannot exceed the cluster's aggregate
+    CPU capacity (``num_nodes`` units when homogeneous, the sum of per-node
+    CPU capacities otherwise).  Hence ``Y ≤ capacity / Σ need`` (and never
+    above 1).  An empty job set has a bound of 1.0 by convention.
     """
     if num_nodes < 1:
         raise ReproError(f"num_nodes must be >= 1, got {num_nodes}")
+    total_capacity = (
+        float(num_nodes)
+        if capacities is None
+        else sum(cpu for cpu, _ in capacities)
+    )
     demand = total_cpu_need(jobs)
     if demand <= 0.0:
         return 1.0
-    return min(1.0, num_nodes / demand)
+    return min(1.0, total_capacity / demand)
 
 
 def memory_lower_bound_bins(items: Sequence[PackingItem]) -> int:
@@ -76,49 +90,75 @@ def memory_lower_bound_bins(items: Sequence[PackingItem]) -> int:
     return max(1, volume_bound, pairing_bound)
 
 
-def memory_feasible(jobs: Sequence[PackingJob], num_nodes: int) -> bool:
+def memory_feasible(
+    jobs: Sequence[PackingJob],
+    num_nodes: int,
+    *,
+    capacities: Optional[Sequence[Tuple[float, float]]] = None,
+) -> bool:
     """Quick necessary test: can the memory footprint possibly fit?
 
     This only checks necessary conditions (per-task fit, volume bound, and
     pairing bound); a ``True`` answer does not guarantee that a packing
     exists, but a ``False`` answer proves that none does, whatever the yield.
     """
-    return not infeasibility_reasons(jobs, num_nodes)
+    return not infeasibility_reasons(jobs, num_nodes, capacities=capacities)
 
 
 def infeasibility_reasons(
-    jobs: Sequence[PackingJob], num_nodes: int
+    jobs: Sequence[PackingJob],
+    num_nodes: int,
+    *,
+    capacities: Optional[Sequence[Tuple[float, float]]] = None,
 ) -> Dict[str, str]:
     """Machine-checkable reasons why no allocation can exist, if any.
 
     Returns an empty mapping when no necessary condition is violated.  Keys
     identify the violated condition (``"task-memory"``, ``"volume"``,
-    ``"pairing"``); values are human-readable explanations.
+    ``"pairing"``); values are human-readable explanations.  On
+    heterogeneous platforms the per-task bound uses the *largest* node's
+    memory, the volume bound uses the aggregate memory capacity, and the
+    pairing bound pairs big tasks with the nodes that can host two of them.
     """
     if num_nodes < 1:
         raise ReproError(f"num_nodes must be >= 1, got {num_nodes}")
+    mem_caps = (
+        [1.0] * num_nodes
+        if capacities is None
+        else [memory for _, memory in capacities]
+    )
+    largest_node = max(mem_caps)
+    total_memory_capacity = sum(mem_caps)
     reasons: Dict[str, str] = {}
     oversized = [
         job.job_id
         for job in jobs
-        if job.mem_requirement > 1.0 + 1e-9
+        if job.mem_requirement > largest_node + 1e-9
     ]
     if oversized:
         reasons["task-memory"] = (
-            f"jobs {oversized} have tasks whose memory requirement exceeds a full node"
+            f"jobs {oversized} have tasks whose memory requirement exceeds "
+            "the largest node"
         )
     volume = total_memory_requirement(jobs)
-    if volume > num_nodes + 1e-9:
+    if volume > total_memory_capacity + 1e-9:
         reasons["volume"] = (
             f"total memory requirement {volume:.2f} node-units exceeds the "
-            f"{num_nodes} available nodes"
+            f"{total_memory_capacity:g} node-units available"
         )
-    big_tasks = sum(
-        job.num_tasks for job in jobs if job.mem_requirement > 0.5 + 1e-9
-    )
-    if big_tasks > num_nodes:
-        reasons["pairing"] = (
-            f"{big_tasks} tasks each need more than half a node's memory but "
-            f"only {num_nodes} nodes exist"
-        )
+    big = [job for job in jobs if job.mem_requirement > 0.5 + 1e-9]
+    if big:
+        big_tasks = sum(job.num_tasks for job in big)
+        # Every big task needs at least the smallest big requirement, so a
+        # node of capacity c hosts at most floor(c / m_min) of them; on unit
+        # nodes (m_min > 0.5 so floor(1/m_min) = 1) this is exactly the
+        # classical two-big-items-cannot-share pairing bound.
+        smallest = min(job.mem_requirement for job in big)
+        hosting_slots = sum(int((cap + 1e-9) / smallest) for cap in mem_caps)
+        if big_tasks > hosting_slots:
+            reasons["pairing"] = (
+                f"{big_tasks} tasks each need more than half a reference "
+                f"node's memory but at most {hosting_slots} such tasks fit "
+                "the cluster"
+            )
     return reasons

@@ -11,7 +11,13 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence
 
 from .item import Bin, PackingItem, PackingResult
-from .mcb8 import _collect_assignments
+from .mcb8 import (
+    BinCapacities,
+    _check_capacities,
+    _collect_assignments,
+    _count_used_bins,
+    _open_until_fits,
+)
 
 __all__ = ["first_fit_decreasing_pack", "best_fit_decreasing_pack"]
 
@@ -26,30 +32,44 @@ def _pack(
     items: Sequence[PackingItem],
     num_bins: int,
     choose_bin: Callable[[List[Bin], PackingItem], Optional[Bin]],
+    capacities: BinCapacities = None,
 ) -> PackingResult:
     if not items:
         return PackingResult(success=True, assignments={}, bins_used=0)
     if num_bins <= 0:
         return PackingResult.failure()
+    _check_capacities(capacities, num_bins)
     bins: List[Bin] = []
     for item in _decreasing(items):
         target = choose_bin(bins, item)
         if target is None:
-            if len(bins) >= num_bins:
-                return PackingResult.failure()
-            target = Bin(len(bins))
-            bins.append(target)
-            if not target.fits(item):
-                return PackingResult.failure()
+            if capacities is None:
+                # Unit bins: one fresh bin either hosts the item or nothing
+                # ever will.
+                if len(bins) >= num_bins:
+                    return PackingResult.failure()
+                target = Bin(len(bins))
+                bins.append(target)
+                if not target.fits(item):
+                    return PackingResult.failure()
+            else:
+                target = _open_until_fits(bins, item, num_bins, capacities)
+                if target is None:
+                    return PackingResult.failure()
         target.add(item)
     assignments = _collect_assignments(bins)
     if assignments is None:
         return PackingResult.failure()
-    return PackingResult(success=True, assignments=assignments, bins_used=len(bins))
+    return PackingResult(
+        success=True, assignments=assignments, bins_used=_count_used_bins(bins)
+    )
 
 
 def first_fit_decreasing_pack(
-    items: Sequence[PackingItem], num_bins: int
+    items: Sequence[PackingItem],
+    num_bins: int,
+    *,
+    capacities: BinCapacities = None,
 ) -> PackingResult:
     """First-fit decreasing: place each item in the first bin where it fits."""
 
@@ -59,11 +79,14 @@ def first_fit_decreasing_pack(
                 return bin_
         return None
 
-    return _pack(items, num_bins, choose)
+    return _pack(items, num_bins, choose, capacities)
 
 
 def best_fit_decreasing_pack(
-    items: Sequence[PackingItem], num_bins: int
+    items: Sequence[PackingItem],
+    num_bins: int,
+    *,
+    capacities: BinCapacities = None,
 ) -> PackingResult:
     """Best-fit decreasing: place each item in the fullest bin where it fits.
 
@@ -88,4 +111,4 @@ def best_fit_decreasing_pack(
                 best = bin_
         return best
 
-    return _pack(items, num_bins, choose)
+    return _pack(items, num_bins, choose, capacities)

@@ -53,30 +53,51 @@ class PackingItem:
 
 
 class Bin:
-    """One node being filled during packing (capacity 1.0 × 1.0)."""
+    """One node being filled during packing.
 
-    __slots__ = ("index", "cpu_used", "memory_used", "items", "epsilon")
+    Bins default to the paper's 1.0 × 1.0 unit capacity; heterogeneous
+    platforms (:mod:`repro.platform`) pass per-node ``(cpu, memory)``
+    capacities instead, and a zero-capacity bin (a down node) fits nothing.
+    """
 
-    def __init__(self, index: int, epsilon: float = 1e-9) -> None:
+    __slots__ = (
+        "index",
+        "cpu_used",
+        "memory_used",
+        "items",
+        "epsilon",
+        "cpu_capacity",
+        "memory_capacity",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        epsilon: float = 1e-9,
+        cpu_capacity: float = 1.0,
+        memory_capacity: float = 1.0,
+    ) -> None:
         self.index = index
         self.cpu_used = 0.0
         self.memory_used = 0.0
         self.items: List[PackingItem] = []
         self.epsilon = epsilon
+        self.cpu_capacity = cpu_capacity
+        self.memory_capacity = memory_capacity
 
     @property
     def cpu_free(self) -> float:
-        return 1.0 - self.cpu_used
+        return self.cpu_capacity - self.cpu_used
 
     @property
     def memory_free(self) -> float:
-        return 1.0 - self.memory_used
+        return self.memory_capacity - self.memory_used
 
     def fits(self, item: PackingItem) -> bool:
         """True if the item fits in the remaining capacity of this bin."""
         return (
-            self.cpu_used + item.cpu <= 1.0 + self.epsilon
-            and self.memory_used + item.memory <= 1.0 + self.epsilon
+            self.cpu_used + item.cpu <= self.cpu_capacity + self.epsilon
+            and self.memory_used + item.memory <= self.memory_capacity + self.epsilon
         )
 
     def add(self, item: PackingItem) -> None:

@@ -25,9 +25,89 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..exceptions import AllocationError
 from .item import Bin, PackingItem, PackingResult
 
 __all__ = ["mcb8_pack"]
+
+#: Per-bin ``(cpu, memory)`` capacities for heterogeneous packing.
+BinCapacities = Optional[Sequence[Tuple[float, float]]]
+
+
+def _check_capacities(capacities: BinCapacities, num_bins: int) -> None:
+    if capacities is not None and len(capacities) != num_bins:
+        raise AllocationError(
+            f"capacities must list one (cpu, memory) pair per bin "
+            f"({num_bins}), got {len(capacities)}"
+        )
+
+
+def _make_bin(index: int, capacities: BinCapacities) -> Bin:
+    if capacities is None:
+        return Bin(index)
+    cpu_capacity, memory_capacity = capacities[index]
+    return Bin(index, cpu_capacity=cpu_capacity, memory_capacity=memory_capacity)
+
+
+def _open_until_fits(
+    bins: List[Bin], item: PackingItem, num_bins: int, capacities: BinCapacities
+) -> Optional[Bin]:
+    """Open variable-capacity bins in index order until one hosts ``item``.
+
+    Shared by the decreasing-fit packers: unlike unit bins (where a fresh
+    bin either hosts the item or nothing ever will), a too-small bin is kept
+    open — later, smaller items may still land in it.  Returns ``None`` when
+    the bin budget runs out before a fitting bin appears.
+    """
+    while True:
+        if len(bins) >= num_bins:
+            return None
+        fresh = _make_bin(len(bins), capacities)
+        bins.append(fresh)
+        if fresh.fits(item):
+            return fresh
+
+
+def _count_used_bins(bins: List[Bin]) -> int:
+    """Bins that actually host items (capacity-skipped bins stay empty)."""
+    return sum(1 for bin_ in bins if bin_.items)
+
+
+def _pop_largest_fitting_by(
+    bin_: Bin,
+    cpu_list: List[PackingItem],
+    mem_list: List[PackingItem],
+    sort_value,
+) -> Optional[PackingItem]:
+    """Remove and return the largest remaining item that fits ``bin_``.
+
+    The heterogeneous seeding rule: where unit bins seed with the globally
+    largest item (which fits any empty unit bin or no bin at all), a
+    variable-capacity bin seeds with the largest item *it can host* — a bin
+    too small for every remaining item is simply skipped.  "Largest" is
+    measured by ``sort_value`` (the list ordering key), with CPU-heavy items
+    winning ties like the unit-bin seed rule.
+    """
+    cpu_index = _first_fitting(bin_, cpu_list)
+    mem_index = _first_fitting(bin_, mem_list)
+    if cpu_index is None and mem_index is None:
+        return None
+    if mem_index is None:
+        return cpu_list.pop(cpu_index)
+    if cpu_index is None:
+        return mem_list.pop(mem_index)
+    if sort_value(cpu_list[cpu_index]) >= sort_value(mem_list[mem_index]):
+        return cpu_list.pop(cpu_index)
+    return mem_list.pop(mem_index)
+
+
+def _pop_largest_fitting(
+    bin_: Bin, cpu_list: List[PackingItem], mem_list: List[PackingItem]
+) -> Optional[PackingItem]:
+    """MCB8's heterogeneous seed: largest fitting item by max requirement."""
+    return _pop_largest_fitting_by(
+        bin_, cpu_list, mem_list, lambda item: item.max_requirement
+    )
 
 
 def _sorted_lists(
@@ -55,8 +135,18 @@ def _first_fitting(bin_: Bin, items: List[PackingItem]) -> Optional[int]:
 def mcb8_pack(
     items: Sequence[PackingItem],
     num_bins: int,
+    *,
+    capacities: BinCapacities = None,
 ) -> PackingResult:
-    """Pack ``items`` into at most ``num_bins`` unit bins using MCB8.
+    """Pack ``items`` into at most ``num_bins`` bins using MCB8.
+
+    With ``capacities=None`` (the default) every bin is the paper's 1.0 ×
+    1.0 unit node and the algorithm is the original MCB8 exactly.  With a
+    per-bin ``(cpu, memory)`` capacity list — heterogeneous platforms, down
+    nodes as zero-capacity bins — bins are opened in index order and each
+    fresh bin is seeded with the largest remaining item *it can host* (a
+    bin too small for every remaining item is skipped); the balance-driven
+    fill rule is unchanged.
 
     Returns a :class:`PackingResult`; on success ``assignments`` maps each job
     id to the tuple of bin (node) indices assigned to its tasks in task-index
@@ -66,6 +156,7 @@ def mcb8_pack(
         return PackingResult(success=True, assignments={}, bins_used=0)
     if num_bins <= 0:
         return PackingResult.failure()
+    _check_capacities(capacities, num_bins)
 
     cpu_list, mem_list = _sorted_lists(items)
     bins: List[Bin] = []
@@ -74,18 +165,24 @@ def mcb8_pack(
     while cpu_list or mem_list:
         if bin_index >= num_bins:
             return PackingResult.failure()
-        bin_ = Bin(bin_index)
-        bins.append(bin_)
+        bin_ = _make_bin(bin_index, capacities)
         bin_index += 1
 
-        # Seed the fresh node with the largest remaining item overall.
-        seed_list = _pick_seed_list(cpu_list, mem_list)
-        if seed_list is None:
-            return PackingResult.failure()
-        seed = seed_list.pop(0)
-        if not bin_.fits(seed):
-            # An item that does not fit in an empty node can never be placed.
-            return PackingResult.failure()
+        if capacities is None:
+            # Seed the fresh node with the largest remaining item overall.
+            seed_list = _pick_seed_list(cpu_list, mem_list)
+            if seed_list is None:
+                return PackingResult.failure()
+            seed = seed_list.pop(0)
+            if not bin_.fits(seed):
+                # An item that does not fit in an empty node can never be placed.
+                return PackingResult.failure()
+        else:
+            seed = _pop_largest_fitting(bin_, cpu_list, mem_list)
+            if seed is None:
+                # Nothing fits this (possibly zero-capacity) bin; try the next.
+                continue
+        bins.append(bin_)
         bin_.add(seed)
 
         # Fill the node, balancing the two resource dimensions.

@@ -19,7 +19,16 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..exceptions import ConfigurationError
 from .first_fit import best_fit_decreasing_pack, first_fit_decreasing_pack
 from .item import Bin, PackingItem, PackingResult
-from .mcb8 import _collect_assignments, mcb8_pack
+from .mcb8 import (
+    BinCapacities,
+    _check_capacities,
+    _collect_assignments,
+    _count_used_bins,
+    _make_bin,
+    _open_until_fits,
+    _pop_largest_fitting_by,
+    mcb8_pack,
+)
 
 __all__ = [
     "mcb_family_pack",
@@ -48,6 +57,7 @@ def mcb_family_pack(
     num_bins: int,
     *,
     ordering: str = "max",
+    capacities: BinCapacities = None,
 ) -> PackingResult:
     """Multi-capacity balancing pack with a configurable item ordering.
 
@@ -66,6 +76,7 @@ def mcb_family_pack(
         return PackingResult(success=True, assignments={}, bins_used=0)
     if num_bins <= 0:
         return PackingResult.failure()
+    _check_capacities(capacities, num_bins)
 
     sort_value = _ORDERINGS[ordering]
     key = lambda item: (-sort_value(item), item.job_id, item.task_index)
@@ -77,14 +88,20 @@ def mcb_family_pack(
     while cpu_list or mem_list:
         if bin_index >= num_bins:
             return PackingResult.failure()
-        bin_ = Bin(bin_index)
-        bins.append(bin_)
+        bin_ = _make_bin(bin_index, capacities)
         bin_index += 1
 
-        seed_list = _seed_list(cpu_list, mem_list, sort_value)
-        seed = seed_list.pop(0)
-        if not bin_.fits(seed):
-            return PackingResult.failure()
+        if capacities is None:
+            seed_list = _seed_list(cpu_list, mem_list, sort_value)
+            seed = seed_list.pop(0)
+            if not bin_.fits(seed):
+                return PackingResult.failure()
+        else:
+            seed = _pop_largest_fitting_by(bin_, cpu_list, mem_list, sort_value)
+            if seed is None:
+                # Nothing fits this (possibly zero-capacity) bin; try the next.
+                continue
+        bins.append(bin_)
         bin_.add(seed)
 
         while True:
@@ -131,7 +148,10 @@ def _first_fitting_index(bin_: Bin, items: List[PackingItem]) -> Optional[int]:
 
 
 def worst_fit_decreasing_pack(
-    items: Sequence[PackingItem], num_bins: int
+    items: Sequence[PackingItem],
+    num_bins: int,
+    *,
+    capacities: BinCapacities = None,
 ) -> PackingResult:
     """Worst-fit decreasing: place each item in the *emptiest* open bin.
 
@@ -144,6 +164,7 @@ def worst_fit_decreasing_pack(
         return PackingResult(success=True, assignments={}, bins_used=0)
     if num_bins <= 0:
         return PackingResult.failure()
+    _check_capacities(capacities, num_bins)
 
     ordered = sorted(
         items, key=lambda item: (-item.max_requirement, item.job_id, item.task_index)
@@ -160,29 +181,43 @@ def worst_fit_decreasing_pack(
                 best_slack = slack
                 best = bin_
         if best is None:
-            if len(bins) >= num_bins:
-                return PackingResult.failure()
-            best = Bin(len(bins))
-            bins.append(best)
-            if not best.fits(item):
-                return PackingResult.failure()
+            if capacities is None:
+                if len(bins) >= num_bins:
+                    return PackingResult.failure()
+                best = Bin(len(bins))
+                bins.append(best)
+                if not best.fits(item):
+                    return PackingResult.failure()
+            else:
+                best = _open_until_fits(bins, item, num_bins, capacities)
+                if best is None:
+                    return PackingResult.failure()
         best.add(item)
     assignments = _collect_assignments(bins)
     if assignments is None:
         return PackingResult.failure()
-    return PackingResult(success=True, assignments=assignments, bins_used=len(bins))
+    return PackingResult(
+        success=True, assignments=assignments, bins_used=_count_used_bins(bins)
+    )
 
 
 #: Registry of named packers usable by the ablation experiments and by the
-#: scheduler factory.  All share the ``(items, num_bins) -> PackingResult``
-#: signature.
-_PACKERS: Dict[str, Callable[[Sequence[PackingItem], int], PackingResult]] = {
+#: scheduler factory.  All share the ``(items, num_bins, *, capacities=None)
+#: -> PackingResult`` signature (``capacities`` carries per-bin capacities on
+#: heterogeneous platforms; None means the paper's unit bins).
+_PACKERS: Dict[str, Callable[..., PackingResult]] = {
     "mcb8": mcb8_pack,
-    "mcb-sum": lambda items, bins: mcb_family_pack(items, bins, ordering="sum"),
-    "mcb-cpu": lambda items, bins: mcb_family_pack(items, bins, ordering="cpu"),
-    "mcb-memory": lambda items, bins: mcb_family_pack(items, bins, ordering="memory"),
-    "mcb-difference": lambda items, bins: mcb_family_pack(
-        items, bins, ordering="difference"
+    "mcb-sum": lambda items, bins, **kw: mcb_family_pack(
+        items, bins, ordering="sum", **kw
+    ),
+    "mcb-cpu": lambda items, bins, **kw: mcb_family_pack(
+        items, bins, ordering="cpu", **kw
+    ),
+    "mcb-memory": lambda items, bins, **kw: mcb_family_pack(
+        items, bins, ordering="memory", **kw
+    ),
+    "mcb-difference": lambda items, bins, **kw: mcb_family_pack(
+        items, bins, ordering="difference", **kw
     ),
     "first-fit": first_fit_decreasing_pack,
     "best-fit": best_fit_decreasing_pack,
@@ -193,7 +228,7 @@ _PACKERS: Dict[str, Callable[[Sequence[PackingItem], int], PackingResult]] = {
 PACKER_NAMES: Tuple[str, ...] = tuple(sorted(_PACKERS))
 
 
-def get_packer(name: str) -> Callable[[Sequence[PackingItem], int], PackingResult]:
+def get_packer(name: str) -> Callable[..., PackingResult]:
     """Look up a packer by registry name."""
     key = name.strip().lower()
     if key not in _PACKERS:

@@ -18,7 +18,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.job import MINIMUM_YIELD
 from .item import PackingItem, PackingResult, job_items
-from .mcb8 import mcb8_pack
+from .mcb8 import BinCapacities, mcb8_pack
 
 __all__ = [
     "PackingJob",
@@ -33,8 +33,10 @@ __all__ = [
 #: Accuracy threshold of the binary searches (paper §III-B).
 YIELD_SEARCH_ACCURACY = 0.01
 
-#: A packing routine: (items, num_bins) -> PackingResult.
-Packer = Callable[[Sequence[PackingItem], int], PackingResult]
+#: A packing routine: ``(items, num_bins, *, capacities=None) ->
+#: PackingResult`` (``capacities`` is only passed when set, so plain
+#: two-argument packers keep working on homogeneous clusters).
+Packer = Callable[..., PackingResult]
 
 
 @dataclass(frozen=True)
@@ -84,11 +86,14 @@ def _pack_at_yield(
     yield_value: float,
     num_nodes: int,
     packer: Packer,
+    capacities: BinCapacities = None,
 ) -> PackingResult:
     items: List[PackingItem] = []
     for job in jobs:
         items.extend(job.items(yield_value))
-    return packer(items, num_nodes)
+    if capacities is None:
+        return packer(items, num_nodes)
+    return packer(items, num_nodes, capacities=capacities)
 
 
 def maximize_min_yield(
@@ -98,22 +103,25 @@ def maximize_min_yield(
     packer: Packer = mcb8_pack,
     accuracy: float = YIELD_SEARCH_ACCURACY,
     min_yield: float = MINIMUM_YIELD,
+    capacities: BinCapacities = None,
 ) -> YieldSearchResult:
     """Largest yield for which all jobs can be packed onto ``num_nodes``.
 
-    Returns ``success=False`` when even the minimum yield (a memory-only
-    packing problem) is infeasible, in which case the caller removes the
-    lowest-priority job and retries (paper §III-B, DYNMCB8).
+    ``capacities`` carries per-node ``(cpu, memory)`` bin capacities on
+    heterogeneous or partially-failed platforms; ``None`` keeps the paper's
+    unit bins.  Returns ``success=False`` when even the minimum yield (a
+    memory-only packing problem) is infeasible, in which case the caller
+    removes the lowest-priority job and retries (paper §III-B, DYNMCB8).
     """
     if not jobs:
         return YieldSearchResult(True, 1.0, {})
 
-    baseline = _pack_at_yield(jobs, min_yield, num_nodes, packer)
+    baseline = _pack_at_yield(jobs, min_yield, num_nodes, packer, capacities)
     if not baseline.success:
         return YieldSearchResult(False, 0.0, {})
 
     # Try full yield first: under light load the search is then free.
-    full = _pack_at_yield(jobs, 1.0, num_nodes, packer)
+    full = _pack_at_yield(jobs, 1.0, num_nodes, packer, capacities)
     if full.success:
         return YieldSearchResult(True, 1.0, full.assignments)
 
@@ -121,7 +129,7 @@ def maximize_min_yield(
     best_yield, best_assignments = min_yield, baseline.assignments
     while high - low > accuracy:
         mid = (low + high) / 2.0
-        attempt = _pack_at_yield(jobs, mid, num_nodes, packer)
+        attempt = _pack_at_yield(jobs, mid, num_nodes, packer, capacities)
         if attempt.success:
             low = mid
             best_yield, best_assignments = mid, attempt.assignments
@@ -165,6 +173,7 @@ def minimize_estimated_stretch(
     accuracy: float = YIELD_SEARCH_ACCURACY,
     min_yield: float = MINIMUM_YIELD,
     max_stretch_bound: float = 1e9,
+    capacities: BinCapacities = None,
 ) -> StretchSearchResult:
     """Smallest feasible maximum estimated stretch at the next event.
 
@@ -182,7 +191,10 @@ def minimize_estimated_stretch(
         items: List[PackingItem] = []
         for job in jobs:
             items.extend(job.items(yields[job.job_id]))
-        result = packer(items, num_nodes)
+        if capacities is None:
+            result = packer(items, num_nodes)
+        else:
+            result = packer(items, num_nodes, capacities=capacities)
         if result.success:
             return yields, result
         return None

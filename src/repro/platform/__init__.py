@@ -1,0 +1,67 @@
+"""Heterogeneous and dynamic platform descriptions (the platform seam).
+
+All new machine models plug in here, not into :mod:`repro.core.cluster`:
+
+* :class:`Platform` is the contract — a declarative machine description with
+  a canonical ``to_dict``/``from_dict`` spec form and a ``type``-dispatching
+  registry, mirroring :class:`repro.traces.JobSource`;
+* :class:`HomogeneousPlatform` wraps the paper's homogeneous cluster
+  byte-identically; :class:`NodeClassesPlatform` describes heterogeneous
+  machines as ordered node classes (count × relative CPU speed × relative
+  memory size);
+* :class:`NodeEventSource` streams timed node availability (failure/repair)
+  events: synthetic :class:`ExponentialFailureSource` /
+  :class:`WeibullFailureSource` models plus inline
+  (:class:`TraceNodeEventSource`) and on-disk JSON
+  (:class:`JsonNodeEventSource`) traces.
+
+Scenarios reach all of it through the spec-expressible ``platform`` block
+(:mod:`repro.campaign.scenario`); ``repro-dfrs platform inspect|validate``
+is the file-level toolkit.
+"""
+
+from .base import (
+    FAILURE_POLICIES,
+    HomogeneousPlatform,
+    NodeClass,
+    NodeClassesPlatform,
+    Platform,
+    available_platforms,
+    platform_from_dict,
+    register_platform,
+)
+from .events import (
+    NODE_EVENTS_JSON_FORMAT,
+    ExponentialFailureSource,
+    JsonNodeEventSource,
+    NodeEvent,
+    NodeEventSource,
+    TraceNodeEventSource,
+    WeibullFailureSource,
+    available_node_event_sources,
+    node_event_source_from_dict,
+    register_node_event_source,
+    write_node_events_json,
+)
+
+__all__ = [
+    "FAILURE_POLICIES",
+    "Platform",
+    "HomogeneousPlatform",
+    "NodeClass",
+    "NodeClassesPlatform",
+    "available_platforms",
+    "platform_from_dict",
+    "register_platform",
+    "NODE_EVENTS_JSON_FORMAT",
+    "NodeEvent",
+    "NodeEventSource",
+    "ExponentialFailureSource",
+    "WeibullFailureSource",
+    "TraceNodeEventSource",
+    "JsonNodeEventSource",
+    "available_node_event_sources",
+    "node_event_source_from_dict",
+    "register_node_event_source",
+    "write_node_events_json",
+]

@@ -37,6 +37,11 @@ class Scheduler(abc.ABC):
     requires_runtime_estimates: bool = False
     #: True for policies that give each task a dedicated node.
     exclusive_node_allocation: bool = False
+    #: True for policies that eventually restart PAUSED jobs (the
+    #: pmtn/dynmcb8 families).  Policies that never look at paused jobs set
+    #: this False so the engine can reject the platform failure policy
+    #: ``"migrate"`` up front — checkpointed victims would starve forever.
+    resumes_paused_jobs: bool = True
 
     def start(self, cluster: Cluster, start_time: float) -> None:
         """Reset internal state before a new simulation run.

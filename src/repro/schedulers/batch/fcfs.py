@@ -22,13 +22,24 @@ class FcfsScheduler(Scheduler):
 
     name = "fcfs"
     exclusive_node_allocation = True
+    #: Batch queues only ever start PENDING jobs; checkpointed ("migrate")
+    #: failure victims would never be resumed.  EASY and conservative
+    #: inherit this.
+    resumes_paused_jobs = False
 
     def free_nodes(self, context: SchedulingContext) -> List[int]:
-        """Node indices not used by any running job, in increasing order."""
+        """Node indices not used by any running job, in increasing order.
+
+        Nodes currently down under a platform failure trace leave the free
+        pool entirely: they can neither be allocated nor counted in the
+        backfilling headroom of the EASY/conservative subclasses.
+        """
         busy: Set[int] = set()
         for view in context.running_jobs():
             assert view.assignment is not None
             busy.update(view.assignment)
+        if context.down_nodes:
+            busy.update(context.down_nodes)
         return [node for node in context.cluster.node_ids if node not in busy]
 
     def waiting_queue(self, context: SchedulingContext) -> List[JobView]:

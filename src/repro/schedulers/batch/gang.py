@@ -41,6 +41,8 @@ class GangScheduler(Scheduler):
     #: Gang scheduling gives every task its own node within a row, so a job
     #: wider than the cluster can never start; let the engine reject it.
     exclusive_node_allocation = True
+    #: Gang admission only considers pending jobs, never paused ones.
+    resumes_paused_jobs = False
 
     def __init__(self, max_rows: int = 5) -> None:
         if max_rows < 1:
@@ -62,7 +64,12 @@ class GangScheduler(Scheduler):
                 rows_per_node[node] += 1
                 memory_per_node[node] += view.mem_requirement
 
-        # Admit waiting jobs in FCFS order when a row can host them.
+        # Admit waiting jobs in FCFS order when a row can host them.  Down
+        # nodes are modelled as hosting a full complement of rows and memory,
+        # so no admission ever lands on them.
+        for node in context.down_nodes:
+            rows_per_node[node] = self.max_rows
+            memory_per_node[node] = 1.0
         pending = sorted(context.pending_jobs(), key=lambda v: (v.submit_time, v.job_id))
         for view in pending:
             nodes = self._admit(view, rows_per_node, memory_per_node)

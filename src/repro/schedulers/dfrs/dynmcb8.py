@@ -66,7 +66,14 @@ class DynMcb8Scheduler(Scheduler):
                 )
                 for view in ordered
             ]
-            result = maximize_min_yield(packing_jobs, context.cluster.num_nodes)
+            result = maximize_min_yield(
+                packing_jobs,
+                context.cluster.num_nodes,
+                # None on homogeneous, fully-up clusters (the unit-bin fast
+                # path); per-node (cpu, mem) capacities otherwise, with down
+                # nodes as zero-capacity bins no packing can land on.
+                capacities=context.packing_capacities(),
+            )
             if result.success:
                 return dict(result.assignments), result.yield_value
             ordered.pop()

@@ -32,6 +32,9 @@ class GreedyScheduler(Scheduler):
     """The paper's GREEDY algorithm."""
 
     name = "greedy"
+    #: Plain GREEDY never pauses and never resumes; the PMTN subclasses
+    #: flip this back on.
+    resumes_paused_jobs = False
 
     def __init__(self) -> None:
         self._retry_counts: Dict[int, int] = {}
@@ -87,7 +90,10 @@ class GreedyScheduler(Scheduler):
             view.job_id: view.assignment  # type: ignore[misc]
             for view in context.running_jobs()
         }
-        usage = usage_from_placements(placements, context.jobs, context.cluster)
+        usage = usage_from_placements(
+            placements, context.jobs, context.cluster,
+            unavailable=context.down_nodes,
+        )
 
         for view in self._eligible_pending(context):
             nodes = greedy_place_job(view, usage)

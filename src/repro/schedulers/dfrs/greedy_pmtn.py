@@ -32,6 +32,7 @@ class GreedyPmtnScheduler(GreedyScheduler):
     """GREEDY-PMTN: greedy placement with forced admission via preemption."""
 
     name = "greedy-pmtn"
+    resumes_paused_jobs = True
     #: Whether jobs paused at this event may be restarted within the event
     #: on other nodes (the MIGR variant flips this to True).
     resume_within_event = False
@@ -73,7 +74,7 @@ class GreedyPmtnScheduler(GreedyScheduler):
     def _usage_of(
         self, placements: Dict[int, Tuple[int, ...]], context: SchedulingContext
     ) -> ClusterUsage:
-        usage = context.cluster.usage()
+        usage = context.scratch_usage()
         for job_id, nodes in placements.items():
             view = context.jobs[job_id]
             for node in nodes:
@@ -162,6 +163,7 @@ class GreedyPmtnScheduler(GreedyScheduler):
         target._cpu_load[:] = source._cpu_load
         target._memory[:] = source._memory
         target._tasks[:] = source._tasks
+        target._down = source._down
 
 
 class GreedyPmtnMigrScheduler(GreedyPmtnScheduler):

@@ -111,7 +111,10 @@ class DynMcb8AsapPeriodicScheduler(DynMcb8PeriodicScheduler):
             decision.running = context.current_allocations()
             return decision
 
-        usage = usage_from_placements(placements, context.jobs, context.cluster)
+        usage = usage_from_placements(
+            placements, context.jobs, context.cluster,
+            unavailable=context.down_nodes,
+        )
         admitted_any = False
         for view in pending:
             nodes = greedy_place_job(view, usage)

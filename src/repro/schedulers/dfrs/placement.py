@@ -10,7 +10,7 @@ several jobs and roll back on failure.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ...core.cluster import ClusterUsage
 from ...core.context import JobView
@@ -25,6 +25,12 @@ def greedy_place_job(view: JobView, usage: ClusterUsage) -> Optional[List[int]]:
     are updated; no CPU fraction is reserved since yields are decided later)
     and the list of node indices is returned.  On failure ``usage`` is left
     untouched and ``None`` is returned.
+
+    Capacity and availability awareness live entirely in the usage tally:
+    ``nodes_by_cpu_load`` orders candidates by speed-normalised load and
+    skips down nodes, and ``can_fit_memory`` checks against each node's own
+    memory capacity — on a homogeneous, fully-up cluster both reduce to the
+    paper's original rule exactly.
     """
     placed: List[int] = []
     for _ in range(view.num_tasks):
@@ -53,9 +59,14 @@ def usage_from_placements(
     placements: Mapping[int, Tuple[int, ...]],
     jobs: Mapping[int, JobView],
     cluster,
+    *,
+    unavailable: Iterable[int] = (),
 ) -> ClusterUsage:
-    """Usage tally (memory + CPU load) implied by a set of placements."""
-    usage = cluster.usage()
+    """Usage tally (memory + CPU load) implied by a set of placements.
+
+    ``unavailable`` marks down nodes so subsequent placements skip them.
+    """
+    usage = cluster.usage(unavailable)
     for job_id, nodes in placements.items():
         view = jobs[job_id]
         for node in nodes:

@@ -71,7 +71,10 @@ class DynMcb8StretchPeriodicScheduler(DynMcb8PeriodicScheduler):
                 for view in ordered
             ]
             result = minimize_estimated_stretch(
-                packing_jobs, context.cluster.num_nodes, self.period
+                packing_jobs,
+                context.cluster.num_nodes,
+                self.period,
+                capacities=context.packing_capacities(),
             )
             if result.success:
                 return dict(result.assignments), dict(result.yields)
@@ -90,6 +93,7 @@ class DynMcb8StretchPeriodicScheduler(DynMcb8PeriodicScheduler):
             return improved
         cluster = context.cluster
         allocated = np.zeros(cluster.num_nodes, dtype=float)
+        capacity = cluster.cpu_capacity_vector()
         tasks_per_node: Dict[int, Dict[int, int]] = {}
         for job_id, nodes in placements.items():
             need = context.jobs[job_id].cpu_need
@@ -112,7 +116,10 @@ class DynMcb8StretchPeriodicScheduler(DynMcb8PeriodicScheduler):
                 if improved[job_id] >= 1.0 - 1e-9:
                     continue
                 counts = tasks_per_node[job_id]
-                if all(allocated[node] < 1.0 - CAPACITY_EPSILON for node in counts):
+                if all(
+                    allocated[node] < capacity[node] - CAPACITY_EPSILON
+                    for node in counts
+                ):
                     stretch = estimated_stretch(job_id)
                     if stretch > worst_stretch:
                         worst_stretch = stretch
@@ -122,7 +129,7 @@ class DynMcb8StretchPeriodicScheduler(DynMcb8PeriodicScheduler):
             counts = tasks_per_node[best_job]
             need = context.jobs[best_job].cpu_need
             delta = min(
-                (1.0 - allocated[node]) / (count * need)
+                (capacity[node] - allocated[node]) / (count * need)
                 for node, count in counts.items()
             )
             delta = min(delta, 1.0 - improved[best_job])

@@ -95,6 +95,8 @@ def weighted_fair_yields(
             per_node[node] = per_node.get(node, 0) + 1
         counts[job_id] = per_node
 
+    capacity = cluster.cpu_capacity_vector()
+
     def feasible(z: float) -> bool:
         allocated = np.zeros(cluster.num_nodes, dtype=float)
         for job_id, per_node in counts.items():
@@ -102,7 +104,7 @@ def weighted_fair_yields(
             value = min(1.0, weights[job_id] * z)
             for node, count in per_node.items():
                 allocated[node] += count * view.cpu_need * value
-        return bool(np.all(allocated <= 1.0 + CAPACITY_EPSILON))
+        return bool(np.all(allocated <= capacity + CAPACITY_EPSILON))
 
     max_weight = max(weights[job_id] for job_id in placements)
     low, high = 0.0, 1.0 / max_weight  # z beyond this point changes nothing...
@@ -143,6 +145,7 @@ def weighted_improve_yield(
     _check_weights({job_id: weights[job_id] for job_id in placements})
 
     allocated = np.zeros(cluster.num_nodes, dtype=float)
+    capacity = cluster.cpu_capacity_vector()
     counts: Dict[int, Dict[int, int]] = {}
     for job_id, nodes in placements.items():
         need = jobs[job_id].cpu_need
@@ -159,7 +162,10 @@ def weighted_improve_yield(
         for job_id, per_node in counts.items():
             if improved[job_id] >= 1.0 - 1e-9:
                 continue
-            if all(allocated[node] < 1.0 - CAPACITY_EPSILON for node in per_node):
+            if all(
+                allocated[node] < capacity[node] - CAPACITY_EPSILON
+                for node in per_node
+            ):
                 key = (weights[job_id], -jobs[job_id].total_cpu_need)
                 if best_job is None or key > best_key:
                     best_key = key
@@ -169,7 +175,7 @@ def weighted_improve_yield(
         per_node = counts[best_job]
         need = jobs[best_job].cpu_need
         delta = min(
-            (1.0 - allocated[node]) / (count * need)
+            (capacity[node] - allocated[node]) / (count * need)
             for node, count in per_node.items()
         )
         delta = min(delta, 1.0 - improved[best_job])

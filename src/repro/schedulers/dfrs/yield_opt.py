@@ -51,10 +51,17 @@ def fair_yields(
     jobs: Mapping[int, JobView],
     cluster: Cluster,
 ) -> Dict[int, float]:
-    """Identical yield ``1 / max(1, Λ)`` for every placed job."""
+    """Identical yield ``1 / max(1, Λ)`` for every placed job.
+
+    On heterogeneous clusters Λ is the maximum *speed-normalised* load
+    (``load / cpu_capacity``), so the common yield keeps every node —
+    fast or slow — within its own CPU capacity.
+    """
     if not placements:
         return {}
     loads = _node_loads(placements, jobs, cluster.num_nodes)
+    if cluster.cpu_capacities is not None:
+        loads = loads / cluster.cpu_capacity_vector()
     max_load = float(loads.max()) if loads.size else 0.0
     value = 1.0 / max(1.0, max_load)
     value = min(1.0, max(MINIMUM_YIELD, value))
@@ -76,8 +83,11 @@ def improve_average_yield(
     if not placements:
         return improved
 
-    # Allocated CPU fraction per node under the current yields.
+    # Allocated CPU fraction per node under the current yields, and each
+    # node's CPU capacity (the literal 1.0 of the paper's model on
+    # homogeneous clusters; the per-node vector otherwise).
     allocated = np.zeros(cluster.num_nodes, dtype=float)
+    capacity = cluster.cpu_capacity_vector()
     tasks_per_node: Dict[int, Dict[int, int]] = {}
     for job_id, nodes in placements.items():
         need = jobs[job_id].cpu_need
@@ -97,7 +107,8 @@ def improve_average_yield(
             counts = tasks_per_node[job_id]
             # Every node hosting this job must have spare CPU capacity.
             if all(
-                allocated[node] < 1.0 - CAPACITY_EPSILON for node in counts
+                allocated[node] < capacity[node] - CAPACITY_EPSILON
+                for node in counts
             ):
                 total_need = jobs[job_id].total_cpu_need
                 if total_need < best_need:
@@ -109,7 +120,7 @@ def improve_average_yield(
         need = jobs[best_job].cpu_need
         # Largest yield increase that keeps every hosting node within capacity.
         delta = min(
-            (1.0 - allocated[node]) / (count * need)
+            (capacity[node] - allocated[node]) / (count * need)
             for node, count in counts.items()
         )
         delta = min(delta, 1.0 - improved[best_job])

@@ -106,9 +106,31 @@ class TestStreamingExecution:
         ]
 
     def test_non_streaming_collector_rejected(self):
-        scenario = _scenario(collectors=(CollectorSpec("fairness"),))
-        with pytest.raises(ConfigurationError, match="fairness"):
+        scenario = _scenario(collectors=(CollectorSpec("utilization"),))
+        with pytest.raises(ConfigurationError, match="utilization"):
             Campaign(streaming=True).run(scenario)
+
+    def test_swf_with_segments_warns_and_materializes(self, tmp_path):
+        # Satellite: fixed-duration segmentation cannot stream; instead of a
+        # hard error the campaign announces the fallback and runs the
+        # materialized path (rows per instance, not merged).
+        from repro.campaign.scenario import SwfSource
+
+        path = tmp_path / "sorted.swf"
+        path.write_text(
+            "1 0 0 100 4 -1 0.5 4 100 -1 1 0 0 0 0 0 0 0\n"
+            "2 500 0 100 4 -1 0.5 4 100 -1 1 0 0 0 0 0 0 0\n"
+            "3 2000 0 100 4 -1 0.5 4 100 -1 1 0 0 0 0 0 0 0\n",
+            encoding="utf-8",
+        )
+        scenario = _scenario(
+            source=SwfSource(path=str(path), segment_seconds=1500.0)
+        )
+        with pytest.warns(UserWarning, match="segment_seconds"):
+            outcome = Campaign(streaming=True).run(scenario)
+        # Materialized shape: one row per (instance, algorithm), no merge.
+        assert len(outcome.rows) == 2
+        assert all(row.instance_index >= 0 for row in outcome.rows)
 
     def test_legacy_event_loop_rejected_up_front(self):
         scenario = _scenario(legacy_event_loop=True)

@@ -1,0 +1,140 @@
+"""Satellite: the ``fairness`` collector works in streaming campaigns."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.fairness import (
+    gini_coefficient,
+    gini_from_masses,
+    jain_index,
+    jain_index_from_moments,
+)
+from repro.campaign import Campaign
+from repro.campaign.scenario import CollectorSpec, GeneratorSource, Scenario
+from repro.core.cluster import Cluster
+from repro.exceptions import ReproError
+from repro.metrics import Moments, QuantileSketch
+
+
+def _scenario(**overrides):
+    options = dict(
+        name="fair-stream",
+        source=GeneratorSource(
+            model="diurnal-poisson",
+            instances=2,
+            seed_base=7,
+            options={
+                "num_jobs": 300,
+                "mean_interarrival_seconds": 300.0,
+                "runtime_log_mean": 5.0,
+                "runtime_log_sigma": 1.2,
+                "max_runtime_seconds": 14400.0,
+            },
+        ),
+        algorithms=("fcfs",),
+        cluster=Cluster(32, 4, 8.0),
+        collectors=(CollectorSpec("stretch"), CollectorSpec("fairness")),
+    )
+    options.update(overrides)
+    return Scenario(**options)
+
+
+class TestStreamingHelpers:
+    def test_jain_from_moments_is_exact(self):
+        rng = np.random.default_rng(11)
+        values = rng.lognormal(1.0, 1.5, size=5000)
+        moments = Moments()
+        for value in values:
+            moments.add(float(value))
+        assert jain_index_from_moments(moments) == pytest.approx(
+            jain_index(values), rel=1e-9
+        )
+
+    def test_jain_from_moments_merges_exactly_enough(self):
+        rng = np.random.default_rng(3)
+        values = rng.pareto(2.0, size=4000) + 1.0
+        left, right = Moments(), Moments()
+        for value in values[:2000]:
+            left.add(float(value))
+        for value in values[2000:]:
+            right.add(float(value))
+        left.merge(right)
+        assert jain_index_from_moments(left) == pytest.approx(
+            jain_index(values), rel=1e-6
+        )
+
+    def test_gini_from_sketch_masses_is_within_bound(self):
+        rng = np.random.default_rng(5)
+        for sample in (
+            rng.lognormal(0.0, 1.0, size=8000),
+            rng.pareto(1.5, size=8000) + 1.0,
+            np.full(100, 3.7),
+        ):
+            sketch = QuantileSketch(relative_error=0.01)
+            for value in sample:
+                sketch.add(float(value))
+            exact = gini_coefficient(sample)
+            approx = gini_from_masses(sketch.bucket_masses())
+            # Representatives are within alpha of their values; the Gini of
+            # the mass view lands within a few alpha of the exact one.
+            assert approx == pytest.approx(exact, abs=0.05)
+
+    def test_gini_masses_validation(self):
+        with pytest.raises(ReproError, match="empty"):
+            gini_from_masses([])
+        with pytest.raises(ReproError, match="non-negative"):
+            gini_from_masses([(-1.0, 3)])
+
+    def test_bucket_masses_cover_all_counts(self):
+        sketch = QuantileSketch()
+        for value in (-2.0, 0.0, 0.0, 1.0, 5.0):
+            sketch.add(value)
+        masses = sketch.bucket_masses()
+        assert sum(count for _, count in masses) == 5
+        values = [value for value, _ in masses]
+        assert values == sorted(values)
+        assert (0.0, 2) in masses
+
+
+class TestStreamingFairnessCampaign:
+    def test_fairness_collector_streams(self):
+        outcome = Campaign(streaming=True).run(_scenario())
+        row = outcome.rows[0]
+        for name in ("jain_stretch", "gini_stretch", "p95_stretch"):
+            assert name in row.metrics
+        assert 0.0 < row.metric("jain_stretch") <= 1.0
+        assert 0.0 <= row.metric("gini_stretch") < 1.0
+
+    def test_streamed_row_matches_pooled_exact_values(self):
+        scenario = _scenario()
+        streamed = Campaign(streaming=True).run(scenario).rows[0]
+        # Pool the per-job stretches of every instance (what the merged cell
+        # represents) and compare against the streamed indices.
+        from repro.core.engine import SimulationConfig, Simulator
+        from repro.schedulers.registry import create_scheduler
+
+        pooled = []
+        for source in scenario.source.streaming_sources(scenario.cluster):
+            simulator = Simulator(
+                scenario.cluster, create_scheduler("fcfs"), SimulationConfig()
+            )
+            result = simulator.run(list(source.jobs(scenario.cluster)))
+            pooled.extend(result.stretches().tolist())
+        pooled = np.array(pooled)
+        assert streamed.metric("jain_stretch") == pytest.approx(
+            jain_index(pooled), rel=1e-6
+        )
+        assert streamed.metric("gini_stretch") == pytest.approx(
+            gini_coefficient(pooled), abs=0.05
+        )
+        p95 = float(np.sort(pooled)[int(np.ceil(0.95 * pooled.size)) - 1])
+        assert streamed.metric("p95_stretch") == pytest.approx(p95, rel=0.05)
+
+    def test_exact_path_unchanged(self):
+        # The default (materialized) campaign still routes through the exact
+        # per-job computation — same values as analysis.fairness directly.
+        scenario = _scenario()
+        rows = Campaign().run(scenario).rows
+        assert all("jain_stretch" in row.metrics for row in rows)

@@ -1,0 +1,150 @@
+"""Node availability sources: determinism, ordering, trace formats."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.exceptions import ConfigurationError
+from repro.platform import (
+    ExponentialFailureSource,
+    JsonNodeEventSource,
+    NodeEvent,
+    TraceNodeEventSource,
+    WeibullFailureSource,
+    available_node_event_sources,
+    node_event_source_from_dict,
+    write_node_events_json,
+)
+
+CLUSTER = Cluster(8)
+
+
+class TestSyntheticModels:
+    def test_exponential_is_deterministic_and_reiterable(self):
+        source = ExponentialFailureSource(
+            mtbf_seconds=3600.0, mttr_seconds=600.0, horizon_seconds=86400.0, seed=5
+        )
+        first = source.materialize(CLUSTER)
+        second = source.materialize(CLUSTER)
+        assert first == second
+        assert first  # a day at one-hour MTBF on 8 nodes fails a lot
+
+    def test_events_are_time_ordered_and_alternate_per_node(self):
+        source = ExponentialFailureSource(
+            mtbf_seconds=1800.0, mttr_seconds=300.0, horizon_seconds=43200.0, seed=9
+        )
+        events = source.materialize(CLUSTER)
+        times = [event.time for event in events]
+        assert times == sorted(times)
+        state = {}
+        for event in events:
+            previous_up = state.get(event.node, True)  # nodes start up
+            assert event.up == (not previous_up)  # strict alternation per node
+            state[event.node] = event.up
+
+    def test_failure_onsets_respect_horizon_but_repairs_may_exceed(self):
+        source = ExponentialFailureSource(
+            mtbf_seconds=1000.0, mttr_seconds=1e6, horizon_seconds=5000.0, seed=1
+        )
+        events = source.materialize(Cluster(4))
+        downs = [event for event in events if not event.up]
+        ups = [event for event in events if event.up]
+        assert all(event.time < 5000.0 for event in downs)
+        # Every failure gets its repair, even past the horizon: no node is
+        # permanently dead.
+        assert len(ups) == len(downs)
+
+    def test_seed_changes_the_stream(self):
+        base = dict(mtbf_seconds=3600.0, mttr_seconds=600.0, horizon_seconds=86400.0)
+        a = ExponentialFailureSource(seed=1, **base).materialize(CLUSTER)
+        b = ExponentialFailureSource(seed=2, **base).materialize(CLUSTER)
+        assert a != b
+
+    def test_weibull_mean_uptime_matches_mtbf(self):
+        # shape != 1 must still average to the requested MTBF (the scale is
+        # gamma-corrected); check on a large sample of uptimes.
+        source = WeibullFailureSource(
+            shape=0.7,
+            mtbf_seconds=1000.0,
+            mttr_seconds=1.0,
+            horizon_seconds=2e6,
+            seed=11,
+        )
+        events = source.materialize(Cluster(1))
+        downs = [event.time for event in events if not event.up]
+        ups = [0.0] + [event.time for event in events if event.up]
+        uptimes = [down - up for down, up in zip(downs, ups)]
+        assert len(uptimes) > 500
+        mean = sum(uptimes) / len(uptimes)
+        assert mean == pytest.approx(1000.0, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="mtbf"):
+            ExponentialFailureSource(mtbf_seconds=0.0)
+        with pytest.raises(ConfigurationError, match="shape"):
+            WeibullFailureSource(shape=-1.0)
+
+    def test_round_trips(self):
+        for source in (
+            ExponentialFailureSource(seed=3),
+            WeibullFailureSource(shape=1.3, seed=4),
+        ):
+            assert node_event_source_from_dict(source.to_dict()) == source
+
+
+class TestTraceForms:
+    def test_inline_trace_round_trip(self):
+        source = TraceNodeEventSource(
+            events_list=((10.0, 0, "down"), (20.0, 0, "up"), (20.0, 3, "down"))
+        )
+        assert node_event_source_from_dict(source.to_dict()) == source
+        events = source.materialize(CLUSTER)
+        assert events[0] == NodeEvent(10.0, 0, False)
+        assert events[1].up
+
+    def test_inline_trace_must_be_ordered(self):
+        with pytest.raises(ConfigurationError, match="time order"):
+            TraceNodeEventSource(events_list=((20.0, 0, "down"), (10.0, 0, "up")))
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="'down' or 'up'"):
+            TraceNodeEventSource(events_list=((1.0, 0, "sideways"),))
+
+    def test_node_out_of_range_detected_against_cluster(self):
+        source = TraceNodeEventSource(events_list=((1.0, 99, "down"),))
+        with pytest.raises(ConfigurationError, match="99"):
+            source.materialize(CLUSTER)
+
+    def test_json_write_and_load(self, tmp_path):
+        events = [NodeEvent(5.0, 1, False), NodeEvent(8.0, 1, True)]
+        path = write_node_events_json(events, tmp_path / "fail.json")
+        source = JsonNodeEventSource(path=str(path))
+        assert source.materialize(CLUSTER) == events
+        # Content fingerprint folds into the canonical form.
+        assert "content" in source.to_dict()
+        rebuilt = node_event_source_from_dict(source.to_dict())
+        assert rebuilt.materialize(CLUSTER) == events
+
+    def test_json_rejects_foreign_payloads(self, tmp_path):
+        path = tmp_path / "not-events.json"
+        path.write_text(json.dumps({"format": "something-else"}), encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="repro-dfrs-node-events-v1"):
+            JsonNodeEventSource(path=str(path)).materialize(CLUSTER)
+
+    def test_registry_lists_all_types(self):
+        assert set(available_node_event_sources()) >= {
+            "exponential",
+            "weibull",
+            "trace",
+            "json",
+        }
+
+    def test_event_validation(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            NodeEvent(math.inf, 0, False)
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            NodeEvent(1.0, -1, False)
