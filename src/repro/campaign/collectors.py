@@ -35,7 +35,7 @@ import numpy as np
 from ..core.observers import SimulationObserver, UtilizationRecorder
 from ..core.records import SimulationResult
 from ..exceptions import ConfigurationError
-from ..metrics import Accumulator, Moments, SumAccumulator
+from ..metrics import Accumulator, JobMetricsAccumulator, Moments, SumAccumulator
 from ..workloads.model import Workload
 
 __all__ = [
@@ -90,7 +90,7 @@ class MetricCollector:
             f"metric collector {self.name!r} does not support streaming campaigns"
         )
 
-    def _require_job_stats(self, result: SimulationResult):
+    def _require_job_stats(self, result: SimulationResult) -> "JobMetricsAccumulator":
         if result.job_stats is None:
             raise ConfigurationError(
                 f"collector {self.name!r} needs a streaming-metrics result "
@@ -111,7 +111,12 @@ class StretchCollector(MetricCollector):
     name = "stretch"
     streaming_capable = True
 
-    def collect(self, result, recorders, workload):
+    def collect(
+        self,
+        result: SimulationResult,
+        recorders: Mapping[str, SimulationObserver],
+        workload: Workload,
+    ) -> Dict[str, Any]:
         return {
             "max_stretch": result.max_stretch,
             "mean_stretch": result.mean_stretch,
@@ -120,13 +125,13 @@ class StretchCollector(MetricCollector):
             "num_jobs": result.num_jobs,
         }
 
-    def stream_partials(self, result):
+    def stream_partials(self, result: SimulationResult) -> Dict[str, Accumulator]:
         job_stats = self._require_job_stats(result)
         makespan = Moments()
         makespan.add(result.makespan)
         return {"jobs": job_stats, "makespan": makespan}
 
-    def stream_finalize(self, merged):
+    def stream_finalize(self, merged: Mapping[str, Any]) -> Dict[str, Any]:
         summary = merged["jobs"].summary()
         summary["num_jobs"] = int(summary.get("num_jobs", 0))
         worst = merged["jobs"].worst_stretch.items()
@@ -155,7 +160,12 @@ class CostCollector(MetricCollector):
     name = "costs"
     streaming_capable = True
 
-    def collect(self, result, recorders, workload):
+    def collect(
+        self,
+        result: SimulationResult,
+        recorders: Mapping[str, SimulationObserver],
+        workload: Workload,
+    ) -> Dict[str, Any]:
         return {
             "pmtn_bandwidth_gb_per_sec": result.preemption_bandwidth_gb_per_sec(),
             "migr_bandwidth_gb_per_sec": result.migration_bandwidth_gb_per_sec(),
@@ -170,7 +180,7 @@ class CostCollector(MetricCollector):
             "failure_job_kills": result.costs.failure_job_kills,
         }
 
-    def stream_partials(self, result):
+    def stream_partials(self, result: SimulationResult) -> Dict[str, Accumulator]:
         def tally(value: float) -> SumAccumulator:
             return SumAccumulator(total=float(value), n=1)
 
@@ -185,7 +195,7 @@ class CostCollector(MetricCollector):
             "seconds": tally(result.makespan),
         }
 
-    def stream_finalize(self, merged):
+    def stream_finalize(self, merged: Mapping[str, Any]) -> Dict[str, Any]:
         seconds = max(merged["seconds"].total, 1e-9)
         hours = seconds / 3600.0
         jobs = max(1.0, merged["jobs"].total)
@@ -206,7 +216,12 @@ class TimingCollector(MetricCollector):
 
     name = "timing"
 
-    def collect(self, result, recorders, workload):
+    def collect(
+        self,
+        result: SimulationResult,
+        recorders: Mapping[str, SimulationObserver],
+        workload: Workload,
+    ) -> Dict[str, Any]:
         submits = sorted(spec.submit_time for spec in workload.jobs)
         return {
             "scheduler_times": [float(value) for value in result.scheduler_times],
@@ -232,7 +247,12 @@ class FairnessCollector(MetricCollector):
     name = "fairness"
     streaming_capable = True
 
-    def collect(self, result, recorders, workload):
+    def collect(
+        self,
+        result: SimulationResult,
+        recorders: Mapping[str, SimulationObserver],
+        workload: Workload,
+    ) -> Dict[str, Any]:
         from ..analysis.fairness import stretch_fairness
 
         report = stretch_fairness(result)
@@ -242,10 +262,10 @@ class FairnessCollector(MetricCollector):
             "p95_stretch": report.p95_stretch,
         }
 
-    def stream_partials(self, result):
+    def stream_partials(self, result: SimulationResult) -> Dict[str, Accumulator]:
         return {"jobs": self._require_job_stats(result)}
 
-    def stream_finalize(self, merged):
+    def stream_finalize(self, merged: Mapping[str, Any]) -> Dict[str, Any]:
         from ..analysis.fairness import streaming_stretch_fairness
 
         return streaming_stretch_fairness(merged["jobs"])
@@ -275,7 +295,12 @@ class UtilizationCollector(MetricCollector):
         self.idle_watts = idle_watts
         self.off_watts = off_watts
 
-    def collect(self, result, recorders, workload):
+    def collect(
+        self,
+        result: SimulationResult,
+        recorders: Mapping[str, SimulationObserver],
+        workload: Workload,
+    ) -> Dict[str, Any]:
         from ..analysis.energy import NodePowerModel, energy_from_recorder
         from ..analysis.fairness import stretch_fairness
         from ..analysis.timeseries import busy_nodes_series, cpu_allocated_series

@@ -35,7 +35,18 @@ import re
 import warnings
 from dataclasses import replace as dataclasses_replace
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..core.cluster import Cluster
 from ..core.engine import SimulationConfig, Simulator
@@ -48,6 +59,9 @@ from ..workloads.scaling import scale_to_load
 from .collectors import create_collector
 from .result import CampaignResult, RunRecord
 from .scenario import CollectorSpec, Scenario, payload_hash, scenario_hash
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep worker pickling light
+    from ..traces.source import JobSource
 
 __all__ = ["Campaign", "export_campaign_artifacts"]
 
@@ -96,7 +110,7 @@ def _execute_run(task: _RunTask) -> Dict[str, Any]:
     return metrics
 
 
-def _streaming_offered_load(source, cluster: Cluster) -> float:
+def _streaming_offered_load(source: "JobSource", cluster: Cluster) -> float:
     """Offered load of a job stream, via the shared one-pass helper.
 
     ``offered_load_stream`` has exactly the materialized
@@ -114,7 +128,7 @@ def _streaming_offered_load(source, cluster: Cluster) -> float:
     return current
 
 
-def _check_arrival_order(source, cluster: Cluster) -> None:
+def _check_arrival_order(source: "JobSource", cluster: Cluster) -> None:
     """Fail fast if a convention-ordered stream is not actually sorted.
 
     One cheap streaming pass over the submit times; raises a targeted
@@ -603,11 +617,12 @@ class Campaign:
                     metrics["peak_resident_jobs"] = max(
                         outcome["peak_resident_jobs"] for outcome in per_instance
                     )
-                    workload_names = {
-                        str(outcome["workload"]) for outcome in per_instance
-                    }
-                    if len(workload_names) == 1:
-                        workload_name = next(iter(workload_names))
+                    first_workload = str(per_instance[0]["workload"])
+                    if all(
+                        str(outcome["workload"]) == first_workload
+                        for outcome in per_instance
+                    ):
+                        workload_name = first_workload
                     else:
                         workload_name = (
                             f"{per_instance[0]['workload']}"

@@ -11,7 +11,19 @@ full fidelity.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -252,27 +264,31 @@ class CampaignResult:
             rows=[RunRecord.from_dict(row) for row in data.get("rows", ())],
         )
 
-    def to_json(self, destination=None) -> Optional[str]:
+    def to_json(
+        self, destination: Optional[Union[str, Path, TextIO]] = None
+    ) -> Optional[str]:
         """Write (or return) the full result as JSON via ``analysis.export``."""
         from ..analysis.export import campaign_result_to_json
 
         return campaign_result_to_json(self.to_json_dict(), destination)
 
     @classmethod
-    def from_json(cls, source) -> "CampaignResult":
+    def from_json(cls, source: Union[str, Path, TextIO]) -> "CampaignResult":
         """Load a result previously written with :meth:`to_json`."""
         from ..analysis.export import campaign_result_from_json
 
         return cls.from_json_dict(campaign_result_from_json(source))
 
-    def rows_to_csv(self, destination=None) -> Optional[str]:
+    def rows_to_csv(
+        self, destination: Optional[Union[str, Path, TextIO]] = None
+    ) -> Optional[str]:
         """Write (or return) the tidy rows as CSV via ``analysis.export``."""
         from ..analysis.export import campaign_rows_to_csv
 
         return campaign_rows_to_csv([row.to_dict() for row in self.rows], destination)
 
     @classmethod
-    def rows_from_csv(cls, source) -> List[RunRecord]:
+    def rows_from_csv(cls, source: Union[str, Path, TextIO]) -> List[RunRecord]:
         """Parse rows previously written with :meth:`rows_to_csv`."""
         from ..analysis.export import campaign_rows_from_csv
 

@@ -19,6 +19,7 @@ import re
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -35,6 +36,9 @@ from ..core.engine import SimulationConfig
 from ..core.penalties import ReschedulingPenaltyModel
 from ..exceptions import ConfigurationError
 from ..workloads.model import Workload
+
+if TYPE_CHECKING:  # imported lazily at runtime inside _trace_source
+    from ..traces.source import JobSource
 
 __all__ = [
     "WorkloadSource",
@@ -354,7 +358,7 @@ class GeneratorSource(WorkloadSource):
         # time, not mid-campaign.
         self._trace_source(0)
 
-    def _trace_source(self, instance: int):
+    def _trace_source(self, instance: int) -> "JobSource":
         from ..traces import trace_source_from_dict
 
         return trace_source_from_dict(

@@ -9,10 +9,13 @@ so that scale knobs (traces, jobs, loads, seeds) stay in one place.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 from ..exceptions import ConfigurationError
 from .scenario import CollectorSpec, Hpc2nLikeSource, LublinSource, Scenario
+
+if TYPE_CHECKING:  # runtime import would cycle through the driver package
+    from ..experiments.config import ExperimentConfig
 
 __all__ = [
     "lublin_source",
@@ -33,7 +36,7 @@ _STRETCH = (CollectorSpec("stretch"),)
 _STRETCH_AND_COSTS = (CollectorSpec("stretch"), CollectorSpec("costs"))
 
 
-def lublin_source(config, *, num_traces: Optional[int] = None) -> LublinSource:
+def lublin_source(config: "ExperimentConfig", *, num_traces: Optional[int] = None) -> LublinSource:
     """The synthetic-trace source of an experiment configuration."""
     return LublinSource(
         num_traces=config.num_traces if num_traces is None else num_traces,
@@ -44,7 +47,7 @@ def lublin_source(config, *, num_traces: Optional[int] = None) -> LublinSource:
 
 def scaled_scenario(
     name: str,
-    config,
+    config: "ExperimentConfig",
     *,
     penalty_seconds: float,
     algorithms: Optional[Sequence[str]] = None,
@@ -65,7 +68,7 @@ def scaled_scenario(
 
 def unscaled_scenario(
     name: str,
-    config,
+    config: "ExperimentConfig",
     *,
     penalty_seconds: float,
     algorithms: Optional[Sequence[str]] = None,
@@ -84,7 +87,7 @@ def unscaled_scenario(
 
 def hpc2n_scenario(
     name: str,
-    config,
+    config: "ExperimentConfig",
     *,
     penalty_seconds: float,
     algorithms: Optional[Sequence[str]] = None,
@@ -109,12 +112,12 @@ def hpc2n_scenario(
     )
 
 
-def figure1_scenario(config, *, penalty_seconds: float) -> Scenario:
+def figure1_scenario(config: "ExperimentConfig", *, penalty_seconds: float) -> Scenario:
     """The Figure 1 sweep: degradation factor vs. offered load."""
     return scaled_scenario("figure1", config, penalty_seconds=penalty_seconds)
 
 
-def table1_scenarios(config, *, penalty_seconds: float) -> Dict[str, Scenario]:
+def table1_scenarios(config: "ExperimentConfig", *, penalty_seconds: float) -> Dict[str, Scenario]:
     """The three Table I workload families, keyed by column name."""
     return {
         "scaled": scaled_scenario(
@@ -130,7 +133,7 @@ def table1_scenarios(config, *, penalty_seconds: float) -> Dict[str, Scenario]:
 
 
 def table2_scenario(
-    config,
+    config: "ExperimentConfig",
     *,
     penalty_seconds: float,
     algorithms: Sequence[str],
@@ -154,7 +157,7 @@ def table2_scenario(
 
 
 def extensions_scenario(
-    config, *, penalty_seconds: float, algorithms: Sequence[str]
+    config: "ExperimentConfig", *, penalty_seconds: float, algorithms: Sequence[str]
 ) -> Scenario:
     """The extension-scheduler comparison over the scaled synthetic traces."""
     if not algorithms:
@@ -165,7 +168,7 @@ def extensions_scenario(
 
 
 def period_sweep_scenario(
-    config,
+    config: "ExperimentConfig",
     *,
     base_algorithm: str,
     periods: Sequence[float],
@@ -190,7 +193,7 @@ def period_sweep_scenario(
 
 
 def utilization_scenario(
-    config,
+    config: "ExperimentConfig",
     *,
     load: float,
     penalty_seconds: float,
@@ -215,7 +218,7 @@ def utilization_scenario(
     )
 
 
-def timing_scenario(config, *, algorithm: str) -> Scenario:
+def timing_scenario(config: "ExperimentConfig", *, algorithm: str) -> Scenario:
     """The §V scheduling-time study on the unscaled synthetic traces."""
     return Scenario(
         name="timing",
@@ -227,7 +230,7 @@ def timing_scenario(config, *, algorithm: str) -> Scenario:
     )
 
 
-def compare_scenario(config, *, load: float) -> Scenario:
+def compare_scenario(config: "ExperimentConfig", *, load: float) -> Scenario:
     """Single-trace exploratory comparison (the ``compare`` subcommand)."""
     return Scenario(
         name="compare",

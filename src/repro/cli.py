@@ -75,6 +75,7 @@ from .campaign.executor import Campaign, export_campaign_artifacts
 from .campaign.spec import load_scenario
 from .campaign.studies import compare_scenario
 from .core.cluster import Cluster
+from .devtools.cli import add_dev_subparser, run_dev_command
 from .experiments.config import ExperimentConfig, default_scale
 from .experiments.extensions import run_extensions_comparison
 from .experiments.figure1 import run_figure1
@@ -311,6 +312,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_convert.add_argument("input", type=str, help="input trace file")
     trace_convert.add_argument("output", type=str, help="output trace file")
+
+    add_dev_subparser(subparsers)
     return parser
 
 
@@ -691,6 +694,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``repro-dfrs`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "dev":
+        # Static analysis neither builds an experiment config nor touches a
+        # campaign cache; dispatch before either is constructed.
+        return run_dev_command(args)
     if getattr(args, "streaming_metrics", False) and args.command not in _STREAMING_COMMANDS:
         parser.error(
             f"--streaming-metrics only applies to {' / '.join(_STREAMING_COMMANDS)}: "

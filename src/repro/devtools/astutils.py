@@ -1,0 +1,197 @@
+"""Shared AST helpers for the rule pack."""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+__all__ = [
+    "noqa_codes",
+    "dotted_name",
+    "resolved_call_name",
+    "import_aliases",
+    "iter_parents",
+    "SetExpressionTracker",
+]
+
+#: ``# repro: noqa`` (all rules) or ``# repro: noqa[DET101,ORD]`` (specific
+#: codes / family prefixes), anywhere in the physical line's trailing comment.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE)
+
+
+def noqa_codes(line: str) -> Optional[FrozenSet[str]]:
+    """Suppression declared on ``line``.
+
+    ``None`` → no pragma; empty frozenset → blanket ``noqa`` (all rules);
+    otherwise the set of upper-cased codes / family prefixes listed.
+    """
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if codes is None:
+        return frozenset()
+    return frozenset(part.strip().upper() for part in codes.split(",") if part.strip())
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name → imported dotted path, for the whole module.
+
+    ``import numpy as np`` → ``{"np": "numpy"}``;
+    ``from numpy.random import default_rng`` →
+    ``{"default_rng": "numpy.random.default_rng"}``.  Relative imports are
+    recorded under their bare module path (``.source`` → ``source``), which
+    is enough for the rule pack's stdlib/numpy checks to ignore them.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname is None and "." in alias.name:
+                    # ``import a.b`` binds ``a``; remember the root only.
+                    aliases[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                target = f"{module}.{alias.name}" if module else alias.name
+                aliases[alias.asname or alias.name] = target
+    return aliases
+
+
+def resolved_call_name(call: ast.Call, aliases: Dict[str, str]) -> Optional[str]:
+    """The call's dotted name with the leading import alias expanded.
+
+    ``np.random.rand`` with ``{"np": "numpy"}`` → ``numpy.random.rand``;
+    ``default_rng`` with a from-import → ``numpy.random.default_rng``.
+    """
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    root, _, rest = name.partition(".")
+    resolved_root = aliases.get(root, root)
+    return f"{resolved_root}.{rest}" if rest else resolved_root
+
+
+def iter_parents(tree: ast.Module) -> Dict[ast.AST, ast.AST]:
+    """Child → parent map for every node in ``tree``."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+#: ``set`` methods that return another set — iterating their result is as
+#: order-hazardous as iterating the set itself.
+_SET_RETURNING_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+#: Attribute names that are set-typed by project convention (the engine's
+#: down-node and seen-job bookkeeping); listed here because attribute types
+#: cannot be inferred from a single module's AST.
+_KNOWN_SET_ATTRIBUTES = frozenset(
+    {"down_nodes", "_down_nodes", "_seen_job_ids", "_down", "busy_nodes"}
+)
+
+
+class SetExpressionTracker:
+    """Decide whether an expression is statically known to be a ``set``.
+
+    Tracks straight-line assignments (``names = set()``) per enclosing
+    function so later iteration over the name is recognised too.  The
+    analysis is deliberately shallow — no dataflow across calls — matching
+    the contract it enforces: anything *obviously* a set must not be
+    iterated on a result-affecting path without ``sorted()``.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._parents = iter_parents(tree)
+        self._set_names: Set[Tuple[int, str]] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and self._is_set_value(node.value):
+                scope_id = self.scope_of(node)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self._set_names.add((scope_id, target.id))
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                scope_id = self.scope_of(node)
+                if node.value is not None and self._is_set_value(node.value):
+                    self._set_names.add((scope_id, node.target.id))
+                elif self._is_set_annotation(node.annotation):
+                    self._set_names.add((scope_id, node.target.id))
+
+    def scope_of(self, node: ast.AST) -> int:
+        """``id()`` of the closest enclosing function node (0 = module)."""
+        current = self._parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return id(current)
+            current = self._parents.get(current)
+        return 0
+
+    @staticmethod
+    def _is_set_annotation(annotation: ast.AST) -> bool:
+        name = dotted_name(
+            annotation.value if isinstance(annotation, ast.Subscript) else annotation
+        )
+        if name is None and isinstance(annotation, ast.Constant):
+            name = str(annotation.value).split("[")[0].strip()
+        return name in {
+            "set",
+            "frozenset",
+            "Set",
+            "FrozenSet",
+            "typing.Set",
+            "typing.FrozenSet",
+        }
+
+    def _is_set_value(self, node: ast.AST) -> bool:
+        """Structural check only (no name lookups, to stay order-safe)."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name in {"set", "frozenset"}:
+                return True
+            if isinstance(node.func, ast.Attribute) and node.func.attr in _SET_RETURNING_METHODS:
+                return self._is_set_value(node.func.value) or self.is_known_set_attribute(
+                    node.func.value
+                )
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.BitXor)
+        ):
+            return self._is_set_value(node.left) or self._is_set_value(node.right)
+        return False
+
+    @staticmethod
+    def is_known_set_attribute(node: ast.AST) -> bool:
+        return isinstance(node, ast.Attribute) and node.attr in _KNOWN_SET_ATTRIBUTES
+
+    def is_set_expression(self, node: ast.AST, scope_id: int) -> bool:
+        """True when ``node`` is statically a set in scope ``scope_id``."""
+        if self._is_set_value(node):
+            return True
+        if self.is_known_set_attribute(node):
+            return True
+        if isinstance(node, ast.Name):
+            return (scope_id, node.id) in self._set_names or (0, node.id) in self._set_names
+        return False

@@ -1,0 +1,83 @@
+"""The committed findings baseline — incremental adoption without decay.
+
+A baseline entry grandfathers one existing violation by content fingerprint
+(see :func:`repro.devtools.findings.fingerprint_findings`): new violations
+still fail the check, fixed violations turn their entries *stale* (also a
+failure, so the baseline can only shrink — run ``--fix-baseline`` to drop
+them).  The file is plain sorted JSON so diffs review like code.
+
+The project's own baseline is empty by policy: every violation the initial
+rule pack surfaced was fixed, not grandfathered.  The machinery exists for
+future rule-pack growth.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..exceptions import ConfigurationError
+from .findings import Finding, fingerprint_findings
+
+__all__ = ["BASELINE_VERSION", "load_baseline", "write_baseline", "partition_findings"]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, Dict[str, object]]:
+    """Fingerprint → entry mapping; missing file means an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return {}
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"baseline {path} is not valid JSON: {error}") from None
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ConfigurationError(
+            f"baseline {path} has unsupported format "
+            f"(expected version {BASELINE_VERSION})"
+        )
+    entries = data.get("findings", {})
+    if not isinstance(entries, dict):
+        raise ConfigurationError(f"baseline {path}: 'findings' must be an object")
+    return entries
+
+
+def write_baseline(path: Union[str, Path], findings: Sequence[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, diff-stable JSON)."""
+    entries: Dict[str, Dict[str, object]] = {}
+    for finding, fingerprint in zip(findings, fingerprint_findings(findings)):
+        entries[fingerprint] = {
+            "path": finding.path,
+            "code": finding.code,
+            "message": finding.message,
+        }
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def partition_findings(
+    findings: Sequence[Finding],
+    baseline: Dict[str, Dict[str, object]],
+) -> Tuple[List[Finding], List[Finding], List[str]]:
+    """Split ``findings`` into (new, baselined) and list stale fingerprints.
+
+    Stale fingerprints are baseline entries no current finding matches —
+    the violation was fixed and the entry must be removed.
+    """
+    fingerprints = fingerprint_findings(findings)
+    new: List[Finding] = []
+    matched: List[Finding] = []
+    seen: set = set()
+    for finding, fingerprint in zip(findings, fingerprints):
+        if fingerprint in baseline:
+            matched.append(finding)
+            seen.add(fingerprint)
+        else:
+            new.append(finding)
+    stale = sorted(fp for fp in baseline if fp not in seen)
+    return new, matched, stale

@@ -1,0 +1,215 @@
+"""REG601: the cross-module registry audit.
+
+Unlike the AST rules this one *imports* the subsystems: the contract it
+checks — every spec class (``to_dict`` + a concrete ``kind``) is resolvable
+from its subsystem's ``type`` registry, and every registered class answers
+to the name it was registered under — spans modules, so parsing one file at
+a time cannot see it.  Findings anchor at the offending ``class`` statement
+and are only reported for files inside the checked path set, so
+``dev check tests`` does not re-report src-side problems.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import inspect
+import pkgutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Sequence, Tuple, Type
+
+from .findings import Finding
+from .rules import FileContext, Rule, register_rule
+
+__all__ = ["RegistryAudit", "RegistryCompletenessRule", "subsystem_audits"]
+
+
+@dataclass(frozen=True)
+class RegistryAudit:
+    """One subsystem's registry contract.
+
+    ``registry()`` returns the live name → factory mapping; ``packages``
+    are scanned for concrete subclasses of ``base()``.
+    """
+
+    label: str
+    base_module: str
+    base_name: str
+    registry_module: str
+    registry_name: str
+    packages: Tuple[str, ...]
+
+    def base(self) -> Type[Any]:
+        return getattr(importlib.import_module(self.base_module), self.base_name)
+
+    def registry(self) -> Mapping[str, Callable[..., Any]]:
+        return getattr(importlib.import_module(self.registry_module), self.registry_name)
+
+
+def subsystem_audits() -> List[RegistryAudit]:
+    """The five ``kind``-class registries established by PRs 3–5."""
+    return [
+        RegistryAudit(
+            label="trace source",
+            base_module="repro.traces.source",
+            base_name="JobSource",
+            registry_module="repro.traces.source",
+            registry_name="_TRACE_SOURCE_TYPES",
+            packages=("repro.traces",),
+        ),
+        RegistryAudit(
+            label="trace transform",
+            base_module="repro.traces.transforms",
+            base_name="TraceTransform",
+            registry_module="repro.traces.transforms",
+            registry_name="_TRANSFORM_TYPES",
+            packages=("repro.traces",),
+        ),
+        RegistryAudit(
+            label="accumulator",
+            base_module="repro.metrics.accumulators",
+            base_name="Accumulator",
+            registry_module="repro.metrics.accumulators",
+            registry_name="_ACCUMULATOR_TYPES",
+            packages=("repro.metrics",),
+        ),
+        RegistryAudit(
+            label="platform",
+            base_module="repro.platform.base",
+            base_name="Platform",
+            registry_module="repro.platform.base",
+            registry_name="_PLATFORM_TYPES",
+            packages=("repro.platform",),
+        ),
+        RegistryAudit(
+            label="node event source",
+            base_module="repro.platform.events",
+            base_name="NodeEventSource",
+            registry_module="repro.platform.events",
+            registry_name="_NODE_EVENT_TYPES",
+            packages=("repro.platform",),
+        ),
+    ]
+
+
+def _iter_package_classes(package_name: str, base: Type[Any]) -> Iterator[Type[Any]]:
+    """Concrete classes of ``base`` defined anywhere under ``package_name``."""
+    package = importlib.import_module(package_name)
+    module_names = [package_name]
+    search_paths = getattr(package, "__path__", None)
+    if search_paths is not None:
+        for info in pkgutil.iter_modules(search_paths):
+            module_names.append(f"{package_name}.{info.name}")
+    seen: set = set()
+    for module_name in sorted(module_names):
+        module = importlib.import_module(module_name)
+        for value in vars(module).values():
+            if not (isinstance(value, type) and issubclass(value, base)):
+                continue
+            if not value.__module__.startswith(package_name):
+                continue
+            if value in seen:
+                continue
+            seen.add(value)
+            yield value
+
+
+def _spec_classes(audit: RegistryAudit) -> Iterator[Type[Any]]:
+    """Classes bound by the registry contract: concrete ``kind`` + ``to_dict``."""
+    base = audit.base()
+    for cls in _iter_package_classes(audit.packages[0], base):
+        kind = inspect.getattr_static(cls, "kind", None)
+        if not isinstance(kind, str) or kind == "abstract":
+            continue
+        if not callable(getattr(cls, "to_dict", None)):
+            continue
+        if getattr(cls, "spec_expressible", True) is False:
+            # Escape hatches (in-memory/callable sources) opt out of the
+            # spec form entirely; they are not required to register.
+            continue
+        yield cls
+
+
+def _class_location(cls: Type[Any]) -> Tuple[str, int]:
+    """(absolute source path, 1-based class statement line) of ``cls``."""
+    source_file = inspect.getsourcefile(cls) or ""
+    try:
+        _, lineno = inspect.getsourcelines(cls)
+    except (OSError, TypeError):
+        lineno = 1
+    return str(Path(source_file).resolve()) if source_file else "", lineno
+
+
+@register_rule
+class RegistryCompletenessRule(Rule):
+    code = "REG601"
+    name = "unregistered-spec-class"
+    rationale = (
+        "Every class with a to_dict spec form and a concrete `kind` must be "
+        "resolvable from its subsystem registry under that kind, and every "
+        "registered class must answer to its registered name — otherwise "
+        "specs written today fail to round-trip tomorrow and cached "
+        "campaign artifacts keyed on the spec hash become unloadable."
+    )
+    scope = "project"
+
+    def check_project(self, contexts: Sequence[FileContext]) -> List[Finding]:
+        by_abspath: Dict[str, FileContext] = {
+            str(context.path.resolve()): context for context in contexts
+        }
+        findings: List[Finding] = []
+        for audit in subsystem_audits():
+            try:
+                registry = audit.registry()
+            except (ImportError, AttributeError) as error:
+                raise RuntimeError(
+                    f"registry audit for {audit.label} could not import its "
+                    f"registry: {error}"
+                ) from error
+            for cls in _spec_classes(audit):
+                kind = inspect.getattr_static(cls, "kind")
+                if kind in registry:
+                    continue
+                abspath, lineno = _class_location(cls)
+                context = by_abspath.get(abspath)
+                if context is None:
+                    continue
+                findings.append(
+                    context.finding(
+                        _ClassAnchor(lineno),
+                        self.code,
+                        f"{audit.label} class {cls.__name__} declares "
+                        f"kind={kind!r} and a to_dict spec form but is not "
+                        f"registered in the {audit.label} registry",
+                    )
+                )
+            # Registered class factories must answer to their registered name.
+            for name, factory in sorted(registry.items()):
+                if not isinstance(factory, type):
+                    continue  # wrapper functions own their own naming
+                abspath, lineno = _class_location(factory)
+                context = by_abspath.get(abspath)
+                if context is None:
+                    continue
+                declared = inspect.getattr_static(factory, "kind", None)
+                if isinstance(declared, str) and declared != name:
+                    findings.append(
+                        context.finding(
+                            _ClassAnchor(lineno),
+                            self.code,
+                            f"{audit.label} registry name {name!r} resolves to "
+                            f"{factory.__name__}, which declares "
+                            f"kind={declared!r}; the names must agree",
+                        )
+                    )
+        return findings
+
+
+class _ClassAnchor(ast.AST):
+    """Minimal node-shaped anchor for findings located via ``inspect``."""
+
+    def __init__(self, lineno: int) -> None:
+        super().__init__()
+        self.lineno = lineno
+        self.col_offset = 0

@@ -26,7 +26,7 @@ from __future__ import annotations
 import hashlib
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -65,7 +65,7 @@ class Accumulator:
     def add(self, value: float) -> None:
         raise NotImplementedError
 
-    def update(self, values) -> None:
+    def update(self, values: Iterable[float]) -> None:
         """Consume an iterable of observations."""
         for value in values:
             self.add(value)

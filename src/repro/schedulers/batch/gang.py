@@ -67,7 +67,7 @@ class GangScheduler(Scheduler):
         # Admit waiting jobs in FCFS order when a row can host them.  Down
         # nodes are modelled as hosting a full complement of rows and memory,
         # so no admission ever lands on them.
-        for node in context.down_nodes:
+        for node in sorted(context.down_nodes):
             rows_per_node[node] = self.max_rows
             memory_per_node[node] = 1.0
         pending = sorted(context.pending_jobs(), key=lambda v: (v.submit_time, v.job_id))

@@ -85,7 +85,7 @@ class LongJobThrottlingScheduler(DynMcb8AsapPeriodicScheduler):
             improved = improve_average_yield(
                 placements, yields, context.jobs, context.cluster
             )
-            for job_id in short_jobs:
+            for job_id in sorted(short_jobs):
                 yields[job_id] = improved[job_id]
         decision.running = build_allocations(placements, yields)
         return decision

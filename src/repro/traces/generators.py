@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator
+from typing import TYPE_CHECKING, Any, Dict, Iterator, Tuple
 
 import numpy as np
 
@@ -40,6 +40,10 @@ from ..core.cluster import Cluster
 from ..core.job import JobSpec
 from ..exceptions import ConfigurationError
 from .source import JobSource, register_trace_source
+
+if TYPE_CHECKING:  # imported lazily at runtime inside _annotation_models
+    from ..workloads.cpu import CpuNeedModel
+    from ..workloads.memory import MemoryRequirementModel
 
 __all__ = ["DowneyTraceSource", "DiurnalPoissonTraceSource"]
 
@@ -61,7 +65,7 @@ def _sample_width(
     return int(min(max(size, 1), num_nodes))
 
 
-def _annotation_models(cluster: Cluster):
+def _annotation_models(cluster: Cluster) -> Tuple["CpuNeedModel", "MemoryRequirementModel"]:
     """The paper's §IV-C CPU-need and memory models, built once per stream."""
     from ..workloads.cpu import CpuNeedModel
     from ..workloads.memory import MemoryRequirementModel

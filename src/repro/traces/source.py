@@ -32,12 +32,26 @@ and sequential splicing); the new synthetic models are in
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from ..core.cluster import Cluster
 from ..core.job import JobSpec
 from ..exceptions import ConfigurationError
 from ..workloads.model import Workload
+
+if TYPE_CHECKING:  # circular at runtime: transforms imports this module
+    from .transforms import TraceTransform
 
 __all__ = [
     "JobSource",
@@ -85,7 +99,7 @@ class JobSource:
         """Collect the full stream into a :class:`Workload`."""
         return Workload(name or self.default_name(), cluster, list(self.jobs(cluster)))
 
-    def transformed(self, *steps) -> "JobSource":
+    def transformed(self, *steps: "TraceTransform") -> "JobSource":
         """This source with trace transforms chained on top (left to right)."""
         from .transforms import TransformedSource
 

@@ -1,0 +1,423 @@
+"""Per-rule fixtures: each rule fires on its violation, stays quiet on the
+idiomatic form, and respects ``# repro: noqa`` pragmas."""
+
+import textwrap
+
+import pytest
+
+from repro.devtools import check_paths
+from repro.devtools.rulepack import (
+    FloatEqualityRule,
+    GlobalRngDrawRule,
+    SetIterationRule,
+    SwallowedExceptionRule,
+    UnpicklableTaskRule,
+    UnseededDefaultRngRule,
+    WallClockRule,
+)
+
+CORE = "src/repro/core/mod.py"
+PACKING = "src/repro/packing/mod.py"
+OUTSIDE = "src/repro/analysis/mod.py"
+TESTFILE = "tests/test_mod.py"
+
+
+def run_rule(tmp_path, rule, source, relfile=CORE):
+    path = tmp_path / relfile
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return check_paths([path], project_root=tmp_path, rules=[rule])
+
+
+def codes(result):
+    return [finding.code for finding in result.findings]
+
+
+# --------------------------------------------------------------------------- #
+# DET101 — unseeded default_rng                                                #
+# --------------------------------------------------------------------------- #
+def test_det101_flags_unseeded_default_rng(tmp_path):
+    result = run_rule(
+        tmp_path,
+        UnseededDefaultRngRule(),
+        """
+        import numpy as np
+        rng = np.random.default_rng()
+        """,
+    )
+    assert codes(result) == ["DET101"]
+    assert result.findings[0].line == 3
+
+
+def test_det101_allows_seeded_and_alias_forms(tmp_path):
+    result = run_rule(
+        tmp_path,
+        UnseededDefaultRngRule(),
+        """
+        import numpy as np
+        from numpy.random import default_rng
+        a = np.random.default_rng(42)
+        b = default_rng(seed)
+        """,
+    )
+    assert codes(result) == []
+
+
+def test_det101_resolves_from_import_alias(tmp_path):
+    result = run_rule(
+        tmp_path,
+        UnseededDefaultRngRule(),
+        """
+        from numpy.random import default_rng
+        rng = default_rng()
+        """,
+    )
+    assert codes(result) == ["DET101"]
+
+
+def test_det101_noqa_suppresses(tmp_path):
+    result = run_rule(
+        tmp_path,
+        UnseededDefaultRngRule(),
+        """
+        import numpy as np
+        rng = np.random.default_rng()  # repro: noqa[DET101]
+        """,
+    )
+    assert codes(result) == []
+    assert result.suppressed == 1
+
+
+# --------------------------------------------------------------------------- #
+# DET102 — global RNG draws                                                    #
+# --------------------------------------------------------------------------- #
+def test_det102_flags_numpy_and_stdlib_global_draws(tmp_path):
+    result = run_rule(
+        tmp_path,
+        GlobalRngDrawRule(),
+        """
+        import numpy as np
+        import random
+        x = np.random.rand(3)
+        y = random.randint(0, 5)
+        """,
+    )
+    assert codes(result) == ["DET102", "DET102"]
+
+
+def test_det102_allows_generator_methods_and_constructors(tmp_path):
+    result = run_rule(
+        tmp_path,
+        GlobalRngDrawRule(),
+        """
+        import numpy as np
+        rng = np.random.default_rng(7)
+        seq = np.random.SeedSequence(7)
+        x = rng.normal(size=3)
+        """,
+    )
+    assert codes(result) == []
+
+
+def test_det102_family_noqa_suppresses(tmp_path):
+    result = run_rule(
+        tmp_path,
+        GlobalRngDrawRule(),
+        """
+        import numpy as np
+        x = np.random.rand(3)  # repro: noqa[DET]
+        """,
+    )
+    assert codes(result) == []
+    assert result.suppressed == 1
+
+
+# --------------------------------------------------------------------------- #
+# DET103 — wall clock on result paths                                          #
+# --------------------------------------------------------------------------- #
+WALL_CLOCK_SRC = """
+import time
+import datetime
+t = time.time()
+d = datetime.datetime.now()
+"""
+
+
+def test_det103_flags_wall_clock_in_result_packages(tmp_path):
+    result = run_rule(tmp_path, WallClockRule(), WALL_CLOCK_SRC)
+    assert codes(result) == ["DET103", "DET103"]
+
+
+def test_det103_ignores_code_outside_result_packages(tmp_path):
+    for relfile in (OUTSIDE, TESTFILE):
+        result = run_rule(tmp_path, WallClockRule(), WALL_CLOCK_SRC, relfile=relfile)
+        assert codes(result) == [], relfile
+
+
+def test_det103_allows_perf_counter(tmp_path):
+    result = run_rule(
+        tmp_path,
+        WallClockRule(),
+        """
+        import time
+        start = time.perf_counter()
+        """,
+    )
+    assert codes(result) == []
+
+
+# --------------------------------------------------------------------------- #
+# ORD201 — set iteration order                                                 #
+# --------------------------------------------------------------------------- #
+def test_ord201_flags_for_loop_over_set(tmp_path):
+    result = run_rule(
+        tmp_path,
+        SetIterationRule(),
+        """
+        def f(items):
+            pending = set(items)
+            for item in pending:
+                print(item)
+        """,
+    )
+    assert codes(result) == ["ORD201"]
+
+
+def test_ord201_flags_comprehension_over_set_literal(tmp_path):
+    result = run_rule(
+        tmp_path,
+        SetIterationRule(),
+        """
+        def f():
+            return [x for x in {1, 2, 3}]
+        """,
+    )
+    assert codes(result) == ["ORD201"]
+
+
+def test_ord201_flags_list_materialisation(tmp_path):
+    result = run_rule(
+        tmp_path,
+        SetIterationRule(),
+        """
+        def f(a, b):
+            return list(set(a) & set(b))
+        """,
+    )
+    assert codes(result) == ["ORD201"]
+
+
+def test_ord201_allows_sorted_and_dict_iteration(tmp_path):
+    result = run_rule(
+        tmp_path,
+        SetIterationRule(),
+        """
+        def f(items, mapping):
+            for item in sorted(set(items)):
+                print(item)
+            for key in mapping:
+                print(key)
+        """,
+    )
+    assert codes(result) == []
+
+
+def test_ord201_ignores_non_result_packages(tmp_path):
+    result = run_rule(
+        tmp_path,
+        SetIterationRule(),
+        """
+        def f(items):
+            for item in set(items):
+                print(item)
+        """,
+        relfile=TESTFILE,
+    )
+    assert codes(result) == []
+
+
+def test_ord201_blanket_noqa_suppresses(tmp_path):
+    result = run_rule(
+        tmp_path,
+        SetIterationRule(),
+        """
+        def f(items):
+            for item in set(items):  # repro: noqa
+                print(item)
+        """,
+    )
+    assert codes(result) == []
+    assert result.suppressed == 1
+
+
+# --------------------------------------------------------------------------- #
+# SER301 — unpicklable worker payloads                                         #
+# --------------------------------------------------------------------------- #
+def test_ser301_flags_lambda_into_map_tasks(tmp_path):
+    result = run_rule(
+        tmp_path,
+        UnpicklableTaskRule(),
+        """
+        def run(tasks):
+            return map_tasks(lambda t: t + 1, tasks)
+        """,
+    )
+    assert codes(result) == ["SER301"]
+
+
+def test_ser301_flags_nested_def_into_pool_map(tmp_path):
+    result = run_rule(
+        tmp_path,
+        UnpicklableTaskRule(),
+        """
+        def run(pool, tasks):
+            def helper(t):
+                return t + 1
+            return pool.map(helper, tasks)
+        """,
+    )
+    assert codes(result) == ["SER301"]
+
+
+def test_ser301_allows_module_level_function(tmp_path):
+    result = run_rule(
+        tmp_path,
+        UnpicklableTaskRule(),
+        """
+        def helper(t):
+            return t + 1
+
+        def run(tasks):
+            return map_tasks(helper, tasks)
+        """,
+    )
+    assert codes(result) == []
+
+
+# --------------------------------------------------------------------------- #
+# FLT401 — raw float equality in core/ and packing/                            #
+# --------------------------------------------------------------------------- #
+def test_flt401_flags_computed_float_equality(tmp_path):
+    result = run_rule(
+        tmp_path,
+        FloatEqualityRule(),
+        """
+        def f(a, b, c):
+            return a / b == c
+        """,
+        relfile=PACKING,
+    )
+    assert codes(result) == ["FLT401"]
+
+
+def test_flt401_flags_non_sentinel_literal(tmp_path):
+    result = run_rule(
+        tmp_path,
+        FloatEqualityRule(),
+        """
+        def f(x):
+            return x != 0.5
+        """,
+        relfile=PACKING,
+    )
+    assert codes(result) == ["FLT401"]
+
+
+def test_flt401_allows_sentinels_and_plain_names(tmp_path):
+    result = run_rule(
+        tmp_path,
+        FloatEqualityRule(),
+        """
+        def f(x, y):
+            if x == 1.0:
+                return True
+            if x == 0.0:
+                return False
+            return x == y
+        """,
+        relfile=CORE,
+    )
+    assert codes(result) == []
+
+
+def test_flt401_scoped_to_core_and_packing(tmp_path):
+    result = run_rule(
+        tmp_path,
+        FloatEqualityRule(),
+        """
+        def f(a, b, c):
+            return a / b == c
+        """,
+        relfile=OUTSIDE,
+    )
+    assert codes(result) == []
+
+
+# --------------------------------------------------------------------------- #
+# EXC501 — swallowed exceptions                                                #
+# --------------------------------------------------------------------------- #
+def test_exc501_flags_bare_and_blanket_except(tmp_path):
+    result = run_rule(
+        tmp_path,
+        SwallowedExceptionRule(),
+        """
+        def f():
+            try:
+                work()
+            except:
+                pass
+
+        def g():
+            try:
+                work()
+            except Exception:
+                pass
+        """,
+    )
+    assert codes(result) == ["EXC501", "EXC501"]
+
+
+def test_exc501_allows_narrow_catch_and_reraise(tmp_path):
+    result = run_rule(
+        tmp_path,
+        SwallowedExceptionRule(),
+        """
+        def f():
+            try:
+                work()
+            except ValueError:
+                pass
+
+        def g():
+            try:
+                work()
+            except Exception:
+                cleanup()
+                raise
+        """,
+    )
+    assert codes(result) == []
+
+
+# --------------------------------------------------------------------------- #
+# Cross-rule: the full pack over one fixture tree                              #
+# --------------------------------------------------------------------------- #
+def test_full_pack_reports_sorted_findings(tmp_path):
+    bad = tmp_path / CORE
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        textwrap.dedent(
+            """
+            import numpy as np
+            rng = np.random.default_rng()
+
+            def f(items):
+                for item in set(items):
+                    print(item)
+            """
+        )
+    )
+    result = check_paths([tmp_path / "src"], project_root=tmp_path)
+    assert codes(result) == ["DET101", "ORD201"]
+    assert result.findings == sorted(result.findings)
+    assert result.checked_files == 1
