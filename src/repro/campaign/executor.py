@@ -203,6 +203,14 @@ class Campaign:
     metrics_relative_error:
         Accuracy of the streaming quantile sketches (see
         :class:`repro.metrics.QuantileSketch`); only read when ``streaming``.
+    merge_instances:
+        Streaming campaigns merge each cell's per-instance accumulator
+        bundles into **one row per (cell, algorithm)** with
+        ``instance_index = -1`` (the default).  ``merge_instances=False``
+        finalizes every instance's bundle separately instead, emitting one
+        row per ``(cell, instance, algorithm)`` with the real
+        ``instance_index`` — the materialized path's row shape, with
+        sketched quantile columns.  Only read when ``streaming``.
     """
 
     def __init__(
@@ -212,11 +220,13 @@ class Campaign:
         cache_dir: Optional[Union[str, Path]] = None,
         streaming: bool = False,
         metrics_relative_error: float = 0.01,
+        merge_instances: bool = True,
     ) -> None:
         self.workers = workers
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.streaming = streaming
         self.metrics_relative_error = metrics_relative_error
+        self.merge_instances = merge_instances
 
     # -- cache -----------------------------------------------------------------
     def _cache_path(self, digest: str) -> Optional[Path]:
@@ -509,13 +519,16 @@ class Campaign:
         # materialized path: fold the execution mode into the digest.  The
         # sketch accuracy changes the computed quantiles, so it is part of
         # the key too — rows cached at 1 % must not serve a 0.1 % run.
-        digest = payload_hash(
-            {
-                "execution": "streaming-metrics",
-                "metrics_relative_error": self.metrics_relative_error,
-                "scenario": scenario.to_dict(),
-            }
-        )
+        # Per-instance mode changes the row shape again; folded in only when
+        # non-default so pre-existing merged-mode digests are unchanged.
+        digest_payload: Dict[str, Any] = {
+            "execution": "streaming-metrics",
+            "metrics_relative_error": self.metrics_relative_error,
+            "scenario": scenario.to_dict(),
+        }
+        if not self.merge_instances:
+            digest_payload["merge_instances"] = False
+        digest = payload_hash(digest_payload)
         cached, _, _ = self._load_cache(digest)
         cells = scenario.expand()
         simulation_config = dataclasses_replace(
@@ -565,6 +578,12 @@ class Campaign:
                     sources[instance], scenario.cluster
                 )
             return measured_loads[instance] / float(load)
+
+        if not self.merge_instances:
+            return self._run_streaming_per_instance(
+                scenario, digest, cached, cells, simulation_config,
+                sources, collectors, check_order_once, rescale_factor,
+            )
 
         rows: List[RunRecord] = []
         for cell in cells:
@@ -639,6 +658,94 @@ class Campaign:
                         cell_index=cell.index,
                         # -1 marks "merged across every instance of the cell".
                         instance_index=-1,
+                        workload=str(entry["workload"]),
+                        algorithm=algorithm,
+                        params=cell.params,
+                        metrics=entry["metrics"],
+                    )
+                )
+
+        return CampaignResult(
+            scenario=scenario.to_dict(), scenario_hash=digest, rows=rows
+        )
+
+    def _run_streaming_per_instance(
+        self,
+        scenario: Scenario,
+        digest: str,
+        cached: Dict[str, Dict[str, Any]],
+        cells: Sequence[Any],
+        simulation_config: SimulationConfig,
+        sources: Sequence[Any],
+        collectors: Sequence[Any],
+        check_order_once: Any,
+        rescale_factor: Any,
+    ) -> CampaignResult:
+        """Streaming execution with ``merge_instances=False``: one row per
+        ``(cell, instance, algorithm)``, each instance's accumulator bundle
+        finalized on its own (no cross-instance merge).  Cache keys carry the
+        real instance index, mirroring the materialized path's key shape."""
+        from ..experiments.parallel import map_tasks
+
+        rows: List[RunRecord] = []
+        for cell in cells:
+            params = cell.params_dict()
+            load = params.get("load")
+            algorithms = scenario.resolved_algorithms(params)
+
+            pending: List[_StreamTask] = []
+            pending_keys: List[str] = []
+            cell_keys: List[Tuple[str, int, str]] = []
+            for instance, source in enumerate(sources):
+                for algorithm in algorithms:
+                    key = f"{cell.index}/{instance}/{algorithm}"
+                    cell_keys.append((key, instance, algorithm))
+                    if key in cached:
+                        continue
+                    pending.append(
+                        (
+                            source,
+                            scenario.cluster,
+                            algorithm,
+                            simulation_config,
+                            scenario.collectors,
+                            rescale_factor(instance, load),
+                        )
+                    )
+                    pending_keys.append(key)
+
+            if pending:
+                check_order_once()
+                _LOGGER.debug(
+                    "scenario %s cell %d: streaming %d per-instance runs",
+                    scenario.name, cell.index, len(pending),
+                )
+                outcomes = map_tasks(
+                    _execute_streaming_run, pending, workers=self.workers
+                )
+                for key, outcome in zip(pending_keys, outcomes):
+                    metrics: Dict[str, Any] = {}
+                    for collector in collectors:
+                        metrics.update(
+                            collector.stream_finalize(
+                                bundle_from_dict(
+                                    outcome["partials"][collector.name]
+                                )
+                            )
+                        )
+                    metrics["peak_resident_jobs"] = outcome["peak_resident_jobs"]
+                    cached[key] = {
+                        "workload": str(outcome["workload"]),
+                        "metrics": metrics,
+                    }
+                self._store_cache(digest, scenario, cached, len(sources))
+
+            for key, instance, algorithm in cell_keys:
+                entry = cached[key]
+                rows.append(
+                    RunRecord(
+                        cell_index=cell.index,
+                        instance_index=instance,
                         workload=str(entry["workload"]),
                         algorithm=algorithm,
                         params=cell.params,

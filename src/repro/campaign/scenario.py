@@ -617,6 +617,11 @@ class Scenario:
     collectors: Tuple[CollectorSpec, ...] = (CollectorSpec("stretch"),)
     legacy_event_loop: bool = False
     record_scheduler_times: bool = True
+    #: Forward :attr:`repro.core.engine.SimulationConfig.repack_on_failure`:
+    #: periodic schedulers repack immediately on a node failure instead of
+    #: waiting for their next tick.  Serialised in the engine block only when
+    #: True, so existing scenario hashes (and run caches) are unchanged.
+    repack_on_failure: bool = False
     #: Optional :class:`repro.platform.Platform` (or its spec mapping)
     #: describing the machine, instead of a bare ``cluster``.  When set, the
     #: ``cluster`` field is *derived* from the platform.  A spec mapping may
@@ -814,6 +819,7 @@ class Scenario:
             penalty_model=ReschedulingPenaltyModel(self.penalty_seconds),
             record_scheduler_times=self.record_scheduler_times,
             legacy_event_loop=self.legacy_event_loop,
+            repack_on_failure=self.repack_on_failure,
             **extra,
         )
 
@@ -865,6 +871,11 @@ class Scenario:
                 },
             }
         )
+        # Emitted only when set: the default (False) keeps the canonical
+        # engine block — and therefore every pre-existing scenario hash,
+        # run-cache key, and artifact name — byte-identical.
+        if self.repack_on_failure:
+            data["engine"]["repack_on_failure"] = True
         return data
 
     def with_penalty(self, penalty_seconds: float) -> "Scenario":
@@ -918,11 +929,14 @@ def scenario_from_dict(data: Mapping[str, Any]) -> Scenario:
     else:
         sweep = tuple((axis, values) for axis, values in sweep_spec)
     engine = payload.get("engine", {})
-    unknown_engine = set(engine) - {"legacy_event_loop", "record_scheduler_times"}
+    unknown_engine = set(engine) - {
+        "legacy_event_loop", "record_scheduler_times", "repack_on_failure",
+    }
     if unknown_engine:
         raise ConfigurationError(
             f"unknown engine spec fields: {', '.join(sorted(unknown_engine))} "
-            "(known: legacy_event_loop, record_scheduler_times)"
+            "(known: legacy_event_loop, record_scheduler_times, "
+            "repack_on_failure)"
         )
     return Scenario(
         name=payload.get("name", "scenario"),
@@ -939,6 +953,7 @@ def scenario_from_dict(data: Mapping[str, Any]) -> Scenario:
         ),
         legacy_event_loop=bool(engine.get("legacy_event_loop", False)),
         record_scheduler_times=bool(engine.get("record_scheduler_times", True)),
+        repack_on_failure=bool(engine.get("repack_on_failure", False)),
         platform=platform_spec,
     )
 

@@ -87,6 +87,7 @@ from .experiments.table2 import run_table2
 from .experiments.timing import run_timing_study
 from .experiments.utilization_study import run_utilization_study
 from .schedulers.registry import algorithm_catalog
+from .serve.cli import add_serve_subparsers, run_loadtest_command, run_serve_command
 from .workloads import (
     HPC2N_CLUSTER,
     characterization_table,
@@ -314,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace_convert.add_argument("output", type=str, help="output trace file")
 
     add_dev_subparser(subparsers)
+    add_serve_subparsers(subparsers)
     return parser
 
 
@@ -698,6 +700,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # Static analysis neither builds an experiment config nor touches a
         # campaign cache; dispatch before either is constructed.
         return run_dev_command(args)
+    if args.command == "serve":
+        # The serving commands drive the engine directly (no campaign layer).
+        return run_serve_command(args)
+    if args.command == "loadtest":
+        return run_loadtest_command(args)
     if getattr(args, "streaming_metrics", False) and args.command not in _STREAMING_COMMANDS:
         parser.error(
             f"--streaming-metrics only applies to {' / '.join(_STREAMING_COMMANDS)}: "

@@ -1,9 +1,10 @@
 """Core simulation substrate: cluster model, jobs, allocations, engine, metrics."""
 
 from .allocation import AllocationDecision, JobAllocation, validate_decision
+from .clock import Clock, SimulatedClock, WallClock
 from .cluster import CAPACITY_EPSILON, Cluster, ClusterUsage
 from .context import JobView, SchedulingContext
-from .engine import SimulationConfig, Simulator
+from .engine import EngineLoad, SimulationConfig, Simulator
 from .events import Event, EventQueue, EventType
 from .job import MINIMUM_YIELD, Job, JobSpec, JobState
 from .metrics import (
@@ -33,10 +34,14 @@ __all__ = [
     "JobAllocation",
     "validate_decision",
     "CAPACITY_EPSILON",
+    "Clock",
+    "SimulatedClock",
+    "WallClock",
     "Cluster",
     "ClusterUsage",
     "JobView",
     "SchedulingContext",
+    "EngineLoad",
     "SimulationConfig",
     "Simulator",
     "Event",

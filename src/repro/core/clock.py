@@ -1,0 +1,126 @@
+"""The clock seam: simulated time vs. (accelerated) wall-clock time.
+
+The engine's scheduling logic is a pure function of event *timestamps*; the
+clock only decides how long the driver waits before processing the next
+event.  Under :class:`SimulatedClock` (the default) waiting is free, which
+is exactly the original discrete-event behaviour — campaigns are unchanged,
+byte for byte.  Under :class:`WallClock` the engine becomes a real-time
+replayer: before processing an event at simulated instant ``t`` the driver
+sleeps until the wall clock "reaches" ``t`` under the configured
+acceleration factor.  Because simulated time stays authoritative — the wall
+clock never changes *which* events fire at *which* simulated timestamps —
+replaying a trace through :class:`repro.serve.SchedulerService` at any
+acceleration produces byte-identical placement decisions to
+``Simulator.run_stream`` (pinned by ``tests/serve/test_replay_determinism``).
+
+Wall-clock readings use ``time.monotonic()`` only: the simulation clock
+never reads calendar time, so results remain a pure function of the spec
+(the DET103 contract).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import time
+from typing import Optional
+
+from ..exceptions import SimulationError
+
+__all__ = ["Clock", "SimulatedClock", "WallClock"]
+
+#: Longest single sleep of ``WallClock.wait_until`` — chunked so interrupts
+#: (Ctrl-C, service shutdown) stay responsive during long simulated gaps.
+_MAX_SLEEP_CHUNK_SECONDS = 0.5
+
+
+class Clock(abc.ABC):
+    """How the event-loop driver experiences the passage of simulated time."""
+
+    #: Stable identifier of the clock flavour (diagnostics only; clocks are
+    #: driver plumbing, not part of a scenario spec, so there is no registry).
+    kind: str = "abstract"
+
+    @abc.abstractmethod
+    def start(self, origin: float) -> None:
+        """Anchor the clock at simulated instant ``origin``."""
+
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current reading in simulated seconds."""
+
+    @abc.abstractmethod
+    def wall_seconds_until(self, deadline: float) -> float:
+        """Real seconds to wait before ``now()`` reaches ``deadline`` (>= 0)."""
+
+    @abc.abstractmethod
+    def wait_until(self, deadline: float) -> None:
+        """Block until ``now()`` reaches simulated instant ``deadline``."""
+
+
+class SimulatedClock(Clock):
+    """Zero-cost clock: waiting *is* advancing.
+
+    This is the discrete-event default — ``wait_until`` jumps the reading
+    straight to the deadline, so the event loop runs as fast as the CPU
+    allows and behaves exactly as it did before the clock seam existed.
+    """
+
+    kind = "simulated"
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    def start(self, origin: float) -> None:
+        self._now = origin
+
+    def now(self) -> float:
+        return self._now
+
+    def wall_seconds_until(self, deadline: float) -> float:
+        return 0.0
+
+    def wait_until(self, deadline: float) -> None:
+        if deadline > self._now:
+            self._now = deadline
+
+
+class WallClock(Clock):
+    """Real-time clock with a configurable acceleration factor.
+
+    ``acceleration`` is simulated seconds per wall-clock second: ``1.0``
+    replays a trace in real time, ``3600.0`` compresses an hour of trace
+    into one second.  Readings derive from ``time.monotonic()`` relative to
+    the anchor taken at :meth:`start`, so the reading is monotonic and
+    immune to calendar adjustments.
+    """
+
+    kind = "wall"
+
+    def __init__(self, acceleration: float = 1.0) -> None:
+        if not (math.isfinite(acceleration) and acceleration > 0.0):
+            raise SimulationError(
+                f"clock acceleration must be finite and > 0, got {acceleration}"
+            )
+        self.acceleration = float(acceleration)
+        self._origin = 0.0
+        self._anchor: Optional[float] = None
+
+    def start(self, origin: float) -> None:
+        self._origin = origin
+        self._anchor = time.monotonic()
+
+    def now(self) -> float:
+        if self._anchor is None:
+            return self._origin
+        return self._origin + (time.monotonic() - self._anchor) * self.acceleration
+
+    def wall_seconds_until(self, deadline: float) -> float:
+        return max(0.0, (deadline - self.now()) / self.acceleration)
+
+    def wait_until(self, deadline: float) -> None:
+        while True:
+            remaining = self.wall_seconds_until(deadline)
+            if remaining <= 0.0:
+                return
+            time.sleep(min(remaining, _MAX_SLEEP_CHUNK_SECONDS))

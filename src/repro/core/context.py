@@ -91,6 +91,11 @@ class SchedulingContext:
     #: Ids of jobs evicted at this event because their node failed (killed
     #: and requeued, or checkpoint-paused, per the platform failure policy).
     evicted: List[int] = field(default_factory=list)
+    #: True when the engine asks periodic schedulers to repack *now* instead
+    #: of waiting for their next tick — set on ``NODE_DOWN`` events when
+    #: ``SimulationConfig(repack_on_failure=True)``.  Event-driven
+    #: schedulers (which repack at every event anyway) may ignore it.
+    repack_requested: bool = False
 
     def running_jobs(self) -> List[JobView]:
         """Views of currently running jobs."""

@@ -55,6 +55,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tupl
 
 from ..exceptions import SimulationError
 from .allocation import AllocationDecision, JobAllocation, validate_decision
+from .clock import Clock, SimulatedClock
 from .cluster import Cluster
 from .context import JobView, SchedulingContext
 from .events import Event, EventQueue, EventType
@@ -63,7 +64,7 @@ from .observers import SimulationObserver
 from .penalties import ReschedulingPenaltyModel
 from .records import CostSummary, JobRecord, SimulationResult
 
-__all__ = ["Simulator", "SimulationConfig"]
+__all__ = ["Simulator", "SimulationConfig", "EngineLoad"]
 
 _LOGGER = logging.getLogger(__name__)
 
@@ -105,6 +106,35 @@ class SimulationConfig:
     #: (progress kept, preemption cost charged, resume penalty on restart).
     #: Only read when ``node_events`` is set.
     failure_policy: str = "resubmit"
+    #: Ask periodic schedulers to repack immediately when a node fails
+    #: instead of waiting for their next tick: events that apply a
+    #: ``NODE_DOWN`` build their scheduling context with
+    #: ``repack_requested=True``.  Trades migration/preemption churn for
+    #: recovery latency; off by default (byte-identical to previous
+    #: releases).  Schedulers that ignore ``repack_requested`` are
+    #: unaffected.
+    repack_on_failure: bool = False
+
+
+@dataclass(frozen=True)
+class EngineLoad:
+    """Instantaneous load summary of the engine's resident jobs.
+
+    Consumed by the serving layer's admission policies
+    (:mod:`repro.serve.admission`); cheap — one pass over the active table.
+    """
+
+    pending_jobs: int
+    running_jobs: int
+    paused_jobs: int
+    #: Total CPU need (summed over tasks) of all resident active jobs.
+    total_cpu_need: float
+    #: First PENDING job in submission order, if any (the shed victim).
+    oldest_pending_job_id: Optional[int] = None
+
+    @property
+    def active_jobs(self) -> int:
+        return self.pending_jobs + self.running_jobs + self.paused_jobs
 
 
 class Simulator:
@@ -124,6 +154,14 @@ class Simulator:
         Optional sequence of :class:`~repro.core.observers.SimulationObserver`
         instances notified of job lifecycle events and applied allocations
         (used by :mod:`repro.analysis` for utilization and trace analyses).
+    clock:
+        Optional :class:`~repro.core.clock.Clock` pacing the event loop.
+        The default :class:`~repro.core.clock.SimulatedClock` waits for
+        free, preserving the original discrete-event behaviour exactly; a
+        :class:`~repro.core.clock.WallClock` turns ``run``/``run_stream``
+        into a real-time (optionally accelerated) replay.  The clock only
+        throttles the driver — it never changes which events fire at which
+        simulated timestamps, so results are clock-independent.
     """
 
     def __init__(
@@ -132,10 +170,12 @@ class Simulator:
         scheduler,
         config: Optional[SimulationConfig] = None,
         observers: Optional[Sequence[SimulationObserver]] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         self.cluster = cluster
         self.scheduler = scheduler
         self.config = config or SimulationConfig()
+        self._clock: Clock = clock if clock is not None else SimulatedClock()
         self._observers: List[SimulationObserver] = list(observers or [])
         self._jobs: Dict[int, Job] = {}
         self._arrived: Dict[int, bool] = {}
@@ -203,6 +243,15 @@ class Simulator:
         self._down_nodes: set = set()
         #: Jobs evicted by node failures at the event being processed.
         self._evicted_now: List[int] = []
+        #: True while the event being processed applied a ``NODE_DOWN``
+        #: (drives ``repack_requested`` when ``config.repack_on_failure``).
+        self._node_down_now = False
+        # -- online-driver state -------------------------------------------
+        #: Events processed so far (runaway guard; reset by ``_begin``).
+        self._events_processed = 0
+        #: Job ids cancelled through :meth:`online_cancel` before their
+        #: submission event fired; the event is dropped when it surfaces.
+        self._cancelled_pending: set = set()
         #: High-water mark of jobs resident in the engine's tables at once.
         #: In streaming mode this stays O(active jobs); materialized runs
         #: register every spec up front so it equals the workload size.
@@ -247,21 +296,8 @@ class Simulator:
         return self._run_event_loop(first.submit_time)
 
     def _run_event_loop(self, first_submit: float) -> SimulationResult:
-        self._first_submit = first_submit
-        self._now = first_submit
-        self._setup_platform(first_submit)
-        self.scheduler.start(self.cluster, first_submit)
-        for observer in self._observers:
-            observer.on_simulation_start(self.cluster, first_submit)
-
-        events_processed = 0
+        self._begin(first_submit)
         while self._has_active_jobs() or self._pending_submissions > 0:
-            events_processed += 1
-            if events_processed > self.config.max_events:
-                raise SimulationError(
-                    f"exceeded max_events={self.config.max_events}; "
-                    "the scheduler is probably thrashing"
-                )
             next_time = self._next_event_time()
             if math.isinf(next_time):
                 stuck = [job.job_id for job in self._iter_jobs() if job.is_active()]
@@ -270,20 +306,49 @@ class Simulator:
                     "active but no event will ever occur (scheduler left them "
                     "unallocated without requesting a wake-up)"
                 )
-            self._advance_to(next_time)
-            submitted, completed, is_wakeup = self._collect_triggers(next_time)
-            if not self._has_active_jobs() and self._pending_submissions == 0:
-                break
-            decision = self._invoke_scheduler(submitted, completed, is_wakeup)
-            self._apply_decision(decision)
-            for wakeup in decision.wakeups:
-                if wakeup < self._now - 1e-9:
-                    raise SimulationError(
-                        f"scheduler requested a wake-up in the past "
-                        f"({wakeup:.1f} < {self._now:.1f})"
-                    )
-                self._queue.push(Event(max(wakeup, self._now), EventType.SCHEDULER_WAKEUP))
+            # Clock seam: a SimulatedClock returns immediately (the original
+            # discrete-event behaviour, byte for byte); a WallClock sleeps
+            # until real time reaches the simulated instant.  Either way the
+            # event fires at exactly ``next_time`` simulated seconds.
+            self._clock.wait_until(next_time)
+            self._step(next_time)
+        return self._finalize()
 
+    def _begin(self, first_submit: float) -> None:
+        """Initialise a run anchored at the first submission instant."""
+        self._first_submit = first_submit
+        self._now = first_submit
+        self._events_processed = 0
+        self._clock.start(first_submit)
+        self._setup_platform(first_submit)
+        self.scheduler.start(self.cluster, first_submit)
+        for observer in self._observers:
+            observer.on_simulation_start(self.cluster, first_submit)
+
+    def _step(self, next_time: float) -> None:
+        """Process the single simulation event due at ``next_time``."""
+        self._events_processed += 1
+        if self._events_processed > self.config.max_events:
+            raise SimulationError(
+                f"exceeded max_events={self.config.max_events}; "
+                "the scheduler is probably thrashing"
+            )
+        self._advance_to(next_time)
+        submitted, completed, is_wakeup = self._collect_triggers(next_time)
+        if not self._has_active_jobs() and self._pending_submissions == 0:
+            return
+        decision = self._invoke_scheduler(submitted, completed, is_wakeup)
+        self._apply_decision(decision)
+        for wakeup in decision.wakeups:
+            if wakeup < self._now - 1e-9:
+                raise SimulationError(
+                    f"scheduler requested a wake-up in the past "
+                    f"({wakeup:.1f} < {self._now:.1f})"
+                )
+            self._queue.push(Event(max(wakeup, self._now), EventType.SCHEDULER_WAKEUP))
+
+    def _finalize(self) -> SimulationResult:
+        """Close the run and assemble the results."""
         for observer in self._observers:
             observer.on_simulation_end(self._now)
         makespan = self._compute_makespan()
@@ -299,6 +364,128 @@ class Simulator:
             job_stats=self._job_stats,
             scheduler_time_stats=self._scheduler_time_stats,
             scheduler_job_count_stats=self._scheduler_job_count_stats,
+        )
+
+    # -------------------------------------------------------- online driving --
+    # The serve layer (:mod:`repro.serve`) drives the engine one event at a
+    # time instead of through ``run``/``run_stream``: jobs arrive from live
+    # clients, so the set of future submissions is open-ended and the driver
+    # — not the engine — decides when to wait and when to step.  The online
+    # API reuses ``_begin``/``_step``/``_finalize`` unchanged, so scheduling
+    # semantics are identical to the batch paths.
+
+    def online_begin(self, start_time: float) -> None:
+        """Start an open-ended online run at simulated ``start_time``.
+
+        Runs in streaming mode: completed jobs are evicted from every table,
+        so resident state stays O(active jobs) over an unbounded lifetime.
+        """
+        if self.config.legacy_event_loop:
+            raise SimulationError(
+                "online driving requires the O(active jobs) event loop "
+                "(legacy_event_loop=False)"
+            )
+        self._streaming = True
+        self._begin(start_time)
+
+    def online_submit(self, spec: JobSpec) -> None:
+        """Admit one job; ``submit_time`` must be non-decreasing and >= now."""
+        if spec.submit_time < self._now - 1e-9:
+            raise SimulationError(
+                f"online submission of job {spec.job_id} at "
+                f"{spec.submit_time:.3f} is in the engine's past "
+                f"(t={self._now:.3f})"
+            )
+        self._admit_spec(spec)
+
+    def online_now(self) -> float:
+        """Current simulated time of the engine."""
+        return self._now
+
+    def online_next_event_time(self) -> float:
+        """Simulated instant of the next due event, ``+inf`` when idle.
+
+        Unlike the batch loop, ``+inf`` with active jobs is not a deadlock
+        here: a future submission or cancellation can still unblock them, so
+        the online driver waits for external input instead of raising.
+        """
+        if not self._has_active_jobs() and self._pending_submissions == 0:
+            return math.inf
+        return self._next_event_time()
+
+    def online_step(self) -> float:
+        """Process the next due event; returns its time (``+inf`` if idle).
+
+        The caller is responsible for pacing — with a wall clock, call this
+        only once real time has reached the returned instant.
+        """
+        next_time = self.online_next_event_time()
+        if math.isinf(next_time):
+            return next_time
+        self._step(next_time)
+        return next_time
+
+    def online_cancel(self, job_id: int) -> bool:
+        """Cancel a not-yet-completed job; True if anything was removed.
+
+        A running victim releases its nodes immediately; a queued submission
+        is dropped when its event surfaces.  A scheduler wake-up is queued so
+        freed capacity is redistributed at the next step.
+        """
+        job = self._jobs.get(job_id)
+        if job is None:
+            return False
+        if not self._arrived.get(job_id, False):
+            # Submission still queued: mark it; _collect_triggers drops it.
+            self._cancelled_pending.add(job_id)
+            return True
+        if job.state is JobState.COMPLETED:
+            return False
+        if job.state is JobState.RUNNING and job.assignment is not None:
+            self._release_nodes(job.assignment)
+        job.state = JobState.COMPLETED
+        job.assignment = None
+        job.current_yield = 0.0
+        self._deactivate(job_id)
+        del self._jobs[job_id]
+        del self._arrived[job_id]
+        self._seq.pop(job_id, None)
+        self._alloc_version.pop(job_id, None)
+        self._queue.push(Event(self._now, EventType.SCHEDULER_WAKEUP))
+        return True
+
+    def online_finalize(self) -> SimulationResult:
+        """Close the online run and return the results accumulated so far."""
+        return self._finalize()
+
+    def load_snapshot(self) -> EngineLoad:
+        """Summarize the resident active jobs (admission-control input).
+
+        One pass over the active table — O(active jobs), like every other
+        per-event operation.  The oldest pending job is the first PENDING
+        job in submission-spec order.
+        """
+        pending = running = paused = 0
+        total_cpu_need = 0.0
+        oldest_pending: Optional[int] = None
+        for job in self._iter_jobs():
+            if not self._arrived.get(job.job_id, False) or not job.is_active():
+                continue
+            total_cpu_need += job.spec.total_cpu_need
+            if job.state is JobState.PENDING:
+                pending += 1
+                if oldest_pending is None:
+                    oldest_pending = job.job_id
+            elif job.state is JobState.RUNNING:
+                running += 1
+            else:
+                paused += 1
+        return EngineLoad(
+            pending_jobs=pending,
+            running_jobs=running,
+            paused_jobs=paused,
+            total_cpu_need=total_cpu_need,
+            oldest_pending_job_id=oldest_pending,
         )
 
     # --------------------------------------------------------- platform setup --
@@ -587,6 +774,7 @@ class Simulator:
         completed: List[int] = []
         is_wakeup = False
         self._evicted_now = []
+        self._node_down_now = False
         # Completions are detected from job state, not from queued events.
         for job in self._iter_jobs():
             if job.state is JobState.RUNNING and job.remaining_work <= 0.0:
@@ -597,6 +785,17 @@ class Simulator:
             for event in events:
                 if event.event_type is EventType.JOB_SUBMISSION:
                     assert event.job_id is not None
+                    if event.job_id in self._cancelled_pending:
+                        # Online cancel raced the submission: the job was
+                        # withdrawn before it ever arrived, so drop the event
+                        # and its tables without invoking the scheduler.
+                        self._cancelled_pending.discard(event.job_id)
+                        self._pending_submissions -= 1
+                        del self._jobs[event.job_id]
+                        del self._arrived[event.job_id]
+                        self._seq.pop(event.job_id, None)
+                        self._alloc_version.pop(event.job_id, None)
+                        continue
                     self._activate(event.job_id)
                     self._pending_submissions -= 1
                     submitted.append(event.job_id)
@@ -610,6 +809,7 @@ class Simulator:
                 elif event.event_type is EventType.NODE_DOWN:
                     assert event.node is not None
                     self._apply_node_down(event.node)
+                    self._node_down_now = True
                     is_wakeup = True
                     for observer in self._observers:
                         observer.on_node_down(now, event.node)
@@ -706,6 +906,7 @@ class Simulator:
             is_wakeup=is_wakeup,
             down_nodes=frozenset(self._down_nodes),
             evicted=list(self._evicted_now),
+            repack_requested=self.config.repack_on_failure and self._node_down_now,
         )
 
     def _invoke_scheduler(

@@ -48,7 +48,7 @@ class RegistryAudit:
 
 
 def subsystem_audits() -> List[RegistryAudit]:
-    """The five ``kind``-class registries established by PRs 3–5."""
+    """The ``kind``-class registries established by PRs 3–7."""
     return [
         RegistryAudit(
             label="trace source",
@@ -89,6 +89,14 @@ def subsystem_audits() -> List[RegistryAudit]:
             registry_module="repro.platform.events",
             registry_name="_NODE_EVENT_TYPES",
             packages=("repro.platform",),
+        ),
+        RegistryAudit(
+            label="admission policy",
+            base_module="repro.serve.admission",
+            base_name="AdmissionPolicy",
+            registry_module="repro.serve.admission",
+            registry_name="_ADMISSION_POLICY_TYPES",
+            packages=("repro.serve",),
         ),
     ]
 

@@ -52,6 +52,12 @@ class DynMcb8PeriodicScheduler(DynMcb8Scheduler):
         if self._next_tick is None:
             # First event of the run: schedule immediately and start the cycle.
             return True
+        if context.repack_requested:
+            # Engine-requested immediate repack (``repack_on_failure``): a
+            # node just failed, so recover now instead of at the next tick.
+            # The periodic cycle restarts from this event (``_arm_next_tick``
+            # re-arms at ``time + period``).
+            return True
         return context.time + 1e-9 >= self._next_tick
 
     def _arm_next_tick(self, context: SchedulingContext, decision: AllocationDecision) -> None:

@@ -1,0 +1,246 @@
+"""``repro-dfrs serve`` / ``repro-dfrs loadtest`` — the serving commands.
+
+``serve`` runs a live :class:`~repro.serve.service.SchedulerService` behind
+the JSON-lines socket front end until a client sends ``{"op": "shutdown"}``
+(or Ctrl-C).  ``loadtest`` replays a trace through the service layer at a
+configurable acceleration and prints sustained placements/sec, admission
+outcomes, and queue-latency quantiles; ``--bench-json`` writes the same
+numbers as the ``BENCH_serve.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.clock import WallClock
+from ..core.cluster import Cluster
+from ..core.engine import SimulationConfig
+from ..core.penalties import ReschedulingPenaltyModel
+from ..exceptions import ConfigurationError
+from .admission import AdmissionPolicy, admission_policy_from_dict
+from .loadtest import bench_payload, run_loadtest
+from .protocol import ServiceServer
+from .service import SchedulerService
+
+__all__ = ["add_serve_subparsers", "run_serve_command", "run_loadtest_command"]
+
+_DEFAULT_ALGORITHM = "dynmcb8-asap-per-600"
+_DEFAULT_NODES = 64
+
+
+def add_serve_subparsers(subparsers: "argparse._SubParsersAction") -> None:
+    """Wire ``serve`` and ``loadtest`` into the main CLI parser."""
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the scheduler as a live service on a local socket",
+    )
+    serve.add_argument(
+        "--algorithm",
+        default=_DEFAULT_ALGORITHM,
+        help=f"scheduling algorithm to serve (default {_DEFAULT_ALGORITHM})",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=7077, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--admission",
+        default=None,
+        help=(
+            "admission policy spec: inline JSON "
+            "('{\"type\": \"bounded-queue\", \"max_pending\": 32}') or "
+            "@file.json; default accept-all"
+        ),
+    )
+    serve.add_argument(
+        "--acceleration",
+        type=float,
+        default=1.0,
+        help="simulated seconds per wall second (default 1.0 = real time)",
+    )
+
+    loadtest = subparsers.add_parser(
+        "loadtest",
+        help="replay a trace through the service layer and report throughput",
+    )
+    loadtest.add_argument(
+        "--trace",
+        default=None,
+        help=(
+            "trace to replay: SWF file, internal JSON trace, or trace-source "
+            "spec JSON; default is a synthetic Lublin trace"
+        ),
+    )
+    loadtest.add_argument(
+        "--algorithm",
+        default=_DEFAULT_ALGORITHM,
+        help=f"scheduling algorithm under test (default {_DEFAULT_ALGORITHM})",
+    )
+    loadtest.add_argument(
+        "--admission",
+        default=None,
+        help="admission policy spec (inline JSON or @file.json)",
+    )
+    loadtest.add_argument(
+        "--acceleration",
+        type=float,
+        default=None,
+        help=(
+            "simulated seconds per wall second; omit to replay flat out "
+            "(max-throughput mode)"
+        ),
+    )
+    loadtest.add_argument(
+        "--bench-json",
+        default=None,
+        help="write the report as a BENCH_serve.json-style artifact here",
+    )
+
+
+def _parse_admission(text: Optional[str]) -> Optional[AdmissionPolicy]:
+    if text is None:
+        return None
+    if text.startswith("@"):
+        with open(text[1:], "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    else:
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"--admission is neither valid JSON nor an @file: {error}"
+            ) from None
+    return admission_policy_from_dict(payload)
+
+
+def _serve_cluster_config(
+    args: argparse.Namespace,
+) -> Tuple[Cluster, SimulationConfig]:
+    nodes = args.nodes if args.nodes is not None else _DEFAULT_NODES
+    cluster = Cluster(nodes, 4, 8.0)
+    penalty = args.penalty if args.penalty is not None else 0.0
+    config = SimulationConfig(
+        penalty_model=ReschedulingPenaltyModel(penalty),
+        streaming_metrics=True,
+    )
+    return cluster, config
+
+
+async def _serve_async(args: argparse.Namespace) -> int:
+    cluster, config = _serve_cluster_config(args)
+    service = SchedulerService(
+        cluster,
+        args.algorithm,
+        config=config,
+        admission=_parse_admission(args.admission),
+    )
+    await service.start(clock=WallClock(args.acceleration))
+    server = ServiceServer(service, host=args.host, port=args.port)
+    host, port = await server.start()
+    print(
+        f"serving {args.algorithm} on {host}:{port} "
+        f"({cluster.num_nodes} nodes, x{args.acceleration:g} clock); "
+        'send {"op": "shutdown"} to stop'
+    )
+    try:
+        await server.serve_until_shutdown()
+    finally:
+        await server.close()
+        await service.shutdown()
+    snapshot = service.metrics_snapshot()
+    print(
+        f"served {snapshot['accepted']}/{snapshot['submitted']} jobs "
+        f"({snapshot['rejected']} rejected, {snapshot['shed']} shed), "
+        f"{snapshot['placements']} placements, "
+        f"{snapshot['completions']} completions"
+    )
+    return 0
+
+
+def run_serve_command(args: argparse.Namespace) -> int:
+    """Entry point of ``repro-dfrs serve``."""
+    try:
+        return asyncio.run(_serve_async(args))
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+        return 0
+
+
+def _loadtest_source(args: argparse.Namespace) -> Tuple[Any, Cluster]:
+    """Resolve the trace under test and the cluster to replay it on."""
+    if args.trace is not None:
+        # Deferred: repro.cli imports this module at startup; by the time a
+        # command runs, the parent module is fully initialized.
+        from ..cli import _load_trace_source
+
+        source, default_cluster = _load_trace_source(args.trace)
+        if args.nodes is not None:
+            return source, Cluster(args.nodes, 4, 8.0)
+        return source, default_cluster
+    from ..traces.source import LublinTraceSource
+
+    num_jobs = args.num_jobs if args.num_jobs is not None else 10_000
+    seed = args.seed if args.seed is not None else 2010
+    nodes = args.nodes if args.nodes is not None else _DEFAULT_NODES
+    return LublinTraceSource(num_jobs=num_jobs, seed=seed), Cluster(nodes, 4, 8.0)
+
+
+def _format_report(report_dict: Dict[str, Any]) -> str:
+    latency = report_dict["queue_latency"]
+    lines = [
+        f"algorithm            {report_dict['algorithm']}",
+        f"clock                {report_dict['clock']}"
+        + (
+            f" (x{report_dict['acceleration']:g})"
+            if report_dict["acceleration"] is not None
+            else ""
+        ),
+        f"jobs submitted       {report_dict['submitted']}",
+        f"jobs accepted        {report_dict['accepted']}",
+        f"jobs rejected        {report_dict['rejected']}",
+        f"jobs shed            {report_dict['shed']}",
+        f"placements           {report_dict['placements']}",
+        f"completions          {report_dict['completions']}",
+        f"simulated span       {report_dict['sim_seconds']:.1f} s",
+        f"wall time            {report_dict['wall_seconds']:.3f} s",
+        f"placements/sec       {report_dict['placements_per_wall_sec']:.1f}",
+    ]
+    if latency:
+        lines.append(
+            "queue latency        "
+            f"p50 {latency['p50']:.1f} s, p90 {latency['p90']:.1f} s, "
+            f"p99 {latency['p99']:.1f} s, mean {latency['mean']:.1f} s"
+        )
+    return "\n".join(lines)
+
+
+def run_loadtest_command(args: argparse.Namespace) -> int:
+    """Entry point of ``repro-dfrs loadtest``."""
+    source, cluster = _loadtest_source(args)
+    penalty = args.penalty if args.penalty is not None else 0.0
+    config = SimulationConfig(
+        penalty_model=ReschedulingPenaltyModel(penalty),
+        streaming_metrics=True,
+    )
+    report = run_loadtest(
+        cluster,
+        args.algorithm,
+        source,
+        acceleration=args.acceleration,
+        admission=_parse_admission(args.admission),
+        config=config,
+    )
+    print(_format_report(report.to_dict()))
+    if args.bench_json is not None:
+        workload = args.trace if args.trace is not None else "lublin-synthetic"
+        payload = bench_payload(
+            report, workload=workload, nodes=cluster.num_nodes
+        )
+        with open(args.bench_json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.bench_json}")
+    return 0

@@ -1,0 +1,148 @@
+"""Trace-replay load testing for the serving layer.
+
+``repro-dfrs loadtest`` replays any :class:`repro.traces.JobSource` through
+a :class:`~repro.serve.service.SchedulerService` at a configurable
+acceleration (or flat out, under a :class:`~repro.core.clock.SimulatedClock`)
+and reports sustained placements/sec, admission outcomes, and queue-latency
+quantiles — the numbers ``BENCH_serve.json`` tracks across PRs.
+
+:class:`PlacementLogObserver` records every placement action the engine
+applies as a canonical JSON log; the replay-determinism tests byte-compare
+the log of a service replay against the log of a bare ``run_stream`` to pin
+the tentpole guarantee: the serving layer changes *when* decisions are made
+in wall time, never *what* they are in simulated time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..core.allocation import JobAllocation
+from ..core.cluster import Cluster
+from ..core.engine import SimulationConfig
+from ..core.job import JobSpec
+from ..core.observers import SimulationObserver
+from ..metrics import DEFAULT_RELATIVE_ERROR
+from ..traces.source import JobSource
+from .admission import AdmissionPolicy
+from .service import ReplayReport, SchedulerService
+
+__all__ = ["PlacementLogObserver", "run_loadtest", "bench_payload"]
+
+
+class PlacementLogObserver(SimulationObserver):
+    """Append-only log of every placement decision the engine applies.
+
+    Entries are ``[time, action, job_id, nodes, yield]`` rows; node tuples
+    and yields are recorded exactly as applied.  :meth:`to_json_bytes`
+    serialises the whole log canonically (sorted keys, full float repr), so
+    two runs made the same decisions if and only if their logs are equal as
+    byte strings.
+    """
+
+    def __init__(self) -> None:
+        self.entries: List[List[Any]] = []
+
+    def _log(
+        self,
+        time: float,
+        action: str,
+        job_id: int,
+        nodes: Optional[Tuple[int, ...]] = None,
+        yield_value: Optional[float] = None,
+    ) -> None:
+        self.entries.append(
+            [time, action, job_id, list(nodes) if nodes is not None else None, yield_value]
+        )
+
+    def on_job_started(
+        self, time: float, spec: JobSpec, allocation: JobAllocation
+    ) -> None:
+        self._log(time, "start", spec.job_id, allocation.nodes, allocation.yield_value)
+
+    def on_job_resumed(
+        self, time: float, spec: JobSpec, allocation: JobAllocation
+    ) -> None:
+        self._log(time, "resume", spec.job_id, allocation.nodes, allocation.yield_value)
+
+    def on_job_migrated(
+        self,
+        time: float,
+        spec: JobSpec,
+        old_nodes: Tuple[int, ...],
+        allocation: JobAllocation,
+    ) -> None:
+        self._log(time, "migrate", spec.job_id, allocation.nodes, allocation.yield_value)
+
+    def on_yield_changed(
+        self, time: float, spec: JobSpec, old_yield: float, new_yield: float
+    ) -> None:
+        self._log(time, "yield", spec.job_id, None, new_yield)
+
+    def on_job_preempted(self, time: float, spec: JobSpec) -> None:
+        self._log(time, "preempt", spec.job_id)
+
+    def on_job_completed(self, time: float, spec: JobSpec) -> None:
+        self._log(time, "complete", spec.job_id)
+
+    def to_json_bytes(self) -> bytes:
+        """Canonical byte serialisation of the log (for byte-equality pins)."""
+        return json.dumps(self.entries, sort_keys=True).encode("utf-8")
+
+
+def run_loadtest(
+    cluster: Cluster,
+    scheduler: Any,
+    source: JobSource,
+    *,
+    acceleration: Optional[float] = None,
+    admission: Optional[Union[AdmissionPolicy, Mapping[str, Any]]] = None,
+    config: Optional[SimulationConfig] = None,
+    relative_error: float = DEFAULT_RELATIVE_ERROR,
+    keep_result: bool = False,
+) -> ReplayReport:
+    """Replay ``source`` through a fresh service and return the report.
+
+    ``acceleration=None`` is the max-throughput mode (no pacing);
+    ``acceleration=x`` replays at ``x`` simulated seconds per wall second.
+    Streaming metrics are forced on so arbitrarily long traces replay with
+    bounded memory.
+    """
+    engine_config = config or SimulationConfig(
+        streaming_metrics=True, metrics_relative_error=relative_error
+    )
+    service = SchedulerService(
+        cluster,
+        scheduler,
+        config=engine_config,
+        admission=admission,
+        relative_error=relative_error,
+    )
+    return service.replay(
+        source, acceleration=acceleration, keep_result=keep_result
+    )
+
+
+def bench_payload(
+    report: ReplayReport, *, workload: str, nodes: int
+) -> Dict[str, Any]:
+    """Shape one load-test report as a ``BENCH_serve.json`` entry."""
+    return {
+        "benchmark": "serve-loadtest",
+        "workload": workload,
+        "nodes": nodes,
+        "algorithm": report.algorithm,
+        "clock": report.clock,
+        "acceleration": report.acceleration,
+        "jobs_submitted": report.submitted,
+        "jobs_accepted": report.accepted,
+        "jobs_rejected": report.rejected,
+        "jobs_shed": report.shed,
+        "placements": report.placements,
+        "completions": report.completions,
+        "sim_seconds": report.sim_seconds,
+        "wall_seconds": report.wall_seconds,
+        "placements_per_wall_sec": report.placements_per_wall_sec,
+        "queue_latency": dict(report.queue_latency),
+    }

@@ -240,6 +240,22 @@ class TestDictRoundTrip:
         with pytest.raises(ConfigurationError):
             scenario_from_dict(payload)
 
+    def test_repack_on_failure_round_trips(self):
+        scenario = tiny_scenario(repack_on_failure=True)
+        payload = scenario.to_dict()
+        assert payload["engine"]["repack_on_failure"] is True
+        rebuilt = scenario_from_dict(payload)
+        assert rebuilt == scenario
+        assert rebuilt.simulation_config().repack_on_failure is True
+
+    def test_repack_on_failure_default_is_not_serialized(self):
+        # Hash stability: specs written before the flag existed must keep
+        # their digests, so the default False never appears in the payload.
+        payload = tiny_scenario().to_dict()
+        assert "repack_on_failure" not in payload.get("engine", {})
+        rebuilt = scenario_from_dict(payload)
+        assert rebuilt.repack_on_failure is False
+
     def test_scalar_sweep_value_in_spec_rejected(self):
         payload = tiny_scenario().to_dict()
         payload["sweep"] = {"load": 0.5}
@@ -262,6 +278,9 @@ class TestHash:
         )
         assert scenario_hash(tiny_scenario()) != scenario_hash(
             tiny_scenario(legacy_event_loop=True)
+        )
+        assert scenario_hash(tiny_scenario()) != scenario_hash(
+            tiny_scenario(repack_on_failure=True)
         )
 
     def test_hash_equal_for_equal_scenarios(self):

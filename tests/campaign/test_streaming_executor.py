@@ -277,6 +277,80 @@ class TestStreamingExecution:
         assert default.scenario_hash != finer.scenario_hash
 
 
+class TestMergeInstances:
+    """Satellite: ``merge_instances=False`` ships per-instance rows unmerged."""
+
+    def test_one_row_per_instance_algorithm(self):
+        outcome = Campaign(streaming=True, merge_instances=False).run(
+            _scenario(algorithms=("fcfs", "easy"))
+        )
+        # 2 instances x 2 algorithms, real instance indices — the
+        # materialized path's row shape with sketched quantile columns.
+        assert sorted(
+            (row.instance_index, row.algorithm) for row in outcome.rows
+        ) == [(0, "easy"), (0, "fcfs"), (1, "easy"), (1, "fcfs")]
+        for row in outcome.rows:
+            assert row.metric("num_jobs") == 400
+            assert "stretch_p99" in row.metrics
+
+    def test_per_instance_rows_pool_to_the_merged_row(self):
+        scenario = _scenario()
+        merged = Campaign(streaming=True).run(scenario).rows[0]
+        per = Campaign(streaming=True, merge_instances=False).run(scenario)
+        # Exact statistics of the merged row are exactly the pool of the
+        # per-instance rows (max is tracked exactly; counts are sums).
+        assert merged.metric("num_jobs") == sum(
+            row.metric("num_jobs") for row in per.rows
+        )
+        assert merged.metric("max_stretch") == max(
+            row.metric("max_stretch") for row in per.rows
+        )
+
+    def test_per_instance_rows_match_materialized_exact_columns(self):
+        scenario = _scenario()
+        per = Campaign(streaming=True, merge_instances=False).run(scenario)
+        materialized = Campaign().run(scenario)
+        for stream_row, mat_row in zip(per.rows, materialized.rows):
+            assert stream_row.instance_index == mat_row.instance_index
+            assert stream_row.metric("num_jobs") == mat_row.metric("num_jobs")
+            assert stream_row.metric("max_stretch") == mat_row.metric(
+                "max_stretch"
+            )
+
+    def test_modes_never_share_cache_entries(self, tmp_path):
+        scenario = _scenario()
+        merged = Campaign(streaming=True, cache_dir=tmp_path).run(scenario)
+        per = Campaign(
+            streaming=True, cache_dir=tmp_path, merge_instances=False
+        ).run(scenario)
+        assert merged.scenario_hash != per.scenario_hash
+        # Each mode still resumes from its own cache.
+        rerun = Campaign(
+            streaming=True, cache_dir=tmp_path, merge_instances=False
+        ).run(scenario)
+        assert [row.to_dict() for row in rerun.rows] == [
+            row.to_dict() for row in per.rows
+        ]
+
+    def test_json_and_csv_round_trip_per_instance_rows(self, tmp_path):
+        outcome = Campaign(streaming=True, merge_instances=False).run(
+            _scenario()
+        )
+        json_path = tmp_path / "per-instance.json"
+        outcome.to_json(json_path)
+        restored = CampaignResult.from_json(json_path)
+        assert [row.to_dict() for row in restored.rows] == [
+            row.to_dict() for row in outcome.rows
+        ]
+        csv_path = tmp_path / "per-instance.rows.csv"
+        outcome.rows_to_csv(csv_path)
+        rows = CampaignResult.rows_from_csv(csv_path)
+        assert [row.to_dict() for row in rows] == [
+            row.to_dict() for row in outcome.rows
+        ]
+        assert [row.instance_index for row in rows] == [0, 1]
+
+
 class TestStreamingExportRoundTrip:
     """Satellite: JSON/CSV export stays lossless for the new summary rows."""
 

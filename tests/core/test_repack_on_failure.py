@@ -1,0 +1,113 @@
+"""``repack_on_failure``: immediate repack after NODE_DOWN for periodic DFRS.
+
+A periodic scheduler normally leaves failure victims paused until its next
+tick — up to a full period of dead time.  With
+``SimulationConfig(repack_on_failure=True)`` the NODE_DOWN event itself
+requests a repack, so checkpointed victims resume on surviving nodes
+immediately.  These tests pin the recovery-latency win and check that the
+shortcut buys it without extra churn (no additional preemptions or
+migrations) and without changing failure-free runs at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.engine import SimulationConfig, Simulator
+from repro.core.job import JobSpec
+from repro.platform import TraceNodeEventSource
+from repro.schedulers.registry import create_scheduler
+from repro.serve import PlacementLogObserver
+
+#: Two half-node jobs the multi-capacity packer stacks onto node 0, leaving
+#: node 1 empty — the failure then evicts both, and node 1 can host both.
+SPECS = [
+    JobSpec(0, 0.0, 1, 0.5, 0.4, 1000.0),
+    JobSpec(1, 0.0, 1, 0.5, 0.4, 1000.0),
+]
+
+
+def _run(repack, algorithm="dynmcb8-asap-per-600", events=((200.0, 0, "down"),)):
+    config = SimulationConfig(
+        node_events=TraceNodeEventSource(events_list=tuple(events)),
+        failure_policy="migrate",
+        repack_on_failure=repack,
+    )
+    observer = PlacementLogObserver()
+    simulator = Simulator(
+        Cluster(2), create_scheduler(algorithm), config, observers=[observer]
+    )
+    result = simulator.run(list(SPECS))
+    return result, observer.entries
+
+
+def _actions(entries, action):
+    return [entry for entry in entries if entry[1] == action]
+
+
+class TestRecoveryLatency:
+    def test_without_repack_victims_wait_for_the_next_tick(self):
+        result, entries = _run(repack=False)
+        resumes = _actions(entries, "resume")
+        # Node 0 dies at t=200; the period-600 scheduler only repacks at its
+        # next tick, so both victims sit checkpointed for 400 seconds.
+        assert [entry[0] for entry in resumes] == [600.0, 600.0]
+        assert {record.completion_time for record in result.jobs} == {1400.0}
+
+    def test_with_repack_victims_resume_at_the_failure(self):
+        result, entries = _run(repack=True)
+        resumes = _actions(entries, "resume")
+        assert [entry[0] for entry in resumes] == [200.0, 200.0]
+        # Checkpointing kept the 200 s of progress: 1000 s total work ends
+        # at exactly t=1000 — the 400 s tick wait is gone.
+        assert {record.completion_time for record in result.jobs} == {1000.0}
+
+    def test_repack_does_not_add_churn(self):
+        baseline, baseline_entries = _run(repack=False)
+        repacked, repacked_entries = _run(repack=True)
+        # Same eviction, same number of recovery placements — the shortcut
+        # changes *when* the repack happens, not how much work it does.
+        assert repacked.costs.preemption_count == baseline.costs.preemption_count
+        assert repacked.costs.migration_count == baseline.costs.migration_count
+        assert len(_actions(repacked_entries, "resume")) == len(
+            _actions(baseline_entries, "resume")
+        )
+        assert repacked.costs.node_failures == baseline.costs.node_failures == 1
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["dynmcb8-per-600", "dynmcb8-asap-per-600", "dynmcb8-stretch-per-600"],
+    )
+    def test_every_periodic_variant_recovers_immediately(self, algorithm):
+        slow, _ = _run(repack=False, algorithm=algorithm)
+        fast, entries = _run(repack=True, algorithm=algorithm)
+        assert min(entry[0] for entry in _actions(entries, "resume")) == 200.0
+        assert max(record.completion_time for record in fast.jobs) < max(
+            record.completion_time for record in slow.jobs
+        )
+
+
+class TestNoBehaviorChangeWithoutFailures:
+    @pytest.mark.parametrize("algorithm", ["dynmcb8-asap-per-600", "greedy-pmtn-migr"])
+    def test_failure_free_runs_are_byte_identical(self, algorithm):
+        def run(repack):
+            config = SimulationConfig(repack_on_failure=repack)
+            observer = PlacementLogObserver()
+            simulator = Simulator(
+                Cluster(2),
+                create_scheduler(algorithm),
+                config,
+                observers=[observer],
+            )
+            simulator.run(list(SPECS))
+            return observer.to_json_bytes()
+
+        assert run(True) == run(False)
+
+    def test_event_driven_scheduler_is_unaffected_by_the_flag(self):
+        # greedy-pmtn-migr already reacts to NODE_DOWN on its own; the flag
+        # must not change its decisions.
+        base, base_entries = _run(repack=False, algorithm="greedy-pmtn-migr")
+        flagged, flagged_entries = _run(repack=True, algorithm="greedy-pmtn-migr")
+        assert flagged_entries == base_entries

@@ -49,6 +49,14 @@ from repro.schedulers.registry import (
     available_algorithms,
     create_scheduler,
 )
+from repro.serve import (
+    AcceptAllPolicy,
+    BoundedQueuePolicy,
+    LoadThresholdPolicy,
+    TokenBucketPolicy,
+    admission_policy_from_dict,
+    available_admission_policies,
+)
 from repro.traces import (
     ConcatTraceSource,
     DiurnalPoissonTraceSource,
@@ -170,6 +178,15 @@ def node_event_source_exemplars(node_events_path):
     }
 
 
+def admission_policy_exemplars():
+    return {
+        "accept-all": AcceptAllPolicy(),
+        "bounded-queue": BoundedQueuePolicy(max_pending=32, mode="shed"),
+        "load-threshold": LoadThresholdPolicy(max_load=1.5),
+        "token-bucket": TokenBucketPolicy(rate=2.0, burst=16.0),
+    }
+
+
 def assert_registry_round_trips(exemplars, available, from_dict, label):
     assert set(exemplars) == set(available()), (
         f"{label}: exemplar set out of date — update this test when the "
@@ -225,6 +242,15 @@ def test_node_event_source_registry_round_trips(node_events_path):
     )
 
 
+def test_admission_policy_registry_round_trips():
+    assert_registry_round_trips(
+        admission_policy_exemplars(),
+        available_admission_policies,
+        admission_policy_from_dict,
+        "admission policy",
+    )
+
+
 def test_no_dangling_scheduler_names():
     names = available_algorithms()
     assert names == sorted(names)
@@ -253,6 +279,7 @@ def test_audit_covers_every_kind_registry():
         "accumulator",
         "platform",
         "node event source",
+        "admission policy",
     }
 
 

@@ -1,0 +1,199 @@
+"""Admission policies: decision semantics and spec round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.job import JobSpec
+from repro.exceptions import ConfigurationError
+from repro.serve import (
+    AcceptAllPolicy,
+    BoundedQueuePolicy,
+    LoadThresholdPolicy,
+    ServiceLoad,
+    TokenBucketPolicy,
+    admission_policy_from_dict,
+    available_admission_policies,
+)
+
+
+def _spec(job_id=0, submit=0.0):
+    return JobSpec(job_id, submit, 1, 0.5, 0.2, 100.0)
+
+
+def _load(
+    time=0.0,
+    pending=0,
+    running=0,
+    offered=0.0,
+    oldest=None,
+):
+    return ServiceLoad(
+        time=time,
+        pending_jobs=pending,
+        running_jobs=running,
+        active_jobs=pending + running,
+        offered_cpu_load=offered,
+        oldest_pending_job_id=oldest,
+    )
+
+
+class TestAcceptAll:
+    def test_accepts_everything(self):
+        policy = AcceptAllPolicy()
+        decision = policy.admit(_spec(), _load(pending=10_000, offered=99.0))
+        assert decision.accepted
+        assert decision.reason == ""
+        assert decision.shed_job_ids == ()
+
+
+class TestBoundedQueue:
+    def test_admits_below_the_cap(self):
+        policy = BoundedQueuePolicy(max_pending=4)
+        assert policy.admit(_spec(), _load(pending=3)).accepted
+
+    def test_reject_mode_turns_arrivals_away_at_the_cap(self):
+        policy = BoundedQueuePolicy(max_pending=4, mode="reject")
+        decision = policy.admit(_spec(), _load(pending=4, oldest=7))
+        assert not decision.accepted
+        assert decision.reason == "queue-full"
+        assert decision.shed_job_ids == ()
+
+    def test_shed_mode_displaces_the_oldest_pending_job(self):
+        policy = BoundedQueuePolicy(max_pending=4, mode="shed")
+        decision = policy.admit(_spec(99), _load(pending=4, oldest=7))
+        assert decision.accepted
+        assert decision.reason == "shed-oldest"
+        assert decision.shed_job_ids == (7,)
+
+    def test_shed_mode_with_no_victim_still_admits(self):
+        policy = BoundedQueuePolicy(max_pending=4, mode="shed")
+        decision = policy.admit(_spec(), _load(pending=4, oldest=None))
+        assert decision.accepted
+        assert decision.shed_job_ids == ()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="max_pending"):
+            BoundedQueuePolicy(max_pending=0)
+        with pytest.raises(ConfigurationError, match="mode"):
+            BoundedQueuePolicy(mode="drop-newest")
+
+
+class TestLoadThreshold:
+    def test_admits_below_the_threshold(self):
+        policy = LoadThresholdPolicy(max_load=1.0)
+        assert policy.admit(_spec(), _load(offered=0.99)).accepted
+
+    def test_rejects_at_and_above_the_threshold(self):
+        policy = LoadThresholdPolicy(max_load=1.0)
+        for offered in (1.0, 3.7):
+            decision = policy.admit(_spec(), _load(offered=offered))
+            assert not decision.accepted
+            assert decision.reason == "overload"
+
+    def test_validation(self):
+        for bad in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(ConfigurationError, match="max_load"):
+                LoadThresholdPolicy(max_load=bad)
+
+
+class TestTokenBucket:
+    def test_burst_then_rate_limited(self):
+        policy = TokenBucketPolicy(rate=1.0, burst=2.0)
+        assert policy.admit(_spec(0), _load(time=0.0)).accepted
+        assert policy.admit(_spec(1), _load(time=0.0)).accepted
+        decision = policy.admit(_spec(2), _load(time=0.0))
+        assert not decision.accepted
+        assert decision.reason == "rate-limited"
+
+    def test_refills_over_simulated_time(self):
+        policy = TokenBucketPolicy(rate=1.0, burst=2.0)
+        for job_id in range(3):
+            policy.admit(_spec(job_id), _load(time=0.0))
+        # One simulated second refills one token.
+        assert policy.admit(_spec(3), _load(time=1.0)).accepted
+        assert not policy.admit(_spec(4), _load(time=1.0)).accepted
+
+    def test_refill_caps_at_burst(self):
+        policy = TokenBucketPolicy(rate=10.0, burst=2.0)
+        policy.admit(_spec(0), _load(time=0.0))
+        # An hour-long gap refills to the burst cap, not rate x gap.
+        assert policy.admit(_spec(1), _load(time=3600.0)).accepted
+        assert policy.admit(_spec(2), _load(time=3600.0)).accepted
+        assert not policy.admit(_spec(3), _load(time=3600.0)).accepted
+
+    def test_reset_makes_replays_deterministic(self):
+        policy = TokenBucketPolicy(rate=1.0, burst=3.0)
+
+        def run():
+            policy.reset()
+            return [
+                policy.admit(_spec(i), _load(time=float(i) * 0.1)).accepted
+                for i in range(8)
+            ]
+
+        assert run() == run()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="rate"):
+            TokenBucketPolicy(rate=0.0)
+        with pytest.raises(ConfigurationError, match="burst"):
+            TokenBucketPolicy(burst=0.5)
+
+
+#: Option grids for the spec round-trip property test — every combination of
+#: every registered type must survive to_dict -> from_dict -> to_dict.
+_OPTION_GRIDS = {
+    "accept-all": [{}],
+    "bounded-queue": [
+        {"max_pending": pending, "mode": mode}
+        for pending in (1, 64, 4096)
+        for mode in ("reject", "shed")
+    ],
+    "load-threshold": [{"max_load": load} for load in (0.25, 1.0, 8.0)],
+    "token-bucket": [
+        {"rate": rate, "burst": burst}
+        for rate in (0.1, 1.0, 1000.0)
+        for burst in (1.0, 10.0)
+    ],
+}
+
+
+class TestSpecRoundTrip:
+    def test_grid_covers_every_registered_type(self):
+        assert set(_OPTION_GRIDS) == set(available_admission_policies())
+
+    @pytest.mark.parametrize(
+        "kind,options",
+        [
+            (kind, options)
+            for kind, grid in sorted(_OPTION_GRIDS.items())
+            for options in grid
+        ],
+    )
+    def test_round_trips(self, kind, options):
+        policy = admission_policy_from_dict({"type": kind, **options})
+        spec = policy.to_dict()
+        assert spec["type"] == kind
+        for key, value in options.items():
+            assert spec[key] == value
+        rebuilt = admission_policy_from_dict(spec)
+        assert rebuilt.to_dict() == spec
+        assert json.loads(json.dumps(spec)) == spec
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="'type'"):
+            admission_policy_from_dict({"max_pending": 4})
+
+    def test_unknown_type_lists_known_types(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            admission_policy_from_dict({"type": "admit-vips-first"})
+        message = str(excinfo.value)
+        for kind in available_admission_policies():
+            assert kind in message
+
+    def test_bad_options_rejected(self):
+        with pytest.raises(ConfigurationError, match="invalid options"):
+            admission_policy_from_dict({"type": "accept-all", "max_pending": 4})

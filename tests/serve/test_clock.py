@@ -1,0 +1,91 @@
+"""The clock seam: SimulatedClock semantics and WallClock pacing."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.clock import Clock, SimulatedClock, WallClock
+from repro.exceptions import SimulationError
+
+
+class TestSimulatedClock:
+    def test_kind(self):
+        assert SimulatedClock.kind == "simulated"
+
+    def test_starts_at_origin(self):
+        clock = SimulatedClock()
+        assert clock.now() == 0.0
+        clock.start(1234.5)
+        assert clock.now() == 1234.5
+
+    def test_wait_until_jumps_forward(self):
+        clock = SimulatedClock()
+        clock.start(100.0)
+        clock.wait_until(250.0)
+        assert clock.now() == 250.0
+
+    def test_wait_until_never_goes_backwards(self):
+        clock = SimulatedClock()
+        clock.start(100.0)
+        clock.wait_until(50.0)
+        assert clock.now() == 100.0
+
+    def test_waiting_is_free(self):
+        clock = SimulatedClock()
+        clock.start(0.0)
+        assert clock.wall_seconds_until(1e12) == 0.0
+        before = time.perf_counter()
+        clock.wait_until(1e12)  # a ~32k-year simulated gap, instantly
+        assert time.perf_counter() - before < 1.0
+        assert clock.now() == 1e12
+
+
+class TestWallClock:
+    def test_kind(self):
+        assert WallClock.kind == "wall"
+
+    @pytest.mark.parametrize("acceleration", [0.0, -1.0, float("inf"), float("nan")])
+    def test_invalid_acceleration_rejected(self, acceleration):
+        with pytest.raises(SimulationError, match="acceleration"):
+            WallClock(acceleration)
+
+    def test_reads_origin_before_start(self):
+        clock = WallClock(10.0)
+        assert clock.now() == 0.0
+
+    def test_now_advances_with_wall_time(self):
+        clock = WallClock(1000.0)
+        clock.start(500.0)
+        first = clock.now()
+        time.sleep(0.01)
+        second = clock.now()
+        assert second > first >= 500.0
+        # 10 ms of wall time is 10 simulated seconds at x1000 — bounded
+        # loosely so a loaded CI machine cannot flake it.
+        assert second - first >= 5.0
+
+    def test_wall_seconds_until_scales_with_acceleration(self):
+        clock = WallClock(100.0)
+        clock.start(0.0)
+        # 50 simulated seconds at x100 is at most 0.5 wall seconds.
+        assert 0.0 < clock.wall_seconds_until(50.0) <= 0.5
+
+    def test_wall_seconds_until_past_deadline_is_zero(self):
+        clock = WallClock(1.0)
+        clock.start(1000.0)
+        assert clock.wall_seconds_until(10.0) == 0.0
+
+    def test_wait_until_blocks_until_deadline(self):
+        clock = WallClock(1000.0)
+        clock.start(0.0)
+        before = time.perf_counter()
+        clock.wait_until(20.0)  # 20 simulated seconds = 20 ms of wall time
+        elapsed = time.perf_counter() - before
+        assert clock.now() >= 20.0
+        assert elapsed < 5.0  # sanity: accelerated, not real-time
+
+    def test_is_a_clock(self):
+        assert issubclass(WallClock, Clock)
+        assert issubclass(SimulatedClock, Clock)
