@@ -178,6 +178,9 @@ class CostCollector(MetricCollector):
             # checkpointed ("migrate") victims show up in the pmtn columns.
             "node_failures": result.costs.node_failures,
             "failure_job_kills": result.costs.failure_job_kills,
+            # Overhead-model charges (zero without an overhead model).
+            "overhead_events": result.costs.overhead_events,
+            "overhead_seconds": result.costs.overhead_seconds,
         }
 
     def stream_partials(self, result: SimulationResult) -> Dict[str, Accumulator]:
@@ -191,6 +194,8 @@ class CostCollector(MetricCollector):
             "migr_gb": tally(result.costs.migration_gb),
             "node_failures": tally(result.costs.node_failures),
             "failure_job_kills": tally(result.costs.failure_job_kills),
+            "overhead_events": tally(result.costs.overhead_events),
+            "overhead_seconds": tally(result.costs.overhead_seconds),
             "jobs": tally(result.num_jobs),
             "seconds": tally(result.makespan),
         }
@@ -208,6 +213,8 @@ class CostCollector(MetricCollector):
             "migr_per_job": merged["migr_count"].total / jobs,
             "node_failures": int(merged["node_failures"].total),
             "failure_job_kills": int(merged["failure_job_kills"].total),
+            "overhead_events": int(merged["overhead_events"].total),
+            "overhead_seconds": merged["overhead_seconds"].total,
         }
 
 
@@ -277,10 +284,19 @@ class UtilizationCollector(MetricCollector):
     Needs the ``utilization`` recorder.  The power-model watts are collector
     options so that scenarios can carry a non-default
     :class:`~repro.analysis.energy.NodePowerModel` declaratively.
+
+    In streaming campaigns the collector ships the engine's time-decayed
+    busy-node accumulator (a :class:`~repro.metrics.TimeWeightedValue`, fed
+    at every event advance) instead of the full utilization trace: the
+    busy-node integral, mean, and peak are **exact**, and the energy model is
+    re-derived from the pooled node-second totals.  Only
+    ``mean_cpu_allocated`` is unavailable — it needs the per-allocation CPU
+    trace, which bounded memory cannot keep.
     """
 
     name = "utilization"
     recorders = ("utilization",)
+    streaming_capable = True
 
     def __init__(
         self,
@@ -336,7 +352,71 @@ class UtilizationCollector(MetricCollector):
             "jain_stretch": fairness.jain_stretch,
             "gini_stretch": fairness.gini_stretch,
             "p95_stretch": fairness.p95_stretch,
+            # Energy under the platform's own per-node-class power draw (0.0
+            # unless the platform declares node watts) — distinct from the
+            # collector's idealized NodePowerModel columns above.
+            "platform_energy_joules": result.energy_joules,
         }
+
+    def stream_partials(self, result: SimulationResult) -> Dict[str, Accumulator]:
+        job_stats = self._require_job_stats(result)
+        busy = result.busy_node_stats
+        if busy is None:
+            raise ConfigurationError(
+                f"collector {self.name!r} needs the engine's busy-node "
+                "accumulator (SimulationConfig(streaming_metrics=True)) to "
+                "build partials"
+            )
+        def tally(value: float) -> SumAccumulator:
+            return SumAccumulator(total=float(value), n=1)
+
+        return {
+            "busy": busy,
+            "node_seconds": tally(result.cluster.num_nodes * result.makespan),
+            "platform_energy": tally(result.energy_joules),
+            "jobs": job_stats,
+        }
+
+    def stream_finalize(self, merged: Mapping[str, Any]) -> Dict[str, Any]:
+        from ..analysis.energy import NodePowerModel
+        from ..analysis.fairness import streaming_stretch_fairness
+
+        options = {
+            key: value
+            for key, value in (
+                ("busy_watts", self.busy_watts),
+                ("idle_watts", self.idle_watts),
+                ("off_watts", self.off_watts),
+            )
+            if value is not None
+        }
+        model = NodePowerModel(**options)
+        busy = merged["busy"]
+        total_node_seconds = merged["node_seconds"].total
+        busy_node_seconds = min(busy.integral, total_node_seconds)
+        idle_node_seconds = total_node_seconds - busy_node_seconds
+        always_on = (
+            busy_node_seconds * model.busy_watts
+            + idle_node_seconds * model.idle_watts
+        )
+        power_down = (
+            busy_node_seconds * model.busy_watts
+            + idle_node_seconds * model.off_watts
+        )
+        savings = (always_on - power_down) / always_on if always_on > 0 else 0.0
+        row: Dict[str, Any] = {
+            "mean_busy_nodes": busy.mean,
+            "peak_busy_nodes": busy.maximum if busy.n else 0.0,
+            "energy_duration_seconds": busy.duration,
+            "energy_busy_node_seconds": busy_node_seconds,
+            "energy_idle_node_seconds": idle_node_seconds,
+            "energy_always_on_joules": always_on,
+            "energy_power_down_joules": power_down,
+            "energy_savings_fraction": savings,
+        }
+        row.update(streaming_stretch_fairness(merged["jobs"]))
+        row["platform_energy_joules"] = merged["platform_energy"].total
+        return row
 
 
 _COLLECTOR_FACTORIES: Dict[str, Callable[..., MetricCollector]] = {

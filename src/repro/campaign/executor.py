@@ -68,10 +68,10 @@ __all__ = ["Campaign", "export_campaign_artifacts"]
 _LOGGER = logging.getLogger(__name__)
 
 #: On-disk run-cache payload format.  Bumped whenever a collector's output
-#: shape changes (e.g. the ``costs`` failure columns of the platform seam),
+#: shape changes (e.g. the ``costs`` overhead columns of the models seam),
 #: so resumed campaigns never mix rows with inconsistent metric columns;
 #: caches with another format are ignored and regenerated.
-_CACHE_FORMAT = 2
+_CACHE_FORMAT = 3
 
 #: One unit of pool work: everything a worker needs to simulate and measure.
 _RunTask = Tuple[Workload, str, SimulationConfig, Tuple[CollectorSpec, ...]]
@@ -335,6 +335,7 @@ class Campaign:
         cached, num_instances, cell_counts = self._load_cache(digest)
         cells = scenario.expand()
         templated = scenario.has_platform_template
+        models_templated = scenario.has_models_template
         simulation_config = scenario.simulation_config()
 
         raw_cache: Dict[Cluster, List[Workload]] = {}
@@ -374,10 +375,17 @@ class Campaign:
             params = cell.params_dict()
             load = params.get("load")
             algorithms = scenario.resolved_algorithms(params)
+            # Sweep-templated models make the engine config (but not the
+            # cluster or the workloads) a per-cell quantity.
+            cell_models = (
+                scenario.resolved_models(params) if models_templated else None
+            )
             if templated:
                 cell_platform = scenario.resolved_platform(params)
                 cell_cluster = cell_platform.build_cluster()
-                cell_config = scenario.simulation_config(platform=cell_platform)
+                cell_config = scenario.simulation_config(
+                    platform=cell_platform, models=cell_models
+                )
                 # The cached per-cell count lets a fully cached rerun skip
                 # workload generation, mirroring num_instances on the
                 # single-cluster path.
@@ -387,7 +395,10 @@ class Campaign:
                 cell_counts[str(cell.index)] = cell_instances
             else:
                 cell_cluster = scenario.cluster
-                cell_config = simulation_config
+                if models_templated:
+                    cell_config = scenario.simulation_config(models=cell_models)
+                else:
+                    cell_config = simulation_config
                 cell_instances = num_instances
 
             pending: List[_RunTask] = []
@@ -536,6 +547,21 @@ class Campaign:
             streaming_metrics=True,
             metrics_relative_error=self.metrics_relative_error,
         )
+        models_templated = scenario.has_models_template
+
+        def config_for(params: Mapping[str, Any]) -> SimulationConfig:
+            # Sweep-templated models resolve per cell; the cluster and the
+            # streaming sources are unaffected, so only the engine config
+            # needs rebuilding.
+            if not models_templated:
+                return simulation_config
+            return dataclasses_replace(
+                scenario.simulation_config(
+                    models=scenario.resolved_models(params)
+                ),
+                streaming_metrics=True,
+                metrics_relative_error=self.metrics_relative_error,
+            )
 
         # Offered load is a per-instance constant: measure it lazily, once
         # per instance, with a single O(1)-memory pass — not once per
@@ -581,7 +607,7 @@ class Campaign:
 
         if not self.merge_instances:
             return self._run_streaming_per_instance(
-                scenario, digest, cached, cells, simulation_config,
+                scenario, digest, cached, cells, config_for,
                 sources, collectors, check_order_once, rescale_factor,
             )
 
@@ -590,6 +616,7 @@ class Campaign:
             params = cell.params_dict()
             load = params.get("load")
             algorithms = scenario.resolved_algorithms(params)
+            cell_config = config_for(params)
 
             pending: List[_StreamTask] = []
             pending_algorithms: List[str] = []
@@ -603,7 +630,7 @@ class Campaign:
                             source,
                             scenario.cluster,
                             algorithm,
-                            simulation_config,
+                            cell_config,
                             scenario.collectors,
                             rescale_factor(instance, load),
                         )
@@ -675,7 +702,7 @@ class Campaign:
         digest: str,
         cached: Dict[str, Dict[str, Any]],
         cells: Sequence[Any],
-        simulation_config: SimulationConfig,
+        config_for: Any,
         sources: Sequence[Any],
         collectors: Sequence[Any],
         check_order_once: Any,
@@ -692,6 +719,7 @@ class Campaign:
             params = cell.params_dict()
             load = params.get("load")
             algorithms = scenario.resolved_algorithms(params)
+            cell_config = config_for(params)
 
             pending: List[_StreamTask] = []
             pending_keys: List[str] = []
@@ -707,7 +735,7 @@ class Campaign:
                             source,
                             scenario.cluster,
                             algorithm,
-                            simulation_config,
+                            cell_config,
                             scenario.collectors,
                             rescale_factor(instance, load),
                         )

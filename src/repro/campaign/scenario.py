@@ -629,6 +629,15 @@ class Scenario:
     #: failure MTBF or a node-class count); the executor then resolves one
     #: platform per cell.
     platform: Any = None
+    #: Optional fidelity-model block: a mapping with ``"overhead"`` (an
+    #: :class:`repro.models.OverheadModel` or its spec) and/or
+    #: ``"execution_time"`` (an :class:`repro.models.ExecutionTimeModel` or
+    #: its spec).  ``{axis}`` placeholders make the models a per-cell
+    #: quantity, exactly like the platform block.  Default models
+    #: (``none`` / ``exact``) are demoted to ``None`` so a scenario carrying
+    #: them is byte-identical — spec, hash, cache keys — to one without a
+    #: ``models`` block.
+    models: Any = None
 
     def __post_init__(self) -> None:
         # Names end up in cache keys and exported file names.
@@ -669,6 +678,7 @@ class Scenario:
             tuple(CollectorSpec.of(spec) for spec in self.collectors),
         )
         self._init_platform()
+        self._init_models()
 
     def _init_platform(self) -> None:
         """Normalise the ``platform`` field and derive the cluster from it.
@@ -734,19 +744,151 @@ class Scenario:
         homogeneous *is* the legacy cluster path; dropping the platform field
         makes the scenario — spec dictionary, hash, cache keys, artifact
         names — byte-identical to one built with ``cluster=...`` directly.
+        A platform declaring per-class power draw is never demoted: the
+        power vectors (and the node-class names energy reports key on) only
+        reach the engine through the platform.
         """
         built = resolved.build_cluster()
-        if resolved.events is None and not built.is_heterogeneous:
+        if (
+            resolved.events is None
+            and not built.is_heterogeneous
+            and resolved.power_vectors() is None
+        ):
             object.__setattr__(self, "platform", None)
             object.__setattr__(self, "_static_platform", None)
             object.__setattr__(self, "cluster", built)
             return True
         return False
 
+    def _init_models(self) -> None:
+        """Normalise the ``models`` field into its canonical spec form.
+
+        Mirrors ``_init_platform``: ``_static_models`` caches the resolved
+        ``(overhead_model, execution_time_model)`` pair when the spec has no
+        ``{axis}`` templates; a templated spec is validated by resolving it
+        with the first value of each referenced axis, and ``_static_models``
+        stays ``None``.  Default models (``none`` / ``exact``) are demoted,
+        and a block carrying only defaults is dropped entirely, pinning the
+        scenario byte-identical to a model-free one.
+        """
+        models = self.models
+        if models is None:
+            object.__setattr__(self, "_static_models", None)
+            return
+        from ..models import ExecutionTimeModel, OverheadModel
+
+        if not isinstance(models, Mapping):
+            raise ConfigurationError(
+                "models must be a mapping with 'overhead' and/or "
+                f"'execution_time' entries, got {type(models).__name__}"
+            )
+        spec = dict(models)
+        unknown = set(spec) - {"overhead", "execution_time"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown models spec fields: {', '.join(sorted(unknown))} "
+                "(known: overhead, execution_time)"
+            )
+        # Model objects are coerced to their canonical spec form so the
+        # scenario stays pure data (serialisable, stably hashable).
+        overhead = spec.get("overhead")
+        if isinstance(overhead, OverheadModel):
+            spec["overhead"] = overhead.to_dict()
+        execution = spec.get("execution_time")
+        if isinstance(execution, ExecutionTimeModel):
+            spec["execution_time"] = execution.to_dict()
+        referenced = _platform_template_axes(spec)
+        axes = {axis for axis, _ in self.sweep}
+        missing = referenced - axes
+        if missing:
+            raise ConfigurationError(
+                f"models spec references sweep axes that do not exist: "
+                f"{', '.join(sorted(missing))}"
+            )
+        if referenced:
+            # Validate the template eagerly with a representative cell so
+            # bad specs fail at build time, not mid-campaign; the executor
+            # resolves per cell regardless.
+            first = {axis: values[0] for axis, values in self.sweep}
+            self._build_models(_substitute_templates(spec, first))
+            object.__setattr__(self, "models", spec)
+            object.__setattr__(self, "_static_models", None)
+            return
+        built = self._build_models(spec)
+        if built == (None, None):
+            object.__setattr__(self, "models", None)
+            object.__setattr__(self, "_static_models", None)
+            return
+        canonical: Dict[str, Any] = {}
+        overhead_model, execution_model = built
+        if overhead_model is not None:
+            canonical["overhead"] = overhead_model.to_dict()
+        if execution_model is not None:
+            canonical["execution_time"] = execution_model.to_dict()
+        object.__setattr__(self, "models", canonical)
+        object.__setattr__(self, "_static_models", built)
+
+    @staticmethod
+    def _build_models(spec: Mapping[str, Any]) -> Tuple[Any, Any]:
+        """Build the ``(overhead, execution_time)`` models of one cell.
+
+        Default models (``none`` / ``exact``) come back as ``None`` — the
+        engine's byte-identical fast path.
+        """
+        from ..models import (
+            execution_time_model_from_dict,
+            overhead_model_from_dict,
+        )
+
+        overhead_spec = spec.get("overhead")
+        overhead_model = None
+        if overhead_spec is not None:
+            if not isinstance(overhead_spec, Mapping):
+                raise ConfigurationError(
+                    "models 'overhead' must be an overhead-model spec "
+                    f"mapping, got {type(overhead_spec).__name__}"
+                )
+            overhead_model = overhead_model_from_dict(overhead_spec)
+            if overhead_model.kind == "none":
+                overhead_model = None
+        execution_spec = spec.get("execution_time")
+        execution_model = None
+        if execution_spec is not None:
+            if not isinstance(execution_spec, Mapping):
+                raise ConfigurationError(
+                    "models 'execution_time' must be an execution-time "
+                    f"model spec mapping, got {type(execution_spec).__name__}"
+                )
+            execution_model = execution_time_model_from_dict(execution_spec)
+            if execution_model.kind == "exact":
+                execution_model = None
+        return (overhead_model, execution_model)
+
     @property
     def has_platform_template(self) -> bool:
         """True when the platform spec varies with the sweep cell."""
         return self.platform is not None and self._static_platform is None
+
+    @property
+    def has_models_template(self) -> bool:
+        """True when the models spec varies with the sweep cell."""
+        return self.models is not None and self._static_models is None
+
+    def resolved_models(self, params: Mapping[str, Any] = ()) -> Tuple[Any, Any]:
+        """The ``(overhead, execution_time)`` models of one cell.
+
+        Static models (no templates) resolve to the same pair for every
+        cell; templated specs are filled with the cell parameters and built
+        through the model registries.  Either element is ``None`` when the
+        cell uses the engine's default.
+        """
+        if self.models is None:
+            return (None, None)
+        if self._static_models is not None:
+            return self._static_models
+        return self._build_models(
+            _substitute_templates(self.models, dict(params))
+        )
 
     def resolved_platform(self, params: Mapping[str, Any] = ()) -> Optional[Any]:
         """The platform of the cell with parameters ``params`` (or ``None``).
@@ -800,21 +942,41 @@ class Scenario:
                 names.setdefault(template, None)
         return list(names)
 
-    def simulation_config(self, platform: Optional[Any] = None) -> SimulationConfig:
+    def simulation_config(
+        self,
+        platform: Optional[Any] = None,
+        models: Optional[Tuple[Any, Any]] = None,
+    ) -> SimulationConfig:
         """Engine configuration for one run of this scenario.
 
         ``platform`` is the cell's resolved platform when the scenario's
         platform spec is sweep-templated; by default the scenario's static
         platform (if any) supplies the node availability events and failure
-        policy.  Scenarios without a platform get the exact configuration of
-        previous releases.
+        policy.  ``models`` is the cell's resolved ``(overhead,
+        execution_time)`` pair when the models block is templated; static
+        models apply by default.  Scenarios without a platform or models get
+        the exact configuration of previous releases.
         """
         if platform is None:
             platform = self._static_platform
+        if models is None:
+            models = self._static_models or (None, None)
         extra: Dict[str, Any] = {}
         if platform is not None and platform.events is not None:
             extra["node_events"] = platform.events
             extra["failure_policy"] = platform.failure_policy
+        if platform is not None:
+            class_names = platform.node_class_names()
+            if class_names is not None:
+                extra["node_class_names"] = class_names
+            power = platform.power_vectors()
+            if power is not None:
+                extra["node_power"] = power
+        overhead_model, execution_model = models
+        if overhead_model is not None:
+            extra["overhead_model"] = overhead_model
+        if execution_model is not None:
+            extra["execution_time_model"] = execution_model
         return SimulationConfig(
             penalty_model=ReschedulingPenaltyModel(self.penalty_seconds),
             record_scheduler_times=self.record_scheduler_times,
@@ -859,6 +1021,11 @@ class Scenario:
 
                 template["events"] = node_event_source_from_dict(events).to_dict()
             data["platform"] = template
+        # The models block is emitted only when it survived demotion — a
+        # defaults-only block was dropped in ``_init_models``, keeping
+        # model-free scenario hashes unchanged.
+        if self.models is not None:
+            data["models"] = copy.deepcopy(self.models)
         data.update(
             {
                 "algorithms": list(self.algorithms),
@@ -887,7 +1054,7 @@ def scenario_from_dict(data: Mapping[str, Any]) -> Scenario:
     payload = dict(data)
     unknown = set(payload) - {
         "name", "source", "cluster", "platform", "algorithms",
-        "penalty_seconds", "sweep", "collectors", "engine",
+        "penalty_seconds", "sweep", "collectors", "engine", "models",
     }
     if unknown:
         raise ConfigurationError(
@@ -955,6 +1122,7 @@ def scenario_from_dict(data: Mapping[str, Any]) -> Scenario:
         record_scheduler_times=bool(engine.get("record_scheduler_times", True)),
         repack_on_failure=bool(engine.get("repack_on_failure", False)),
         platform=platform_spec,
+        models=payload.get("models"),
     )
 
 

@@ -114,6 +114,27 @@ class SimulationConfig:
     #: releases).  Schedulers that ignore ``repack_requested`` are
     #: unaffected.
     repack_on_failure: bool = False
+    #: Optional :class:`repro.models.OverheadModel` charged at preemption /
+    #: migration / checkpoint / resume instants (seconds land on the job's
+    #: ``penalty_remaining`` and in the cost tally).  None (the default) is
+    #: the paper's zero-cost convention, byte-identical to previous
+    #: releases — a :class:`~repro.models.NoOverheadModel` is demoted to
+    #: None by the scenario layer.
+    overhead_model: Optional[Any] = None
+    #: Optional :class:`repro.models.ExecutionTimeModel` applied once per
+    #: job at admission: the job's dedicated work is scaled by the model's
+    #: multiplier while scheduler-visible runtime estimates stay at the
+    #: nominal trace value.  None (the default) is the trace-exact path,
+    #: byte-identical to previous releases.
+    execution_time_model: Optional[Any] = None
+    #: Node index -> platform node-class name, for overhead models with
+    #: per-class parameters.  None on the homogeneous cluster.
+    node_class_names: Optional[Tuple[str, ...]] = None
+    #: Node index -> ``(busy_watts, idle_watts)`` power draw.  When set, the
+    #: engine integrates consumed energy over the run into
+    #: ``SimulationResult.energy_joules`` (down nodes draw nothing).  None
+    #: (the default) skips the accounting entirely.
+    node_power: Optional[Tuple[Tuple[float, float], ...]] = None
 
 
 @dataclass(frozen=True)
@@ -201,6 +222,25 @@ class Simulator:
         self._scheduler_times: List[float] = []
         self._scheduler_job_counts: List[int] = []
         self._idle_node_seconds = 0.0
+        # -- power/energy accounting ---------------------------------------
+        #: Per-node (busy, idle) watts, or None when energy is not tracked.
+        self._node_power = self.config.node_power
+        if self._node_power is not None and len(self._node_power) != cluster.num_nodes:
+            raise SimulationError(
+                f"node_power has {len(self._node_power)} entries for a "
+                f"{cluster.num_nodes}-node cluster"
+            )
+        #: Current total draw in watts, updated incrementally at busy/idle/
+        #: down transitions; integrated over time in ``_advance_to``.
+        self._power_current = 0.0
+        self._energy_joules = 0.0
+        #: Time-weighted busy-node accumulator (streaming-metrics mode only),
+        #: feeding the streaming ``utilization`` collector.
+        self._busy_node_stats = None
+        if self.config.streaming_metrics:
+            from ..metrics import TimeWeightedValue
+
+            self._busy_node_stats = TimeWeightedValue()
         self._now = 0.0
         self._pending_submissions = 0
         # -- O(active) event-loop state ------------------------------------
@@ -321,6 +361,14 @@ class Simulator:
         self._events_processed = 0
         self._clock.start(first_submit)
         self._setup_platform(first_submit)
+        if self._node_power is not None:
+            # Every up node starts idle; down nodes (from a pre-run slice of
+            # the availability trace) draw nothing.
+            self._power_current = sum(
+                self._node_power[node][1]
+                for node in range(self.cluster.num_nodes)
+                if node not in self._down_nodes
+            )
         self.scheduler.start(self.cluster, first_submit)
         for observer in self._observers:
             observer.on_simulation_start(self.cluster, first_submit)
@@ -364,6 +412,8 @@ class Simulator:
             job_stats=self._job_stats,
             scheduler_time_stats=self._scheduler_time_stats,
             scheduler_job_count_stats=self._scheduler_job_count_stats,
+            energy_joules=self._energy_joules,
+            busy_node_stats=self._busy_node_stats,
         )
 
     # -------------------------------------------------------- online driving --
@@ -497,12 +547,6 @@ class Simulator:
         before the first submission are applied as the initial availability
         state instead of being replayed.
         """
-        if self.cluster.is_heterogeneous and _is_batch(self.scheduler):
-            raise SimulationError(
-                f"scheduler {getattr(self.scheduler, 'name', '?')!r} allocates "
-                "whole homogeneous nodes; heterogeneous platforms need a DFRS "
-                "scheduler"
-            )
         source = self.config.node_events
         if source is None:
             return
@@ -562,7 +606,7 @@ class Simulator:
                 # Kill-and-resubmit: all progress is lost, nothing is saved
                 # to storage, and the job queues again as if fresh.
                 job.state = JobState.PENDING
-                job.remaining_work = job.spec.dedicated_work()
+                job.remaining_work = job.scaled_work()
                 job.virtual_time = 0.0
                 job.penalty_remaining = 0.0
                 self._costs.record_failure_kill()
@@ -575,10 +619,15 @@ class Simulator:
                 self._costs.record_preemption(
                     penalty.preemption_bytes_gb(job.spec, self.cluster)
                 )
+                self._charge_overhead("checkpoint", job)
             self._note_allocation_change(job)
             self._evicted_now.append(job.job_id)
             for observer in self._observers:
                 observer.on_job_preempted(self._now, job.spec)
+        if self._node_power is not None:
+            # Evictions above already moved the node's draw from busy to
+            # idle; a down node draws nothing at all.
+            self._power_current -= self._node_power[node][1]
 
     # -------------------------------------------------------- spec admission --
     def _register_spec(self, spec: JobSpec, index: int) -> None:
@@ -592,6 +641,19 @@ class Simulator:
                 f"cluster only has {self.cluster.num_nodes} (batch scheduling "
                 "would never start it)"
             )
+        if self.cluster.is_heterogeneous and _is_batch(self.scheduler):
+            # Batch schedulers place one task per node on *eligible* nodes
+            # only (capacity-aware packing); a job wider than the eligible
+            # node count would sit at the queue head forever and livelock
+            # the run, exactly like the width check above.
+            eligible = _eligible_batch_nodes(self.cluster, spec, self.scheduler)
+            if spec.num_tasks > eligible:
+                raise SimulationError(
+                    f"job {spec.job_id} needs {spec.num_tasks} nodes of "
+                    f"memory {spec.mem_requirement:g} / cpu {spec.cpu_need:g} "
+                    f"but only {eligible} nodes of this platform can host "
+                    f"such a task (batch scheduling would never start it)"
+                )
         if spec.num_tasks > _max_hostable_tasks(self.cluster, spec.mem_requirement):
             # Without this check the job would wait forever (DFRS backoff
             # retries, batch queue head) and the run would livelock.
@@ -601,7 +663,19 @@ class Simulator:
                 f"{_max_hostable_tasks(self.cluster, spec.mem_requirement)} "
                 "such tasks even when empty (permanently infeasible)"
             )
-        self._jobs[spec.job_id] = Job(spec=spec)
+        job = Job(spec=spec)
+        etm = self.config.execution_time_model
+        if etm is not None:
+            multiplier = float(etm.execution_multiplier(spec))
+            if not math.isfinite(multiplier) or multiplier <= 0:
+                raise SimulationError(
+                    f"execution-time model returned multiplier {multiplier!r} "
+                    f"for job {spec.job_id} (must be finite and > 0)"
+                )
+            if multiplier != 1.0:
+                job.work_scale = multiplier
+                job.remaining_work = job.scaled_work()
+        self._jobs[spec.job_id] = job
         self._arrived[spec.job_id] = False
         self._seq[spec.job_id] = index
         self._alloc_version[spec.job_id] = 0
@@ -661,18 +735,24 @@ class Simulator:
     # ------------------------------------------- busy-node refcount tracking --
     def _acquire_nodes(self, nodes: Tuple[int, ...]) -> None:
         refcount = self._node_refcount
+        power = self._node_power
         for node in nodes:
             count = refcount.get(node, 0)
             if count == 0:
                 self._busy_count += 1
+                if power is not None:
+                    self._power_current += power[node][0] - power[node][1]
             refcount[node] = count + 1
 
     def _release_nodes(self, nodes: Tuple[int, ...]) -> None:
         refcount = self._node_refcount
+        power = self._node_power
         for node in nodes:
             count = refcount[node] - 1
             if count == 0:
                 self._busy_count -= 1
+                if power is not None:
+                    self._power_current += power[node][1] - power[node][0]
                 del refcount[node]
             else:
                 refcount[node] = count
@@ -758,6 +838,10 @@ class Simulator:
                         busy_nodes.update(job.assignment)
                 idle = self.cluster.num_nodes - len(busy_nodes)
                 self._idle_node_seconds += idle * duration
+                if self._busy_node_stats is not None:
+                    self._busy_node_stats.add_segment(
+                        float(len(busy_nodes)), duration
+                    )
                 for job in self._jobs.values():
                     job.advance(duration)
             else:
@@ -765,8 +849,14 @@ class Simulator:
                 # and host no work, so they drop out of the idle integral.
                 idle = self.cluster.num_nodes - self._busy_count - len(self._down_nodes)
                 self._idle_node_seconds += idle * duration
+                if self._busy_node_stats is not None:
+                    self._busy_node_stats.add_segment(
+                        float(self._busy_count), duration
+                    )
                 for job in self._active.values():
                     job.advance(duration)
+            if self._node_power is not None:
+                self._energy_joules += self._power_current * duration
         self._now = next_time
 
     def _collect_triggers(self, now: float):
@@ -815,7 +905,11 @@ class Simulator:
                         observer.on_node_down(now, event.node)
                 elif event.event_type is EventType.NODE_UP:
                     assert event.node is not None
-                    self._down_nodes.discard(event.node)
+                    if event.node in self._down_nodes:
+                        self._down_nodes.discard(event.node)
+                        if self._node_power is not None:
+                            # A repaired node comes back idle.
+                            self._power_current += self._node_power[event.node][1]
                     is_wakeup = True
                     for observer in self._observers:
                         observer.on_node_up(now, event.node)
@@ -940,6 +1034,29 @@ class Simulator:
                 )
         return decision
 
+    def _charge_overhead(self, event: str, job: Job) -> None:
+        """Charge the configured overhead model for ``event`` on ``job``.
+
+        The cost lands on ``penalty_remaining`` (wall-clock seconds of zero
+        progress, drained first like the paper's resume penalty) and in the
+        run's cost tally.  No-op without an overhead model — the default
+        path stays byte-identical.
+        """
+        model = self.config.overhead_model
+        if model is None:
+            return
+        nodes = job.assignment if job.assignment is not None else job.last_assignment
+        seconds = model.overhead_seconds(
+            event,
+            job.spec,
+            self.cluster,
+            nodes=nodes,
+            node_classes=self.config.node_class_names,
+        )
+        if seconds > 0.0:
+            job.penalty_remaining += seconds
+            self._costs.record_overhead(seconds)
+
     def _apply_decision(self, decision: AllocationDecision) -> None:
         penalty = self.config.penalty_model
         for job in self._iter_jobs():
@@ -955,6 +1072,9 @@ class Simulator:
                         penalty.preemption_bytes_gb(job.spec, self.cluster)
                     )
                     job.preemption_count += 1
+                    # Charged while the assignment is still live, so
+                    # per-node-class models see the nodes the state leaves.
+                    self._charge_overhead("preemption", job)
                     self._release_nodes(job.assignment)
                     job.last_assignment = job.assignment
                     job.assignment = None
@@ -970,6 +1090,7 @@ class Simulator:
                     )
                     job.migration_count += 1
                     job.penalty_remaining += penalty.migration_penalty(job.spec)
+                    self._charge_overhead("migration", job)
                     old_nodes = job.assignment
                     self._release_nodes(old_nodes)
                     self._acquire_nodes(new_alloc.nodes)
@@ -1007,6 +1128,7 @@ class Simulator:
                     job.assignment = new_alloc.nodes
                     job.current_yield = new_alloc.yield_value
                     self._acquire_nodes(new_alloc.nodes)
+                    self._charge_overhead("resume", job)
                     self._note_allocation_change(job)
                     for observer in self._observers:
                         observer.on_job_resumed(self._now, job.spec, new_alloc)
@@ -1035,6 +1157,26 @@ class Simulator:
 def _is_batch(scheduler) -> bool:
     """True for schedulers that allocate whole nodes and never co-locate."""
     return bool(getattr(scheduler, "exclusive_node_allocation", False))
+
+
+def _eligible_batch_nodes(cluster: Cluster, spec: JobSpec, scheduler) -> int:
+    """Nodes of a heterogeneous cluster that can host one task of ``spec``.
+
+    Memory-eligible always; schedulers that give each task a whole node's
+    CPU (``allocates_full_cpu``, the FCFS/backfilling family) additionally
+    need the node's CPU capacity to cover the task's need at yield 1.0.
+    """
+    from .cluster import CAPACITY_EPSILON
+
+    need_cpu = bool(getattr(scheduler, "allocates_full_cpu", False))
+    count = 0
+    for node in range(cluster.num_nodes):
+        if cluster.mem_capacity(node) + CAPACITY_EPSILON < spec.mem_requirement:
+            continue
+        if need_cpu and cluster.cpu_capacity(node) + CAPACITY_EPSILON < spec.cpu_need:
+            continue
+        count += 1
+    return count
 
 
 def _max_hostable_tasks(cluster: Cluster, mem_requirement: float) -> int:

@@ -149,10 +149,20 @@ class Job:
     migration_count: int = 0
     #: Number of failed scheduling attempts (greedy bounded backoff).
     backoff_count: int = 0
+    #: Execution-time-model multiplier on the dedicated work (1.0 = the
+    #: trace is exact); set once at admission, before any progress is made.
+    work_scale: float = 1.0
 
     def __post_init__(self) -> None:
         if self.remaining_work == 0.0:
-            self.remaining_work = self.spec.dedicated_work()
+            self.remaining_work = self.scaled_work()
+
+    def scaled_work(self) -> float:
+        """Dedicated work under the execution-time model's multiplier."""
+        work = self.spec.dedicated_work()
+        if self.work_scale == 1.0:
+            return work
+        return work * self.work_scale
 
     # -- convenience accessors ------------------------------------------------
     @property

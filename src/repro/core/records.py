@@ -75,6 +75,10 @@ class CostSummary:
     migration_gb: float = 0.0
     node_failures: int = 0
     failure_job_kills: int = 0
+    #: Overhead-model charges (zero unless the run carries an overhead
+    #: model): number of charged events and total seconds charged.
+    overhead_events: int = 0
+    overhead_seconds: float = 0.0
 
     def record_preemption(self, gb: float) -> None:
         self.preemption_count += 1
@@ -89,6 +93,10 @@ class CostSummary:
 
     def record_failure_kill(self) -> None:
         self.failure_job_kills += 1
+
+    def record_overhead(self, seconds: float) -> None:
+        self.overhead_events += 1
+        self.overhead_seconds += seconds
 
 
 @dataclass
@@ -112,6 +120,12 @@ class SimulationResult:
     job_stats: Optional["JobMetricsAccumulator"] = None
     scheduler_time_stats: Optional["Moments"] = None
     scheduler_job_count_stats: Optional["Moments"] = None
+    #: Energy consumed over the run under the platform's per-node-class
+    #: power draw (0.0 unless the platform declares node power).
+    energy_joules: float = 0.0
+    #: Time-weighted busy-node statistics (streaming-metrics mode only; a
+    #: :class:`repro.metrics.TimeWeightedValue`, None otherwise).
+    busy_node_stats: Optional[object] = None
 
     @property
     def is_streaming(self) -> bool:

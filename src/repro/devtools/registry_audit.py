@@ -48,7 +48,7 @@ class RegistryAudit:
 
 
 def subsystem_audits() -> List[RegistryAudit]:
-    """The ``kind``-class registries established by PRs 3–7."""
+    """The ``kind``-class registries established by PRs 3–8."""
     return [
         RegistryAudit(
             label="trace source",
@@ -97,6 +97,22 @@ def subsystem_audits() -> List[RegistryAudit]:
             registry_module="repro.serve.admission",
             registry_name="_ADMISSION_POLICY_TYPES",
             packages=("repro.serve",),
+        ),
+        RegistryAudit(
+            label="overhead model",
+            base_module="repro.models.overheads",
+            base_name="OverheadModel",
+            registry_module="repro.models.overheads",
+            registry_name="_OVERHEAD_MODEL_TYPES",
+            packages=("repro.models",),
+        ),
+        RegistryAudit(
+            label="execution-time model",
+            base_module="repro.models.etm",
+            base_name="ExecutionTimeModel",
+            registry_module="repro.models.etm",
+            registry_name="_ETM_TYPES",
+            packages=("repro.models",),
         ),
     ]
 

@@ -32,6 +32,7 @@ from .accumulators import (
     Moments,
     ReservoirSample,
     SumAccumulator,
+    TimeWeightedValue,
     TopK,
     accumulator_from_dict,
     available_accumulators,
@@ -54,6 +55,7 @@ __all__ = [
     "FixedHistogram",
     "TopK",
     "ReservoirSample",
+    "TimeWeightedValue",
     "QuantileSketch",
     "DEFAULT_RELATIVE_ERROR",
     "nearest_rank",

@@ -40,6 +40,7 @@ __all__ = [
     "FixedHistogram",
     "TopK",
     "ReservoirSample",
+    "TimeWeightedValue",
     "register_accumulator",
     "accumulator_from_dict",
     "available_accumulators",
@@ -653,9 +654,105 @@ class ReservoirSample(Accumulator):
         return {"count": float(self.n), "sampled": float(len(self._items))}
 
 
+# --------------------------------------------------------------------------- #
+# Time-weighted value (piecewise-constant signal statistics)                   #
+# --------------------------------------------------------------------------- #
+@dataclass
+class TimeWeightedValue(Accumulator):
+    """Statistics of a piecewise-constant signal, weighted by duration.
+
+    Built for time series the engine already integrates analytically — the
+    busy-node count between two events, for example: each constant segment
+    is consumed as ``add_segment(value, duration)`` in O(1), and the
+    time-weighted mean is ``∫ value dt / ∫ dt``.  Segments from disjoint
+    runs merge exactly (sums of integrals are associative and commutative),
+    which is what lets the streaming ``utilization`` collector combine
+    per-instance busy-node partials across the campaign worker pool.
+    """
+
+    integral: float = 0.0
+    duration: float = 0.0
+    n: int = 0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    kind = "time-weighted"
+
+    @property
+    def count(self) -> int:
+        return self.n
+
+    @property
+    def mean(self) -> float:
+        """Time-weighted mean value; 0 with no elapsed duration."""
+        return self.integral / self.duration if self.duration > 0 else 0.0
+
+    def add(self, value: float) -> None:
+        raise ReproError(
+            "TimeWeightedValue observations carry a duration; use "
+            "add_segment(value, duration) instead of add(value)"
+        )
+
+    def add_segment(self, value: float, duration: float) -> None:
+        """Consume one constant segment of the signal (duration in seconds)."""
+        duration = float(duration)
+        if duration < 0:
+            raise ReproError(f"segment duration must be >= 0, got {duration}")
+        value = float(value)
+        self.integral += value * duration
+        self.duration += duration
+        self.n += 1
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def merge(self, other: Accumulator) -> "TimeWeightedValue":
+        self._require_same_type(other)
+        assert isinstance(other, TimeWeightedValue)
+        self.integral += other.integral
+        self.duration += other.duration
+        self.n += other.n
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": self.kind,
+            "integral": self.integral,
+            "duration": self.duration,
+            "n": self.n,
+            # JSON has no +-inf literal; the empty sentinel travels as None.
+            "min": self.minimum if self.n else None,
+            "max": self.maximum if self.n else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TimeWeightedValue":
+        n = int(data.get("n", 0))
+        return cls(
+            integral=float(data.get("integral", 0.0)),
+            duration=float(data.get("duration", 0.0)),
+            n=n,
+            minimum=float(data["min"]) if n else math.inf,
+            maximum=float(data["max"]) if n else -math.inf,
+        )
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.n),
+            "mean": self.mean,
+            "min": self.minimum if self.n else 0.0,
+            "max": self.maximum if self.n else 0.0,
+            "duration": self.duration,
+        }
+
+
 register_accumulator("moments", Moments.from_dict)
 register_accumulator("sum", SumAccumulator.from_dict)
 register_accumulator("exact", ExactDistribution.from_dict)
 register_accumulator("histogram", FixedHistogram.from_dict)
 register_accumulator("top-k", TopK.from_dict)
 register_accumulator("reservoir", ReservoirSample.from_dict)
+register_accumulator("time-weighted", TimeWeightedValue.from_dict)

@@ -1,0 +1,62 @@
+"""Fidelity models — pluggable overhead and execution-time registries.
+
+The paper's simulations are idealized: preemption and checkpointing are
+free, migration pays only a fixed resume penalty, and every job runs for
+exactly its trace execution time.  This package makes both fidelity choices
+explicit, pluggable seams so campaigns can sweep them:
+
+* :mod:`~repro.models.overheads` — :class:`OverheadModel`: what the engine
+  charges a job at preemption / migration / checkpoint / resume instants
+  (``none`` / ``constant`` / ``memory-linear`` / ``checkpoint-bandwidth``).
+* :mod:`~repro.models.etm` — :class:`ExecutionTimeModel`: a per-job runtime
+  multiplier applied at admission (``exact`` / ``table`` / ``stochastic``),
+  while scheduler-visible runtime estimates stay at the trace value.
+
+Both follow the established subsystem contract: canonical
+``to_dict``/``from_dict`` spec forms, ``type``-dispatching registries
+(REG601-audited), and defaults (``none`` / ``exact``) pinned byte-identical
+to the model-free engine.  Scenarios attach them through a ``models`` block
+(:class:`repro.campaign.Scenario`), with ``{axis}`` sweep templating.
+"""
+
+from .etm import (
+    ExactExecutionTimeModel,
+    ExecutionTimeModel,
+    StochasticExecutionTimeModel,
+    TableExecutionTimeModel,
+    available_execution_time_models,
+    execution_time_model_from_dict,
+    register_execution_time_model,
+)
+from .overheads import (
+    OVERHEAD_EVENTS,
+    CheckpointBandwidthOverheadModel,
+    ConstantOverheadModel,
+    MemoryLinearOverheadModel,
+    NoOverheadModel,
+    OverheadModel,
+    available_overhead_models,
+    job_memory_gb,
+    overhead_model_from_dict,
+    register_overhead_model,
+)
+
+__all__ = [
+    "OVERHEAD_EVENTS",
+    "OverheadModel",
+    "NoOverheadModel",
+    "ConstantOverheadModel",
+    "MemoryLinearOverheadModel",
+    "CheckpointBandwidthOverheadModel",
+    "register_overhead_model",
+    "overhead_model_from_dict",
+    "available_overhead_models",
+    "job_memory_gb",
+    "ExecutionTimeModel",
+    "ExactExecutionTimeModel",
+    "TableExecutionTimeModel",
+    "StochasticExecutionTimeModel",
+    "register_execution_time_model",
+    "execution_time_model_from_dict",
+    "available_execution_time_models",
+]

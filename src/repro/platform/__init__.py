@@ -21,6 +21,8 @@ is the file-level toolkit.
 """
 
 from .base import (
+    DEFAULT_BUSY_WATTS,
+    DEFAULT_IDLE_WATTS,
     FAILURE_POLICIES,
     HomogeneousPlatform,
     NodeClass,
@@ -46,6 +48,8 @@ from .events import (
 
 __all__ = [
     "FAILURE_POLICIES",
+    "DEFAULT_BUSY_WATTS",
+    "DEFAULT_IDLE_WATTS",
     "Platform",
     "HomogeneousPlatform",
     "NodeClass",

@@ -43,6 +43,8 @@ from .events import NodeEventSource, node_event_source_from_dict
 
 __all__ = [
     "FAILURE_POLICIES",
+    "DEFAULT_BUSY_WATTS",
+    "DEFAULT_IDLE_WATTS",
     "Platform",
     "HomogeneousPlatform",
     "NodeClass",
@@ -54,6 +56,11 @@ __all__ = [
 
 #: Engine policies for tasks running on a node when it fails.
 FAILURE_POLICIES = ("resubmit", "migrate")
+
+#: Reference-node power draw (watts), used for node classes that declare no
+#: watts of their own on a platform where at least one class does.
+DEFAULT_BUSY_WATTS = 300.0
+DEFAULT_IDLE_WATTS = 180.0
 
 
 class Platform:
@@ -74,6 +81,23 @@ class Platform:
     def to_dict(self) -> Dict[str, Any]:
         """Canonical spec dictionary (with a ``type`` field)."""
         raise NotImplementedError
+
+    def node_class_names(self) -> Optional[Tuple[str, ...]]:
+        """Per-node class-name tuple, or ``None`` when classless.
+
+        Overhead models with per-class parameters (e.g. checkpoint bandwidth
+        per node class) consult this through
+        :attr:`repro.core.engine.SimulationConfig.node_class_names`.
+        """
+        return None
+
+    def power_vectors(self) -> Optional[Tuple[Tuple[float, float], ...]]:
+        """Per-node ``(busy_watts, idle_watts)`` draw, or ``None``.
+
+        ``None`` (the default) disables energy accounting entirely — the
+        engine's default path is untouched.
+        """
+        return None
 
     def _events_spec(self) -> Dict[str, Any]:
         """The shared tail of the spec form: events + failure policy."""
@@ -199,6 +223,14 @@ class NodeClass:
     count: int
     cpu: float = 1.0
     memory: float = 1.0
+    #: Optional power draw of one node of this class (watts).  ``None``
+    #: (the default) leaves the class out of energy accounting: the platform
+    #: only reports power vectors when at least one class declares watts, and
+    #: classes without them fall back to the reference draw (300 W busy /
+    #: 180 W idle).  Both fields are serialised only when set, so platforms
+    #: without power declarations keep their existing spec form and hash.
+    busy_watts: Optional[float] = None
+    idle_watts: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -215,14 +247,26 @@ class NodeClass:
             raise ConfigurationError(
                 f"node class {self.name!r}: memory must be > 0, got {self.memory}"
             )
+        for label, watts in (("busy_watts", self.busy_watts),
+                             ("idle_watts", self.idle_watts)):
+            if watts is not None and watts < 0:
+                raise ConfigurationError(
+                    f"node class {self.name!r}: {label} must be >= 0, "
+                    f"got {watts}"
+                )
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data: Dict[str, Any] = {
             "name": self.name,
             "count": self.count,
             "cpu": self.cpu,
             "memory": self.memory,
         }
+        if self.busy_watts is not None:
+            data["busy_watts"] = self.busy_watts
+        if self.idle_watts is not None:
+            data["idle_watts"] = self.idle_watts
+        return data
 
     @classmethod
     def of(cls, spec: Any) -> "NodeClass":
@@ -289,6 +333,33 @@ class NodeClassesPlatform(Platform):
         raise ConfigurationError(
             f"node index {node} out of range [0, {self.num_nodes})"
         )
+
+    def node_class_names(self) -> Optional[Tuple[str, ...]]:
+        names: List[str] = []
+        for node_class in self.classes:
+            names.extend([node_class.name] * node_class.count)
+        return tuple(names)
+
+    def power_vectors(self) -> Optional[Tuple[Tuple[float, float], ...]]:
+        if all(
+            node_class.busy_watts is None and node_class.idle_watts is None
+            for node_class in self.classes
+        ):
+            return None
+        vectors: List[Tuple[float, float]] = []
+        for node_class in self.classes:
+            busy = (
+                node_class.busy_watts
+                if node_class.busy_watts is not None
+                else DEFAULT_BUSY_WATTS
+            )
+            idle = (
+                node_class.idle_watts
+                if node_class.idle_watts is not None
+                else DEFAULT_IDLE_WATTS
+            )
+            vectors.extend([(busy, idle)] * node_class.count)
+        return tuple(vectors)
 
     def build_cluster(self) -> Cluster:
         cpu: List[float] = []

@@ -138,6 +138,16 @@ class ConservativeBackfillingScheduler(FcfsScheduler):
             start = profile.earliest_start(view.num_tasks, runtime)
             profile.reserve(start, view.num_tasks, runtime)
             if start <= context.time + 1e-9:
-                nodes, free = free[: view.num_tasks], free[view.num_tasks:]
+                # The availability profile is count-based (a documented
+                # approximation on heterogeneous platforms): a "start now"
+                # grant additionally needs enough *eligible* free nodes for
+                # this job's memory/CPU class, else the job waits for the
+                # next event.  On homogeneous clusters every free node is
+                # eligible and the original behaviour is untouched.
+                eligible = self.eligible_nodes(context, view, free)
+                if view.num_tasks > len(eligible):
+                    continue
+                nodes = eligible[: view.num_tasks]
+                free = self._take(free, nodes)
                 decision.set(view.job_id, nodes, 1.0)
         return decision

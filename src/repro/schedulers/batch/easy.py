@@ -43,45 +43,61 @@ class EasyBackfillingScheduler(FcfsScheduler):
         # Plain FCFS start while the head of the queue fits.  Jobs started at
         # this very event also occupy nodes and release them later, so they
         # must be part of the reservation computation below.
-        started_now: List[Tuple[float, int]] = []
+        started_now: List[Tuple[float, Tuple[int, ...]]] = []
         index = 0
-        while index < len(queue) and queue[index].num_tasks <= len(free):
+        while index < len(queue):
             view = queue[index]
-            nodes, free = free[: view.num_tasks], free[view.num_tasks:]
+            eligible = self.eligible_nodes(context, view, free)
+            if view.num_tasks > len(eligible):
+                break
+            nodes = eligible[: view.num_tasks]
+            free = self._take(free, nodes)
             decision.set(view.job_id, nodes, 1.0)
             runtime = view.runtime_estimate
             if runtime is None:
                 raise SchedulingError(
                     "EASY requires runtime estimates but none were provided"
                 )
-            started_now.append((context.time + runtime, view.num_tasks))
+            started_now.append((context.time + runtime, tuple(nodes)))
             index += 1
         queue = queue[index:]
         if not queue:
             return decision
 
-        # Reservation for the (blocked) head of the queue.
+        # Reservation for the (blocked) head of the queue.  On heterogeneous
+        # platforms only nodes able to host a head task count towards its
+        # shadow time and extra-node budget.
         head = queue[0]
+        head_eligible = set(
+            self.eligible_nodes(context, head, list(context.cluster.node_ids))
+        )
+        free_for_head = len([node for node in free if node in head_eligible])
         shadow_time, extra_nodes = self._reservation(
-            context, head, len(free), started_now
+            context, head, free_for_head, head_eligible, started_now
         )
 
         # Backfill the remaining jobs in submission order.
         for view in queue[1:]:
-            if view.num_tasks > len(free):
+            eligible = self.eligible_nodes(context, view, free)
+            if view.num_tasks > len(eligible):
                 continue
             runtime = view.runtime_estimate
             if runtime is None:
                 raise SchedulingError(
                     "EASY requires runtime estimates but none were provided"
                 )
+            nodes = eligible[: view.num_tasks]
+            # Only nodes the head could use eat into the extra-node budget;
+            # on homogeneous clusters this is every node (the original
+            # count arithmetic, unchanged).
+            head_taken = len([node for node in nodes if node in head_eligible])
             finishes_in_time = context.time + runtime <= shadow_time + 1e-9
-            uses_only_extra = view.num_tasks <= extra_nodes
+            uses_only_extra = head_taken <= extra_nodes
             if finishes_in_time or uses_only_extra:
-                nodes, free = free[: view.num_tasks], free[view.num_tasks:]
+                free = self._take(free, nodes)
                 decision.set(view.job_id, nodes, 1.0)
                 if not finishes_in_time:
-                    extra_nodes -= view.num_tasks
+                    extra_nodes -= head_taken
         return decision
 
     def _reservation(
@@ -89,7 +105,8 @@ class EasyBackfillingScheduler(FcfsScheduler):
         context: SchedulingContext,
         head: JobView,
         free_now: int,
-        started_now: List[Tuple[float, int]],
+        head_eligible: "set[int]",
+        started_now: List[Tuple[float, Tuple[int, ...]]],
     ) -> Tuple[float, int]:
         """Shadow time and extra-node count for the blocked queue head.
 
@@ -97,8 +114,13 @@ class EasyBackfillingScheduler(FcfsScheduler):
         start if nothing is backfilled; the *extra nodes* are the nodes that
         will be free at the shadow time beyond what the head needs — jobs
         small enough to run on the extra nodes may run past the shadow time.
+        ``free_now`` and every release count only nodes in ``head_eligible``
+        (all of them on a homogeneous cluster).
         """
-        releases: List[Tuple[float, int]] = list(started_now)
+        releases: List[Tuple[float, int]] = [
+            (end_time, len([node for node in nodes if node in head_eligible]))
+            for end_time, nodes in started_now
+        ]
         for view in context.running_jobs():
             assert view.assignment is not None
             remaining = view.remaining_runtime_estimate
@@ -106,7 +128,12 @@ class EasyBackfillingScheduler(FcfsScheduler):
                 raise SchedulingError(
                     "EASY requires runtime estimates but none were provided"
                 )
-            releases.append((context.time + remaining, len(view.assignment)))
+            releases.append((
+                context.time + remaining,
+                len([
+                    node for node in view.assignment if node in head_eligible
+                ]),
+            ))
         releases.sort()
 
         available = free_now

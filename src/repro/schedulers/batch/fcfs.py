@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Set, Tuple
 
 from ...core.allocation import AllocationDecision
+from ...core.cluster import CAPACITY_EPSILON
 from ...core.context import JobView, SchedulingContext
 from ..base import Scheduler
 
@@ -26,6 +27,11 @@ class FcfsScheduler(Scheduler):
     #: failure victims would never be resumed.  EASY and conservative
     #: inherit this.
     resumes_paused_jobs = False
+    #: This family runs every task at yield 1.0 on its node, so on a
+    #: heterogeneous platform a task can only go to a node with CPU capacity
+    #: covering its full need (the engine's admission guard consults this
+    #: flag through ``_eligible_batch_nodes``).
+    allocates_full_cpu = True
 
     def free_nodes(self, context: SchedulingContext) -> List[int]:
         """Node indices not used by any running job, in increasing order.
@@ -52,13 +58,43 @@ class FcfsScheduler(Scheduler):
         """Running jobs keep their nodes untouched."""
         return context.current_allocations()
 
+    def eligible_nodes(
+        self, context: SchedulingContext, view: JobView, nodes: List[int]
+    ) -> List[int]:
+        """Subset of ``nodes`` that can host one task of ``view``.
+
+        The identity on homogeneous clusters (every node is the reference
+        node, so the original arithmetic is untouched).  On a heterogeneous
+        platform a batch task needs a node with enough memory capacity and —
+        because this family allocates the full CPU (yield 1.0) — enough CPU
+        capacity for the task's whole need.
+        """
+        cluster = context.cluster
+        if not cluster.is_heterogeneous:
+            return nodes
+        return [
+            node
+            for node in nodes
+            if cluster.mem_capacity(node) + CAPACITY_EPSILON
+            >= view.mem_requirement
+            and cluster.cpu_capacity(node) + CAPACITY_EPSILON >= view.cpu_need
+        ]
+
+    @staticmethod
+    def _take(free: List[int], nodes: List[int]) -> List[int]:
+        """Remove ``nodes`` from ``free`` preserving order."""
+        taken = set(nodes)
+        return [node for node in free if node not in taken]
+
     def schedule(self, context: SchedulingContext) -> AllocationDecision:
         decision = AllocationDecision()
         decision.running = self.keep_running(context)
         free = self.free_nodes(context)
         for view in self.waiting_queue(context):
-            if view.num_tasks > len(free):
+            eligible = self.eligible_nodes(context, view, free)
+            if view.num_tasks > len(eligible):
                 break  # strict FCFS: nobody overtakes the queue head
-            nodes, free = free[: view.num_tasks], free[view.num_tasks:]
+            nodes = eligible[: view.num_tasks]
+            free = self._take(free, nodes)
             decision.set(view.job_id, nodes, 1.0)
         return decision

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from ...core.allocation import AllocationDecision
+from ...core.cluster import Cluster
 from ...core.context import JobView, SchedulingContext
 from ...exceptions import ConfigurationError
 from ..base import Scheduler
@@ -69,10 +70,10 @@ class GangScheduler(Scheduler):
         # so no admission ever lands on them.
         for node in sorted(context.down_nodes):
             rows_per_node[node] = self.max_rows
-            memory_per_node[node] = 1.0
+            memory_per_node[node] = cluster.mem_capacity(node)
         pending = sorted(context.pending_jobs(), key=lambda v: (v.submit_time, v.job_id))
         for view in pending:
-            nodes = self._admit(view, rows_per_node, memory_per_node)
+            nodes = self._admit(view, cluster, rows_per_node, memory_per_node)
             if nodes is None:
                 continue
             placements[view.job_id] = tuple(nodes)
@@ -81,12 +82,16 @@ class GangScheduler(Scheduler):
                 memory_per_node[node] += view.mem_requirement
 
         # Round-robin slices: a node shared by k rows gives each row 1/k of
-        # the CPU; a job's yield is that share divided by its CPU need (it
-        # cannot use more than its need, hence the cap at 1).
+        # its CPU capacity; a job's yield is its worst per-node share divided
+        # by its CPU need (it cannot use more than its need, hence the cap at
+        # 1).  On homogeneous clusters every capacity is the literal 1.0, so
+        # this is exactly the original 1/max(rows) arithmetic.
         for job_id, nodes in placements.items():
             view = context.jobs[job_id]
-            worst_sharing = max(rows_per_node[node] for node in nodes)
-            share = 1.0 / worst_sharing
+            share = min(
+                cluster.cpu_capacity(node) / rows_per_node[node]
+                for node in nodes
+            )
             yield_value = min(1.0, share / view.cpu_need)
             decision.set(job_id, nodes, yield_value)
         return decision
@@ -94,6 +99,7 @@ class GangScheduler(Scheduler):
     def _admit(
         self,
         view: JobView,
+        cluster: Cluster,
         rows_per_node: List[int],
         memory_per_node: List[float],
     ) -> Optional[List[int]]:
@@ -102,7 +108,8 @@ class GangScheduler(Scheduler):
             node
             for node in range(len(rows_per_node))
             if rows_per_node[node] < self.max_rows
-            and memory_per_node[node] + view.mem_requirement <= 1.0 + 1e-9
+            and memory_per_node[node] + view.mem_requirement
+            <= cluster.mem_capacity(node) + 1e-9
         ]
         if len(candidates) < view.num_tasks:
             return None

@@ -106,9 +106,28 @@ class TestStreamingExecution:
         ]
 
     def test_non_streaming_collector_rejected(self):
-        scenario = _scenario(collectors=(CollectorSpec("utilization"),))
-        with pytest.raises(ConfigurationError, match="utilization"):
+        # "timing" ships raw per-event vectors, which bounded memory cannot
+        # keep; "utilization" streams since the time-decayed busy-node
+        # accumulator landed (see test_utilization_collector_streams).
+        scenario = _scenario(collectors=(CollectorSpec("timing"),))
+        with pytest.raises(ConfigurationError, match="timing"):
             Campaign(streaming=True).run(scenario)
+
+    def test_utilization_collector_streams(self):
+        scenario = _scenario(collectors=(CollectorSpec("utilization"),))
+        outcome = Campaign(streaming=True).run(scenario)
+        row = outcome.rows[0]
+        assert row.metric("mean_busy_nodes") > 0.0
+        assert row.metric("peak_busy_nodes") > 0.0
+        assert row.metric("energy_always_on_joules") > 0.0
+        # Busy + idle node-seconds partition the duration exactly.
+        total = (
+            row.metric("energy_busy_node_seconds")
+            + row.metric("energy_idle_node_seconds")
+        )
+        assert total == pytest.approx(
+            row.metric("energy_duration_seconds") * CLUSTER.num_nodes, rel=1e-9
+        )
 
     def test_swf_with_segments_warns_and_materializes(self, tmp_path):
         # Satellite: fixed-duration segmentation cannot stream; instead of a

@@ -25,9 +25,23 @@ from repro.metrics import (
     QuantileSketch,
     ReservoirSample,
     SumAccumulator,
+    TimeWeightedValue,
     TopK,
     accumulator_from_dict,
     available_accumulators,
+)
+from repro.models import (
+    CheckpointBandwidthOverheadModel,
+    ConstantOverheadModel,
+    ExactExecutionTimeModel,
+    MemoryLinearOverheadModel,
+    NoOverheadModel,
+    StochasticExecutionTimeModel,
+    TableExecutionTimeModel,
+    available_execution_time_models,
+    available_overhead_models,
+    execution_time_model_from_dict,
+    overhead_model_from_dict,
 )
 from repro.platform import (
     ExponentialFailureSource,
@@ -157,7 +171,38 @@ def accumulator_exemplars():
     for index, value in enumerate(values):
         exemplars["reservoir"].add(value, key=index)
         exemplars["top-k"].add(value, index)
+    time_weighted = TimeWeightedValue()
+    for value in values:
+        time_weighted.add_segment(value, duration=10.0)
+    exemplars["time-weighted"] = time_weighted
     return exemplars
+
+
+def overhead_model_exemplars():
+    return {
+        "none": NoOverheadModel(),
+        "constant": ConstantOverheadModel(
+            preemption_seconds=5.0, migration_seconds=10.0
+        ),
+        "memory-linear": MemoryLinearOverheadModel(
+            seconds_per_gb=0.5, events=("preemption", "checkpoint")
+        ),
+        "checkpoint-bandwidth": CheckpointBandwidthOverheadModel(
+            bandwidth_gb_per_sec=2.0, class_bandwidth={"slow": 0.5}
+        ),
+    }
+
+
+def execution_time_model_exemplars():
+    return {
+        "exact": ExactExecutionTimeModel(),
+        "table": TableExecutionTimeModel(
+            breakpoints=((600.0, 1.1), (7200.0, 1.02)), default=1.0
+        ),
+        "stochastic": StochasticExecutionTimeModel(
+            seed=7, min_multiplier=1.0, max_multiplier=1.3
+        ),
+    }
 
 
 def platform_exemplars():
@@ -251,6 +296,24 @@ def test_admission_policy_registry_round_trips():
     )
 
 
+def test_overhead_model_registry_round_trips():
+    assert_registry_round_trips(
+        overhead_model_exemplars(),
+        available_overhead_models,
+        overhead_model_from_dict,
+        "overhead model",
+    )
+
+
+def test_execution_time_model_registry_round_trips():
+    assert_registry_round_trips(
+        execution_time_model_exemplars(),
+        available_execution_time_models,
+        execution_time_model_from_dict,
+        "execution-time model",
+    )
+
+
 def test_no_dangling_scheduler_names():
     names = available_algorithms()
     assert names == sorted(names)
@@ -280,6 +343,8 @@ def test_audit_covers_every_kind_registry():
         "platform",
         "node event source",
         "admission policy",
+        "overhead model",
+        "execution-time model",
     }
 
 

@@ -1,0 +1,91 @@
+"""The tentpole pin: explicit default models are byte-identical to none.
+
+A :class:`SimulationConfig` carrying ``NoOverheadModel`` +
+``ExactExecutionTimeModel`` must produce exactly what a config with no
+models at all produces — per-job records, cost tallies, and placement-log
+bytes — for every paper algorithm and every execution path (materialized
+``run``, streaming ``run_stream``, serve replay).  This is what licenses
+the scenario layer to demote default models to ``None`` and keep model-free
+spec hashes unchanged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.engine import SimulationConfig, Simulator
+from repro.models import ExactExecutionTimeModel, NoOverheadModel
+from repro.schedulers import PAPER_ALGORITHMS, create_scheduler
+from repro.serve import PlacementLogObserver, SchedulerService
+from repro.traces import DiurnalPoissonTraceSource
+
+CLUSTER = Cluster(16, 4, 8.0)
+
+#: Sub-critical arrivals (the serve replay-determinism recipe, shortened):
+#: enough churn to exercise the preemption/migration/resume charge sites
+#: without backlog blowing up the suite runtime.
+TRACE = DiurnalPoissonTraceSource(
+    num_jobs=80,
+    seed=11,
+    mean_interarrival_seconds=90.0,
+    runtime_log_mean=5.0,
+    runtime_log_sigma=1.0,
+    max_runtime_seconds=7200.0,
+    serial_fraction=0.6,
+)
+
+
+def _default_model_kwargs():
+    return {
+        "overhead_model": NoOverheadModel(),
+        "execution_time_model": ExactExecutionTimeModel(),
+    }
+
+
+def _stream_log(algorithm, config):
+    observer = PlacementLogObserver()
+    engine = Simulator(
+        CLUSTER, create_scheduler(algorithm), config, observers=[observer]
+    )
+    engine.run_stream(TRACE.jobs(CLUSTER))
+    return observer.to_json_bytes()
+
+
+def _replay_log(algorithm, config):
+    observer = PlacementLogObserver()
+    service = SchedulerService(
+        CLUSTER, algorithm, config=config, observers=[observer]
+    )
+    service.replay(TRACE)
+    return observer.to_json_bytes()
+
+
+@pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+def test_materialized_run_is_identical(algorithm):
+    specs = TRACE.materialize(CLUSTER).jobs
+    bare = Simulator(
+        CLUSTER, create_scheduler(algorithm), SimulationConfig()
+    ).run(specs)
+    modeled = Simulator(
+        CLUSTER,
+        create_scheduler(algorithm),
+        SimulationConfig(**_default_model_kwargs()),
+    ).run(specs)
+    # Frozen-dataclass equality: exact floats, not approx — byte-identical.
+    assert modeled.jobs == bare.jobs
+    assert modeled.costs == bare.costs
+    assert modeled.makespan == bare.makespan
+    assert modeled.idle_node_seconds == bare.idle_node_seconds
+    assert modeled.costs.overhead_events == 0
+    assert modeled.costs.overhead_seconds == 0.0
+
+
+@pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+def test_stream_and_replay_logs_are_identical(algorithm):
+    bare = _stream_log(algorithm, SimulationConfig(streaming_metrics=True))
+    modeled_config = SimulationConfig(
+        streaming_metrics=True, **_default_model_kwargs()
+    )
+    assert _stream_log(algorithm, modeled_config) == bare
+    assert _replay_log(algorithm, modeled_config) == bare

@@ -1,0 +1,113 @@
+"""Per-node-class power draw wired into the engine's energy integral.
+
+``SimulationConfig.node_power`` turns on an incremental power integral:
+busy nodes draw their busy watts, idle nodes their idle watts, down nodes
+nothing.  Platforms expose the vectors only when some node class declares
+watts, so power-free specs keep their form, hash, and engine path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.engine import SimulationConfig, Simulator
+from repro.core.job import JobSpec
+from repro.exceptions import SimulationError
+from repro.platform import (
+    DEFAULT_BUSY_WATTS,
+    DEFAULT_IDLE_WATTS,
+    HomogeneousPlatform,
+    NodeClass,
+    NodeClassesPlatform,
+    TraceNodeEventSource,
+)
+from repro.schedulers.registry import create_scheduler
+
+
+class TestEngineEnergy:
+    def test_busy_and_idle_draw_integrate_exactly(self):
+        # One 100 s serial job on node 0 of a 2-node cluster: node 0 draws
+        # busy watts, node 1 idle watts, for the whole run.
+        config = SimulationConfig(node_power=((300.0, 180.0), (250.0, 100.0)))
+        result = Simulator(
+            Cluster(2), create_scheduler("greedy"), config
+        ).run([JobSpec(0, 0.0, 1, 1.0, 0.5, 100.0)])
+        assert result.energy_joules == pytest.approx(100.0 * (300.0 + 100.0))
+
+    def test_down_nodes_draw_nothing(self):
+        # Node 1 is down for the whole run: only node 0's busy draw counts.
+        config = SimulationConfig(
+            node_power=((300.0, 180.0), (300.0, 180.0)),
+            node_events=TraceNodeEventSource(events_list=((0.0, 1, "down"),)),
+        )
+        result = Simulator(
+            Cluster(2), create_scheduler("greedy"), config
+        ).run([JobSpec(0, 0.0, 1, 1.0, 0.5, 100.0)])
+        assert result.energy_joules == pytest.approx(100.0 * 300.0)
+
+    def test_without_node_power_energy_is_zero(self):
+        result = Simulator(
+            Cluster(2), create_scheduler("greedy"), SimulationConfig()
+        ).run([JobSpec(0, 0.0, 1, 1.0, 0.5, 100.0)])
+        assert result.energy_joules == 0.0
+
+    def test_wrong_length_power_vector_rejected(self):
+        config = SimulationConfig(node_power=((300.0, 180.0),))
+        with pytest.raises(SimulationError, match="node_power"):
+            Simulator(Cluster(2), create_scheduler("greedy"), config)
+
+
+class TestPlatformPowerVectors:
+    def test_no_watts_declared_means_no_vectors(self):
+        platform = NodeClassesPlatform(
+            classes=(NodeClass("fat", 2), NodeClass("thin", 2, cpu=0.5))
+        )
+        assert platform.power_vectors() is None
+        assert HomogeneousPlatform(nodes=4).power_vectors() is None
+
+    def test_declared_watts_expand_per_node_with_defaults(self):
+        platform = NodeClassesPlatform(
+            classes=(
+                NodeClass("fat", 2, busy_watts=400.0, idle_watts=200.0),
+                NodeClass("thin", 1),
+            )
+        )
+        assert platform.power_vectors() == (
+            (400.0, 200.0),
+            (400.0, 200.0),
+            (DEFAULT_BUSY_WATTS, DEFAULT_IDLE_WATTS),
+        )
+
+    def test_watts_serialised_only_when_set(self):
+        bare = NodeClass("fat", 2)
+        assert "busy_watts" not in bare.to_dict()
+        assert "idle_watts" not in bare.to_dict()
+        powered = NodeClass("fat", 2, busy_watts=400.0, idle_watts=200.0)
+        spec = powered.to_dict()
+        assert spec["busy_watts"] == 400.0
+        assert spec["idle_watts"] == 200.0
+        assert NodeClass.of(spec) == powered
+
+    def test_scenario_wires_power_and_class_names_into_the_config(self):
+        from repro.campaign.scenario import LublinSource, Scenario
+
+        scenario = Scenario(
+            name="energy",
+            source=LublinSource(num_traces=1, num_jobs=5),
+            algorithms=("greedy",),
+            platform=NodeClassesPlatform(
+                classes=(
+                    NodeClass("fat", 2, busy_watts=400.0, idle_watts=200.0),
+                    NodeClass("thin", 2),
+                )
+            ),
+        )
+        config = scenario.simulation_config()
+        assert config.node_class_names == ("fat", "fat", "thin", "thin")
+        assert config.node_power == (
+            (400.0, 200.0),
+            (400.0, 200.0),
+            (DEFAULT_BUSY_WATTS, DEFAULT_IDLE_WATTS),
+            (DEFAULT_BUSY_WATTS, DEFAULT_IDLE_WATTS),
+        )

@@ -1,0 +1,145 @@
+"""Execution-time-model semantics: admission-time scaling, nominal estimates.
+
+Unit-level: table lookup and seeded-stochastic arithmetic plus constructor
+validation.  Engine-level: the multiplier scales the job's dedicated work
+(completions move) while the scheduler-visible trace record is untouched,
+the charge is independent of admission order and execution path, and a
+model returning a non-positive multiplier fails the run fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.engine import SimulationConfig, Simulator
+from repro.core.job import JobSpec
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.models import (
+    ExecutionTimeModel,
+    StochasticExecutionTimeModel,
+    TableExecutionTimeModel,
+)
+from repro.schedulers.registry import create_scheduler
+from repro.serve import PlacementLogObserver, SchedulerService
+from repro.traces import DiurnalPoissonTraceSource
+
+CLUSTER = Cluster(4, 4, 8.0)
+
+
+class TestModelArithmetic:
+    def test_table_picks_first_unexceeded_bound(self):
+        model = TableExecutionTimeModel(
+            breakpoints=((60.0, 1.5), (3600.0, 1.1)), default=1.0
+        )
+
+        def multiplier(execution_time):
+            spec = JobSpec(0, 0.0, 1, 1.0, 0.5, execution_time)
+            return model.execution_multiplier(spec)
+
+        assert multiplier(30.0) == 1.5
+        assert multiplier(60.0) == 1.5  # inclusive upper bound
+        assert multiplier(600.0) == 1.1
+        assert multiplier(7200.0) == 1.0
+
+    def test_stochastic_is_a_pure_function_of_seed_and_job_id(self):
+        model = StochasticExecutionTimeModel(
+            seed=7, min_multiplier=1.0, max_multiplier=1.3
+        )
+        clone = StochasticExecutionTimeModel(
+            seed=7, min_multiplier=1.0, max_multiplier=1.3
+        )
+        reseeded = StochasticExecutionTimeModel(
+            seed=8, min_multiplier=1.0, max_multiplier=1.3
+        )
+        values = []
+        for job_id in range(50):
+            spec = JobSpec(job_id, 0.0, 1, 1.0, 0.5, 100.0)
+            value = model.execution_multiplier(spec)
+            assert 1.0 <= value <= 1.3
+            assert clone.execution_multiplier(spec) == value
+            values.append(value)
+        assert len(set(values)) > 40  # actually spreads over the range
+        spec = JobSpec(0, 0.0, 1, 1.0, 0.5, 100.0)
+        assert reseeded.execution_multiplier(spec) != (
+            model.execution_multiplier(spec)
+        )
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(ConfigurationError, match="strictly increasing"):
+            TableExecutionTimeModel(breakpoints=((60.0, 1.1), (60.0, 1.2)))
+        with pytest.raises(ConfigurationError, match="multiplier"):
+            TableExecutionTimeModel(breakpoints=((60.0, 0.0),))
+        with pytest.raises(ConfigurationError, match="min_multiplier"):
+            StochasticExecutionTimeModel(
+                seed=1, min_multiplier=1.5, max_multiplier=1.2
+            )
+
+
+class _ZeroMultiplierModel(ExecutionTimeModel):
+    kind = "broken"
+    spec_expressible = False
+
+    def execution_multiplier(self, spec):
+        return 0.0
+
+
+class TestEngineAdmission:
+    def test_multiplier_scales_completion_not_the_trace_record(self):
+        spec = JobSpec(0, 0.0, 1, 1.0, 0.5, 100.0)
+        model = TableExecutionTimeModel(breakpoints=((600.0, 1.5),))
+        result = Simulator(
+            CLUSTER,
+            create_scheduler("greedy"),
+            SimulationConfig(execution_time_model=model),
+        ).run([spec])
+        record = result.jobs[0]
+        # The job actually ran 50 % long...
+        assert record.completion_time == pytest.approx(150.0)
+        # ...but the scheduler-visible record still says 100 s of work:
+        # stretch and estimate studies read the nominal trace value.
+        assert record.spec.execution_time == 100.0
+
+    def test_stochastic_model_agrees_across_execution_paths(self):
+        trace = DiurnalPoissonTraceSource(
+            num_jobs=60,
+            seed=11,
+            mean_interarrival_seconds=90.0,
+            runtime_log_mean=5.0,
+            runtime_log_sigma=1.0,
+            max_runtime_seconds=7200.0,
+            serial_fraction=0.6,
+        )
+        cluster = Cluster(16, 4, 8.0)
+
+        def config():
+            return SimulationConfig(
+                streaming_metrics=True,
+                execution_time_model=StochasticExecutionTimeModel(
+                    seed=7, min_multiplier=1.0, max_multiplier=1.3
+                ),
+            )
+
+        observer = PlacementLogObserver()
+        Simulator(
+            cluster,
+            create_scheduler("greedy-pmtn-migr"),
+            config(),
+            observers=[observer],
+        ).run_stream(trace.jobs(cluster))
+        stream_bytes = observer.to_json_bytes()
+
+        observer = PlacementLogObserver()
+        SchedulerService(
+            cluster, "greedy-pmtn-migr", config=config(), observers=[observer]
+        ).replay(trace)
+        assert observer.to_json_bytes() == stream_bytes
+
+    def test_non_positive_multiplier_fails_fast(self):
+        simulator = Simulator(
+            CLUSTER,
+            create_scheduler("greedy"),
+            SimulationConfig(execution_time_model=_ZeroMultiplierModel()),
+        )
+        with pytest.raises(SimulationError, match="finite and > 0"):
+            simulator.run([JobSpec(0, 0.0, 1, 1.0, 0.5, 100.0)])

@@ -171,11 +171,23 @@ class TestEngineGuards:
         result = simulator.run([JobSpec(0, 0.0, 6, 0.1, 0.45, 100.0)])
         assert result.num_jobs == 1
 
-    def test_batch_on_heterogeneous_cluster_rejected(self):
+    def test_batch_on_heterogeneous_cluster_runs(self):
+        # Batch baselines are node-class aware: a full-CPU task only lands
+        # on nodes with enough CPU capacity, so the job must run on node 0.
         cluster = Cluster(2, cpu_capacities=(2.0, 0.5))
         simulator = Simulator(cluster, create_scheduler("easy"), SimulationConfig())
-        with pytest.raises(SimulationError, match="DFRS"):
-            simulator.run([JobSpec(0, 0.0, 1, 0.5, 0.4, 10.0)])
+        result = simulator.run([JobSpec(0, 0.0, 1, 1.0, 0.4, 10.0)])
+        assert result.num_jobs == 1
+        assert result.jobs[0].completion_time == pytest.approx(10.0)
+
+    def test_batch_job_wider_than_eligible_nodes_fails_fast(self):
+        # Two full-CPU tasks but only one node can host one: the batch queue
+        # would never start the job, so registration rejects it instead of
+        # livelocking the run.
+        cluster = Cluster(2, cpu_capacities=(2.0, 0.5))
+        simulator = Simulator(cluster, create_scheduler("easy"), SimulationConfig())
+        with pytest.raises(SimulationError, match="can host"):
+            simulator.run([JobSpec(0, 0.0, 2, 1.0, 0.4, 10.0)])
 
     def test_pre_start_events_set_initial_availability(self):
         # Node 0 is already down when the first job arrives (event before the
