@@ -1,0 +1,173 @@
+"""Benchmark: core engine event-loop throughput (``BENCH_engine.json``).
+
+Drives :meth:`~repro.core.engine.Simulator.run` over a materialized
+sub-critical diurnal-Poisson workload and records sustained events/sec for
+a representative algorithm spread (rigid batch, event-driven DFRS, periodic
+DFRS), once with telemetry disabled and once with the ``stats`` sink, so
+the committed artifact pins both raw engine speed and the cost of turning
+instrumentation on.  The disabled/enabled ratio is asserted against
+``OVERHEAD_BOUND`` at the best-of-repeats scale — the observability seam
+must stay effectively free.  The committed ``BENCH_engine.json`` at the
+repo root is the perf trajectory artifact: regenerate it with
+
+    REPRO_BENCH_SCALE=default PYTHONPATH=src python -m pytest \\
+        benchmarks/test_bench_engine_throughput.py -m bench -q
+
+Scale knob: ``REPRO_BENCH_SCALE=quick`` runs 10k jobs only (CI-friendly);
+``default`` adds the 100k-job scale; ``paper`` adds 1M.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from time import perf_counter
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.engine import SimulationConfig, Simulator
+from repro.experiments.reporting import format_table
+from repro.schedulers import create_scheduler
+from repro.traces import DiurnalPoissonTraceSource
+
+pytestmark = pytest.mark.bench
+
+CLUSTER = Cluster(64, 4, 8.0)
+ALGORITHMS = ("fcfs", "greedy-pmtn-migr", "dynmcb8-asap-per-600")
+
+#: Telemetry may cost at most 10% of the disabled-path wall time (asserted
+#: on best-of-repeats timings, which damp scheduler-noise spikes).
+OVERHEAD_BOUND = 1.10
+
+#: Where the committed events/sec artifact lives (repo root, next to
+#: ``BENCH_serve.json`` — ``benchmarks/results/`` is gitignored).
+ARTIFACT_PATH = Path(__file__).parent.parent / "BENCH_engine.json"
+
+
+def _scales() -> tuple:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "default").lower()
+    if scale == "quick":
+        return (10_000,)
+    if scale == "paper":
+        return (10_000, 100_000, 1_000_000)
+    return (10_000, 100_000)
+
+
+def _repeats(num_jobs: int) -> int:
+    # Best-of-3 at the small scale keeps the overhead ratio stable enough
+    # to assert on; the larger scales are long enough to self-average.
+    return 3 if num_jobs <= 10_000 else 1
+
+
+def _trace(num_jobs: int) -> DiurnalPoissonTraceSource:
+    # Sub-critical arrivals (the serve-bench recipe): the backlog stays
+    # bounded, so events/sec measures the event loop and scheduler, not a
+    # quadratic queue pile-up.
+    return DiurnalPoissonTraceSource(
+        num_jobs=num_jobs,
+        seed=1,
+        mean_interarrival_seconds=360.0,
+        runtime_log_mean=5.0,
+        runtime_log_sigma=1.0,
+        max_runtime_seconds=7200.0,
+        serial_fraction=0.6,
+    )
+
+
+def _run_once(algorithm, jobs, telemetry):
+    engine = Simulator(
+        CLUSTER,
+        create_scheduler(algorithm),
+        SimulationConfig(telemetry=telemetry),
+    )
+    start = perf_counter()
+    result = engine.run(jobs)
+    return {
+        "wall_seconds": perf_counter() - start,
+        "events": engine.events_processed,
+        "makespan": result.makespan,
+    }
+
+
+def _measure(algorithm, jobs, repeats):
+    """Best-of-``repeats`` wall time, disabled vs. instrumented.
+
+    Repeats are interleaved (off, on, off, on, ...) after an untimed
+    warm-up, so machine drift lands on both sides of the overhead ratio
+    instead of biasing one.
+    """
+    best = {}
+    if repeats > 1:
+        _run_once(algorithm, jobs, None)
+    for _ in range(repeats):
+        for mode, telemetry in (("off", None), ("on", {"type": "stats"})):
+            sample = _run_once(algorithm, jobs, telemetry)
+            if mode not in best or sample["wall_seconds"] < best[mode]["wall_seconds"]:
+                best[mode] = sample
+    return best["off"], best["on"]
+
+
+@pytest.mark.benchmark(group="engine-throughput")
+def test_engine_throughput(report_artifact):
+    entries = []
+    rows = []
+    for num_jobs in _scales():
+        jobs = list(_trace(num_jobs).jobs(CLUSTER))
+        workload = f"diurnal-poisson-{num_jobs}"
+        repeats = _repeats(num_jobs)
+        for algorithm in ALGORITHMS:
+            off, on = _measure(algorithm, jobs, repeats)
+            # Telemetry must never change simulated results...
+            assert on["makespan"] == off["makespan"]
+            assert on["events"] == off["events"]
+            overhead = on["wall_seconds"] / off["wall_seconds"]
+            # ...and must stay effectively free where repeats damp noise.
+            if repeats >= 3:
+                assert overhead <= OVERHEAD_BOUND, (
+                    f"{algorithm}/{workload}: telemetry overhead "
+                    f"{overhead:.3f}x exceeds {OVERHEAD_BOUND}x"
+                )
+            events_per_sec = off["events"] / off["wall_seconds"]
+            entries.append(
+                {
+                    "workload": workload,
+                    "algorithm": algorithm,
+                    "nodes": CLUSTER.num_nodes,
+                    "num_jobs": num_jobs,
+                    "events": off["events"],
+                    "wall_seconds": round(off["wall_seconds"], 3),
+                    "events_per_wall_sec": round(events_per_sec, 1),
+                    "telemetry_wall_seconds": round(on["wall_seconds"], 3),
+                    "telemetry_overhead": round(overhead, 3),
+                    "repeats": repeats,
+                }
+            )
+            rows.append(
+                [
+                    workload,
+                    algorithm,
+                    f"{off['events']}",
+                    f"{off['wall_seconds']:.2f}",
+                    f"{events_per_sec:.0f}",
+                    f"{overhead:.3f}",
+                ]
+            )
+    artifact = {
+        "benchmark": "engine-throughput",
+        "overhead_bound": OVERHEAD_BOUND,
+        "scale": os.environ.get("REPRO_BENCH_SCALE", "default").lower(),
+        "entries": entries,
+    }
+    ARTIFACT_PATH.write_text(
+        json.dumps(artifact, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    report_artifact(
+        "engine_throughput",
+        format_table(
+            ["workload", "algorithm", "events", "wall s", "events/s", "telemetry x"],
+            rows,
+            title=f"Engine event-loop throughput ({CLUSTER.num_nodes} nodes)",
+        ),
+    )

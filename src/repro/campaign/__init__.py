@@ -31,6 +31,7 @@ length.
 """
 
 from .collectors import (
+    AvailabilityCollector,
     CostCollector,
     FairnessCollector,
     MetricCollector,
@@ -64,6 +65,7 @@ __all__ = [
     "Campaign",
     "CampaignResult",
     "Cell",
+    "AvailabilityCollector",
     "CollectorSpec",
     "CostCollector",
     "CustomSource",

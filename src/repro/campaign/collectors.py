@@ -45,6 +45,7 @@ __all__ = [
     "TimingCollector",
     "FairnessCollector",
     "UtilizationCollector",
+    "AvailabilityCollector",
     "available_collectors",
     "create_collector",
     "register_collector",
@@ -419,12 +420,154 @@ class UtilizationCollector(MetricCollector):
         return row
 
 
+class AvailabilityCollector(MetricCollector):
+    """Delivered vs. nominal CPU-hours under the platform availability trace.
+
+    ``availability`` is the fraction of the cluster's nominal CPU capacity
+    actually deliverable over the measured span (1.0 on static platforms);
+    ``downtime_cpu_hours`` is what the failure trace took away.  The window
+    columns summarise per-window availability over fixed windows of
+    ``window_seconds`` anchored at the first submission — the worst window
+    (``min_window_availability``) is the number an operator SLO would quote.
+
+    Needs the ``availability`` recorder in materialized campaigns.  In
+    streaming campaigns the engine feeds time-weighted up-capacity
+    accumulators directly (``SimulationConfig(availability_window_seconds)``,
+    wired by the executor through ``needs_engine_windows``): the whole-run
+    integral merges exactly across instances, and per-window ratios pool
+    into moments — count, mean, and min stay exact.
+    """
+
+    name = "availability"
+    recorders = ("availability",)
+    streaming_capable = True
+    #: Executor hint: streaming runs must set the engine's
+    #: ``availability_window_seconds`` to this collector's window width.
+    needs_engine_windows = True
+
+    def __init__(self, *, window_seconds: float = 3600.0) -> None:
+        window = float(window_seconds)
+        if not np.isfinite(window) or window <= 0.0:
+            raise ConfigurationError(
+                f"availability window_seconds must be positive and finite, "
+                f"got {window_seconds!r}"
+            )
+        self.window_seconds = window
+
+    def collect(
+        self,
+        result: SimulationResult,
+        recorders: Mapping[str, SimulationObserver],
+        workload: Workload,
+    ) -> Dict[str, Any]:
+        from ..core.observers import AvailabilityRecorder
+
+        recorder = recorders["availability"]
+        assert isinstance(recorder, AvailabilityRecorder)
+        # Plain floats throughout: metric values must survive a JSON round
+        # trip (np scalars from capacity sums do not).
+        capacity = float(recorder.nominal_cpu_capacity())
+        duration = float(recorder.duration())
+        delivered = float(recorder.delivered_cpu_seconds())
+        nominal = capacity * duration
+        ratios = self._window_ratios(recorder, capacity)
+        return {
+            "availability": delivered / nominal if nominal > 0 else 1.0,
+            "delivered_cpu_hours": delivered / 3600.0,
+            "nominal_cpu_hours": nominal / 3600.0,
+            "downtime_cpu_hours": max(0.0, nominal - delivered) / 3600.0,
+            "availability_windows": len(ratios),
+            "min_window_availability": float(min(ratios)) if ratios else 1.0,
+            "mean_window_availability": (
+                float(np.mean(ratios)) if ratios else 1.0
+            ),
+        }
+
+    def _window_ratios(self, recorder: Any, capacity: float) -> List[float]:
+        """Per-window delivered/nominal ratios from the recorder's segments.
+
+        Segments are split at window boundaries (anchored at the start of
+        the measured span), so each window integrates exactly its share; a
+        trailing partial window is ratioed against its own covered span.
+        """
+        if capacity <= 0:
+            return []
+        width = self.window_seconds
+        origin = recorder.start_time
+        delivered: Dict[int, float] = {}
+        covered: Dict[int, float] = {}
+        for start, end, up in recorder.segments:
+            t = float(start)
+            end = float(end)
+            up = float(up)
+            while t < end - 1e-12:
+                index = int((t - origin) // width)
+                boundary = origin + (index + 1) * width
+                seg_end = end if boundary <= t else min(end, boundary)
+                delivered[index] = delivered.get(index, 0.0) + up * (seg_end - t)
+                covered[index] = covered.get(index, 0.0) + (seg_end - t)
+                t = seg_end
+        return [
+            delivered[index] / (capacity * covered[index])
+            for index in sorted(covered)
+            if covered[index] > 0
+        ]
+
+    def stream_partials(self, result: SimulationResult) -> Dict[str, Accumulator]:
+        avail = result.avail_node_stats
+        if avail is None:
+            raise ConfigurationError(
+                f"collector {self.name!r} needs the engine's availability "
+                "accumulator (SimulationConfig(streaming_metrics=True)) to "
+                "build partials"
+            )
+        capacity = Moments()
+        capacity.add(float(result.cluster.total_cpu_capacity()))
+        # Per-window availability ratios pool into moments instead of
+        # travelling as per-window accumulators: instances of different
+        # lengths produce different window sets, and the campaign merge
+        # contract (merge_bundles) requires identical name sets.
+        windows = Moments()
+        total = float(result.cluster.total_cpu_capacity())
+        if result.avail_window_stats and total > 0:
+            for stats in result.avail_window_stats.values():
+                if stats.duration > 0:
+                    windows.add(stats.mean / total)
+        return {"delivered": avail, "capacity": capacity, "windows": windows}
+
+    def stream_finalize(self, merged: Mapping[str, Any]) -> Dict[str, Any]:
+        delivered = merged["delivered"]
+        capacity = float(merged["capacity"].mean) if merged["capacity"].n else 0.0
+        duration = float(delivered.duration)
+        delivered_cpu_seconds = float(delivered.integral)
+        nominal = capacity * duration
+        windows = merged["windows"]
+        return {
+            "availability": (
+                delivered_cpu_seconds / nominal if nominal > 0 else 1.0
+            ),
+            "delivered_cpu_hours": delivered_cpu_seconds / 3600.0,
+            "nominal_cpu_hours": nominal / 3600.0,
+            "downtime_cpu_hours": (
+                max(0.0, nominal - delivered_cpu_seconds) / 3600.0
+            ),
+            "availability_windows": int(windows.n),
+            "min_window_availability": (
+                float(windows.minimum) if windows.n else 1.0
+            ),
+            "mean_window_availability": (
+                float(windows.mean) if windows.n else 1.0
+            ),
+        }
+
+
 _COLLECTOR_FACTORIES: Dict[str, Callable[..., MetricCollector]] = {
     "stretch": StretchCollector,
     "costs": CostCollector,
     "timing": TimingCollector,
     "fairness": FairnessCollector,
     "utilization": UtilizationCollector,
+    "availability": AvailabilityCollector,
 }
 
 

@@ -53,6 +53,7 @@ from ..core.engine import SimulationConfig, Simulator
 from ..core.observers import create_recorder
 from ..exceptions import ConfigurationError, ReproError
 from ..metrics import bundle_from_dict, bundle_to_dict, merge_bundles
+from ..obs.telemetry import merge_telemetry_bundles, summarize_bundle
 from ..schedulers.registry import create_scheduler
 from ..workloads.model import Workload
 from ..workloads.scaling import scale_to_load
@@ -107,6 +108,10 @@ def _execute_run(task: _RunTask) -> Dict[str, Any]:
     metrics: Dict[str, Any] = {}
     for collector in collectors:
         metrics.update(collector.collect(result, recorders, workload))
+    if simulator.telemetry is not None:
+        # Timings travel in their own row field, never among the metric
+        # columns — results stay a pure function of the spec (DET103).
+        metrics["telemetry"] = simulator.telemetry.summary()
     return metrics
 
 
@@ -172,7 +177,7 @@ def _execute_streaming_run(task: _StreamTask) -> Dict[str, Any]:
         stream_source = source.transformed(ScaleInterarrival(factor=factor))
     simulator = Simulator(cluster, create_scheduler(algorithm), simulation_config)
     result = simulator.run_stream(stream_source.jobs(cluster))
-    return {
+    outcome = {
         "workload": source.default_name(),
         "partials": {
             collector.name: bundle_to_dict(collector.stream_partials(result))
@@ -180,6 +185,11 @@ def _execute_streaming_run(task: _StreamTask) -> Dict[str, Any]:
         },
         "peak_resident_jobs": simulator.peak_resident_jobs,
     }
+    if simulator.telemetry is not None:
+        # Telemetry ships as a serialized accumulator bundle, exactly like
+        # the metric partials, so per-worker sinks merge exactly.
+        outcome["telemetry"] = bundle_to_dict(simulator.telemetry.bundle())
+    return outcome
 
 
 class Campaign:
@@ -524,6 +534,19 @@ class Campaign:
                     "per-job population and cannot run in a streaming "
                     "campaign; drop it or run without streaming"
                 )
+        # Collectors measuring windowed availability need the engine to
+        # split the up-capacity integral at their window width; two
+        # collectors asking for different widths cannot share one run.
+        window_seconds: Optional[float] = None
+        for collector in collectors:
+            if getattr(collector, "needs_engine_windows", False):
+                width = float(collector.window_seconds)
+                if window_seconds is not None and window_seconds != width:
+                    raise ConfigurationError(
+                        "conflicting availability window widths in one "
+                        f"scenario: {window_seconds:g}s vs {width:g}s"
+                    )
+                window_seconds = width
 
         # The streaming rows are a different shape (merged per cell, sketched
         # quantile columns), so the cache must never be shared with the
@@ -546,6 +569,7 @@ class Campaign:
             scenario.simulation_config(),
             streaming_metrics=True,
             metrics_relative_error=self.metrics_relative_error,
+            availability_window_seconds=window_seconds,
         )
         models_templated = scenario.has_models_template
 
@@ -561,6 +585,7 @@ class Campaign:
                 ),
                 streaming_metrics=True,
                 metrics_relative_error=self.metrics_relative_error,
+                availability_window_seconds=window_seconds,
             )
 
         # Offered load is a per-instance constant: measure it lazily, once
@@ -660,6 +685,17 @@ class Campaign:
                             ]
                         )
                         metrics.update(collector.stream_finalize(merged))
+                    telemetry_bundles = [
+                        outcome["telemetry"]
+                        for outcome in per_instance
+                        if outcome.get("telemetry")
+                    ]
+                    if telemetry_bundles:
+                        # Union-wise merge: instrument sets legitimately
+                        # differ between shards (see merge_telemetry_bundles).
+                        metrics["telemetry"] = summarize_bundle(
+                            merge_telemetry_bundles(telemetry_bundles)
+                        )
                     metrics["peak_resident_jobs"] = max(
                         outcome["peak_resident_jobs"] for outcome in per_instance
                     )
@@ -760,6 +796,10 @@ class Campaign:
                                     outcome["partials"][collector.name]
                                 )
                             )
+                        )
+                    if outcome.get("telemetry"):
+                        metrics["telemetry"] = summarize_bundle(
+                            merge_telemetry_bundles([outcome["telemetry"]])
                         )
                     metrics["peak_resident_jobs"] = outcome["peak_resident_jobs"]
                     cached[key] = {

@@ -638,6 +638,14 @@ class Scenario:
     #: them is byte-identical — spec, hash, cache keys — to one without a
     #: ``models`` block.
     models: Any = None
+    #: Optional telemetry spec: a :class:`repro.obs.TelemetryConfig` or its
+    #: canonical ``{"type": "stats" | "tracing"}`` mapping, forwarded to the
+    #: engine of every run.  The default spec (``{"type": "off"}``) is
+    #: demoted to ``None`` so a scenario carrying it is byte-identical —
+    #: spec, hash, cache keys — to one without a ``telemetry`` block.  Live
+    #: :class:`~repro.obs.Telemetry` sinks are rejected: scenarios are pure
+    #: data, and every run must get its own fresh sink.
+    telemetry: Any = None
 
     def __post_init__(self) -> None:
         # Names end up in cache keys and exported file names.
@@ -679,6 +687,7 @@ class Scenario:
         )
         self._init_platform()
         self._init_models()
+        self._init_telemetry()
 
     def _init_platform(self) -> None:
         """Normalise the ``platform`` field and derive the cluster from it.
@@ -827,6 +836,44 @@ class Scenario:
             canonical["execution_time"] = execution_model.to_dict()
         object.__setattr__(self, "models", canonical)
         object.__setattr__(self, "_static_models", built)
+
+    def _init_telemetry(self) -> None:
+        """Normalise the ``telemetry`` field into its canonical spec form.
+
+        Mirrors ``_init_models``: specs are validated by round-tripping
+        through the telemetry registry, and the default (``{"type": "off"}``)
+        is dropped entirely, pinning the scenario byte-identical to a
+        telemetry-free one.  Live sinks are rejected — a scenario is pure
+        data, and sharing one sink across a campaign's runs would double
+        count; the engine builds a fresh sink per run from the spec.
+        """
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        from ..obs import Telemetry, TelemetryConfig, telemetry_config_from_dict
+
+        if isinstance(telemetry, Telemetry):
+            raise ConfigurationError(
+                "scenario telemetry must be a declarative spec (a "
+                "repro.obs.TelemetryConfig or its {'type': ...} mapping), "
+                "not a live Telemetry sink — each run builds its own sink "
+                "from the spec"
+            )
+        if isinstance(telemetry, TelemetryConfig):
+            spec = telemetry.to_dict()
+        elif isinstance(telemetry, Mapping):
+            # Round-trip through the registry so unknown types and bad
+            # fields fail at build time, not mid-campaign.
+            spec = telemetry_config_from_dict(telemetry).to_dict()
+        else:
+            raise ConfigurationError(
+                "telemetry must be a repro.obs.TelemetryConfig or its spec "
+                f"mapping, got {type(telemetry).__name__}"
+            )
+        if spec == {"type": "off"}:
+            object.__setattr__(self, "telemetry", None)
+            return
+        object.__setattr__(self, "telemetry", spec)
 
     @staticmethod
     def _build_models(spec: Mapping[str, Any]) -> Tuple[Any, Any]:
@@ -977,6 +1024,8 @@ class Scenario:
             extra["overhead_model"] = overhead_model
         if execution_model is not None:
             extra["execution_time_model"] = execution_model
+        if self.telemetry is not None:
+            extra["telemetry"] = dict(self.telemetry)
         return SimulationConfig(
             penalty_model=ReschedulingPenaltyModel(self.penalty_seconds),
             record_scheduler_times=self.record_scheduler_times,
@@ -1026,6 +1075,10 @@ class Scenario:
         # model-free scenario hashes unchanged.
         if self.models is not None:
             data["models"] = copy.deepcopy(self.models)
+        # Emitted only when it survived demotion: an "off" block was dropped
+        # in ``_init_telemetry``, keeping telemetry-free hashes unchanged.
+        if self.telemetry is not None:
+            data["telemetry"] = dict(self.telemetry)
         data.update(
             {
                 "algorithms": list(self.algorithms),
@@ -1055,6 +1108,7 @@ def scenario_from_dict(data: Mapping[str, Any]) -> Scenario:
     unknown = set(payload) - {
         "name", "source", "cluster", "platform", "algorithms",
         "penalty_seconds", "sweep", "collectors", "engine", "models",
+        "telemetry",
     }
     if unknown:
         raise ConfigurationError(
@@ -1123,6 +1177,7 @@ def scenario_from_dict(data: Mapping[str, Any]) -> Scenario:
         repack_on_failure=bool(engine.get("repack_on_failure", False)),
         platform=platform_spec,
         models=payload.get("models"),
+        telemetry=payload.get("telemetry"),
     )
 
 

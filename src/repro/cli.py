@@ -86,6 +86,7 @@ from .experiments.table1 import run_table1
 from .experiments.table2 import run_table2
 from .experiments.timing import run_timing_study
 from .experiments.utilization_study import run_utilization_study
+from .obs.cli import add_profile_subparser, run_profile_command
 from .schedulers.registry import algorithm_catalog
 from .serve.cli import add_serve_subparsers, run_loadtest_command, run_serve_command
 from .workloads import (
@@ -316,6 +317,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_dev_subparser(subparsers)
     add_serve_subparsers(subparsers)
+    add_profile_subparser(subparsers)
     return parser
 
 
@@ -705,6 +707,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_serve_command(args)
     if args.command == "loadtest":
         return run_loadtest_command(args)
+    if args.command == "profile":
+        # Profiling drives one engine run directly from the scenario spec;
+        # the experiment-config and campaign machinery never enter the path.
+        return run_profile_command(args)
     if getattr(args, "streaming_metrics", False) and args.command not in _STREAMING_COMMANDS:
         parser.error(
             f"--streaming-metrics only applies to {' / '.join(_STREAMING_COMMANDS)}: "

@@ -20,6 +20,7 @@ from .invariants import InvariantCheckingObserver
 from .observers import (
     AllocationInterval,
     AllocationTraceRecorder,
+    AvailabilityRecorder,
     EventLogRecorder,
     ObservedEvent,
     SimulationObserver,
@@ -61,6 +62,7 @@ __all__ = [
     "InvariantCheckingObserver",
     "AllocationInterval",
     "AllocationTraceRecorder",
+    "AvailabilityRecorder",
     "EventLogRecorder",
     "ObservedEvent",
     "SimulationObserver",

@@ -49,11 +49,17 @@ from __future__ import annotations
 import heapq
 import logging
 import math
-import time as _time
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import SimulationError
+from ..obs.telemetry import (
+    Telemetry,
+    as_telemetry,
+    current_telemetry,
+    push_telemetry,
+)
+from ..obs.timing import perf_counter as _perf_counter
 from .allocation import AllocationDecision, JobAllocation, validate_decision
 from .clock import Clock, SimulatedClock
 from .cluster import Cluster
@@ -135,6 +141,19 @@ class SimulationConfig:
     #: ``SimulationResult.energy_joules`` (down nodes draw nothing).  None
     #: (the default) skips the accounting entirely.
     node_power: Optional[Tuple[Tuple[float, float], ...]] = None
+    #: Optional telemetry: a live :class:`repro.obs.Telemetry` sink, a
+    #: :class:`repro.obs.TelemetryConfig` spec, or its canonical dict form
+    #: (``{"type": "stats" | "tracing"}``).  None (the default) disables all
+    #: instrumentation — the disabled path is byte-identical to previous
+    #: releases and adds only per-event None checks.  Timings live in the
+    #: sink, never in results, so results stay a pure function of the spec
+    #: (DET103).
+    telemetry: Optional[Any] = None
+    #: Width in seconds of the per-window availability accumulators (the
+    #: delivered-vs-nominal CPU-hours measurement of the ``availability``
+    #: collector).  Only read in ``streaming_metrics`` mode; None (the
+    #: default) keeps only the whole-run availability integral.
+    availability_window_seconds: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -237,10 +256,38 @@ class Simulator:
         #: Time-weighted busy-node accumulator (streaming-metrics mode only),
         #: feeding the streaming ``utilization`` collector.
         self._busy_node_stats = None
+        # -- availability measurement ---------------------------------------
+        #: Time-weighted *up CPU capacity* accumulator (streaming-metrics
+        #: mode only), feeding the streaming ``availability`` collector:
+        #: delivered CPU-hours = mean x duration.
+        self._avail_node_stats = None
+        #: window index -> up-capacity accumulator, when
+        #: ``availability_window_seconds`` is set (windows anchored at the
+        #: first submission).
+        self._avail_window_stats: Optional[Dict[int, Any]] = None
+        self._window_accumulator_factory = None
+        window = self.config.availability_window_seconds
+        if window is not None and (not math.isfinite(window) or window <= 0.0):
+            raise SimulationError(
+                f"availability_window_seconds must be a positive finite "
+                f"number of seconds, got {window!r}"
+            )
         if self.config.streaming_metrics:
             from ..metrics import TimeWeightedValue
 
             self._busy_node_stats = TimeWeightedValue()
+            self._avail_node_stats = TimeWeightedValue()
+            if window is not None:
+                self._avail_window_stats = {}
+                self._window_accumulator_factory = TimeWeightedValue
+        #: Total CPU capacity of the cluster (cached; the availability
+        #: integral subtracts down-node capacity from it every segment).
+        self._total_cpu_capacity = float(cluster.total_cpu_capacity())
+        # -- telemetry ------------------------------------------------------
+        #: The live telemetry sink, or None when telemetry is disabled (the
+        #: default).  All hot-path instrumentation is guarded by a single
+        #: None check per event.
+        self._telemetry: Optional[Telemetry] = as_telemetry(self.config.telemetry)
         self._now = 0.0
         self._pending_submissions = 0
         # -- O(active) event-loop state ------------------------------------
@@ -297,6 +344,16 @@ class Simulator:
         #: register every spec up front so it equals the workload size.
         self.peak_resident_jobs = 0
 
+    @property
+    def telemetry(self) -> Optional[Telemetry]:
+        """The live telemetry sink, or None when telemetry is disabled."""
+        return self._telemetry
+
+    @property
+    def events_processed(self) -> int:
+        """Simulation events processed so far (throughput denominator)."""
+        return self._events_processed
+
     # ------------------------------------------------------------------ run --
     def run(self, specs: Sequence[JobSpec]) -> SimulationResult:
         """Simulate the full (materialized) workload and return the results."""
@@ -336,6 +393,19 @@ class Simulator:
         return self._run_event_loop(first.submit_time)
 
     def _run_event_loop(self, first_submit: float) -> SimulationResult:
+        # Install the sink as the thread's ambient telemetry for the whole
+        # run (not per scheduler invocation): ``_invoke_scheduler`` then
+        # skips the push/pop pair on every event behind one identity check.
+        tel = self._telemetry
+        if tel is None:
+            return self._run_event_loop_inner(first_submit)
+        previous = push_telemetry(tel)
+        try:
+            return self._run_event_loop_inner(first_submit)
+        finally:
+            push_telemetry(previous)
+
+    def _run_event_loop_inner(self, first_submit: float) -> SimulationResult:
         self._begin(first_submit)
         while self._has_active_jobs() or self._pending_submissions > 0:
             next_time = self._next_event_time()
@@ -381,12 +451,29 @@ class Simulator:
                 f"exceeded max_events={self.config.max_events}; "
                 "the scheduler is probably thrashing"
             )
-        self._advance_to(next_time)
-        submitted, completed, is_wakeup = self._collect_triggers(next_time)
+        tel = self._telemetry
+        if tel is None:
+            self._advance_to(next_time)
+            submitted, completed, is_wakeup = self._collect_triggers(next_time)
+        else:
+            tel.count("engine.events")
+            # One timed window covers clock advance plus trigger collection:
+            # per-event instrumentation is budgeted (the throughput bench
+            # asserts <=1.10x), so only the phases worth a profile row get
+            # their own timer reads.
+            t0 = tel.now()
+            self._advance_to(next_time)
+            submitted, completed, is_wakeup = self._collect_triggers(next_time)
+            tel.record_phase("engine.advance", t0, tel.now())
         if not self._has_active_jobs() and self._pending_submissions == 0:
             return
         decision = self._invoke_scheduler(submitted, completed, is_wakeup)
-        self._apply_decision(decision)
+        if tel is None:
+            self._apply_decision(decision)
+        else:
+            t2 = tel.now()
+            self._apply_decision(decision)
+            tel.record_phase("engine.apply", t2, tel.now())
         for wakeup in decision.wakeups:
             if wakeup < self._now - 1e-9:
                 raise SimulationError(
@@ -414,6 +501,8 @@ class Simulator:
             scheduler_job_count_stats=self._scheduler_job_count_stats,
             energy_joules=self._energy_joules,
             busy_node_stats=self._busy_node_stats,
+            avail_node_stats=self._avail_node_stats,
+            avail_window_stats=self._avail_window_stats,
         )
 
     # -------------------------------------------------------- online driving --
@@ -703,7 +792,13 @@ class Simulator:
         """Pull the next spec (if any) from the streaming source."""
         if self._stream is None:
             return
-        spec = next(self._stream, None)
+        tel = self._telemetry
+        if tel is None:
+            spec = next(self._stream, None)
+        else:
+            t0 = tel.now()
+            spec = next(self._stream, None)
+            tel.record_phase("engine.stream_intake", t0, tel.now())
         if spec is None:
             self._stream = None
             return
@@ -855,9 +950,44 @@ class Simulator:
                     )
                 for job in self._active.values():
                     job.advance(duration)
+            if self._avail_node_stats is not None:
+                up_cpu = self._up_cpu_capacity()
+                self._avail_node_stats.add_segment(up_cpu, duration)
+                if self._avail_window_stats is not None:
+                    self._record_window_segment(up_cpu, self._now, next_time)
             if self._node_power is not None:
                 self._energy_joules += self._power_current * duration
         self._now = next_time
+
+    def _up_cpu_capacity(self) -> float:
+        """Aggregate CPU capacity of the nodes currently up."""
+        if not self._down_nodes:
+            return self._total_cpu_capacity
+        return self._total_cpu_capacity - sum(
+            self.cluster.cpu_capacity(node) for node in sorted(self._down_nodes)
+        )
+
+    def _record_window_segment(self, up_cpu: float, start: float, end: float) -> None:
+        """Fold one constant-capacity segment into the window accumulators.
+
+        Windows are ``availability_window_seconds`` wide, anchored at the
+        first submission; a segment spanning a boundary is split so each
+        window integrates exactly its own share.
+        """
+        width = self.config.availability_window_seconds
+        assert width is not None and self._avail_window_stats is not None
+        origin = self._first_submit
+        t = start
+        while t < end - 1e-12:
+            index = int((t - origin) // width)
+            boundary = origin + (index + 1) * width
+            seg_end = end if boundary <= t else min(end, boundary)
+            stats = self._avail_window_stats.get(index)
+            if stats is None:
+                stats = self._window_accumulator_factory()
+                self._avail_window_stats[index] = stats
+            stats.add_segment(up_cpu, seg_end - t)
+            t = seg_end
 
     def _collect_triggers(self, now: float):
         submitted: List[int] = []
@@ -1006,10 +1136,36 @@ class Simulator:
     def _invoke_scheduler(
         self, submitted: List[int], completed: List[int], is_wakeup: bool
     ) -> AllocationDecision:
-        context = self._build_context(submitted, completed, is_wakeup)
-        start = _time.perf_counter()
-        decision = self.scheduler.schedule(context)
-        elapsed = _time.perf_counter() - start
+        tel = self._telemetry
+        if tel is None:
+            context = self._build_context(submitted, completed, is_wakeup)
+            start = _perf_counter()
+            decision = self.scheduler.schedule(context)
+            elapsed = _perf_counter() - start
+        else:
+            context = self._build_context(submitted, completed, is_wakeup)
+            # The sink is the thread's ambient telemetry while scheduling,
+            # so packers (``@timed_phase``) and scheduler internals can time
+            # themselves without protocol plumbing.  ``_run_event_loop``
+            # installs it for whole runs; the online driver (serve layer)
+            # reaches here without that wrapper, so push per invocation then.
+            if current_telemetry() is tel:
+                start = _perf_counter()
+                try:
+                    decision = self.scheduler.schedule(context)
+                finally:
+                    elapsed = _perf_counter() - start
+            else:
+                previous = push_telemetry(tel)
+                start = _perf_counter()
+                try:
+                    decision = self.scheduler.schedule(context)
+                finally:
+                    elapsed = _perf_counter() - start
+                    push_telemetry(previous)
+            tel.record_phase("engine.schedule", start, start + elapsed)
+            tel.count("engine.scheduler_invocations")
+            tel.gauge("engine.active_jobs", float(len(context.jobs)))
         if self.config.record_scheduler_times:
             if self._scheduler_time_stats is not None:
                 self._scheduler_time_stats.add(elapsed)

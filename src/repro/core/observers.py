@@ -39,6 +39,7 @@ __all__ = [
     "AllocationTraceRecorder",
     "UtilizationSample",
     "UtilizationRecorder",
+    "AvailabilityRecorder",
     "available_recorders",
     "create_recorder",
     "register_recorder",
@@ -384,6 +385,93 @@ class UtilizationRecorder(SimulationObserver):
 
 
 # --------------------------------------------------------------------------- #
+# Availability measurement                                                     #
+# --------------------------------------------------------------------------- #
+class AvailabilityRecorder(SimulationObserver):
+    """Measure delivered vs. nominal CPU capacity over the run.
+
+    The aggregate CPU capacity of *up* nodes is a step function that only
+    changes at node-down/node-up events; the recorder keeps it as a list of
+    constant-capacity ``(start, end, up_cpu)`` segments.  On static
+    platforms this is a single full-capacity segment and delivered equals
+    nominal.  A node that was already down when the run began (pre-run slice
+    of the availability trace) is discovered at its repair event, and its
+    capacity is retroactively removed from every earlier segment — so the
+    integral is exact either way.
+    """
+
+    def __init__(self) -> None:
+        #: Closed constant-capacity segments: ``(start, end, up_cpu)``.
+        self.segments: List[Tuple[float, float, float]] = []
+        self.start_time = 0.0
+        self.end_time = 0.0
+        self._cluster: Optional[Cluster] = None
+        self._segment_start = 0.0
+        self._up_cpu = 0.0
+        self._down: set = set()
+
+    def on_simulation_start(self, cluster: Cluster, start_time: float) -> None:
+        self._cluster = cluster
+        self.segments = []
+        self._down = set()
+        self.start_time = start_time
+        self.end_time = start_time
+        self._segment_start = start_time
+        self._up_cpu = cluster.total_cpu_capacity()
+
+    def _close_segment(self, time: float) -> None:
+        if time > self._segment_start:
+            self.segments.append((self._segment_start, time, self._up_cpu))
+        self._segment_start = time
+
+    def on_node_down(self, time: float, node: int) -> None:
+        if node in self._down or self._cluster is None:
+            return
+        self._close_segment(time)
+        self._down.add(node)
+        self._up_cpu -= self._cluster.cpu_capacity(node)
+
+    def on_node_up(self, time: float, node: int) -> None:
+        if self._cluster is None:
+            return
+        if node not in self._down:
+            # Down since before the run began: every segment so far
+            # overcounted this node's capacity.  Correct retroactively and
+            # close the running segment at the corrected level; the current
+            # ``_up_cpu`` already counts the node as up from here on.
+            capacity = self._cluster.cpu_capacity(node)
+            self.segments = [
+                (start, end, up - capacity) for start, end, up in self.segments
+            ]
+            if time > self._segment_start:
+                self.segments.append(
+                    (self._segment_start, time, self._up_cpu - capacity)
+                )
+            self._segment_start = time
+            return
+        self._close_segment(time)
+        self._down.discard(node)
+        self._up_cpu += self._cluster.cpu_capacity(node)
+
+    def on_simulation_end(self, time: float) -> None:
+        self._close_segment(time)
+        self.end_time = time
+
+    # -- queries ---------------------------------------------------------------
+    def nominal_cpu_capacity(self) -> float:
+        """Aggregate CPU capacity of the whole cluster (all nodes up)."""
+        return self._cluster.total_cpu_capacity() if self._cluster else 0.0
+
+    def duration(self) -> float:
+        """Measured span in simulated seconds."""
+        return self.end_time - self.start_time
+
+    def delivered_cpu_seconds(self) -> float:
+        """Integral of up-node CPU capacity over the measured span."""
+        return sum((end - start) * up for start, end, up in self.segments)
+
+
+# --------------------------------------------------------------------------- #
 # Recorder registry                                                            #
 # --------------------------------------------------------------------------- #
 #: Name-constructible recorders.  The campaign layer ships recorder *names*
@@ -393,6 +481,7 @@ _RECORDER_FACTORIES: Dict[str, Callable[[], SimulationObserver]] = {
     "event-log": EventLogRecorder,
     "allocation-trace": AllocationTraceRecorder,
     "utilization": UtilizationRecorder,
+    "availability": AvailabilityRecorder,
 }
 
 

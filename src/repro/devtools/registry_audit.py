@@ -48,7 +48,7 @@ class RegistryAudit:
 
 
 def subsystem_audits() -> List[RegistryAudit]:
-    """The ``kind``-class registries established by PRs 3–8."""
+    """The ``kind``-class registries established by PRs 3–9."""
     return [
         RegistryAudit(
             label="trace source",
@@ -113,6 +113,14 @@ def subsystem_audits() -> List[RegistryAudit]:
             registry_module="repro.models.etm",
             registry_name="_ETM_TYPES",
             packages=("repro.models",),
+        ),
+        RegistryAudit(
+            label="telemetry spec",
+            base_module="repro.obs.telemetry",
+            base_name="TelemetryConfig",
+            registry_module="repro.obs.telemetry",
+            registry_name="_TELEMETRY_TYPES",
+            packages=("repro.obs",),
         ),
     ]
 

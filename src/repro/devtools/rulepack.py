@@ -29,6 +29,7 @@ __all__ = [
     "UnpicklableTaskRule",
     "FloatEqualityRule",
     "SwallowedExceptionRule",
+    "DirectTimeInCoreRule",
 ]
 
 #: Packages whose code can reach simulated results; the determinism and
@@ -469,3 +470,46 @@ class SwallowedExceptionRule(Rule):
     @staticmethod
     def _reraises(handler: ast.ExceptHandler) -> bool:
         return any(isinstance(child, ast.Raise) for child in ast.walk(handler))
+
+
+@register_rule
+class DirectTimeInCoreRule(Rule):
+    code = "OBS701"
+    name = "direct-time-call-in-core"
+    rationale = (
+        "Engine code reads the wall clock only through its two seams: "
+        "repro.core.clock (pacing) and repro.obs.timing (measurement).  A "
+        "direct time.* call in repro.core bypasses both, so profilers and "
+        "tests cannot intercept the reading and the disabled-telemetry "
+        "byte-identity guarantee loses its single swap point.  Import "
+        "perf_counter from repro.obs.timing instead (or pace through a "
+        "Clock)."
+    )
+
+    #: The pacing seam itself is the one core module allowed to touch
+    #: ``time`` directly.
+    _EXEMPT_MODULES = frozenset({"clock.py"})
+
+    def check_file(self, context: FileContext) -> List[Finding]:
+        parts = context.package_parts()
+        if not parts or parts[0] != "core":
+            return []
+        if parts[-1] in self._EXEMPT_MODULES:
+            return []
+        aliases = import_aliases(context.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolved_call_name(node, aliases)
+            if name is not None and name.startswith("time."):
+                findings.append(
+                    context.finding(
+                        node,
+                        self.code,
+                        f"{name}() bypasses the clock/telemetry seams; import "
+                        "perf_counter from repro.obs.timing (measurement) or "
+                        "go through repro.core.clock (pacing)",
+                    )
+                )
+        return findings

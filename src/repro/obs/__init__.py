@@ -1,0 +1,68 @@
+"""Observability: telemetry, span tracing, profiling, Prometheus exposition.
+
+The eighth subsystem contract.  Three pieces, all opt-in and all
+near-zero-overhead when disabled:
+
+* :class:`Telemetry` — the in-process sink of named counters, gauges, and
+  phase timers, backed by the mergeable :mod:`repro.metrics` accumulators
+  so per-worker telemetry merges exactly across campaign pools
+  (:mod:`repro.obs.telemetry`);
+* :func:`trace_span` and the Chrome trace-event / Perfetto exporter
+  (:mod:`repro.obs.tracing`), driven by ``repro-dfrs profile run|replay``;
+* the Prometheus text-exposition renderer (:mod:`repro.obs.prometheus`),
+  served by the ``metrics-prom`` op of the serve JSON-lines protocol.
+
+Declarative spec forms (``{"type": "off" | "stats" | "tracing"}``) travel
+in scenario specs and :class:`~repro.core.engine.SimulationConfig`; the
+``type`` registry is REG601-audited like every other subsystem.  The
+wall-clock *seam* of the engine lives in :mod:`repro.obs.timing` — the only
+module ``repro.core`` may read interval timers through (policed by OBS701).
+"""
+
+from .prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+    render_summary_dict,
+    render_telemetry,
+)
+from .telemetry import (
+    NoTelemetry,
+    StatsTelemetry,
+    Telemetry,
+    TelemetryConfig,
+    TracingTelemetry,
+    as_telemetry,
+    available_telemetry_configs,
+    current_telemetry,
+    merge_telemetry_bundles,
+    push_telemetry,
+    register_telemetry_config,
+    summarize_bundle,
+    telemetry_config_from_dict,
+    timed_phase,
+)
+from .tracing import chrome_trace_events, trace_span, write_chrome_trace
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "NoTelemetry",
+    "StatsTelemetry",
+    "Telemetry",
+    "TelemetryConfig",
+    "TracingTelemetry",
+    "as_telemetry",
+    "available_telemetry_configs",
+    "chrome_trace_events",
+    "current_telemetry",
+    "merge_telemetry_bundles",
+    "push_telemetry",
+    "register_telemetry_config",
+    "render_prometheus",
+    "render_summary_dict",
+    "render_telemetry",
+    "summarize_bundle",
+    "telemetry_config_from_dict",
+    "timed_phase",
+    "trace_span",
+    "write_chrome_trace",
+]

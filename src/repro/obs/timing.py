@@ -1,0 +1,25 @@
+"""The wall-clock timing seam of the engine and the telemetry sink.
+
+Simulation *results* are a pure function of the spec (the DET103 contract),
+so the only wall-clock reads the engine is allowed are monotonic interval
+timers — and those must flow through a single seam so the OBS701 rule can
+police everything else.  This module is that seam: ``repro.core`` imports
+:func:`perf_counter` from here (never from :mod:`time` directly), which
+keeps every wall-clock read in the simulator greppable, auditable, and
+mockable in one place.
+
+The readings are *interval* timestamps (``time.perf_counter``): differences
+are meaningful, absolute values are not, and nothing here ever touches
+calendar time.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["perf_counter"]
+
+#: Monotonic high-resolution interval timer.  ``repro.core`` modules must
+#: call this binding (the clock/telemetry seam) instead of ``time.*`` —
+#: direct wall-clock reads inside the engine are flagged by OBS701.
+perf_counter = time.perf_counter

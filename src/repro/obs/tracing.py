@@ -1,0 +1,104 @@
+"""Span tracing helpers and the Chrome trace-event (Perfetto) exporter.
+
+:func:`trace_span` is the coarse-grained instrumentation entry point for
+code outside the engine hot loop (serve request handling, trace-source
+materialisation, CLI phases): a context manager that times its body into a
+telemetry sink's phase moments — and, on a tracing sink, as a span event.
+It is a no-op when the sink is None, so call sites need no guards.
+
+:func:`chrome_trace_events` / :func:`write_chrome_trace` turn a tracing
+sink's captured span events into the Chrome trace-event JSON format — the
+``{"traceEvents": [...]}`` object format with complete (``"ph": "X"``)
+events — which loads directly into ``chrome://tracing`` and
+https://ui.perfetto.dev.  Timestamps are microseconds relative to the
+earliest captured span, so traces are stable artifacts: two runs of the
+same spec differ only in durations, never in epoch offsets.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from .telemetry import Telemetry
+from .timing import perf_counter
+
+__all__ = ["chrome_trace_events", "trace_span", "write_chrome_trace"]
+
+
+@contextmanager
+def trace_span(name: str, telemetry: Optional[Telemetry]) -> Iterator[None]:
+    """Time the body as one occurrence of phase ``name``; no-op on None."""
+    if telemetry is None:
+        yield
+        return
+    start = perf_counter()
+    try:
+        yield
+    finally:
+        telemetry.record_phase(name, start, perf_counter())
+
+
+def chrome_trace_events(
+    telemetry: Telemetry, *, pid: int = 0, tid: int = 0
+) -> List[Dict[str, Any]]:
+    """The sink's span events in Chrome trace-event form.
+
+    One complete (``"ph": "X"``) event per captured span, microsecond
+    timestamps relative to the earliest span start, plus a process-name
+    metadata event so the Perfetto track is labelled.
+    """
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": "repro-dfrs"},
+        }
+    ]
+    spans = telemetry.span_events()
+    if not spans:
+        return events
+    origin = min(start for _, start, _ in spans)
+    for name, start, duration in sorted(spans, key=lambda s: (s[1], s[0])):
+        events.append(
+            {
+                "name": name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (start - origin) * 1e6,
+                "dur": duration * 1e6,
+                "pid": pid,
+                "tid": tid,
+            }
+        )
+    return events
+
+
+def write_chrome_trace(
+    telemetry: Telemetry, path: Union[str, Path]
+) -> Path:
+    """Write the sink as a Perfetto-loadable Chrome trace JSON file.
+
+    The object form is used (not the bare array) so the file can carry the
+    run's counters and the dropped-span tally alongside the events.
+    """
+    target = Path(path)
+    payload: Dict[str, Any] = {
+        "traceEvents": chrome_trace_events(telemetry),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "counters": {
+                name: telemetry.counters[name]
+                for name in sorted(telemetry.counters)
+            },
+            "dropped_spans": telemetry.dropped_spans,
+        },
+    }
+    target.write_text(
+        json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return target

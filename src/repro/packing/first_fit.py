@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
+from ..obs.telemetry import timed_phase
 from .item import Bin, PackingItem, PackingResult
 from .mcb8 import (
     BinCapacities,
@@ -65,6 +66,7 @@ def _pack(
     )
 
 
+@timed_phase("packing.first_fit_decreasing")
 def first_fit_decreasing_pack(
     items: Sequence[PackingItem],
     num_bins: int,
@@ -82,6 +84,7 @@ def first_fit_decreasing_pack(
     return _pack(items, num_bins, choose, capacities)
 
 
+@timed_phase("packing.best_fit_decreasing")
 def best_fit_decreasing_pack(
     items: Sequence[PackingItem],
     num_bins: int,

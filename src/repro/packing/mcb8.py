@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import AllocationError
+from ..obs.telemetry import timed_phase
 from .item import Bin, PackingItem, PackingResult
 
 __all__ = ["mcb8_pack"]
@@ -132,6 +133,7 @@ def _first_fitting(bin_: Bin, items: List[PackingItem]) -> Optional[int]:
     return None
 
 
+@timed_phase("packing.mcb8")
 def mcb8_pack(
     items: Sequence[PackingItem],
     num_bins: int,

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import ConfigurationError
+from ..obs.telemetry import timed_phase
 from .first_fit import best_fit_decreasing_pack, first_fit_decreasing_pack
 from .item import Bin, PackingItem, PackingResult
 from .mcb8 import (
@@ -52,6 +53,7 @@ _ORDERINGS: Dict[str, Callable[[PackingItem], float]] = {
 }
 
 
+@timed_phase("packing.mcb_family")
 def mcb_family_pack(
     items: Sequence[PackingItem],
     num_bins: int,
@@ -147,6 +149,7 @@ def _first_fitting_index(bin_: Bin, items: List[PackingItem]) -> Optional[int]:
     return None
 
 
+@timed_phase("packing.worst_fit_decreasing")
 def worst_fit_decreasing_pack(
     items: Sequence[PackingItem],
     num_bins: int,

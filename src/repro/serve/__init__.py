@@ -40,7 +40,7 @@ from .admission import (
     available_admission_policies,
     register_admission_policy,
 )
-from .loadtest import PlacementLogObserver, bench_payload, run_loadtest
+from .loadtest import PlacementLogObserver, bench_payload, peak_rss_mb, run_loadtest
 from .protocol import ServiceServer
 from .service import ReplayReport, SchedulerService, ServiceJobRecord, ServiceMetrics
 
@@ -66,4 +66,5 @@ __all__ = [
     "PlacementLogObserver",
     "run_loadtest",
     "bench_payload",
+    "peak_rss_mb",
 ]

@@ -61,6 +61,15 @@ def add_serve_subparsers(subparsers: "argparse._SubParsersAction") -> None:
         default=1.0,
         help="simulated seconds per wall second (default 1.0 = real time)",
     )
+    serve.add_argument(
+        "--telemetry",
+        default=None,
+        help=(
+            "telemetry spec: inline JSON ('{\"type\": \"stats\"}') or "
+            "@file.json; instrumented engines include phase timings in "
+            "metrics and metrics-prom replies (default off)"
+        ),
+    )
 
     loadtest = subparsers.add_parser(
         "loadtest",
@@ -98,9 +107,18 @@ def add_serve_subparsers(subparsers: "argparse._SubParsersAction") -> None:
         default=None,
         help="write the report as a BENCH_serve.json-style artifact here",
     )
+    loadtest.add_argument(
+        "--prom-out",
+        default=None,
+        help=(
+            "write the final metrics as a Prometheus text page here "
+            "(enables stats telemetry: engine phase timings are included)"
+        ),
+    )
 
 
-def _parse_admission(text: Optional[str]) -> Optional[AdmissionPolicy]:
+def _parse_spec_arg(text: Optional[str], flag: str) -> Optional[Dict[str, Any]]:
+    """Parse an inline-JSON-or-``@file.json`` spec argument."""
     if text is None:
         return None
     if text.startswith("@"):
@@ -111,8 +129,16 @@ def _parse_admission(text: Optional[str]) -> Optional[AdmissionPolicy]:
             payload = json.loads(text)
         except json.JSONDecodeError as error:
             raise ConfigurationError(
-                f"--admission is neither valid JSON nor an @file: {error}"
+                f"{flag} is neither valid JSON nor an @file: {error}"
             ) from None
+    assert isinstance(payload, dict)
+    return payload
+
+
+def _parse_admission(text: Optional[str]) -> Optional[AdmissionPolicy]:
+    payload = _parse_spec_arg(text, "--admission")
+    if payload is None:
+        return None
     return admission_policy_from_dict(payload)
 
 
@@ -136,6 +162,7 @@ async def _serve_async(args: argparse.Namespace) -> int:
         args.algorithm,
         config=config,
         admission=_parse_admission(args.admission),
+        telemetry=_parse_spec_arg(args.telemetry, "--telemetry"),
     )
     await service.start(clock=WallClock(args.acceleration))
     server = ServiceServer(service, host=args.host, port=args.port)
@@ -232,8 +259,13 @@ def run_loadtest_command(args: argparse.Namespace) -> int:
         acceleration=args.acceleration,
         admission=_parse_admission(args.admission),
         config=config,
+        telemetry=({"type": "stats"} if args.prom_out is not None else None),
     )
     print(_format_report(report.to_dict()))
+    if args.prom_out is not None and report.prometheus is not None:
+        with open(args.prom_out, "w", encoding="utf-8") as handle:
+            handle.write(report.prometheus)
+        print(f"wrote {args.prom_out}")
     if args.bench_json is not None:
         workload = args.trace if args.trace is not None else "lublin-synthetic"
         payload = bench_payload(

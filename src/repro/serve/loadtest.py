@@ -16,6 +16,7 @@ in wall time, never *what* they are in simulated time.
 from __future__ import annotations
 
 import json
+import sys
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..core.allocation import JobAllocation
@@ -28,7 +29,24 @@ from ..traces.source import JobSource
 from .admission import AdmissionPolicy
 from .service import ReplayReport, SchedulerService
 
-__all__ = ["PlacementLogObserver", "run_loadtest", "bench_payload"]
+__all__ = ["PlacementLogObserver", "run_loadtest", "bench_payload", "peak_rss_mb"]
+
+
+def peak_rss_mb() -> Optional[float]:
+    """Peak resident set size of this process in MiB (None if unavailable).
+
+    Sampled once at report time: ``ru_maxrss`` is a high-water mark, so one
+    reading after the replay captures the run's memory cost.  Linux reports
+    KiB, macOS bytes; Windows has no ``resource`` module, hence Optional.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - exercised on macOS only
+        return rss / (1024.0 * 1024.0)
+    return rss / 1024.0
 
 
 class PlacementLogObserver(SimulationObserver):
@@ -101,13 +119,16 @@ def run_loadtest(
     config: Optional[SimulationConfig] = None,
     relative_error: float = DEFAULT_RELATIVE_ERROR,
     keep_result: bool = False,
+    telemetry: Optional[Mapping[str, Any]] = None,
 ) -> ReplayReport:
     """Replay ``source`` through a fresh service and return the report.
 
     ``acceleration=None`` is the max-throughput mode (no pacing);
     ``acceleration=x`` replays at ``x`` simulated seconds per wall second.
     Streaming metrics are forced on so arbitrarily long traces replay with
-    bounded memory.
+    bounded memory.  ``telemetry`` (a spec dict like ``{"type": "stats"}``)
+    instruments the service and engine; the report then carries the final
+    Prometheus page in :attr:`~repro.serve.service.ReplayReport.prometheus`.
     """
     engine_config = config or SimulationConfig(
         streaming_metrics=True, metrics_relative_error=relative_error
@@ -118,6 +139,7 @@ def run_loadtest(
         config=engine_config,
         admission=admission,
         relative_error=relative_error,
+        telemetry=telemetry,
     )
     return service.replay(
         source, acceleration=acceleration, keep_result=keep_result
@@ -125,10 +147,20 @@ def run_loadtest(
 
 
 def bench_payload(
-    report: ReplayReport, *, workload: str, nodes: int
+    report: ReplayReport,
+    *,
+    workload: str,
+    nodes: int,
+    rss_mb: Optional[float] = None,
 ) -> Dict[str, Any]:
-    """Shape one load-test report as a ``BENCH_serve.json`` entry."""
+    """Shape one load-test report as a ``BENCH_serve.json`` entry.
+
+    ``rss_mb`` defaults to a fresh :func:`peak_rss_mb` sample, so soak runs
+    track the replay's memory high-water mark next to its latency
+    quantiles.
+    """
     return {
+        "peak_rss_mb": rss_mb if rss_mb is not None else peak_rss_mb(),
         "benchmark": "serve-loadtest",
         "workload": workload,
         "nodes": nodes,

@@ -13,6 +13,9 @@ service.  Operations:
 ``{"op": "cancel", "job_id": N}``    withdraw a job
 ``{"op": "metrics"}``                one metrics snapshot (counters, latency
                                      quantiles, mergeable accumulator bundle)
+``{"op": "metrics-prom"}``           the same metrics in Prometheus text
+                                     exposition format (plus engine phase
+                                     timings when telemetry is enabled)
 ``{"op": "stream-metrics", "interval": s, "count": n}``
                                      ``n`` snapshot lines, ``s`` seconds apart
                                      — the live metrics stream
@@ -33,6 +36,8 @@ import json
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from ..exceptions import ReproError
+from ..obs.prometheus import PROMETHEUS_CONTENT_TYPE
+from ..obs.tracing import trace_span
 from .service import SchedulerService
 
 __all__ = ["ServiceServer"]
@@ -123,6 +128,12 @@ class ServiceServer:
             )
             return False
         op = request.get("op")
+        with trace_span(f"serve.request.{op}", self.service.telemetry):
+            return await self._dispatch_op(op, request, writer)
+
+    async def _dispatch_op(
+        self, op: Any, request: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> bool:
         try:
             if op == "submit":
                 return await self._op_submit(request, writer)
@@ -133,6 +144,16 @@ class ServiceServer:
             if op == "metrics":
                 await self._send(
                     writer, {"ok": True, "metrics": self.service.metrics_snapshot()}
+                )
+                return False
+            if op == "metrics-prom":
+                await self._send(
+                    writer,
+                    {
+                        "ok": True,
+                        "content_type": PROMETHEUS_CONTENT_TYPE,
+                        "prom": self.service.prometheus_text(),
+                    },
                 )
                 return False
             if op == "stream-metrics":

@@ -29,7 +29,7 @@ from __future__ import annotations
 import asyncio
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Mapping, Optional, Union
 
 from ..core.clock import Clock, SimulatedClock, WallClock
@@ -42,6 +42,8 @@ from ..exceptions import ConfigurationError, ReproError, SimulationError
 from ..metrics import DEFAULT_RELATIVE_ERROR, Moments, QuantileSketch, SumAccumulator
 from ..metrics.accumulators import Accumulator
 from ..metrics.jobs import bundle_to_dict
+from ..obs.prometheus import render_prometheus
+from ..obs.telemetry import Telemetry, as_telemetry
 from ..schedulers.registry import create_scheduler
 from ..traces.source import JobSource
 from .admission import (
@@ -249,6 +251,9 @@ class ReplayReport:
     wall_seconds: float
     placements_per_wall_sec: float
     queue_latency: Dict[str, float] = field(default_factory=dict)
+    #: Final Prometheus text page, when the service ran with telemetry
+    #: enabled (``repro-dfrs loadtest --prom-out`` writes this to disk).
+    prometheus: Optional[str] = None
     #: Full engine results (records or streamed stats, costs, makespan).
     result: Optional[SimulationResult] = None
 
@@ -296,6 +301,13 @@ class SchedulerService:
         Extra :class:`~repro.core.observers.SimulationObserver` instances
         attached to the engine (e.g. a
         :class:`~repro.serve.loadtest.PlacementLogObserver`).
+    telemetry:
+        A live :class:`~repro.obs.telemetry.Telemetry` sink, a telemetry
+        spec dict (``{"type": "stats"}``), or None (the default: fully
+        uninstrumented).  The service shares the sink with its engine, so
+        ``prometheus_text()`` and the ``metrics-prom`` protocol op expose
+        engine phase timings alongside the service counters.  Overrides
+        ``config.telemetry`` when both are given.
 
     A service instance runs once: either one :meth:`replay` or one
     :meth:`start` … :meth:`shutdown` live session.
@@ -311,6 +323,7 @@ class SchedulerService:
         relative_error: float = DEFAULT_RELATIVE_ERROR,
         ledger_limit: int = 10_000,
         observers: Optional[List[SimulationObserver]] = None,
+        telemetry: Optional[Union[Telemetry, Mapping[str, Any]]] = None,
     ) -> None:
         if ledger_limit < 1:
             raise ConfigurationError(f"ledger_limit must be >= 1, got {ledger_limit}")
@@ -319,6 +332,13 @@ class SchedulerService:
             create_scheduler(scheduler) if isinstance(scheduler, str) else scheduler
         )
         self.config = config or SimulationConfig()
+        self.telemetry: Optional[Telemetry] = as_telemetry(
+            telemetry if telemetry is not None else self.config.telemetry
+        )
+        if self.telemetry is not None:
+            # Share one live sink between the service and its engine so a
+            # single Prometheus page covers both layers.
+            self.config = replace(self.config, telemetry=self.telemetry)
         if isinstance(admission, AdmissionPolicy):
             self.admission: AdmissionPolicy = admission
         elif admission is None:
@@ -390,9 +410,29 @@ class SchedulerService:
         return time.perf_counter() - self._wall_anchor
 
     def metrics_snapshot(self) -> Dict[str, Any]:
-        """Current metrics as a JSON-ready dictionary."""
+        """Current metrics as a JSON-ready dictionary.
+
+        With telemetry enabled the snapshot grows a ``"telemetry"`` summary
+        (engine phase timings, counters, gauges); uninstrumented services
+        emit exactly the historical payload.
+        """
         sim_time = self._engine.online_now() if self._engine is not None else 0.0
-        return self.metrics.snapshot(sim_time, self.wall_seconds())
+        snapshot = self.metrics.snapshot(sim_time, self.wall_seconds())
+        if self.telemetry is not None:
+            snapshot["telemetry"] = self.telemetry.summary()
+        return snapshot
+
+    def prometheus_text(self) -> str:
+        """Current metrics in Prometheus text exposition format (0.0.4).
+
+        Service counters and queue-latency quantiles become
+        ``repro_serve_*`` samples; when telemetry is enabled, engine phase
+        timings and counters are appended as ``repro_telemetry_*`` samples.
+        Served over the JSON-lines protocol as the ``metrics-prom`` op.
+        """
+        sim_time = self._engine.online_now() if self._engine is not None else 0.0
+        snapshot = self.metrics.snapshot(sim_time, self.wall_seconds())
+        return render_prometheus(snapshot, telemetry=self.telemetry)
 
     # ---------------------------------------------------------------- replay --
     def replay(
@@ -447,6 +487,11 @@ class SchedulerService:
             wall_seconds=wall,
             placements_per_wall_sec=float(snapshot["placements_per_wall_sec"]),
             queue_latency=dict(snapshot["queue_latency"]),
+            prometheus=(
+                render_prometheus(snapshot, telemetry=self.telemetry)
+                if self.telemetry is not None
+                else None
+            ),
             result=result if keep_result else None,
         )
 

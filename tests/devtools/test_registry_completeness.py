@@ -71,6 +71,13 @@ from repro.serve import (
     admission_policy_from_dict,
     available_admission_policies,
 )
+from repro.obs import (
+    NoTelemetry,
+    StatsTelemetry,
+    TracingTelemetry,
+    available_telemetry_configs,
+    telemetry_config_from_dict,
+)
 from repro.traces import (
     ConcatTraceSource,
     DiurnalPoissonTraceSource,
@@ -232,6 +239,14 @@ def admission_policy_exemplars():
     }
 
 
+def telemetry_config_exemplars():
+    return {
+        "off": NoTelemetry(),
+        "stats": StatsTelemetry(),
+        "tracing": TracingTelemetry(max_spans=1000),
+    }
+
+
 def assert_registry_round_trips(exemplars, available, from_dict, label):
     assert set(exemplars) == set(available()), (
         f"{label}: exemplar set out of date — update this test when the "
@@ -314,6 +329,15 @@ def test_execution_time_model_registry_round_trips():
     )
 
 
+def test_telemetry_config_registry_round_trips():
+    assert_registry_round_trips(
+        telemetry_config_exemplars(),
+        available_telemetry_configs,
+        telemetry_config_from_dict,
+        "telemetry spec",
+    )
+
+
 def test_no_dangling_scheduler_names():
     names = available_algorithms()
     assert names == sorted(names)
@@ -345,6 +369,7 @@ def test_audit_covers_every_kind_registry():
         "admission policy",
         "overhead model",
         "execution-time model",
+        "telemetry spec",
     }
 
 

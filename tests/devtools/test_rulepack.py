@@ -7,6 +7,7 @@ import pytest
 
 from repro.devtools import check_paths
 from repro.devtools.rulepack import (
+    DirectTimeInCoreRule,
     FloatEqualityRule,
     GlobalRngDrawRule,
     SetIterationRule,
@@ -164,6 +165,66 @@ def test_det103_allows_perf_counter(tmp_path):
         """,
     )
     assert codes(result) == []
+
+
+# --------------------------------------------------------------------------- #
+# OBS701 — direct time.* calls in core bypass the clock/telemetry seams        #
+# --------------------------------------------------------------------------- #
+DIRECT_TIME_SRC = """
+import time
+start = time.perf_counter()
+time.sleep(0.1)
+"""
+
+
+def test_obs701_flags_direct_time_calls_in_core(tmp_path):
+    result = run_rule(tmp_path, DirectTimeInCoreRule(), DIRECT_TIME_SRC)
+    assert codes(result) == ["OBS701", "OBS701"]
+
+
+def test_obs701_resolves_from_import_alias(tmp_path):
+    result = run_rule(
+        tmp_path,
+        DirectTimeInCoreRule(),
+        """
+        from time import perf_counter
+        start = perf_counter()
+        """,
+    )
+    assert codes(result) == ["OBS701"]
+
+
+def test_obs701_allows_the_timing_seam(tmp_path):
+    result = run_rule(
+        tmp_path,
+        DirectTimeInCoreRule(),
+        """
+        from repro.obs.timing import perf_counter
+        start = perf_counter()
+        """,
+    )
+    assert codes(result) == []
+
+
+def test_obs701_exempts_the_clock_seam_and_other_packages(tmp_path):
+    for relfile in ("src/repro/core/clock.py", PACKING, OUTSIDE, TESTFILE):
+        result = run_rule(
+            tmp_path, DirectTimeInCoreRule(), DIRECT_TIME_SRC, relfile=relfile
+        )
+        assert codes(result) == [], relfile
+
+
+def test_obs701_noqa_suppresses(tmp_path):
+    result = run_rule(
+        tmp_path,
+        DirectTimeInCoreRule(),
+        """
+        import time
+        start = time.perf_counter()  # repro: noqa[OBS701]
+        """,
+    )
+    assert codes(result) == []
+    assert result.suppressed == 1
 
 
 # --------------------------------------------------------------------------- #

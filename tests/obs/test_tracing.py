@@ -1,0 +1,76 @@
+"""Chrome trace-event export: schema, ordering, and the trace_span helper."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import Telemetry, chrome_trace_events, trace_span, write_chrome_trace
+
+
+def tracing_sink() -> Telemetry:
+    telemetry = Telemetry(capture_spans=True)
+    telemetry.record_phase("alpha", 100.0, 100.5)
+    telemetry.record_phase("beta", 100.2, 100.3)
+    telemetry.count("events", 7)
+    return telemetry
+
+
+class TestTraceSpan:
+    def test_noop_on_none(self):
+        with trace_span("anything", None):
+            pass  # must not raise
+
+    def test_records_phase_and_span(self):
+        telemetry = Telemetry(capture_spans=True)
+        with trace_span("work", telemetry):
+            pass
+        assert telemetry.bundle()["phase.work"].n == 1
+        assert [name for name, _, _ in telemetry.span_events()] == ["work"]
+
+    def test_records_on_exception(self):
+        telemetry = Telemetry()
+        with pytest.raises(ValueError):
+            with trace_span("work", telemetry):
+                raise ValueError("boom")
+        assert telemetry.bundle()["phase.work"].n == 1
+
+
+class TestChromeTraceSchema:
+    def test_event_list_shape(self):
+        events = chrome_trace_events(tracing_sink())
+        metadata, first, second = events
+        assert metadata == {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "repro-dfrs"},
+        }
+        # Complete events, sorted by start, microseconds relative to the
+        # earliest span — epoch offsets never leak into the artifact.
+        assert first["ph"] == second["ph"] == "X"
+        assert first["name"] == "alpha" and first["ts"] == 0.0
+        assert first["dur"] == pytest.approx(0.5e6)
+        assert second["name"] == "beta" and second["ts"] == pytest.approx(0.2e6)
+        assert {"name", "cat", "ph", "ts", "dur", "pid", "tid"} <= set(first)
+
+    def test_empty_sink_has_only_metadata(self):
+        events = chrome_trace_events(Telemetry(capture_spans=True))
+        assert [event["ph"] for event in events] == ["M"]
+
+    def test_pid_tid_pass_through(self):
+        events = chrome_trace_events(tracing_sink(), pid=3, tid=9)
+        assert all(e["pid"] == 3 and e["tid"] == 9 for e in events)
+
+
+class TestWriteChromeTrace:
+    def test_file_is_perfetto_loadable_object_form(self, tmp_path):
+        target = write_chrome_trace(tracing_sink(), tmp_path / "trace.json")
+        payload = json.loads(target.read_text())
+        assert set(payload) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["counters"] == {"events": 7}
+        assert payload["otherData"]["dropped_spans"] == 0
+        assert len(payload["traceEvents"]) == 3
