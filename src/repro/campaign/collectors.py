@@ -599,3 +599,13 @@ def create_collector(name: str, **options: Any) -> MetricCollector:
         raise ConfigurationError(
             f"invalid options for collector {name!r}: {error}"
         ) from None
+
+
+# The SLO/goodput collectors live with the observability layer but register
+# here, so every process that can name a collector (campaign workers
+# included) sees the complete registry.  The import must stay below the
+# definitions above — repro.obs.slo imports MetricCollector and
+# register_collector back from this module.
+from ..obs import slo as _slo  # noqa: E402  (registration side effect)
+
+del _slo

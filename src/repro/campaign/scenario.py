@@ -500,7 +500,13 @@ def source_from_dict(data: Mapping[str, Any]) -> WorkloadSource:
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class CollectorSpec:
-    """One metric collector requested by name, with optional constructor options."""
+    """One metric collector requested by name, with optional constructor options.
+
+    Spec forms: a bare name (``"stretch"``) or a mapping with options, e.g.
+    ``{"name": "slo", "options": {"slo_factor": 5}}`` or ``{"name":
+    "goodput", "options": {"window_seconds": 3600}}`` — see
+    :func:`repro.campaign.collectors.available_collectors` for the registry.
+    """
 
     name: str
     options: Tuple[Tuple[str, Any], ...] = ()
@@ -640,7 +646,9 @@ class Scenario:
     models: Any = None
     #: Optional telemetry spec: a :class:`repro.obs.TelemetryConfig` or its
     #: canonical ``{"type": "stats" | "tracing"}`` mapping, forwarded to the
-    #: engine of every run.  The default spec (``{"type": "off"}``) is
+    #: engine of every run.  An optional ``"flight": <capacity>`` field
+    #: additionally attaches the per-job flight recorder
+    #: (:mod:`repro.obs.flight`).  The default spec (``{"type": "off"}``) is
     #: demoted to ``None`` so a scenario carrying it is byte-identical —
     #: spec, hash, cache keys — to one without a ``telemetry`` block.  Live
     #: :class:`~repro.obs.Telemetry` sinks are rejected: scenarios are pure

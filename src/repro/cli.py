@@ -86,9 +86,19 @@ from .experiments.table1 import run_table1
 from .experiments.table2 import run_table2
 from .experiments.timing import run_timing_study
 from .experiments.utilization_study import run_utilization_study
-from .obs.cli import add_profile_subparser, run_profile_command
+from .obs.cli import (
+    add_obs_subparser,
+    add_profile_subparser,
+    run_obs_command,
+    run_profile_command,
+)
 from .schedulers.registry import algorithm_catalog
-from .serve.cli import add_serve_subparsers, run_loadtest_command, run_serve_command
+from .serve.cli import (
+    add_serve_subparsers,
+    run_loadtest_command,
+    run_serve_command,
+    run_soak_command,
+)
 from .workloads import (
     HPC2N_CLUSTER,
     characterization_table,
@@ -318,6 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_dev_subparser(subparsers)
     add_serve_subparsers(subparsers)
     add_profile_subparser(subparsers)
+    add_obs_subparser(subparsers)
     return parser
 
 
@@ -707,6 +718,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_serve_command(args)
     if args.command == "loadtest":
         return run_loadtest_command(args)
+    if args.command == "soak":
+        # The soak harness drives the live serve stack directly.
+        return run_soak_command(args)
+    if args.command == "obs":
+        # Bench gating reads artifacts only; no engine or campaign involved.
+        return run_obs_command(args)
     if args.command == "profile":
         # Profiling drives one engine run directly from the scenario spec;
         # the experiment-config and campaign machinery never enter the path.

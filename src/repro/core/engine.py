@@ -265,6 +265,12 @@ class Simulator:
         #: ``availability_window_seconds`` is set (windows anchored at the
         #: first submission).
         self._avail_window_stats: Optional[Dict[int, Any]] = None
+        #: window index -> ``[completions, delivered work]`` (work = tasks x
+        #: cpu x nominal seconds of each job completing in the window),
+        #: feeding the streaming ``goodput`` collector.  Same windows as
+        #: ``_avail_window_stats``: ``availability_window_seconds`` wide,
+        #: anchored at the first submission.
+        self._goodput_window_stats: Optional[Dict[int, List[float]]] = None
         self._window_accumulator_factory = None
         window = self.config.availability_window_seconds
         if window is not None and (not math.isfinite(window) or window <= 0.0):
@@ -279,6 +285,7 @@ class Simulator:
             self._avail_node_stats = TimeWeightedValue()
             if window is not None:
                 self._avail_window_stats = {}
+                self._goodput_window_stats = {}
                 self._window_accumulator_factory = TimeWeightedValue
         #: Total CPU capacity of the cluster (cached; the availability
         #: integral subtracts down-node capacity from it every segment).
@@ -288,6 +295,15 @@ class Simulator:
         #: default).  All hot-path instrumentation is guarded by a single
         #: None check per event.
         self._telemetry: Optional[Telemetry] = as_telemetry(self.config.telemetry)
+        if self._telemetry is not None and getattr(
+            self._telemetry, "flight", None
+        ) is not None:
+            # A sink with an attached flight recorder turns on the per-job
+            # lifecycle log: the observer is ordinary (never consulted by
+            # scheduling), so the uninstrumented path is untouched.
+            from ..obs.flight import FlightObserver
+
+            self._observers.append(FlightObserver(self._telemetry.flight))
         self._now = 0.0
         self._pending_submissions = 0
         # -- O(active) event-loop state ------------------------------------
@@ -503,6 +519,7 @@ class Simulator:
             busy_node_stats=self._busy_node_stats,
             avail_node_stats=self._avail_node_stats,
             avail_window_stats=self._avail_window_stats,
+            goodput_window_stats=self._goodput_window_stats,
         )
 
     # -------------------------------------------------------- online driving --
@@ -712,6 +729,7 @@ class Simulator:
             self._note_allocation_change(job)
             self._evicted_now.append(job.job_id)
             for observer in self._observers:
+                observer.on_job_evicted(self._now, job.spec, node, resubmit)
                 observer.on_job_preempted(self._now, job.spec)
         if self._node_power is not None:
             # Evictions above already moved the node's draw from busy to
@@ -1077,6 +1095,18 @@ class Simulator:
                 turnaround=record.turnaround_time,
                 wait=record.wait_time,
             )
+            if self._goodput_window_stats is not None:
+                width = self.config.availability_window_seconds
+                assert width is not None
+                spec = record.spec
+                index = int((self._now - self._first_submit) // width)
+                window_stats = self._goodput_window_stats.get(index)
+                if window_stats is None:
+                    window_stats = self._goodput_window_stats[index] = [0.0, 0.0]
+                window_stats[0] += 1.0
+                window_stats[1] += (
+                    spec.num_tasks * spec.cpu_need * spec.execution_time
+                )
         else:
             self._records.append(record)
         if self._streaming:

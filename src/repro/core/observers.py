@@ -71,6 +71,20 @@ class SimulationObserver:
     def on_job_preempted(self, time: float, spec: JobSpec) -> None:
         """Called when a running job is paused (memory saved to storage)."""
 
+    def on_job_evicted(
+        self, time: float, spec: JobSpec, node: int, killed: bool
+    ) -> None:
+        """Called when a node failure evicts a running job, just before the
+        matching :meth:`on_job_preempted`.
+
+        ``node`` is the failed node and ``killed`` distinguishes the two
+        failure policies: ``True`` under ``"resubmit"`` (progress lost, job
+        requeued from scratch) and ``False`` under ``"migrate"`` (job
+        checkpointed like an ordinary preemption).  Scheduler-initiated
+        preemptions never pass through this hook, so observers that need
+        *cause* attribution (the flight recorder) can tell the two apart.
+        """
+
     def on_job_resumed(
         self, time: float, spec: JobSpec, allocation: JobAllocation
     ) -> None:

@@ -134,6 +134,10 @@ class SimulationResult:
     #: when the engine ran with ``availability_window_seconds`` set
     #: (streaming-metrics mode only, windows anchored at the first submit).
     avail_window_stats: Optional[Dict[int, object]] = None
+    #: window index -> ``[completions, delivered work]`` (work = tasks x
+    #: cpu x nominal seconds) under the same windows; feeds the streaming
+    #: ``goodput`` collector.
+    goodput_window_stats: Optional[Dict[int, List[float]]] = None
 
     @property
     def is_streaming(self) -> bool:

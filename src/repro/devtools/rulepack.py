@@ -30,6 +30,7 @@ __all__ = [
     "FloatEqualityRule",
     "SwallowedExceptionRule",
     "DirectTimeInCoreRule",
+    "BarePrintRule",
 ]
 
 #: Packages whose code can reach simulated results; the determinism and
@@ -510,6 +511,51 @@ class DirectTimeInCoreRule(Rule):
                         f"{name}() bypasses the clock/telemetry seams; import "
                         "perf_counter from repro.obs.timing (measurement) or "
                         "go through repro.core.clock (pacing)",
+                    )
+                )
+        return findings
+
+
+@register_rule
+class BarePrintRule(Rule):
+    code = "OBS702"
+    name = "bare-print-outside-cli"
+    rationale = (
+        "Library code reports through return values, exceptions, and the "
+        "telemetry/flight seams — never stdout.  A bare print() in "
+        "repro.* corrupts machine-readable command output (the serve "
+        "protocol, --bench-json artifacts), is invisible to campaign "
+        "workers, and cannot be silenced by callers.  Presentation belongs "
+        "in the CLI layers (cli.py modules); everything else should raise, "
+        "return, or record."
+    )
+
+    #: Presentation layers: the top-level CLI, each package's cli.py, and
+    #: the devtools reporters (whose whole job is printing findings).
+    _EXEMPT_MODULE = "cli.py"
+    _EXEMPT_PACKAGES = frozenset({"devtools"})
+
+    def check_file(self, context: FileContext) -> List[Finding]:
+        parts = context.package_parts()
+        if not parts:
+            return []
+        if parts[-1] == self._EXEMPT_MODULE:
+            return []
+        if parts[0] in self._EXEMPT_PACKAGES:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "print":
+                findings.append(
+                    context.finding(
+                        node,
+                        self.code,
+                        "bare print() in library code; return the value, "
+                        "raise, or record it via the telemetry seam — "
+                        "printing belongs in the cli.py layers",
                     )
                 )
         return findings

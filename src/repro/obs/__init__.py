@@ -12,6 +12,18 @@ near-zero-overhead when disabled:
 * the Prometheus text-exposition renderer (:mod:`repro.obs.prometheus`),
   served by the ``metrics-prom`` op of the serve JSON-lines protocol.
 
+The second observability layer builds on that seam:
+
+* the per-job **flight recorder** (:mod:`repro.obs.flight`) — a bounded
+  ring of causal lifecycle events (submit/start/preempt/migrate/...),
+  enabled via ``{"type": "stats", "flight": <capacity>}`` specs, exported
+  as JSON lines or per-job Perfetto lanes;
+* **SLO / goodput collectors** (:mod:`repro.obs.slo`) — streaming-capable
+  campaign collectors for JCT, SLO attainment, and windowed goodput;
+* the **soak harness** (:mod:`repro.obs.soak`) — a long-haul accelerated
+  serve driver with scraped health samples and invariant checks, and the
+  bench-regression differ (:mod:`repro.obs.benchdiff`).
+
 Declarative spec forms (``{"type": "off" | "stats" | "tracing"}``) travel
 in scenario specs and :class:`~repro.core.engine.SimulationConfig`; the
 ``type`` registry is REG601-audited like every other subsystem.  The
@@ -19,6 +31,14 @@ wall-clock *seam* of the engine lives in :mod:`repro.obs.timing` — the only
 module ``repro.core`` may read interval timers through (policed by OBS701).
 """
 
+from .flight import (
+    FlightEvent,
+    FlightObserver,
+    FlightRecorder,
+    flight_trace_events,
+    write_flight_jsonl,
+    write_flight_trace,
+)
 from .prometheus import (
     PROMETHEUS_CONTENT_TYPE,
     render_prometheus,
@@ -45,6 +65,9 @@ from .tracing import chrome_trace_events, trace_span, write_chrome_trace
 
 __all__ = [
     "PROMETHEUS_CONTENT_TYPE",
+    "FlightEvent",
+    "FlightObserver",
+    "FlightRecorder",
     "NoTelemetry",
     "StatsTelemetry",
     "Telemetry",
@@ -54,6 +77,7 @@ __all__ = [
     "available_telemetry_configs",
     "chrome_trace_events",
     "current_telemetry",
+    "flight_trace_events",
     "merge_telemetry_bundles",
     "push_telemetry",
     "register_telemetry_config",
@@ -65,4 +89,6 @@ __all__ = [
     "timed_phase",
     "trace_span",
     "write_chrome_trace",
+    "write_flight_jsonl",
+    "write_flight_trace",
 ]

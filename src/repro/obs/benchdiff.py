@@ -1,0 +1,199 @@
+"""Regression gating between fresh and committed benchmark payloads.
+
+``repro-dfrs obs bench-diff FRESH COMMITTED`` pairs up the entries of two
+``BENCH_*.json`` artifacts (``BENCH_engine.json``, ``BENCH_serve.json``,
+``BENCH_soak.json`` — any file whose entries carry a throughput-rate field)
+and fails when a fresh rate fell more than ``--threshold`` (default 25%)
+below its committed counterpart.  CI runs it after regenerating the bench
+artifacts so a PR that quietly halves engine throughput turns the bench job
+red instead of silently rewriting the committed baseline.
+
+Matching is tolerant by design: entries are keyed on the intersection of
+the identity fields both sides actually carry (``--key`` overrides the
+candidate set), entries only one side has are reported and skipped, and
+when several committed entries share a key the *slowest* one is the
+baseline — committed artifacts may accumulate repeats, and a fresh run
+should never be punished for beating the best of them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "DEFAULT_KEY_FIELDS",
+    "DEFAULT_THRESHOLD",
+    "RATE_FIELDS",
+    "BenchComparison",
+    "compare_bench_payloads",
+    "diff_bench_files",
+    "load_bench_entries",
+]
+
+#: Identity fields tried, in order, when pairing entries (``--key`` overrides).
+DEFAULT_KEY_FIELDS: Tuple[str, ...] = (
+    "benchmark",
+    "algorithm",
+    "workload",
+    "num_jobs",
+)
+
+#: Throughput-rate fields recognised, in preference order.  An entry's rate
+#: is the first of these it carries; entries with neither are skipped (they
+#: measure something other than throughput).
+RATE_FIELDS: Tuple[str, ...] = (
+    "events_per_wall_sec",
+    "placements_per_wall_sec",
+)
+
+DEFAULT_THRESHOLD = 0.25
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """One matched fresh/committed entry pair and its verdict."""
+
+    key: Tuple[Tuple[str, Any], ...]
+    rate_field: str
+    fresh_rate: float
+    committed_rate: float
+
+    @property
+    def ratio(self) -> float:
+        """fresh / committed; >1.0 means the fresh run is faster."""
+        if self.committed_rate <= 0.0:
+            return 1.0
+        return self.fresh_rate / self.committed_rate
+
+    def regressed(self, threshold: float) -> bool:
+        return self.ratio < 1.0 - threshold
+
+    def describe(self) -> str:
+        label = ", ".join(f"{name}={value}" for name, value in self.key)
+        return (
+            f"[{label}] {self.rate_field}: "
+            f"fresh {self.fresh_rate:.1f} vs committed "
+            f"{self.committed_rate:.1f} ({self.ratio * 100.0:.1f}%)"
+        )
+
+
+def load_bench_entries(path: str) -> List[Dict[str, Any]]:
+    """Entries of one bench artifact, whatever its outer shape.
+
+    Accepts the committed ``{"entries": [...]}`` wrapper, a bare list, or a
+    single entry dict (``BENCH_soak.json`` is one run, not a sweep).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict) and isinstance(payload.get("entries"), list):
+        entries = payload["entries"]
+    elif isinstance(payload, list):
+        entries = payload
+    elif isinstance(payload, dict):
+        entries = [payload]
+    else:
+        raise ConfigurationError(
+            f"{path}: expected a bench payload (dict or list), "
+            f"got {type(payload).__name__}"
+        )
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise ConfigurationError(
+                f"{path}: bench entries must be objects, "
+                f"got {type(entry).__name__}"
+            )
+    return list(entries)
+
+
+def _entry_rate(entry: Dict[str, Any]) -> Optional[Tuple[str, float]]:
+    for field in RATE_FIELDS:
+        value = entry.get(field)
+        if isinstance(value, (int, float)):
+            return field, float(value)
+    return None
+
+
+def _entry_key(
+    entry: Dict[str, Any], key_fields: Sequence[str]
+) -> Tuple[Tuple[str, Any], ...]:
+    return tuple(
+        (name, entry[name]) for name in key_fields if name in entry
+    )
+
+
+def compare_bench_payloads(
+    fresh: Sequence[Dict[str, Any]],
+    committed: Sequence[Dict[str, Any]],
+    *,
+    key_fields: Sequence[str] = DEFAULT_KEY_FIELDS,
+) -> Tuple[List[BenchComparison], List[str]]:
+    """Pair fresh entries with committed baselines.
+
+    Returns ``(comparisons, notes)`` where ``notes`` lists everything that
+    could not be compared (missing counterpart, no rate field) — reported,
+    never fatal, so adding a brand-new benchmark doesn't break the gate.
+    """
+    notes: List[str] = []
+    # Slowest committed rate per key: repeats accumulate in committed
+    # artifacts and the weakest baseline is the conservative one.
+    baselines: Dict[Tuple[Tuple[str, Any], ...], Tuple[str, float]] = {}
+    for entry in committed:
+        rate = _entry_rate(entry)
+        if rate is None:
+            continue
+        key = _entry_key(entry, key_fields)
+        existing = baselines.get(key)
+        if existing is None or rate[1] < existing[1]:
+            baselines[key] = rate
+    comparisons: List[BenchComparison] = []
+    for entry in fresh:
+        key = _entry_key(entry, key_fields)
+        label = ", ".join(f"{n}={v}" for n, v in key) or "<unkeyed entry>"
+        rate = _entry_rate(entry)
+        if rate is None:
+            notes.append(f"skipped [{label}]: no rate field")
+            continue
+        baseline = baselines.get(key)
+        if baseline is None:
+            notes.append(f"skipped [{label}]: no committed counterpart")
+            continue
+        if baseline[0] != rate[0]:
+            notes.append(
+                f"skipped [{label}]: rate field mismatch "
+                f"(fresh {rate[0]}, committed {baseline[0]})"
+            )
+            continue
+        comparisons.append(
+            BenchComparison(
+                key=key,
+                rate_field=rate[0],
+                fresh_rate=rate[1],
+                committed_rate=baseline[1],
+            )
+        )
+    return comparisons, notes
+
+
+def diff_bench_files(
+    fresh_path: str,
+    committed_path: str,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    key_fields: Sequence[str] = DEFAULT_KEY_FIELDS,
+) -> Tuple[List[BenchComparison], List[BenchComparison], List[str]]:
+    """Compare two bench artifacts; returns (all, regressed, notes)."""
+    if not 0.0 < threshold < 1.0:
+        raise ConfigurationError(
+            f"threshold must be in (0, 1), got {threshold}"
+        )
+    fresh = load_bench_entries(fresh_path)
+    committed = load_bench_entries(committed_path)
+    comparisons, notes = compare_bench_payloads(
+        fresh, committed, key_fields=key_fields
+    )
+    regressed = [c for c in comparisons if c.regressed(threshold)]
+    return comparisons, regressed, notes

@@ -10,6 +10,12 @@ instead, so the profile includes the service's intake path.
 trace-event format — load it at ``chrome://tracing`` or
 https://ui.perfetto.dev to see the run as a flame chart.
 
+``--flight-out flight.json`` records the per-job flight log
+(:mod:`repro.obs.flight`) alongside: ``*.jsonl`` writes the raw event
+lines, any other extension writes a Chrome trace with one Perfetto lane
+per job — run slices bounded by preempt/migrate/failure markers, each
+carrying its cause.
+
 The profiled run is a *real* run: the same engine, schedulers, and platform
 that ``repro-dfrs run`` drives, with the scenario's own penalty model,
 platform events, and overhead models applied.  Only the telemetry sink
@@ -29,11 +35,96 @@ from ..core.cluster import Cluster
 from ..core.engine import SimulationConfig, Simulator
 from ..exceptions import ConfigurationError
 from ..schedulers.registry import create_scheduler
+from .flight import (
+    DEFAULT_FLIGHT_CAPACITY,
+    FlightRecorder,
+    write_flight_jsonl,
+    write_flight_trace,
+)
 from .telemetry import Telemetry
 from .timing import perf_counter
 from .tracing import write_chrome_trace
 
-__all__ = ["add_profile_subparser", "run_profile_command"]
+__all__ = [
+    "add_obs_subparser",
+    "add_profile_subparser",
+    "run_obs_command",
+    "run_profile_command",
+]
+
+
+def add_obs_subparser(subparsers: "argparse._SubParsersAction") -> None:
+    """Wire ``obs bench-diff`` into the main CLI parser."""
+    obs = subparsers.add_parser(
+        "obs",
+        help="observability utilities (benchmark regression gating)",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    diff = obs_sub.add_parser(
+        "bench-diff",
+        help=(
+            "compare a fresh BENCH_*.json payload against a committed "
+            "baseline and fail on throughput regressions"
+        ),
+    )
+    diff.add_argument("fresh", help="freshly generated bench payload")
+    diff.add_argument("committed", help="committed baseline bench payload")
+    diff.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help=(
+            "maximum tolerated rate drop as a fraction "
+            "(default 0.25 = fail below 75%% of the baseline)"
+        ),
+    )
+    diff.add_argument(
+        "--key",
+        action="append",
+        default=None,
+        help=(
+            "identity field used to pair entries (repeatable; default "
+            "benchmark/algorithm/workload/num_jobs, intersected with the "
+            "fields each entry actually has)"
+        ),
+    )
+
+
+def run_obs_command(args: argparse.Namespace) -> int:
+    """Entry point of ``repro-dfrs obs``."""
+    from .benchdiff import (
+        DEFAULT_KEY_FIELDS,
+        DEFAULT_THRESHOLD,
+        diff_bench_files,
+    )
+
+    assert args.obs_command == "bench-diff"
+    threshold = (
+        args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    )
+    key_fields = tuple(args.key) if args.key else DEFAULT_KEY_FIELDS
+    comparisons, regressed, notes = diff_bench_files(
+        args.fresh,
+        args.committed,
+        threshold=threshold,
+        key_fields=key_fields,
+    )
+    for note in notes:
+        print(note)
+    for comparison in comparisons:
+        marker = "REGRESSED" if comparison in regressed else "ok"
+        print(f"{marker:9s} {comparison.describe()}")
+    if regressed:
+        print(
+            f"{len(regressed)}/{len(comparisons)} benchmarks regressed "
+            f"more than {threshold * 100.0:.0f}%"
+        )
+        return 1
+    print(
+        f"{len(comparisons)} benchmarks within {threshold * 100.0:.0f}% "
+        "of the committed baseline"
+    )
+    return 0
 
 
 def add_profile_subparser(subparsers: "argparse._SubParsersAction") -> None:
@@ -71,6 +162,24 @@ def add_profile_subparser(subparsers: "argparse._SubParsersAction") -> None:
             type=int,
             default=200_000,
             help="span-event capture bound for --trace-out (default 200000)",
+        )
+        sub.add_argument(
+            "--flight-out",
+            default=None,
+            help=(
+                "record the per-job flight log and write it here: *.jsonl "
+                "= JSON lines, anything else = Chrome trace-event JSON "
+                "with one Perfetto lane per job"
+            ),
+        )
+        sub.add_argument(
+            "--flight-capacity",
+            type=int,
+            default=None,
+            help=(
+                "flight-recorder ring capacity for --flight-out "
+                f"(default {DEFAULT_FLIGHT_CAPACITY})"
+            ),
         )
         if mode == "replay":
             sub.add_argument(
@@ -166,11 +275,52 @@ def _format_profile(
     return "\n".join(lines)
 
 
+def _attach_flight(
+    telemetry: Telemetry, args: argparse.Namespace
+) -> Optional[FlightRecorder]:
+    """Attach a flight recorder to the profiled sink when requested."""
+    if args.flight_out is None:
+        if args.flight_capacity is not None:
+            raise ConfigurationError(
+                "--flight-capacity only makes sense with --flight-out"
+            )
+        return None
+    capacity = (
+        args.flight_capacity
+        if args.flight_capacity is not None
+        else DEFAULT_FLIGHT_CAPACITY
+    )
+    telemetry.flight = FlightRecorder(capacity)
+    return telemetry.flight
+
+
+def _write_flight(
+    args: argparse.Namespace, recorder: Optional[FlightRecorder]
+) -> None:
+    if recorder is None:
+        return
+    if args.flight_out.endswith(".jsonl"):
+        count = write_flight_jsonl(recorder, args.flight_out)
+        print(f"wrote {args.flight_out} ({count} events)")
+    else:
+        write_flight_trace(recorder, args.flight_out)
+        print(
+            f"wrote {args.flight_out} ({len(recorder)} events as per-job "
+            "Perfetto lanes)"
+        )
+    if recorder.dropped:
+        print(
+            f"flight ring dropped {recorder.dropped} oldest events; raise "
+            "--flight-capacity for a complete log"
+        )
+
+
 def _profile_run(args: argparse.Namespace, scenario: Scenario) -> int:
     params, algorithm = _resolve_cell(scenario, args.algorithm)
     telemetry = Telemetry(
         capture_spans=args.trace_out is not None, max_spans=args.max_spans
     )
+    flight = _attach_flight(telemetry, args)
     cluster = scenario.cluster
     workload = _pick_workload(scenario, cluster, args.instance)
     simulator = Simulator(
@@ -196,6 +346,7 @@ def _profile_run(args: argparse.Namespace, scenario: Scenario) -> int:
     if args.trace_out is not None:
         write_chrome_trace(telemetry, args.trace_out)
         print(f"wrote {args.trace_out}")
+    _write_flight(args, flight)
     return 0
 
 
@@ -207,6 +358,7 @@ def _profile_replay(args: argparse.Namespace, scenario: Scenario) -> int:
     telemetry = Telemetry(
         capture_spans=args.trace_out is not None, max_spans=args.max_spans
     )
+    flight = _attach_flight(telemetry, args)
     cluster = scenario.cluster
     sources = scenario.source.streaming_sources(cluster)
     if sources is not None and 0 <= args.instance < len(sources):
@@ -237,6 +389,7 @@ def _profile_replay(args: argparse.Namespace, scenario: Scenario) -> int:
     if args.trace_out is not None:
         write_chrome_trace(telemetry, args.trace_out)
         print(f"wrote {args.trace_out}")
+    _write_flight(args, flight)
     return 0
 
 

@@ -46,6 +46,8 @@ _SNAPSHOT_COUNTERS: Tuple[Tuple[str, str], ...] = (
     ("preemptions", "Job preemptions applied"),
     ("completions", "Jobs completed"),
     ("placements", "Placement actions applied (starts + resumes + migrations)"),
+    ("slo_attained", "Completed jobs that met their SLO deadline"),
+    ("slo_total", "Completed jobs evaluated against the SLO deadline"),
 )
 
 #: Snapshot fields exported as gauges, with help text.
@@ -53,6 +55,9 @@ _SNAPSHOT_GAUGES: Tuple[Tuple[str, str], ...] = (
     ("sim_time", "Current simulated time in seconds"),
     ("wall_seconds", "Wall-clock seconds since the service started"),
     ("placements_per_wall_sec", "Sustained placement rate"),
+    ("queue_depth", "Jobs currently pending placement"),
+    ("slo_factor", "SLO deadline multiplier over nominal runtime"),
+    ("slo_attainment", "Fraction of completed jobs that met their SLO"),
 )
 
 
@@ -180,6 +185,28 @@ def render_prometheus(
                     lines, metric + "_" + stat, "gauge",
                     f"Queue latency {stat} in seconds",
                     [("", float(latency[stat]))],
+                )
+    jct = snapshot.get("jct")
+    if isinstance(jct, Mapping) and jct:
+        metric = _metric_name(prefix, "jct_seconds")
+        quantiles = []
+        for key, quantile in (("p50", "0.5"), ("p90", "0.9"), ("p99", "0.99")):
+            if key in jct:
+                quantiles.append(
+                    (f'{{quantile="{quantile}"}}', float(jct[key]))
+                )
+        if quantiles:
+            _sample(
+                lines, metric, "summary",
+                "Job completion time (submission to completion), sketched "
+                "quantiles", quantiles,
+            )
+        for stat in ("mean", "max"):
+            if stat in jct:
+                _sample(
+                    lines, metric + "_" + stat, "gauge",
+                    f"Job completion time {stat} in seconds",
+                    [("", float(jct[stat]))],
                 )
     if telemetry is not None:
         lines.extend(render_telemetry(telemetry, prefix="repro_engine"))

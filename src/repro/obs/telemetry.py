@@ -129,6 +129,11 @@ class Telemetry:
         self.max_spans = max_spans
         self.counters: Dict[str, int] = {}
         self.dropped_spans = 0
+        #: Optional per-job flight recorder (:mod:`repro.obs.flight`); the
+        #: engine attaches a :class:`~repro.obs.flight.FlightObserver` when
+        #: this is set, so spec-built instrumented runs can carry the job
+        #: lifecycle log alongside the aggregate instruments.
+        self.flight: Optional[Any] = None
         self._gauges: Dict[str, Moments] = {}
         self._phases: Dict[str, Moments] = {}
         self._pending: Dict[str, List[float]] = {}
@@ -407,6 +412,26 @@ class TelemetryConfig:
         raise NotImplementedError
 
 
+def _validate_flight(flight: Optional[int]) -> None:
+    if flight is not None and flight <= 0:
+        raise ConfigurationError(
+            f"flight recorder capacity must be a positive integer, got {flight}"
+        )
+
+
+def _attach_flight(telemetry: Telemetry, flight: Optional[int]) -> Telemetry:
+    if flight is not None:
+        # Deferred import: repro.obs.flight is a leaf over repro.exceptions
+        # only, but keeping the dependency out of module scope means the
+        # telemetry seam never grows import edges the core engine (which
+        # imports this module during repro.core initialisation) could trip
+        # over.
+        from .flight import FlightRecorder
+
+        telemetry.flight = FlightRecorder(flight)
+    return telemetry
+
+
 def _reject_unknown_fields(
     data: Mapping[str, Any], allowed: Iterable[str], kind: str
 ) -> None:
@@ -446,27 +471,44 @@ class StatsTelemetry(TelemetryConfig):
     The bounded-overhead instrumented mode: memory is O(instrument names)
     regardless of run length, which is what campaign cells and long-haul
     serve deployments want.
+
+    ``flight`` (optional) additionally attaches a per-job flight recorder
+    of that ring capacity (:mod:`repro.obs.flight`) — memory then grows to
+    O(capacity), still bounded.
     """
+
+    flight: Optional[int] = None
 
     kind = "stats"
 
+    def __post_init__(self) -> None:
+        _validate_flight(self.flight)
+
     def create(self) -> Optional[Telemetry]:
-        return Telemetry(capture_spans=False)
+        return _attach_flight(Telemetry(capture_spans=False), self.flight)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"type": self.kind}
+        spec: Dict[str, Any] = {"type": self.kind}
+        if self.flight is not None:
+            spec["flight"] = self.flight
+        return spec
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "StatsTelemetry":
-        _reject_unknown_fields(data, (), cls.kind)
-        return cls()
+        _reject_unknown_fields(data, ("flight",), cls.kind)
+        flight = data.get("flight")
+        return cls(flight=None if flight is None else int(flight))
 
 
 @dataclass(frozen=True)
 class TracingTelemetry(TelemetryConfig):
-    """Stats plus per-occurrence span events for the Chrome-trace exporter."""
+    """Stats plus per-occurrence span events for the Chrome-trace exporter.
+
+    ``flight`` behaves exactly as on :class:`StatsTelemetry`.
+    """
 
     max_spans: int = DEFAULT_MAX_SPANS
+    flight: Optional[int] = None
 
     kind = "tracing"
 
@@ -475,20 +517,30 @@ class TracingTelemetry(TelemetryConfig):
             raise ConfigurationError(
                 f"max_spans must be >= 0, got {self.max_spans}"
             )
+        _validate_flight(self.flight)
 
     def create(self) -> Optional[Telemetry]:
-        return Telemetry(capture_spans=True, max_spans=self.max_spans)
+        return _attach_flight(
+            Telemetry(capture_spans=True, max_spans=self.max_spans),
+            self.flight,
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         spec: Dict[str, Any] = {"type": self.kind}
         if self.max_spans != DEFAULT_MAX_SPANS:
             spec["max_spans"] = self.max_spans
+        if self.flight is not None:
+            spec["flight"] = self.flight
         return spec
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "TracingTelemetry":
-        _reject_unknown_fields(data, ("max_spans",), cls.kind)
-        return cls(max_spans=int(data.get("max_spans", DEFAULT_MAX_SPANS)))
+        _reject_unknown_fields(data, ("max_spans", "flight"), cls.kind)
+        flight = data.get("flight")
+        return cls(
+            max_spans=int(data.get("max_spans", DEFAULT_MAX_SPANS)),
+            flight=None if flight is None else int(flight),
+        )
 
 
 #: kind -> spec class; the REG601-audited registry of this subsystem.

@@ -1,11 +1,15 @@
-"""``repro-dfrs serve`` / ``repro-dfrs loadtest`` — the serving commands.
+"""``repro-dfrs serve`` / ``loadtest`` / ``soak`` — the serving commands.
 
 ``serve`` runs a live :class:`~repro.serve.service.SchedulerService` behind
 the JSON-lines socket front end until a client sends ``{"op": "shutdown"}``
 (or Ctrl-C).  ``loadtest`` replays a trace through the service layer at a
 configurable acceleration and prints sustained placements/sec, admission
 outcomes, and queue-latency quantiles; ``--bench-json`` writes the same
-numbers as the ``BENCH_serve.json`` artifact.
+numbers as the ``BENCH_serve.json`` artifact.  ``soak`` is the long-haul
+variant: it runs the full serve stack (live service, real socket, wall
+clock) for a wall-time budget while scraping health samples, and asserts
+the :mod:`repro.obs.soak` invariants — flat RSS, sustained placement rate,
+bounded queue depth.
 """
 
 from __future__ import annotations
@@ -25,7 +29,12 @@ from .loadtest import bench_payload, run_loadtest
 from .protocol import ServiceServer
 from .service import SchedulerService
 
-__all__ = ["add_serve_subparsers", "run_serve_command", "run_loadtest_command"]
+__all__ = [
+    "add_serve_subparsers",
+    "run_serve_command",
+    "run_loadtest_command",
+    "run_soak_command",
+]
 
 _DEFAULT_ALGORITHM = "dynmcb8-asap-per-600"
 _DEFAULT_NODES = 64
@@ -60,6 +69,15 @@ def add_serve_subparsers(subparsers: "argparse._SubParsersAction") -> None:
         type=float,
         default=1.0,
         help="simulated seconds per wall second (default 1.0 = real time)",
+    )
+    serve.add_argument(
+        "--slo-factor",
+        type=float,
+        default=10.0,
+        help=(
+            "SLO deadline multiplier: a job attains its SLO when it "
+            "completes within slo-factor x its nominal runtime (default 10)"
+        ),
     )
     serve.add_argument(
         "--telemetry",
@@ -103,6 +121,15 @@ def add_serve_subparsers(subparsers: "argparse._SubParsersAction") -> None:
         ),
     )
     loadtest.add_argument(
+        "--slo-factor",
+        type=float,
+        default=10.0,
+        help=(
+            "SLO deadline multiplier for the slo_attainment report column "
+            "(default 10)"
+        ),
+    )
+    loadtest.add_argument(
         "--bench-json",
         default=None,
         help="write the report as a BENCH_serve.json-style artifact here",
@@ -114,6 +141,94 @@ def add_serve_subparsers(subparsers: "argparse._SubParsersAction") -> None:
             "write the final metrics as a Prometheus text page here "
             "(enables stats telemetry: engine phase timings are included)"
         ),
+    )
+
+    soak = subparsers.add_parser(
+        "soak",
+        help=(
+            "long-haul soak: run the live serve stack for a wall-time "
+            "budget, scrape health samples, assert flat RSS and sustained "
+            "throughput"
+        ),
+    )
+    soak.add_argument(
+        "--trace",
+        default=None,
+        help=(
+            "trace to feed: SWF file, internal JSON trace, or trace-source "
+            "spec JSON; default is a synthetic diurnal Poisson trace"
+        ),
+    )
+    soak.add_argument(
+        "--algorithm",
+        default=_DEFAULT_ALGORITHM,
+        help=f"scheduling algorithm under soak (default {_DEFAULT_ALGORITHM})",
+    )
+    soak.add_argument(
+        "--acceleration",
+        type=float,
+        default=3600.0,
+        help="simulated seconds per wall second (default 3600)",
+    )
+    soak.add_argument(
+        "--wall-seconds",
+        type=float,
+        default=60.0,
+        help="wall-clock feed budget before draining (default 60)",
+    )
+    soak.add_argument(
+        "--scrape-interval",
+        type=float,
+        default=2.0,
+        help="seconds between health scrapes (default 2)",
+    )
+    soak.add_argument(
+        "--slo-factor",
+        type=float,
+        default=10.0,
+        help="SLO deadline multiplier (default 10)",
+    )
+    soak.add_argument(
+        "--max-drain-seconds",
+        type=float,
+        default=None,
+        help=(
+            "cap on the post-budget drain; omit to wait for every admitted "
+            "job to complete"
+        ),
+    )
+    soak.add_argument(
+        "--max-rss-slope",
+        type=float,
+        default=30.0,
+        help="health bound: max RSS growth in MB per minute (default 30)",
+    )
+    soak.add_argument(
+        "--min-placements-per-sec",
+        type=float,
+        default=1.0,
+        help="health floor: min placements per wall second (default 1)",
+    )
+    soak.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=10_000,
+        help="health ceiling: max instantaneous queue depth (default 10000)",
+    )
+    soak.add_argument(
+        "--health-log",
+        default=None,
+        help="append one JSON health sample per scrape to this file",
+    )
+    soak.add_argument(
+        "--bench-json",
+        default=None,
+        help="write the report as a BENCH_soak.json-style artifact here",
+    )
+    soak.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-scrape progress line",
     )
 
 
@@ -162,6 +277,7 @@ async def _serve_async(args: argparse.Namespace) -> int:
         args.algorithm,
         config=config,
         admission=_parse_admission(args.admission),
+        slo_factor=args.slo_factor,
         telemetry=_parse_spec_arg(args.telemetry, "--telemetry"),
     )
     await service.start(clock=WallClock(args.acceleration))
@@ -241,6 +357,20 @@ def _format_report(report_dict: Dict[str, Any]) -> str:
             f"p50 {latency['p50']:.1f} s, p90 {latency['p90']:.1f} s, "
             f"p99 {latency['p99']:.1f} s, mean {latency['mean']:.1f} s"
         )
+    jct = report_dict["jct"]
+    if jct:
+        lines.append(
+            "jct                  "
+            f"p50 {jct['p50']:.1f} s, p90 {jct['p90']:.1f} s, "
+            f"p99 {jct['p99']:.1f} s, mean {jct['mean']:.1f} s"
+        )
+    if report_dict["completions"]:
+        lines.append(
+            "slo attainment       "
+            f"{report_dict['slo_attainment'] * 100.0:.1f}% "
+            f"({report_dict['slo_attained']}/{report_dict['completions']} "
+            f"within {report_dict['slo_factor']:g}x runtime)"
+        )
     return "\n".join(lines)
 
 
@@ -259,6 +389,7 @@ def run_loadtest_command(args: argparse.Namespace) -> int:
         acceleration=args.acceleration,
         admission=_parse_admission(args.admission),
         config=config,
+        slo_factor=args.slo_factor,
         telemetry=({"type": "stats"} if args.prom_out is not None else None),
     )
     print(_format_report(report.to_dict()))
@@ -275,4 +406,96 @@ def run_loadtest_command(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.bench_json}")
+    return 0
+
+
+def _soak_source(args: argparse.Namespace) -> Tuple[Any, Cluster]:
+    """Resolve the soak trace; default is an effectively endless diurnal feed."""
+    if args.trace is not None:
+        from ..cli import _load_trace_source
+
+        source, default_cluster = _load_trace_source(args.trace)
+        if args.nodes is not None:
+            return source, Cluster(args.nodes, 4, 8.0)
+        return source, default_cluster
+    from ..traces.generators import DiurnalPoissonTraceSource
+
+    num_jobs = args.num_jobs if args.num_jobs is not None else 100_000
+    seed = args.seed if args.seed is not None else 2010
+    nodes = args.nodes if args.nodes is not None else _DEFAULT_NODES
+    source = DiurnalPoissonTraceSource(num_jobs=num_jobs, seed=seed)
+    return source, Cluster(nodes, 4, 8.0)
+
+
+def run_soak_command(args: argparse.Namespace) -> int:
+    """Entry point of ``repro-dfrs soak``."""
+    from ..obs.soak import SoakConfig, run_soak
+
+    source, cluster = _soak_source(args)
+    penalty = args.penalty if args.penalty is not None else 0.0
+    engine_config = SimulationConfig(
+        penalty_model=ReschedulingPenaltyModel(penalty),
+        streaming_metrics=True,
+    )
+    soak_config = SoakConfig(
+        acceleration=args.acceleration,
+        wall_seconds=args.wall_seconds,
+        scrape_interval_seconds=args.scrape_interval,
+        max_drain_seconds=args.max_drain_seconds,
+        max_rss_slope_mb_per_min=args.max_rss_slope,
+        min_placements_per_sec=args.min_placements_per_sec,
+        max_queue_depth=args.max_queue_depth,
+        slo_factor=args.slo_factor,
+    )
+
+    def _progress(sample: Dict[str, Any]) -> None:
+        rss = sample["rss_mb"]
+        rss_text = f"{rss:.1f}MB" if rss is not None else "n/a"
+        print(
+            f"  t={sample['wall_seconds']:6.1f}s "
+            f"sim={sample['sim_time']:.0f}s "
+            f"queue={sample['queue_depth']} "
+            f"placed={sample['placements']} "
+            f"done={sample['completions']} "
+            f"rss={rss_text}"
+        )
+
+    print(
+        f"soaking {args.algorithm} on {cluster.num_nodes} nodes "
+        f"(x{args.acceleration:g} clock, {args.wall_seconds:g}s wall budget)"
+    )
+    report = run_soak(
+        cluster,
+        args.algorithm,
+        source,
+        config=soak_config,
+        engine_config=engine_config,
+        health_log=args.health_log,
+        on_sample=None if args.quiet else _progress,
+    )
+    print(
+        f"soaked {report.sim_seconds:.0f} simulated seconds in "
+        f"{report.wall_seconds:.1f}s wall: {report.submitted} submitted, "
+        f"{report.placements} placements "
+        f"({report.placements_per_wall_sec:.1f}/s), "
+        f"{report.completions} completions, "
+        f"slo attainment {report.slo_attainment * 100.0:.1f}%"
+    )
+    print(
+        f"rss slope {report.rss_slope_mb_per_min:+.2f} MB/min, "
+        f"max queue depth {report.max_queue_depth_seen}, "
+        f"{len(report.samples)} health samples"
+    )
+    if not report.drained:
+        print("note: drain capped by --max-drain-seconds; tail jobs cut off")
+    if args.bench_json is not None:
+        with open(args.bench_json, "w", encoding="utf-8") as handle:
+            json.dump(report.bench_payload(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.bench_json}")
+    if not report.healthy:
+        for violation in report.violations:
+            print(f"UNHEALTHY: {violation}")
+        return 1
+    print("healthy: all soak invariants held")
     return 0

@@ -118,6 +118,7 @@ def run_loadtest(
     admission: Optional[Union[AdmissionPolicy, Mapping[str, Any]]] = None,
     config: Optional[SimulationConfig] = None,
     relative_error: float = DEFAULT_RELATIVE_ERROR,
+    slo_factor: float = 10.0,
     keep_result: bool = False,
     telemetry: Optional[Mapping[str, Any]] = None,
 ) -> ReplayReport:
@@ -139,6 +140,7 @@ def run_loadtest(
         config=engine_config,
         admission=admission,
         relative_error=relative_error,
+        slo_factor=slo_factor,
         telemetry=telemetry,
     )
     return service.replay(
@@ -177,4 +179,8 @@ def bench_payload(
         "wall_seconds": report.wall_seconds,
         "placements_per_wall_sec": report.placements_per_wall_sec,
         "queue_latency": dict(report.queue_latency),
+        "jct": dict(report.jct),
+        "slo_factor": report.slo_factor,
+        "slo_attained": report.slo_attained,
+        "slo_attainment": report.slo_attainment,
     }

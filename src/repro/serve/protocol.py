@@ -26,7 +26,11 @@ service.  Operations:
 
 The transport is a local TCP socket (``127.0.0.1`` by default, ephemeral
 port when ``port=0``) so clients need nothing but a socket and a JSON
-encoder — see ``tests/serve/test_service.py`` for a minimal client.
+encoder — see ``tests/serve/test_service.py`` for a minimal client.  The
+soak harness (:mod:`repro.obs.soak`) is the canonical long-lived client:
+it scrapes ``metrics`` and ``metrics-prom`` over this protocol for the
+whole run, so a soak passing also certifies the socket front end under
+sustained load.
 """
 
 from __future__ import annotations

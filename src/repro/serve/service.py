@@ -100,10 +100,24 @@ class ServiceMetrics:
     services merge associatively.
     """
 
-    def __init__(self, relative_error: float = DEFAULT_RELATIVE_ERROR) -> None:
+    def __init__(
+        self,
+        relative_error: float = DEFAULT_RELATIVE_ERROR,
+        slo_factor: float = 10.0,
+    ) -> None:
+        if not math.isfinite(slo_factor) or slo_factor <= 0.0:
+            raise ConfigurationError(
+                f"slo_factor must be positive and finite, got {slo_factor!r}"
+            )
         self.relative_error = relative_error
+        self.slo_factor = slo_factor
         self.queue_latency = QuantileSketch(relative_error=relative_error)
         self.queue_latency_moments = Moments()
+        #: JCT (submission → completion) sketch/moments pair, mirroring the
+        #: queue-latency pair; fed by every completion.
+        self.jct = QuantileSketch(relative_error=relative_error)
+        self.jct_moments = Moments()
+        self.slo_attained = 0
         self.submitted = 0
         self.accepted = 0
         self.rejected = 0
@@ -124,11 +138,28 @@ class ServiceMetrics:
         self.queue_latency.add(latency)
         self.queue_latency_moments.add(latency)
 
+    def observe_jct(self, jct: float, nominal_runtime: float) -> None:
+        """Record one completion: JCT plus its SLO verdict.
+
+        The job attains its SLO iff it completed within ``slo_factor`` ×
+        its nominal runtime of submission — the same deadline convention as
+        the ``slo`` campaign collector (:mod:`repro.obs.slo`).
+        """
+        self.jct.add(jct)
+        self.jct_moments.add(jct)
+        if jct <= self.slo_factor * nominal_runtime:
+            self.slo_attained += 1
+
     def bundle(self) -> Dict[str, Accumulator]:
         """Mergeable accumulator bundle of the current state."""
         return {
             "queue_latency": self.queue_latency,
             "queue_latency_moments": self.queue_latency_moments,
+            "jct": self.jct,
+            "jct_moments": self.jct_moments,
+            "slo_attained": SumAccumulator(
+                total=float(self.slo_attained), n=self.slo_attained
+            ),
             "submitted": SumAccumulator(total=float(self.submitted), n=self.submitted),
             "accepted": SumAccumulator(total=float(self.accepted), n=self.accepted),
             "rejected": SumAccumulator(total=float(self.rejected), n=self.rejected),
@@ -153,6 +184,15 @@ class ServiceMetrics:
                 "mean": self.queue_latency_moments.mean,
                 "max": self.queue_latency_moments.maximum,
             }
+        jct: Dict[str, float] = {}
+        if self.jct.count > 0:
+            jct = {
+                "p50": self.jct.quantile(0.50),
+                "p90": self.jct.quantile(0.90),
+                "p99": self.jct.quantile(0.99),
+                "mean": self.jct_moments.mean,
+                "max": self.jct_moments.maximum,
+            }
         placements = self.placements
         return {
             "sim_time": sim_time,
@@ -172,6 +212,13 @@ class ServiceMetrics:
                 placements / wall_seconds if wall_seconds > 0.0 else 0.0
             ),
             "queue_latency": latency,
+            "jct": jct,
+            "slo_factor": self.slo_factor,
+            "slo_total": self.completions,
+            "slo_attained": self.slo_attained,
+            "slo_attainment": (
+                self.slo_attained / self.completions if self.completions else 1.0
+            ),
             "bundle": bundle_to_dict(self.bundle()),
         }
 
@@ -222,6 +269,9 @@ class _ServiceObserver(SimulationObserver):
 
     def on_job_completed(self, time: float, spec: JobSpec) -> None:
         self._metrics.completions += 1
+        self._metrics.observe_jct(
+            max(0.0, time - spec.submit_time), spec.execution_time
+        )
         record = self._record(spec.job_id)
         if record is not None:
             record.state = "completed"
@@ -251,6 +301,12 @@ class ReplayReport:
     wall_seconds: float
     placements_per_wall_sec: float
     queue_latency: Dict[str, float] = field(default_factory=dict)
+    #: JCT (submission → completion) quantiles, same shape as queue_latency.
+    jct: Dict[str, float] = field(default_factory=dict)
+    #: SLO attainment over completions (deadline = slo_factor × runtime).
+    slo_factor: float = 10.0
+    slo_attained: int = 0
+    slo_attainment: float = 1.0
     #: Final Prometheus text page, when the service ran with telemetry
     #: enabled (``repro-dfrs loadtest --prom-out`` writes this to disk).
     prometheus: Optional[str] = None
@@ -273,6 +329,10 @@ class ReplayReport:
             "wall_seconds": self.wall_seconds,
             "placements_per_wall_sec": self.placements_per_wall_sec,
             "queue_latency": dict(self.queue_latency),
+            "jct": dict(self.jct),
+            "slo_factor": self.slo_factor,
+            "slo_attained": self.slo_attained,
+            "slo_attainment": self.slo_attainment,
         }
 
 
@@ -293,7 +353,11 @@ class SchedulerService:
         An :class:`~repro.serve.admission.AdmissionPolicy`, its spec
         dictionary, or None for ``accept-all``.
     relative_error:
-        Accuracy of the queue-latency quantile sketch.
+        Accuracy of the queue-latency and JCT quantile sketches.
+    slo_factor:
+        SLO deadline multiplier: a job attains its SLO iff it completes
+        within ``slo_factor`` × its nominal runtime of submission (drives
+        the ``slo_*`` snapshot fields and Prometheus series).
     ledger_limit:
         Terminal job records kept for ``status`` queries (live mode); the
         oldest are forgotten beyond this, keeping service memory bounded.
@@ -321,6 +385,7 @@ class SchedulerService:
         config: Optional[SimulationConfig] = None,
         admission: Optional[Union[AdmissionPolicy, Mapping[str, Any]]] = None,
         relative_error: float = DEFAULT_RELATIVE_ERROR,
+        slo_factor: float = 10.0,
         ledger_limit: int = 10_000,
         observers: Optional[List[SimulationObserver]] = None,
         telemetry: Optional[Union[Telemetry, Mapping[str, Any]]] = None,
@@ -345,7 +410,9 @@ class SchedulerService:
             self.admission = AcceptAllPolicy()
         else:
             self.admission = admission_policy_from_dict(admission)
-        self.metrics = ServiceMetrics(relative_error=relative_error)
+        self.metrics = ServiceMetrics(
+            relative_error=relative_error, slo_factor=slo_factor
+        )
         self._extra_observers: List[SimulationObserver] = list(observers or [])
         self._ledger_limit = ledger_limit
         self._ledger: Dict[int, ServiceJobRecord] = {}
@@ -418,6 +485,13 @@ class SchedulerService:
         """
         sim_time = self._engine.online_now() if self._engine is not None else 0.0
         snapshot = self.metrics.snapshot(sim_time, self.wall_seconds())
+        # Instantaneous backlog: what an operator's queue-depth ceiling (the
+        # soak harness's included) watches.
+        snapshot["queue_depth"] = (
+            self._engine.load_snapshot().pending_jobs
+            if self._engine is not None
+            else 0
+        )
         if self.telemetry is not None:
             snapshot["telemetry"] = self.telemetry.summary()
         return snapshot
@@ -430,9 +504,9 @@ class SchedulerService:
         timings and counters are appended as ``repro_telemetry_*`` samples.
         Served over the JSON-lines protocol as the ``metrics-prom`` op.
         """
-        sim_time = self._engine.online_now() if self._engine is not None else 0.0
-        snapshot = self.metrics.snapshot(sim_time, self.wall_seconds())
-        return render_prometheus(snapshot, telemetry=self.telemetry)
+        # Render from the full snapshot (not the bare metrics one) so the
+        # derived gauges — queue_depth above all — appear in the page too.
+        return render_prometheus(self.metrics_snapshot(), telemetry=self.telemetry)
 
     # ---------------------------------------------------------------- replay --
     def replay(
@@ -487,6 +561,10 @@ class SchedulerService:
             wall_seconds=wall,
             placements_per_wall_sec=float(snapshot["placements_per_wall_sec"]),
             queue_latency=dict(snapshot["queue_latency"]),
+            jct=dict(snapshot["jct"]),
+            slo_factor=float(snapshot["slo_factor"]),
+            slo_attained=int(snapshot["slo_attained"]),
+            slo_attainment=float(snapshot["slo_attainment"]),
             prometheus=(
                 render_prometheus(snapshot, telemetry=self.telemetry)
                 if self.telemetry is not None

@@ -59,7 +59,10 @@ def test_select_and_ignore_narrow_the_pack(tmp_path, capsys):
     assert main(["dev", "check", str(path), "--no-baseline", "--select", "ORD"]) == 1
     out = capsys.readouterr().out
     assert "ORD201" in out and "DET101" not in out
-    assert main(["dev", "check", str(path), "--no-baseline", "--ignore", "DET,ORD"]) == 0
+    assert (
+        main(["dev", "check", str(path), "--no-baseline", "--ignore", "DET,ORD,OBS"])
+        == 0
+    )
 
 
 def test_json_format_is_parseable(tmp_path, capsys):

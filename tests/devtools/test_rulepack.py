@@ -11,6 +11,7 @@ from repro.devtools.rulepack import (
     FloatEqualityRule,
     GlobalRngDrawRule,
     SetIterationRule,
+    BarePrintRule,
     SwallowedExceptionRule,
     UnpicklableTaskRule,
     UnseededDefaultRngRule,
@@ -479,6 +480,63 @@ def test_full_pack_reports_sorted_findings(tmp_path):
         )
     )
     result = check_paths([tmp_path / "src"], project_root=tmp_path)
-    assert codes(result) == ["DET101", "ORD201"]
+    assert codes(result) == ["DET101", "ORD201", "OBS702"]
     assert result.findings == sorted(result.findings)
     assert result.checked_files == 1
+
+# --------------------------------------------------------------------------- #
+# OBS702 — bare print() outside the CLI layers                                 #
+# --------------------------------------------------------------------------- #
+BARE_PRINT_SRC = """
+def helper(x):
+    print("debug", x)
+    return x
+"""
+
+
+def test_obs702_flags_bare_print_in_library_code(tmp_path):
+    for relfile in (CORE, PACKING, "src/repro/obs/soak.py"):
+        result = run_rule(tmp_path, BarePrintRule(), BARE_PRINT_SRC, relfile=relfile)
+        assert codes(result) == ["OBS702"], relfile
+
+
+def test_obs702_exempts_cli_layers_and_devtools(tmp_path):
+    for relfile in (
+        "src/repro/cli.py",
+        "src/repro/serve/cli.py",
+        "src/repro/obs/cli.py",
+        "src/repro/devtools/reporting.py",
+        TESTFILE,
+    ):
+        result = run_rule(tmp_path, BarePrintRule(), BARE_PRINT_SRC, relfile=relfile)
+        assert codes(result) == [], relfile
+
+
+def test_obs702_ignores_non_builtin_print_attributes(tmp_path):
+    result = run_rule(
+        tmp_path,
+        BarePrintRule(),
+        """
+        class Reporter:
+            def print(self, text):
+                return text
+
+        def use(reporter):
+            reporter.print("ok")
+        """,
+    )
+    assert codes(result) == []
+
+
+def test_obs702_noqa_suppresses(tmp_path):
+    result = run_rule(
+        tmp_path,
+        BarePrintRule(),
+        """
+        def helper(x):
+            print(x)  # repro: noqa[OBS702]
+        """,
+    )
+    assert codes(result) == []
+    assert result.suppressed == 1
+

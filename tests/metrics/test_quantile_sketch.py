@@ -166,3 +166,51 @@ class TestValidationAndSerialisation:
         summary = sketch_of([1.0, 2.0, 3.0]).summary()
         assert set(summary) == {"count", "p50", "p90", "p99", "min", "max"}
         assert QuantileSketch().summary() == {"count": 0.0}
+
+
+class TestZeroHeavyStreams:
+    """Regression pin for the BENCH_serve queue-latency quantiles.
+
+    The committed serve bench shows ``p50 = p90 = 0.0`` with a non-zero
+    mean — suspicious at first sight, but correct: most jobs in a
+    sub-critical replay are placed at their submit instant and record a
+    queue latency of exactly ``0.0``.  These tests pin the sketch's exact
+    zero accounting so a zero-handling regression cannot masquerade as a
+    scheduling improvement (or vice versa).
+    """
+
+    def test_zero_majority_pins_low_quantiles_to_zero(self):
+        # 91% zeros: every quantile at or below 0.91 must be exactly 0.0,
+        # while p99 must reach into the nonzero tail.
+        values = [0.0] * 910 + [float(i) for i in range(1, 91)]
+        sketch = sketch_of(values)
+        assert sketch.quantile(0.50) == 0.0
+        assert sketch.quantile(0.90) == 0.0
+        assert sketch.quantile(0.99) > 0.0
+
+    def test_zero_minority_does_not_zero_the_median(self):
+        values = [0.0] * 40 + [10.0] * 60
+        sketch = sketch_of(values)
+        assert sketch.quantile(0.50) == 10.0
+        assert sketch.quantile(0.40) == 0.0
+
+    def test_zeros_survive_merge_exactly(self):
+        left = sketch_of([0.0] * 500)
+        right = sketch_of([5.0] * 100)
+        left.merge(right)
+        assert left.count == 600
+        assert left.quantile(0.50) == 0.0
+        assert left.quantile(0.99) == 5.0
+
+    def test_all_zero_stream(self):
+        sketch = sketch_of([0.0] * 100)
+        for q in QUANTILES:
+            assert sketch.quantile(q) == 0.0
+        assert sketch.summary()["max"] == 0.0
+
+    def test_zeros_rank_between_negatives_and_positives(self):
+        sketch = sketch_of([-2.0] * 10 + [0.0] * 10 + [3.0] * 10)
+        # Nonzero values are bucketed (relative error); zeros are exact.
+        assert sketch.quantile(0.2) == pytest.approx(-2.0, rel=0.01)
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.quantile(0.9) == pytest.approx(3.0, rel=0.01)

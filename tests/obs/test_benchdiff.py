@@ -1,0 +1,176 @@
+"""Tests for the bench regression gate (repro.obs.benchdiff)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs.benchdiff import (
+    BenchComparison,
+    compare_bench_payloads,
+    diff_bench_files,
+    load_bench_entries,
+)
+
+
+def _entry(rate, *, algorithm="fcfs", field="events_per_wall_sec", **extra):
+    entry = {"benchmark": "engine", "algorithm": algorithm, field: rate}
+    entry.update(extra)
+    return entry
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return str(path)
+
+
+class TestLoadEntries:
+    def test_entries_wrapper(self, tmp_path):
+        path = _write(tmp_path, "a.json", {"entries": [_entry(1.0)]})
+        assert load_bench_entries(path) == [_entry(1.0)]
+
+    def test_bare_list(self, tmp_path):
+        path = _write(tmp_path, "a.json", [_entry(1.0), _entry(2.0)])
+        assert len(load_bench_entries(path)) == 2
+
+    def test_single_dict(self, tmp_path):
+        path = _write(tmp_path, "a.json", _entry(1.0))
+        assert load_bench_entries(path) == [_entry(1.0)]
+
+    def test_garbage_rejected(self, tmp_path):
+        path = _write(tmp_path, "a.json", "not a payload")
+        with pytest.raises(ConfigurationError):
+            load_bench_entries(path)
+        path = _write(tmp_path, "b.json", {"entries": [1, 2]})
+        with pytest.raises(ConfigurationError):
+            load_bench_entries(path)
+
+
+class TestCompare:
+    def test_matching_entries_compared(self):
+        comparisons, notes = compare_bench_payloads(
+            [_entry(90.0)], [_entry(100.0)]
+        )
+        assert notes == []
+        assert len(comparisons) == 1
+        comparison = comparisons[0]
+        assert comparison.ratio == pytest.approx(0.9)
+        assert not comparison.regressed(0.25)
+        assert comparison.regressed(0.05)
+
+    def test_unmatched_fresh_entry_noted_not_fatal(self):
+        comparisons, notes = compare_bench_payloads(
+            [_entry(90.0, algorithm="brand-new")], [_entry(100.0)]
+        )
+        assert comparisons == []
+        assert any("no committed counterpart" in note for note in notes)
+
+    def test_entry_without_rate_field_skipped(self):
+        fresh = [{"benchmark": "engine", "algorithm": "fcfs", "notes": "x"}]
+        comparisons, notes = compare_bench_payloads(fresh, [_entry(100.0)])
+        assert comparisons == []
+        assert any("no rate field" in note for note in notes)
+
+    def test_rate_field_mismatch_skipped(self):
+        fresh = [_entry(90.0, field="placements_per_wall_sec")]
+        comparisons, notes = compare_bench_payloads(fresh, [_entry(100.0)])
+        assert comparisons == []
+        assert any("rate field mismatch" in note for note in notes)
+
+    def test_committed_collisions_use_slowest_baseline(self):
+        committed = [_entry(100.0), _entry(60.0), _entry(140.0)]
+        comparisons, _ = compare_bench_payloads([_entry(59.0)], committed)
+        assert comparisons[0].committed_rate == 60.0
+        assert not comparisons[0].regressed(0.25)
+
+    def test_key_fields_intersected_with_present_fields(self):
+        # Entries lacking num_jobs/workload still pair on what they share.
+        fresh = [_entry(80.0)]
+        committed = [_entry(100.0, num_jobs=10_000)]
+        comparisons, notes = compare_bench_payloads(fresh, committed)
+        assert comparisons == []  # keys differ: one has num_jobs
+        comparisons, _ = compare_bench_payloads(
+            fresh, committed, key_fields=("benchmark", "algorithm")
+        )
+        assert len(comparisons) == 1
+
+    def test_zero_committed_rate_never_divides(self):
+        comparison = BenchComparison(
+            key=(("algorithm", "fcfs"),),
+            rate_field="events_per_wall_sec",
+            fresh_rate=10.0,
+            committed_rate=0.0,
+        )
+        assert comparison.ratio == 1.0
+        assert not comparison.regressed(0.25)
+
+
+class TestDiffFiles:
+    def test_regression_detected(self, tmp_path):
+        fresh = _write(tmp_path, "fresh.json", {"entries": [_entry(70.0)]})
+        committed = _write(
+            tmp_path, "committed.json", {"entries": [_entry(100.0)]}
+        )
+        comparisons, regressed, notes = diff_bench_files(fresh, committed)
+        assert len(comparisons) == 1
+        assert len(regressed) == 1
+        assert notes == []
+
+    def test_within_threshold_passes(self, tmp_path):
+        fresh = _write(tmp_path, "fresh.json", {"entries": [_entry(80.0)]})
+        committed = _write(
+            tmp_path, "committed.json", {"entries": [_entry(100.0)]}
+        )
+        _, regressed, _ = diff_bench_files(fresh, committed)
+        assert regressed == []
+
+    def test_threshold_validated(self, tmp_path):
+        fresh = _write(tmp_path, "fresh.json", {"entries": [_entry(80.0)]})
+        with pytest.raises(ConfigurationError):
+            diff_bench_files(fresh, fresh, threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            diff_bench_files(fresh, fresh, threshold=1.5)
+
+    def test_against_committed_artifacts(self):
+        # The repo's own artifacts gate cleanly against themselves.
+        for artifact in (
+            "BENCH_engine.json",
+            "BENCH_serve.json",
+            "BENCH_soak.json",
+        ):
+            comparisons, regressed, _ = diff_bench_files(artifact, artifact)
+            assert comparisons, artifact
+            assert regressed == [], artifact
+
+
+class TestCli:
+    def test_cli_pass_and_fail(self, tmp_path, capsys):
+        from repro.cli import main
+
+        fresh = _write(tmp_path, "fresh.json", {"entries": [_entry(50.0)]})
+        committed = _write(
+            tmp_path, "committed.json", {"entries": [_entry(100.0)]}
+        )
+        assert main(["obs", "bench-diff", fresh, fresh]) == 0
+        out = capsys.readouterr().out
+        assert "within 25%" in out
+        assert main(["obs", "bench-diff", fresh, committed]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        # A looser threshold lets the same pair pass.
+        assert (
+            main(
+                [
+                    "obs",
+                    "bench-diff",
+                    fresh,
+                    committed,
+                    "--threshold",
+                    "0.6",
+                ]
+            )
+            == 0
+        )

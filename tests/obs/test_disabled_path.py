@@ -98,6 +98,31 @@ class TestByteIdentity:
         assert inst_report.completions == bare_report.completions
         assert "telemetry" in service.metrics_snapshot()
 
+    def test_flight_recorder_keeps_run_byte_identical(self, algorithm):
+        bare_bytes, _, _ = _run_log(algorithm, None)
+        inst_bytes, _, engine = _run_log(
+            algorithm, {"type": "stats", "flight": 65_536}
+        )
+        assert inst_bytes == bare_bytes
+        assert len(engine.telemetry.flight) > 0
+        assert engine.telemetry.flight.dropped == 0
+
+    def test_flight_recorder_keeps_run_stream_byte_identical(self, algorithm):
+        bare_bytes, _, _ = _stream_log(algorithm, None)
+        inst_bytes, _, engine = _stream_log(
+            algorithm, {"type": "stats", "flight": 65_536}
+        )
+        assert inst_bytes == bare_bytes
+        assert len(engine.telemetry.flight) > 0
+
+    def test_flight_recorder_keeps_serve_replay_byte_identical(self, algorithm):
+        bare_bytes, _, _ = _replay_log(algorithm, None)
+        inst_bytes, _, service = _replay_log(
+            algorithm, {"type": "stats", "flight": 65_536}
+        )
+        assert inst_bytes == bare_bytes
+        assert len(service.telemetry.flight) > 0
+
 
 class TestInstrumentCoverage:
     def test_tracing_sink_captures_spans(self):
